@@ -1,0 +1,70 @@
+//! Criterion benches of the analytical engine: a single estimate, a tuned
+//! (microbatch-swept) estimate, and the closed-form FLOP counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use amped_bench::{case_study_estimate, tuned_case_study_estimate};
+use amped_configs::{models, systems};
+use amped_core::{metrics, Parallelism};
+
+fn bench_single_estimate(c: &mut Criterion) {
+    let model = models::megatron_145b();
+    let system = systems::a100_hdr_cluster(128, 8);
+    let p = Parallelism::builder()
+        .tp(8, 1)
+        .pp(1, 8)
+        .dp(1, 16)
+        .build()
+        .expect("valid");
+    c.bench_function("estimate/megatron145b_1024gpu", |b| {
+        b.iter(|| {
+            let e = case_study_estimate(
+                black_box(&model),
+                black_box(&system),
+                black_box(&p),
+                8192,
+            )
+            .expect("estimates");
+            black_box(e.tflops_per_gpu)
+        })
+    });
+}
+
+fn bench_tuned_estimate(c: &mut Criterion) {
+    let model = models::megatron_145b();
+    let system = systems::a100_hdr_cluster(128, 8);
+    let p = Parallelism::builder()
+        .tp(8, 1)
+        .pp(1, 8)
+        .dp(1, 16)
+        .build()
+        .expect("valid");
+    c.bench_function("estimate/tuned_microbatch_sweep", |b| {
+        b.iter(|| {
+            let e = tuned_case_study_estimate(
+                black_box(&model),
+                black_box(&system),
+                black_box(&p),
+                8192,
+            )
+            .expect("estimates");
+            black_box(e.days())
+        })
+    });
+}
+
+fn bench_model_flops(c: &mut Criterion) {
+    let model = models::gpt3_175b();
+    c.bench_function("metrics/model_flops_gpt3", |b| {
+        b.iter(|| black_box(metrics::model_flops_per_iteration(black_box(&model), 1536, true)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_estimate,
+    bench_tuned_estimate,
+    bench_model_flops
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches of the discrete-event simulator: event throughput for
+//! DP and pipelined iterations, and collective-schedule generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use amped_configs::{accelerators, efficiency, models, systems};
+use amped_core::{MicrobatchPolicy, Parallelism};
+use amped_sim::{PipelineSchedule, SimConfig};
+use amped_topo::Schedule;
+
+fn bench_dp_iteration(c: &mut Criterion) {
+    let model = models::mingpt_85m();
+    let v100 = accelerators::v100();
+    let system = systems::hgx2(8);
+    let p = Parallelism::data_parallel_intra(8).expect("valid");
+    c.bench_function("sim/dp8_iteration", |b| {
+        b.iter(|| {
+            let r = SimConfig::new(&model, &v100, &system, &p)
+                .with_efficiency(efficiency::v100_mingpt())
+                .simulate_iteration(black_box(64))
+                .expect("simulates");
+            black_box(r.iteration_time)
+        })
+    });
+}
+
+fn bench_pipeline_iteration(c: &mut Criterion) {
+    let model = models::mingpt_pp();
+    let v100 = accelerators::v100();
+    let system = systems::hgx2(16);
+    let p = Parallelism::builder()
+        .pp(16, 1)
+        .microbatches(MicrobatchPolicy::Explicit(32))
+        .build()
+        .expect("valid");
+    c.bench_function("sim/pp16_x32ub_iteration", |b| {
+        b.iter(|| {
+            let r = SimConfig::new(&model, &v100, &system, &p)
+                .with_efficiency(efficiency::v100_mingpt())
+                .with_schedule(PipelineSchedule::OneFOneB)
+                .simulate_iteration(black_box(64))
+                .expect("simulates");
+            black_box(r.iteration_time)
+        })
+    });
+}
+
+fn bench_ring_schedule(c: &mut Criterion) {
+    c.bench_function("topo/ring_allreduce_schedule_64", |b| {
+        b.iter(|| black_box(Schedule::ring_all_reduce(black_box(64), 1 << 28)).total_bytes())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dp_iteration,
+    bench_pipeline_iteration,
+    bench_ring_schedule
+);
+criterion_main!(benches);

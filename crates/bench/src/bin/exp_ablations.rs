@@ -1,0 +1,308 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. bubble accounting — standard GPipe vs the paper's literal Eq. 8;
+//! 2. efficiency-model form — constant vs saturating vs table;
+//! 3. ZeRO stages — communication overhead vs memory footprint;
+//! 4. gradient all-reduce — hierarchical (reduce-scatter intra first) vs
+//!    flat (modelled by moving all DP inter-node);
+//! 5. analytical model vs discrete-event simulator across a mapping grid;
+//! 6. fitted vs roofline-derived eff(ub) — the paper's "predictive model
+//!    for eff(ub)" future work, checked against its own fitted curve.
+
+use amped_configs::{accelerators, efficiency, models, systems};
+use amped_core::{
+    BubbleAccounting, EfficiencyModel, EngineOptions, Estimator, MicrobatchPolicy, Parallelism,
+    Precision, TrainingConfig, ZeroConfig, ZeroStage,
+};
+use amped_memory::MemoryModel;
+use amped_report::Table;
+use amped_sim::SimConfig;
+
+fn main() {
+    ablate_bubble_accounting();
+    ablate_efficiency_forms();
+    ablate_zero_stages();
+    ablate_allreduce_hierarchy();
+    ablate_model_vs_sim();
+    ablate_roofline_efficiency();
+}
+
+/// 1. The interpretation decision DESIGN.md note 1 documents, quantified.
+fn ablate_bubble_accounting() {
+    println!("== ablation 1: bubble accounting (Megatron-145B, TP8 intra, batch 8192) ==");
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(128, 8);
+    let mut t = Table::new(["PPinter", "GPipe bubble (s)", "Eq.8-literal bubble (s)", "ratio"]);
+    for pp_x in [2usize, 8, 32] {
+        let p = Parallelism::builder()
+            .tp(8, 1)
+            .pp(1, pp_x)
+            .dp(1, 128 / pp_x)
+            .microbatches(MicrobatchPolicy::Explicit(64))
+            .build()
+            .expect("valid");
+        let run = |accounting| {
+            Estimator::new(&model, &a100, &system, &p)
+                .with_efficiency(efficiency::case_study())
+                .with_options(EngineOptions {
+                    bubble_accounting: accounting,
+                    ..Default::default()
+                })
+                .estimate(&TrainingConfig::single_batch(8192).expect("valid"))
+                .expect("estimates")
+                .breakdown
+                .bubble
+        };
+        let std = run(BubbleAccounting::GPipe);
+        let lit = run(BubbleAccounting::PaperEq8);
+        t.row([
+            pp_x.to_string(),
+            format!("{std:.3}"),
+            format!("{lit:.3}"),
+            format!("{:.0}x", std / lit.max(1e-12)),
+        ]);
+        // The literal form divides the compute term by the stack depth.
+        assert!(std > 10.0 * lit, "literal Eq. 8 must be far smaller");
+    }
+    println!("{t}\n");
+}
+
+/// 2. How much the DP-vs-TP conclusions depend on the eff(ub) form.
+fn ablate_efficiency_forms() {
+    println!("== ablation 2: efficiency-model form (DP-heavy vs TP-heavy mapping) ==");
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(128, 8);
+    let dp_heavy = Parallelism::builder().dp(8, 128).build().expect("valid");
+    let tp_heavy = Parallelism::builder().tp(8, 1).dp(1, 128).build().expect("valid");
+    let forms: Vec<(&str, EfficiencyModel)> = vec![
+        ("constant 0.6", EfficiencyModel::Constant(0.6)),
+        ("saturating b=25", efficiency::case_study()),
+        (
+            "table (profiled)",
+            EfficiencyModel::Table(vec![(1.0, 0.25), (16.0, 0.37), (64.0, 0.62), (256.0, 0.85)]),
+        ),
+    ];
+    let mut t = Table::new(["eff model", "DP-heavy days", "TP-intra days", "DP/TP ratio"]);
+    let mut ratios = Vec::new();
+    for (name, eff) in forms {
+        let run = |p: &Parallelism| {
+            Estimator::new(&model, &a100, &system, p)
+                .with_efficiency(eff.clone())
+                .estimate(&amped_bench::case_study_training(16384))
+                .expect("estimates")
+                .days()
+        };
+        let d_dp = run(&dp_heavy);
+        let d_tp = run(&tp_heavy);
+        ratios.push((name, d_dp / d_tp));
+        t.row([
+            name.to_string(),
+            format!("{d_dp:.1}"),
+            format!("{d_tp:.1}"),
+            format!("{:.2}x", d_dp / d_tp),
+        ]);
+    }
+    println!("{t}");
+    // The finding: with a *constant* efficiency, DP-heavy mappings look as
+    // good as (or better than) TP-intra, because TP's all-reduce is their
+    // only difference. Only batch-sensitive efficiency forms reproduce the
+    // paper's "TP-intra is ~2x faster" conclusion — the conclusion rests on
+    // the eff(ub) model.
+    assert!(
+        ratios[0].1 < 1.1,
+        "constant efficiency must erase the TP-intra advantage"
+    );
+    assert!(
+        ratios[1].1 > 1.5 && ratios[2].1 > 1.2,
+        "batch-sensitive forms must restore the TP-intra advantage"
+    );
+    println!("finding: the TP-intra-beats-DP-intra conclusion requires batch-sensitive eff(ub)\n");
+}
+
+/// 3. ZeRO: trading communication overhead for memory footprint.
+fn ablate_zero_stages() {
+    println!("== ablation 3: ZeRO stages (GPT-3 175B, 64-way DP) ==");
+    let model = models::gpt3_175b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(8, 8);
+    let mut t = Table::new(["stage", "iter (s)", "per-device memory (GiB)", "fits 80 GiB"]);
+    let mut prev_mem = f64::INFINITY;
+    for (name, stage, overhead) in [
+        ("none", ZeroStage::None, 0.0),
+        ("ZeRO-1", ZeroStage::OptimizerStates, 0.0),
+        ("ZeRO-2", ZeroStage::Gradients, 0.05),
+        ("ZeRO-3", ZeroStage::Parameters, 0.5),
+    ] {
+        let p = Parallelism::builder()
+            .tp(8, 1)
+            .dp(1, 8)
+            .zero(ZeroConfig::stage(stage, overhead))
+            .build()
+            .expect("valid");
+        let e = Estimator::new(&model, &a100, &system, &p)
+            .with_efficiency(efficiency::case_study())
+            .estimate(&TrainingConfig::single_batch(512).expect("valid"))
+            .expect("estimates");
+        let mem = MemoryModel::new(&model, &p)
+            .with_precision(Precision::fp16())
+            .footprint(e.microbatch_size, e.num_microbatches);
+        t.row([
+            name.to_string(),
+            format!("{:.3}", e.time_per_iteration.get()),
+            format!("{:.1}", mem.total() / (1u64 << 30) as f64),
+            if mem.total() <= a100.memory_bytes() { "yes" } else { "NO" }.to_string(),
+        ]);
+        assert!(
+            mem.total() <= prev_mem,
+            "each ZeRO stage must shrink the footprint"
+        );
+        prev_mem = mem.total();
+    }
+    println!("{t}\n");
+}
+
+/// 4. Hierarchical vs flat gradient all-reduce, via node placement.
+fn ablate_allreduce_hierarchy() {
+    println!("== ablation 4: gradient all-reduce hierarchy (minGPT-scale, 64 GPUs) ==");
+    let model = models::gpt3_175b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(8, 8);
+    // Hierarchical: 8-way intra x 8-way inter. Flat: all 64 ranks treated
+    // as inter-node communicators (1 per node x 64 nodes system).
+    let flat_system = systems::a100_hdr_cluster(64, 1);
+    let hier = Parallelism::builder().dp(8, 8).build().expect("valid");
+    let flat = Parallelism::builder().dp(1, 64).build().expect("valid");
+    let run = |sys, p: &Parallelism| {
+        Estimator::new(&model, &a100, sys, p)
+            .with_efficiency(EfficiencyModel::Constant(0.6))
+            .estimate(&TrainingConfig::single_batch(512).expect("valid"))
+            .expect("estimates")
+    };
+    let e_hier = run(&system, &hier);
+    let e_flat = run(&flat_system, &flat);
+    let hier_dp = e_hier.breakdown.dp_comm_intra + e_hier.breakdown.dp_comm_inter;
+    let flat_dp = e_flat.breakdown.dp_comm_intra + e_flat.breakdown.dp_comm_inter;
+    println!(
+        "hierarchical gradient sync: {hier_dp:.3} s   flat over the NICs: {flat_dp:.3} s  ({:.1}x)",
+        flat_dp / hier_dp
+    );
+    assert!(
+        flat_dp > 2.0 * hier_dp,
+        "hierarchical all-reduce must beat flat inter-node all-reduce"
+    );
+    println!();
+}
+
+/// 6. The roofline-derived eff(ub) against the fitted curve: both must
+///    be saturating, and the Fig. 2c sweep keeps its shape when the
+///    fitted curve is replaced by the derived one.
+fn ablate_roofline_efficiency() {
+    use amped_core::roofline::efficiency_from_roofline;
+    println!("== ablation 6: fitted vs roofline-derived eff(ub), GPT-3 on A100 ==");
+    let model = models::gpt3_175b();
+    let a100 = accelerators::a100();
+    let derived = efficiency_from_roofline(&model, &a100, Precision::fp16(), 256)
+        .expect("derives");
+    let fitted = efficiency::gpt3_96gpu();
+    let mut t = Table::new(["ub", "fitted", "roofline-derived"]);
+    let mut prev_derived = 0.0;
+    for ub in [1.0, 4.0, 12.0, 24.0, 60.0, 128.0] {
+        let d = derived.eval(ub);
+        t.row([
+            format!("{ub:.0}"),
+            format!("{:.2}", fitted.eval(ub)),
+            format!("{d:.2}"),
+        ]);
+        assert!(d >= prev_derived, "derived curve must be monotone");
+        prev_derived = d;
+    }
+    println!("{t}");
+    // The derivation explains the fit's existence (same shape); the fitted
+    // curve additionally absorbs kernel-launch and scheduling losses the
+    // roofline cannot see, so it sits lower.
+    assert!(derived.eval(60.0) > fitted.eval(60.0));
+    println!("finding: the roofline derives the saturating shape the paper fits; the fitted\ncurve sits lower because it also absorbs non-roofline losses\n");
+}
+
+/// 5. Analytical model vs discrete-event simulator across a mapping grid.
+///
+/// Uses the 16-layer minGPT-PP model so every pipeline depth divides the
+/// stack evenly: the analytical model (like the paper's) assumes balanced
+/// stages, and the simulator — which executes the actual layer split —
+/// punishes indivisible stacks with the slowest-stage rate. That imbalance
+/// effect is itself demonstrated at the end.
+fn ablate_model_vs_sim() {
+    println!("== ablation 5: analytical model vs simulator (minGPT-PP on HGX-2) ==");
+    let model = models::mingpt_pp();
+    let v100 = accelerators::v100();
+    let mut t = Table::new(["mapping", "model (s)", "sim (s)", "gap"]);
+    let mut max_gap: f64 = 0.0;
+    for (label, dp, pp) in [
+        ("DP8", 8usize, 1usize),
+        ("DP4xPP2", 4, 2),
+        ("DP2xPP4", 2, 4),
+        ("PP8", 1, 8),
+    ] {
+        let system = systems::hgx2(8);
+        let p = Parallelism::builder()
+            .dp(dp, 1)
+            .pp(pp, 1)
+            .microbatches(MicrobatchPolicy::Explicit(16))
+            .build()
+            .expect("valid");
+        let est = Estimator::new(&model, &v100, &system, &p)
+            .with_efficiency(efficiency::v100_mingpt())
+            .estimate(&TrainingConfig::single_batch(128).expect("valid"))
+            .expect("estimates");
+        let sim = SimConfig::new(&model, &v100, &system, &p)
+            .with_efficiency(efficiency::v100_mingpt())
+            .simulate_iteration(128)
+            .expect("simulates");
+        let gap = (est.time_per_iteration.get() - sim.iteration_time).abs() / sim.iteration_time;
+        max_gap = max_gap.max(gap);
+        t.row([
+            label.to_string(),
+            format!("{:.4}", est.time_per_iteration.get()),
+            format!("{:.4}", sim.iteration_time),
+            format!("{:.1}%", gap * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("max model-vs-sim gap: {:.1}% (paper's validation bound: 12%)", max_gap * 100.0);
+    assert!(
+        max_gap < 0.12,
+        "model and simulator must agree within the paper's bound"
+    );
+
+    // The imbalance effect: pipe the 13-entry minGPT-85M stack (12 layers +
+    // head) through 8 stages — the simulator's slowest-stage throughput
+    // leaves the balanced-stage analytical model visibly optimistic.
+    let uneven = models::mingpt_85m();
+    let system = systems::hgx2(8);
+    let p = Parallelism::builder()
+        .pp(8, 1)
+        .microbatches(MicrobatchPolicy::Explicit(16))
+        .build()
+        .expect("valid");
+    let est = Estimator::new(&uneven, &v100, &system, &p)
+        .with_efficiency(efficiency::v100_mingpt())
+        .estimate(&TrainingConfig::single_batch(128).expect("valid"))
+        .expect("estimates");
+    let sim = SimConfig::new(&uneven, &v100, &system, &p)
+        .with_efficiency(efficiency::v100_mingpt())
+        .simulate_iteration(128)
+        .expect("simulates");
+    let gap = (sim.iteration_time - est.time_per_iteration.get()) / sim.iteration_time;
+    println!(
+        "imbalanced stack (13 entries / 8 stages): model {:.4} s vs sim {:.4} s ({:+.0}% optimistic)",
+        est.time_per_iteration.get(),
+        sim.iteration_time,
+        gap * 100.0
+    );
+    assert!(
+        gap > 0.15,
+        "stage imbalance must make the balanced-stage model optimistic"
+    );
+}

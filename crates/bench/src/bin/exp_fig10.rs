@@ -1,0 +1,122 @@
+//! Fig. 10 (case study II): DP vs PP across nodes on low-end systems —
+//! Megatron-145B, batch 8192, 1024 A100s total, reshaped into nodes of
+//! 1/2/4/8 accelerators with as many EDR NICs, TP filling the node.
+//!
+//! Expected shape (paper §VII): with one accelerator + one EDR NIC per
+//! node, DP's gradient all-reduce strangles on the thin NIC and PP wins
+//! (paper: +80 %, ours: smaller but positive — our hierarchical all-reduce
+//! and efficiency model price DP's downside more mildly, see
+//! EXPERIMENTS.md); the gap shrinks with more NICs and DP takes over by
+//! 4–8 per node. PP's idle bubbles also make it a candidate for better
+//! *energy* when idle power is below the break-even fraction.
+
+use amped_bench::{case_study_training, tuned_case_study_estimate};
+use amped_configs::{models, systems};
+use amped_core::{Estimate, Parallelism};
+use amped_energy::{break_even_idle_fraction, PowerModel};
+use amped_report::Table;
+
+const BATCH: usize = 8192;
+const TOTAL_ACCELS: usize = 1024;
+/// The model has 80 layers; pipeline depth cannot exceed it, so the
+/// deepest-PP configuration uses PP = 64 with the remainder in DP.
+const MAX_PP: usize = 64;
+
+fn estimate(per_node: usize, use_pp: bool) -> Estimate {
+    let model = models::megatron_145b();
+    let system = systems::a100_edr_lowend(TOTAL_ACCELS, per_node);
+    let nodes = TOTAL_ACCELS / per_node;
+    let p = if use_pp {
+        let pp_x = nodes.min(MAX_PP);
+        Parallelism::builder()
+            .tp(per_node, 1)
+            .pp(1, pp_x)
+            .dp(1, nodes / pp_x)
+            .build()
+            .expect("valid mapping")
+    } else {
+        Parallelism::builder()
+            .tp(per_node, 1)
+            .dp(1, nodes)
+            .build()
+            .expect("valid mapping")
+    };
+    tuned_case_study_estimate(&model, &system, &p, BATCH).expect("estimates")
+}
+
+fn main() {
+    println!("case study II: Megatron-145B, batch {BATCH}, 1024 A100s, EDR NICs, TP intra");
+    let mut t = Table::new([
+        "accels+NICs/node",
+        "DP-inter (days)",
+        "PP-inter (days)",
+        "PP advantage",
+        "PP bubble share",
+    ]);
+    let mut advantages = Vec::new();
+    let mut estimates = Vec::new();
+    for per_node in [1usize, 2, 4, 8] {
+        let dp = estimate(per_node, false);
+        let pp = estimate(per_node, true);
+        let advantage = dp.days() / pp.days() - 1.0;
+        let bubble_share = pp.breakdown.bubble / pp.breakdown.total();
+        t.row([
+            per_node.to_string(),
+            format!("{:.1}", dp.days()),
+            format!("{:.1}", pp.days()),
+            format!("{:+.0}%", advantage * 100.0),
+            format!("{:.0}%", bubble_share * 100.0),
+        ]);
+        advantages.push(advantage);
+        estimates.push((dp, pp));
+    }
+    println!("{t}");
+    amped_bench::write_result_file("fig10.csv", &t.to_csv());
+
+    // Shape: PP wins big at 1 NIC/node, the gap narrows at 2, and DP takes
+    // over by 8.
+    assert!(
+        advantages[0] > 0.0,
+        "PP must win with one NIC per node, got {:+.0}%",
+        advantages[0] * 100.0
+    );
+    assert!(
+        advantages[1] < advantages[0],
+        "the PP advantage must shrink with more NICs"
+    );
+    assert!(
+        advantages[2] < 0.0 && advantages[3] < 0.0,
+        "DP must win at 4 and 8 accelerators+NICs per node"
+    );
+
+    // The energy argument at the paper's crossover scale: PP idles in
+    // bubbles, so below a break-even idle-power fraction the slower PP
+    // config consumes less energy.
+    let crossover = advantages
+        .iter()
+        .position(|&a| a < 0.0)
+        .unwrap_or(estimates.len() - 1);
+    let (dp, pp) = &estimates[crossover];
+    let power = PowerModel::new(400.0, 0.3, 0.6);
+    let batches = case_study_training(BATCH).num_batches();
+    let be = break_even_idle_fraction(&dp.breakdown, &pp.breakdown, 1024, &power);
+    match be {
+        Some(f) => {
+            println!(
+                "\nat {} accels/node: PP is {:+.1}% slower but idles {:.0}% of the time;",
+                [1, 2, 4, 8][crossover],
+                (pp.days() / dp.days() - 1.0) * 100.0,
+                estimates[crossover].1.breakdown.bubble / estimates[crossover].1.breakdown.total()
+                    * 100.0
+            );
+            println!(
+                "PP becomes the more energy-efficient choice when idle power < {:.0}% of TDP",
+                f.clamp(0.0, 1.0) * 100.0
+            );
+            let _ = batches;
+        }
+        None => println!("\nPP has no extra bubble at the crossover configuration"),
+    }
+
+    println!("\ncase-study-II conclusions hold: the optimal inter-node strategy flips on low-end systems");
+}

@@ -1,0 +1,161 @@
+//! Fig. 11 (case study III): optical communication substrates for training
+//! GLaM (64-expert MoE) on 3072 H100-class accelerators at 8-bit precision,
+//! batch 8192, TP inside the node and DP across nodes.
+//!
+//! Bars: (1) reference — 8 accels/node, NVLink4 + 8× NDR InfiniBand;
+//! (2) Opt. 1 — 4×2 optical substrate: every edge accelerator gets a fiber
+//! and inter-node bandwidth jumps to the off-chip bandwidth; (3–5) Opt. 2 —
+//! 4×4 / 4×8 / 6×8 substrates: more accelerators per node means more TP
+//! and a bigger per-replica batch, so higher efficiency; (6–7) Opt. 3 —
+//! 6×8 with 2× and 4× off-chip bandwidth.
+//!
+//! Expected shape: Opt. 1 delivers a large gain by relieving the MoE
+//! all-to-all (paper: +42 %), bigger substrates raise the microbatch
+//! efficiency (paper: +29 % at 48/node), and off-chip scaling keeps adding
+//! until compute dominates (paper total: ~4×; ours: >2× — our model charges
+//! the TP all-reduce traffic growth that comes with fewer DP replicas,
+//! which the paper's "intra-node TP stays equal" accounting does not, so
+//! our Opt. 2 middle is flatter. See EXPERIMENTS.md).
+
+use amped_configs::{accelerators, efficiency, models, optical, systems};
+use amped_core::{
+    AcceleratorSpec, EngineOptions, Estimate, Estimator, Parallelism, Precision, SystemSpec,
+    TrainingConfig,
+};
+use amped_report::{BarChart, Table};
+
+const BATCH: usize = 8192;
+const TOTAL: usize = 3072;
+
+fn estimate(accel: &AcceleratorSpec, system: &SystemSpec) -> Estimate {
+    let model = models::glam_64e();
+    let per_node = system.accels_per_node();
+    let nodes = system.num_nodes();
+    let p = Parallelism::builder()
+        .tp(per_node, 1)
+        .dp(1, nodes)
+        .build()
+        .expect("valid mapping");
+    Estimator::new(&model, accel, system, &p)
+        .with_precision(Precision::int8())
+        .with_efficiency(efficiency::case_study())
+        .with_options(EngineOptions {
+            activation_recompute: true,
+            ..Default::default()
+        })
+        .estimate(&TrainingConfig::single_batch(BATCH).expect("valid"))
+        .expect("estimates")
+}
+
+fn main() {
+    println!("case study III: GLaM-64E on {TOTAL} H100s, 8-bit, batch {BATCH}, TP intra + DP inter\n");
+    let h100 = accelerators::h100();
+    let h100_2x = h100.with_offchip_bandwidth_scaled(2.0);
+    let h100_4x = h100.with_offchip_bandwidth_scaled(4.0);
+
+    let bars: Vec<(&str, AcceleratorSpec, SystemSpec)> = vec![
+        ("reference 8/node NDR", h100.clone(), systems::h100_ndr_cluster(TOTAL / 8, 8)),
+        ("Opt.1 optical 4x2", h100.clone(), optical::optical_cluster(&h100, TOTAL, 4, 2)),
+        ("Opt.2 optical 4x4", h100.clone(), optical::optical_cluster(&h100, TOTAL, 4, 4)),
+        ("Opt.2 optical 4x8", h100.clone(), optical::optical_cluster(&h100, TOTAL, 4, 8)),
+        ("Opt.2 optical 6x8", h100.clone(), optical::optical_cluster(&h100, TOTAL, 6, 8)),
+        ("Opt.3 6x8 2x offchip", h100_2x.clone(), optical::optical_cluster(&h100_2x, TOTAL, 6, 8)),
+        ("Opt.3 6x8 4x offchip", h100_4x.clone(), optical::optical_cluster(&h100_4x, TOTAL, 6, 8)),
+    ];
+
+    let mut t = Table::new([
+        "configuration",
+        "iter (s)",
+        "rel. perf",
+        "eff",
+        "MoE comm (s)",
+        "TP comm (s)",
+    ]);
+    let mut chart = BarChart::new("relative performance vs reference", "x");
+    let mut estimates = Vec::new();
+    for (label, accel, system) in &bars {
+        let e = estimate(accel, system);
+        estimates.push((label.to_string(), e));
+    }
+    let reference_time = estimates[0].1.time_per_iteration.get();
+    let mut rel = Vec::new();
+    for (label, e) in &estimates {
+        let r = reference_time / e.time_per_iteration.get();
+        rel.push(r);
+        t.row([
+            label.clone(),
+            format!("{:.3}", e.time_per_iteration.get()),
+            format!("{r:.2}x"),
+            format!("{:.0}%", e.efficiency * 100.0),
+            format!("{:.3}", e.breakdown.moe_comm),
+            format!("{:.3}", e.breakdown.tp_comm_intra),
+        ]);
+        chart.bar(label.clone(), r);
+    }
+    println!("{t}");
+    println!("\n{chart}");
+    amped_bench::write_result_file("fig11.csv", &t.to_csv());
+
+    // ---- the paper's claims ----
+    // Opt. 1: big gain from fiber-level inter-node bandwidth (paper: +42%),
+    // driven by MoE all-to-all relief (paper: ~6x less MoE comm time).
+    let moe_ref = estimates[0].1.breakdown.moe_comm;
+    let moe_opt1 = estimates[1].1.breakdown.moe_comm;
+    println!(
+        "\nOpt.1: {:.2}x overall, MoE comm reduced {:.1}x",
+        rel[1],
+        moe_ref / moe_opt1.max(1e-12)
+    );
+    assert!(rel[1] > 1.25, "Opt.1 must deliver a large gain");
+    assert!(moe_ref > 6.0 * moe_opt1, "MoE all-to-all must shrink by multiples");
+
+    // Opt. 2: more accelerators per node => more TP, higher efficiency. The
+    // gain peaks at 4x4 in our accounting because the per-accelerator TP
+    // all-reduce volume grows with the per-replica batch (the tradeoff the
+    // paper's "TP stays equal" reading hides).
+    println!(
+        "Opt.2 (4x4 vs 4x2): {:.2}x on top of Opt.1; efficiency 4x2 {:.0}% -> 6x8 {:.0}%",
+        rel[2] / rel[1],
+        estimates[1].1.efficiency * 100.0,
+        estimates[4].1.efficiency * 100.0
+    );
+    assert!(rel[2] > rel[1], "a bigger substrate must add performance");
+    assert!(
+        estimates[4].1.efficiency > estimates[3].1.efficiency
+            && estimates[3].1.efficiency > estimates[2].1.efficiency
+            && estimates[2].1.efficiency > estimates[1].1.efficiency,
+        "efficiency must rise with the per-replica batch"
+    );
+    assert!(
+        estimates[4].1.breakdown.tp_comm_intra > estimates[1].1.breakdown.tp_comm_intra,
+        "the TP-traffic tradeoff must be visible"
+    );
+
+    // Opt. 3: doubling/quadrupling off-chip bandwidth keeps helping…
+    assert!(rel[5] > rel[4] && rel[6] > rel[5]);
+    // …but compute starts to dominate (the paper notes compute is unchanged
+    // and eventually dominates): the 2x->4x step gains less than Opt.1 did.
+    let gain_last = rel[6] / rel[5];
+    println!(
+        "Opt.3: 2x offchip {:.2}x, 4x offchip {:.2}x (diminishing step {:.2}x)",
+        rel[5], rel[6], gain_last
+    );
+
+    // Total: approaching the paper's ~4x headline.
+    println!("total gain: {:.2}x (paper: ~4x)", rel[6]);
+    assert!(
+        rel[6] > 1.8,
+        "the full optical stack must multiply performance, got {:.2}x",
+        rel[6]
+    );
+    let compute_share = estimates[6].1.breakdown.compute_total()
+        / estimates[6].1.breakdown.total();
+    println!(
+        "compute share of the final system: {:.0}% (compute-dominated)",
+        compute_share * 100.0
+    );
+    assert!(
+        compute_share > 0.5,
+        "the fully optical system must be compute-dominated"
+    );
+}

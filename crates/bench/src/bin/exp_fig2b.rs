@@ -1,0 +1,94 @@
+//! Fig. 2b: normalized minGPT-PP training time vs number of pipeline
+//! stages, with `N_ub = N_PP` and the paper's 8→16-GPU saturation caused by
+//! the last GPU gathering every microbatch (torchgpipe), which caps the
+//! global batch.
+
+use amped_configs::{accelerators, efficiency, models, systems};
+use amped_core::{Estimator, Parallelism, TrainingConfig};
+use amped_report::{chart::series_to_csv, ExperimentRecord, Series, Table};
+use amped_sim::{PipelineSchedule, SimConfig};
+
+/// Per-stage batch contribution the paper scales with GPU count…
+const BATCH_PER_STAGE: usize = 4;
+/// …until the last GPU's memory caps the global batch (the paper's
+/// implementation gathers all microbatches there), which is what flattens
+/// the curve from 8 to 16 GPUs.
+const BATCH_CAP: usize = 32;
+
+fn batch_for(pp: usize) -> usize {
+    (BATCH_PER_STAGE * pp).min(BATCH_CAP)
+}
+
+fn main() {
+    let v100 = accelerators::v100();
+    let model = models::mingpt_pp();
+    let eff = efficiency::v100_mingpt();
+
+    let gpu_counts = [2usize, 4, 8, 16];
+    let mut sim_rate = Vec::new(); // samples per second
+    let mut model_rate = Vec::new();
+    for &pp in &gpu_counts {
+        let batch = batch_for(pp);
+        let system = systems::hgx2(pp);
+        let p = Parallelism::pipeline_parallel_intra(pp).expect("valid mapping");
+        let sim = SimConfig::new(&model, &v100, &system, &p)
+            .with_efficiency(eff.clone())
+            .with_schedule(PipelineSchedule::GPipe)
+            .simulate_iteration(batch)
+            .expect("simulates");
+        sim_rate.push(batch as f64 / sim.iteration_time);
+        let est = Estimator::new(&model, &v100, &system, &p)
+            .with_efficiency(eff.clone())
+            .estimate(&TrainingConfig::single_batch(batch).expect("valid"))
+            .expect("estimates");
+        model_rate.push(batch as f64 / est.time_per_iteration.get());
+    }
+
+    // The paper normalizes training time for a fixed amount of data to the
+    // 2-GPU run: normalized time = rate(2) / rate(n).
+    let sim_norm: Vec<f64> = sim_rate.iter().map(|r| sim_rate[0] / r).collect();
+    let model_norm: Vec<f64> = model_rate.iter().map(|r| model_rate[0] / r).collect();
+
+    let mut t = Table::new(["GPUs", "batch", "experimental (sim)", "predicted (model)", "gap"]);
+    let mut record = ExperimentRecord::new("Fig. 2b", "minGPT-PP scaling, simulator vs model");
+    for (i, &n) in gpu_counts.iter().enumerate() {
+        t.row([
+            n.to_string(),
+            batch_for(n).to_string(),
+            format!("{:.3}", sim_norm[i]),
+            format!("{:.3}", model_norm[i]),
+            format!("{:+.1}%", (model_norm[i] - sim_norm[i]) / sim_norm[i] * 100.0),
+        ]);
+        record.compare(format!("{n} GPUs normalized time"), sim_norm[i], model_norm[i]);
+    }
+    println!("== Fig. 2b: normalized training time vs pipeline GPUs (minGPT-PP) ==");
+    println!("{t}");
+    println!("\nmax model-vs-simulator gap: {:.1}%", record.max_error() * 100.0);
+
+    assert!(
+        record.within(0.12),
+        "analytical model diverged from the simulated experiment"
+    );
+    // Scaling up to 8 GPUs…
+    assert!(sim_norm[1] < sim_norm[0] && sim_norm[2] < sim_norm[1]);
+    // …then saturation 8→16 because the batch stops growing.
+    let saturation = (sim_norm[2] - sim_norm[3]).abs() / sim_norm[2];
+    assert!(
+        saturation < 0.25,
+        "8 to 16 GPUs must show performance saturation, got {saturation:.2}"
+    );
+
+    let xs: Vec<f64> = gpu_counts.iter().map(|&n| n as f64).collect();
+    let csv = series_to_csv(&[
+        Series::new(
+            "experimental",
+            xs.iter().copied().zip(sim_norm.iter().copied()).collect(),
+        ),
+        Series::new(
+            "predicted",
+            xs.iter().copied().zip(model_norm.iter().copied()).collect(),
+        ),
+    ]);
+    amped_bench::write_result_file("fig2b.csv", &csv);
+    amped_bench::write_result_file("fig2b.md", &record.to_markdown());
+}

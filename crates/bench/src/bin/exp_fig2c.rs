@@ -1,0 +1,68 @@
+//! Fig. 2c: TFLOP/s/GPU as a function of batch (microbatch) size for
+//! GPT-3 175B on 96 GPUs with pipeline parallelism — published vs AMPeD.
+
+use amped_bench::fig2c_estimate;
+use amped_configs::published;
+use amped_report::{chart::series_to_csv, ExperimentRecord, LineChart, Series, Table};
+
+fn main() {
+    let mut t = Table::new(["microbatch", "batch", "eff", "predicted", "published", "err"]);
+    let mut record = ExperimentRecord::new("Fig. 2c", "GPT-3 175B batch-size sweep on 96 GPUs");
+    let mut predicted_pts = Vec::new();
+    let published_pts = published::fig2c_published();
+    for &(ub, published_tflops) in &published_pts {
+        let e = fig2c_estimate(ub).expect("fig2c estimates");
+        predicted_pts.push((ub, e.tflops_per_gpu));
+        t.row([
+            format!("{ub:.0}"),
+            format!("{:.0}", 96.0 * ub),
+            format!("{:.3}", e.efficiency),
+            format!("{:.1}", e.tflops_per_gpu),
+            format!("{published_tflops:.1}"),
+            format!(
+                "{:+.1}%",
+                (e.tflops_per_gpu - published_tflops) / published_tflops * 100.0
+            ),
+        ]);
+        record.compare(format!("ub={ub:.0}"), published_tflops, e.tflops_per_gpu);
+    }
+    println!("== Fig. 2c: performance vs batch size, GPT-3 175B, 96 GPUs, PP ==");
+    println!("{t}");
+
+    // The paper highlights two points: ~11% error at ub = 12, converging to
+    // ~2% at ub = 60.
+    let err_at = |ub: f64| {
+        let e = fig2c_estimate(ub).expect("estimates");
+        let p = published_pts.iter().find(|p| p.0 == ub).expect("published point");
+        ((e.tflops_per_gpu - p.1) / p.1).abs()
+    };
+    println!(
+        "\nerror at ub=12: {:.1}% (paper: ~11%)   error at ub=60: {:.1}% (paper: ~2%)",
+        err_at(12.0) * 100.0,
+        err_at(60.0) * 100.0
+    );
+    assert!(err_at(12.0) < 0.15, "ub=12 error left the paper's regime");
+    assert!(err_at(60.0) < 0.05, "ub=60 must converge like the paper's");
+
+    // Saturation shape: the predicted curve's tail gain is a small fraction
+    // of its initial gain.
+    let first_gain = predicted_pts[1].1 - predicted_pts[0].1;
+    let n = predicted_pts.len();
+    let last_gain = predicted_pts[n - 1].1 - predicted_pts[n - 2].1;
+    assert!(
+        last_gain < first_gain / 4.0,
+        "prediction must saturate with microbatch size"
+    );
+
+    let mut chart = LineChart::new("TFLOP/s/GPU vs microbatch size");
+    chart.series(Series::new("predicted", predicted_pts.clone()));
+    chart.series(Series::new("published", published_pts.clone()));
+    println!("\n{}", chart.to_ascii(64, 14));
+
+    let csv = series_to_csv(&[
+        Series::new("predicted", predicted_pts),
+        Series::new("published", published_pts),
+    ]);
+    amped_bench::write_result_file("fig2c.csv", &csv);
+    amped_bench::write_result_file("fig2c.md", &record.to_markdown());
+}

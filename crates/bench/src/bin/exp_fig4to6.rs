@@ -1,0 +1,144 @@
+//! Figs. 4–6: case study I with tensor parallelism inside the node
+//! (TPintra = 8) on 1024 A100s, sweeping the inter-node parallelism and the
+//! batch size (4096 / 8192 / 16384).
+//!
+//! Fig. 4: TPinter × PPinter;  Fig. 5: TPinter × DPinter;
+//! Fig. 6: PPinter × DPinter.  Training time in days for 300 B tokens.
+//!
+//! Expected shapes (paper §VI-C/E): the ordering DP-only < PP-only «
+//! TP-heavy inter-node holds, DP lands near the paper's ~18 days, TP
+//! degrees are monotonically punished, and TP-intra keeps the microbatch
+//! efficiency high. Absolute PP and TP factors differ from the paper's
+//! (ours charge the dimensionally consistent bubble and a hierarchical
+//! NIC-aggregating inter-node all-reduce — see EXPERIMENTS.md).
+
+use amped_bench::tuned_case_study_estimate;
+use amped_configs::{models, systems};
+use amped_core::{Estimate, Parallelism};
+use amped_report::Table;
+
+const BATCHES: [usize; 3] = [4096, 8192, 16384];
+
+fn estimate(tp_x: usize, pp_x: usize, dp_x: usize, batch: usize) -> Estimate {
+    let model = models::megatron_145b();
+    let system = systems::a100_hdr_cluster(128, 8);
+    let p = Parallelism::builder()
+        .tp(8, tp_x)
+        .pp(1, pp_x)
+        .dp(1, dp_x)
+        .build()
+        .expect("valid mapping");
+    tuned_case_study_estimate(&model, &system, &p, batch).expect("estimates")
+}
+
+fn sweep(title: &str, file: &str, configs: &[(usize, usize, usize)]) -> Vec<Vec<f64>> {
+    let mut t = Table::new([
+        "TPx".to_string(),
+        "PPx".to_string(),
+        "DPx".to_string(),
+        format!("days@{}", BATCHES[0]),
+        format!("days@{}", BATCHES[1]),
+        format!("days@{}", BATCHES[2]),
+        "eff@16384".to_string(),
+    ]);
+    let mut all = Vec::new();
+    for &(tp_x, pp_x, dp_x) in configs {
+        let days: Vec<f64> = BATCHES
+            .iter()
+            .map(|&b| estimate(tp_x, pp_x, dp_x, b).days())
+            .collect();
+        let eff = estimate(tp_x, pp_x, dp_x, 16384).efficiency;
+        t.row([
+            tp_x.to_string(),
+            pp_x.to_string(),
+            dp_x.to_string(),
+            format!("{:.1}", days[0]),
+            format!("{:.1}", days[1]),
+            format!("{:.1}", days[2]),
+            format!("{:.0}%", eff * 100.0),
+        ]);
+        all.push(days);
+    }
+    println!("\n== {title} ==");
+    println!("{t}");
+    amped_bench::write_result_file(file, &t.to_csv());
+    all
+}
+
+fn main() {
+    println!("case study I: Megatron-145B, 1024 A100s (128 nodes x 8), TP 8 intra-node");
+
+    // Fig. 4: PP vs TP across nodes (PPinter scaled down as TPinter scales up).
+    let fig4 = sweep(
+        "Fig. 4: TPinter x PPinter",
+        "fig4.csv",
+        &[(1, 64, 2), (2, 64, 1), (4, 32, 1), (8, 16, 1)],
+    );
+
+    // Fig. 5: TP vs DP across nodes.
+    let fig5 = sweep(
+        "Fig. 5: TPinter x DPinter",
+        "fig5.csv",
+        &[(1, 1, 128), (2, 1, 64), (4, 1, 32), (8, 1, 16)],
+    );
+
+    // Fig. 6: PP vs DP across nodes.
+    let fig6 = sweep(
+        "Fig. 6: PPinter x DPinter",
+        "fig6.csv",
+        &[
+            (1, 1, 128),
+            (1, 2, 64),
+            (1, 4, 32),
+            (1, 8, 16),
+            (1, 16, 8),
+            (1, 32, 4),
+            (1, 64, 2),
+        ],
+    );
+
+    // ---- Paper's conclusions as assertions (batch 16384 column = idx 2) ----
+    let days_16k = |rows: &Vec<Vec<f64>>, i: usize| rows[i][2];
+
+    // (2) TP over inter-node links is very slow: the TP-heavy ends of
+    // Figs. 4/5 sit several times above the DP/PP-only configs (~57 vs
+    // ~18-21 days in the paper).
+    let dp_only = days_16k(&fig5, 0);
+    let tp8_dp = days_16k(&fig5, 3);
+    println!("\npure-DP inter: {dp_only:.1} d   TPinter=8: {tp8_dp:.1} d   ratio {:.1}x", tp8_dp / dp_only);
+    assert!(
+        tp8_dp > 2.0 * dp_only,
+        "TP-heavy inter-node must be several times slower"
+    );
+
+    // (Fig. 4 text) scaling PP down / TP up multiplies the training time
+    // (the paper quotes ~3x per 2x shift with its non-hierarchical
+    // inter-node all-reduce; our NIC-aggregating hierarchical all-reduce
+    // softens the absolute factor but keeps the direction and convexity).
+    let ratio_fig4 = days_16k(&fig4, 3) / days_16k(&fig4, 0);
+    println!("fig4 (TPx 8 vs PP/DP-only): {:.1}x slower", ratio_fig4);
+    assert!(ratio_fig4 > 1.3, "shifting PP to TP must cost substantially");
+    for w in fig4[1..].windows(2) {
+        assert!(w[1][2] > w[0][2], "more TPinter must be monotonically slower");
+    }
+
+    // (4) pure DP beats pure PP across nodes (paper: ~18 vs ~21 days; our
+    // stricter bubble accounting widens the gap — see EXPERIMENTS.md).
+    let pp_only = days_16k(&fig6, 6).min(days_16k(&fig4, 0));
+    println!("pure-PP-ish inter: {pp_only:.1} d vs pure DP {dp_only:.1} d");
+    assert!(dp_only < pp_only, "DP must edge out PP inter-node");
+    assert!(pp_only < 2.0 * dp_only, "but not by an order of magnitude");
+    // and PP still beats TP-heavy mappings (conclusion 3).
+    assert!(pp_only < tp8_dp, "PP-inter must beat TP-inter");
+
+    // (1)+(VI-C) TP-intra keeps microbatch efficiency high for DP/PP-inter.
+    let eff = estimate(1, 1, 128, 16384).efficiency;
+    assert!(eff > 0.75, "DP=128 with batch 16384 must stay efficient, got {eff}");
+
+    // Larger batches never hurt the training time for the DP-only config
+    // (the per-batch count shrinks correspondingly).
+    let dp_days: Vec<f64> = fig6[0].clone();
+    assert!(dp_days[2] <= dp_days[0] * 1.2);
+
+    println!("\nall case-study-I conclusions hold");
+}

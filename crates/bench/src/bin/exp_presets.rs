@@ -1,0 +1,67 @@
+//! Tables I & IV: the experimental-setup tables, regenerated from the
+//! preset catalog.
+
+use amped_configs::{accelerators, registry};
+use amped_report::Table;
+
+fn main() {
+    println!("== Table I: validation setup (HGX-2 / V100 SXM3) ==");
+    let v100 = accelerators::v100();
+    let mut t1 = Table::new(["attribute", "value"]);
+    t1.row(["Node", "HGX-2 (up to 16 accelerators)"]);
+    t1.row(["Accelerator", v100.name().to_string().as_str()]);
+    t1.row(["Clock (boost)", &format!("{:.0} MHz", v100.frequency_hz() / 1e6)]);
+    t1.row(["Cores (SMs)", &v100.num_cores().to_string()]);
+    t1.row([
+        "Peak FP16",
+        &format!("{:.0} TFLOP/s", v100.peak_flops_per_sec(16) / 1e12),
+    ]);
+    t1.row([
+        "Memory (available)",
+        &format!("{:.2} GB", v100.memory_bytes() / 1e9),
+    ]);
+    t1.row([
+        "Memory bandwidth",
+        &format!("{:.0} GB/s", v100.memory_bandwidth_bytes_per_sec() / 1e9),
+    ]);
+    t1.row(["TDP", &format!("{:.0} W", v100.tdp_watts())]);
+    t1.row(["Intra-node network", "NVLink + NVSwitch"]);
+    println!("{t1}");
+
+    println!("\n== Table IV: accelerator configurations used in the exploration ==");
+    let mut t4 = Table::new([
+        "Hardware",
+        "f (Hz)",
+        "N_cores",
+        "N_FU",
+        "W_FU",
+        "N_FU_nl",
+        "W_FU_nl",
+        "BW_intra (b/s)",
+    ]);
+    for name in ["a100", "h100"] {
+        let a = registry::accelerator(name).expect("preset exists");
+        t4.row([
+            a.name().to_string(),
+            format!("{:.2e}", a.frequency_hz()),
+            a.num_cores().to_string(),
+            a.mac_units_per_core().to_string(),
+            a.mac_unit_width().to_string(),
+            a.nonlin_units().to_string(),
+            a.nonlin_unit_width().to_string(),
+            format!("{:.1e}", a.offchip_bandwidth_bits_per_sec()),
+        ]);
+    }
+    println!("{t4}");
+    amped_bench::write_result_file("table1_table4.csv", &t4.to_csv());
+
+    println!("\n== All registered presets ==");
+    let mut all = Table::new(["kind", "name"]);
+    for m in registry::model_names() {
+        all.row(["model", m]);
+    }
+    for a in registry::accelerator_names() {
+        all.row(["accel", a]);
+    }
+    println!("{all}");
+}

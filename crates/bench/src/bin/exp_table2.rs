@@ -1,0 +1,55 @@
+//! Table II: AMPeD-predicted vs published TFLOP/s/GPU for Megatron models
+//! (145B, 310B, 530B, 1T) with the published (TP, PP, DP) mappings, `R = 1`.
+
+use amped_bench::table2_estimate;
+use amped_configs::published;
+use amped_report::{ExperimentRecord, Table};
+
+fn main() {
+    let mut t = Table::new([
+        "Model",
+        "TP",
+        "PP",
+        "DP",
+        "ours TFLOP/s/GPU",
+        "paper AMPeD",
+        "published",
+        "our err",
+        "paper err",
+    ]);
+    let mut record = ExperimentRecord::new("Table II", "Megatron validation at scale");
+    for row in published::table2_rows() {
+        let e = table2_estimate(&row).expect("table II estimates");
+        let our_err = published::relative_error(e.tflops_per_gpu, row.published_tflops);
+        let their_err = published::relative_error(row.amped_tflops, row.published_tflops);
+        t.row([
+            row.model.to_string(),
+            row.tp.to_string(),
+            row.pp.to_string(),
+            row.dp.to_string(),
+            format!("{:.1}", e.tflops_per_gpu),
+            format!("{:.1}", row.amped_tflops),
+            format!("{:.1}", row.published_tflops),
+            format!("{:.1}%", our_err * 100.0),
+            format!("{:.1}%", their_err * 100.0),
+        ]);
+        record.compare(
+            format!("{} TFLOP/s/GPU", row.model),
+            row.published_tflops,
+            e.tflops_per_gpu,
+        );
+    }
+    println!("== Table II: comparison of performance, AMPeD vs published data ==");
+    println!("{t}");
+    println!(
+        "\nmax error vs published: {:.1}% (paper's bound: {:.0}%)",
+        record.max_error() * 100.0,
+        published::MAX_VALIDATION_ERROR * 100.0
+    );
+    assert!(
+        record.within(published::MAX_VALIDATION_ERROR),
+        "Table II reproduction exceeded the paper's 12% validation bound"
+    );
+    amped_bench::write_result_file("table2.csv", &t.to_csv());
+    amped_bench::write_result_file("table2.md", &record.to_markdown());
+}

@@ -1,0 +1,76 @@
+//! Table III: normalized GPipe training throughput on P100/PCIe with 32
+//! microbatches — published vs our model, plus a simulator cross-check the
+//! paper could not run.
+
+use amped_configs::{accelerators, efficiency, models, published, systems};
+use amped_core::{Estimator, MicrobatchPolicy, Parallelism, TrainingConfig};
+use amped_report::{ExperimentRecord, Table};
+use amped_sim::{PipelineSchedule, SimConfig};
+
+const MICROBATCHES: usize = 32;
+const GLOBAL_BATCH: usize = 64; // 32 microbatches of 2 samples
+
+fn main() {
+    let p100 = accelerators::p100();
+    let model = models::gpipe_transformer_24l();
+    let eff = efficiency::p100_gpipe();
+
+    let mut model_rate = Vec::new();
+    let mut sim_rate = Vec::new();
+    let gpu_counts: Vec<usize> = published::table3_rows().iter().map(|r| r.0).collect();
+    for &pp in &gpu_counts {
+        let system = systems::p100_pcie_node(pp);
+        let p = Parallelism::builder()
+            .pp(pp, 1)
+            .microbatches(MicrobatchPolicy::Explicit(MICROBATCHES))
+            .build()
+            .expect("valid mapping");
+        let est = Estimator::new(&model, &p100, &system, &p)
+            .with_efficiency(eff.clone())
+            .estimate(&TrainingConfig::single_batch(GLOBAL_BATCH).expect("valid"))
+            .expect("estimates");
+        model_rate.push(GLOBAL_BATCH as f64 / est.time_per_iteration.get());
+        let sim = SimConfig::new(&model, &p100, &system, &p)
+            .with_efficiency(eff.clone())
+            .with_schedule(PipelineSchedule::GPipe)
+            .simulate_iteration(GLOBAL_BATCH)
+            .expect("simulates");
+        sim_rate.push(GLOBAL_BATCH as f64 / sim.iteration_time);
+    }
+
+    let mut t = Table::new([
+        "GPUs",
+        "published (GPipe)",
+        "paper AMPeD",
+        "ours (model)",
+        "ours (sim)",
+        "our err",
+    ]);
+    let mut record = ExperimentRecord::new("Table III", "GPipe normalized throughput, M=32");
+    for (i, (gpus, published_speedup, paper_pred)) in published::table3_rows().iter().enumerate() {
+        let ours = model_rate[i] / model_rate[0];
+        let ours_sim = sim_rate[i] / sim_rate[0];
+        t.row([
+            gpus.to_string(),
+            format!("{published_speedup:.2}"),
+            format!("{paper_pred:.2}"),
+            format!("{ours:.2}"),
+            format!("{ours_sim:.2}"),
+            format!(
+                "{:.1}%",
+                published::relative_error(ours, *published_speedup) * 100.0
+            ),
+        ]);
+        record.compare(format!("{gpus} GPUs speedup"), *published_speedup, ours);
+    }
+    println!("== Table III: GPipe (PP) normalized training throughput, P100 + PCIe, M=32 ==");
+    println!("{t}");
+    println!("\nmax error vs published: {:.1}%", record.max_error() * 100.0);
+    assert!(
+        record.within(published::MAX_VALIDATION_ERROR),
+        "Table III reproduction exceeded the paper's 12% bound"
+    );
+
+    amped_bench::write_result_file("table3.csv", &t.to_csv());
+    amped_bench::write_result_file("table3.md", &record.to_markdown());
+}

@@ -1,0 +1,176 @@
+//! # amped-bench — experiment harness
+//!
+//! One binary per table/figure of the AMPeD paper (see `src/bin/`), plus
+//! Criterion benches of the library itself (see `benches/`). This library
+//! holds the setup shared by the experiment binaries: calibrated
+//! estimator/simulator constructors and CSV output helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use amped_configs::{accelerators, efficiency, models, systems};
+use amped_core::{
+    EngineOptions, Estimate, Estimator, MicrobatchPolicy, Parallelism, Result, SystemSpec,
+    TrainingConfig, TransformerModel,
+};
+
+/// The token budget assumed when the case studies quote training times in
+/// days (GPT-3-scale pretraining: 300 B tokens).
+pub const CASE_STUDY_TOKENS: f64 = 300e9;
+
+/// Training config for a case-study run: `CASE_STUDY_TOKENS` at the given
+/// global batch over 2048-token sequences.
+pub fn case_study_training(global_batch: usize) -> TrainingConfig {
+    TrainingConfig::from_tokens(global_batch, 2048, CASE_STUDY_TOKENS).expect("valid batch")
+}
+
+/// The case-study estimator: Megatron-145B-style settings on A100s with the
+/// calibrated efficiency curve and activation recomputation, as the
+/// published baselines use.
+pub fn case_study_estimate(
+    model: &TransformerModel,
+    system: &SystemSpec,
+    parallelism: &Parallelism,
+    global_batch: usize,
+) -> Result<Estimate> {
+    let a100 = accelerators::a100();
+    Estimator::new(model, &a100, system, parallelism)
+        .with_efficiency(efficiency::case_study())
+        .with_options(EngineOptions {
+            activation_recompute: true,
+            ..Default::default()
+        })
+        .estimate(&case_study_training(global_batch))
+}
+
+/// The Table II estimator for one published Megatron row: TP 8 in-node,
+/// PP × DP across nodes, single-sequence microbatches, `R = 1`.
+pub fn table2_estimate(row: &amped_configs::published::TableTwoRow) -> Result<Estimate> {
+    let model = match row.model {
+        "145B" => models::megatron_145b(),
+        "310B" => models::megatron_310b(),
+        "530B" => models::megatron_530b(),
+        "1T" => models::megatron_1t(),
+        other => panic!("unknown Table II row {other}"),
+    };
+    let nodes = row.tp * row.pp * row.dp / 8;
+    let system = systems::a100_hdr_cluster(nodes, 8);
+    let replica_batch = row.batch / row.dp;
+    let parallelism = Parallelism::builder()
+        .tp(8, 1)
+        .pp(1, row.pp)
+        .dp(1, row.dp)
+        .microbatches(MicrobatchPolicy::Explicit(replica_batch))
+        .build()?;
+    let a100 = accelerators::a100();
+    Estimator::new(&model, &a100, &system, &parallelism)
+        .with_efficiency(efficiency::megatron_selene())
+        .with_options(EngineOptions {
+            activation_recompute: true,
+            ..Default::default()
+        })
+        .estimate(&TrainingConfig::new(row.batch, 1)?)
+}
+
+/// The Fig. 2c estimator: GPT-3 175B on 96 A100s (TP 8 × PP 12), 96
+/// microbatches, swept by microbatch size `ub` (global batch `96·ub`).
+pub fn fig2c_estimate(ub: f64) -> Result<Estimate> {
+    let model = models::gpt3_175b();
+    let system = systems::a100_hdr_cluster(12, 8);
+    let parallelism = Parallelism::builder()
+        .tp(8, 1)
+        .pp(1, 12)
+        .microbatches(MicrobatchPolicy::Explicit(96))
+        .build()?;
+    let a100 = accelerators::a100();
+    Estimator::new(&model, &a100, &system, &parallelism)
+        .with_efficiency(efficiency::gpt3_96gpu())
+        .with_options(EngineOptions {
+            activation_recompute: true,
+            ..Default::default()
+        })
+        .estimate(&TrainingConfig::new((96.0 * ub) as usize, 1)?)
+}
+
+/// Case-study estimate with the microbatch count tuned per configuration:
+/// evaluates power-of-two microbatch sizes (the paper adjusts batch
+/// splitting "for optimal batch efficiency") and returns the fastest
+/// estimate.
+pub fn tuned_case_study_estimate(
+    model: &TransformerModel,
+    system: &SystemSpec,
+    parallelism: &Parallelism,
+    global_batch: usize,
+) -> Result<Estimate> {
+    let replica = (global_batch / parallelism.dp()).max(1);
+    let mut best: Option<Estimate> = None;
+    let mut ub = 1usize;
+    while ub <= replica {
+        let n_ub = replica.div_ceil(ub);
+        let candidate = parallelism.with_microbatches(MicrobatchPolicy::Explicit(n_ub));
+        let e = case_study_estimate(model, system, &candidate, global_batch)?;
+        if best
+            .as_ref()
+            .map(|b| e.total_time.get() < b.total_time.get())
+            .unwrap_or(true)
+        {
+            best = Some(e);
+        }
+        ub *= 2;
+    }
+    Ok(best.expect("at least one candidate evaluated"))
+}
+
+/// Write `content` to `results/<name>` under the workspace root, creating
+/// the directory if needed. Prints the path written. Errors are reported to
+/// stderr but do not abort an experiment (results also go to stdout).
+pub fn write_result_file(name: &str, content: &str) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(content.as_bytes())) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_configs::published;
+
+    #[test]
+    fn case_study_batch_counts() {
+        let t = case_study_training(16384);
+        // 300e9 / (16384 * 2048) = 8940.7 -> rounded up
+        assert_eq!(t.num_batches(), 8941);
+    }
+
+    #[test]
+    fn table2_rows_all_estimate() {
+        for row in published::table2_rows() {
+            let e = table2_estimate(&row).unwrap();
+            assert!(e.tflops_per_gpu > 50.0 && e.tflops_per_gpu < 400.0);
+        }
+    }
+
+    #[test]
+    fn fig2c_monotone_in_ub() {
+        let lo = fig2c_estimate(2.0).unwrap();
+        let hi = fig2c_estimate(32.0).unwrap();
+        assert!(hi.tflops_per_gpu > lo.tflops_per_gpu);
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal flag parsing for the `amped` binary (kept dependency-free).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, `--key value` flags and bare
+/// positionals.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first bare token (the subcommand).
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of tokens (usually `std::env::args().skip(1)`).
+    ///
+    /// `--key value` becomes a flag; `--key` followed by another `--flag`
+    /// or nothing becomes a boolean switch.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let is_value = iter
+                    .peek()
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if is_value {
+                    let value = iter.next().expect("peeked");
+                    out.flags.insert(key.to_string(), value);
+                } else {
+                    out.switches.push(key.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            }
+        }
+        out
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key`, or `default`.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parse `--key` as `T`, or return `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Whether the boolean switch `--key` was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Parse a `--tp 8,2`-style pair of intra,inter degrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed pairs.
+    pub fn degree_pair(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let parts: Vec<&str> = v.split(',').collect();
+                match parts.as_slice() {
+                    [a, b] => {
+                        let intra = a.parse().map_err(|_| format!("bad --{key}: {v}"))?;
+                        let inter = b.parse().map_err(|_| format!("bad --{key}: {v}"))?;
+                        Ok((intra, inter))
+                    }
+                    [a] => {
+                        let intra = a.parse().map_err(|_| format!("bad --{key}: {v}"))?;
+                        Ok((intra, 1))
+                    }
+                    _ => Err(format!("--{key} expects INTRA,INTER, got {v}")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = args("estimate --model gpt3 --batch 1536 --json");
+        assert_eq!(a.command.as_deref(), Some("estimate"));
+        assert_eq!(a.get("model"), Some("gpt3"));
+        assert_eq!(a.parse_or("batch", 0usize).unwrap(), 1536);
+        assert!(a.switch("json"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn degree_pairs() {
+        let a = args("x --tp 8,2 --pp 4");
+        assert_eq!(a.degree_pair("tp", (1, 1)).unwrap(), (8, 2));
+        assert_eq!(a.degree_pair("pp", (1, 1)).unwrap(), (4, 1));
+        assert_eq!(a.degree_pair("dp", (3, 3)).unwrap(), (3, 3));
+        assert!(args("x --tp a,b").degree_pair("tp", (1, 1)).is_err());
+        assert!(args("x --tp 1,2,3").degree_pair("tp", (1, 1)).is_err());
+    }
+
+    #[test]
+    fn bad_value_reports_key() {
+        let a = args("x --batch lots");
+        let err = a.parse_or("batch", 0usize).unwrap_err();
+        assert!(err.contains("--batch"));
+    }
+
+    #[test]
+    fn adjacent_switches() {
+        let a = args("run --fast --model m");
+        assert!(a.switch("fast"));
+        assert_eq!(a.get("model"), Some("m"));
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn parser_never_panics(tokens in prop::collection::vec("[-a-z0-9,.]{0,12}", 0..16)) {
+            let args = Args::parse(tokens.into_iter());
+            // Exercise the accessors too.
+            let _ = args.get("model");
+            let _ = args.get_or("accel", "a100");
+            let _ = args.switch("json");
+            let _ = args.parse_or::<usize>("batch", 1);
+            let _ = args.degree_pair("tp", (1, 1));
+        }
+
+        #[test]
+        fn flags_round_trip(key in "[a-z]{1,8}", value in "[a-z0-9]{1,8}") {
+            let args = Args::parse(vec![format!("--{key}"), value.clone()]);
+            prop_assert_eq!(args.get(&key), Some(value.as_str()));
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Subcommand implementations for the `amped` binary.
+
+use amped_configs::{interconnects, registry};
+use amped_core::{
+    EfficiencyModel, Estimator, Link, MicrobatchPolicy, Parallelism, Precision, SystemSpec,
+    TrainingConfig, TransformerModel,
+};
+use amped_memory::{MemoryModel, OptimizerSpec};
+use amped_report::Table;
+use amped_search::{EnumerationOptions, SearchEngine};
+use amped_sim::SimConfig;
+
+use crate::args::Args;
+
+const HELP: &str = "\
+amped — analytical model for performance in distributed training of transformers
+
+usage: amped <command> [flags]
+
+commands:
+  presets                     list model and accelerator presets
+  estimate                    predict training time for one mapping
+  detail                      per-layer attribution of an estimate
+  search                      rank all parallelism mappings on a system
+  recommend                   best mapping + lint + knob leverage in one shot
+  sweep                       batch-size sweep over named mappings (CSV)
+  simulate                    discrete-event simulation of one iteration
+  trace                       simulate and emit Chrome-trace JSON
+  memory                      per-device memory footprint of a mapping
+  energy                      energy, cost and CO2 of a run
+  sensitivity                 which knob moves the training time most
+  check                       lint a launch configuration for footguns
+  help                        this text
+
+common flags:
+  --model NAME                model preset (see `amped presets`)
+  --accel NAME                accelerator preset (v100|p100|a100|h100)
+  --nodes N                   number of nodes                  [default 1]
+  --per-node N                accelerators per node            [default 8]
+  --nics N                    NICs per node                    [default per-node]
+  --intra-gbps G              intra-node bandwidth, Gbit/s     [default 2400]
+  --inter-gbps G              per-NIC bandwidth, Gbit/s        [default 200]
+  --tp I[,X] --pp I[,X] --dp I[,X]   intra,inter parallel degrees
+  --batch B                   global batch size                [default 512]
+  --batches N                 number of batches                [default 1]
+  --microbatches N            explicit microbatch count
+  --eff E                     constant efficiency in (0,1]
+  --bits B                    uniform precision in bits        [default 16]
+  --json                      machine-readable output (estimate/search)
+  --top K                     rows to print for search         [default 10]
+  --config FILE               load a JSON scenario file instead of flags
+";
+
+/// Route a parsed command line to its implementation.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_deref() {
+        None | Some("help") => Ok(HELP.to_string()),
+        Some("presets") => presets(),
+        Some("estimate") => estimate(args),
+        Some("detail") => detail(args),
+        Some("search") => search(args),
+        Some("recommend") => recommend(args),
+        Some("sweep") => sweep(args),
+        Some("simulate") => simulate(args),
+        Some("trace") => trace(args),
+        Some("memory") => memory(args),
+        Some("energy") => energy(args),
+        Some("sensitivity") => sensitivity(args),
+        Some("check") => check(args),
+        Some(other) => Err(format!("unknown command `{other}`; try `amped help`")),
+    }
+}
+
+fn presets() -> Result<String, String> {
+    let mut t = Table::new(["kind", "name", "details"]);
+    for name in registry::model_names() {
+        let m = registry::model(name).expect("listed names resolve");
+        t.row([
+            "model".to_string(),
+            name.to_string(),
+            format!(
+                "{} layers, h={}, {} heads, {:.1}B params",
+                m.num_layers(),
+                m.hidden_size(),
+                m.num_heads(),
+                m.total_parameters() / 1e9
+            ),
+        ]);
+    }
+    for name in registry::accelerator_names() {
+        let a = registry::accelerator(name).expect("listed names resolve");
+        t.row([
+            "accel".to_string(),
+            name.to_string(),
+            format!(
+                "{:.0} TFLOP/s fp16 peak, {:.0} GiB",
+                a.peak_flops_per_sec(16) / 1e12,
+                a.memory_bytes() / (1u64 << 30) as f64
+            ),
+        ]);
+    }
+    Ok(t.to_ascii())
+}
+
+struct Setup {
+    model: TransformerModel,
+    accel: amped_core::AcceleratorSpec,
+    system: SystemSpec,
+    parallelism: Parallelism,
+    training: TrainingConfig,
+    precision: Precision,
+    efficiency: EfficiencyModel,
+}
+
+fn setup(args: &Args) -> Result<Setup, String> {
+    // A scenario file overrides the individual flags wholesale.
+    if let Some(path) = args.get("config") {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let resolved = amped_configs::scenario::ScenarioConfig::from_json(&json)
+            .and_then(|s| s.resolve())
+            .map_err(|e| e.to_string())?;
+        return Ok(Setup {
+            model: resolved.model,
+            accel: resolved.accelerator,
+            system: resolved.system,
+            parallelism: resolved.parallelism,
+            training: resolved.training,
+            precision: resolved.precision,
+            efficiency: resolved.efficiency,
+        });
+    }
+    let model_name = args.get_or("model", "gpt3-175b");
+    let model =
+        registry::model(model_name).ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let accel_name = args.get_or("accel", "a100");
+    let accel = registry::accelerator(accel_name)
+        .ok_or_else(|| format!("unknown accelerator `{accel_name}`"))?;
+
+    let nodes: usize = args.parse_or("nodes", 1)?;
+    let per_node: usize = args.parse_or("per-node", 8)?;
+    let nics: usize = args.parse_or("nics", per_node)?;
+    let intra_gbps: f64 = args.parse_or("intra-gbps", 2400.0)?;
+    let inter_gbps: f64 = args.parse_or("inter-gbps", 200.0)?;
+    let intra = Link::new(
+        interconnects::nvlink3().latency_s,
+        intra_gbps * 1e9,
+    )
+    .with_topology(amped_topo::Topology::FullyConnected);
+    let inter = Link::new(interconnects::infiniband_hdr().latency_s, inter_gbps * 1e9);
+    let system =
+        SystemSpec::new(nodes, per_node, intra, inter, nics).map_err(|e| e.to_string())?;
+
+    let (tp_i, tp_x) = args.degree_pair("tp", (1, 1))?;
+    let (pp_i, pp_x) = args.degree_pair("pp", (1, 1))?;
+    let (dp_i, dp_x) = args.degree_pair("dp", (per_node / tp_i.max(1) / pp_i.max(1), nodes / tp_x.max(1) / pp_x.max(1)))?;
+    let mut builder = Parallelism::builder();
+    builder.tp(tp_i, tp_x).pp(pp_i, pp_x).dp(dp_i, dp_x);
+    if let Some(n) = args.get("microbatches") {
+        let n: usize = n.parse().map_err(|_| "invalid --microbatches")?;
+        builder.microbatches(MicrobatchPolicy::Explicit(n));
+    }
+    let parallelism = builder.build().map_err(|e| e.to_string())?;
+
+    let batch: usize = args.parse_or("batch", 512)?;
+    let batches: u64 = args.parse_or("batches", 1)?;
+    let training = TrainingConfig::new(batch, batches).map_err(|e| e.to_string())?;
+
+    let bits: u32 = args.parse_or("bits", 16)?;
+    let precision = Precision::uniform(bits);
+    let efficiency = match args.get("eff") {
+        Some(v) => {
+            let e: f64 = v.parse().map_err(|_| "invalid --eff")?;
+            EfficiencyModel::Constant(e)
+        }
+        None => amped_configs::efficiency::case_study(),
+    };
+
+    Ok(Setup {
+        model,
+        accel,
+        system,
+        parallelism,
+        training,
+        precision,
+        efficiency,
+    })
+}
+
+fn estimate(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let estimate = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .estimate(&s.training)
+        .map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        serde_json::to_string_pretty(&estimate).map_err(|e| e.to_string())
+    } else {
+        Ok(format!(
+            "{} on {} x {} ({} nodes x {}/node)\n{}",
+            s.model.name(),
+            s.system.total_accelerators(),
+            s.accel.name(),
+            s.system.num_nodes(),
+            s.system.accels_per_node(),
+            estimate
+        ))
+    }
+}
+
+fn search(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .with_enumeration(EnumerationOptions::default());
+    let results = engine.search(&s.training).map_err(|e| e.to_string())?;
+    let top: usize = args.parse_or("top", 10)?;
+    if args.switch("json") {
+        let rows: Vec<serde_json::Value> = results
+            .iter()
+            .take(top)
+            .map(|c| {
+                serde_json::json!({
+                    "tp": [c.parallelism.tp_intra(), c.parallelism.tp_inter()],
+                    "pp": [c.parallelism.pp_intra(), c.parallelism.pp_inter()],
+                    "dp": [c.parallelism.dp_intra(), c.parallelism.dp_inter()],
+                    "days": c.estimate.days(),
+                    "tflops_per_gpu": c.estimate.tflops_per_gpu,
+                    "fits_memory": c.fits_memory,
+                })
+            })
+            .collect();
+        return serde_json::to_string_pretty(&rows).map_err(|e| e.to_string());
+    }
+    let mut t = Table::new(["#", "tp", "pp", "dp", "time", "TFLOP/s/GPU", "fits mem"]);
+    for (i, c) in results.iter().take(top).enumerate() {
+        t.row([
+            format!("{}", i + 1),
+            format!("{}x{}", c.parallelism.tp_intra(), c.parallelism.tp_inter()),
+            format!("{}x{}", c.parallelism.pp_intra(), c.parallelism.pp_inter()),
+            format!("{}x{}", c.parallelism.dp_intra(), c.parallelism.dp_inter()),
+            c.estimate.total_time.to_string(),
+            format!("{:.1}", c.estimate.tflops_per_gpu),
+            if c.fits_memory { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "{} candidate mappings for {} on {} accelerators; top {top}:\n{}",
+        results.len(),
+        s.model.name(),
+        s.system.total_accelerators(),
+        t.to_ascii()
+    ))
+}
+
+fn simulate(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let result = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .simulate_iteration(s.training.global_batch())
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "simulated iteration: {:.4} s  (mean utilization {:.1}%)\n",
+        result.iteration_time,
+        result.mean_utilization * 100.0
+    );
+    let devices = result.timeline.num_devices().min(16);
+    for d in 0..devices {
+        out.push_str(&format!(
+            "dev {d:>2} |{}| {:.0}%\n",
+            result.timeline.ascii_trace(d, 60),
+            result.device_stats[d].utilization(result.iteration_time) * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+fn detail(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let detailed = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .estimate_detailed(&s.training)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!("{detailed}
+
+hottest layers:
+");
+    for l in detailed.hottest_layers(5) {
+        out.push_str(&format!(
+            "  layer {:>3}: {:.3e} s ({:.1}% of the iteration)
+",
+            l.index,
+            l.total(),
+            l.total() / detailed.estimate.time_per_iteration.get() * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+fn recommend(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .with_memory_filter(true);
+    match engine.recommend(&s.training).map_err(|e| e.to_string())? {
+        Some(rec) => Ok(rec.to_string()),
+        None => Err("no memory-feasible mapping; shard more (TP/PP), enable                      recomputation, or use bigger devices"
+            .to_string()),
+    }
+}
+
+fn sweep(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    // Compare the canonical inter-node strategies at the given node shape,
+    // TP filling the node, across a batch ladder.
+    let per_node = s.system.accels_per_node();
+    let nodes = s.system.num_nodes();
+    let mut mappings: Vec<(String, Parallelism)> = Vec::new();
+    let dp = Parallelism::builder()
+        .tp(per_node, 1)
+        .dp(1, nodes)
+        .build()
+        .map_err(|e| e.to_string())?;
+    mappings.push(("dp-inter".into(), dp));
+    if nodes > 1 {
+        let pp_x = nodes.min(s.model.num_layers());
+        if nodes % pp_x == 0 {
+            let pp = Parallelism::builder()
+                .tp(per_node, 1)
+                .pp(1, pp_x)
+                .dp(1, nodes / pp_x)
+                .build()
+                .map_err(|e| e.to_string())?;
+            mappings.push(("pp-inter".into(), pp));
+        }
+        if s.model.num_heads() >= 2 * per_node && nodes % 2 == 0 {
+            let tp = Parallelism::builder()
+                .tp(per_node, 2)
+                .dp(1, nodes / 2)
+                .build()
+                .map_err(|e| e.to_string())?;
+            mappings.push(("tp-inter2".into(), tp));
+        }
+    }
+    let base = s.training.global_batch();
+    let batches: Vec<usize> = [1usize, 2, 4].iter().map(|m| base * m).collect();
+    let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency);
+    let sweep = amped_search::Sweep::run(&engine, &mappings, &batches, s.training.num_batches())
+        .map_err(|e| e.to_string())?;
+    let mut out = sweep.to_csv();
+    out.push_str("
+
+winners: ");
+    for (b, w) in sweep.winners() {
+        out.push_str(&format!("{b}:{w} "));
+    }
+    Ok(out)
+}
+
+fn trace(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let result = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .simulate_iteration(s.training.global_batch())
+        .map_err(|e| e.to_string())?;
+    Ok(amped_sim::trace::to_chrome_trace(&result.timeline))
+}
+
+fn energy(args: &Args) -> Result<String, String> {
+    use amped_energy::{CostModel, EnergyEstimate, PowerModel};
+    let s = setup(args)?;
+    let estimate = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .estimate(&s.training)
+        .map_err(|e| e.to_string())?;
+    let power = PowerModel::from_accelerator(&s.accel);
+    let energy =
+        EnergyEstimate::from_estimate(&estimate, &power, s.training.num_batches());
+    let cost = CostModel::cloud_a100();
+    Ok(format!(
+        "run: {} batches of {} on {} accelerators, {:.2} days
+         energy: {energy}
+         cost:   ${:.0} (cloud rates)   CO2: {:.1} t",
+        s.training.num_batches(),
+        s.training.global_batch(),
+        estimate.total_workers,
+        estimate.days(),
+        cost.usd(&energy, estimate.total_workers, estimate.total_time.get()),
+        cost.kg_co2(&energy) / 1000.0
+    ))
+}
+
+fn sensitivity(args: &Args) -> Result<String, String> {
+    use amped_core::SensitivityAnalysis;
+    let s = setup(args)?;
+    let factor: f64 = args.parse_or("factor", 2.0)?;
+    let analysis = SensitivityAnalysis::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency);
+    let tornado = analysis
+        .tornado(factor, &s.training)
+        .map_err(|e| e.to_string())?;
+    let mut t = Table::new(["knob", &format!("{factor}x better"), "speedup"]);
+    for r in &tornado {
+        t.row([
+            r.knob.name().to_string(),
+            format!("{:.3e} -> {:.3e} s/sample", r.baseline_per_sample, r.improved_per_sample),
+            format!("{:+.1}%", r.speedup() * 100.0),
+        ]);
+    }
+    Ok(format!(
+        "sensitivity of {} on {} accelerators (each knob improved {factor}x):
+{}",
+        s.model.name(),
+        s.system.total_accelerators(),
+        t.to_ascii()
+    ))
+}
+
+fn check(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let diagnostics =
+        amped_core::check_scenario(&s.model, &s.system, &s.parallelism, &s.training);
+    if diagnostics.is_empty() {
+        return Ok("configuration looks sane: no warnings".to_string());
+    }
+    let mut out = format!("{} finding(s):
+", diagnostics.len());
+    for d in diagnostics {
+        out.push_str(&format!("  {d}
+"));
+    }
+    Ok(out)
+}
+
+fn memory(args: &Args) -> Result<String, String> {
+    let s = setup(args)?;
+    let mem = MemoryModel::new(&s.model, &s.parallelism)
+        .with_precision(s.precision)
+        .with_optimizer(OptimizerSpec::adam_mixed_precision());
+    let ub = s.parallelism.microbatch_size(s.training.global_batch());
+    let n_ub = s.parallelism.num_microbatches(s.training.global_batch());
+    let fp = mem.footprint(ub, n_ub);
+    Ok(format!(
+        "per-device footprint at ub={ub:.1} x{n_ub}: {}\ncapacity {}: {}",
+        fp,
+        amped_core::units::format_bytes(s.accel.memory_bytes()),
+        if fp.total() <= s.accel.memory_bytes() {
+            "fits"
+        } else {
+            "DOES NOT FIT"
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str) -> Result<String, String> {
+        dispatch(&Args::parse(cmd.split_whitespace().map(String::from)))
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run("help").unwrap();
+        assert!(h.contains("estimate") && h.contains("search"));
+        assert_eq!(run("").unwrap(), h);
+    }
+
+    #[test]
+    fn presets_lists_models_and_accels() {
+        let p = run("presets").unwrap();
+        assert!(p.contains("gpt3-175b") && p.contains("a100"));
+    }
+
+    #[test]
+    fn estimate_runs_with_defaults() {
+        let out = run("estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64")
+            .unwrap();
+        assert!(out.contains("total"));
+        assert!(out.contains("TFLOP/s/GPU"));
+    }
+
+    #[test]
+    fn estimate_json_is_valid() {
+        let out =
+            run("estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --json")
+                .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("tflops_per_gpu").is_some());
+    }
+
+    #[test]
+    fn search_returns_table() {
+        let out =
+            run("search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 5")
+                .unwrap();
+        assert!(out.contains("candidate mappings"));
+    }
+
+    #[test]
+    fn simulate_prints_traces() {
+        let out = run("simulate --model mingpt-85m --accel v100 --per-node 4 --pp 4 --dp 1 --batch 16")
+            .unwrap();
+        assert!(out.contains("dev  0"));
+    }
+
+    #[test]
+    fn memory_reports_fit() {
+        let out = run("memory --model mingpt-85m --accel v100 --per-node 1 --dp 1 --batch 8").unwrap();
+        assert!(out.contains("fits") || out.contains("DOES NOT FIT"));
+    }
+
+    #[test]
+    fn detail_prints_hottest_layers() {
+        let out = run("detail --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64")
+            .unwrap();
+        assert!(out.contains("hottest layers"));
+        assert!(out.contains("dense"));
+    }
+
+    #[test]
+    fn recommend_gives_mapping_and_knob() {
+        let out = run("recommend --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 128")
+            .unwrap();
+        assert!(out.contains("recommended mapping"), "{out}");
+        assert!(out.contains("highest-leverage knob"), "{out}");
+    }
+
+    #[test]
+    fn sweep_emits_csv_and_winners() {
+        let out = run("sweep --model mingpt-85m --accel v100 --nodes 4 --per-node 2 --batch 64")
+            .unwrap();
+        assert!(out.starts_with("batch,dp-inter"));
+        assert!(out.contains("winners:"));
+    }
+
+    #[test]
+    fn trace_is_valid_chrome_json() {
+        let out = run("trace --model mingpt-85m --accel v100 --per-node 4 --pp 4 --dp 1 --batch 16")
+            .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(!v.as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn energy_reports_cost() {
+        let out = run("energy --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --batches 100")
+            .unwrap();
+        assert!(out.contains("MWh") && out.contains("CO2"));
+    }
+
+    #[test]
+    fn config_file_drives_estimate() {
+        let dir = std::env::temp_dir().join("amped-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "model": { "preset": "mingpt-85m" },
+                "accelerator": { "preset": "v100" },
+                "system": { "nodes": 1, "accels_per_node": 8,
+                            "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+                "parallelism": { "dp": [8, 1] },
+                "training": { "global_batch": 64, "num_batches": 2 }
+            }"#,
+        )
+        .unwrap();
+        let out = run(&format!("estimate --config {}", path.display())).unwrap();
+        assert!(out.contains("minGPT-85M"));
+        assert!(run("estimate --config /nonexistent.json").is_err());
+    }
+
+    #[test]
+    fn sensitivity_ranks_knobs() {
+        let out =
+            run("sensitivity --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64")
+                .unwrap();
+        assert!(out.contains("accelerator frequency"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn check_lints_bad_configs() {
+        // TP across nodes over the default HDR network: warned.
+        let out = run(
+            "check --model megatron-145b --accel a100 --nodes 4 --per-node 8 --nics 1 --tp 8,4 --dp 1,1 --batch 4096",
+        )
+        .unwrap();
+        assert!(out.contains("tp-inter-slow-links"), "{out}");
+        // A sane config is clean.
+        let ok = run(
+            "check --model megatron-145b --accel a100 --nodes 4 --per-node 8 --tp 8,1 --dp 1,4 --batch 4096",
+        )
+        .unwrap();
+        assert!(ok.contains("no warnings"), "{ok}");
+    }
+
+    #[test]
+    fn unknown_command_and_presets_error() {
+        assert!(run("frobnicate").is_err());
+        assert!(run("estimate --model nosuch").is_err());
+        assert!(run("estimate --accel nosuch").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `amped` — command line interface to the AMPeD performance model.
+//!
+//! Subcommands:
+//!
+//! * `presets` — list built-in model/accelerator presets
+//! * `estimate` — predict training time and breakdown for one mapping
+//! * `search` — rank every parallelism mapping on a system
+//! * `simulate` — run the discrete-event simulator on one mapping
+//! * `memory` — per-device memory footprint of a mapping
+//!
+//! Run `amped help` for flags.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = args::Args::parse(std::env::args().skip(1));
+    match commands::dispatch(&parsed) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Accelerator presets — the rows of the paper's Tables I and IV plus the
+//! P100 used by the GPipe validation.
+//!
+//! MAC-unit shapes follow the paper's convention of expressing unit width
+//! `W_FU` in lanes at the unit's *native* precision: the Table IV A100 row
+//! (`f = 1.41 GHz, N_cores = 108, N_FU = 4, W_FU = 512`) yields 312 T MAC/s
+//! at 8-bit — i.e. 312 TFLOP/s at FP16 after the Eq. 2 ceiling de-rating —
+//! matching the datasheet.
+
+use amped_core::AcceleratorSpec;
+
+/// Nvidia V100 SXM3 (Table I): 80 SMs, 8 tensor cores each performing 64
+/// FP16 MACs per cycle at 1.53 GHz boost → 125 TFLOP/s FP16 peak; 32 GiB
+/// HBM2 at 897 GB/s; NVLink2 off-chip at 2.4 Tbit/s; 250 W TDP.
+pub fn v100() -> AcceleratorSpec {
+    AcceleratorSpec::builder("V100")
+        .frequency_hz(1.53e9)
+        .cores(80)
+        .mac_units(8, 64, 16)
+        .nonlin_units(80, 128, 32)
+        .memory(31.75e9, 897e9)
+        .offchip_bandwidth_bits_per_sec(2.4e12)
+        .power(250.0, 0.25)
+        .build()
+        .expect("preset is valid")
+}
+
+/// Nvidia P100 SXM2 (the GPipe validation GPUs): 56 SMs, 64 FP32 cores each
+/// running FP16 at rate 2 (native 16-bit lanes, width 128) at 1.48 GHz →
+/// 21.2 TFLOP/s FP16; 16 GiB HBM2 at 732 GB/s; PCIe 3.0 x16 off-chip.
+pub fn p100() -> AcceleratorSpec {
+    AcceleratorSpec::builder("P100")
+        .frequency_hz(1.48e9)
+        .cores(56)
+        .mac_units(1, 128, 16)
+        .nonlin_units(56, 64, 32)
+        .memory(16e9, 732e9)
+        .offchip_bandwidth_bits_per_sec(128e9)
+        .power(300.0, 0.25)
+        .build()
+        .expect("preset is valid")
+}
+
+/// Nvidia A100 SXM (Table IV row 1): `f = 1.41 GHz`, 108 cores, 4 MAC units
+/// of width 512 (8-bit lanes), 192 non-linear units of width 4;
+/// `BW_intra = 2.4 Tbit/s`; 80 GiB HBM2e at 2.0 TB/s; 400 W.
+pub fn a100() -> AcceleratorSpec {
+    AcceleratorSpec::builder("A100")
+        .frequency_hz(1.41e9)
+        .cores(108)
+        .mac_units(4, 512, 8)
+        .nonlin_units(192, 4, 32)
+        .memory(80e9, 2.0e12)
+        .offchip_bandwidth_bits_per_sec(2.4e12)
+        .power(400.0, 0.3)
+        .build()
+        .expect("preset is valid")
+}
+
+/// Nvidia H100 SXM (Table IV row 2): `f = 1.8 GHz`, 132 cores, 4 MAC units
+/// of width 1024 (8-bit lanes) → 973 T MAC/s at 8-bit, 320 non-linear units
+/// of width 4; `BW_intra = 3.6 Tbit/s`; 80 GiB HBM3 at 3.35 TB/s; 700 W.
+pub fn h100() -> AcceleratorSpec {
+    AcceleratorSpec::builder("H100")
+        .frequency_hz(1.8e9)
+        .cores(132)
+        .mac_units(4, 1024, 8)
+        .nonlin_units(320, 4, 32)
+        .memory(80e9, 3.35e12)
+        .offchip_bandwidth_bits_per_sec(3.6e12)
+        .power(700.0, 0.3)
+        .build()
+        .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_table_iv() {
+        let a = a100();
+        assert!((a.frequency_hz() - 1.41e9).abs() < 1.0);
+        assert_eq!(a.num_cores(), 108);
+        assert_eq!(a.mac_units_per_core(), 4);
+        assert_eq!(a.mac_unit_width(), 512);
+        assert_eq!(a.nonlin_units(), 192);
+        assert!((a.offchip_bandwidth_bits_per_sec() - 2.4e12).abs() < 1.0);
+        // Peak FP16: ~312 TFLOP/s.
+        assert!((a.peak_flops_per_sec(16) / 1e12 - 312.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn h100_matches_table_iv() {
+        let h = h100();
+        assert_eq!(h.num_cores(), 132);
+        assert_eq!(h.mac_unit_width(), 1024);
+        assert_eq!(h.nonlin_units(), 320);
+        // Peak FP8: ~1.95 PFLOP/s (2 * 1.8e9 * 132 * 4 * 1024).
+        assert!((h.peak_flops_per_sec(8) / 1e15 - 1.95).abs() < 0.05);
+    }
+
+    #[test]
+    fn v100_peak_near_datasheet() {
+        // 125 TFLOP/s FP16 tensor peak.
+        let v = v100();
+        assert!((v.peak_flops_per_sec(16) / 1e12 - 125.0).abs() < 5.0);
+        assert!((v.memory_bytes() - 31.75e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn p100_peak_near_datasheet() {
+        // 21.2 TFLOP/s FP16.
+        let p = p100();
+        assert!((p.peak_flops_per_sec(16) / 1e12 - 21.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn generational_ordering_holds() {
+        assert!(p100().peak_flops_per_sec(16) < v100().peak_flops_per_sec(16));
+        assert!(v100().peak_flops_per_sec(16) < a100().peak_flops_per_sec(16));
+        assert!(a100().peak_flops_per_sec(16) < h100().peak_flops_per_sec(16));
+    }
+}

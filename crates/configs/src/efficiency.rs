@@ -1,0 +1,88 @@
+//! Calibrated microbatch-efficiency models.
+//!
+//! The paper fits `eff(ub) = a·ub/(b+ub)` per application × hardware pair
+//! and quotes the resulting efficiencies (≈80 % for large microbatches on
+//! A100s with TP-intra mappings, ≈30 % for high-DP mappings, a 25 % floor
+//! in case study I). These presets encode those fits; the experiment
+//! harness uses them wherever the paper used its empirically derived
+//! factors.
+
+use amped_core::EfficiencyModel;
+
+/// The case-study efficiency curve for A100/H100-class accelerators: fitted
+/// to the utilizations the paper quotes — "up to 80 %" for TP-intra
+/// mappings whose replica batch stays large (`ub ≈ 128`) and "only 30 %"
+/// for DP-heavy mappings that shrink the microbatch to ~16 — with the 25 %
+/// lower clamp the paper notes as an artifact of its choice.
+pub fn case_study() -> EfficiencyModel {
+    EfficiencyModel::saturating(0.92, 25.0, 0.25, 0.92)
+}
+
+/// The V100 curve used for the minGPT validation runs: smaller model layers
+/// reach lower peak utilization and need bigger microbatches.
+pub fn v100_mingpt() -> EfficiencyModel {
+    EfficiencyModel::saturating(0.55, 6.0, 0.05, 0.55)
+}
+
+/// The P100 curve for the GPipe validation (memory-capped microbatches keep
+/// utilization moderate).
+pub fn p100_gpipe() -> EfficiencyModel {
+    EfficiencyModel::saturating(0.50, 3.0, 0.05, 0.50)
+}
+
+/// The Megatron-on-Selene fit used for Table II: the published 145B–1T runs
+/// use a microbatch of a single 2048-token *sequence*, which keeps the
+/// GEMMs fat regardless of the sample count — so the per-sample saturating
+/// form is the wrong axis and the fitted efficiency is a constant, as the
+/// paper's own use of "empirically derived efficiency factors" permits.
+pub fn megatron_selene() -> EfficiencyModel {
+    EfficiencyModel::Constant(0.60)
+}
+
+/// The GPT-3-on-96-GPUs fit used for Fig. 2c, where the paper sweeps the
+/// microbatch size itself and the saturating form is exactly right
+/// (Megatron's 96-GPU 175B configuration: TP 8 × PP 12, 96 microbatches).
+pub fn gpt3_96gpu() -> EfficiencyModel {
+    EfficiencyModel::saturating(0.68, 5.0, 0.02, 0.98)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for m in [
+            case_study(),
+            v100_mingpt(),
+            p100_gpipe(),
+            megatron_selene(),
+            gpt3_96gpu(),
+        ] {
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn case_study_reaches_paper_quoted_levels() {
+        let m = case_study();
+        // "up to 80%" for TP-intra mappings with healthy microbatches:
+        assert!(m.eval(128.0) >= 0.75);
+        // "only 30%" for DP-heavy mappings with ub ~ 16:
+        assert!((m.eval(16.0) - 0.32).abs() < 0.06);
+        // the 25% floor artifact:
+        assert!((m.eval(0.01) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        for m in [case_study(), v100_mingpt(), p100_gpipe(), gpt3_96gpu()] {
+            let mut prev = 0.0;
+            for ub in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0] {
+                let e = m.eval(ub);
+                assert!(e >= prev);
+                prev = e;
+            }
+        }
+    }
+}

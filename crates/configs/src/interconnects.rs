@@ -1,0 +1,89 @@
+//! Interconnect presets: intra-node fabrics and inter-node NICs.
+//!
+//! All bandwidths are **bits per second per endpoint** (per accelerator for
+//! intra-node fabrics, per NIC for inter-node networks), matching the
+//! `BW_intra`/`BW_inter` convention of the paper's equations.
+
+use amped_core::Link;
+use amped_topo::Topology;
+
+/// NVLink 2 (V100 generation): 300 GB/s aggregate per GPU = 2.4 Tbit/s,
+/// switched through NVSwitch on HGX-2.
+pub fn nvlink2() -> Link {
+    Link::new(5e-6, 2.4e12).with_topology(Topology::FullyConnected)
+}
+
+/// NVLink 3 (A100 generation, Table IV's `BW_intra` = 2.4 Tbit/s).
+pub fn nvlink3() -> Link {
+    Link::new(5e-6, 2.4e12).with_topology(Topology::FullyConnected)
+}
+
+/// NVLink 4 (H100 generation, Table IV's `BW_intra` = 3.6 Tbit/s).
+pub fn nvlink4() -> Link {
+    Link::new(4e-6, 3.6e12).with_topology(Topology::FullyConnected)
+}
+
+/// PCIe 3.0 x16: 16 GB/s = 128 Gbit/s per direction (the GPipe validation
+/// interconnect), ring-ordered peer transfers.
+pub fn pcie3() -> Link {
+    Link::new(8e-6, 128e9).with_topology(Topology::Ring)
+}
+
+/// InfiniBand EDR: 100 Gbit/s per NIC (case study II's low-end network).
+pub fn infiniband_edr() -> Link {
+    Link::new(1.2e-5, 100e9).with_topology(Topology::Ring)
+}
+
+/// InfiniBand HDR: 200 Gbit/s per NIC (case study I's cluster network).
+pub fn infiniband_hdr() -> Link {
+    Link::new(1e-5, 200e9).with_topology(Topology::Ring)
+}
+
+/// InfiniBand NDR: 400 Gbit/s per NIC (case study III's reference network).
+pub fn infiniband_ndr() -> Link {
+    Link::new(1e-5, 400e9).with_topology(Topology::Ring)
+}
+
+/// An optical communication substrate inside the node (case study III):
+/// every accelerator connects at its full off-chip bandwidth
+/// `offchip_bw_bps` through a passive optical crossbar with sub-microsecond
+/// latency.
+pub fn optical_substrate(offchip_bw_bps: f64) -> Link {
+    Link::new(2e-7, offchip_bw_bps).with_topology(Topology::FullyConnected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering() {
+        assert!(pcie3().bandwidth_bits_per_sec < nvlink2().bandwidth_bits_per_sec);
+        assert!(infiniband_edr().bandwidth_bits_per_sec < infiniband_hdr().bandwidth_bits_per_sec);
+        assert!(infiniband_hdr().bandwidth_bits_per_sec < infiniband_ndr().bandwidth_bits_per_sec);
+        assert!(nvlink3().bandwidth_bits_per_sec < nvlink4().bandwidth_bits_per_sec);
+    }
+
+    #[test]
+    fn all_links_validate() {
+        for l in [
+            nvlink2(),
+            nvlink3(),
+            nvlink4(),
+            pcie3(),
+            infiniband_edr(),
+            infiniband_hdr(),
+            infiniband_ndr(),
+            optical_substrate(2.4e12),
+        ] {
+            l.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn optical_takes_offchip_bandwidth() {
+        let o = optical_substrate(9.9e12);
+        assert_eq!(o.bandwidth_bits_per_sec, 9.9e12);
+        assert!(o.latency_s < 1e-6);
+    }
+}

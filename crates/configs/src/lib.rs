@@ -1,0 +1,117 @@
+//! # amped-configs — preset catalog
+//!
+//! Single source of truth for every concrete number the AMPeD paper uses:
+//! accelerators (Tables I and IV), interconnects, transformer models
+//! (validation models and case-study models), systems (HGX-2, A100/H100
+//! clusters, low-end variants, optical-substrate nodes) and the published
+//! reference measurements the paper validates against (Table II, Table III,
+//! Fig. 2c).
+//!
+//! # Example
+//!
+//! ```
+//! use amped_configs::{accelerators, models, systems};
+//!
+//! let a100 = accelerators::a100();
+//! assert_eq!(a100.name(), "A100");
+//!
+//! let megatron = models::megatron_145b();
+//! assert!((megatron.total_parameters() / 1e9 - 145.0).abs() < 10.0);
+//!
+//! let cluster = systems::a100_hdr_cluster(128, 8);
+//! assert_eq!(cluster.total_accelerators(), 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerators;
+pub mod efficiency;
+pub mod interconnects;
+pub mod models;
+pub mod optical;
+pub mod published;
+pub mod scenario;
+pub mod systems;
+
+/// Named lookup across all preset families, for CLI `--model`/`--accel`
+/// style flags. Returns `None` for unknown names.
+pub mod registry {
+    use amped_core::{AcceleratorSpec, TransformerModel};
+
+    /// Accelerator preset by name (case-insensitive).
+    pub fn accelerator(name: &str) -> Option<AcceleratorSpec> {
+        match name.to_ascii_lowercase().as_str() {
+            "v100" => Some(super::accelerators::v100()),
+            "p100" => Some(super::accelerators::p100()),
+            "a100" => Some(super::accelerators::a100()),
+            "h100" => Some(super::accelerators::h100()),
+            _ => None,
+        }
+    }
+
+    /// Model preset by name (case-insensitive).
+    pub fn model(name: &str) -> Option<TransformerModel> {
+        match name.to_ascii_lowercase().as_str() {
+            "mingpt" | "mingpt-85m" => Some(super::models::mingpt_85m()),
+            "mingpt-pp" | "mingpt-pp-16l" => Some(super::models::mingpt_pp()),
+            "gpt3" | "gpt3-175b" => Some(super::models::gpt3_175b()),
+            "megatron-145b" => Some(super::models::megatron_145b()),
+            "megatron-310b" => Some(super::models::megatron_310b()),
+            "megatron-530b" => Some(super::models::megatron_530b()),
+            "megatron-1t" => Some(super::models::megatron_1t()),
+            "glam" | "glam-64e" => Some(super::models::glam_64e()),
+            "gpipe-24l" => Some(super::models::gpipe_transformer_24l()),
+            "gpt2-xl" => Some(super::models::gpt2_xl()),
+            "llama-65b" => Some(super::models::llama_65b()),
+            "bert-large" => Some(super::models::bert_large()),
+            _ => None,
+        }
+    }
+
+    /// All accelerator preset names.
+    pub fn accelerator_names() -> &'static [&'static str] {
+        &["v100", "p100", "a100", "h100"]
+    }
+
+    /// All model preset names.
+    pub fn model_names() -> &'static [&'static str] {
+        &[
+            "mingpt-85m",
+            "mingpt-pp",
+            "gpt3-175b",
+            "megatron-145b",
+            "megatron-310b",
+            "megatron-530b",
+            "megatron-1t",
+            "glam-64e",
+            "gpipe-24l",
+            "gpt2-xl",
+            "llama-65b",
+            "bert-large",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::registry;
+
+    #[test]
+    fn registry_resolves_every_listed_name() {
+        for name in registry::accelerator_names() {
+            assert!(registry::accelerator(name).is_some(), "{name}");
+        }
+        for name in registry::model_names() {
+            assert!(registry::model(name).is_some(), "{name}");
+        }
+        assert!(registry::accelerator("tpu-v9").is_none());
+        assert!(registry::model("llama").is_none());
+    }
+
+    #[test]
+    fn registry_is_case_insensitive() {
+        assert!(registry::accelerator("A100").is_some());
+        assert!(registry::model("GPT3-175B").is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Case study III: node architectures built on optical communication
+//! substrates.
+//!
+//! A substrate carries a `rows × cols` grid of accelerators, each connected
+//! at its full off-chip bandwidth (*Opt. 2*); accelerators on the substrate
+//! *edge* additionally get a dedicated fiber to other nodes, so the node's
+//! inter-node bandwidth is `edge_count × offchip_bw` (*Opt. 1*). Future
+//! accelerators can raise the off-chip bandwidth itself (*Opt. 3*) because
+//! the electrical hop to the substrate is millimetres long.
+
+use amped_core::{AcceleratorSpec, SystemSpec};
+
+use crate::interconnects;
+
+/// Number of accelerators on the perimeter of a `rows × cols` substrate —
+/// the ones that get a dedicated inter-node fiber.
+///
+/// Matches the paper's counts: 4×2 → 8, 4×4 → 12, 4×8 → 20, 6×8 → 24.
+pub fn substrate_edge_count(rows: usize, cols: usize) -> usize {
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    if rows <= 2 || cols <= 2 {
+        rows * cols
+    } else {
+        2 * (rows + cols) - 4
+    }
+}
+
+/// A cluster of optical-substrate nodes: `total_accels` accelerators in
+/// `rows × cols` substrates, intra-node at the accelerator's off-chip
+/// bandwidth through the substrate, inter-node over `edge_count` fibers per
+/// node each carrying one off-chip bandwidth (*Opt. 1 + Opt. 2*).
+///
+/// # Panics
+///
+/// Panics if `total_accels` is not divisible by the substrate size.
+pub fn optical_cluster(accel: &AcceleratorSpec, total_accels: usize, rows: usize, cols: usize) -> SystemSpec {
+    let per_node = rows * cols;
+    assert!(per_node > 0, "substrate must hold at least one accelerator");
+    assert!(
+        total_accels.is_multiple_of(per_node),
+        "total accelerators ({total_accels}) must divide into {rows}x{cols} substrates"
+    );
+    let offchip = accel.offchip_bandwidth_bits_per_sec();
+    let fiber = interconnects::optical_substrate(offchip);
+    SystemSpec::new(
+        total_accels / per_node,
+        per_node,
+        interconnects::optical_substrate(offchip),
+        fiber,
+        substrate_edge_count(rows, cols),
+    )
+    .expect("optical preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerators;
+
+    #[test]
+    fn edge_counts_match_paper() {
+        assert_eq!(substrate_edge_count(4, 2), 8);
+        assert_eq!(substrate_edge_count(4, 4), 12);
+        assert_eq!(substrate_edge_count(4, 8), 20);
+        assert_eq!(substrate_edge_count(6, 8), 24);
+        assert_eq!(substrate_edge_count(1, 5), 5);
+        assert_eq!(substrate_edge_count(0, 5), 0);
+    }
+
+    #[test]
+    fn opt1_raises_inter_bandwidth_per_accel() {
+        let h = accelerators::h100();
+        let reference = crate::systems::h100_ndr_cluster(384, 8);
+        let optical = optical_cluster(&h, 3072, 4, 2);
+        assert_eq!(optical.total_accelerators(), 3072);
+        // 8 fibers x 3.6 Tbit/s for 8 accels = 3.6 Tbit/s per accel,
+        // versus 0.4 Tbit/s per accel over NDR.
+        assert!(optical.inter_bandwidth_per_accel() > 8.0 * reference.inter_bandwidth_per_accel());
+    }
+
+    #[test]
+    fn bigger_substrates_have_fewer_fibers_per_accel() {
+        let h = accelerators::h100();
+        let small = optical_cluster(&h, 3072, 4, 2);
+        let large = optical_cluster(&h, 3072, 6, 8);
+        assert!(
+            large.inter_bandwidth_per_accel() < small.inter_bandwidth_per_accel(),
+            "48-accel nodes share 24 fibers; 8-accel nodes get one each"
+        );
+        assert_eq!(large.accels_per_node(), 48);
+        assert_eq!(large.num_nodes(), 64);
+    }
+
+    #[test]
+    fn opt3_scales_through_offchip_bandwidth() {
+        let h = accelerators::h100();
+        let fast = h.with_offchip_bandwidth_scaled(4.0);
+        let sys = optical_cluster(&fast, 3072, 6, 8);
+        let base = optical_cluster(&h, 3072, 6, 8);
+        assert!((sys.intra().bandwidth_bits_per_sec
+            / base.intra().bandwidth_bits_per_sec
+            - 4.0)
+            .abs()
+            < 1e-9);
+        assert!((sys.inter_bandwidth_per_accel() / base.inter_bandwidth_per_accel() - 4.0).abs()
+            < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_total_rejected() {
+        optical_cluster(&accelerators::h100(), 1000, 6, 8);
+    }
+}

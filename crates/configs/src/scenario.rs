@@ -1,0 +1,306 @@
+//! Scenario files: a complete (model, accelerator, system, parallelism,
+//! training) bundle as one serde document, so experiments can be defined,
+//! versioned and shared as JSON instead of code.
+
+use amped_core::{
+    AcceleratorSpec, EfficiencyModel, EngineOptions, Error, Link, Parallelism, Precision,
+    Result, SystemSpec, TrainingConfig, TransformerModel,
+};
+use serde::{Deserialize, Serialize};
+
+/// A self-contained experiment definition.
+///
+/// Presets can be referenced by name (`"preset:a100"`) or spelled out
+/// inline; see [`ScenarioConfig::resolve`].
+///
+/// # Example
+///
+/// ```
+/// use amped_configs::scenario::ScenarioConfig;
+///
+/// let json = r#"{
+///   "model": { "preset": "megatron-145b" },
+///   "accelerator": { "preset": "a100" },
+///   "system": { "nodes": 128, "accels_per_node": 8,
+///               "intra_gbps": 2400.0, "inter_gbps": 200.0, "nics_per_node": 8 },
+///   "parallelism": { "tp": [8, 1], "pp": [1, 2], "dp": [1, 64] },
+///   "training": { "global_batch": 8192, "num_batches": 10 },
+///   "precision_bits": 16
+/// }"#;
+/// let scenario = ScenarioConfig::from_json(json).unwrap();
+/// let resolved = scenario.resolve().unwrap();
+/// assert_eq!(resolved.system.total_accelerators(), 1024);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// The transformer (preset reference or inline spec).
+    pub model: ModelRef,
+    /// The accelerator (preset reference or inline spec).
+    pub accelerator: AcceleratorRef,
+    /// The cluster shape and links.
+    pub system: SystemConfig,
+    /// The parallelism mapping.
+    pub parallelism: ParallelismConfig,
+    /// Batch size and count.
+    pub training: TrainingSection,
+    /// Uniform precision in bits (default 16).
+    #[serde(default = "default_bits")]
+    pub precision_bits: u32,
+    /// Constant efficiency override in (0, 1]; `None` uses the calibrated
+    /// case-study curve.
+    #[serde(default)]
+    pub efficiency: Option<f64>,
+    /// Enable activation recomputation (default false).
+    #[serde(default)]
+    pub activation_recompute: bool,
+}
+
+fn default_bits() -> u32 {
+    16
+}
+
+/// A model either by preset name or as an inline spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ModelRef {
+    /// `{ "preset": "gpt3-175b" }`
+    Preset {
+        /// Preset name from [`crate::registry::model_names`].
+        preset: String,
+    },
+    /// A full inline [`TransformerModel`].
+    Inline(TransformerModel),
+}
+
+/// An accelerator either by preset name or as an inline spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum AcceleratorRef {
+    /// `{ "preset": "a100" }`
+    Preset {
+        /// Preset name from [`crate::registry::accelerator_names`].
+        preset: String,
+    },
+    /// A full inline [`AcceleratorSpec`].
+    Inline(AcceleratorSpec),
+}
+
+/// Cluster shape plus link speeds in Gbit/s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Accelerators per node.
+    pub accels_per_node: usize,
+    /// Intra-node bandwidth per accelerator, Gbit/s.
+    pub intra_gbps: f64,
+    /// Per-NIC inter-node bandwidth, Gbit/s.
+    pub inter_gbps: f64,
+    /// NICs per node.
+    pub nics_per_node: usize,
+}
+
+/// Parallel degrees as `[intra, inter]` pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Tensor-parallel `[intra, inter]`.
+    #[serde(default = "one_one")]
+    pub tp: [usize; 2],
+    /// Pipeline-parallel `[intra, inter]`.
+    #[serde(default = "one_one")]
+    pub pp: [usize; 2],
+    /// Data-parallel `[intra, inter]`.
+    #[serde(default = "one_one")]
+    pub dp: [usize; 2],
+    /// Explicit microbatch count (optional).
+    #[serde(default)]
+    pub microbatches: Option<usize>,
+}
+
+fn one_one() -> [usize; 2] {
+    [1, 1]
+}
+
+/// Batch size and count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainingSection {
+    /// Global batch size in sequences.
+    pub global_batch: usize,
+    /// Number of optimizer steps.
+    pub num_batches: u64,
+}
+
+/// A [`ScenarioConfig`] with every reference resolved into concrete specs,
+/// ready to feed the estimator or the simulator.
+#[derive(Debug, Clone)]
+pub struct ResolvedScenario {
+    /// The transformer.
+    pub model: TransformerModel,
+    /// The accelerator.
+    pub accelerator: AcceleratorSpec,
+    /// The cluster.
+    pub system: SystemSpec,
+    /// The mapping.
+    pub parallelism: Parallelism,
+    /// The run.
+    pub training: TrainingConfig,
+    /// Operand precisions.
+    pub precision: Precision,
+    /// Microbatch-efficiency model.
+    pub efficiency: EfficiencyModel,
+    /// Engine options.
+    pub options: EngineOptions,
+}
+
+impl ScenarioConfig {
+    /// Parse a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| Error::invalid("scenario", format!("malformed JSON: {e}")))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Resolve preset references and validate everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown preset names or specs that fail their
+    /// own validation.
+    pub fn resolve(&self) -> Result<ResolvedScenario> {
+        let model = match &self.model {
+            ModelRef::Preset { preset } => crate::registry::model(preset)
+                .ok_or_else(|| Error::invalid("scenario", format!("unknown model preset `{preset}`")))?,
+            ModelRef::Inline(m) => m.clone(),
+        };
+        let accelerator = match &self.accelerator {
+            AcceleratorRef::Preset { preset } => crate::registry::accelerator(preset)
+                .ok_or_else(|| {
+                    Error::invalid("scenario", format!("unknown accelerator preset `{preset}`"))
+                })?,
+            AcceleratorRef::Inline(a) => a.clone(),
+        };
+        let system = SystemSpec::new(
+            self.system.nodes,
+            self.system.accels_per_node,
+            Link::new(crate::interconnects::nvlink3().latency_s, self.system.intra_gbps * 1e9),
+            Link::new(
+                crate::interconnects::infiniband_hdr().latency_s,
+                self.system.inter_gbps * 1e9,
+            ),
+            self.system.nics_per_node,
+        )?;
+        let mut builder = Parallelism::builder();
+        builder
+            .tp(self.parallelism.tp[0], self.parallelism.tp[1])
+            .pp(self.parallelism.pp[0], self.parallelism.pp[1])
+            .dp(self.parallelism.dp[0], self.parallelism.dp[1]);
+        if let Some(n) = self.parallelism.microbatches {
+            builder.microbatches(amped_core::MicrobatchPolicy::Explicit(n));
+        }
+        let parallelism = builder.build()?;
+        parallelism.validate_against(&system, &model)?;
+        let training =
+            TrainingConfig::new(self.training.global_batch, self.training.num_batches)?;
+        let efficiency = match self.efficiency {
+            Some(e) => EfficiencyModel::Constant(e),
+            None => crate::efficiency::case_study(),
+        };
+        efficiency.validate()?;
+        Ok(ResolvedScenario {
+            model,
+            accelerator,
+            system,
+            parallelism,
+            training,
+            precision: Precision::uniform(self.precision_bits),
+            efficiency,
+            options: EngineOptions {
+                activation_recompute: self.activation_recompute,
+                ..Default::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "model": { "preset": "megatron-145b" },
+        "accelerator": { "preset": "a100" },
+        "system": { "nodes": 16, "accels_per_node": 8,
+                    "intra_gbps": 2400.0, "inter_gbps": 200.0, "nics_per_node": 8 },
+        "parallelism": { "tp": [8, 1], "dp": [1, 16] },
+        "training": { "global_batch": 2048, "num_batches": 5 }
+    }"#;
+
+    #[test]
+    fn sample_resolves_and_estimates() {
+        let s = ScenarioConfig::from_json(SAMPLE).unwrap().resolve().unwrap();
+        assert_eq!(s.system.total_accelerators(), 128);
+        assert_eq!(s.parallelism.tp(), 8);
+        let e = amped_core::Estimator::new(
+            &s.model,
+            &s.accelerator,
+            &s.system,
+            &s.parallelism,
+        )
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency)
+        .with_options(s.options)
+        .estimate(&s.training)
+        .unwrap();
+        assert!(e.total_time.get() > 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_scenario() {
+        let s = ScenarioConfig::from_json(SAMPLE).unwrap();
+        let again = ScenarioConfig::from_json(&s.to_json()).unwrap();
+        assert_eq!(again.training.global_batch, 2048);
+        assert_eq!(again.precision_bits, 16);
+    }
+
+    #[test]
+    fn unknown_presets_are_reported() {
+        let bad = SAMPLE.replace("megatron-145b", "nonexistent");
+        let err = ScenarioConfig::from_json(&bad).unwrap().resolve().unwrap_err();
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn inline_model_works() {
+        let json = r#"{
+            "model": { "name": "inline", "num_layers": 4, "hidden_size": 256,
+                       "num_heads": 8, "seq_len": 64, "vocab_size": 1000,
+                       "ffn_mult": 4.0, "moe": null, "include_head": true },
+            "accelerator": { "preset": "v100" },
+            "system": { "nodes": 1, "accels_per_node": 4,
+                        "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+            "parallelism": { "dp": [4, 1] },
+            "training": { "global_batch": 16, "num_batches": 1 }
+        }"#;
+        let s = ScenarioConfig::from_json(json).unwrap().resolve().unwrap();
+        assert_eq!(s.model.num_layers(), 4);
+    }
+
+    #[test]
+    fn invalid_mapping_rejected_at_resolve() {
+        let bad = SAMPLE.replace("\"tp\": [8, 1]", "\"tp\": [4, 1]");
+        assert!(ScenarioConfig::from_json(&bad).unwrap().resolve().is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ScenarioConfig::from_json("{not json").is_err());
+    }
+}

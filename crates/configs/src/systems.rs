@@ -1,0 +1,117 @@
+//! System presets: the clusters of the validation and case studies.
+
+use amped_core::SystemSpec;
+
+use crate::interconnects;
+
+/// The paper's HGX-2 validation node (Table I): one node of up to 16 V100s
+/// behind NVSwitch; the inter-node link is irrelevant (single node) but set
+/// to EDR for completeness.
+pub fn hgx2(num_gpus: usize) -> SystemSpec {
+    SystemSpec::new(
+        1,
+        num_gpus,
+        interconnects::nvlink2(),
+        interconnects::infiniband_edr(),
+        1,
+    )
+    .expect("preset is valid")
+}
+
+/// A single node of P100s on PCIe 3.0 — the GPipe validation substrate
+/// (Table III).
+pub fn p100_pcie_node(num_gpus: usize) -> SystemSpec {
+    SystemSpec::new(
+        1,
+        num_gpus,
+        interconnects::pcie3(),
+        interconnects::infiniband_edr(),
+        1,
+    )
+    .expect("preset is valid")
+}
+
+/// Case study I's cluster: `nodes` nodes of `per_node` A100s on NVLink,
+/// HDR InfiniBand with one NIC per accelerator.
+pub fn a100_hdr_cluster(nodes: usize, per_node: usize) -> SystemSpec {
+    SystemSpec::new(
+        nodes,
+        per_node,
+        interconnects::nvlink3(),
+        interconnects::infiniband_hdr(),
+        per_node,
+    )
+    .expect("preset is valid")
+}
+
+/// Case study II's low-end system family: the same 1024 accelerators
+/// reshaped into nodes of `per_node` accelerators with `per_node` EDR NICs.
+pub fn a100_edr_lowend(total_accels: usize, per_node: usize) -> SystemSpec {
+    assert!(
+        total_accels.is_multiple_of(per_node),
+        "total accelerators must divide into nodes"
+    );
+    SystemSpec::new(
+        total_accels / per_node,
+        per_node,
+        interconnects::nvlink3(),
+        interconnects::infiniband_edr(),
+        per_node,
+    )
+    .expect("preset is valid")
+}
+
+/// Case study III's reference system: `nodes` nodes of 8 H100s behind
+/// NVLink4, NDR InfiniBand with one NIC per accelerator.
+pub fn h100_ndr_cluster(nodes: usize, per_node: usize) -> SystemSpec {
+    SystemSpec::new(
+        nodes,
+        per_node,
+        interconnects::nvlink4(),
+        interconnects::infiniband_ndr(),
+        per_node,
+    )
+    .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hgx2_is_single_node() {
+        let s = hgx2(16);
+        assert_eq!(s.num_nodes(), 1);
+        assert_eq!(s.total_accelerators(), 16);
+    }
+
+    #[test]
+    fn case_study_one_shape() {
+        let s = a100_hdr_cluster(128, 8);
+        assert_eq!(s.total_accelerators(), 1024);
+        assert_eq!(s.inter_bandwidth_per_accel(), 200e9);
+    }
+
+    #[test]
+    fn lowend_reshapes_preserve_total() {
+        for per_node in [1usize, 2, 4, 8] {
+            let s = a100_edr_lowend(1024, per_node);
+            assert_eq!(s.total_accelerators(), 1024);
+            assert_eq!(s.nics_per_node(), per_node);
+            assert_eq!(s.inter_bandwidth_per_accel(), 100e9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn lowend_rejects_nondivisor() {
+        a100_edr_lowend(1024, 3);
+    }
+
+    #[test]
+    fn h100_reference_shape() {
+        let s = h100_ndr_cluster(384, 8);
+        assert_eq!(s.total_accelerators(), 3072);
+        assert_eq!(s.inter_bandwidth_per_accel(), 400e9);
+    }
+}

@@ -1,0 +1,389 @@
+//! Accelerator micro-architecture model (the paper's Eq. 3–4 inputs).
+//!
+//! An accelerator is described by the knobs of Table IV: clock frequency
+//! `f`, core count `N_cores`, MAC functional units per core `N_FU` and their
+//! width `W_FU` (lanes at the unit's native precision `S_FU`), plus the
+//! non-linear (special-function) units `N_FU_nonlin` / `W_FU_nonlin`, and the
+//! memory/power attributes used by the memory and energy models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::precision::precision_scale;
+
+/// Specification of one accelerator (GPU or custom ASIC).
+///
+/// Construct via [`AcceleratorSpec::builder`]; presets for V100, P100, A100
+/// and H100 live in `amped-configs`.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::AcceleratorSpec;
+/// // The paper's A100 row of Table IV.
+/// let a100 = AcceleratorSpec::builder("A100")
+///     .frequency_hz(1.41e9)
+///     .cores(108)
+///     .mac_units(4, 512, 8)
+///     .nonlin_units(192, 4, 32)
+///     .memory(80e9, 2.0e12)
+///     .build()
+///     .unwrap();
+/// // 1.41e9 * 108 * 4 * 512 = 312 T MAC/s at 8-bit => 156 T MAC/s at 16-bit
+/// let peak16 = a100.peak_macs_per_sec(16);
+/// assert!((peak16 / 1e12 - 155.9).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    name: String,
+    frequency_hz: f64,
+    num_cores: u32,
+    mac_units_per_core: u32,
+    mac_unit_width: u32,
+    mac_unit_bits: u32,
+    nonlin_units: u32,
+    nonlin_unit_width: u32,
+    nonlin_unit_bits: u32,
+    memory_bytes: f64,
+    memory_bandwidth_bytes_per_sec: f64,
+    offchip_bandwidth_bits_per_sec: f64,
+    tdp_watts: f64,
+    idle_power_fraction: f64,
+}
+
+impl AcceleratorSpec {
+    /// Start building an accelerator named `name`.
+    pub fn builder(name: impl Into<String>) -> AcceleratorSpecBuilder {
+        AcceleratorSpecBuilder::new(name)
+    }
+
+    /// Accelerator name (e.g. `"A100"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clock frequency in Hz (the paper's `f`).
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Number of cores / SMs (the paper's `N_cores`).
+    pub fn num_cores(&self) -> u32 {
+        self.num_cores
+    }
+
+    /// MAC functional units per core (the paper's `N_FU`).
+    pub fn mac_units_per_core(&self) -> u32 {
+        self.mac_units_per_core
+    }
+
+    /// Lanes per MAC unit at its native precision (the paper's `W_FU`).
+    pub fn mac_unit_width(&self) -> u32 {
+        self.mac_unit_width
+    }
+
+    /// Native precision of the MAC units in bits (the paper's `S_FU_MAC`).
+    pub fn mac_unit_bits(&self) -> u32 {
+        self.mac_unit_bits
+    }
+
+    /// Non-linear functional units (the paper's `N_FU_nonlin`).
+    pub fn nonlin_units(&self) -> u32 {
+        self.nonlin_units
+    }
+
+    /// Lanes per non-linear unit (the paper's `W_FU_nonlin`).
+    pub fn nonlin_unit_width(&self) -> u32 {
+        self.nonlin_unit_width
+    }
+
+    /// Native precision of the non-linear units in bits.
+    pub fn nonlin_unit_bits(&self) -> u32 {
+        self.nonlin_unit_bits
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn memory_bytes(&self) -> f64 {
+        self.memory_bytes
+    }
+
+    /// Device memory bandwidth in bytes/s.
+    pub fn memory_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.memory_bandwidth_bytes_per_sec
+    }
+
+    /// Off-chip I/O bandwidth in bits/s (what case study III's optical
+    /// substrate multiplies).
+    pub fn offchip_bandwidth_bits_per_sec(&self) -> f64 {
+        self.offchip_bandwidth_bits_per_sec
+    }
+
+    /// Thermal design power in watts (energy model input).
+    pub fn tdp_watts(&self) -> f64 {
+        self.tdp_watts
+    }
+
+    /// Fraction of TDP drawn while idling in a pipeline bubble.
+    pub fn idle_power_fraction(&self) -> f64 {
+        self.idle_power_fraction
+    }
+
+    /// Peak MAC rate at native unit precision and perfect utilization:
+    /// `f · N_cores · N_FU · W_FU` (MAC/s).
+    pub fn peak_macs_native(&self) -> f64 {
+        self.frequency_hz
+            * self.num_cores as f64
+            * self.mac_units_per_core as f64
+            * self.mac_unit_width as f64
+    }
+
+    /// Peak MAC rate for `operand_bits`-wide operands (the Eq. 2 ceiling
+    /// de-rating applied to the native rate).
+    pub fn peak_macs_per_sec(&self, operand_bits: u32) -> f64 {
+        self.peak_macs_native() / precision_scale(operand_bits, self.mac_unit_bits)
+    }
+
+    /// Peak throughput in FLOP/s at `operand_bits` (2 FLOPs per MAC).
+    pub fn peak_flops_per_sec(&self, operand_bits: u32) -> f64 {
+        2.0 * self.peak_macs_per_sec(operand_bits)
+    }
+
+    /// Eq. 3: seconds per MAC, `C_MAC = 1 / (f · N_cores · N_FU · W_FU · eff)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via debug assertion) if `efficiency` is outside `(0, 1]`.
+    pub fn c_mac(&self, efficiency: f64) -> f64 {
+        debug_assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        1.0 / (self.peak_macs_native() * efficiency)
+    }
+
+    /// Eq. 4: seconds per non-linear op,
+    /// `C_nonlin = 1 / (f · N_FU_nonlin · W_FU_nonlin)`.
+    pub fn c_nonlin(&self) -> f64 {
+        1.0 / (self.frequency_hz * self.nonlin_units as f64 * self.nonlin_unit_width as f64)
+    }
+
+    /// Eq. 2 precision de-rating for MAC operands of width `operand_bits`.
+    pub fn mac_precision_scale(&self, operand_bits: u32) -> f64 {
+        precision_scale(operand_bits, self.mac_unit_bits)
+    }
+
+    /// Eq. 2 precision de-rating for non-linear operands.
+    pub fn nonlin_precision_scale(&self, operand_bits: u32) -> f64 {
+        precision_scale(operand_bits, self.nonlin_unit_bits)
+    }
+
+    /// Return a copy with off-chip bandwidth multiplied by `factor`
+    /// (case study III's *Opt. 3*).
+    pub fn with_offchip_bandwidth_scaled(&self, factor: f64) -> Self {
+        let mut copy = self.clone();
+        copy.offchip_bandwidth_bits_per_sec *= factor;
+        copy
+    }
+}
+
+/// Builder for [`AcceleratorSpec`]; see the type-level example.
+#[derive(Debug, Clone)]
+pub struct AcceleratorSpecBuilder {
+    spec: AcceleratorSpec,
+}
+
+impl AcceleratorSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        AcceleratorSpecBuilder {
+            spec: AcceleratorSpec {
+                name: name.into(),
+                frequency_hz: 0.0,
+                num_cores: 0,
+                mac_units_per_core: 0,
+                mac_unit_width: 0,
+                mac_unit_bits: 8,
+                nonlin_units: 0,
+                nonlin_unit_width: 0,
+                nonlin_unit_bits: 32,
+                memory_bytes: 0.0,
+                memory_bandwidth_bytes_per_sec: 0.0,
+                offchip_bandwidth_bits_per_sec: 0.0,
+                tdp_watts: 300.0,
+                idle_power_fraction: 0.3,
+            },
+        }
+    }
+
+    /// Clock frequency in Hz.
+    pub fn frequency_hz(&mut self, f: f64) -> &mut Self {
+        self.spec.frequency_hz = f;
+        self
+    }
+
+    /// Number of cores / SMs.
+    pub fn cores(&mut self, n: u32) -> &mut Self {
+        self.spec.num_cores = n;
+        self
+    }
+
+    /// MAC unit shape: `units_per_core` units, each `width` lanes wide at
+    /// `unit_bits` native precision.
+    pub fn mac_units(&mut self, units_per_core: u32, width: u32, unit_bits: u32) -> &mut Self {
+        self.spec.mac_units_per_core = units_per_core;
+        self.spec.mac_unit_width = width;
+        self.spec.mac_unit_bits = unit_bits;
+        self
+    }
+
+    /// Non-linear unit shape: `units` units (device-wide per core per the
+    /// paper's Table IV convention), each `width` lanes at `unit_bits`.
+    pub fn nonlin_units(&mut self, units: u32, width: u32, unit_bits: u32) -> &mut Self {
+        self.spec.nonlin_units = units;
+        self.spec.nonlin_unit_width = width;
+        self.spec.nonlin_unit_bits = unit_bits;
+        self
+    }
+
+    /// Device memory: capacity in bytes and bandwidth in bytes/s.
+    pub fn memory(&mut self, capacity_bytes: f64, bandwidth_bytes_per_sec: f64) -> &mut Self {
+        self.spec.memory_bytes = capacity_bytes;
+        self.spec.memory_bandwidth_bytes_per_sec = bandwidth_bytes_per_sec;
+        self
+    }
+
+    /// Off-chip I/O bandwidth in bits/s.
+    pub fn offchip_bandwidth_bits_per_sec(&mut self, bps: f64) -> &mut Self {
+        self.spec.offchip_bandwidth_bits_per_sec = bps;
+        self
+    }
+
+    /// Power attributes: TDP in watts and idle power as a fraction of TDP.
+    pub fn power(&mut self, tdp_watts: f64, idle_fraction: f64) -> &mut Self {
+        self.spec.tdp_watts = tdp_watts;
+        self.spec.idle_power_fraction = idle_fraction;
+        self
+    }
+
+    /// Validate and produce the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when frequency, cores or any
+    /// functional-unit dimension is non-positive, or power attributes are
+    /// out of range.
+    pub fn build(&self) -> Result<AcceleratorSpec> {
+        let s = &self.spec;
+        let bad = |reason: String| Err(Error::invalid("accelerator", reason));
+        if !(s.frequency_hz > 0.0 && s.frequency_hz.is_finite()) {
+            return bad(format!("frequency must be positive, got {}", s.frequency_hz));
+        }
+        if s.num_cores == 0 {
+            return bad("core count must be positive".into());
+        }
+        if s.mac_units_per_core == 0 || s.mac_unit_width == 0 || s.mac_unit_bits == 0 {
+            return bad("mac unit shape must be positive in all dimensions".into());
+        }
+        if s.nonlin_units == 0 || s.nonlin_unit_width == 0 || s.nonlin_unit_bits == 0 {
+            return bad("nonlinear unit shape must be positive in all dimensions".into());
+        }
+        if s.memory_bytes < 0.0 || s.memory_bandwidth_bytes_per_sec < 0.0 {
+            return bad("memory attributes must be non-negative".into());
+        }
+        if !(s.tdp_watts >= 0.0 && (0.0..=1.0).contains(&s.idle_power_fraction)) {
+            return bad("power attributes out of range".into());
+        }
+        Ok(s.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> AcceleratorSpec {
+        AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .offchip_bandwidth_bits_per_sec(2.4e12)
+            .power(400.0, 0.3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn a100_peak_matches_datasheet() {
+        let a = a100();
+        // Native (8-bit) peak: 312 T MAC/s; 16-bit: 156 T MAC/s = 312 TFLOP/s.
+        assert!((a.peak_macs_native() / 1e12 - 311.9).abs() < 0.5);
+        assert!((a.peak_flops_per_sec(16) / 1e12 - 311.9).abs() < 0.5);
+    }
+
+    #[test]
+    fn c_mac_is_reciprocal_of_scaled_peak() {
+        let a = a100();
+        let eff = 0.5;
+        let c = a.c_mac(eff);
+        assert!((c * a.peak_macs_native() * eff - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c_nonlin_ignores_core_count() {
+        // Eq. 4 has no N_cores term; Table IV lists nonlin units device-wide.
+        let a = a100();
+        let expect = 1.0 / (1.41e9 * 192.0 * 4.0);
+        assert!((a.c_nonlin() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn precision_scaling_halves_wide_operand_throughput() {
+        let a = a100();
+        assert_eq!(a.mac_precision_scale(8), 1.0);
+        assert_eq!(a.mac_precision_scale(16), 2.0);
+        assert_eq!(a.mac_precision_scale(32), 4.0);
+        assert_eq!(a.peak_macs_per_sec(16) * 2.0, a.peak_macs_per_sec(8));
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_specs() {
+        assert!(AcceleratorSpec::builder("empty").build().is_err());
+        assert!(AcceleratorSpec::builder("no-nonlin")
+            .frequency_hz(1e9)
+            .cores(4)
+            .mac_units(1, 16, 16)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_power() {
+        let mut b = AcceleratorSpec::builder("x");
+        b.frequency_hz(1e9)
+            .cores(1)
+            .mac_units(1, 1, 8)
+            .nonlin_units(1, 1, 32)
+            .power(250.0, 1.5);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn offchip_scaling_returns_scaled_copy() {
+        let a = a100();
+        let fast = a.with_offchip_bandwidth_scaled(4.0);
+        assert_eq!(
+            fast.offchip_bandwidth_bits_per_sec(),
+            4.0 * a.offchip_bandwidth_bits_per_sec()
+        );
+        assert_eq!(fast.peak_macs_native(), a.peak_macs_native());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = a100();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: AcceleratorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

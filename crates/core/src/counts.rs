@@ -1,0 +1,266 @@
+//! Operation and tensor-size counting — the paper's `N_MAC`, `N_nonlin`,
+//! `N_act`, `N_g` inputs.
+//!
+//! Counts are `f64` because trillion-parameter models at 16k batch sizes
+//! overflow `u64` MAC counts; the analytical model is a real-valued
+//! calculation throughout, and all counts are exactly representable far
+//! beyond the 2^53 integer limit anyway (they are products of small-ish
+//! integers).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{LayerKind, TransformerModel};
+
+/// Elementwise cost (ops per element) assumed for a softmax (max-subtract,
+/// exponentiate, accumulate, divide, plus overheads).
+pub const SOFTMAX_OPS_PER_ELEMENT: f64 = 5.0;
+/// Elementwise cost assumed for a GeLU activation (tanh-approximation).
+pub const GELU_OPS_PER_ELEMENT: f64 = 8.0;
+/// Elementwise cost assumed for one layer normalization pass.
+pub const LAYERNORM_OPS_PER_ELEMENT: f64 = 5.0;
+/// Elementwise cost of a residual addition.
+pub const RESIDUAL_OPS_PER_ELEMENT: f64 = 1.0;
+
+/// Per-layer operation and tensor-size counts for one pass over `batch`
+/// sequences (the forward direction; backward scaling happens in the
+/// engine).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerCounts {
+    /// Multiply-accumulate operations in the forward pass (`N_MAC`).
+    pub macs_fwd: f64,
+    /// Non-linear elementwise operations in the forward pass (`N_nonlin`).
+    pub nonlin_fwd: f64,
+    /// Trainable weights in this layer (drives `U_w` and `N_g`).
+    pub weights: f64,
+    /// The expert-MLP portion of `weights` (zero for dense layers). Expert
+    /// weights are sharded by expert parallelism rather than replicated, so
+    /// gradient synchronization treats them separately.
+    pub weights_expert: f64,
+    /// Activation elements all-reduced by tensor parallelism per layer
+    /// (`N_act,TP = 2·b·s·h`, the two Megatron all-reduces).
+    pub act_elems_tp: f64,
+    /// Activation elements crossing a pipeline-stage boundary
+    /// (`N_act,PP = b·s·h`).
+    pub act_elems_pp: f64,
+    /// Activation elements routed through MoE all-to-all
+    /// (`N_act,MoE = b·s·h` on MoE layers, scaled by top-k and capacity).
+    pub act_elems_moe: f64,
+}
+
+impl LayerCounts {
+    /// Counts for one layer of `kind` in `model`, processing `batch`
+    /// sequences of the model's sequence length.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amped_core::{counts::LayerCounts, LayerKind, TransformerModel};
+    /// let m = TransformerModel::builder("tiny")
+    ///     .layers(2).hidden_size(64).heads(4).seq_len(32).vocab_size(100)
+    ///     .build().unwrap();
+    /// let c = LayerCounts::for_layer(&m, LayerKind::Dense, 4.0);
+    /// // 12*b*s*h^2 + 2*b*s^2*h MACs
+    /// let b = 4.0; let s = 32.0; let h = 64.0;
+    /// let expect = 12.0 * b * s * h * h + 2.0 * b * s * s * h;
+    /// assert!((c.macs_fwd - expect).abs() < 1e-6);
+    /// ```
+    pub fn for_layer(model: &TransformerModel, kind: LayerKind, batch: f64) -> LayerCounts {
+        let h = model.hidden_size() as f64;
+        let s = model.seq_len() as f64;
+        let a = model.num_heads() as f64;
+        let v = model.vocab_size() as f64;
+        let f = model.ffn_mult();
+        let tokens = batch * s;
+
+        match kind {
+            LayerKind::Dense | LayerKind::Moe => {
+                // Attention: QKV projections, scores, value mix, output.
+                let attn_macs = 3.0 * tokens * h * h   // QKV
+                    + batch * s * s * h                // Q·K^T (all heads)
+                    + batch * s * s * h                // softmax(scores)·V
+                    + tokens * h * h; // output projection
+                let (mlp_macs, gate_macs, expert_mult) = match (kind, model.moe()) {
+                    (LayerKind::Moe, Some(cfg)) => {
+                        let k = cfg.top_k as f64 * cfg.capacity_factor;
+                        (
+                            k * 2.0 * tokens * h * (f * h),
+                            tokens * h * cfg.num_experts as f64,
+                            k,
+                        )
+                    }
+                    _ => (2.0 * tokens * h * (f * h), 0.0, 1.0),
+                };
+                let macs_fwd = attn_macs + mlp_macs + gate_macs;
+
+                let softmax = SOFTMAX_OPS_PER_ELEMENT * batch * a * s * s;
+                let gelu = GELU_OPS_PER_ELEMENT * expert_mult * tokens * f * h;
+                let layernorm = 2.0 * LAYERNORM_OPS_PER_ELEMENT * tokens * h;
+                let residual = 2.0 * RESIDUAL_OPS_PER_ELEMENT * tokens * h;
+                let gate_softmax = match (kind, model.moe()) {
+                    (LayerKind::Moe, Some(cfg)) => {
+                        SOFTMAX_OPS_PER_ELEMENT * tokens * cfg.num_experts as f64
+                    }
+                    _ => 0.0,
+                };
+                let nonlin_fwd = softmax + gelu + layernorm + residual + gate_softmax;
+
+                let moe_routing = if kind == LayerKind::Moe {
+                    let cfg = model.moe().expect("moe layer requires config");
+                    cfg.top_k as f64 * cfg.capacity_factor * tokens * h
+                } else {
+                    0.0
+                };
+
+                let weights_expert = match (kind, model.moe()) {
+                    (LayerKind::Moe, Some(cfg)) => {
+                        let e = cfg.num_experts as f64;
+                        e * (2.0 * f * h * h + (f + 1.0) * h)
+                    }
+                    _ => 0.0,
+                };
+                LayerCounts {
+                    macs_fwd,
+                    nonlin_fwd,
+                    weights: model.layer_weights(kind),
+                    weights_expert,
+                    act_elems_tp: 2.0 * tokens * h,
+                    act_elems_pp: tokens * h,
+                    act_elems_moe: moe_routing,
+                }
+            }
+            LayerKind::Head => LayerCounts {
+                macs_fwd: tokens * h * v,
+                nonlin_fwd: SOFTMAX_OPS_PER_ELEMENT * tokens * v
+                    + LAYERNORM_OPS_PER_ELEMENT * tokens * h,
+                weights: model.layer_weights(LayerKind::Head),
+                weights_expert: 0.0,
+                // The head's vocab-parallel all-reduce moves one bsh tensor;
+                // folded into the TP volume like a half transformer layer.
+                act_elems_tp: tokens * h,
+                act_elems_pp: 0.0,
+                act_elems_moe: 0.0,
+            },
+        }
+    }
+
+    /// Counts for the entire layer stack at `batch` sequences.
+    pub fn for_stack(model: &TransformerModel, batch: f64) -> Vec<(LayerKind, LayerCounts)> {
+        model
+            .layer_stack()
+            .into_iter()
+            .map(|kind| (kind, LayerCounts::for_layer(model, kind, batch)))
+            .collect()
+    }
+
+    /// Sum of forward MACs over a whole stack.
+    pub fn total_macs_fwd(model: &TransformerModel, batch: f64) -> f64 {
+        Self::for_stack(model, batch)
+            .iter()
+            .map(|(_, c)| c.macs_fwd)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MoeConfig;
+
+    fn tiny() -> TransformerModel {
+        TransformerModel::builder("tiny")
+            .layers(4)
+            .hidden_size(128)
+            .heads(8)
+            .seq_len(64)
+            .vocab_size(1000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dense_macs_match_megatron_closed_form() {
+        // Megatron-LM counts 12*b*s*h^2 + 2*b*s^2*h MACs per layer fwd
+        // (24 B s h^2 (1 + s/6h) FLOPs / 2).
+        let m = tiny();
+        let b = 8.0;
+        let c = LayerCounts::for_layer(&m, LayerKind::Dense, b);
+        let (h, s) = (128.0, 64.0);
+        let expect = 12.0 * b * s * h * h + 2.0 * b * s * s * h;
+        assert!((c.macs_fwd - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn counts_scale_linearly_with_batch() {
+        let m = tiny();
+        let c1 = LayerCounts::for_layer(&m, LayerKind::Dense, 2.0);
+        let c4 = LayerCounts::for_layer(&m, LayerKind::Dense, 8.0);
+        assert!((c4.macs_fwd / c1.macs_fwd - 4.0).abs() < 1e-12);
+        assert!((c4.nonlin_fwd / c1.nonlin_fwd - 4.0).abs() < 1e-12);
+        assert!((c4.act_elems_tp / c1.act_elems_tp - 4.0).abs() < 1e-12);
+        assert_eq!(c1.weights, c4.weights);
+    }
+
+    #[test]
+    fn tp_volume_is_twice_pp_volume() {
+        // Two all-reduces per layer (attention + MLP) vs one stage transfer.
+        let c = LayerCounts::for_layer(&tiny(), LayerKind::Dense, 16.0);
+        assert!((c.act_elems_tp - 2.0 * c.act_elems_pp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moe_layer_computes_topk_experts() {
+        let m = TransformerModel::builder("moe")
+            .layers(4)
+            .hidden_size(128)
+            .heads(8)
+            .seq_len(64)
+            .vocab_size(1000)
+            .moe(MoeConfig::glam(8))
+            .build()
+            .unwrap();
+        let dense = LayerCounts::for_layer(&m, LayerKind::Dense, 8.0);
+        let moe = LayerCounts::for_layer(&m, LayerKind::Moe, 8.0);
+        // top-2 doubles the MLP MACs; attention unchanged; so moe > dense.
+        assert!(moe.macs_fwd > dense.macs_fwd);
+        assert!(moe.act_elems_moe > 0.0);
+        assert_eq!(dense.act_elems_moe, 0.0);
+        // routed volume = top_k * tokens * h
+        assert!((moe.act_elems_moe - 2.0 * 8.0 * 64.0 * 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_counts_are_vocab_dominated() {
+        let m = tiny();
+        let c = LayerCounts::for_layer(&m, LayerKind::Head, 8.0);
+        let expect = 8.0 * 64.0 * 128.0 * 1000.0;
+        assert!((c.macs_fwd - expect).abs() / expect < 1e-12);
+        assert_eq!(c.act_elems_pp, 0.0);
+    }
+
+    #[test]
+    fn stack_has_one_entry_per_layer_plus_head() {
+        let m = tiny();
+        let stack = LayerCounts::for_stack(&m, 4.0);
+        assert_eq!(stack.len(), 5);
+        let total: f64 = stack.iter().map(|(_, c)| c.macs_fwd).sum();
+        assert!((LayerCounts::total_macs_fwd(&m, 4.0) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_counts_nonnegative_and_finite() {
+        let m = tiny();
+        for (_, c) in LayerCounts::for_stack(&m, 1024.0) {
+            for v in [
+                c.macs_fwd,
+                c.nonlin_fwd,
+                c.weights,
+                c.weights_expert,
+                c.act_elems_tp,
+                c.act_elems_pp,
+                c.act_elems_moe,
+            ] {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+}

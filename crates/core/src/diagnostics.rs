@@ -1,0 +1,258 @@
+//! Scenario diagnostics: non-fatal warnings about launch configurations
+//! that are *valid* but likely regrettable.
+//!
+//! [`Parallelism::validate_against`](crate::Parallelism::validate_against)
+//! rejects impossible mappings; this module flags the merely unwise ones —
+//! the situations the paper's case studies warn about (inter-node TP over
+//! thin links, microbatches starving efficiency, bubbles from too few
+//! microbatches, degrees that do not divide the model's shape evenly).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::TransformerModel;
+use crate::network::SystemSpec;
+use crate::parallelism::Parallelism;
+use crate::training::TrainingConfig;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Worth knowing; unlikely to dominate.
+    Note,
+    /// Probably costing real time or memory.
+    Warning,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Stable machine-readable code (kebab-case).
+    pub code: &'static str,
+    /// Human-readable explanation with the numbers filled in.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self.severity {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}[{}]: {}", self.code, self.message)
+    }
+}
+
+/// Inspect a scenario and return everything worth flagging (possibly
+/// empty). Inputs must already be individually valid.
+pub fn check_scenario(
+    model: &TransformerModel,
+    system: &SystemSpec,
+    parallelism: &Parallelism,
+    training: &TrainingConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let p = parallelism;
+
+    // The case-study headline: TP across nodes over a slow network.
+    let intra_bw = system.intra().bandwidth_bits_per_sec;
+    let inter_bw_stream = (system.inter_bandwidth_per_accel() * p.tp_intra() as f64)
+        .min(system.inter().bandwidth_bits_per_sec * system.nics_per_node() as f64);
+    if p.tp_inter() > 1 && inter_bw_stream < 0.5 * intra_bw {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            code: "tp-inter-slow-links",
+            message: format!(
+                "tensor parallelism spans {} nodes but the inter-node stream \
+                 ({:.1e} b/s) is far slower than the intra-node fabric ({intra_bw:.1e} b/s); \
+                 the paper's case study I measures a ~2x slowdown for such mappings",
+                p.tp_inter(),
+                inter_bw_stream
+            ),
+        });
+    }
+
+    // Degrees that do not divide the model evenly.
+    if !model.num_heads().is_multiple_of(p.tp()) {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            code: "tp-heads-indivisible",
+            message: format!(
+                "tensor-parallel degree {} does not divide {} attention heads; \
+                 real implementations cannot shard this evenly",
+                p.tp(),
+                model.num_heads()
+            ),
+        });
+    }
+    let stack_len = model.layer_stack().len();
+    if p.pp() > 1 && !stack_len.is_multiple_of(p.pp()) {
+        out.push(Diagnostic {
+            severity: Severity::Note,
+            code: "pp-stages-imbalanced",
+            message: format!(
+                "{stack_len} layer-stack entries over {} pipeline stages leaves the \
+                 slowest stage with extra work; consider EngineOptions::stage_imbalance_correction",
+                p.pp()
+            ),
+        });
+    }
+
+    // Batch starvation: the efficiency collapse of case study I's §VI-D.
+    if !training.global_batch().is_multiple_of(p.dp()) {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            code: "batch-dp-indivisible",
+            message: format!(
+                "global batch {} does not divide across {} data-parallel replicas",
+                training.global_batch(),
+                p.dp()
+            ),
+        });
+    }
+    let ub = p.microbatch_size(training.global_batch());
+    if ub < 4.0 {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            code: "microbatch-starvation",
+            message: format!(
+                "microbatch of {ub:.1} samples will run the accelerators far below \
+                 peak (the paper's DP-heavy mappings bottom out at a 25% efficiency floor)"
+            ),
+        });
+    }
+
+    // Bubble domination: too few microbatches per pipeline stage.
+    let n_ub = p.num_microbatches(training.global_batch());
+    if p.pp() > 1 && n_ub < 4 * p.pp() {
+        out.push(Diagnostic {
+            severity: Severity::Note,
+            code: "pipeline-bubble-heavy",
+            message: format!(
+                "{n_ub} microbatches over {} pipeline stages gives a bubble fraction \
+                 of ~{:.0}%; more microbatches or an interleaved schedule would shrink it",
+                p.pp(),
+                (p.pp() as f64 - 1.0) / n_ub as f64 * 100.0
+            ),
+        });
+    }
+
+    // Idle silicon: mapping does not use the whole system.
+    if p.total_workers() < system.total_accelerators() {
+        out.push(Diagnostic {
+            severity: Severity::Note,
+            code: "idle-accelerators",
+            message: format!(
+                "the mapping uses {} of {} accelerators",
+                p.total_workers(),
+                system.total_accelerators()
+            ),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Link;
+
+    fn model() -> TransformerModel {
+        TransformerModel::builder("diag")
+            .layers(16)
+            .hidden_size(1024)
+            .heads(16)
+            .seq_len(256)
+            .vocab_size(8000)
+            .build()
+            .unwrap()
+    }
+
+    fn system() -> SystemSpec {
+        SystemSpec::new(4, 8, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 8).unwrap()
+    }
+
+    fn codes(d: &[Diagnostic]) -> Vec<&'static str> {
+        d.iter().map(|x| x.code).collect()
+    }
+
+    #[test]
+    fn clean_scenario_raises_nothing() {
+        let p = Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap();
+        let t = TrainingConfig::new(1024, 1).unwrap();
+        let d = check_scenario(&model(), &system(), &p, &t);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn flags_tp_over_thin_links() {
+        let thin = SystemSpec::new(4, 8, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e10), 1)
+            .unwrap();
+        let p = Parallelism::builder().tp(4, 4).dp(2, 1).build().unwrap();
+        let t = TrainingConfig::new(1024, 1).unwrap();
+        let d = check_scenario(&model(), &thin, &p, &t);
+        assert!(codes(&d).contains(&"tp-inter-slow-links"), "{d:?}");
+    }
+
+    #[test]
+    fn flags_indivisible_heads_and_stages() {
+        let m = TransformerModel::builder("odd")
+            .layers(13)
+            .hidden_size(1155)
+            .heads(15)
+            .seq_len(128)
+            .vocab_size(1000)
+            .include_head(false)
+            .build()
+            .unwrap();
+        let sys = SystemSpec::new(1, 8, Link::new(1e-6, 1e12), Link::new(1e-5, 1e11), 1).unwrap();
+        let p = Parallelism::builder().tp(2, 1).pp(4, 1).build().unwrap();
+        let t = TrainingConfig::new(512, 1).unwrap();
+        let d = check_scenario(&m, &sys, &p, &t);
+        let c = codes(&d);
+        assert!(c.contains(&"tp-heads-indivisible"), "{d:?}");
+        assert!(c.contains(&"pp-stages-imbalanced"), "{d:?}");
+    }
+
+    #[test]
+    fn flags_starved_microbatches_and_bubbles() {
+        let p = Parallelism::builder()
+            .dp(8, 4)
+            .build()
+            .unwrap();
+        let t = TrainingConfig::new(64, 1).unwrap(); // 2 samples per replica
+        let d = check_scenario(&model(), &system(), &p, &t);
+        assert!(codes(&d).contains(&"microbatch-starvation"), "{d:?}");
+
+        let pp = Parallelism::builder().pp(8, 4).dp(1, 1).tp(1, 1).build().unwrap();
+        let d = check_scenario(&model(), &system(), &pp, &TrainingConfig::new(4096, 1).unwrap());
+        // pp = 32 > 16 layers is invalid; use a legal depth instead.
+        let pp = Parallelism::builder().pp(4, 2).dp(2, 2).build().unwrap();
+        let d2 = check_scenario(&model(), &system(), &pp, &TrainingConfig::new(4096, 1).unwrap());
+        let _ = d;
+        assert!(codes(&d2).contains(&"pipeline-bubble-heavy"), "{d2:?}");
+    }
+
+    #[test]
+    fn flags_idle_accelerators_and_odd_batches() {
+        let p = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap(); // 16 of 32
+        let t = TrainingConfig::new(1023, 1).unwrap();
+        let d = check_scenario(&model(), &system(), &p, &t);
+        let c = codes(&d);
+        assert!(c.contains(&"idle-accelerators"), "{d:?}");
+        assert!(c.contains(&"batch-dp-indivisible"), "{d:?}");
+    }
+
+    #[test]
+    fn display_includes_code() {
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            code: "test-code",
+            message: "something".into(),
+        };
+        assert!(d.to_string().contains("warning[test-code]"));
+        assert!(Severity::Note < Severity::Warning);
+    }
+}

@@ -1,0 +1,213 @@
+//! The estimation result types: [`Breakdown`] and [`Estimate`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Seconds;
+
+/// Per-iteration time breakdown in seconds, one field per component the
+/// paper's Fig. 3 stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Forward-pass compute (`ΣU_f / (N_TP·N_DP·N_PP)`).
+    pub compute_forward: f64,
+    /// Backward-pass compute (`ΣU_b / …`).
+    pub compute_backward: f64,
+    /// Weight-update compute (`ΣU_w / …`, Eq. 12).
+    pub weight_update: f64,
+    /// Intra-node tensor-parallel all-reduce time (fwd + bwd).
+    pub tp_comm_intra: f64,
+    /// Inter-node tensor-parallel all-reduce time (fwd + bwd).
+    pub tp_comm_inter: f64,
+    /// Pipeline stage-boundary communication (fwd + bwd, Eq. 7).
+    pub pp_comm: f64,
+    /// Mixture-of-experts all-to-all time (fwd + bwd, Eq. 9).
+    pub moe_comm: f64,
+    /// Intra-node gradient synchronization (Eq. 11).
+    pub dp_comm_intra: f64,
+    /// Inter-node gradient synchronization.
+    pub dp_comm_inter: f64,
+    /// Pipeline bubble waiting time (Eq. 8).
+    pub bubble: f64,
+}
+
+impl Breakdown {
+    /// Total compute time per iteration.
+    pub fn compute_total(&self) -> f64 {
+        self.compute_forward + self.compute_backward + self.weight_update
+    }
+
+    /// Total communication time per iteration (all parallelisms).
+    pub fn comm_total(&self) -> f64 {
+        self.tp_comm_intra
+            + self.tp_comm_inter
+            + self.pp_comm
+            + self.moe_comm
+            + self.dp_comm_intra
+            + self.dp_comm_inter
+    }
+
+    /// Total per-iteration time: compute + communication + bubble.
+    pub fn total(&self) -> f64 {
+        self.compute_total() + self.comm_total() + self.bubble
+    }
+
+    /// Labelled components in display order (for tables and stacked bars).
+    pub fn components(&self) -> [(&'static str, f64); 10] {
+        [
+            ("compute fwd", self.compute_forward),
+            ("compute bwd", self.compute_backward),
+            ("weight update", self.weight_update),
+            ("TP comm intra", self.tp_comm_intra),
+            ("TP comm inter", self.tp_comm_inter),
+            ("PP comm", self.pp_comm),
+            ("MoE comm", self.moe_comm),
+            ("DP comm intra", self.dp_comm_intra),
+            ("DP comm inter", self.dp_comm_inter),
+            ("bubble", self.bubble),
+        ]
+    }
+
+    /// The fraction each component contributes to the total (0 when the
+    /// total is zero).
+    pub fn fractions(&self) -> [(&'static str, f64); 10] {
+        let total = self.total();
+        let mut out = self.components();
+        for (_, v) in &mut out {
+            *v = if total > 0.0 { *v / total } else { 0.0 };
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<16} {:>12} {:>7}", "component", "time", "share")?;
+        for ((name, secs), (_, frac)) in self.components().iter().zip(self.fractions()) {
+            if *secs == 0.0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>6.1}%",
+                name,
+                Seconds::new(*secs).to_string(),
+                frac * 100.0
+            )?;
+        }
+        write!(
+            f,
+            "{:<16} {:>12} {:>7}",
+            "total",
+            Seconds::new(self.total()).to_string(),
+            ""
+        )
+    }
+}
+
+/// The result of one [`Estimator::estimate`](super::Estimator::estimate)
+/// call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Per-iteration component breakdown (seconds).
+    pub breakdown: Breakdown,
+    /// Time for one batch (one optimizer step).
+    pub time_per_iteration: Seconds,
+    /// End-to-end time for the configured number of batches (Eq. 1).
+    pub total_time: Seconds,
+    /// Resolved microbatch size in samples (`ub`).
+    pub microbatch_size: f64,
+    /// Resolved number of microbatches per minibatch (`N_ub`).
+    pub num_microbatches: usize,
+    /// Microbatch efficiency `eff(ub)` used for MAC throughput.
+    pub efficiency: f64,
+    /// Useful model FLOPs per iteration (Megatron accounting; includes the
+    /// recompute pass when enabled).
+    pub model_flops_per_iteration: f64,
+    /// Achieved model TFLOP/s per accelerator — the paper's Table II metric.
+    pub tflops_per_gpu: f64,
+    /// Total workers the mapping uses.
+    pub total_workers: usize,
+    /// Tokens processed per second of wall-clock time.
+    pub tokens_per_sec: f64,
+}
+
+impl Estimate {
+    /// End-to-end training time in days (how the case studies report it).
+    pub fn days(&self) -> f64 {
+        self.total_time.days()
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.breakdown)?;
+        writeln!(
+            f,
+            "iteration: {}   total: {} ({:.2} d)",
+            self.time_per_iteration,
+            self.total_time,
+            self.days()
+        )?;
+        write!(
+            f,
+            "ub = {:.2} x{}  eff = {:.1}%  {:.1} TFLOP/s/GPU  {:.0} tokens/s on {} workers",
+            self.microbatch_size,
+            self.num_microbatches,
+            self.efficiency * 100.0,
+            self.tflops_per_gpu,
+            self.tokens_per_sec,
+            self.total_workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Breakdown {
+        Breakdown {
+            compute_forward: 1.0,
+            compute_backward: 2.0,
+            weight_update: 0.5,
+            tp_comm_intra: 0.25,
+            tp_comm_inter: 0.0,
+            pp_comm: 0.125,
+            moe_comm: 0.0,
+            dp_comm_intra: 0.1,
+            dp_comm_inter: 0.2,
+            bubble: 0.8,
+        }
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let b = sample();
+        assert!((b.compute_total() - 3.5).abs() < 1e-12);
+        assert!((b.comm_total() - 0.675).abs() < 1e-12);
+        assert!((b.total() - 4.975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = sample();
+        let sum: f64 = b.fractions().iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_fractions() {
+        let b = Breakdown::default();
+        assert_eq!(b.total(), 0.0);
+        assert!(b.fractions().iter().all(|(_, v)| *v == 0.0));
+    }
+
+    #[test]
+    fn display_skips_zero_components() {
+        let b = sample();
+        let s = b.to_string();
+        assert!(s.contains("compute fwd"));
+        assert!(!s.contains("MoE"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-layer estimation detail — where every second of Eq. 1 comes from.
+//!
+//! The aggregate [`Breakdown`](crate::Breakdown) answers *what kind* of
+//! time dominates; [`DetailedEstimate`] answers *which layers* it comes
+//! from, which is what hardware–software co-design needs (e.g. "the head's
+//! vocabulary projection is 4 % of compute", "MoE layers carry all the
+//! all-to-all time").
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::LayerKind;
+
+/// One layer's contribution to an iteration, in seconds, already divided
+/// by the parallel workers exactly as Eq. 1 divides it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerEstimate {
+    /// Position in the layer stack (head last).
+    pub index: usize,
+    /// Layer role.
+    pub kind: LayerKind,
+    /// Forward compute share.
+    pub compute_forward: f64,
+    /// Backward compute share.
+    pub compute_backward: f64,
+    /// Weight-update share.
+    pub weight_update: f64,
+    /// Tensor-parallel communication (intra + inter, fwd + bwd).
+    pub tp_comm: f64,
+    /// Mixture-of-experts all-to-all (fwd + bwd).
+    pub moe_comm: f64,
+    /// Gradient synchronization for this layer's weights.
+    pub dp_comm: f64,
+}
+
+impl LayerEstimate {
+    /// The layer's total contribution.
+    pub fn total(&self) -> f64 {
+        self.compute_forward
+            + self.compute_backward
+            + self.weight_update
+            + self.tp_comm
+            + self.moe_comm
+            + self.dp_comm
+    }
+}
+
+/// A full estimate with per-layer attribution.
+///
+/// Produced by [`Estimator::estimate_detailed`](crate::Estimator::estimate_detailed);
+/// the `estimate` field equals what [`Estimator::estimate`](crate::Estimator::estimate)
+/// returns, and the per-layer rows sum back to its breakdown (pipeline
+/// communication and bubble time are whole-pipeline quantities and appear
+/// only in the aggregate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetailedEstimate {
+    /// The aggregate estimate.
+    pub estimate: super::Estimate,
+    /// Per-layer rows, stack order.
+    pub layers: Vec<LayerEstimate>,
+}
+
+impl DetailedEstimate {
+    /// The `n` most expensive layers, descending by total contribution.
+    pub fn hottest_layers(&self, n: usize) -> Vec<&LayerEstimate> {
+        let mut sorted: Vec<&LayerEstimate> = self.layers.iter().collect();
+        sorted.sort_by(|a, b| b.total().partial_cmp(&a.total()).expect("finite"));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Total attributed to layers of `kind`.
+    pub fn total_for_kind(&self, kind: LayerKind) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.kind == kind)
+            .map(LayerEstimate::total)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for DetailedEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>5} {:<6} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "layer", "kind", "fwd", "bwd", "tp comm", "moe comm", "dp comm"
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "{:>5} {:<6} {:>11.3e} {:>11.3e} {:>11.3e} {:>11.3e} {:>11.3e}",
+                l.index,
+                match l.kind {
+                    LayerKind::Dense => "dense",
+                    LayerKind::Moe => "moe",
+                    LayerKind::Head => "head",
+                },
+                l.compute_forward,
+                l.compute_backward,
+                l.tp_comm,
+                l.moe_comm,
+                l.dp_comm
+            )?;
+        }
+        write!(f, "{}", self.estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Estimate;
+    use crate::units::Seconds;
+
+    fn layer(index: usize, kind: LayerKind, scale: f64) -> LayerEstimate {
+        LayerEstimate {
+            index,
+            kind,
+            compute_forward: scale,
+            compute_backward: 2.0 * scale,
+            weight_update: 0.1 * scale,
+            tp_comm: 0.2 * scale,
+            moe_comm: if kind == LayerKind::Moe { 0.5 * scale } else { 0.0 },
+            dp_comm: 0.1 * scale,
+        }
+    }
+
+    fn detailed() -> DetailedEstimate {
+        let layers = vec![
+            layer(0, LayerKind::Dense, 1.0),
+            layer(1, LayerKind::Moe, 2.0),
+            layer(2, LayerKind::Head, 0.5),
+        ];
+        let total: f64 = layers.iter().map(LayerEstimate::total).sum();
+        DetailedEstimate {
+            estimate: Estimate {
+                breakdown: Default::default(),
+                time_per_iteration: Seconds::new(total),
+                total_time: Seconds::new(total),
+                microbatch_size: 1.0,
+                num_microbatches: 1,
+                efficiency: 1.0,
+                model_flops_per_iteration: 1.0,
+                tflops_per_gpu: 1.0,
+                total_workers: 1,
+                tokens_per_sec: 1.0,
+            },
+            layers,
+        }
+    }
+
+    #[test]
+    fn hottest_layers_sorted_descending() {
+        let d = detailed();
+        let hot = d.hottest_layers(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].index, 1); // the MoE layer, 2x scale
+        assert_eq!(hot[1].index, 0);
+        assert!(hot[0].total() >= hot[1].total());
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let d = detailed();
+        assert!(d.total_for_kind(LayerKind::Moe) > d.total_for_kind(LayerKind::Head));
+        let sum: f64 = [LayerKind::Dense, LayerKind::Moe, LayerKind::Head]
+            .iter()
+            .map(|&k| d.total_for_kind(k))
+            .sum();
+        let direct: f64 = d.layers.iter().map(LayerEstimate::total).sum();
+        assert!((sum - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_one_row_per_layer() {
+        let d = detailed();
+        let text = d.to_string();
+        assert!(text.contains("dense") && text.contains("moe") && text.contains("head"));
+    }
+}

@@ -1,0 +1,867 @@
+//! The estimator: Eq. 1 of the paper, assembled from Eq. 2–12.
+
+use amped_topo::Collective;
+
+use crate::accelerator::AcceleratorSpec;
+use crate::counts::LayerCounts;
+use crate::efficiency::EfficiencyModel;
+use crate::engine::{Breakdown, DetailedEstimate, EngineOptions, Estimate, LayerEstimate};
+use crate::error::Result;
+use crate::metrics;
+use crate::model::TransformerModel;
+use crate::network::SystemSpec;
+use crate::parallelism::{Parallelism, ZeroStage};
+use crate::precision::Precision;
+use crate::training::TrainingConfig;
+use crate::units::Seconds;
+
+/// The AMPeD analytical estimator.
+///
+/// Borrow the four specifications, optionally override precision,
+/// efficiency and engine options, then call [`Estimator::estimate`].
+///
+/// # Example
+///
+/// ```
+/// use amped_core::{
+///     AcceleratorSpec, EfficiencyModel, Estimator, Link, Parallelism, SystemSpec,
+///     TrainingConfig, TransformerModel,
+/// };
+///
+/// # fn main() -> Result<(), amped_core::Error> {
+/// let model = TransformerModel::builder("demo")
+///     .layers(24).hidden_size(2048).heads(16).seq_len(1024).vocab_size(32000)
+///     .build()?;
+/// let accel = AcceleratorSpec::builder("A100")
+///     .frequency_hz(1.41e9).cores(108).mac_units(4, 512, 8)
+///     .nonlin_units(192, 4, 32).memory(80e9, 2.0e12)
+///     .build()?;
+/// let system = SystemSpec::new(2, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8)?;
+/// let parallel = Parallelism::builder().tp(8, 1).dp(1, 2).build()?;
+///
+/// let estimate = Estimator::new(&model, &accel, &system, &parallel)
+///     .with_efficiency(EfficiencyModel::Constant(0.5))
+///     .estimate(&TrainingConfig::new(512, 100)?)?;
+/// assert!(estimate.total_time.get() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Estimator<'a> {
+    model: &'a TransformerModel,
+    accel: &'a AcceleratorSpec,
+    system: &'a SystemSpec,
+    parallelism: &'a Parallelism,
+    precision: Precision,
+    efficiency: EfficiencyModel,
+    options: EngineOptions,
+}
+
+impl<'a> Estimator<'a> {
+    /// Create an estimator over the four specifications with default
+    /// precision (fp16), efficiency and options.
+    pub fn new(
+        model: &'a TransformerModel,
+        accel: &'a AcceleratorSpec,
+        system: &'a SystemSpec,
+        parallelism: &'a Parallelism,
+    ) -> Self {
+        Estimator {
+            model,
+            accel,
+            system,
+            parallelism,
+            precision: Precision::default(),
+            efficiency: EfficiencyModel::default(),
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Override the operand precisions.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the microbatch-efficiency model.
+    pub fn with_efficiency(mut self, efficiency: EfficiencyModel) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Override the engine options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The precision currently configured.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The efficiency model currently configured.
+    pub fn efficiency(&self) -> &EfficiencyModel {
+        &self.efficiency
+    }
+
+    /// The engine options currently configured.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Run Eq. 1: predict the training time and its breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any component fails validation or the
+    /// parallelism mapping does not fit the system/model.
+    pub fn estimate(&self, training: &TrainingConfig) -> Result<Estimate> {
+        self.precision.validate()?;
+        self.efficiency.validate()?;
+        self.options.validate()?;
+        self.parallelism.validate_against(self.system, self.model)?;
+
+        let p = self.parallelism;
+        let global_batch = training.global_batch();
+        let workers = p.total_workers() as f64;
+        let n_ub = p.num_microbatches(global_batch);
+        let ub = p.microbatch_size(global_batch);
+        let eff = self.efficiency.eval(ub);
+        let replica_batch = p.replica_batch(global_batch);
+
+        // Eq. 3-4 reciprocals and Eq. 2 precision de-ratings.
+        let c_mac = self.accel.c_mac(eff);
+        let c_nonlin = self.accel.c_nonlin();
+        let mac_scale = self
+            .accel
+            .mac_precision_scale(self.precision.mac_operand_bits());
+        let param_scale = self.accel.mac_precision_scale(self.precision.param_bits);
+        let nonlin_scale = self
+            .accel
+            .nonlin_precision_scale(self.precision.nonlin_bits);
+
+        let opts = self.options;
+        let bwd_c = opts.backward_compute_factor + if opts.activation_recompute { 1.0 } else { 0.0 };
+
+        let mut b = Breakdown::default();
+        let stack = self.model.layer_stack();
+
+        // With imbalance correction, the pipeline runs at the slowest
+        // stage's rate. With per-microbatch stage times t_s over the
+        // balanced contiguous partition (mean t̄, max t*), a GPipe-style
+        // pipeline of m microbatches completes a pass in
+        // `p·t̄ + (m−1)·t*`, while the balanced model charges
+        // `(m+p−1)·t̄`; scaling the compute (and its bubble share) by the
+        // ratio reproduces the slowest-stage behaviour exactly for
+        // compute-bound pipelines (see ablation 5 and
+        // tests/sim_agreement.rs).
+        let imbalance = if opts.stage_imbalance_correction && p.pp() > 1 {
+            let weights: Vec<f64> = stack
+                .iter()
+                .map(|&kind| {
+                    let c = LayerCounts::for_layer(self.model, kind, 1.0);
+                    c.macs_fwd * c_mac * mac_scale + c.nonlin_fwd * c_nonlin * nonlin_scale
+                })
+                .collect();
+            let pp = p.pp();
+            let base = stack.len() / pp;
+            let extra = stack.len() % pp;
+            let mut cursor = 0;
+            let mut max_stage = 0.0f64;
+            let total: f64 = weights.iter().sum();
+            for s in 0..pp {
+                let take = base + usize::from(s < extra);
+                let stage: f64 = weights[cursor..cursor + take].iter().sum();
+                max_stage = max_stage.max(stage);
+                cursor += take;
+            }
+            if total > 0.0 {
+                let r = max_stage * pp as f64 / total; // t*/t̄ ≥ 1
+                let (m, pf) = (n_ub as f64, pp as f64);
+                (pf + (m - 1.0) * r) / (m + pf - 1.0)
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+
+        // Compute terms use the *global* batch and are divided by the full
+        // worker product (Eq. 1); communication volumes use the per-replica
+        // batch (see DESIGN.md interpretation notes).
+        let mut sum_uf = 0.0; // Σ U_f(l), undivided
+        let mut sum_ub_ = 0.0; // Σ U_b(l), undivided
+
+        for &kind in &stack {
+            let cg = LayerCounts::for_layer(self.model, kind, global_batch as f64);
+            // Eq. 2.
+            let u_f = cg.macs_fwd * c_mac * mac_scale + cg.nonlin_fwd * c_nonlin * nonlin_scale;
+            let u_b = bwd_c * cg.macs_fwd * c_mac * mac_scale
+                + opts.backward_nonlin_factor * cg.nonlin_fwd * c_nonlin * nonlin_scale;
+            // Eq. 12 (weights are batch-independent).
+            let u_w = opts.weight_update_factor * cg.weights * c_mac * param_scale;
+
+            sum_uf += imbalance * u_f;
+            sum_ub_ += imbalance * u_b;
+            b.compute_forward += imbalance * u_f / workers;
+            b.compute_backward += imbalance * u_b / workers;
+            b.weight_update += u_w / workers;
+        }
+
+        // ---- Communication (per layer, forward; backward mirrors it). ----
+        let zero_factor = 1.0 + p.zero().comm_overhead;
+        let comm_passes = zero_factor * (1.0 + opts.backward_comm_factor);
+        let intra = self.system.intra();
+        let inter = self.system.inter();
+        let inter_bw = self.system.inter_bandwidth_per_accel();
+        // Hierarchical collectives: when a whole intra-node TP group feeds a
+        // single inter-node stream, that stream can drive the node's NICs in
+        // parallel — tp_intra per-accelerator shares aggregate (capped at the
+        // node's full NIC bandwidth).
+        let nic_aggregate = self.system.inter().bandwidth_bits_per_sec
+            * self.system.nics_per_node() as f64;
+        let inter_bw_tp_stream = (inter_bw * p.tp_intra() as f64).min(nic_aggregate);
+        let act_bits = self.precision.act_bits as f64;
+
+        let mut fwd_comm_for_bubble = 0.0; // Σ_l (M_f + M_b) excluding DP sync
+        // Layers are spread over the pipeline stages and their collectives
+        // run concurrently, so the per-iteration critical path carries only
+        // a 1/N_PP share of the summed per-layer communication (DESIGN.md
+        // interpretation note 7).
+        let stage_share = 1.0 / p.pp() as f64;
+
+        for &kind in &stack {
+            let cr = LayerCounts::for_layer(self.model, kind, replica_batch);
+
+            // Eq. 6: intra-node TP all-reduce.
+            if p.tp_intra() > 1 {
+                let cost = intra.topology.cost(Collective::AllReduce, p.tp_intra());
+                let t = cost.time(
+                    cr.act_elems_tp * act_bits,
+                    intra.latency_s,
+                    intra.bandwidth_bits_per_sec,
+                );
+                b.tp_comm_intra += comm_passes * stage_share * t;
+                fwd_comm_for_bubble += zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t;
+            }
+            // Eq. 6 applied inter-node.
+            if p.tp_inter() > 1 {
+                let cost = inter.topology.cost(Collective::AllReduce, p.tp_inter());
+                let t = cost.time(
+                    cr.act_elems_tp * act_bits,
+                    inter.latency_s,
+                    inter_bw_tp_stream,
+                );
+                b.tp_comm_inter += comm_passes * stage_share * t;
+                fwd_comm_for_bubble += zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t;
+            }
+            // Eq. 9: MoE all-to-all over the node fabric. With tensor
+            // parallelism each rank holds (and therefore routes) only its
+            // h/N_TP feature shard of every token, so the per-accelerator
+            // volume divides by the TP degree.
+            if cr.act_elems_moe > 0.0 && self.system.num_nodes() >= 1 {
+                let nodes = self.system.num_nodes() as f64;
+                let cost = inter.topology.cost(Collective::AllToAll, self.system.num_nodes());
+                let latency_term = 2.0 * inter.latency_s * cost.steps as f64;
+                let volume_bits = cr.act_elems_moe * act_bits / p.tp() as f64;
+                let bw_term = if nodes > 1.0 {
+                    2.0 * volume_bits
+                        * cost.factor
+                        * (1.0 / (nodes * intra.bandwidth_bits_per_sec)
+                            + (nodes - 1.0) / (nodes * inter_bw))
+                } else {
+                    // Single node: the all-to-all stays on the intra fabric.
+                    2.0 * volume_bits / intra.bandwidth_bits_per_sec
+                };
+                let t = latency_term + bw_term;
+                b.moe_comm += comm_passes * stage_share * t;
+                fwd_comm_for_bubble += zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t;
+            }
+        }
+
+        // Eq. 7: pipeline communication — one whole-batch stage transfer,
+        // the per-layer 1/L folds away when summing over the stack. The
+        // pipeline runs at the slower of its intra/inter hops (Eq. 5 max).
+        if p.pp() > 1 {
+            let vol_bits = replica_batch * self.model.seq_len() as f64
+                * self.model.hidden_size() as f64
+                * act_bits;
+            let t_intra = if p.pp_intra() > 1 {
+                intra.latency_s + vol_bits / intra.bandwidth_bits_per_sec
+            } else {
+                0.0
+            };
+            let t_inter = if p.pp_inter() > 1 {
+                // The stage's tensor-parallel shards leave the node through
+                // their NIC shares concurrently.
+                inter.latency_s + vol_bits / inter_bw_tp_stream
+            } else {
+                0.0
+            };
+            let t = t_intra.max(t_inter);
+            b.pp_comm = comm_passes * t;
+            fwd_comm_for_bubble += zero_factor * (1.0 + opts.backward_comm_factor) * t;
+        }
+
+        // Eq. 10-11: hierarchical gradient all-reduce over the DP groups.
+        // ZeRO >= stage 2 turns it into a reduce-scatter (half the volume).
+        let grad_collective = if p.zero().stage >= ZeroStage::Gradients {
+            Collective::ReduceScatter
+        } else {
+            Collective::AllReduce
+        };
+        let grad_bits = self.precision.grad_bits as f64;
+        // Expert parallelism (GShard/GLaM): expert weights are sharded
+        // across the nodes rather than replicated, so each accelerator only
+        // synchronizes its 1/EP share of the expert gradients.
+        let expert_parallel = self
+            .model
+            .moe()
+            .map(|cfg| cfg.num_experts.min(self.system.num_nodes()).max(1))
+            .unwrap_or(1) as f64;
+        // Gradients are bucketed into one fused all-reduce per group (as
+        // DDP implementations do), so the per-hop latency is paid once and
+        // only the volume sums over layers.
+        let n_g_total: f64 = stack
+            .iter()
+            .map(|&kind| {
+                let cg = LayerCounts::for_layer(self.model, kind, 1.0);
+                let dense_weights = cg.weights - cg.weights_expert;
+                (dense_weights + cg.weights_expert / expert_parallel)
+                    / (p.tp() as f64 * p.pp() as f64)
+            })
+            .sum();
+        if p.dp_intra() > 1 {
+            let cost = intra.topology.cost(grad_collective, p.dp_intra());
+            b.dp_comm_intra = cost.time(
+                n_g_total * grad_bits,
+                intra.latency_s,
+                intra.bandwidth_bits_per_sec,
+            );
+        }
+        if p.dp_inter() > 1 {
+            // Hierarchical all-reduce (Eq. 10): the intra-node phase
+            // reduce-scatters, so each accelerator carries only its
+            // 1/DP_intra shard across nodes.
+            let cost = inter.topology.cost(grad_collective, p.dp_inter());
+            b.dp_comm_inter = cost.time(
+                n_g_total / p.dp_intra() as f64 * grad_bits,
+                inter.latency_s,
+                inter_bw,
+            );
+        }
+
+        // Eq. 8 (see DESIGN.md): bubble = R·(N_PP−1)/N_ub ×
+        //   [ Σ(U_f+U_b)/(N_TP·N_DP·N_PP) + Σ(M_f+M_b) ].
+        if p.pp() > 1 {
+            let compute_scale = match opts.bubble_accounting {
+                crate::engine::BubbleAccounting::GPipe => 1.0,
+                crate::engine::BubbleAccounting::PaperEq8 => 1.0 / stack.len() as f64,
+            };
+            b.bubble = p.bubble_ratio() * (p.pp() as f64 - 1.0) / n_ub as f64
+                * (compute_scale * (sum_uf + sum_ub_) / workers + fwd_comm_for_bubble);
+        }
+
+        let time_per_iteration = b.total();
+        let total_time = time_per_iteration * training.num_batches() as f64;
+        let model_flops = metrics::model_flops_per_iteration(
+            self.model,
+            global_batch,
+            opts.activation_recompute,
+        );
+        let tflops_per_gpu = metrics::tflops_per_gpu(model_flops, time_per_iteration, workers);
+        let tokens_per_sec = if time_per_iteration > 0.0 {
+            (global_batch * self.model.seq_len()) as f64 / time_per_iteration
+        } else {
+            0.0
+        };
+
+        Ok(Estimate {
+            breakdown: b,
+            time_per_iteration: Seconds::new(time_per_iteration),
+            total_time: Seconds::new(total_time),
+            microbatch_size: ub,
+            num_microbatches: n_ub,
+            efficiency: eff,
+            model_flops_per_iteration: model_flops,
+            tflops_per_gpu,
+            total_workers: p.total_workers(),
+            tokens_per_sec,
+        })
+    }
+}
+
+impl<'a> Estimator<'a> {
+    /// Like [`Estimator::estimate`], but additionally attributes compute and
+    /// communication to individual layers.
+    ///
+    /// Pipeline-boundary communication and bubble time are whole-pipeline
+    /// quantities and appear only in the aggregate; every other breakdown
+    /// component equals the sum of its per-layer rows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::estimate`].
+    pub fn estimate_detailed(&self, training: &TrainingConfig) -> Result<DetailedEstimate> {
+        let estimate = self.estimate(training)?;
+
+        let p = self.parallelism;
+        let global_batch = training.global_batch();
+        let workers = p.total_workers() as f64;
+        let ub = p.microbatch_size(global_batch);
+        let eff = self.efficiency.eval(ub);
+        let replica_batch = p.replica_batch(global_batch);
+
+        let c_mac = self.accel.c_mac(eff);
+        let c_nonlin = self.accel.c_nonlin();
+        let mac_scale = self
+            .accel
+            .mac_precision_scale(self.precision.mac_operand_bits());
+        let param_scale = self.accel.mac_precision_scale(self.precision.param_bits);
+        let nonlin_scale = self
+            .accel
+            .nonlin_precision_scale(self.precision.nonlin_bits);
+        let opts = self.options;
+        let bwd_c =
+            opts.backward_compute_factor + if opts.activation_recompute { 1.0 } else { 0.0 };
+        let zero_factor = 1.0 + p.zero().comm_overhead;
+        let comm_passes = zero_factor * (1.0 + opts.backward_comm_factor);
+        let intra = self.system.intra();
+        let inter = self.system.inter();
+        let inter_bw = self.system.inter_bandwidth_per_accel();
+        let nic_aggregate = self.system.inter().bandwidth_bits_per_sec
+            * self.system.nics_per_node() as f64;
+        let inter_bw_tp_stream = (inter_bw * p.tp_intra() as f64).min(nic_aggregate);
+        let act_bits = self.precision.act_bits as f64;
+        let stage_share = 1.0 / p.pp() as f64;
+        let expert_parallel = self
+            .model
+            .moe()
+            .map(|cfg| cfg.num_experts.min(self.system.num_nodes()).max(1))
+            .unwrap_or(1) as f64;
+        let n_g_total: f64 = self
+            .model
+            .layer_stack()
+            .iter()
+            .map(|&kind| {
+                let cg = LayerCounts::for_layer(self.model, kind, 1.0);
+                let dense_weights = cg.weights - cg.weights_expert;
+                (dense_weights + cg.weights_expert / expert_parallel)
+                    / (p.tp() as f64 * p.pp() as f64)
+            })
+            .sum();
+
+        let mut layers = Vec::new();
+        for (index, &kind) in self.model.layer_stack().iter().enumerate() {
+            let cg = LayerCounts::for_layer(self.model, kind, global_batch as f64);
+            let cr = LayerCounts::for_layer(self.model, kind, replica_batch);
+
+            let compute_forward =
+                (cg.macs_fwd * c_mac * mac_scale + cg.nonlin_fwd * c_nonlin * nonlin_scale)
+                    / workers;
+            let compute_backward = (bwd_c * cg.macs_fwd * c_mac * mac_scale
+                + opts.backward_nonlin_factor * cg.nonlin_fwd * c_nonlin * nonlin_scale)
+                / workers;
+            let weight_update =
+                opts.weight_update_factor * cg.weights * c_mac * param_scale / workers;
+
+            let mut tp_comm = 0.0;
+            if p.tp_intra() > 1 {
+                let cost = intra.topology.cost(Collective::AllReduce, p.tp_intra());
+                tp_comm += comm_passes
+                    * stage_share
+                    * cost.time(
+                        cr.act_elems_tp * act_bits,
+                        intra.latency_s,
+                        intra.bandwidth_bits_per_sec,
+                    );
+            }
+            if p.tp_inter() > 1 {
+                let cost = inter.topology.cost(Collective::AllReduce, p.tp_inter());
+                tp_comm += comm_passes
+                    * stage_share
+                    * cost.time(cr.act_elems_tp * act_bits, inter.latency_s, inter_bw_tp_stream);
+            }
+
+            let mut moe_comm = 0.0;
+            if cr.act_elems_moe > 0.0 {
+                let nodes = self.system.num_nodes() as f64;
+                let cost = inter
+                    .topology
+                    .cost(Collective::AllToAll, self.system.num_nodes());
+                let latency_term = 2.0 * inter.latency_s * cost.steps as f64;
+                let volume_bits = cr.act_elems_moe * act_bits / p.tp() as f64;
+                let bw_term = if nodes > 1.0 {
+                    2.0 * volume_bits
+                        * cost.factor
+                        * (1.0 / (nodes * intra.bandwidth_bits_per_sec)
+                            + (nodes - 1.0) / (nodes * inter_bw))
+                } else {
+                    2.0 * volume_bits / intra.bandwidth_bits_per_sec
+                };
+                moe_comm = comm_passes * stage_share * (latency_term + bw_term);
+            }
+
+            // The fused gradient all-reduce is attributed to layers by
+            // their share of the synchronized volume.
+            let dense_weights = cg.weights - cg.weights_expert;
+            let n_g = (dense_weights + cg.weights_expert / expert_parallel)
+                / (p.tp() as f64 * p.pp() as f64);
+            let dp_total =
+                estimate.breakdown.dp_comm_intra + estimate.breakdown.dp_comm_inter;
+            let dp_comm = if n_g_total > 0.0 {
+                dp_total * n_g / n_g_total
+            } else {
+                0.0
+            };
+
+            layers.push(LayerEstimate {
+                index,
+                kind,
+                compute_forward,
+                compute_backward,
+                weight_update,
+                tp_comm,
+                moe_comm,
+                dp_comm,
+            });
+        }
+
+        Ok(DetailedEstimate { estimate, layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Link;
+    use crate::parallelism::{MicrobatchPolicy, ZeroConfig};
+
+    fn model() -> TransformerModel {
+        TransformerModel::builder("test-1.3B")
+            .layers(24)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(1024)
+            .vocab_size(32000)
+            .build()
+            .unwrap()
+    }
+
+    fn accel() -> AcceleratorSpec {
+        AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .offchip_bandwidth_bits_per_sec(2.4e12)
+            .build()
+            .unwrap()
+    }
+
+    fn system(nodes: usize, per_node: usize) -> SystemSpec {
+        SystemSpec::new(
+            nodes,
+            per_node,
+            Link::new(5e-6, 2.4e12),
+            Link::new(1e-5, 2e11),
+            per_node,
+        )
+        .unwrap()
+    }
+
+    fn estimate_with(p: &Parallelism, sys: &SystemSpec, batch: usize) -> Estimate {
+        let m = model();
+        let a = accel();
+        Estimator::new(&m, &a, sys, p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate(&TrainingConfig::new(batch, 10).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn single_worker_has_no_communication() {
+        let sys = system(1, 1);
+        let p = Parallelism::single();
+        let e = estimate_with(&p, &sys, 32);
+        assert_eq!(e.breakdown.comm_total(), 0.0);
+        assert_eq!(e.breakdown.bubble, 0.0);
+        assert!(e.breakdown.compute_total() > 0.0);
+    }
+
+    #[test]
+    fn total_time_is_batches_times_iteration() {
+        let sys = system(1, 1);
+        let p = Parallelism::single();
+        let e = estimate_with(&p, &sys, 32);
+        assert!(
+            (e.total_time.get() - 10.0 * e.time_per_iteration.get()).abs()
+                / e.total_time.get()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn dp_scales_compute_down() {
+        let e1 = estimate_with(&Parallelism::single(), &system(1, 1), 64);
+        let p8 = Parallelism::data_parallel_intra(8).unwrap();
+        let e8 = estimate_with(&p8, &system(1, 8), 64);
+        let ratio = e1.breakdown.compute_total() / e8.breakdown.compute_total();
+        assert!((ratio - 8.0).abs() < 1e-6, "ratio = {ratio}");
+        // DP adds gradient sync.
+        assert!(e8.breakdown.dp_comm_intra > 0.0);
+        assert_eq!(e8.breakdown.tp_comm_intra, 0.0);
+    }
+
+    #[test]
+    fn tp_intra_adds_allreduce_per_layer() {
+        let p = Parallelism::builder().tp(8, 1).build().unwrap();
+        let e = estimate_with(&p, &system(1, 8), 64);
+        assert!(e.breakdown.tp_comm_intra > 0.0);
+        assert_eq!(e.breakdown.tp_comm_inter, 0.0);
+        assert_eq!(e.breakdown.dp_comm_intra, 0.0);
+        assert_eq!(e.breakdown.bubble, 0.0);
+    }
+
+    #[test]
+    fn tp_inter_is_slower_than_tp_intra() {
+        // Conclusion 2 of case study I: TP over slow inter-node links is
+        // communication-bound.
+        let intra = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap();
+        let inter = Parallelism::builder().tp(1, 2).dp(8, 1).build().unwrap();
+        let sys = system(2, 8);
+        let e_intra = estimate_with(&intra, &sys, 256);
+        let e_inter = estimate_with(&inter, &sys, 256);
+        assert!(e_inter.breakdown.tp_comm_inter > e_intra.breakdown.tp_comm_intra);
+    }
+
+    #[test]
+    fn pp_creates_bubble_that_shrinks_with_microbatches() {
+        let sys = system(1, 8);
+        let few = Parallelism::builder()
+            .pp(8, 1)
+            .microbatches(MicrobatchPolicy::Explicit(8))
+            .build()
+            .unwrap();
+        let many = Parallelism::builder()
+            .pp(8, 1)
+            .microbatches(MicrobatchPolicy::Explicit(64))
+            .build()
+            .unwrap();
+        let e_few = estimate_with(&few, &sys, 512);
+        let e_many = estimate_with(&many, &sys, 512);
+        assert!(e_few.breakdown.bubble > 0.0);
+        assert!(
+            e_many.breakdown.bubble < e_few.breakdown.bubble,
+            "more microbatches must shrink the bubble"
+        );
+    }
+
+    #[test]
+    fn bubble_ratio_scales_bubble_linearly() {
+        let sys = system(1, 8);
+        let naive = Parallelism::builder().pp(8, 1).build().unwrap();
+        let interleaved = Parallelism::builder()
+            .pp(8, 1)
+            .bubble_ratio(0.25)
+            .build()
+            .unwrap();
+        let e_n = estimate_with(&naive, &sys, 512);
+        let e_i = estimate_with(&interleaved, &sys, 512);
+        assert!((e_i.breakdown.bubble / e_n.breakdown.bubble - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_overhead_inflates_fwd_bwd_comm_only() {
+        let sys = system(1, 8);
+        let plain = Parallelism::builder().tp(8, 1).build().unwrap();
+        let zero = Parallelism::builder()
+            .tp(8, 1)
+            .zero(ZeroConfig::stage(crate::parallelism::ZeroStage::OptimizerStates, 0.5))
+            .build()
+            .unwrap();
+        let e_p = estimate_with(&plain, &sys, 64);
+        let e_z = estimate_with(&zero, &sys, 64);
+        assert!((e_z.breakdown.tp_comm_intra / e_p.breakdown.tp_comm_intra - 1.5).abs() < 1e-9);
+        assert_eq!(e_z.breakdown.compute_total(), e_p.breakdown.compute_total());
+    }
+
+    #[test]
+    fn moe_layers_add_alltoall() {
+        let m = TransformerModel::builder("moe")
+            .layers(24)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(1024)
+            .vocab_size(32000)
+            .moe(crate::model::MoeConfig::glam(8))
+            .build()
+            .unwrap();
+        let a = accel();
+        let sys = system(4, 8);
+        let p = Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap();
+        let e = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate(&TrainingConfig::new(256, 1).unwrap())
+            .unwrap();
+        assert!(e.breakdown.moe_comm > 0.0);
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let m = model();
+        let a = accel();
+        let p = Parallelism::builder().tp(8, 1).pp(1, 2).dp(1, 2).build().unwrap();
+        let slow = SystemSpec::new(4, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 1e11), 8).unwrap();
+        let fast = SystemSpec::new(4, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 4e11), 8).unwrap();
+        let t = TrainingConfig::new(256, 1).unwrap();
+        let e_slow = Estimator::new(&m, &a, &slow, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate(&t)
+            .unwrap();
+        let e_fast = Estimator::new(&m, &a, &fast, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate(&t)
+            .unwrap();
+        assert!(e_fast.time_per_iteration.get() <= e_slow.time_per_iteration.get());
+    }
+
+    #[test]
+    fn invalid_mapping_is_rejected() {
+        let m = model();
+        let a = accel();
+        let sys = system(1, 8);
+        let p = Parallelism::builder().tp(4, 1).build().unwrap(); // 4 != 8
+        let r = Estimator::new(&m, &a, &sys, &p).estimate(&TrainingConfig::new(8, 1).unwrap());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn detailed_layers_sum_to_aggregate_components() {
+        let m = TransformerModel::builder("detail")
+            .layers(8)
+            .hidden_size(512)
+            .heads(8)
+            .seq_len(128)
+            .vocab_size(2000)
+            .moe(crate::model::MoeConfig::glam(4))
+            .build()
+            .unwrap();
+        let a = accel();
+        let sys = system(4, 8);
+        let p = Parallelism::builder().tp(4, 1).pp(2, 2).dp(1, 2).build().unwrap();
+        let t = TrainingConfig::new(128, 1).unwrap();
+        let d = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate_detailed(&t)
+            .unwrap();
+        let b = &d.estimate.breakdown;
+        let sum = |f: fn(&crate::engine::LayerEstimate) -> f64| -> f64 {
+            d.layers.iter().map(f).sum()
+        };
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1e-12);
+        assert!(close(sum(|l| l.compute_forward), b.compute_forward));
+        assert!(close(sum(|l| l.compute_backward), b.compute_backward));
+        assert!(close(sum(|l| l.weight_update), b.weight_update));
+        assert!(close(sum(|l| l.tp_comm), b.tp_comm_intra + b.tp_comm_inter));
+        assert!(close(sum(|l| l.moe_comm), b.moe_comm));
+        assert!(close(sum(|l| l.dp_comm), b.dp_comm_intra + b.dp_comm_inter));
+        // Only MoE layers carry all-to-all time; the head is attention-free.
+        for l in &d.layers {
+            if l.kind != crate::model::LayerKind::Moe {
+                assert_eq!(l.moe_comm, 0.0);
+            }
+        }
+        assert_eq!(d.layers.len(), 9);
+    }
+
+    #[test]
+    fn detailed_hottest_layer_is_moe() {
+        let m = TransformerModel::builder("detail-hot")
+            .layers(4)
+            .hidden_size(256)
+            .heads(8)
+            .seq_len(64)
+            .vocab_size(500)
+            .moe(crate::model::MoeConfig::glam(8))
+            .build()
+            .unwrap();
+        let a = accel();
+        let sys = system(2, 8);
+        let p = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap();
+        let d = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate_detailed(&TrainingConfig::new(16, 1).unwrap())
+            .unwrap();
+        let hot = d.hottest_layers(1);
+        assert_eq!(hot[0].kind, crate::model::LayerKind::Moe);
+    }
+
+    #[test]
+    fn imbalance_correction_matches_slowest_stage_share() {
+        // 25 entries (24 layers + head) through 8 stages. The partition is
+        // 7 stages of 3 entries and 1 stage of 4; the correction scales the
+        // pipelined compute by max-stage work over mean-stage work.
+        let sys = system(1, 8);
+        let p = Parallelism::builder().pp(8, 1).build().unwrap();
+        let m = model();
+        let a = accel();
+        let t = TrainingConfig::new(64, 1).unwrap();
+        let run = |correct: bool| {
+            Estimator::new(&m, &a, &sys, &p)
+                .with_efficiency(EfficiencyModel::Constant(0.5))
+                .with_options(EngineOptions {
+                    stage_imbalance_correction: correct,
+                    ..Default::default()
+                })
+                .estimate(&t)
+                .unwrap()
+                .breakdown
+                .compute_forward
+        };
+        let ratio = run(true) / run(false);
+        // The first stage holds 4 of 25 entries; layers dominate the head
+        // here, so the factor sits between the naive 4/3.125 count ratio
+        // shifted by the head's weight, and must exceed 1.
+        assert!(ratio > 1.05 && ratio < 1.5, "ratio = {ratio}");
+        // Balanced stacks are untouched: pp = 1.
+        let p1 = Parallelism::single();
+        let sys1 = system(1, 1);
+        let e = |correct: bool| {
+            Estimator::new(&m, &a, &sys1, &p1)
+                .with_efficiency(EfficiencyModel::Constant(0.5))
+                .with_options(EngineOptions {
+                    stage_imbalance_correction: correct,
+                    ..Default::default()
+                })
+                .estimate(&t)
+                .unwrap()
+                .time_per_iteration
+                .get()
+        };
+        assert_eq!(e(true), e(false));
+    }
+
+    #[test]
+    fn interleaving_shrinks_bubble() {
+        let sys = system(1, 8);
+        let naive = Parallelism::builder().pp(8, 1).build().unwrap();
+        let interleaved = Parallelism::builder().pp(8, 1).interleaved(4).build().unwrap();
+        assert!((interleaved.bubble_ratio() - 0.25).abs() < 1e-12);
+        let e_n = estimate_with(&naive, &sys, 512);
+        let e_i = estimate_with(&interleaved, &sys, 512);
+        assert!((e_i.breakdown.bubble / e_n.breakdown.bubble - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tflops_metric_is_consistent() {
+        let sys = system(1, 8);
+        let p = Parallelism::builder().tp(8, 1).build().unwrap();
+        let e = estimate_with(&p, &sys, 64);
+        let expect = e.model_flops_per_iteration / (e.time_per_iteration.get() * 8.0) / 1e12;
+        assert!((e.tflops_per_gpu - expect).abs() < 1e-9);
+        assert!(e.tflops_per_gpu > 0.0);
+    }
+}

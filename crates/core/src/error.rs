@@ -1,0 +1,78 @@
+//! Error types for the AMPeD model.
+
+/// Error returned when a model, system, or parallelism configuration is
+/// invalid or inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A single component is internally invalid (e.g. zero layers).
+    InvalidConfig {
+        /// Which component rejected its configuration.
+        component: &'static str,
+        /// Human-readable reason, lowercase, no trailing punctuation.
+        reason: String,
+    },
+    /// Two components are individually valid but cannot be combined (e.g. a
+    /// parallelism mapping that does not factor into the system shape).
+    Incompatible {
+        /// Human-readable reason, lowercase, no trailing punctuation.
+        reason: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidConfig`].
+    pub fn invalid(component: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidConfig {
+            component,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Incompatible`].
+    pub fn incompatible(reason: impl Into<String>) -> Self {
+        Error::Incompatible {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidConfig { component, reason } => {
+                write!(f, "invalid {component} configuration: {reason}")
+            }
+            Error::Incompatible { reason } => write!(f, "incompatible configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across the AMPeD workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_component_and_reason() {
+        let e = Error::invalid("model", "hidden size must be positive");
+        let s = e.to_string();
+        assert!(s.contains("model") && s.contains("hidden size"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static + std::error::Error>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn incompatible_display() {
+        let e = Error::incompatible("1024 workers but system has 512 accelerators");
+        assert!(e.to_string().starts_with("incompatible"));
+    }
+}

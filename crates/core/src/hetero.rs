@@ -1,0 +1,340 @@
+//! Heterogeneous pipelines — the extension the paper's conclusion names
+//! ("AMPeD can be easily extended for heterogeneous accelerators").
+//!
+//! A [`HeteroPipeline`] assigns each pipeline stage its own
+//! [`AcceleratorSpec`] (e.g. the first stages on older V100s, the rest on
+//! A100s). The pipeline clocks at its *slowest* stage: per-microbatch stage
+//! times are computed per accelerator, the steady-state throughput is set
+//! by the bottleneck, and the standard GPipe bubble applies on top.
+//!
+//! Tensor and data parallelism within a stage follow the homogeneous model
+//! (every accelerator of one stage is identical); only the pipeline
+//! dimension may mix hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::accelerator::AcceleratorSpec;
+use crate::counts::LayerCounts;
+use crate::efficiency::EfficiencyModel;
+use crate::error::{Error, Result};
+use crate::model::{LayerKind, TransformerModel};
+use crate::precision::Precision;
+use crate::training::TrainingConfig;
+use crate::units::Seconds;
+
+/// One pipeline stage: an accelerator type and how many contiguous layers
+/// it carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeteroStage {
+    /// The hardware this stage runs on.
+    pub accelerator: AcceleratorSpec,
+    /// Number of layer-stack entries assigned to this stage.
+    pub num_layers: usize,
+}
+
+/// The result of a heterogeneous-pipeline estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroEstimate {
+    /// Time for one optimizer step.
+    pub time_per_iteration: Seconds,
+    /// End-to-end time for the configured batches.
+    pub total_time: Seconds,
+    /// Per-microbatch forward+backward time of each stage, in pipeline
+    /// order.
+    pub stage_times: Vec<f64>,
+    /// Index of the slowest (throughput-setting) stage.
+    pub bottleneck_stage: usize,
+    /// Fraction of the iteration lost to bubbles.
+    pub bubble_fraction: f64,
+}
+
+/// A pipeline of possibly different accelerators.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::hetero::{HeteroPipeline, HeteroStage};
+/// use amped_core::{AcceleratorSpec, TrainingConfig, TransformerModel};
+///
+/// # fn main() -> Result<(), amped_core::Error> {
+/// let model = TransformerModel::builder("m")
+///     .layers(8).hidden_size(512).heads(8).seq_len(128).vocab_size(1000)
+///     .include_head(false)
+///     .build()?;
+/// let old = AcceleratorSpec::builder("old")
+///     .frequency_hz(1e9).cores(16).mac_units(4, 64, 16)
+///     .nonlin_units(16, 8, 32).memory(16e9, 9e11).build()?;
+/// let new = AcceleratorSpec::builder("new")
+///     .frequency_hz(1.4e9).cores(108).mac_units(4, 512, 8)
+///     .nonlin_units(192, 4, 32).memory(80e9, 2e12).build()?;
+/// let pipeline = HeteroPipeline::new(
+///     &model,
+///     vec![
+///         HeteroStage { accelerator: old, num_layers: 4 },
+///         HeteroStage { accelerator: new, num_layers: 4 },
+///     ],
+/// )?;
+/// let e = pipeline.estimate(&TrainingConfig::new(64, 1)?, 16)?;
+/// assert_eq!(e.bottleneck_stage, 0); // the old card gates the pipe
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeteroPipeline<'a> {
+    model: &'a TransformerModel,
+    stages: Vec<HeteroStage>,
+    precision: Precision,
+    efficiency: EfficiencyModel,
+    backward_factor: f64,
+}
+
+impl<'a> HeteroPipeline<'a> {
+    /// Build a pipeline; stage layer counts must cover the model's layer
+    /// stack exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Incompatible`] when the stage layer counts do not
+    /// sum to the stack length, or any stage is empty.
+    pub fn new(model: &'a TransformerModel, stages: Vec<HeteroStage>) -> Result<Self> {
+        let total: usize = stages.iter().map(|s| s.num_layers).sum();
+        let stack_len = model.layer_stack().len();
+        if total != stack_len {
+            return Err(Error::incompatible(format!(
+                "stages cover {total} layers but the model's stack has {stack_len}"
+            )));
+        }
+        if stages.iter().any(|s| s.num_layers == 0) {
+            return Err(Error::incompatible(
+                "every pipeline stage needs at least one layer",
+            ));
+        }
+        Ok(HeteroPipeline {
+            model,
+            stages,
+            precision: Precision::default(),
+            efficiency: EfficiencyModel::default(),
+            backward_factor: 2.0,
+        })
+    }
+
+    /// Override the precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the efficiency model (shared by all stages).
+    pub fn with_efficiency(mut self, efficiency: EfficiencyModel) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Per-microbatch forward+backward time of each stage.
+    fn stage_times(&self, ub: f64) -> Vec<f64> {
+        let eff = self.efficiency.eval(ub);
+        let stack = self.model.layer_stack();
+        let mut out = Vec::with_capacity(self.stages.len());
+        let mut cursor = 0;
+        for stage in &self.stages {
+            let layers: &[LayerKind] = &stack[cursor..cursor + stage.num_layers];
+            cursor += stage.num_layers;
+            let a = &stage.accelerator;
+            let c_mac = a.c_mac(eff);
+            let c_nonlin = a.c_nonlin();
+            let mac_scale = a.mac_precision_scale(self.precision.mac_operand_bits());
+            let nonlin_scale = a.nonlin_precision_scale(self.precision.nonlin_bits);
+            let t: f64 = layers
+                .iter()
+                .map(|&kind| {
+                    let c = LayerCounts::for_layer(self.model, kind, ub);
+                    (1.0 + self.backward_factor)
+                        * (c.macs_fwd * c_mac * mac_scale
+                            + c.nonlin_fwd * c_nonlin * nonlin_scale)
+                })
+                .sum();
+            out.push(t);
+        }
+        out
+    }
+
+    /// Estimate one run: `num_microbatches` microbatches pipeline through
+    /// the stages; steady-state throughput is set by the slowest stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero microbatch count.
+    pub fn estimate(
+        &self,
+        training: &TrainingConfig,
+        num_microbatches: usize,
+    ) -> Result<HeteroEstimate> {
+        if num_microbatches == 0 {
+            return Err(Error::invalid("hetero", "need at least one microbatch"));
+        }
+        self.precision.validate()?;
+        self.efficiency.validate()?;
+        let ub = training.global_batch() as f64 / num_microbatches as f64;
+        let stage_times = self.stage_times(ub);
+        let (bottleneck_stage, &t_max) = stage_times
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("at least one stage");
+        // Fill + drain pass through every stage once; steady state clocks
+        // at the bottleneck.
+        let fill_drain: f64 = stage_times.iter().sum();
+        let time_per_iteration = fill_drain + (num_microbatches as f64 - 1.0) * t_max;
+        // Busy fraction: each stage works m·t_s of the p·T device-seconds.
+        let busy: f64 = stage_times.iter().map(|t| t * num_microbatches as f64).sum();
+        let bubble_fraction =
+            1.0 - busy / (time_per_iteration * stage_times.len() as f64);
+        Ok(HeteroEstimate {
+            time_per_iteration: Seconds::new(time_per_iteration),
+            total_time: Seconds::new(time_per_iteration * training.num_batches() as f64),
+            stage_times,
+            bottleneck_stage,
+            bubble_fraction: bubble_fraction.clamp(0.0, 1.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransformerModel {
+        TransformerModel::builder("hetero-m")
+            .layers(8)
+            .hidden_size(512)
+            .heads(8)
+            .seq_len(128)
+            .vocab_size(1000)
+            .include_head(false)
+            .build()
+            .unwrap()
+    }
+
+    fn accel(name: &str, freq: f64) -> AcceleratorSpec {
+        AcceleratorSpec::builder(name)
+            .frequency_hz(freq)
+            .cores(32)
+            .mac_units(4, 128, 8)
+            .nonlin_units(32, 8, 32)
+            .memory(32e9, 1e12)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn slow_stage_sets_the_pace() {
+        let m = model();
+        let p = HeteroPipeline::new(
+            &m,
+            vec![
+                HeteroStage {
+                    accelerator: accel("slow", 5e8),
+                    num_layers: 4,
+                },
+                HeteroStage {
+                    accelerator: accel("fast", 2e9),
+                    num_layers: 4,
+                },
+            ],
+        )
+        .unwrap();
+        let e = p
+            .estimate(&TrainingConfig::new(64, 1).unwrap(), 16)
+            .unwrap();
+        assert_eq!(e.bottleneck_stage, 0);
+        assert!(e.stage_times[0] > e.stage_times[1]);
+        // Steady state ~ m * t_slow.
+        assert!(e.time_per_iteration.get() > 15.0 * e.stage_times[0]);
+    }
+
+    #[test]
+    fn rebalancing_layers_towards_fast_hardware_helps() {
+        let m = model();
+        let make = |slow_layers: usize| {
+            HeteroPipeline::new(
+                &m,
+                vec![
+                    HeteroStage {
+                        accelerator: accel("slow", 5e8),
+                        num_layers: slow_layers,
+                    },
+                    HeteroStage {
+                        accelerator: accel("fast", 2e9),
+                        num_layers: 8 - slow_layers,
+                    },
+                ],
+            )
+            .unwrap()
+            .estimate(&TrainingConfig::new(64, 1).unwrap(), 16)
+            .unwrap()
+        };
+        // Giving the slow card fewer layers (2 instead of 4) must be faster.
+        assert!(make(2).time_per_iteration < make(4).time_per_iteration);
+    }
+
+    #[test]
+    fn homogeneous_pipeline_is_balanced() {
+        let m = model();
+        let p = HeteroPipeline::new(
+            &m,
+            vec![
+                HeteroStage {
+                    accelerator: accel("a", 1e9),
+                    num_layers: 4,
+                },
+                HeteroStage {
+                    accelerator: accel("a", 1e9),
+                    num_layers: 4,
+                },
+            ],
+        )
+        .unwrap();
+        let e = p
+            .estimate(&TrainingConfig::new(64, 1).unwrap(), 32)
+            .unwrap();
+        assert!((e.stage_times[0] - e.stage_times[1]).abs() < 1e-12);
+        // Many microbatches => small bubble fraction.
+        assert!(e.bubble_fraction < 0.1, "bubble = {}", e.bubble_fraction);
+    }
+
+    #[test]
+    fn coverage_is_validated() {
+        let m = model();
+        assert!(HeteroPipeline::new(
+            &m,
+            vec![HeteroStage {
+                accelerator: accel("a", 1e9),
+                num_layers: 5,
+            }],
+        )
+        .is_err());
+        let empty_stage = HeteroPipeline::new(
+            &m,
+            vec![
+                HeteroStage {
+                    accelerator: accel("a", 1e9),
+                    num_layers: 8,
+                },
+                HeteroStage {
+                    accelerator: accel("b", 1e9),
+                    num_layers: 0,
+                },
+            ],
+        );
+        assert!(empty_stage.is_err());
+        let p = HeteroPipeline::new(
+            &m,
+            vec![HeteroStage {
+                accelerator: accel("a", 1e9),
+                num_layers: 8,
+            }],
+        )
+        .unwrap();
+        assert!(p.estimate(&TrainingConfig::new(8, 1).unwrap(), 0).is_err());
+    }
+}

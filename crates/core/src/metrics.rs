@@ -1,0 +1,132 @@
+//! Derived performance metrics: model FLOPs and the TFLOP/s/GPU measure the
+//! paper validates against (Table II, Fig. 2c).
+
+use crate::counts::LayerCounts;
+use crate::model::TransformerModel;
+
+/// Useful model FLOPs of one iteration at `global_batch` sequences, with
+/// Megatron-LM accounting: forward + backward (2×) and, when
+/// `activation_recompute` is set, one extra forward — FLOPs of MAC-bearing
+/// layers only, 2 FLOPs per MAC.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::{metrics::model_flops_per_iteration, TransformerModel};
+/// let m = TransformerModel::builder("t")
+///     .layers(4).hidden_size(256).heads(8).seq_len(128).vocab_size(1000)
+///     .include_head(false)
+///     .build().unwrap();
+/// let f3 = model_flops_per_iteration(&m, 8, false);
+/// let f4 = model_flops_per_iteration(&m, 8, true);
+/// assert!((f4 / f3 - 4.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn model_flops_per_iteration(
+    model: &TransformerModel,
+    global_batch: usize,
+    activation_recompute: bool,
+) -> f64 {
+    let passes = if activation_recompute { 4.0 } else { 3.0 };
+    let b = global_batch as f64;
+    let mut flops = 0.0;
+    for (kind, c) in LayerCounts::for_stack(model, b) {
+        // Megatron's convention: the vocabulary head is never recomputed,
+        // so it contributes 3 passes regardless (its 6BshV term).
+        let layer_passes = if kind == crate::model::LayerKind::Head {
+            3.0
+        } else {
+            passes
+        };
+        flops += 2.0 * c.macs_fwd * layer_passes;
+    }
+    flops
+}
+
+/// Megatron-LM's closed-form FLOP count
+/// `96·B·s·L·h²·(1 + s/(6h) + V/(16·L·h))` (with recompute), used as a
+/// cross-check of the layer-wise counting.
+pub fn megatron_closed_form_flops(
+    num_layers: usize,
+    hidden: usize,
+    seq: usize,
+    vocab: usize,
+    global_batch: usize,
+) -> f64 {
+    let (l, h, s, v, b) = (
+        num_layers as f64,
+        hidden as f64,
+        seq as f64,
+        vocab as f64,
+        global_batch as f64,
+    );
+    96.0 * b * s * l * h * h * (1.0 + s / (6.0 * h) + v / (16.0 * l * h))
+}
+
+/// Achieved model TFLOP/s per accelerator: `flops / (t_iter · workers) / 1e12`.
+///
+/// Returns zero for a zero-duration iteration (degenerate inputs).
+pub fn tflops_per_gpu(model_flops: f64, time_per_iteration_s: f64, workers: f64) -> f64 {
+    if time_per_iteration_s <= 0.0 || workers <= 0.0 {
+        return 0.0;
+    }
+    model_flops / (time_per_iteration_s * workers) / 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layerwise_count_matches_megatron_closed_form() {
+        // For a pure GPT stack the two accountings agree to within the small
+        // terms the closed form drops (biases, layer norms, softmax MACs).
+        let m = TransformerModel::builder("gpt3")
+            .layers(96)
+            .hidden_size(12288)
+            .heads(96)
+            .seq_len(2048)
+            .vocab_size(51200)
+            .build()
+            .unwrap();
+        let ours = model_flops_per_iteration(&m, 1536, true);
+        let theirs = megatron_closed_form_flops(96, 12288, 2048, 51200, 1536);
+        let rel = (ours - theirs).abs() / theirs;
+        assert!(rel < 0.02, "relative difference {rel}");
+    }
+
+    #[test]
+    fn recompute_is_four_thirds_of_the_transformer_layers() {
+        let m = TransformerModel::builder("t")
+            .layers(2)
+            .hidden_size(64)
+            .heads(4)
+            .seq_len(32)
+            .vocab_size(100)
+            .include_head(false)
+            .build()
+            .unwrap();
+        let without = model_flops_per_iteration(&m, 4, false);
+        let with = model_flops_per_iteration(&m, 4, true);
+        assert!((with / without - 4.0 / 3.0).abs() < 1e-12);
+
+        // With the head present, its share stays at 3 passes.
+        let with_head = TransformerModel::builder("t")
+            .layers(2)
+            .hidden_size(64)
+            .heads(4)
+            .seq_len(32)
+            .vocab_size(100)
+            .build()
+            .unwrap();
+        let ratio = model_flops_per_iteration(&with_head, 4, true)
+            / model_flops_per_iteration(&with_head, 4, false);
+        assert!(ratio > 1.0 && ratio < 4.0 / 3.0);
+    }
+
+    #[test]
+    fn tflops_handles_degenerate_inputs() {
+        assert_eq!(tflops_per_gpu(1e15, 0.0, 8.0), 0.0);
+        assert_eq!(tflops_per_gpu(1e15, 1.0, 0.0), 0.0);
+        assert!((tflops_per_gpu(1e15, 1.0, 8.0) - 125.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,274 @@
+//! System architecture: nodes, accelerators per node, intra/inter-node links.
+//!
+//! AMPeD assumes a two-level hierarchy: nodes of homogeneous accelerators
+//! joined by fast intra-node links (NVLink/NVSwitch or an optical substrate),
+//! with nodes joined by slower inter-node links (InfiniBand NICs or optical
+//! fibers). The paper's `C_intra`/`BW_intra` and `C_inter`/`BW_inter` come
+//! from here.
+
+use amped_topo::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// One level of the interconnect hierarchy.
+///
+/// `bandwidth_bits_per_sec` is the bandwidth *per communicating endpoint*:
+/// per accelerator for the intra-node link, per NIC for the inter-node link
+/// (see [`SystemSpec::inter_bandwidth_per_accel`] for the per-accelerator
+/// share).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One-hop latency in seconds (the paper's `C_intra` / `C_inter`).
+    pub latency_s: f64,
+    /// Bandwidth per endpoint in bits/s (the paper's `BW`).
+    pub bandwidth_bits_per_sec: f64,
+    /// Topology the collective runs over.
+    pub topology: Topology,
+}
+
+impl Link {
+    /// A link with the given latency and bandwidth on a ring topology.
+    pub fn new(latency_s: f64, bandwidth_bits_per_sec: f64) -> Self {
+        Link {
+            latency_s,
+            bandwidth_bits_per_sec,
+            topology: Topology::Ring,
+        }
+    }
+
+    /// Same link over a different topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Validate physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for negative latency or non-positive
+    /// bandwidth.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.latency_s >= 0.0 && self.latency_s.is_finite()) {
+            return Err(Error::invalid(
+                "link",
+                format!("latency must be non-negative, got {}", self.latency_s),
+            ));
+        }
+        if !(self.bandwidth_bits_per_sec > 0.0 && self.bandwidth_bits_per_sec.is_finite()) {
+            return Err(Error::invalid(
+                "link",
+                format!(
+                    "bandwidth must be positive, got {}",
+                    self.bandwidth_bits_per_sec
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The distributed system: `num_nodes` nodes of `accels_per_node`
+/// accelerators each.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::{Link, SystemSpec};
+/// // 128 nodes x 8 A100s, NVLink inside, one HDR NIC per accelerator.
+/// let sys = SystemSpec::new(
+///     128,
+///     8,
+///     Link::new(5e-6, 2.4e12),
+///     Link::new(10e-6, 200e9),
+///     8,
+/// )
+/// .unwrap();
+/// assert_eq!(sys.total_accelerators(), 1024);
+/// assert_eq!(sys.inter_bandwidth_per_accel(), 200e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    num_nodes: usize,
+    accels_per_node: usize,
+    intra: Link,
+    inter: Link,
+    nics_per_node: usize,
+}
+
+impl SystemSpec {
+    /// Build and validate a system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero node/accelerator/NIC counts
+    /// or invalid links.
+    pub fn new(
+        num_nodes: usize,
+        accels_per_node: usize,
+        intra: Link,
+        inter: Link,
+        nics_per_node: usize,
+    ) -> Result<Self> {
+        if num_nodes == 0 || accels_per_node == 0 {
+            return Err(Error::invalid(
+                "system",
+                "node and accelerator counts must be positive",
+            ));
+        }
+        if nics_per_node == 0 {
+            return Err(Error::invalid(
+                "system",
+                "at least one NIC per node is required",
+            ));
+        }
+        intra.validate()?;
+        inter.validate()?;
+        Ok(SystemSpec {
+            num_nodes,
+            accels_per_node,
+            intra,
+            inter,
+            nics_per_node,
+        })
+    }
+
+    /// Number of multi-accelerator nodes (the paper's `N_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Accelerators per node.
+    pub fn accels_per_node(&self) -> usize {
+        self.accels_per_node
+    }
+
+    /// Total accelerators in the system.
+    pub fn total_accelerators(&self) -> usize {
+        self.num_nodes * self.accels_per_node
+    }
+
+    /// The intra-node link.
+    pub fn intra(&self) -> Link {
+        self.intra
+    }
+
+    /// The inter-node link (per NIC).
+    pub fn inter(&self) -> Link {
+        self.inter
+    }
+
+    /// NICs per node.
+    pub fn nics_per_node(&self) -> usize {
+        self.nics_per_node
+    }
+
+    /// Effective inter-node bandwidth available to each accelerator:
+    /// `nics_per_node · BW_nic / accels_per_node`.
+    ///
+    /// This is what makes case study II tick: one NIC shared by eight
+    /// accelerators gives each an eighth of the inter-node bandwidth, while
+    /// one accelerator per node with its own NIC gets all of it.
+    pub fn inter_bandwidth_per_accel(&self) -> f64 {
+        self.inter.bandwidth_bits_per_sec * self.nics_per_node as f64 / self.accels_per_node as f64
+    }
+
+    /// Copy with a different intra-node link (e.g. an optical substrate).
+    pub fn with_intra(mut self, intra: Link) -> Self {
+        self.intra = intra;
+        self
+    }
+
+    /// Copy with a different inter-node link.
+    pub fn with_inter(mut self, inter: Link) -> Self {
+        self.inter = inter;
+        self
+    }
+
+    /// Copy reshaped to `accels_per_node` accelerators and `nics_per_node`
+    /// NICs per node while keeping the total accelerator count, as in the
+    /// case study II sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Incompatible`] if the total accelerator count is not
+    /// divisible by the new per-node count.
+    pub fn reshaped(&self, accels_per_node: usize, nics_per_node: usize) -> Result<Self> {
+        let total = self.total_accelerators();
+        if accels_per_node == 0 || !total.is_multiple_of(accels_per_node) {
+            return Err(Error::incompatible(format!(
+                "cannot reshape {total} accelerators into nodes of {accels_per_node}"
+            )));
+        }
+        SystemSpec::new(
+            total / accels_per_node,
+            accels_per_node,
+            self.intra,
+            self.inter,
+            nics_per_node,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> SystemSpec {
+        SystemSpec::new(128, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8).unwrap()
+    }
+
+    #[test]
+    fn totals_and_shares() {
+        let s = cluster();
+        assert_eq!(s.total_accelerators(), 1024);
+        // 8 NICs for 8 accels => one NIC's bandwidth each.
+        assert_eq!(s.inter_bandwidth_per_accel(), 2e11);
+    }
+
+    #[test]
+    fn nic_sharing_divides_bandwidth() {
+        let s = SystemSpec::new(128, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 1).unwrap();
+        assert_eq!(s.inter_bandwidth_per_accel(), 2e11 / 8.0);
+    }
+
+    #[test]
+    fn reshape_preserves_total() {
+        let s = cluster();
+        for (per_node, nodes) in [(1usize, 1024usize), (2, 512), (4, 256), (8, 128)] {
+            let r = s.reshaped(per_node, per_node).unwrap();
+            assert_eq!(r.num_nodes(), nodes);
+            assert_eq!(r.total_accelerators(), 1024);
+        }
+        assert!(s.reshaped(3, 3).is_err());
+        assert!(s.reshaped(0, 1).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(SystemSpec::new(0, 8, Link::new(0.0, 1.0), Link::new(0.0, 1.0), 1).is_err());
+        assert!(SystemSpec::new(1, 0, Link::new(0.0, 1.0), Link::new(0.0, 1.0), 1).is_err());
+        assert!(SystemSpec::new(1, 1, Link::new(0.0, 1.0), Link::new(0.0, 1.0), 0).is_err());
+        assert!(SystemSpec::new(1, 1, Link::new(-1.0, 1.0), Link::new(0.0, 1.0), 1).is_err());
+        assert!(SystemSpec::new(1, 1, Link::new(0.0, 0.0), Link::new(0.0, 1.0), 1).is_err());
+    }
+
+    #[test]
+    fn with_links_replace_cleanly() {
+        let s = cluster();
+        let optical = Link::new(1e-7, 1.6e13).with_topology(amped_topo::Topology::FullyConnected);
+        let s2 = s.clone().with_intra(optical).with_inter(optical);
+        assert_eq!(s2.intra(), optical);
+        assert_eq!(s2.inter(), optical);
+        assert_eq!(s2.total_accelerators(), s.total_accelerators());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = cluster();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

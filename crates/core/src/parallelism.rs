@@ -1,0 +1,529 @@
+//! Parallelism mapping: how TP / PP / DP degrees are split between
+//! intra-node and inter-node accelerators, plus microbatching, ZeRO and
+//! pipeline-schedule knobs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::model::TransformerModel;
+use crate::network::SystemSpec;
+
+/// How many microbatches a minibatch is split into for pipelining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum MicrobatchPolicy {
+    /// `N_ub = N_PP` — the policy the paper uses in its PP validation.
+    #[default]
+    EqualToPipelineDepth,
+    /// An explicit microbatch count.
+    Explicit(usize),
+    /// Choose `N_ub` so the microbatch is `target` samples (rounded to at
+    /// least one microbatch).
+    TargetMicrobatch(usize),
+}
+
+
+/// ZeRO redundancy-elimination stage for data parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ZeroStage {
+    /// Plain data parallelism: full replication.
+    #[default]
+    None,
+    /// Optimizer states sharded across DP ranks.
+    OptimizerStates,
+    /// Optimizer states and gradients sharded.
+    Gradients,
+    /// Optimizer states, gradients and parameters sharded (full ZeRO-3).
+    Parameters,
+}
+
+
+/// ZeRO configuration: the stage plus the paper's forward/backward
+/// communication overhead factor `M_f_DP` (Eq. 5's `(1 + M_f_DP)` term).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZeroConfig {
+    /// Which tensors are sharded.
+    pub stage: ZeroStage,
+    /// Fractional overhead added to forward/backward communication
+    /// (`M_f_DP`); the paper treats it as a single fitted factor. Zero for
+    /// plain DP.
+    pub comm_overhead: f64,
+}
+
+impl ZeroConfig {
+    /// Plain data parallelism (no ZeRO).
+    pub fn none() -> Self {
+        ZeroConfig {
+            stage: ZeroStage::None,
+            comm_overhead: 0.0,
+        }
+    }
+
+    /// A ZeRO stage with its communication overhead factor.
+    pub fn stage(stage: ZeroStage, comm_overhead: f64) -> Self {
+        ZeroConfig {
+            stage,
+            comm_overhead,
+        }
+    }
+}
+
+impl Default for ZeroConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A complete parallelism mapping.
+///
+/// Degrees are split by network level: `*_intra` workers share a node's
+/// fast links, `*_inter` workers communicate across nodes. The product of
+/// the intra degrees must equal the node size, the product of the inter
+/// degrees the node count.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::Parallelism;
+/// // Megatron-style: TP across the 8 GPUs of a node, PP x DP across 128 nodes.
+/// let p = Parallelism::builder()
+///     .tp(8, 1)
+///     .pp(1, 8)
+///     .dp(1, 16)
+///     .build()
+///     .unwrap();
+/// assert_eq!(p.total_workers(), 1024);
+/// assert_eq!(p.tp(), 8);
+/// assert_eq!(p.pp(), 8);
+/// assert_eq!(p.dp(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Parallelism {
+    tp_intra: usize,
+    tp_inter: usize,
+    pp_intra: usize,
+    pp_inter: usize,
+    dp_intra: usize,
+    dp_inter: usize,
+    microbatches: MicrobatchPolicy,
+    /// The paper's `R`: ratio of non-overlapped bubbles relative to naive
+    /// pipelining (1 = naive/GPipe, lower for interleaved schedules).
+    bubble_ratio: f64,
+    zero: ZeroConfig,
+}
+
+impl Parallelism {
+    /// Start building a mapping (all degrees default to 1).
+    pub fn builder() -> ParallelismBuilder {
+        ParallelismBuilder {
+            p: Parallelism {
+                tp_intra: 1,
+                tp_inter: 1,
+                pp_intra: 1,
+                pp_inter: 1,
+                dp_intra: 1,
+                dp_inter: 1,
+                microbatches: MicrobatchPolicy::default(),
+                bubble_ratio: 1.0,
+                zero: ZeroConfig::none(),
+            },
+        }
+    }
+
+    /// The trivial single-worker mapping.
+    pub fn single() -> Self {
+        Parallelism::builder().build().expect("single is valid")
+    }
+
+    /// Pure data parallelism of the given degree inside one node.
+    pub fn data_parallel_intra(dp: usize) -> Result<Self> {
+        Parallelism::builder().dp(dp, 1).build()
+    }
+
+    /// Pure pipeline parallelism of the given degree inside one node.
+    pub fn pipeline_parallel_intra(pp: usize) -> Result<Self> {
+        Parallelism::builder().pp(pp, 1).build()
+    }
+
+    /// Intra-node tensor-parallel degree.
+    pub fn tp_intra(&self) -> usize {
+        self.tp_intra
+    }
+
+    /// Inter-node tensor-parallel degree.
+    pub fn tp_inter(&self) -> usize {
+        self.tp_inter
+    }
+
+    /// Intra-node pipeline-parallel degree.
+    pub fn pp_intra(&self) -> usize {
+        self.pp_intra
+    }
+
+    /// Inter-node pipeline-parallel degree.
+    pub fn pp_inter(&self) -> usize {
+        self.pp_inter
+    }
+
+    /// Intra-node data-parallel degree.
+    pub fn dp_intra(&self) -> usize {
+        self.dp_intra
+    }
+
+    /// Inter-node data-parallel degree.
+    pub fn dp_inter(&self) -> usize {
+        self.dp_inter
+    }
+
+    /// Total tensor-parallel degree `N_TP`.
+    pub fn tp(&self) -> usize {
+        self.tp_intra * self.tp_inter
+    }
+
+    /// Total pipeline-parallel degree `N_PP`.
+    pub fn pp(&self) -> usize {
+        self.pp_intra * self.pp_inter
+    }
+
+    /// Total data-parallel degree `N_DP`.
+    pub fn dp(&self) -> usize {
+        self.dp_intra * self.dp_inter
+    }
+
+    /// Total workers `N_TP · N_PP · N_DP`.
+    pub fn total_workers(&self) -> usize {
+        self.tp() * self.pp() * self.dp()
+    }
+
+    /// Product of intra-node degrees — must equal the node size.
+    pub fn intra_workers(&self) -> usize {
+        self.tp_intra * self.pp_intra * self.dp_intra
+    }
+
+    /// Product of inter-node degrees — must equal the node count.
+    pub fn inter_workers(&self) -> usize {
+        self.tp_inter * self.pp_inter * self.dp_inter
+    }
+
+    /// The microbatch policy.
+    pub fn microbatch_policy(&self) -> MicrobatchPolicy {
+        self.microbatches
+    }
+
+    /// The bubble-overlap ratio `R`.
+    pub fn bubble_ratio(&self) -> f64 {
+        self.bubble_ratio
+    }
+
+    /// The ZeRO configuration.
+    pub fn zero(&self) -> ZeroConfig {
+        self.zero
+    }
+
+    /// Copy with a different microbatch policy (used by microbatch tuning).
+    pub fn with_microbatches(mut self, policy: MicrobatchPolicy) -> Self {
+        self.microbatches = policy;
+        self
+    }
+
+    /// Number of microbatches per minibatch, resolved against the global
+    /// batch size.
+    pub fn num_microbatches(&self, global_batch: usize) -> usize {
+        let per_replica = (global_batch / self.dp()).max(1);
+        let n = match self.microbatches {
+            MicrobatchPolicy::EqualToPipelineDepth => self.pp(),
+            MicrobatchPolicy::Explicit(n) => n,
+            MicrobatchPolicy::TargetMicrobatch(target) => {
+                per_replica.div_ceil(target.max(1))
+            }
+        };
+        n.clamp(1, per_replica)
+    }
+
+    /// Per-DP-replica minibatch in samples: `B / N_DP`.
+    pub fn replica_batch(&self, global_batch: usize) -> f64 {
+        global_batch as f64 / self.dp() as f64
+    }
+
+    /// Microbatch size in samples: `B / (N_DP · N_ub)` — the `ub` that
+    /// drives the efficiency model.
+    pub fn microbatch_size(&self, global_batch: usize) -> f64 {
+        self.replica_batch(global_batch) / self.num_microbatches(global_batch) as f64
+    }
+
+    /// Check the mapping fits `system` and `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Incompatible`] when intra degrees do not multiply to
+    /// the node size, inter degrees to the node count, pipeline depth
+    /// exceeds the layer count, or TP exceeds the head count.
+    pub fn validate_against(&self, system: &SystemSpec, model: &TransformerModel) -> Result<()> {
+        if self.intra_workers() != system.accels_per_node() {
+            return Err(Error::incompatible(format!(
+                "intra-node degrees multiply to {} but nodes have {} accelerators",
+                self.intra_workers(),
+                system.accels_per_node()
+            )));
+        }
+        if self.inter_workers() != system.num_nodes() {
+            return Err(Error::incompatible(format!(
+                "inter-node degrees multiply to {} but the system has {} nodes",
+                self.inter_workers(),
+                system.num_nodes()
+            )));
+        }
+        if self.pp() > model.num_layers() {
+            return Err(Error::incompatible(format!(
+                "pipeline depth {} exceeds the model's {} layers",
+                self.pp(),
+                model.num_layers()
+            )));
+        }
+        if self.tp() > model.num_heads() {
+            return Err(Error::incompatible(format!(
+                "tensor-parallel degree {} exceeds the model's {} attention heads",
+                self.tp(),
+                model.num_heads()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::single()
+    }
+}
+
+/// Builder for [`Parallelism`]; see the type-level example.
+#[derive(Debug, Clone)]
+pub struct ParallelismBuilder {
+    p: Parallelism,
+}
+
+impl ParallelismBuilder {
+    /// Tensor-parallel degrees: intra-node × inter-node.
+    pub fn tp(&mut self, intra: usize, inter: usize) -> &mut Self {
+        self.p.tp_intra = intra;
+        self.p.tp_inter = inter;
+        self
+    }
+
+    /// Pipeline-parallel degrees: intra-node × inter-node.
+    pub fn pp(&mut self, intra: usize, inter: usize) -> &mut Self {
+        self.p.pp_intra = intra;
+        self.p.pp_inter = inter;
+        self
+    }
+
+    /// Data-parallel degrees: intra-node × inter-node.
+    pub fn dp(&mut self, intra: usize, inter: usize) -> &mut Self {
+        self.p.dp_intra = intra;
+        self.p.dp_inter = inter;
+        self
+    }
+
+    /// Microbatch policy (default: `N_ub = N_PP`).
+    pub fn microbatches(&mut self, policy: MicrobatchPolicy) -> &mut Self {
+        self.p.microbatches = policy;
+        self
+    }
+
+    /// Bubble-overlap ratio `R` (default 1.0 = naive pipelining).
+    pub fn bubble_ratio(&mut self, r: f64) -> &mut Self {
+        self.p.bubble_ratio = r;
+        self
+    }
+
+    /// Model a Megatron-style interleaved pipeline schedule with
+    /// `virtual_stages` model chunks per device: the bubble shrinks by the
+    /// interleaving factor (`R = 1/v`), which is how the paper suggests
+    /// tuning `R` "as a function of pipeline stages and interleaving".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_stages` is zero.
+    pub fn interleaved(&mut self, virtual_stages: usize) -> &mut Self {
+        assert!(virtual_stages > 0, "need at least one virtual stage");
+        self.p.bubble_ratio = 1.0 / virtual_stages as f64;
+        self
+    }
+
+    /// ZeRO configuration (default: none).
+    pub fn zero(&mut self, cfg: ZeroConfig) -> &mut Self {
+        self.p.zero = cfg;
+        self
+    }
+
+    /// Validate and produce the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero degrees, an out-of-range
+    /// bubble ratio or ZeRO overhead, or a zero explicit microbatch count.
+    pub fn build(&self) -> Result<Parallelism> {
+        let p = &self.p;
+        let bad = |reason: String| Err(Error::invalid("parallelism", reason));
+        for (name, d) in [
+            ("tp_intra", p.tp_intra),
+            ("tp_inter", p.tp_inter),
+            ("pp_intra", p.pp_intra),
+            ("pp_inter", p.pp_inter),
+            ("dp_intra", p.dp_intra),
+            ("dp_inter", p.dp_inter),
+        ] {
+            if d == 0 {
+                return bad(format!("{name} must be at least 1"));
+            }
+        }
+        if !(p.bubble_ratio >= 0.0 && p.bubble_ratio <= 1.0) {
+            return bad(format!(
+                "bubble ratio must be in [0, 1], got {}",
+                p.bubble_ratio
+            ));
+        }
+        if !(p.zero.comm_overhead >= 0.0 && p.zero.comm_overhead.is_finite()) {
+            return bad("zero communication overhead must be non-negative".into());
+        }
+        if p.zero.stage != ZeroStage::None && p.zero.comm_overhead == 0.0 {
+            // Permitted, but only ZeRO-1 is genuinely overhead-free.
+        }
+        if let MicrobatchPolicy::Explicit(0) = p.microbatches {
+            return bad("explicit microbatch count must be at least 1".into());
+        }
+        Ok(*p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Link;
+
+    fn system_128x8() -> SystemSpec {
+        SystemSpec::new(128, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8).unwrap()
+    }
+
+    fn model() -> TransformerModel {
+        TransformerModel::builder("m")
+            .layers(80)
+            .hidden_size(12288)
+            .heads(96)
+            .seq_len(2048)
+            .vocab_size(51200)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn degrees_multiply() {
+        let p = Parallelism::builder().tp(8, 1).pp(1, 2).dp(1, 64).build().unwrap();
+        assert_eq!(p.tp(), 8);
+        assert_eq!(p.pp(), 2);
+        assert_eq!(p.dp(), 64);
+        assert_eq!(p.total_workers(), 1024);
+        assert_eq!(p.intra_workers(), 8);
+        assert_eq!(p.inter_workers(), 128);
+    }
+
+    #[test]
+    fn validate_against_system_shape() {
+        let sys = system_128x8();
+        let m = model();
+        let good = Parallelism::builder().tp(8, 1).pp(1, 2).dp(1, 64).build().unwrap();
+        assert!(good.validate_against(&sys, &m).is_ok());
+
+        let wrong_intra = Parallelism::builder().tp(4, 1).pp(1, 2).dp(1, 128).build().unwrap();
+        assert!(wrong_intra.validate_against(&sys, &m).is_err());
+
+        let too_deep = Parallelism::builder().tp(8, 1).pp(1, 128).dp(1, 1).build().unwrap();
+        assert!(too_deep.validate_against(&sys, &m).is_err());
+
+        let too_wide_tp = Parallelism::builder().tp(8, 16).pp(1, 8).dp(1, 1).build().unwrap();
+        assert!(too_wide_tp.validate_against(&sys, &m).is_err());
+    }
+
+    #[test]
+    fn microbatch_policies() {
+        let p = Parallelism::builder()
+            .pp(4, 1)
+            .microbatches(MicrobatchPolicy::EqualToPipelineDepth)
+            .build()
+            .unwrap();
+        assert_eq!(p.num_microbatches(64), 4);
+        assert_eq!(p.microbatch_size(64), 16.0);
+
+        let p = Parallelism::builder()
+            .pp(4, 1)
+            .microbatches(MicrobatchPolicy::Explicit(32))
+            .build()
+            .unwrap();
+        assert_eq!(p.num_microbatches(64), 32);
+
+        let p = Parallelism::builder()
+            .dp(2, 1)
+            .microbatches(MicrobatchPolicy::TargetMicrobatch(8))
+            .build()
+            .unwrap();
+        assert_eq!(p.num_microbatches(64), 4); // 32 per replica / 8 target
+        assert_eq!(p.microbatch_size(64), 8.0);
+    }
+
+    #[test]
+    fn microbatches_never_exceed_replica_batch() {
+        let p = Parallelism::builder()
+            .pp(16, 1)
+            .dp(1, 4)
+            .microbatches(MicrobatchPolicy::Explicit(1000))
+            .build()
+            .unwrap();
+        // 64-sample batch, 4-way DP -> 16 per replica; cannot split further.
+        assert_eq!(p.num_microbatches(64), 16);
+        assert_eq!(p.microbatch_size(64), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert!(Parallelism::builder().tp(0, 1).build().is_err());
+        assert!(Parallelism::builder().bubble_ratio(1.5).build().is_err());
+        assert!(Parallelism::builder()
+            .microbatches(MicrobatchPolicy::Explicit(0))
+            .build()
+            .is_err());
+        assert!(Parallelism::builder()
+            .zero(ZeroConfig::stage(ZeroStage::Parameters, f64::NAN))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert_eq!(Parallelism::single().total_workers(), 1);
+        assert_eq!(Parallelism::data_parallel_intra(8).unwrap().dp(), 8);
+        assert_eq!(Parallelism::pipeline_parallel_intra(4).unwrap().pp(), 4);
+    }
+
+    #[test]
+    fn zero_stages_order() {
+        assert!(ZeroStage::None < ZeroStage::OptimizerStates);
+        assert!(ZeroStage::Gradients < ZeroStage::Parameters);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Parallelism::builder()
+            .tp(8, 1)
+            .pp(1, 8)
+            .dp(1, 16)
+            .bubble_ratio(0.5)
+            .zero(ZeroConfig::stage(ZeroStage::OptimizerStates, 0.1))
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Parallelism = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

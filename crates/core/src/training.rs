@@ -1,0 +1,107 @@
+//! Training-run configuration: global batch size and batch count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// What is being trained: the global batch size and how many batches
+/// (optimizer steps) the run takes — the paper's `N_batch`.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::TrainingConfig;
+/// // 300B tokens at 2048-token sequences, batch 1536:
+/// let run = TrainingConfig::from_tokens(1536, 2048, 300e9).unwrap();
+/// assert_eq!(run.global_batch(), 1536);
+/// assert_eq!(run.num_batches(), 95368);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    global_batch: usize,
+    num_batches: u64,
+}
+
+impl TrainingConfig {
+    /// A run of `num_batches` optimizer steps at `global_batch` sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if either count is zero.
+    pub fn new(global_batch: usize, num_batches: u64) -> Result<Self> {
+        if global_batch == 0 || num_batches == 0 {
+            return Err(Error::invalid(
+                "training",
+                "batch size and batch count must be positive",
+            ));
+        }
+        Ok(TrainingConfig {
+            global_batch,
+            num_batches,
+        })
+    }
+
+    /// A single iteration at `global_batch` — what per-iteration metrics
+    /// such as TFLOP/s/GPU use.
+    pub fn single_batch(global_batch: usize) -> Result<Self> {
+        Self::new(global_batch, 1)
+    }
+
+    /// Derive the batch count from a token budget:
+    /// `ceil(tokens / (batch · seq_len))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for zero batch/sequence sizes or a
+    /// non-positive token budget.
+    pub fn from_tokens(global_batch: usize, seq_len: usize, tokens: f64) -> Result<Self> {
+        if !(tokens > 0.0 && tokens.is_finite()) {
+            return Err(Error::invalid("training", "token budget must be positive"));
+        }
+        if global_batch == 0 || seq_len == 0 {
+            return Err(Error::invalid(
+                "training",
+                "batch size and sequence length must be positive",
+            ));
+        }
+        let tokens_per_batch = (global_batch * seq_len) as f64;
+        let batches = (tokens / tokens_per_batch).ceil() as u64;
+        Self::new(global_batch, batches.max(1))
+    }
+
+    /// The global batch size in sequences.
+    pub fn global_batch(&self) -> usize {
+        self.global_batch
+    }
+
+    /// The number of batches (the paper's `N_batch`).
+    pub fn num_batches(&self) -> u64 {
+        self.num_batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_budget_rounds_up() {
+        let run = TrainingConfig::from_tokens(4, 1024, 10_000.0).unwrap();
+        // 4096 tokens per batch -> ceil(10000/4096) = 3 batches
+        assert_eq!(run.num_batches(), 3);
+    }
+
+    #[test]
+    fn rejects_zero() {
+        assert!(TrainingConfig::new(0, 1).is_err());
+        assert!(TrainingConfig::new(1, 0).is_err());
+        assert!(TrainingConfig::from_tokens(1, 1, 0.0).is_err());
+        assert!(TrainingConfig::from_tokens(0, 1, 10.0).is_err());
+    }
+
+    #[test]
+    fn single_batch_helper() {
+        let r = TrainingConfig::single_batch(4096).unwrap();
+        assert_eq!(r.num_batches(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Small unit newtypes used in the public API.
+//!
+//! Internal equation code works in plain `f64` seconds / bits / operations;
+//! the public [`Estimate`](crate::engine::Estimate) surfaces durations as
+//! [`Seconds`], which knows how to convert and pretty-print itself at
+//! human scales (the paper reports training times in days).
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative duration in seconds.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::units::Seconds;
+/// let t = Seconds::new(90.0 * 86_400.0);
+/// assert!((t.days() - 90.0).abs() < 1e-12);
+/// assert_eq!(t.to_string(), "90.00 d");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Wrap a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite — model outputs must be
+    /// physical durations.
+    pub fn new(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        Seconds(secs)
+    }
+
+    /// The zero duration.
+    pub fn zero() -> Self {
+        Seconds(0.0)
+    }
+
+    /// The raw value in seconds.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Duration in hours.
+    pub fn hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Duration in days.
+    pub fn days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// Duration in milliseconds.
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl From<Seconds> for f64 {
+    fn from(s: Seconds) -> f64 {
+        s.0
+    }
+}
+
+impl std::ops::Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl std::fmt::Display for Seconds {
+    /// Renders at the most natural scale: `µs`, `ms`, `s`, `min`, `h` or `d`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.0;
+        if s == 0.0 {
+            write!(f, "0 s")
+        } else if s < 1e-3 {
+            write!(f, "{:.2} µs", s * 1e6)
+        } else if s < 1.0 {
+            write!(f, "{:.2} ms", s * 1e3)
+        } else if s < 120.0 {
+            write!(f, "{s:.2} s")
+        } else if s < 2.0 * 3600.0 {
+            write!(f, "{:.2} min", s / 60.0)
+        } else if s < 48.0 * 3600.0 {
+            write!(f, "{:.2} h", s / 3600.0)
+        } else {
+            write!(f, "{:.2} d", s / 86_400.0)
+        }
+    }
+}
+
+/// Format a quantity of bytes at a human scale (KiB/MiB/GiB/TiB).
+///
+/// # Example
+///
+/// ```
+/// use amped_core::units::format_bytes;
+/// assert_eq!(format_bytes(32.0 * 1024.0 * 1024.0 * 1024.0), "32.00 GiB");
+/// ```
+pub fn format_bytes(bytes: f64) -> String {
+    const UNITS: &[(f64, &str)] = &[
+        (1024f64 * 1024.0 * 1024.0 * 1024.0, "TiB"),
+        (1024f64 * 1024.0 * 1024.0, "GiB"),
+        (1024f64 * 1024.0, "MiB"),
+        (1024f64, "KiB"),
+    ];
+    for &(scale, unit) in UNITS {
+        if bytes >= scale {
+            return format!("{:.2} {unit}", bytes / scale);
+        }
+    }
+    format!("{bytes:.0} B")
+}
+
+/// Format an operation count at engineering scale (K/M/G/T/P).
+///
+/// # Example
+///
+/// ```
+/// use amped_core::units::format_count;
+/// assert_eq!(format_count(1.75e14), "175.00 T");
+/// ```
+pub fn format_count(count: f64) -> String {
+    const UNITS: &[(f64, &str)] = &[
+        (1e15, "P"),
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "K"),
+    ];
+    for &(scale, unit) in UNITS {
+        if count >= scale {
+            return format!("{:.2} {unit}", count / scale);
+        }
+    }
+    format!("{count:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_picks_natural_scale() {
+        assert_eq!(Seconds::new(0.0).to_string(), "0 s");
+        assert_eq!(Seconds::new(2.5e-6).to_string(), "2.50 µs");
+        assert_eq!(Seconds::new(0.25).to_string(), "250.00 ms");
+        assert_eq!(Seconds::new(42.0).to_string(), "42.00 s");
+        assert_eq!(Seconds::new(600.0).to_string(), "10.00 min");
+        assert_eq!(Seconds::new(3.0 * 3600.0).to_string(), "3.00 h");
+        assert_eq!(Seconds::new(7.0 * 86_400.0).to_string(), "7.00 d");
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        let t = Seconds::new(86_400.0);
+        assert!((t.days() - 1.0).abs() < 1e-12);
+        assert!((t.hours() - 24.0).abs() < 1e-12);
+        assert!((t.millis() - 86_400_000.0).abs() < 1e-6);
+        assert_eq!(f64::from(t), 86_400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        Seconds::new(-1.0);
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let total: Seconds = [1.0, 2.0, 3.0].into_iter().map(Seconds::new).sum();
+        assert_eq!(total.get(), 6.0);
+        assert_eq!((Seconds::new(1.0) + Seconds::new(0.5)).get(), 1.5);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(2048.0), "2.00 KiB");
+        assert_eq!(format_bytes(1.5 * 1024.0 * 1024.0), "1.50 MiB");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(format_count(999.0), "999");
+        assert_eq!(format_count(1e6), "1.00 M");
+        assert_eq!(format_count(3.12e14), "312.00 T");
+    }
+}

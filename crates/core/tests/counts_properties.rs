@@ -1,0 +1,108 @@
+//! Property tests over the op-count algebra — the arithmetic Eq. 2 feeds
+//! on must behave like the closed forms it implements.
+
+use amped_core::counts::LayerCounts;
+use amped_core::{metrics, LayerKind, MoeConfig, TransformerModel};
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = TransformerModel> {
+    (
+        1usize..=32,  // layers
+        1usize..=16,  // heads
+        1usize..=64,  // hidden per head
+        5usize..=10,  // log2 seq
+        100usize..=60_000,
+        prop::option::of(2usize..=32), // experts
+    )
+        .prop_map(|(layers, heads, per_head, log_seq, vocab, experts)| {
+            let mut b = TransformerModel::builder("prop");
+            b.layers(layers)
+                .hidden_size(heads * per_head)
+                .heads(heads)
+                .seq_len(1 << log_seq)
+                .vocab_size(vocab);
+            if let Some(e) = experts {
+                b.moe(MoeConfig::glam(e));
+            }
+            b.build().expect("valid model")
+        })
+}
+
+proptest! {
+    #[test]
+    fn macs_are_exactly_linear_in_batch(model in model_strategy(), batch in 1u32..=512) {
+        let b = batch as f64;
+        for kind in [LayerKind::Dense, LayerKind::Head] {
+            let c1 = LayerCounts::for_layer(&model, kind, 1.0);
+            let cb = LayerCounts::for_layer(&model, kind, b);
+            prop_assert!((cb.macs_fwd - b * c1.macs_fwd).abs() <= 1e-9 * cb.macs_fwd);
+            prop_assert!((cb.nonlin_fwd - b * c1.nonlin_fwd).abs() <= 1e-9 * cb.nonlin_fwd);
+            prop_assert_eq!(cb.weights, c1.weights);
+            prop_assert_eq!(cb.weights_expert, c1.weights_expert);
+        }
+    }
+
+    #[test]
+    fn dense_layer_macs_match_the_megatron_form(model in model_strategy(), batch in 1u32..=64) {
+        let b = batch as f64;
+        let (h, s) = (model.hidden_size() as f64, model.seq_len() as f64);
+        let c = LayerCounts::for_layer(&model, LayerKind::Dense, b);
+        let expect = 12.0 * b * s * h * h + 2.0 * b * s * s * h;
+        prop_assert!((c.macs_fwd - expect).abs() <= 1e-9 * expect);
+    }
+
+    #[test]
+    fn layerwise_flops_track_the_closed_form_for_dense_models(
+        layers in 4usize..=64,
+        heads in 4usize..=32,
+        per_head in 32usize..=128,
+        batch in 1usize..=128,
+    ) {
+        let h = heads * per_head;
+        let model = TransformerModel::builder("closed")
+            .layers(layers)
+            .hidden_size(h)
+            .heads(heads)
+            .seq_len(512)
+            .vocab_size(32_000)
+            .build()
+            .expect("valid");
+        let ours = metrics::model_flops_per_iteration(&model, batch, true);
+        let theirs =
+            metrics::megatron_closed_form_flops(layers, h, 512, 32_000, batch);
+        let rel = (ours - theirs).abs() / theirs;
+        // The closed form drops small terms (softmax MACs, biases, LN).
+        prop_assert!(rel < 0.06, "relative difference {rel}");
+    }
+
+    #[test]
+    fn total_parameters_bound_activated(model in model_strategy()) {
+        let total = model.total_parameters();
+        let active = model.activated_parameters();
+        prop_assert!(total >= active - 1e-6);
+        prop_assert!(active > 0.0);
+        if model.moe().is_none() {
+            prop_assert!((total - active).abs() <= 1e-9 * total);
+        }
+    }
+
+    #[test]
+    fn stack_counts_are_consistent(model in model_strategy(), batch in 1u32..=32) {
+        let stack = LayerCounts::for_stack(&model, batch as f64);
+        prop_assert_eq!(stack.len(), model.num_layers() + 1); // + head
+        let moe_rows = stack.iter().filter(|(k, _)| *k == LayerKind::Moe).count();
+        prop_assert_eq!(moe_rows, model.num_moe_layers());
+        for (kind, c) in &stack {
+            if *kind != LayerKind::Moe {
+                prop_assert_eq!(c.weights_expert, 0.0);
+                prop_assert_eq!(c.act_elems_moe, 0.0);
+            } else {
+                prop_assert!(c.weights_expert > 0.0);
+                prop_assert!(c.weights_expert < c.weights);
+            }
+        }
+        let total: f64 = stack.iter().map(|(_, c)| c.macs_fwd).sum();
+        prop_assert!((LayerCounts::total_macs_fwd(&model, batch as f64) - total).abs()
+            <= 1e-9 * total);
+    }
+}

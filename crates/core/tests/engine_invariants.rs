@@ -1,0 +1,162 @@
+//! Engine-knob invariants: every tuning factor must act exactly where and
+//! how its documentation says.
+
+use amped_core::prelude::*;
+
+fn fixture() -> (TransformerModel, AcceleratorSpec, SystemSpec) {
+    let model = TransformerModel::builder("inv")
+        .layers(16)
+        .hidden_size(1024)
+        .heads(16)
+        .seq_len(256)
+        .vocab_size(8000)
+        .build()
+        .unwrap();
+    let accel = AcceleratorSpec::builder("inv-a")
+        .frequency_hz(1e9)
+        .cores(32)
+        .mac_units(4, 128, 8)
+        .nonlin_units(32, 8, 32)
+        .memory(32e9, 1e12)
+        .build()
+        .unwrap();
+    let system = SystemSpec::new(4, 8, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 8).unwrap();
+    (model, accel, system)
+}
+
+fn estimate(opts: EngineOptions, p: &Parallelism, batch: usize) -> Estimate {
+    let (model, accel, system) = fixture();
+    Estimator::new(&model, &accel, &system, p)
+        .with_efficiency(EfficiencyModel::Constant(0.5))
+        .with_options(opts)
+        .estimate(&TrainingConfig::new(batch, 1).unwrap())
+        .unwrap()
+}
+
+#[test]
+fn backward_factor_scales_backward_compute_linearly() {
+    let p = Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap();
+    let base = estimate(EngineOptions::default(), &p, 128);
+    let doubled = estimate(
+        EngineOptions {
+            backward_compute_factor: 4.0,
+            backward_nonlin_factor: 4.0,
+            ..Default::default()
+        },
+        &p,
+        128,
+    );
+    let ratio = doubled.breakdown.compute_backward / base.breakdown.compute_backward;
+    assert!((ratio - 2.0).abs() < 1e-9, "ratio = {ratio}");
+    assert_eq!(doubled.breakdown.compute_forward, base.breakdown.compute_forward);
+}
+
+#[test]
+fn weight_update_factor_scales_only_the_update() {
+    let p = Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap();
+    let base = estimate(EngineOptions::default(), &p, 128);
+    let heavy = estimate(
+        EngineOptions {
+            weight_update_factor: 5.0,
+            ..Default::default()
+        },
+        &p,
+        128,
+    );
+    assert!((heavy.breakdown.weight_update / base.breakdown.weight_update - 5.0).abs() < 1e-9);
+    assert_eq!(heavy.breakdown.compute_total() - heavy.breakdown.weight_update,
+               base.breakdown.compute_total() - base.breakdown.weight_update);
+}
+
+#[test]
+fn backward_comm_factor_scales_fwd_bwd_communication() {
+    let p = Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap();
+    let base = estimate(EngineOptions::default(), &p, 128); // factor 1: fwd+bwd = 2x fwd
+    let silent = estimate(
+        EngineOptions {
+            backward_comm_factor: 0.0,
+            ..Default::default()
+        },
+        &p,
+        128,
+    );
+    let ratio = base.breakdown.tp_comm_intra / silent.breakdown.tp_comm_intra;
+    assert!((ratio - 2.0).abs() < 1e-9, "ratio = {ratio}");
+    // DP gradient sync is not forward/backward communication.
+    assert_eq!(base.breakdown.dp_comm_inter, silent.breakdown.dp_comm_inter);
+}
+
+#[test]
+fn zero_stage_two_reduce_scatters_the_gradients() {
+    // Ring reduce-scatter moves half of a ring all-reduce.
+    let plain = Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap();
+    let zero2 = Parallelism::builder()
+        .tp(8, 1)
+        .dp(1, 4)
+        .zero(ZeroConfig::stage(ZeroStage::Gradients, 0.0))
+        .build()
+        .unwrap();
+    let base = estimate(EngineOptions::default(), &plain, 128);
+    let sharded = estimate(EngineOptions::default(), &zero2, 128);
+    let ratio = base.breakdown.dp_comm_inter / sharded.breakdown.dp_comm_inter;
+    assert!(ratio > 1.8 && ratio < 2.2, "ratio = {ratio}");
+}
+
+#[test]
+fn bubble_vanishes_at_ratio_zero() {
+    let naive = Parallelism::builder().tp(4, 1).pp(2, 1).dp(1, 4).build().unwrap();
+    let overlapped = Parallelism::builder()
+        .tp(4, 1)
+        .pp(2, 1)
+        .dp(1, 4)
+        .bubble_ratio(0.0)
+        .build()
+        .unwrap();
+    let base = estimate(EngineOptions::default(), &naive, 128);
+    let none = estimate(EngineOptions::default(), &overlapped, 128);
+    assert!(base.breakdown.bubble > 0.0);
+    assert_eq!(none.breakdown.bubble, 0.0);
+    assert_eq!(base.breakdown.compute_total(), none.breakdown.compute_total());
+}
+
+#[test]
+fn nic_aggregation_caps_at_the_node_total() {
+    // With tp_intra = accels_per_node the TP-inter stream may use every
+    // NIC, but never more than the node has.
+    let (model, accel, _) = fixture();
+    let few_nics =
+        SystemSpec::new(4, 8, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 2).unwrap();
+    let many_nics =
+        SystemSpec::new(4, 8, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 8).unwrap();
+    let p = Parallelism::builder().tp(8, 2).dp(1, 2).build().unwrap();
+    let run = |sys: &SystemSpec| {
+        Estimator::new(&model, &accel, sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .estimate(&TrainingConfig::new(128, 1).unwrap())
+            .unwrap()
+            .breakdown
+            .tp_comm_inter
+    };
+    let few = run(&few_nics);
+    let many = run(&many_nics);
+    // 2 NICs vs 8 NICs: the aggregated stream is 4x slower (latency terms
+    // aside), never better.
+    assert!(few > 3.0 * many, "few = {few}, many = {many}");
+}
+
+#[test]
+fn paper_eq8_bubble_is_stack_length_smaller() {
+    let p = Parallelism::builder().tp(4, 1).pp(2, 1).dp(1, 4).build().unwrap();
+    let standard = estimate(EngineOptions::default(), &p, 128);
+    let literal = estimate(
+        EngineOptions {
+            bubble_accounting: BubbleAccounting::PaperEq8,
+            ..Default::default()
+        },
+        &p,
+        128,
+    );
+    // Compute-dominated scenario: the ratio approaches the 17-entry stack.
+    let ratio = standard.breakdown.bubble / literal.breakdown.bubble;
+    assert!(ratio > 10.0 && ratio < 17.5, "ratio = {ratio}");
+}

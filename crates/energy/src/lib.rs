@@ -1,0 +1,318 @@
+//! # amped-energy — first-order training energy model
+//!
+//! Case study II of the AMPeD paper observes that a pipeline-parallel
+//! configuration that trains ~4 % *slower* can still be more
+//! *energy-efficient*, because accelerators idle (at reduced power) inside
+//! pipeline bubbles; the paper leaves power modeling to future work. This
+//! crate implements the first-order model that argument sketches: each
+//! accelerator draws
+//!
+//! * full TDP while computing,
+//! * a configurable fraction of TDP while communicating, and
+//! * the idle fraction of TDP while waiting in bubbles,
+//!
+//! and energy is power × time summed over the breakdown components.
+//!
+//! # Example
+//!
+//! ```
+//! use amped_core::Breakdown;
+//! use amped_energy::{EnergyEstimate, PowerModel};
+//!
+//! let b = Breakdown {
+//!     compute_forward: 1.0,
+//!     compute_backward: 2.0,
+//!     bubble: 0.5,
+//!     ..Default::default()
+//! };
+//! let power = PowerModel::new(400.0, 0.3, 0.6);
+//! let e = EnergyEstimate::from_breakdown(&b, 8, &power);
+//! assert!(e.total_joules() > 0.0);
+//! assert!(e.idle_joules < e.compute_joules);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amped_core::{Breakdown, Estimate};
+use serde::{Deserialize, Serialize};
+
+/// Per-accelerator power states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Power while computing, in watts (TDP).
+    pub tdp_watts: f64,
+    /// Idle power as a fraction of TDP (the paper argues PP beats DP on
+    /// energy when this is below ~0.3 in its scenario).
+    pub idle_fraction: f64,
+    /// Power while communicating, as a fraction of TDP.
+    pub comm_fraction: f64,
+}
+
+impl PowerModel {
+    /// A power model with the given TDP and state fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are outside `[0, 1]` or TDP is negative.
+    pub fn new(tdp_watts: f64, idle_fraction: f64, comm_fraction: f64) -> Self {
+        assert!(tdp_watts >= 0.0, "tdp must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&idle_fraction) && (0.0..=1.0).contains(&comm_fraction),
+            "power fractions must be in [0, 1]"
+        );
+        PowerModel {
+            tdp_watts,
+            idle_fraction,
+            comm_fraction,
+        }
+    }
+
+    /// A model drawn from an accelerator spec's TDP and idle fraction, with
+    /// communication at 60 % of TDP.
+    pub fn from_accelerator(accel: &amped_core::AcceleratorSpec) -> Self {
+        Self::new(accel.tdp_watts(), accel.idle_power_fraction(), 0.6)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::new(400.0, 0.3, 0.6)
+    }
+}
+
+/// Energy for one iteration across all accelerators, split by activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Joules spent computing (fwd + bwd + weight update).
+    pub compute_joules: f64,
+    /// Joules spent communicating (all parallelism kinds).
+    pub comm_joules: f64,
+    /// Joules spent idling in pipeline bubbles.
+    pub idle_joules: f64,
+}
+
+impl EnergyEstimate {
+    /// Energy of one iteration of `breakdown` on `workers` accelerators.
+    ///
+    /// Every accelerator is assumed to follow the same activity profile —
+    /// the same homogeneity assumption the time model makes.
+    pub fn from_breakdown(breakdown: &Breakdown, workers: usize, power: &PowerModel) -> Self {
+        let w = workers as f64;
+        EnergyEstimate {
+            compute_joules: breakdown.compute_total() * power.tdp_watts * w,
+            comm_joules: breakdown.comm_total() * power.tdp_watts * power.comm_fraction * w,
+            idle_joules: breakdown.bubble * power.tdp_watts * power.idle_fraction * w,
+        }
+    }
+
+    /// Energy of a full training run described by `estimate`.
+    pub fn from_estimate(estimate: &Estimate, power: &PowerModel, num_batches: u64) -> Self {
+        let per_iter =
+            Self::from_breakdown(&estimate.breakdown, estimate.total_workers, power);
+        EnergyEstimate {
+            compute_joules: per_iter.compute_joules * num_batches as f64,
+            comm_joules: per_iter.comm_joules * num_batches as f64,
+            idle_joules: per_iter.idle_joules * num_batches as f64,
+        }
+    }
+
+    /// Total joules.
+    pub fn total_joules(&self) -> f64 {
+        self.compute_joules + self.comm_joules + self.idle_joules
+    }
+
+    /// Total in megawatt-hours (how datacenter budgets are quoted).
+    pub fn megawatt_hours(&self) -> f64 {
+        self.total_joules() / 3.6e9
+    }
+}
+
+impl std::fmt::Display for EnergyEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compute {:.2} MWh + comm {:.2} MWh + idle {:.2} MWh = {:.2} MWh",
+            self.compute_joules / 3.6e9,
+            self.comm_joules / 3.6e9,
+            self.idle_joules / 3.6e9,
+            self.megawatt_hours()
+        )
+    }
+}
+
+/// Converts energy and wall-clock into money and emissions — the
+/// "acceptable amount of time, budget, and energy" framing of the paper's
+/// introduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Electricity price in USD per megawatt-hour.
+    pub usd_per_mwh: f64,
+    /// Accelerator rental in USD per GPU-hour (0 for owned hardware).
+    pub usd_per_gpu_hour: f64,
+    /// Grid carbon intensity in kgCO₂e per megawatt-hour.
+    pub kg_co2_per_mwh: f64,
+}
+
+impl CostModel {
+    /// A cost model from explicit rates.
+    pub fn new(usd_per_mwh: f64, usd_per_gpu_hour: f64, kg_co2_per_mwh: f64) -> Self {
+        CostModel {
+            usd_per_mwh,
+            usd_per_gpu_hour,
+            kg_co2_per_mwh,
+        }
+    }
+
+    /// Typical cloud rates circa the paper: ~$2.5/GPU-hour on-demand
+    /// A100s, ~$100/MWh industrial electricity, ~400 kgCO₂e/MWh grid mix.
+    pub fn cloud_a100() -> Self {
+        Self::new(100.0, 2.5, 400.0)
+    }
+
+    /// Owned-hardware rates: electricity and carbon only.
+    pub fn owned() -> Self {
+        Self::new(100.0, 0.0, 400.0)
+    }
+
+    /// Total dollars for a run: rental (workers × hours) plus electricity.
+    pub fn usd(&self, energy: &EnergyEstimate, workers: usize, wall_clock_s: f64) -> f64 {
+        let rental = self.usd_per_gpu_hour * workers as f64 * wall_clock_s / 3600.0;
+        let electricity = self.usd_per_mwh * energy.megawatt_hours();
+        rental + electricity
+    }
+
+    /// Kilograms of CO₂-equivalent for a run's electricity.
+    pub fn kg_co2(&self, energy: &EnergyEstimate) -> f64 {
+        self.kg_co2_per_mwh * energy.megawatt_hours()
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::cloud_a100()
+    }
+}
+
+/// The break-even idle-power fraction between two configurations: the idle
+/// fraction below which the slower-but-bubblier configuration `b` consumes
+/// less energy than `a`.
+///
+/// Returns `None` when `b` has no more bubble time than `a` (then the
+/// comparison never flips with idle power) — this mirrors the paper's
+/// “lower power state should use less than ~30 % of full power” argument.
+pub fn break_even_idle_fraction(
+    a: &Breakdown,
+    b: &Breakdown,
+    workers: usize,
+    power: &PowerModel,
+) -> Option<f64> {
+    let w = workers as f64;
+    let active = |x: &Breakdown| {
+        (x.compute_total() + x.comm_total() * power.comm_fraction) * power.tdp_watts * w
+    };
+    let bubble_delta = (b.bubble - a.bubble) * power.tdp_watts * w;
+    if bubble_delta <= 0.0 {
+        return None;
+    }
+    // energy_b(f) = active_b + f * bubble_b * P; equal when
+    // f = (active_a + f*bubble_a*P - active_b) / (bubble_b*P) — with a's
+    // bubble typically 0 this reduces to the simple ratio below.
+    let f = (active(a) + a.bubble * power.tdp_watts * w - active(b)) / bubble_delta;
+    Some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(compute: f64, comm: f64, bubble: f64) -> Breakdown {
+        Breakdown {
+            compute_forward: compute,
+            tp_comm_intra: comm,
+            bubble,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn energy_sums_components() {
+        let b = breakdown(10.0, 2.0, 1.0);
+        let p = PowerModel::new(100.0, 0.2, 0.5);
+        let e = EnergyEstimate::from_breakdown(&b, 4, &p);
+        assert!((e.compute_joules - 10.0 * 100.0 * 4.0).abs() < 1e-9);
+        assert!((e.comm_joules - 2.0 * 100.0 * 0.5 * 4.0).abs() < 1e-9);
+        assert!((e.idle_joules - 1.0 * 100.0 * 0.2 * 4.0).abs() < 1e-9);
+        assert!((e.total_joules() - (4000.0 + 400.0 + 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mwh_conversion() {
+        let e = EnergyEstimate {
+            compute_joules: 3.6e9,
+            comm_joules: 0.0,
+            idle_joules: 0.0,
+        };
+        assert!((e.megawatt_hours() - 1.0).abs() < 1e-12);
+        assert!(e.to_string().contains("MWh"));
+    }
+
+    #[test]
+    fn idle_power_decides_pp_vs_dp() {
+        // The case study II situation: PP takes 4 % longer but idles 11 % of
+        // the time; DP is all-active. Below the break-even idle fraction PP
+        // wins on energy.
+        let dp = breakdown(100.0, 8.0, 0.0);
+        let pp = breakdown(100.0, 0.5, 12.0);
+        let p = PowerModel::new(400.0, 0.3, 0.6);
+        let be = break_even_idle_fraction(&dp, &pp, 1024, &p).unwrap();
+        assert!(be > 0.0 && be < 1.0, "break-even = {be}");
+        // At idle below break-even PP uses less energy.
+        let p_low = PowerModel::new(400.0, (be - 0.05).max(0.0), 0.6);
+        let p_high = PowerModel::new(400.0, (be + 0.05).min(1.0), 0.6);
+        let e_dp_low = EnergyEstimate::from_breakdown(&dp, 1024, &p_low).total_joules();
+        let e_pp_low = EnergyEstimate::from_breakdown(&pp, 1024, &p_low).total_joules();
+        assert!(e_pp_low < e_dp_low);
+        let e_dp_high = EnergyEstimate::from_breakdown(&dp, 1024, &p_high).total_joules();
+        let e_pp_high = EnergyEstimate::from_breakdown(&pp, 1024, &p_high).total_joules();
+        assert!(e_pp_high > e_dp_high);
+    }
+
+    #[test]
+    fn no_break_even_without_extra_bubble() {
+        let a = breakdown(10.0, 1.0, 5.0);
+        let b = breakdown(10.0, 1.0, 5.0);
+        assert!(break_even_idle_fraction(&a, &b, 8, &PowerModel::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn bad_fraction_panics() {
+        PowerModel::new(100.0, 1.5, 0.5);
+    }
+
+    #[test]
+    fn cost_model_decomposes_rental_and_electricity() {
+        let energy = EnergyEstimate {
+            compute_joules: 7.2e9, // 2 MWh
+            comm_joules: 0.0,
+            idle_joules: 0.0,
+        };
+        let cost = CostModel::new(100.0, 2.0, 400.0);
+        // 1024 GPUs for 1 hour at $2 + 2 MWh at $100.
+        let usd = cost.usd(&energy, 1024, 3600.0);
+        assert!((usd - (1024.0 * 2.0 + 200.0)).abs() < 1e-9);
+        assert!((cost.kg_co2(&energy) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn owned_hardware_has_no_rental() {
+        let energy = EnergyEstimate {
+            compute_joules: 3.6e9,
+            comm_joules: 0.0,
+            idle_joules: 0.0,
+        };
+        let owned = CostModel::owned();
+        assert!((owned.usd(&energy, 512, 7200.0) - 100.0).abs() < 1e-9);
+    }
+}

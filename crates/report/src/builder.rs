@@ -1,0 +1,135 @@
+//! Assembling full Markdown reports from tables, charts and experiment
+//! records.
+
+use crate::chart::BarChart;
+use crate::record::ExperimentRecord;
+use crate::table::Table;
+
+/// Builds a multi-section Markdown document incrementally.
+///
+/// # Example
+///
+/// ```
+/// use amped_report::{ReportBuilder, Table};
+/// let mut t = Table::new(["a", "b"]);
+/// t.row(["1", "2"]);
+/// let md = ReportBuilder::new("Results")
+///     .paragraph("All numbers measured on the simulator.")
+///     .section("Throughput", "")
+///     .table(&t)
+///     .finish();
+/// assert!(md.starts_with("# Results"));
+/// assert!(md.contains("## Throughput"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    out: String,
+}
+
+impl ReportBuilder {
+    /// Start a report titled `title`.
+    pub fn new(title: impl AsRef<str>) -> Self {
+        ReportBuilder {
+            out: format!("# {}\n", title.as_ref()),
+        }
+    }
+
+    /// Append a free paragraph.
+    pub fn paragraph(mut self, text: impl AsRef<str>) -> Self {
+        self.out.push('\n');
+        self.out.push_str(text.as_ref());
+        self.out.push('\n');
+        self
+    }
+
+    /// Start a new `##` section with an optional lead paragraph.
+    pub fn section(mut self, heading: impl AsRef<str>, lead: impl AsRef<str>) -> Self {
+        self.out.push_str(&format!("\n## {}\n", heading.as_ref()));
+        if !lead.as_ref().is_empty() {
+            self.out.push('\n');
+            self.out.push_str(lead.as_ref());
+            self.out.push('\n');
+        }
+        self
+    }
+
+    /// Append a table as Markdown.
+    pub fn table(mut self, table: &Table) -> Self {
+        self.out.push('\n');
+        self.out.push_str(&table.to_markdown());
+        self.out.push('\n');
+        self
+    }
+
+    /// Append a bar chart inside a code fence.
+    pub fn chart(mut self, chart: &BarChart) -> Self {
+        self.out.push_str("\n```text\n");
+        self.out.push_str(&chart.to_ascii(48));
+        self.out.push_str("\n```\n");
+        self
+    }
+
+    /// Append an experiment record (its own `###` section).
+    pub fn record(mut self, record: &ExperimentRecord) -> Self {
+        self.out.push('\n');
+        self.out.push_str(&record.to_markdown());
+        self
+    }
+
+    /// Append a fenced block of preformatted text (e.g. a breakdown).
+    pub fn preformatted(mut self, text: impl AsRef<str>) -> Self {
+        self.out.push_str("\n```text\n");
+        self.out.push_str(text.as_ref());
+        if !text.as_ref().ends_with('\n') {
+            self.out.push('\n');
+        }
+        self.out.push_str("```\n");
+        self
+    }
+
+    /// The assembled document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_all_section_kinds() {
+        let mut table = Table::new(["x", "y"]);
+        table.row(["1", "2"]);
+        let mut chart = BarChart::new("times", "d");
+        chart.bar("dp", 18.0).bar("pp", 21.0);
+        let mut record = ExperimentRecord::new("T2", "validation");
+        record.compare("145B", 148.0, 145.8);
+
+        let md = ReportBuilder::new("AMPeD Report")
+            .paragraph("intro text")
+            .section("Validation", "lead")
+            .table(&table)
+            .record(&record)
+            .section("Case studies", "")
+            .chart(&chart)
+            .preformatted("raw breakdown")
+            .finish();
+
+        assert!(md.starts_with("# AMPeD Report"));
+        assert!(md.contains("## Validation"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("### T2"));
+        assert!(md.contains("```text"));
+        assert!(md.contains("raw breakdown"));
+        // Fences are balanced.
+        assert_eq!(md.matches("```").count() % 2, 0);
+    }
+
+    #[test]
+    fn empty_lead_adds_no_blank_paragraph() {
+        let md = ReportBuilder::new("T").section("S", "").finish();
+        assert!(md.contains("## S\n"));
+        assert!(!md.contains("## S\n\n\n"));
+    }
+}

@@ -1,0 +1,265 @@
+//! ASCII charts: horizontal bars and multi-series CSV export.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// The data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A series with a label and points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Maximum y value (0 for an empty series).
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+}
+
+/// Export several series sharing an x axis as CSV
+/// (`x, <name1>, <name2>, …`); missing x values render as empty cells.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name);
+    }
+    for x in xs {
+        out.push('\n');
+        out.push_str(&format!("{x}"));
+        for s in series {
+            out.push(',');
+            if let Some(p) = s.points.iter().find(|p| p.0 == x) {
+                out.push_str(&format!("{}", p.1));
+            }
+        }
+    }
+    out
+}
+
+/// A multi-series ASCII line chart — the shape of the paper's Fig. 2 and
+/// 4–9. Each series gets a glyph; x positions map linearly into the plot
+/// width, y values scale to the plot height.
+#[derive(Debug, Clone, Default)]
+pub struct LineChart {
+    title: String,
+    series: Vec<Series>,
+}
+
+impl LineChart {
+    /// A chart titled `title`.
+    pub fn new(title: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Render into a `width × height` character grid plus a legend.
+    ///
+    /// Later series draw over earlier ones where points collide.
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+        let (width, height) = (width.max(8), height.max(3));
+        let points: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if points.is_empty() {
+            return self.title.clone();
+        }
+        let (mut x0, mut x1, mut y1) = (f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y1 = y1.max(y);
+        }
+        let y0 = 0.0; // charts in the paper are zero-based
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                let cx = if x1 > x0 {
+                    ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                let cy = if y1 > y0 {
+                    ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize
+                } else {
+                    0
+                };
+                grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = glyph;
+            }
+        }
+        let mut out = format!("{} (y: 0..{y1:.1}, x: {x0:.0}..{x1:.0})\n", self.title);
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+        }
+        out
+    }
+}
+
+/// A horizontal bar chart of labelled values — the shape of the paper's
+/// Fig. 3, 10 and 11.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+    unit: String,
+}
+
+impl BarChart {
+    /// A chart titled `title` with values in `unit`.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            bars: Vec::new(),
+            unit: unit.into(),
+        }
+    }
+
+    /// Append a bar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar values must be finite and non-negative, got {value}"
+        );
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Render with bars scaled to `width` characters.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.bars.iter().map(|b| b.1).fold(0.0, f64::max);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|b| b.0.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = self.title.clone();
+        for (label, value) in &self.bars {
+            let n = if max > 0.0 {
+                ((value / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<label_w$}  {:<width$}  {:.3} {}",
+                label,
+                "#".repeat(n),
+                value,
+                self.unit,
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BarChart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_ascii(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new("training time", "days");
+        c.bar("DP", 18.0).bar("PP", 21.0).bar("TP-inter", 57.0);
+        let s = c.to_ascii(20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let hashes = |l: &str| l.chars().filter(|&ch| ch == '#').count();
+        assert_eq!(hashes(lines[3]), 20); // max bar fills the width
+        assert!(hashes(lines[1]) < hashes(lines[2]));
+        assert!(s.contains("days"));
+    }
+
+    #[test]
+    fn empty_chart_is_title_only() {
+        let c = BarChart::new("empty", "x");
+        assert_eq!(c.to_ascii(10), "empty");
+        assert_eq!(c.to_string(), "empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bar_rejected() {
+        BarChart::new("t", "u").bar("x", -1.0);
+    }
+
+    #[test]
+    fn csv_merges_x_axes() {
+        let a = Series::new("predicted", vec![(1.0, 10.0), (2.0, 20.0)]);
+        let b = Series::new("measured", vec![(2.0, 21.0), (4.0, 39.0)]);
+        let csv = series_to_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,predicted,measured");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,21");
+        assert_eq!(lines[3], "4,,39");
+    }
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let mut c = LineChart::new("perf vs batch");
+        c.series(Series::new("predicted", vec![(1.0, 30.0), (60.0, 154.0)]));
+        c.series(Series::new("published", vec![(1.0, 44.0), (60.0, 153.0)]));
+        let s = c.to_ascii(40, 10);
+        assert!(s.contains("perf vs batch"));
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("predicted") && s.contains("published"));
+        assert_eq!(s.lines().filter(|l| l.starts_with('|')).count(), 10);
+    }
+
+    #[test]
+    fn empty_line_chart_is_title_only() {
+        assert_eq!(LineChart::new("t").to_ascii(40, 10), "t");
+    }
+
+    #[test]
+    fn series_max() {
+        let s = Series::new("s", vec![(0.0, 3.0), (1.0, 7.0)]);
+        assert_eq!(s.max_y(), 7.0);
+        assert_eq!(Series::new("e", vec![]).max_y(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # amped-report — tables, charts and experiment records
+//!
+//! The paper communicates through tables (I–IV) and figures (1–11); this
+//! crate regenerates them as terminal artifacts: aligned ASCII/Markdown
+//! tables, CSV series for external plotting, ASCII bar/line charts, and
+//! paper-vs-measured experiment records with relative errors.
+//!
+//! # Example
+//!
+//! ```
+//! use amped_report::Table;
+//!
+//! let mut t = Table::new(["GPUs", "speedup"]);
+//! t.row(["2", "1.00"]);
+//! t.row(["4", "1.84"]);
+//! let ascii = t.to_ascii();
+//! assert!(ascii.contains("GPUs"));
+//! assert!(t.to_csv().starts_with("GPUs,speedup"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod chart;
+pub mod record;
+pub mod table;
+
+pub use builder::ReportBuilder;
+pub use chart::{BarChart, LineChart, Series};
+pub use record::{Comparison, ExperimentRecord};
+pub use table::Table;

@@ -1,0 +1,154 @@
+//! Paper-vs-measured experiment records, the backbone of EXPERIMENTS.md.
+
+use crate::table::Table;
+
+/// One compared quantity inside an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// What is being compared (e.g. `"145B TFLOP/s/GPU"`).
+    pub label: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured/predicted value.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// A comparison row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Comparison {
+            label: label.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Relative error |measured − paper| / |paper| (infinite when the paper
+    /// value is zero and the measured one is not).
+    pub fn relative_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.paper).abs() / self.paper.abs()
+        }
+    }
+}
+
+/// A reproduced table/figure: its id, comparisons and tolerance.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Paper artifact id (e.g. `"Table II"`, `"Fig. 2a"`).
+    pub id: String,
+    /// One-line description.
+    pub name: String,
+    /// The compared values.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ExperimentRecord {
+    /// An empty record.
+    pub fn new(id: impl Into<String>, name: impl Into<String>) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            name: name.into(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Append a comparison.
+    pub fn compare(&mut self, label: impl Into<String>, paper: f64, measured: f64) -> &mut Self {
+        self.comparisons.push(Comparison::new(label, paper, measured));
+        self
+    }
+
+    /// The largest relative error across comparisons (0 when empty).
+    pub fn max_error(&self) -> f64 {
+        self.comparisons
+            .iter()
+            .map(Comparison::relative_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every comparison is within `tolerance` relative error.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.max_error() <= tolerance
+    }
+
+    /// Render as a table (label, paper, measured, error %).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["quantity", "paper", "measured", "error"]);
+        for c in &self.comparisons {
+            t.row([
+                c.label.clone(),
+                format!("{:.3}", c.paper),
+                format!("{:.3}", c.measured),
+                format!("{:.1}%", c.relative_error() * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// Render as a Markdown section for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "### {} — {}\n\n{}\n\nmax error: {:.1}%\n",
+            self.id,
+            self.name,
+            self.to_table().to_markdown(),
+            self.max_error() * 100.0
+        )
+    }
+}
+
+impl std::fmt::Display for ExperimentRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[{}] {}", self.id, self.name)?;
+        write!(f, "{}", self.to_table())?;
+        write!(f, "\nmax error: {:.1}%", self.max_error() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_accumulate_to_max() {
+        let mut r = ExperimentRecord::new("Table II", "Megatron throughput");
+        r.compare("145B", 148.0, 147.0);
+        r.compare("1T", 163.0, 144.3);
+        assert!((r.max_error() - (163.0 - 144.3) / 163.0).abs() < 1e-12);
+        assert!(r.within(0.12));
+        assert!(!r.within(0.10));
+    }
+
+    #[test]
+    fn zero_paper_value_handled() {
+        let c = Comparison::new("x", 0.0, 0.0);
+        assert_eq!(c.relative_error(), 0.0);
+        let c = Comparison::new("x", 0.0, 1.0);
+        assert!(c.relative_error().is_infinite());
+    }
+
+    #[test]
+    fn renders_markdown_section() {
+        let mut r = ExperimentRecord::new("Fig. 2a", "DP validation");
+        r.compare("8 GPUs speedup", 6.2, 6.4);
+        let md = r.to_markdown();
+        assert!(md.starts_with("### Fig. 2a"));
+        assert!(md.contains("| 8 GPUs speedup |"));
+        assert!(md.contains("max error"));
+    }
+
+    #[test]
+    fn empty_record_has_zero_error() {
+        let r = ExperimentRecord::new("x", "y");
+        assert_eq!(r.max_error(), 0.0);
+        assert!(r.within(0.0));
+        assert!(r.to_string().contains("[x]"));
+    }
+}

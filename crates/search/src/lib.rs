@@ -1,0 +1,608 @@
+//! # amped-search — parallelism design-space exploration
+//!
+//! The AMPeD case studies are exhaustive sweeps over every way of mapping
+//! tensor, pipeline and data parallelism onto the intra- and inter-node
+//! levels of a cluster. This crate is the engine that drives them:
+//!
+//! * [`enumerate_mappings`] lists every valid
+//!   `(TPintra·PPintra·DPintra) × (TPinter·PPinter·DPinter)` factorization of
+//!   a system's node shape;
+//! * [`SearchEngine`] evaluates each candidate with the analytical model,
+//!   filters by memory feasibility, attaches energy, and ranks;
+//! * [`pareto_front`] extracts the non-dominated candidates under
+//!   (time, energy, memory).
+//!
+//! # Example
+//!
+//! ```
+//! use amped_core::{AcceleratorSpec, Link, SystemSpec, TransformerModel};
+//! use amped_search::{enumerate_mappings, EnumerationOptions};
+//!
+//! # fn main() -> Result<(), amped_core::Error> {
+//! let sys = SystemSpec::new(4, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8)?;
+//! let model = TransformerModel::builder("m")
+//!     .layers(32).hidden_size(4096).heads(32).seq_len(2048).vocab_size(51200)
+//!     .build()?;
+//! let mappings = enumerate_mappings(&sys, &model, &EnumerationOptions::default());
+//! assert!(!mappings.is_empty());
+//! for p in &mappings {
+//!     assert_eq!(p.total_workers(), 32);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recommend;
+pub mod sweep;
+
+pub use recommend::Recommendation;
+pub use sweep::{Sweep, SweepPoint};
+
+use amped_core::{
+    AcceleratorSpec, EfficiencyModel, EngineOptions, Estimate, Estimator, MicrobatchPolicy,
+    Parallelism, Precision, Result, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
+};
+use amped_energy::{EnergyEstimate, PowerModel};
+use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Constraints on the enumeration of parallelism mappings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnumerationOptions {
+    /// Permit tensor parallelism across nodes (the paper explores it; it is
+    /// usually dominated, so sweeps can prune it).
+    pub allow_tp_inter: bool,
+    /// Cap on the total tensor-parallel degree (None = head count).
+    pub max_tp: Option<usize>,
+    /// Cap on the total pipeline-parallel degree (None = layer count).
+    pub max_pp: Option<usize>,
+    /// Microbatch policy stamped onto every candidate.
+    pub microbatch_policy: MicrobatchPolicy,
+    /// Bubble ratio `R` stamped onto every candidate.
+    pub bubble_ratio: f64,
+    /// ZeRO configuration stamped onto every candidate.
+    pub zero: ZeroConfig,
+}
+
+impl Default for EnumerationOptions {
+    /// Defaults to 8-sample microbatches — the practical regime for large
+    /// models (whole-replica microbatches blow up activation memory and
+    /// `N_ub = N_PP` maximizes the bubble).
+    fn default() -> Self {
+        EnumerationOptions {
+            allow_tp_inter: true,
+            max_tp: None,
+            max_pp: None,
+            microbatch_policy: MicrobatchPolicy::TargetMicrobatch(8),
+            bubble_ratio: 1.0,
+            zero: ZeroConfig::none(),
+        }
+    }
+}
+
+/// All ordered triples `(a, b, c)` with `a·b·c = n`.
+pub fn factor_triples(n: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for a in 1..=n {
+        if !n.is_multiple_of(a) {
+            continue;
+        }
+        let rest = n / a;
+        for b in 1..=rest {
+            if rest.is_multiple_of(b) {
+                out.push((a, b, rest / b));
+            }
+        }
+    }
+    out
+}
+
+/// Every parallelism mapping that tiles `system` and is compatible with
+/// `model` under `opts`.
+pub fn enumerate_mappings(
+    system: &SystemSpec,
+    model: &TransformerModel,
+    opts: &EnumerationOptions,
+) -> Vec<Parallelism> {
+    let mut out = Vec::new();
+    let max_tp = opts.max_tp.unwrap_or(model.num_heads());
+    let max_pp = opts.max_pp.unwrap_or(model.num_layers());
+    for (tp_i, pp_i, dp_i) in factor_triples(system.accels_per_node()) {
+        for (tp_x, pp_x, dp_x) in factor_triples(system.num_nodes()) {
+            if !opts.allow_tp_inter && tp_x > 1 {
+                continue;
+            }
+            if tp_i * tp_x > max_tp || pp_i * pp_x > max_pp {
+                continue;
+            }
+            let built = Parallelism::builder()
+                .tp(tp_i, tp_x)
+                .pp(pp_i, pp_x)
+                .dp(dp_i, dp_x)
+                .microbatches(opts.microbatch_policy)
+                .bubble_ratio(opts.bubble_ratio)
+                .zero(opts.zero)
+                .build();
+            if let Ok(p) = built {
+                if p.validate_against(system, model).is_ok() {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A fully evaluated candidate mapping.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The mapping.
+    pub parallelism: Parallelism,
+    /// The analytical estimate at the search batch size.
+    pub estimate: Estimate,
+    /// Per-device memory footprint.
+    pub memory: MemoryFootprint,
+    /// Energy of the configured run.
+    pub energy: EnergyEstimate,
+    /// Whether the footprint fits the accelerator memory.
+    pub fits_memory: bool,
+}
+
+/// Evaluates and ranks every mapping of a model onto a system.
+#[derive(Debug, Clone)]
+pub struct SearchEngine<'a> {
+    model: &'a TransformerModel,
+    accel: &'a AcceleratorSpec,
+    system: &'a SystemSpec,
+    precision: Precision,
+    efficiency: EfficiencyModel,
+    engine_options: EngineOptions,
+    enumeration: EnumerationOptions,
+    power: PowerModel,
+    optimizer: OptimizerSpec,
+    schedule: PipelineSchedule,
+    require_memory_fit: bool,
+    tune_microbatches: bool,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// A search over `model` × `system` with `accel` devices.
+    pub fn new(
+        model: &'a TransformerModel,
+        accel: &'a AcceleratorSpec,
+        system: &'a SystemSpec,
+    ) -> Self {
+        SearchEngine {
+            model,
+            accel,
+            system,
+            precision: Precision::default(),
+            efficiency: EfficiencyModel::default(),
+            engine_options: EngineOptions::default(),
+            enumeration: EnumerationOptions::default(),
+            power: PowerModel::from_accelerator(accel),
+            optimizer: OptimizerSpec::default(),
+            schedule: PipelineSchedule::default(),
+            require_memory_fit: false,
+            tune_microbatches: true,
+        }
+    }
+
+    /// Override the precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the efficiency model.
+    pub fn with_efficiency(mut self, efficiency: EfficiencyModel) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Override the engine options.
+    pub fn with_engine_options(mut self, options: EngineOptions) -> Self {
+        self.engine_options = options;
+        self
+    }
+
+    /// Override the enumeration constraints.
+    pub fn with_enumeration(mut self, enumeration: EnumerationOptions) -> Self {
+        self.enumeration = enumeration;
+        self
+    }
+
+    /// Override the power model.
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Override the optimizer used for memory accounting.
+    pub fn with_optimizer(mut self, optimizer: OptimizerSpec) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Drop candidates whose footprint exceeds device memory.
+    pub fn with_memory_filter(mut self, require_fit: bool) -> Self {
+        self.require_memory_fit = require_fit;
+        self
+    }
+
+    /// The model under search.
+    pub fn model(&self) -> &TransformerModel {
+        self.model
+    }
+
+    /// The accelerator under search.
+    pub fn accel(&self) -> &AcceleratorSpec {
+        self.accel
+    }
+
+    /// The system under search.
+    pub fn system(&self) -> &SystemSpec {
+        self.system
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The configured efficiency model.
+    pub fn efficiency(&self) -> &EfficiencyModel {
+        &self.efficiency
+    }
+
+    /// The configured engine options.
+    pub fn engine_options(&self) -> EngineOptions {
+        self.engine_options
+    }
+
+    /// Tune the microbatch count per candidate (default on): every
+    /// power-of-two microbatch size up to the replica batch is evaluated
+    /// and the fastest feasible one kept — what an operator would do, and
+    /// what makes DP-heavy and PP-heavy mappings comparable.
+    pub fn with_microbatch_tuning(mut self, tune: bool) -> Self {
+        self.tune_microbatches = tune;
+        self
+    }
+
+    /// Evaluate every mapping for `training`, sorted fastest-first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (which indicate an internal inconsistency
+    /// — enumerated mappings have already been validated).
+    pub fn search(&self, training: &TrainingConfig) -> Result<Vec<Candidate>> {
+        let mappings = enumerate_mappings(self.system, self.model, &self.enumeration);
+        let mut out = Vec::with_capacity(mappings.len());
+        for p in mappings {
+            let Some(candidate) = self.evaluate(&p, training)? else {
+                continue;
+            };
+            out.push(candidate);
+        }
+        out.sort_by(|a, b| {
+            a.estimate
+                .total_time
+                .get()
+                .partial_cmp(&b.estimate.total_time.get())
+                .expect("times are finite")
+        });
+        Ok(out)
+    }
+
+    /// Evaluate one mapping: with tuning on, try every power-of-two
+    /// microbatch size and keep the fastest memory-feasible variant
+    /// (fastest overall if nothing fits and the filter is off).
+    fn evaluate(&self, p: &Parallelism, training: &TrainingConfig) -> Result<Option<Candidate>> {
+        let replica = (training.global_batch() / p.dp()).max(1);
+        let variants: Vec<Parallelism> = if self.tune_microbatches {
+            let mut v = Vec::new();
+            let mut ub = 1usize;
+            while ub <= replica {
+                v.push(p.with_microbatches(MicrobatchPolicy::Explicit(replica.div_ceil(ub))));
+                ub *= 2;
+            }
+            v
+        } else {
+            vec![*p]
+        };
+        let mut best: Option<Candidate> = None;
+        for variant in variants {
+            let estimate = Estimator::new(self.model, self.accel, self.system, &variant)
+                .with_precision(self.precision)
+                .with_efficiency(self.efficiency.clone())
+                .with_options(self.engine_options)
+                .estimate(training)?;
+            let mem_model = MemoryModel::new(self.model, &variant)
+                .with_precision(self.precision)
+                .with_optimizer(self.optimizer.clone())
+                .with_schedule(self.schedule)
+                .with_activation_recompute(self.engine_options.activation_recompute);
+            let memory =
+                mem_model.footprint(estimate.microbatch_size, estimate.num_microbatches);
+            let fits_memory = memory.total() <= self.accel.memory_bytes();
+            if self.require_memory_fit && !fits_memory {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                // Prefer fitting candidates, then faster ones.
+                Some(b) => {
+                    (fits_memory, std::cmp::Reverse(estimate.total_time.get()))
+                        > (b.fits_memory, std::cmp::Reverse(b.estimate.total_time.get()))
+                }
+            };
+            if better {
+                let energy =
+                    EnergyEstimate::from_estimate(&estimate, &self.power, training.num_batches());
+                best = Some(Candidate {
+                    parallelism: variant,
+                    estimate,
+                    memory,
+                    energy,
+                    fits_memory,
+                });
+            }
+        }
+        Ok(best)
+    }
+
+    /// The fastest candidate, or `None` when every mapping was filtered out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn best(&self, training: &TrainingConfig) -> Result<Option<Candidate>> {
+        Ok(self.search(training)?.into_iter().next())
+    }
+
+    /// Co-optimize the mapping *and* the global batch size: search each
+    /// batch in `batches` for a fixed token budget and return the fastest
+    /// `(batch, candidate)` end to end. Larger batches raise efficiency but
+    /// may harm convergence — the caller owns that judgement (the paper
+    /// assumes "minimal impact" up to 16384).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors; batches that divide into no feasible
+    /// mapping are skipped.
+    pub fn best_over_batches(
+        &self,
+        batches: &[usize],
+        seq_len: usize,
+        token_budget: f64,
+    ) -> Result<Option<(usize, Candidate)>> {
+        let mut best: Option<(usize, Candidate)> = None;
+        for &batch in batches {
+            let training = TrainingConfig::from_tokens(batch, seq_len, token_budget)?;
+            if let Some(c) = self.best(&training)? {
+                let better = best
+                    .as_ref()
+                    .map(|(_, b)| c.estimate.total_time.get() < b.estimate.total_time.get())
+                    .unwrap_or(true);
+                if better {
+                    best = Some((batch, c));
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Indices of the Pareto-optimal candidates under
+/// (total time, total energy, peak memory) — lower is better on every axis.
+pub fn pareto_front(candidates: &[Candidate]) -> Vec<usize> {
+    let key = |c: &Candidate| {
+        (
+            c.estimate.total_time.get(),
+            c.energy.total_joules(),
+            c.memory.total(),
+        )
+    };
+    let dominates = |a: (f64, f64, f64), b: (f64, f64, f64)| {
+        a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+    };
+    (0..candidates.len())
+        .filter(|&i| {
+            let ki = key(&candidates[i]);
+            !candidates
+                .iter()
+                .enumerate()
+                .any(|(j, c)| j != i && dominates(key(c), ki))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_core::Link;
+
+    fn system(nodes: usize, per_node: usize) -> SystemSpec {
+        SystemSpec::new(
+            nodes,
+            per_node,
+            Link::new(5e-6, 2.4e12),
+            Link::new(1e-5, 2e11),
+            per_node,
+        )
+        .unwrap()
+    }
+
+    fn model() -> TransformerModel {
+        TransformerModel::builder("m")
+            .layers(32)
+            .hidden_size(4096)
+            .heads(32)
+            .seq_len(2048)
+            .vocab_size(51200)
+            .build()
+            .unwrap()
+    }
+
+    fn accel() -> AcceleratorSpec {
+        AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .power(400.0, 0.3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn factor_triples_multiply_back() {
+        for n in [1usize, 2, 8, 12, 16] {
+            for (a, b, c) in factor_triples(n) {
+                assert_eq!(a * b * c, n);
+            }
+        }
+        assert_eq!(factor_triples(1), vec![(1, 1, 1)]);
+        // d(8): triples of divisors with product 8 = 10 compositions.
+        assert_eq!(factor_triples(8).len(), 10);
+    }
+
+    #[test]
+    fn enumeration_covers_and_respects_constraints() {
+        let sys = system(4, 8);
+        let m = model();
+        let all = enumerate_mappings(&sys, &m, &EnumerationOptions::default());
+        assert!(!all.is_empty());
+        for p in &all {
+            assert_eq!(p.total_workers(), 32);
+            assert!(p.validate_against(&sys, &m).is_ok());
+        }
+        let no_tp_inter = enumerate_mappings(
+            &sys,
+            &m,
+            &EnumerationOptions {
+                allow_tp_inter: false,
+                ..Default::default()
+            },
+        );
+        assert!(no_tp_inter.iter().all(|p| p.tp_inter() == 1));
+        assert!(no_tp_inter.len() < all.len());
+    }
+
+    #[test]
+    fn max_tp_prunes() {
+        let sys = system(4, 8);
+        let m = model();
+        let pruned = enumerate_mappings(
+            &sys,
+            &m,
+            &EnumerationOptions {
+                max_tp: Some(4),
+                ..Default::default()
+            },
+        );
+        assert!(pruned.iter().all(|p| p.tp() <= 4));
+    }
+
+    #[test]
+    fn search_ranks_fastest_first() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let engine = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let results = engine.search(&training).unwrap();
+        assert!(results.len() > 10);
+        for w in results.windows(2) {
+            assert!(w[0].estimate.total_time.get() <= w[1].estimate.total_time.get());
+        }
+        let best = engine.best(&training).unwrap().unwrap();
+        assert_eq!(
+            best.estimate.total_time.get(),
+            results[0].estimate.total_time.get()
+        );
+    }
+
+    #[test]
+    fn tp_intra_beats_tp_inter_on_slow_networks() {
+        // Case-study-I conclusion 2, as a search property: the best mapping
+        // never puts TP across nodes when the node fabric is 12x faster.
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let engine = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let best = engine
+            .best(&TrainingConfig::new(1024, 1).unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(best.parallelism.tp_inter(), 1, "best = {:?}", best.parallelism);
+    }
+
+    #[test]
+    fn memory_filter_drops_oversized() {
+        let m = model();
+        let a = accel();
+        let sys = system(1, 2);
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let all = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .search(&training)
+            .unwrap();
+        let fitting = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_memory_filter(true)
+            .search(&training)
+            .unwrap();
+        assert!(fitting.len() <= all.len());
+        assert!(fitting.iter().all(|c| c.fits_memory));
+    }
+
+    #[test]
+    fn batch_co_optimization_prefers_larger_batches_for_fixed_tokens() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let engine = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 16.0, 0.05, 0.9));
+        let (batch, c) = engine
+            .best_over_batches(&[256, 1024, 4096], 2048, 1e9)
+            .unwrap()
+            .expect("found");
+        // With a saturating efficiency, the bigger batch amortizes better.
+        assert_eq!(batch, 4096);
+        assert!(c.estimate.total_time.get() > 0.0);
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let results = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .search(&TrainingConfig::new(512, 10).unwrap())
+            .unwrap();
+        let front = pareto_front(&results);
+        assert!(!front.is_empty());
+        // The fastest candidate is always on the front.
+        assert!(front.contains(&0));
+        for &i in &front {
+            for (j, c) in results.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let better_everywhere = c.estimate.total_time.get()
+                    < results[i].estimate.total_time.get()
+                    && c.energy.total_joules() < results[i].energy.total_joules()
+                    && c.memory.total() < results[i].memory.total();
+                assert!(!better_everywhere);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! One-call recommendations: the full AMPeD workflow — search, lint,
+//! sensitivity — condensed into a single answer with its reasoning.
+
+use amped_core::{
+    check_scenario, Diagnostic, Knob, SensitivityAnalysis, SensitivityResult, TrainingConfig,
+};
+
+use crate::{Candidate, SearchEngine};
+
+/// A launch recommendation with its supporting evidence.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The fastest memory-feasible candidate.
+    pub best: Candidate,
+    /// The next-best alternatives (up to three), for judgement calls the
+    /// model cannot make (operational simplicity, failure domains).
+    pub alternatives: Vec<Candidate>,
+    /// Lint findings on the chosen mapping.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Knob leverage at 2× improvement, sorted by speedup.
+    pub tornado: Vec<SensitivityResult>,
+}
+
+impl Recommendation {
+    /// The single most valuable hardware investment for this scenario.
+    pub fn top_knob(&self) -> Option<Knob> {
+        self.tornado.first().map(|r| r.knob)
+    }
+
+    /// How much slower the best alternative is (`None` without one).
+    pub fn margin(&self) -> Option<f64> {
+        self.alternatives.first().map(|a| {
+            a.estimate.total_time.get() / self.best.estimate.total_time.get() - 1.0
+        })
+    }
+}
+
+impl std::fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = &self.best.parallelism;
+        writeln!(
+            f,
+            "recommended mapping: tp {}x{}  pp {}x{}  dp {}x{}  ({} microbatches)",
+            p.tp_intra(),
+            p.tp_inter(),
+            p.pp_intra(),
+            p.pp_inter(),
+            p.dp_intra(),
+            p.dp_inter(),
+            self.best.estimate.num_microbatches,
+        )?;
+        writeln!(
+            f,
+            "predicted: {} total, {:.1} TFLOP/s/GPU, {:.1} MWh, {} per device",
+            self.best.estimate.total_time,
+            self.best.estimate.tflops_per_gpu,
+            self.best.energy.megawatt_hours(),
+            amped_core::units::format_bytes(self.best.memory.total()),
+        )?;
+        if let Some(margin) = self.margin() {
+            writeln!(f, "margin over runner-up: {:.1}%", margin * 100.0)?;
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        if let Some(top) = self.tornado.first() {
+            write!(
+                f,
+                "highest-leverage knob: {} ({:+.1}% if 2x better)",
+                top.knob.name(),
+                top.speedup() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Search, lint the winner and rank the hardware knobs — everything an
+    /// operator needs before launching.
+    ///
+    /// Returns `None` when no mapping survives the memory filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn recommend(
+        &self,
+        training: &TrainingConfig,
+    ) -> amped_core::Result<Option<Recommendation>> {
+        let mut ranked = self.search(training)?;
+        if ranked.is_empty() {
+            return Ok(None);
+        }
+        let best = ranked.remove(0);
+        let alternatives: Vec<Candidate> = ranked.into_iter().take(3).collect();
+        let diagnostics =
+            check_scenario(self.model(), self.system(), &best.parallelism, training);
+        let tornado = SensitivityAnalysis::new(
+            self.model(),
+            self.accel(),
+            self.system(),
+            &best.parallelism,
+        )
+        .with_precision(self.precision())
+        .with_efficiency(self.efficiency().clone())
+        .with_options(self.engine_options())
+        .tornado(2.0, training)?;
+        Ok(Some(Recommendation {
+            best,
+            alternatives,
+            diagnostics,
+            tornado,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_core::{
+        AcceleratorSpec, EfficiencyModel, Link, SystemSpec, TransformerModel,
+    };
+
+    fn fixture() -> (TransformerModel, AcceleratorSpec, SystemSpec) {
+        let model = TransformerModel::builder("rec-m")
+            .layers(16)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(512)
+            .vocab_size(32000)
+            .build()
+            .unwrap();
+        let accel = AcceleratorSpec::builder("rec-a")
+            .frequency_hz(1.4e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2e12)
+            .build()
+            .unwrap();
+        let system =
+            SystemSpec::new(4, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8).unwrap();
+        (model, accel, system)
+    }
+
+    #[test]
+    fn recommendation_is_the_search_winner_with_evidence() {
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 8.0, 0.1, 0.9))
+            .with_memory_filter(true);
+        let training = TrainingConfig::new(1024, 100).unwrap();
+        let rec = engine.recommend(&training).unwrap().expect("found");
+        // Matches a direct search.
+        let direct = engine.best(&training).unwrap().expect("found");
+        assert_eq!(rec.best.parallelism, direct.parallelism);
+        assert!(rec.alternatives.len() <= 3);
+        if let Some(m) = rec.margin() {
+            assert!(m >= 0.0);
+        }
+        assert!(rec.top_knob().is_some());
+        let text = rec.to_string();
+        assert!(text.contains("recommended mapping"));
+        assert!(text.contains("highest-leverage knob"));
+    }
+
+    #[test]
+    fn infeasible_scenarios_return_none() {
+        let (model, _, system) = fixture();
+        // A 1 MiB "accelerator": nothing fits.
+        let tiny = AcceleratorSpec::builder("tiny")
+            .frequency_hz(1e9)
+            .cores(1)
+            .mac_units(1, 8, 8)
+            .nonlin_units(1, 1, 32)
+            .memory(1e6, 1e9)
+            .build()
+            .unwrap();
+        let engine = SearchEngine::new(&model, &tiny, &system).with_memory_filter(true);
+        let rec = engine
+            .recommend(&TrainingConfig::new(1024, 1).unwrap())
+            .unwrap();
+        assert!(rec.is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Parameter sweeps — the machinery behind the paper's case-study figures,
+//! packaged for reuse: evaluate a set of mappings across a set of batch
+//! sizes and emit labelled series.
+
+use amped_core::{Estimate, Parallelism, Result, TrainingConfig};
+
+use crate::{Candidate, SearchEngine};
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The mapping label supplied by the caller.
+    pub label: String,
+    /// Global batch size of this point.
+    pub global_batch: usize,
+    /// The (microbatch-tuned) estimate.
+    pub estimate: Estimate,
+}
+
+/// A grid of mappings × batch sizes, evaluated through a [`SearchEngine`]'s
+/// configuration (efficiency, precision, engine options, power model).
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+    batches: Vec<usize>,
+    labels: Vec<String>,
+}
+
+impl Sweep {
+    /// Evaluate every `(mapping, batch)` pair. Each mapping is evaluated
+    /// through [`SearchEngine::evaluate_one`] (microbatch tuning included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors; a mapping invalid for the engine's
+    /// system/model is an error (sweeps are explicit, unlike enumeration).
+    pub fn run(
+        engine: &SearchEngine<'_>,
+        mappings: &[(String, Parallelism)],
+        batches: &[usize],
+        num_batches: u64,
+    ) -> Result<Sweep> {
+        let mut points = Vec::with_capacity(mappings.len() * batches.len());
+        for (label, mapping) in mappings {
+            for &batch in batches {
+                let training = TrainingConfig::new(batch, num_batches)?;
+                let candidate = engine.evaluate_one(mapping, &training)?;
+                points.push(SweepPoint {
+                    label: label.clone(),
+                    global_batch: batch,
+                    estimate: candidate.estimate,
+                });
+            }
+        }
+        Ok(Sweep {
+            points,
+            batches: batches.to_vec(),
+            labels: mappings.iter().map(|(l, _)| l.clone()).collect(),
+        })
+    }
+
+    /// All evaluated points.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The series for one mapping label: `(batch, total days)` pairs in
+    /// batch order.
+    pub fn days_series(&self, label: &str) -> Vec<(f64, f64)> {
+        self.batches
+            .iter()
+            .filter_map(|&b| {
+                self.points
+                    .iter()
+                    .find(|p| p.label == label && p.global_batch == b)
+                    .map(|p| (b as f64, p.estimate.days()))
+            })
+            .collect()
+    }
+
+    /// Labels in insertion order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The fastest mapping at each batch size: `(batch, label)`.
+    pub fn winners(&self) -> Vec<(usize, &str)> {
+        self.batches
+            .iter()
+            .filter_map(|&b| {
+                self.points
+                    .iter()
+                    .filter(|p| p.global_batch == b)
+                    .min_by(|x, y| {
+                        x.estimate
+                            .total_time
+                            .get()
+                            .partial_cmp(&y.estimate.total_time.get())
+                            .expect("finite")
+                    })
+                    .map(|p| (b, p.label.as_str()))
+            })
+            .collect()
+    }
+
+    /// Render as CSV: one row per batch, one column per label (days).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("batch");
+        for l in &self.labels {
+            out.push(',');
+            out.push_str(l);
+        }
+        for &b in &self.batches {
+            out.push('\n');
+            out.push_str(&b.to_string());
+            for l in &self.labels {
+                out.push(',');
+                if let Some(p) = self
+                    .points
+                    .iter()
+                    .find(|p| &p.label == l && p.global_batch == b)
+                {
+                    out.push_str(&format!("{:.3}", p.estimate.days()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Re-export point: evaluate a single explicit mapping through the engine
+/// (used by [`Sweep::run`] and callers that need one-off evaluations with
+/// the engine's configuration).
+impl<'a> SearchEngine<'a> {
+    /// Evaluate one explicit mapping (with microbatch tuning if enabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mapping does not fit the engine's
+    /// system/model or any component fails validation.
+    pub fn evaluate_one(
+        &self,
+        mapping: &Parallelism,
+        training: &TrainingConfig,
+    ) -> Result<Candidate> {
+        self.evaluate(mapping, training)?.ok_or_else(|| {
+            amped_core::Error::incompatible(
+                "mapping was filtered out (exceeds device memory under every microbatch size)",
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_core::{AcceleratorSpec, EfficiencyModel, Link, SystemSpec, TransformerModel};
+
+    fn fixture() -> (TransformerModel, AcceleratorSpec, SystemSpec) {
+        let model = TransformerModel::builder("sweep-m")
+            .layers(16)
+            .hidden_size(1024)
+            .heads(16)
+            .seq_len(256)
+            .vocab_size(8000)
+            .build()
+            .unwrap();
+        let accel = AcceleratorSpec::builder("sweep-a")
+            .frequency_hz(1e9)
+            .cores(32)
+            .mac_units(4, 128, 8)
+            .nonlin_units(32, 8, 32)
+            .memory(32e9, 1e12)
+            .build()
+            .unwrap();
+        let system =
+            SystemSpec::new(4, 4, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 4).unwrap();
+        (model, accel, system)
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let mappings = vec![
+            (
+                "dp".to_string(),
+                Parallelism::builder().tp(4, 1).dp(1, 4).build().unwrap(),
+            ),
+            (
+                "pp".to_string(),
+                Parallelism::builder().tp(4, 1).pp(1, 4).build().unwrap(),
+            ),
+        ];
+        let batches = [64usize, 128, 256];
+        let sweep = Sweep::run(&engine, &mappings, &batches, 10).unwrap();
+        assert_eq!(sweep.points().len(), 6);
+        assert_eq!(sweep.days_series("dp").len(), 3);
+        assert_eq!(sweep.winners().len(), 3);
+        let csv = sweep.to_csv();
+        assert!(csv.starts_with("batch,dp,pp"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn winners_are_the_fastest() {
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let mappings = vec![
+            (
+                "dp".to_string(),
+                Parallelism::builder().tp(4, 1).dp(1, 4).build().unwrap(),
+            ),
+            (
+                "tp-inter".to_string(),
+                Parallelism::builder().tp(4, 4).build().unwrap(),
+            ),
+        ];
+        let sweep = Sweep::run(&engine, &mappings, &[256], 1).unwrap();
+        // TP across slow links loses; the winner at every batch is dp.
+        for (_, w) in sweep.winners() {
+            assert_eq!(w, "dp");
+        }
+    }
+
+    #[test]
+    fn evaluate_one_rejects_misfit_mappings() {
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system);
+        let wrong = Parallelism::builder().tp(2, 1).build().unwrap(); // 2 != 4
+        assert!(engine
+            .evaluate_one(&wrong, &TrainingConfig::new(64, 1).unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Chrome-tracing export: load a simulated timeline into
+//! `chrome://tracing` / Perfetto for interactive inspection.
+
+use crate::timeline::{Activity, Timeline};
+
+/// Serialize a timeline as a Chrome Trace Event JSON array: one complete
+/// (`"ph": "X"`) event per recorded interval, devices as thread ids,
+/// compute vs communication as categories. Timestamps are microseconds,
+/// as the format requires.
+///
+/// # Example
+///
+/// ```
+/// use amped_sim::{trace::to_chrome_trace, Activity, Timeline};
+/// let mut t = Timeline::new(2);
+/// t.push(0, Activity::Compute, 0.0, 1e-3, "fwd");
+/// t.set_makespan(1e-3);
+/// let json = to_chrome_trace(&t);
+/// assert!(json.starts_with('['));
+/// assert!(json.contains("\"name\":\"fwd\""));
+/// ```
+pub fn to_chrome_trace(timeline: &Timeline) -> String {
+    let mut out = String::from("[");
+    for (i, e) in timeline.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let cat = match e.activity {
+            Activity::Compute => "compute",
+            Activity::Comm => "comm",
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
+            e.label,
+            cat,
+            e.start_s * 1e6,
+            (e.end_s - e.start_s) * 1e6,
+            e.device
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new(2);
+        t.push(0, Activity::Compute, 0.0, 0.5, "fwd");
+        t.push(1, Activity::Comm, 0.25, 0.75, "act>");
+        t.set_makespan(0.75);
+        t
+    }
+
+    #[test]
+    fn emits_one_event_per_interval() {
+        let json = to_chrome_trace(&sample());
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.as_array().expect("array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["tid"], 0);
+        assert_eq!(events[1]["cat"], "comm");
+        // Microsecond timestamps.
+        assert_eq!(events[1]["ts"].as_f64().unwrap(), 0.25e6);
+        assert_eq!(events[1]["dur"].as_f64().unwrap(), 0.5e6);
+    }
+
+    #[test]
+    fn empty_timeline_is_empty_array() {
+        let json = to_chrome_trace(&Timeline::new(1));
+        assert_eq!(json, "[]");
+    }
+}

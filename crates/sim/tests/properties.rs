@@ -1,0 +1,143 @@
+//! Property tests over the discrete-event executor: physical invariants
+//! that must hold for any task graph.
+
+use amped_sim::des::NetworkParams;
+use amped_sim::{LinkClass, Simulator, TaskGraph, TaskKind};
+use proptest::prelude::*;
+
+fn network() -> NetworkParams {
+    NetworkParams {
+        intra_latency_s: 1e-6,
+        intra_bw_bps: 1e10,
+        inter_latency_s: 1e-5,
+        inter_bw_bps: 1e9,
+    }
+}
+
+/// A random DAG: `n` compute tasks over `d` devices with edges only from
+/// lower to higher indices (guaranteed acyclic), plus some transfers.
+fn random_graph() -> impl Strategy<Value = TaskGraph> {
+    (
+        1usize..=4,                                    // devices
+        prop::collection::vec((0usize..4, 1u64..=100), 1..=24), // (device, duration ticks)
+        prop::collection::vec((0usize..24, 0usize..24), 0..=30), // candidate edges
+    )
+        .prop_map(|(devices, tasks, edges)| {
+            let mut g = TaskGraph::new(devices);
+            let ids: Vec<_> = tasks
+                .iter()
+                .enumerate()
+                .map(|(i, (dev, ticks))| {
+                    let deps: Vec<usize> = edges
+                        .iter()
+                        .filter(|(from, to)| *to == i && *from < i)
+                        .map(|(from, _)| *from)
+                        .collect();
+                    g.add(
+                        TaskKind::Compute {
+                            device: dev % devices,
+                            duration_s: *ticks as f64 * 1e-3,
+                        },
+                        "c",
+                        &deps,
+                    )
+                })
+                .collect();
+            // A few transfers between consecutive tasks on distinct devices.
+            for w in ids.windows(2) {
+                if let (
+                    TaskKind::Compute { device: a, .. },
+                    TaskKind::Compute { device: b, .. },
+                ) = (g.task(w[0]).kind, g.task(w[1]).kind)
+                {
+                    if a != b {
+                        g.add(
+                            TaskKind::Transfer {
+                                src: a,
+                                dst: b,
+                                bytes: 1e6,
+                                link: LinkClass::Intra,
+                            },
+                            "t",
+                            &[w[0]],
+                        );
+                    }
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn makespan_bounds_hold(graph in random_graph()) {
+        let out = Simulator::new(network()).run(&graph);
+        // Lower bound: the busiest device's total compute.
+        let max_load = graph
+            .compute_load()
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        prop_assert!(out.makespan_s >= max_load - 1e-12);
+        // Upper bound: fully serialized execution of everything.
+        let serial: f64 = graph
+            .tasks()
+            .iter()
+            .map(|t| match t.kind {
+                TaskKind::Compute { duration_s, .. } => duration_s,
+                TaskKind::Transfer { bytes, .. } => 1e-6 + bytes * 8.0 / 1e10,
+            })
+            .sum();
+        prop_assert!(out.makespan_s <= serial + 1e-9);
+    }
+
+    #[test]
+    fn execution_is_deterministic(graph in random_graph()) {
+        let sim = Simulator::new(network());
+        let a = sim.run(&graph);
+        let b = sim.run(&graph);
+        prop_assert_eq!(a.makespan_s, b.makespan_s);
+        prop_assert_eq!(a.device_stats.len(), b.device_stats.len());
+        for (x, y) in a.device_stats.iter().zip(&b.device_stats) {
+            prop_assert_eq!(x.compute_busy_s, y.compute_busy_s);
+        }
+    }
+
+    #[test]
+    fn stats_are_physical(graph in random_graph()) {
+        let out = Simulator::new(network()).run(&graph);
+        for d in &out.device_stats {
+            prop_assert!(d.compute_busy_s >= 0.0);
+            prop_assert!(d.compute_busy_s <= out.makespan_s + 1e-12);
+            prop_assert!(d.utilization(out.makespan_s) <= 1.0 + 1e-9);
+            prop_assert!(d.last_finish_s <= out.makespan_s + 1e-12);
+        }
+        // Timeline accounting matches device stats.
+        for dev in 0..graph.num_devices() {
+            let from_timeline = out.timeline.compute_busy(dev);
+            prop_assert!((from_timeline - out.device_stats[dev].compute_busy_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timeline_intervals_never_overlap_per_device(graph in random_graph()) {
+        let out = Simulator::new(network()).run(&graph);
+        for dev in 0..graph.num_devices() {
+            let mut intervals: Vec<(f64, f64)> = out
+                .timeline
+                .entries()
+                .iter()
+                .filter(|e| e.device == dev && e.activity == amped_sim::Activity::Compute)
+                .map(|e| (e.start_s, e.end_s))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-12,
+                    "compute intervals overlap on device {dev}: {w:?}"
+                );
+            }
+        }
+    }
+}

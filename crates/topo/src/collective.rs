@@ -1,0 +1,218 @@
+//! Collective operation kinds and their analytical cost.
+
+use serde::{Deserialize, Serialize};
+
+/// A collective communication operation over a group of participants.
+///
+/// These are the communication patterns distributed transformer training
+/// needs: tensor parallelism issues [`AllReduce`](Collective::AllReduce)s of
+/// activations, ZeRO-style data parallelism uses
+/// [`ReduceScatter`](Collective::ReduceScatter)/[`AllGather`](Collective::AllGather),
+/// mixture-of-experts routing issues [`AllToAll`](Collective::AllToAll)s,
+/// and pipeline parallelism sends activations
+/// [`PointToPoint`](Collective::PointToPoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Collective {
+    /// Every participant ends with the element-wise reduction of all inputs.
+    AllReduce,
+    /// Every participant ends with one distinct `1/N` shard of the reduction.
+    ReduceScatter,
+    /// Every participant ends with the concatenation of all shards.
+    AllGather,
+    /// Every participant sends a distinct `1/N` slice to every other one.
+    AllToAll,
+    /// One root distributes its payload to all participants.
+    Broadcast,
+    /// A single source–destination transfer (pipeline stage boundary).
+    PointToPoint,
+}
+
+impl std::fmt::Display for Collective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Collective::AllReduce => "all-reduce",
+            Collective::ReduceScatter => "reduce-scatter",
+            Collective::AllGather => "all-gather",
+            Collective::AllToAll => "all-to-all",
+            Collective::Broadcast => "broadcast",
+            Collective::PointToPoint => "point-to-point",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Analytical cost of a collective on a topology: the AMPeD topology factor
+/// and the serialized step count.
+///
+/// Combine with a payload and a link with [`CollectiveCost::time`]:
+/// `t = steps · latency + payload_bits · factor / bandwidth`.
+///
+/// # Example
+///
+/// ```
+/// use amped_topo::CollectiveCost;
+/// let c = CollectiveCost::new(1.75, 14);
+/// let t = c.time(1e9, 5e-6, 2.4e12);
+/// assert!((t - (14.0 * 5e-6 + 1e9 * 1.75 / 2.4e12)).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveCost {
+    /// Payload crossings per participant (the paper's `T`).
+    pub factor: f64,
+    /// Number of serialized latency-bearing phases.
+    pub steps: usize,
+}
+
+impl CollectiveCost {
+    /// A cost with the given factor and step count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn new(factor: f64, steps: usize) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "topology factor must be finite and non-negative, got {factor}"
+        );
+        CollectiveCost { factor, steps }
+    }
+
+    /// The zero cost of a collective over at most one participant.
+    pub fn free() -> Self {
+        CollectiveCost {
+            factor: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Whether this collective moves no data at all.
+    pub fn is_free(&self) -> bool {
+        self.factor == 0.0 && self.steps == 0
+    }
+
+    /// Wall-clock time of the collective:
+    /// `steps · latency_s + payload_bits · factor / bandwidth_bps`.
+    ///
+    /// `payload_bits` is the *logical* payload per participant (e.g. the full
+    /// gradient buffer); the factor accounts for the algorithmic volume
+    /// inflation. Returns `0.0` for a free cost regardless of payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not strictly positive while data must
+    /// move (`factor > 0` and `payload_bits > 0`).
+    pub fn time(&self, payload_bits: f64, latency_s: f64, bandwidth_bps: f64) -> f64 {
+        if self.is_free() {
+            return 0.0;
+        }
+        let volume = payload_bits * self.factor;
+        if volume > 0.0 {
+            assert!(
+                bandwidth_bps > 0.0,
+                "bandwidth must be positive to move {volume} bits"
+            );
+        }
+        self.steps as f64 * latency_s + if volume > 0.0 { volume / bandwidth_bps } else { 0.0 }
+    }
+}
+
+/// Time of a hierarchical all-reduce: reduce-scatter inside groups of
+/// `intra_n` on the intra link, all-reduce of the `1/intra_n` shards across
+/// `inter_n` groups on the inter link, then all-gather back — the structure
+/// the paper's Eq. 10 assumes for gradients.
+///
+/// # Example
+///
+/// ```
+/// use amped_topo::{hierarchical_all_reduce_time, Topology};
+/// let flat = Topology::Ring
+///     .cost(amped_topo::Collective::AllReduce, 64)
+///     .time(1e9, 1e-5, 1e11);
+/// let hier = hierarchical_all_reduce_time(
+///     1e9,
+///     Topology::Ring, 8, 1e-6, 2.4e12,
+///     Topology::Ring, 8, 1e-5, 1e11,
+/// );
+/// assert!(hier < flat, "hierarchy must beat a flat ring over slow links");
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn hierarchical_all_reduce_time(
+    payload_bits: f64,
+    intra_topology: crate::Topology,
+    intra_n: usize,
+    intra_latency_s: f64,
+    intra_bw_bps: f64,
+    inter_topology: crate::Topology,
+    inter_n: usize,
+    inter_latency_s: f64,
+    inter_bw_bps: f64,
+) -> f64 {
+    let rs = intra_topology
+        .cost(Collective::ReduceScatter, intra_n)
+        .time(payload_bits, intra_latency_s, intra_bw_bps);
+    let ag = intra_topology
+        .cost(Collective::AllGather, intra_n)
+        .time(payload_bits, intra_latency_s, intra_bw_bps);
+    let shard = payload_bits / intra_n.max(1) as f64;
+    let inter = inter_topology
+        .cost(Collective::AllReduce, inter_n)
+        .time(shard, inter_latency_s, inter_bw_bps);
+    rs + inter + ag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_collapses_to_inter_only_groups_of_one() {
+        let t = crate::hierarchical_all_reduce_time(
+            1e9,
+            crate::Topology::Ring,
+            1,
+            1e-6,
+            1e12,
+            crate::Topology::Ring,
+            8,
+            1e-5,
+            1e11,
+        );
+        let flat = crate::Topology::Ring
+            .cost(Collective::AllReduce, 8)
+            .time(1e9, 1e-5, 1e11);
+        assert!((t - flat).abs() / flat < 1e-12);
+    }
+
+    #[test]
+    fn free_cost_is_zero_time() {
+        assert_eq!(CollectiveCost::free().time(1e12, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn time_decomposes_into_latency_and_bandwidth_terms() {
+        let c = CollectiveCost::new(2.0, 4);
+        let lat_only = c.time(0.0, 1e-6, 1e9);
+        assert!((lat_only - 4e-6).abs() < 1e-18);
+        let both = c.time(1e9, 1e-6, 1e9);
+        assert!((both - (4e-6 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_with_payload_panics() {
+        CollectiveCost::new(1.0, 1).time(8.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology factor")]
+    fn negative_factor_rejected() {
+        CollectiveCost::new(-1.0, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Collective::AllToAll.to_string(), "all-to-all");
+        assert_eq!(Collective::PointToPoint.to_string(), "point-to-point");
+    }
+}

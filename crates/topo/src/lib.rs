@@ -1,0 +1,40 @@
+//! Interconnect topologies and collective-communication primitives.
+//!
+//! This crate is the shared communication substrate of the AMPeD workspace.
+//! It serves two consumers:
+//!
+//! * the **analytical model** (`amped-core`) consumes [`CollectiveCost`]
+//!   values — the *topology factor* `T` and the number of serialized
+//!   communication *steps* of a collective on a given [`Topology`] — exactly
+//!   as Eq. 6/9/11 of the AMPeD paper use them (e.g. a ring all-reduce over
+//!   `N` accelerators has `T = 2(N-1)/N` and `2(N-1)` steps);
+//! * the **discrete-event simulator** (`amped-sim`) consumes explicit
+//!   [`schedule`]s — per-step `src → dst` transfer lists that it executes on
+//!   contended links.
+//!
+//! # Example
+//!
+//! ```
+//! use amped_topo::{Collective, Topology};
+//!
+//! let ring = Topology::Ring;
+//! let cost = ring.cost(Collective::AllReduce, 8);
+//! assert!((cost.factor - 2.0 * 7.0 / 8.0).abs() < 1e-12);
+//! assert_eq!(cost.steps, 14);
+//!
+//! // Time for an 8 MiB all-reduce over 8 ranks on 800 Gbit/s links with 1 us latency:
+//! let t = cost.time(8.0 * 1024.0 * 1024.0 * 8.0, 1e-6, 800e9);
+//! assert!(t > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod schedule;
+pub mod topology;
+pub mod verify;
+
+pub use collective::{hierarchical_all_reduce_time, Collective, CollectiveCost};
+pub use schedule::{Schedule, TransferStep};
+pub use topology::Topology;

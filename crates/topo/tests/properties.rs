@@ -1,0 +1,93 @@
+//! Property tests over topologies and collective schedules.
+
+use amped_topo::{verify::check_schedule, Collective, Schedule, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn all_generators_produce_well_formed_schedules(
+        n in 1usize..=24,
+        kib in 1u64..=128,
+    ) {
+        let bytes = kib * 1024;
+        let schedules = vec![
+            Schedule::ring_all_reduce(n, bytes),
+            Schedule::ring_reduce_scatter(n, bytes),
+            Schedule::ring_all_gather(n, bytes),
+            Schedule::pairwise_all_to_all(n, bytes),
+            Schedule::tree_broadcast(n, bytes),
+        ];
+        for s in schedules {
+            prop_assert!(check_schedule(&s).is_empty(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn halving_doubling_is_well_formed_and_volume_optimal(
+        pow in 1u32..=5,
+        kib in 1u64..=128,
+    ) {
+        let n = 1usize << pow;
+        let bytes = kib * 1024;
+        let s = Schedule::halving_doubling_all_reduce(n, bytes);
+        prop_assert!(check_schedule(&s).is_empty());
+        let per_rank = s.max_bytes_per_rank() as f64;
+        let optimal = 2.0 * (n as f64 - 1.0) / n as f64 * bytes as f64;
+        prop_assert!(per_rank >= optimal - 1.0);
+        prop_assert!(per_rank <= optimal + 2.0 * n as f64);
+    }
+
+    #[test]
+    fn costs_are_bounded_and_consistent(
+        n in 2usize..=64,
+    ) {
+        let topologies = [
+            Topology::Ring,
+            Topology::FullyConnected,
+            Topology::Tree,
+            Topology::Chain,
+            Topology::Torus2d { rows: 2, cols: n.div_ceil(2) },
+        ];
+        for topo in topologies {
+            for coll in [
+                Collective::AllReduce,
+                Collective::ReduceScatter,
+                Collective::AllGather,
+                Collective::AllToAll,
+                Collective::Broadcast,
+            ] {
+                let c = topo.cost(coll, n);
+                prop_assert!(c.factor > 0.0 && c.factor < 2.0, "{topo} {coll}");
+                prop_assert!(c.steps >= 1);
+                // The all-reduce moves exactly twice a reduce-scatter.
+            }
+            let ar = topo.cost(Collective::AllReduce, n).factor;
+            let rs = topo.cost(Collective::ReduceScatter, n).factor;
+            prop_assert!((ar - 2.0 * rs).abs() < 1e-12, "{topo}");
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_in_payload_and_bandwidth(
+        n in 2usize..=32,
+        payload in 1.0f64..1e12,
+    ) {
+        let c = Topology::Ring.cost(Collective::AllReduce, n);
+        let t1 = c.time(payload, 1e-6, 1e11);
+        let t2 = c.time(payload * 2.0, 1e-6, 1e11);
+        let t3 = c.time(payload, 1e-6, 2e11);
+        prop_assert!(t2 > t1);
+        prop_assert!(t3 < t1);
+    }
+
+    #[test]
+    fn bigger_groups_never_shrink_allreduce_factors(
+        n in 2usize..=63,
+    ) {
+        for topo in [Topology::Ring, Topology::FullyConnected, Topology::Tree] {
+            let a = topo.cost(Collective::AllReduce, n).factor;
+            let b = topo.cost(Collective::AllReduce, n + 1).factor;
+            prop_assert!(b >= a, "{topo}: factor({n})={a} factor({})={b}", n + 1);
+        }
+    }
+}

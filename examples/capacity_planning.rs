@@ -1,0 +1,82 @@
+//! Capacity planning: how many GPUs does a training deadline require, and
+//! what does the run cost in energy? Sweeps cluster sizes, picks the best
+//! mapping at each, and finds the smallest cluster that meets the deadline.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use amped::configs::{accelerators, efficiency, systems};
+use amped::prelude::*;
+
+const DEADLINE_DAYS: f64 = 30.0;
+const TOKENS: f64 = 300e9;
+
+fn main() -> Result<(), amped::core::Error> {
+    let model = TransformerModel::builder("gpt-30b")
+        .layers(48)
+        .hidden_size(7168)
+        .heads(56)
+        .seq_len(2048)
+        .vocab_size(50257)
+        .build()?;
+    let a100 = accelerators::a100();
+    println!(
+        "planning: train {} ({:.0}B params) on {} tokens within {DEADLINE_DAYS} days\n",
+        model.name(),
+        model.total_parameters() / 1e9,
+        amped::core::units::format_count(TOKENS)
+    );
+
+    println!(
+        "{:>6} {:>10} {:>22} {:>9} {:>10}",
+        "GPUs", "days", "best mapping", "TFLOP/s", "MWh"
+    );
+    let mut chosen = None;
+    for nodes in [4usize, 8, 16, 32, 64] {
+        let system = systems::a100_hdr_cluster(nodes, 8);
+        let batch = 32 * nodes; // keep the per-replica batch healthy
+        let training = TrainingConfig::from_tokens(batch, model.seq_len(), TOKENS)?;
+        let best = SearchEngine::new(&model, &a100, &system)
+            .with_efficiency(efficiency::case_study())
+            .with_engine_options(EngineOptions {
+                activation_recompute: true,
+                ..Default::default()
+            })
+            // ZeRO-1 shards the Adam states across DP ranks, which is what
+            // makes a 30B model fit mid-sized clusters at all.
+            .with_enumeration(EnumerationOptions {
+                zero: ZeroConfig::stage(ZeroStage::OptimizerStates, 0.0),
+                ..Default::default()
+            })
+            .with_memory_filter(true)
+            .best(&training)?
+            .expect("at least one feasible mapping");
+        let p = &best.parallelism;
+        println!(
+            "{:>6} {:>10.1} {:>22} {:>9.1} {:>10.1}",
+            system.total_accelerators(),
+            best.estimate.days(),
+            format!("tp{} pp{} dp{}", p.tp(), p.pp(), p.dp()),
+            best.estimate.tflops_per_gpu,
+            best.energy.megawatt_hours(),
+        );
+        if best.estimate.days() <= DEADLINE_DAYS && chosen.is_none() {
+            chosen = Some((system.total_accelerators(), best));
+        }
+    }
+
+    match chosen {
+        Some((gpus, best)) => {
+            println!(
+                "\nanswer: {gpus} A100s meet the {DEADLINE_DAYS}-day deadline \
+                 ({:.1} days, {:.1} MWh, tp{} pp{} dp{})",
+                best.estimate.days(),
+                best.energy.megawatt_hours(),
+                best.parallelism.tp(),
+                best.parallelism.pp(),
+                best.parallelism.dp(),
+            );
+        }
+        None => println!("\nno swept cluster size meets the deadline — scale further out"),
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Explore a future system before it exists: what would an optical
+//! communication substrate do for a mixture-of-experts model? (The paper's
+//! case study III, as a reusable workflow.)
+//!
+//! Run with: `cargo run --example future_systems`
+
+use amped::configs::{accelerators, efficiency, models, optical, systems};
+use amped::prelude::*;
+
+fn estimate(
+    model: &TransformerModel,
+    accel: &AcceleratorSpec,
+    system: &amped::core::SystemSpec,
+) -> Result<Estimate, amped::core::Error> {
+    let mapping = Parallelism::builder()
+        .tp(system.accels_per_node(), 1)
+        .dp(1, system.num_nodes())
+        .build()?;
+    Estimator::new(model, accel, system, &mapping)
+        .with_precision(Precision::int8())
+        .with_efficiency(efficiency::case_study())
+        .estimate(&TrainingConfig::single_batch(8192)?)
+}
+
+fn main() -> Result<(), amped::core::Error> {
+    let glam = models::glam_64e();
+    let h100 = accelerators::h100();
+    println!(
+        "model: {} ({:.2}T total / {:.0}B activated parameters)\n",
+        glam.name(),
+        glam.total_parameters() / 1e12,
+        glam.activated_parameters() / 1e9
+    );
+
+    // Today: 8 H100s per node, NDR InfiniBand between nodes.
+    let today = systems::h100_ndr_cluster(384, 8);
+    let e_today = estimate(&glam, &h100, &today)?;
+    println!(
+        "today  (8/node, NDR):      {:.3} s/iter, MoE all-to-all {:.0}% of time",
+        e_today.time_per_iteration.get(),
+        e_today.breakdown.moe_comm / e_today.breakdown.total() * 100.0
+    );
+
+    // Tomorrow: the same silicon on a 4x4 optical substrate.
+    let tomorrow = optical::optical_cluster(&h100, 3072, 4, 4);
+    let e_tomorrow = estimate(&glam, &h100, &tomorrow)?;
+    println!(
+        "optical (4x4 substrate):   {:.3} s/iter  ({:.2}x)",
+        e_tomorrow.time_per_iteration.get(),
+        e_today.time_per_iteration.get() / e_tomorrow.time_per_iteration.get()
+    );
+
+    // The day after: accelerators designed for the substrate, with 4x the
+    // off-chip bandwidth.
+    let future_accel = h100.with_offchip_bandwidth_scaled(4.0);
+    let future = optical::optical_cluster(&future_accel, 3072, 4, 4);
+    let e_future = estimate(&glam, &future_accel, &future)?;
+    println!(
+        "optical + 4x off-chip:     {:.3} s/iter  ({:.2}x)",
+        e_future.time_per_iteration.get(),
+        e_today.time_per_iteration.get() / e_future.time_per_iteration.get()
+    );
+
+    println!(
+        "\nsame peak compute, {:.1}x faster training — communication, not FLOPs, is the wall",
+        e_today.time_per_iteration.get() / e_future.time_per_iteration.get()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Mixing GPU generations in one pipeline — the extension the paper's
+//! conclusion names. Shows why layer placement, not just hardware count,
+//! decides throughput when stages differ.
+//!
+//! Run with: `cargo run --example heterogeneous_pipeline`
+
+use amped::configs::accelerators;
+use amped::core::hetero::{HeteroPipeline, HeteroStage};
+use amped::prelude::*;
+
+fn main() -> Result<(), amped::core::Error> {
+    // A 48-layer model across one V100 stage and one A100 stage.
+    let model = TransformerModel::builder("gpt-6b")
+        .layers(48)
+        .hidden_size(4096)
+        .heads(32)
+        .seq_len(1024)
+        .vocab_size(50257)
+        .include_head(false)
+        .build()?;
+    let v100 = accelerators::v100();
+    let a100 = accelerators::a100();
+    let training = TrainingConfig::new(128, 1)?;
+
+    println!("splitting {} layers between a V100 and an A100 stage:\n", model.num_layers());
+    println!("{:>14} {:>12} {:>12} {:>10}", "V100 layers", "iter (s)", "bottleneck", "bubble");
+    let mut best: Option<(usize, f64)> = None;
+    for v100_layers in [8usize, 12, 16, 24, 32] {
+        let pipeline = HeteroPipeline::new(
+            &model,
+            vec![
+                HeteroStage {
+                    accelerator: v100.clone(),
+                    num_layers: v100_layers,
+                },
+                HeteroStage {
+                    accelerator: a100.clone(),
+                    num_layers: model.num_layers() - v100_layers,
+                },
+            ],
+        )?
+        .with_efficiency(EfficiencyModel::Constant(0.5));
+        let e = pipeline.estimate(&training, 16)?;
+        println!(
+            "{:>14} {:>12.3} {:>12} {:>9.0}%",
+            v100_layers,
+            e.time_per_iteration.get(),
+            if e.bottleneck_stage == 0 { "V100" } else { "A100" },
+            e.bubble_fraction * 100.0
+        );
+        if best.map(|(_, t)| e.time_per_iteration.get() < t).unwrap_or(true) {
+            best = Some((v100_layers, e.time_per_iteration.get()));
+        }
+    }
+
+    let (layers, secs) = best.expect("evaluated");
+    println!(
+        "\nbest split: {layers} layers on the V100 ({secs:.3} s/iter) — \
+         balance the *time*, not the layer count"
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Find the best parallelism mapping for a model on a given cluster — the
+//! paper's core use case: pick the launch configuration *before* burning
+//! GPU-hours.
+//!
+//! Run with: `cargo run --example optimize_cluster`
+
+use amped::configs::{accelerators, efficiency, models, systems};
+use amped::prelude::*;
+use amped::search::pareto_front;
+
+fn main() -> Result<(), amped::core::Error> {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(32, 8);
+    let training = TrainingConfig::from_tokens(4096, model.seq_len(), 300e9)?;
+
+    println!(
+        "searching mappings of {} onto {} accelerators...\n",
+        model.name(),
+        system.total_accelerators()
+    );
+
+    // Activation recomputation is how 145B-class models actually fit; the
+    // search engine threads it through both the time and the memory model.
+    let engine = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_engine_options(EngineOptions {
+            activation_recompute: true,
+            ..Default::default()
+        })
+        .with_memory_filter(true);
+    let candidates = engine.search(&training)?;
+    println!("{} memory-feasible mappings found; top 5:", candidates.len());
+    println!(
+        "{:<22} {:>9} {:>14} {:>12} {:>10}",
+        "mapping (txp/pxp/dxd)", "days", "TFLOP/s/GPU", "mem/device", "MWh"
+    );
+    for c in candidates.iter().take(5) {
+        let p = &c.parallelism;
+        println!(
+            "{:<22} {:>9.1} {:>14.1} {:>12} {:>10.1}",
+            format!(
+                "tp{}x{} pp{}x{} dp{}x{}",
+                p.tp_intra(),
+                p.tp_inter(),
+                p.pp_intra(),
+                p.pp_inter(),
+                p.dp_intra(),
+                p.dp_inter()
+            ),
+            c.estimate.days(),
+            c.estimate.tflops_per_gpu,
+            amped::core::units::format_bytes(c.memory.total()),
+            c.energy.megawatt_hours(),
+        );
+    }
+
+    // The best mapping is not always best on every axis: show the
+    // time x energy x memory Pareto front.
+    let front = pareto_front(&candidates);
+    println!("\n{} Pareto-optimal mappings (time x energy x memory):", front.len());
+    for &i in front.iter().take(5) {
+        let c = &candidates[i];
+        println!(
+            "  rank {:>3}: {:.1} d, {:.1} MWh, {} per device",
+            i + 1,
+            c.estimate.days(),
+            c.energy.megawatt_hours(),
+            amped::core::units::format_bytes(c.memory.total())
+        );
+    }
+
+    let best = &candidates[0];
+    println!(
+        "\nrecommendation: TP {} inside nodes, PP {}, DP {} across — {:.1} days",
+        best.parallelism.tp(),
+        best.parallelism.pp(),
+        best.parallelism.dp(),
+        best.estimate.days()
+    );
+    Ok(())
+}

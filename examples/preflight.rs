@@ -1,0 +1,62 @@
+//! Preflight a launch configuration: lint it for footguns, attribute the
+//! predicted time to layers, and rank which hardware knob would help most —
+//! the co-design loop AMPeD exists for, in one pass.
+//!
+//! Run with: `cargo run --example preflight`
+
+use amped::configs::{accelerators, efficiency, systems};
+use amped::core::{check_scenario, SensitivityAnalysis};
+use amped::prelude::*;
+
+fn main() -> Result<(), amped::core::Error> {
+    let model = amped::configs::models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(32, 8);
+    // A deliberately questionable mapping: TP spilling across nodes.
+    let mapping = Parallelism::builder().tp(8, 2).dp(1, 16).build()?;
+    let training = TrainingConfig::new(4096, 1)?;
+
+    // 1. Lint.
+    println!("== preflight checks ==");
+    let findings = check_scenario(&model, &system, &mapping, &training);
+    if findings.is_empty() {
+        println!("no findings");
+    }
+    for d in &findings {
+        println!("{d}");
+    }
+
+    // 2. Attribute the time.
+    let detailed = Estimator::new(&model, &a100, &system, &mapping)
+        .with_efficiency(efficiency::case_study())
+        .estimate_detailed(&training)?;
+    println!("\n== where the time goes ==");
+    println!(
+        "iteration {:.2} s at {:.0} TFLOP/s/GPU",
+        detailed.estimate.time_per_iteration.get(),
+        detailed.estimate.tflops_per_gpu
+    );
+    for l in detailed.hottest_layers(3) {
+        println!(
+            "  layer {:>2}: {:.3} s ({:.1}% — {:.0}% of it communication)",
+            l.index,
+            l.total(),
+            l.total() / detailed.estimate.time_per_iteration.get() * 100.0,
+            (l.tp_comm + l.moe_comm + l.dp_comm) / l.total() * 100.0
+        );
+    }
+
+    // 3. Which knob pays?
+    println!("\n== sensitivity (every knob 2x better) ==");
+    let tornado = SensitivityAnalysis::new(&model, &a100, &system, &mapping)
+        .with_efficiency(efficiency::case_study())
+        .tornado(2.0, &training)?;
+    for r in &tornado {
+        println!("  {:<24} {:+.1}%", r.knob.name(), r.speedup() * 100.0);
+    }
+    println!(
+        "\nverdict: spend on `{}` first",
+        tornado[0].knob.name()
+    );
+    Ok(())
+}

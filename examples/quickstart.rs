@@ -1,0 +1,70 @@
+//! Quickstart: predict the training time of a GPT-style model on a GPU
+//! cluster and print the full per-component breakdown.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use amped::configs::{accelerators, efficiency, systems};
+use amped::prelude::*;
+
+fn main() -> Result<(), amped::core::Error> {
+    // 1. Describe the model: a 13B-parameter GPT.
+    let model = TransformerModel::builder("gpt-13b")
+        .layers(40)
+        .hidden_size(5120)
+        .heads(40)
+        .seq_len(2048)
+        .vocab_size(50257)
+        .build()?;
+    println!(
+        "model: {} ({:.1}B parameters)",
+        model.name(),
+        model.total_parameters() / 1e9
+    );
+
+    // 2. Pick hardware from the preset catalog: 16 nodes x 8 A100s on
+    //    NVLink + HDR InfiniBand.
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    println!(
+        "system: {} x {} = {} accelerators",
+        system.num_nodes(),
+        system.accels_per_node(),
+        system.total_accelerators()
+    );
+
+    // 3. Choose the parallelism mapping: tensor parallelism inside each
+    //    node, data parallelism across nodes.
+    let mapping = Parallelism::builder().tp(8, 1).dp(1, 16).build()?;
+
+    // 4. Ask AMPeD for the training time of 300B tokens at batch 1024.
+    let training = TrainingConfig::from_tokens(1024, model.seq_len(), 300e9)?;
+    let estimate = Estimator::new(&model, &a100, &system, &mapping)
+        .with_efficiency(efficiency::case_study())
+        .with_options(EngineOptions {
+            activation_recompute: true,
+            ..Default::default()
+        })
+        .estimate(&training)?;
+
+    println!("\n{estimate}\n");
+    println!(
+        "verdict: {:.1} days of training at {:.0} TFLOP/s per GPU",
+        estimate.days(),
+        estimate.tflops_per_gpu
+    );
+
+    // 5. Check it fits in memory.
+    let footprint = MemoryModel::new(&model, &mapping)
+        .with_activation_recompute(true)
+        .footprint(estimate.microbatch_size, estimate.num_microbatches);
+    println!("per-device memory: {footprint}");
+
+    // 6. And what the power bill looks like.
+    let energy = EnergyEstimate::from_estimate(
+        &estimate,
+        &PowerModel::from_accelerator(&a100),
+        training.num_batches(),
+    );
+    println!("energy: {energy}");
+    Ok(())
+}

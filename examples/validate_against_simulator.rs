@@ -1,0 +1,60 @@
+//! Cross-check the analytical model against the discrete-event simulator —
+//! the workflow behind the paper's Fig. 2 validation, runnable on a laptop
+//! instead of an HGX-2.
+//!
+//! Run with: `cargo run --example validate_against_simulator`
+
+use amped::configs::{accelerators, efficiency, models, systems};
+use amped::prelude::*;
+
+fn main() -> Result<(), amped::core::Error> {
+    let model = models::mingpt_pp();
+    let v100 = accelerators::v100();
+    let eff = efficiency::v100_mingpt();
+
+    println!("minGPT-PP on a simulated HGX-2: analytical model vs discrete-event simulator\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "mapping", "model", "simulator", "gap"
+    );
+
+    let mut worst: f64 = 0.0;
+    for (label, dp, pp, n_ub) in [
+        ("DP x8", 8, 1, 1),
+        ("PP x8, 8 ub", 1, 8, 8),
+        ("PP x8, 32 ub", 1, 8, 32),
+        ("DP x2 / PP x4", 2, 4, 16),
+    ] {
+        let system = systems::hgx2(8);
+        let mapping = Parallelism::builder()
+            .dp(dp, 1)
+            .pp(pp, 1)
+            .microbatches(MicrobatchPolicy::Explicit(n_ub))
+            .build()?;
+        let batch = 128;
+
+        let predicted = Estimator::new(&model, &v100, &system, &mapping)
+            .with_efficiency(eff.clone())
+            .estimate(&TrainingConfig::single_batch(batch)?)?
+            .time_per_iteration
+            .get();
+        let simulated = SimConfig::new(&model, &v100, &system, &mapping)
+            .with_efficiency(eff.clone())
+            .simulate_iteration(batch)?
+            .iteration_time;
+
+        let gap = (predicted - simulated).abs() / simulated;
+        worst = worst.max(gap);
+        println!(
+            "{label:<18} {predicted:>10.4} s {simulated:>10.4} s {:>7.1}%",
+            gap * 100.0
+        );
+    }
+
+    println!(
+        "\nworst disagreement: {:.1}% — inside the paper's 12% validation band",
+        worst * 100.0
+    );
+    assert!(worst < 0.12);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # amped — analytical model for performance in distributed training of transformers
+//!
+//! This is the facade crate of the AMPeD workspace, a Rust reproduction of
+//! *“AMPeD: An Analytical Model for Performance in Distributed Training of
+//! Transformers”* (Moolchandani et al., ISPASS 2023). It re-exports the
+//! subsystem crates under one roof:
+//!
+//! * [`core`] *(amped-core)* — the analytical model: Eq. 1–12, the
+//!   estimator and its breakdown
+//! * [`topo`] *(amped-topo)* — topologies, collective cost factors and
+//!   transfer schedules
+//! * [`sim`] *(amped-sim)* — the discrete-event training simulator used as
+//!   the validation substrate
+//! * [`memory`] *(amped-memory)* — per-device memory footprints, ZeRO and
+//!   recompute
+//! * [`energy`] *(amped-energy)* — first-order power/energy model
+//! * [`search`] *(amped-search)* — parallelism design-space exploration
+//! * [`configs`] *(amped-configs)* — presets for every model, accelerator,
+//!   link and system in the paper
+//! * [`report`] *(amped-report)* — tables, charts and experiment records
+//!
+//! # Quick start
+//!
+//! ```
+//! use amped::prelude::*;
+//!
+//! # fn main() -> Result<(), amped::core::Error> {
+//! // Predict Megatron-145B training time on 1024 A100s, TP inside nodes.
+//! let model = amped::configs::models::megatron_145b();
+//! let a100 = amped::configs::accelerators::a100();
+//! let system = amped::configs::systems::a100_hdr_cluster(128, 8);
+//! let mapping = Parallelism::builder().tp(8, 1).pp(1, 2).dp(1, 64).build()?;
+//!
+//! let estimate = Estimator::new(&model, &a100, &system, &mapping)
+//!     .with_efficiency(amped::configs::efficiency::case_study())
+//!     .estimate(&TrainingConfig::new(8192, 1)?)?;
+//! println!("{estimate}");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use amped_configs as configs;
+pub use amped_core as core;
+pub use amped_energy as energy;
+pub use amped_memory as memory;
+pub use amped_report as report;
+pub use amped_search as search;
+pub use amped_sim as sim;
+pub use amped_topo as topo;
+
+/// The most common imports: everything from `amped_core::prelude` plus the
+/// simulator, search engine, memory and energy entry points.
+pub mod prelude {
+    pub use amped_core::prelude::*;
+    pub use amped_core::{check_scenario, SensitivityAnalysis};
+    pub use amped_energy::{CostModel, EnergyEstimate, PowerModel};
+    pub use amped_memory::{MemoryModel, OptimizerSpec, RecomputePolicy};
+    pub use amped_search::{
+        enumerate_mappings, EnumerationOptions, Recommendation, SearchEngine, Sweep,
+    };
+    pub use amped_sim::SimConfig;
+}

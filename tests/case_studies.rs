@@ -1,0 +1,129 @@
+//! The qualitative conclusions of the paper's three case studies, asserted
+//! end-to-end through the public API.
+
+use amped::configs::{accelerators, efficiency, models, optical, systems};
+use amped::prelude::*;
+use amped_bench::tuned_case_study_estimate;
+
+fn days(tp: (usize, usize), pp: (usize, usize), dp: (usize, usize), batch: usize) -> f64 {
+    let model = models::megatron_145b();
+    let system = systems::a100_hdr_cluster(128, 8);
+    let p = Parallelism::builder()
+        .tp(tp.0, tp.1)
+        .pp(pp.0, pp.1)
+        .dp(dp.0, dp.1)
+        .build()
+        .expect("valid mapping");
+    tuned_case_study_estimate(&model, &system, &p, batch)
+        .expect("estimates")
+        .days()
+}
+
+/// Case study I, conclusion 2+3: TP belongs inside the node; DP and PP are
+/// the better inter-node choices by about 2x.
+#[test]
+fn tp_inter_node_is_penalized() {
+    let dp_inter = days((8, 1), (1, 1), (1, 128), 16384);
+    let pp_inter = days((8, 1), (1, 64), (1, 2), 16384);
+    let tp_inter = days((8, 8), (1, 1), (1, 16), 16384);
+    assert!(dp_inter < pp_inter, "DP beats PP across nodes");
+    assert!(pp_inter < tp_inter, "PP beats TP across nodes");
+    assert!(
+        tp_inter > 2.0 * dp_inter,
+        "TP across nodes costs ~2x+: {tp_inter:.1} vs {dp_inter:.1} days"
+    );
+}
+
+/// Case study I, §VI-D: DP-heavy intra-node mappings lose to TP-intra
+/// because their microbatch efficiency collapses.
+#[test]
+fn dp_intra_efficiency_collapse() {
+    let tp_intra = days((8, 1), (1, 1), (1, 128), 16384);
+    let dp_intra = days((1, 1), (1, 1), (8, 128), 16384);
+    assert!(
+        dp_intra > 1.5 * tp_intra,
+        "DP-intra {dp_intra:.1} d must be ~2x slower than TP-intra {tp_intra:.1} d"
+    );
+}
+
+/// Case study II: the optimal inter-node strategy flips on low-end systems.
+#[test]
+fn low_end_crossover() {
+    let model = models::megatron_145b();
+    let advantage = |per_node: usize| {
+        let system = systems::a100_edr_lowend(1024, per_node);
+        let nodes = 1024 / per_node;
+        let pp_x = nodes.min(64);
+        let dp = Parallelism::builder()
+            .tp(per_node, 1)
+            .dp(1, nodes)
+            .build()
+            .expect("valid");
+        let pp = Parallelism::builder()
+            .tp(per_node, 1)
+            .pp(1, pp_x)
+            .dp(1, nodes / pp_x)
+            .build()
+            .expect("valid");
+        let d_dp = tuned_case_study_estimate(&model, &system, &dp, 8192)
+            .expect("estimates")
+            .days();
+        let d_pp = tuned_case_study_estimate(&model, &system, &pp, 8192)
+            .expect("estimates")
+            .days();
+        d_dp / d_pp - 1.0
+    };
+    assert!(advantage(1) > 0.0, "PP wins at 1 accel+NIC per node");
+    assert!(advantage(8) < 0.0, "DP wins at 8 accels+NICs per node");
+}
+
+/// Case study III: optical substrates speed up MoE training substantially
+/// without changing peak compute.
+#[test]
+fn optical_substrates_multiply_performance() {
+    let glam = models::glam_64e();
+    let h100 = accelerators::h100();
+    let run = |accel: &AcceleratorSpec, system: &SystemSpec| {
+        let p = Parallelism::builder()
+            .tp(system.accels_per_node(), 1)
+            .dp(1, system.num_nodes())
+            .build()
+            .expect("valid");
+        Estimator::new(&glam, accel, system, &p)
+            .with_precision(Precision::int8())
+            .with_efficiency(efficiency::case_study())
+            .estimate(&TrainingConfig::single_batch(8192).expect("valid"))
+            .expect("estimates")
+    };
+    let reference = run(&h100, &systems::h100_ndr_cluster(384, 8));
+    let opt1 = run(&h100, &optical::optical_cluster(&h100, 3072, 4, 2));
+    let fast = h100.with_offchip_bandwidth_scaled(4.0);
+    let opt3 = run(&fast, &optical::optical_cluster(&fast, 3072, 6, 8));
+
+    // Same peak compute...
+    assert_eq!(h100.peak_macs_native(), fast.peak_macs_native());
+    // ...big speedups from communication alone.
+    let s1 = reference.time_per_iteration.get() / opt1.time_per_iteration.get();
+    let s3 = reference.time_per_iteration.get() / opt3.time_per_iteration.get();
+    assert!(s1 > 1.3, "Opt.1 speedup {s1:.2}");
+    assert!(s3 > s1, "the full stack must beat Opt.1 alone");
+    assert!(s3 > 2.0, "total speedup {s3:.2}");
+    // MoE all-to-all relief is the driver of Opt.1.
+    assert!(reference.breakdown.moe_comm > 5.0 * opt1.breakdown.moe_comm);
+}
+
+/// The search engine agrees with the case-study conclusion: on a high-end
+/// cluster it never puts TP across nodes.
+#[test]
+fn search_never_chooses_tp_inter_on_fast_fabric() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let best = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .best(&TrainingConfig::new(2048, 1).expect("valid"))
+        .expect("searches")
+        .expect("found");
+    assert_eq!(best.parallelism.tp_inter(), 1);
+    assert!(best.parallelism.tp_intra() > 1, "and TP fills the node");
+}

@@ -1,0 +1,142 @@
+//! Integration coverage of the beyond-the-paper extensions through the
+//! facade: roofline-derived efficiency, heterogeneous pipelines, scenario
+//! files, diagnostics, sensitivity and cost models working together.
+
+use amped::configs::{accelerators, models, systems};
+use amped::core::hetero::{HeteroPipeline, HeteroStage};
+use amped::core::roofline::{efficiency_from_roofline, layer_efficiency};
+use amped::core::{check_scenario, SensitivityAnalysis};
+use amped::energy::{CostModel, EnergyEstimate, PowerModel};
+use amped::prelude::*;
+
+#[test]
+fn roofline_efficiency_drives_the_estimator() {
+    // Derive eff(ub) from the roofline and run a full estimate with it —
+    // the paper's "predictive model for eff(ub)" future work, end to end.
+    let model = models::gpt2_xl();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(1, 8);
+    let derived = efficiency_from_roofline(&model, &a100, Precision::fp16(), 512)
+        .expect("derives");
+    let p = Parallelism::data_parallel_intra(8).expect("valid");
+    let e = Estimator::new(&model, &a100, &system, &p)
+        .with_efficiency(derived)
+        .estimate(&TrainingConfig::new(256, 10).expect("valid"))
+        .expect("estimates");
+    assert!(e.efficiency > 0.5, "GPT-2-XL GEMMs are compute-bound: {}", e.efficiency);
+    assert!(e.total_time.get() > 0.0);
+
+    // The derivation responds to hardware balance: a memory-starved variant
+    // of the same chip must show lower attainable efficiency on small
+    // microbatches.
+    let starved = AcceleratorSpec::builder("A100-starved")
+        .frequency_hz(a100.frequency_hz())
+        .cores(a100.num_cores())
+        .mac_units(4, 512, 8)
+        .nonlin_units(192, 4, 32)
+        .memory(80e9, 2.0e11) // 10x less bandwidth
+        .build()
+        .expect("valid");
+    let e_full = layer_efficiency(&model, &a100, Precision::fp16(), 1.0);
+    let e_starved = layer_efficiency(&model, &starved, Precision::fp16(), 1.0);
+    assert!(e_starved < e_full);
+}
+
+#[test]
+fn hetero_pipeline_brackets_homogeneous_estimates() {
+    // A pipeline of two identical A100 stages must agree with itself and
+    // sit strictly between all-fast and all-slow configurations.
+    let model = models::bert_large(); // 24 layers, no head: splits evenly
+    let v100 = accelerators::v100();
+    let a100 = accelerators::a100();
+    let training = TrainingConfig::new(64, 1).expect("valid");
+    let run = |first: &AcceleratorSpec, second: &AcceleratorSpec| {
+        HeteroPipeline::new(
+            &model,
+            vec![
+                HeteroStage {
+                    accelerator: first.clone(),
+                    num_layers: 12,
+                },
+                HeteroStage {
+                    accelerator: second.clone(),
+                    num_layers: 12,
+                },
+            ],
+        )
+        .expect("valid")
+        .with_efficiency(EfficiencyModel::Constant(0.5))
+        .estimate(&training, 16)
+        .expect("estimates")
+        .time_per_iteration
+        .get()
+    };
+    let all_fast = run(&a100, &a100);
+    let all_slow = run(&v100, &v100);
+    let mixed = run(&v100, &a100);
+    assert!(all_fast < mixed && mixed <= all_slow);
+}
+
+#[test]
+fn scenario_file_to_energy_bill() {
+    // JSON in, dollars out: the full adoption path.
+    let json = r#"{
+        "model": { "preset": "llama-65b" },
+        "accelerator": { "preset": "a100" },
+        "system": { "nodes": 32, "accels_per_node": 8,
+                    "intra_gbps": 2400.0, "inter_gbps": 200.0, "nics_per_node": 8 },
+        "parallelism": { "tp": [8, 1], "pp": [1, 4], "dp": [1, 8],
+                         "microbatches": 16 },
+        "training": { "global_batch": 1024, "num_batches": 1000 },
+        "activation_recompute": true
+    }"#;
+    let s = amped::configs::scenario::ScenarioConfig::from_json(json)
+        .and_then(|s| s.resolve())
+        .expect("resolves");
+    let estimate = Estimator::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency.clone())
+        .with_options(s.options)
+        .estimate(&s.training)
+        .expect("estimates");
+    let energy = EnergyEstimate::from_estimate(
+        &estimate,
+        &PowerModel::from_accelerator(&s.accelerator),
+        s.training.num_batches(),
+    );
+    let bill = CostModel::cloud_a100().usd(&energy, estimate.total_workers, estimate.total_time.get());
+    assert!(bill > 0.0 && bill.is_finite());
+    // Diagnostics agree the config is reasonable (no warnings).
+    let findings = check_scenario(&s.model, &s.system, &s.parallelism, &s.training);
+    assert!(
+        findings.iter().all(|d| d.severity < amped::core::Severity::Warning),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn sensitivity_and_diagnostics_tell_the_same_story() {
+    // A TP-across-thin-links scenario: the linter flags it and the tornado
+    // ranks inter-node bandwidth at the top.
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = SystemSpec::new(
+        4,
+        8,
+        Link::new(5e-6, 2.4e12),
+        Link::new(1e-5, 2e10),
+        1,
+    )
+    .expect("valid");
+    let p = Parallelism::builder().tp(8, 4).build().expect("valid");
+    let training = TrainingConfig::new(1024, 1).expect("valid");
+
+    let findings = check_scenario(&model, &system, &p, &training);
+    assert!(findings.iter().any(|d| d.code == "tp-inter-slow-links"));
+
+    let tornado = SensitivityAnalysis::new(&model, &a100, &system, &p)
+        .with_efficiency(EfficiencyModel::Constant(0.5))
+        .tornado(2.0, &training)
+        .expect("analyzes");
+    assert_eq!(tornado[0].knob, amped::core::Knob::InterBandwidth);
+}

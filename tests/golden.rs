@@ -1,0 +1,71 @@
+//! Golden-value regression tests: pin the headline model outputs so that
+//! accidental changes to the equations are caught immediately. A failing
+//! golden test after a *deliberate* model change means: re-derive the
+//! value, update it here, and record the change in EXPERIMENTS.md.
+
+use amped::prelude::*;
+use amped_bench::{fig2c_estimate, table2_estimate, tuned_case_study_estimate};
+
+fn close(actual: f64, golden: f64) -> bool {
+    (actual - golden).abs() <= 1e-4 * golden.abs()
+}
+
+#[test]
+fn table2_predictions_are_pinned() {
+    let golden = [
+        ("145B", 148.169685),
+        ("310B", 155.979016),
+        ("530B", 155.414557),
+        ("1T", 157.253515),
+    ];
+    for (row, (name, value)) in amped::configs::published::table2_rows()
+        .iter()
+        .zip(golden)
+    {
+        assert_eq!(row.model, name);
+        let e = table2_estimate(row).expect("estimates");
+        assert!(
+            close(e.tflops_per_gpu, value),
+            "{name}: {} vs golden {value}",
+            e.tflops_per_gpu
+        );
+    }
+}
+
+#[test]
+fn fig2c_predictions_are_pinned() {
+    for (ub, value) in [(1.0, 31.017295), (12.0, 122.998133), (60.0, 156.819419)] {
+        let e = fig2c_estimate(ub).expect("estimates");
+        assert!(
+            close(e.tflops_per_gpu, value),
+            "ub={ub}: {} vs golden {value}",
+            e.tflops_per_gpu
+        );
+    }
+}
+
+#[test]
+fn case_study_headline_is_pinned() {
+    let model = amped::configs::models::megatron_145b();
+    let system = amped::configs::systems::a100_hdr_cluster(128, 8);
+    let p = Parallelism::builder()
+        .tp(8, 1)
+        .dp(1, 128)
+        .build()
+        .expect("valid");
+    let e = tuned_case_study_estimate(&model, &system, &p, 16384).expect("estimates");
+    assert!(close(e.days(), 19.607946), "days = {}", e.days());
+}
+
+#[test]
+fn parameter_counts_are_pinned() {
+    let close_rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b;
+    assert!(close_rel(
+        amped::configs::models::gpt3_175b().total_parameters(),
+        175_244_992_512.0
+    ));
+    assert!(close_rel(
+        amped::configs::models::glam_64e().total_parameters(),
+        1_134_824_800_256.0
+    ));
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration: presets × estimator × memory × energy × search
+//! × report working together, plus serde round-trips of the public types.
+
+use amped::configs::{accelerators, efficiency, models, registry, systems};
+use amped::prelude::*;
+use amped::report::{ExperimentRecord, Table};
+
+#[test]
+fn every_model_preset_estimates_on_a_default_cluster() {
+    let a100 = accelerators::a100();
+    for name in registry::model_names() {
+        let model = registry::model(name).expect("listed");
+        let workers = 8.min(model.num_heads());
+        let system = systems::a100_hdr_cluster(1, workers);
+        let p = Parallelism::builder().tp(workers, 1).build().expect("valid");
+        let e = Estimator::new(&model, &a100, &system, &p)
+            .with_efficiency(efficiency::case_study())
+            .estimate(&TrainingConfig::new(64, 10).expect("valid"))
+            .expect("estimates");
+        assert!(
+            e.total_time.get() > 0.0 && e.tflops_per_gpu > 0.0,
+            "{name} failed to estimate"
+        );
+    }
+}
+
+#[test]
+fn estimate_survives_json_roundtrip() {
+    let model = models::mingpt_85m();
+    let v100 = accelerators::v100();
+    let system = systems::hgx2(8);
+    let p = Parallelism::data_parallel_intra(8).expect("valid");
+    let e = Estimator::new(&model, &v100, &system, &p)
+        .estimate(&TrainingConfig::new(64, 5).expect("valid"))
+        .expect("estimates");
+    let json = serde_json::to_string(&e).expect("serializes");
+    let back: Estimate = serde_json::from_str(&json).expect("deserializes");
+    // JSON decimal round-trips can lose the last bit of a float; compare
+    // with a tight tolerance instead of bitwise equality.
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(1.0);
+    assert!(close(back.time_per_iteration.get(), e.time_per_iteration.get()));
+    assert!(close(back.total_time.get(), e.total_time.get()));
+    assert!(close(back.breakdown.total(), e.breakdown.total()));
+    assert_eq!(back.num_microbatches, e.num_microbatches);
+    assert_eq!(back.total_workers, e.total_workers);
+}
+
+#[test]
+fn all_spec_types_roundtrip_json() {
+    let model = models::glam_64e();
+    let accel = accelerators::h100();
+    let system = systems::h100_ndr_cluster(4, 8);
+    let p = Parallelism::builder()
+        .tp(8, 1)
+        .dp(1, 4)
+        .zero(ZeroConfig::stage(ZeroStage::Gradients, 0.1))
+        .build()
+        .expect("valid");
+    macro_rules! roundtrip {
+        ($v:expr, $t:ty) => {{
+            let json = serde_json::to_string(&$v).expect("serializes");
+            let back: $t = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!($v, back);
+        }};
+    }
+    roundtrip!(model, TransformerModel);
+    roundtrip!(accel, AcceleratorSpec);
+    roundtrip!(system, SystemSpec);
+    roundtrip!(p, Parallelism);
+    roundtrip!(Precision::int8(), Precision);
+    roundtrip!(EngineOptions::default(), EngineOptions);
+}
+
+#[test]
+fn search_memory_energy_agree_with_direct_estimation() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(8, 8);
+    let training = TrainingConfig::new(1024, 100).expect("valid");
+    let results = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .search(&training)
+        .expect("searches");
+    assert!(!results.is_empty());
+
+    // Re-estimate the winner directly; times must match exactly.
+    let best = &results[0];
+    let direct = Estimator::new(&model, &a100, &system, &best.parallelism)
+        .with_efficiency(efficiency::case_study())
+        .estimate(&training)
+        .expect("estimates");
+    assert_eq!(best.estimate.time_per_iteration, direct.time_per_iteration);
+
+    // Memory and energy are attached and consistent.
+    assert!(best.memory.total() > 0.0);
+    assert!(best.energy.total_joules() > 0.0);
+    let per_iter = amped::energy::EnergyEstimate::from_breakdown(
+        &direct.breakdown,
+        direct.total_workers,
+        &amped::energy::PowerModel::from_accelerator(&a100),
+    );
+    let expect = per_iter.total_joules() * training.num_batches() as f64;
+    assert!((best.energy.total_joules() - expect).abs() / expect < 1e-9);
+}
+
+#[test]
+fn memory_model_gates_what_the_accelerator_can_hold() {
+    use amped::memory::{MemoryModel, OptimizerSpec};
+    let model = models::gpt3_175b();
+    let a100 = accelerators::a100();
+    // 175B parameters on a single device can never fit.
+    let single = Parallelism::single();
+    let mem = MemoryModel::new(&model, &single).with_optimizer(OptimizerSpec::sgd());
+    assert!(!mem.fits(1.0, 1, a100.memory_bytes()));
+    // Sharded 8x8x recomputed, each device holds ~2.7B params: plausible.
+    let sharded = Parallelism::builder().tp(8, 1).pp(8, 1).build().expect("valid");
+    let mem = MemoryModel::new(&model, &sharded)
+        .with_optimizer(OptimizerSpec::sgd())
+        .with_activation_recompute(true);
+    assert!(mem.fits(1.0, 8, a100.memory_bytes()));
+}
+
+#[test]
+fn report_types_render_experiment_summaries() {
+    let mut record = ExperimentRecord::new("IT", "integration check");
+    record.compare("speedup", 2.0, 1.9);
+    assert!(record.within(0.06));
+    let table = record.to_table();
+    assert_eq!(table.num_rows(), 1);
+    let md = record.to_markdown();
+    assert!(md.contains("| speedup |"));
+
+    let mut t = Table::new(["a", "b"]);
+    t.row(["1", "2"]);
+    assert!(t.to_csv().ends_with("1,2"));
+}
+
+#[test]
+fn optical_cluster_systems_compose_with_all_crates() {
+    use amped::configs::optical;
+    let h100 = accelerators::h100();
+    let system = optical::optical_cluster(&h100, 64, 4, 2);
+    assert_eq!(system.total_accelerators(), 64);
+    let model = TransformerModel::builder("small-moe")
+        .layers(8)
+        .hidden_size(1024)
+        .heads(16)
+        .seq_len(256)
+        .vocab_size(8000)
+        .moe(MoeConfig::glam(8))
+        .build()
+        .expect("valid");
+    let p = Parallelism::builder().tp(8, 1).dp(1, 8).build().expect("valid");
+    let e = Estimator::new(&model, &h100, &system, &p)
+        .with_precision(Precision::int8())
+        .estimate(&TrainingConfig::new(64, 1).expect("valid"))
+        .expect("estimates");
+    assert!(e.breakdown.moe_comm > 0.0, "MoE traffic must be modeled");
+}

@@ -1,0 +1,228 @@
+//! Property-based tests over the whole stack: random models, systems and
+//! mappings must uphold the estimator's physical invariants.
+
+use amped::prelude::*;
+use proptest::prelude::*;
+
+/// A random but valid (model, system, parallelism, batch) quadruple.
+fn scenario() -> impl Strategy<
+    Value = (
+        TransformerModel,
+        AcceleratorSpec,
+        SystemSpec,
+        Parallelism,
+        usize,
+    ),
+> {
+    // Node shape: (tp_i, pp_i, dp_i) each 1..=2; inter: (tp_x, pp_x, dp_x).
+    (
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+        1usize..=4,
+        1usize..=4, // layers multiplier
+        1usize..=4, // hidden multiplier
+        1usize..=8, // batch multiplier
+    )
+        .prop_map(
+            |(tp_i, pp_i, dp_i, tp_x, pp_x, dp_x, lm, hm, bm)| {
+                let model = TransformerModel::builder("prop")
+                    .layers(4 * lm)
+                    .hidden_size(256 * hm)
+                    .heads(8)
+                    .seq_len(128)
+                    .vocab_size(1000)
+                    .build()
+                    .expect("valid model");
+                let accel = AcceleratorSpec::builder("prop-accel")
+                    .frequency_hz(1e9)
+                    .cores(16)
+                    .mac_units(4, 64, 8)
+                    .nonlin_units(16, 8, 32)
+                    .memory(16e9, 1e12)
+                    .build()
+                    .expect("valid accel");
+                let system = SystemSpec::new(
+                    tp_x * pp_x * dp_x,
+                    tp_i * pp_i * dp_i,
+                    Link::new(1e-6, 2.4e12),
+                    Link::new(1e-5, 1e11),
+                    tp_i * pp_i * dp_i,
+                )
+                .expect("valid system");
+                let parallelism = Parallelism::builder()
+                    .tp(tp_i, tp_x)
+                    .pp(pp_i, pp_x)
+                    .dp(dp_i, dp_x)
+                    .build()
+                    .expect("valid mapping");
+                let batch = parallelism.total_workers() * bm;
+                (model, accel, system, parallelism, batch)
+            },
+        )
+}
+
+fn estimate_of(
+    model: &TransformerModel,
+    accel: &AcceleratorSpec,
+    system: &SystemSpec,
+    p: &Parallelism,
+    batch: usize,
+) -> Estimate {
+    Estimator::new(model, accel, system, p)
+        .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9))
+        .estimate(&TrainingConfig::new(batch, 3).expect("valid"))
+        .expect("estimates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn breakdown_components_are_finite_and_nonnegative(
+        (model, accel, system, p, batch) in scenario()
+    ) {
+        let e = estimate_of(&model, &accel, &system, &p, batch);
+        for (name, v) in e.breakdown.components() {
+            prop_assert!(v.is_finite() && v >= 0.0, "{name} = {v}");
+        }
+        prop_assert!(e.tflops_per_gpu > 0.0);
+        prop_assert!(e.efficiency > 0.0 && e.efficiency <= 1.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_iteration_time(
+        (model, accel, system, p, batch) in scenario()
+    ) {
+        let e = estimate_of(&model, &accel, &system, &p, batch);
+        let total = e.breakdown.total();
+        prop_assert!((total - e.time_per_iteration.get()).abs() <= 1e-12 * total.max(1.0));
+        prop_assert!(
+            (e.total_time.get() - 3.0 * e.time_per_iteration.get()).abs()
+                <= 1e-9 * e.total_time.get()
+        );
+    }
+
+    #[test]
+    fn more_bandwidth_never_slows_training(
+        (model, accel, system, p, batch) in scenario()
+    ) {
+        let fast_system = SystemSpec::new(
+            system.num_nodes(),
+            system.accels_per_node(),
+            Link::new(system.intra().latency_s, system.intra().bandwidth_bits_per_sec * 4.0),
+            Link::new(system.inter().latency_s, system.inter().bandwidth_bits_per_sec * 4.0),
+            system.nics_per_node(),
+        ).expect("valid");
+        let slow = estimate_of(&model, &accel, &system, &p, batch);
+        let fast = estimate_of(&model, &accel, &fast_system, &p, batch);
+        prop_assert!(fast.time_per_iteration.get() <= slow.time_per_iteration.get() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn bigger_batches_amortize_fixed_costs(
+        (model, accel, system, p, batch) in scenario()
+    ) {
+        // Per-sample time must not increase when the batch doubles (fixed
+        // latencies amortize; efficiency is monotone in ub).
+        let small = estimate_of(&model, &accel, &system, &p, batch);
+        let large = estimate_of(&model, &accel, &system, &p, batch * 2);
+        let per_sample_small = small.time_per_iteration.get() / batch as f64;
+        let per_sample_large = large.time_per_iteration.get() / (2 * batch) as f64;
+        prop_assert!(per_sample_large <= per_sample_small * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn faster_clock_never_slows_training(
+        (model, accel, system, p, batch) in scenario()
+    ) {
+        let fast_accel = AcceleratorSpec::builder(accel.name())
+            .frequency_hz(accel.frequency_hz() * 2.0)
+            .cores(accel.num_cores())
+            .mac_units(accel.mac_units_per_core(), accel.mac_unit_width(), accel.mac_unit_bits())
+            .nonlin_units(accel.nonlin_units(), accel.nonlin_unit_width(), accel.nonlin_unit_bits())
+            .memory(accel.memory_bytes(), accel.memory_bandwidth_bytes_per_sec())
+            .build()
+            .expect("valid");
+        let base = estimate_of(&model, &accel, &system, &p, batch);
+        let fast = estimate_of(&model, &fast_accel, &system, &p, batch);
+        prop_assert!(fast.breakdown.compute_total() < base.breakdown.compute_total());
+        prop_assert!(fast.time_per_iteration.get() <= base.time_per_iteration.get() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn memory_footprint_monotone_in_microbatch(
+        (model, _accel, _system, p, batch) in scenario()
+    ) {
+        use amped::memory::MemoryModel;
+        let mem = MemoryModel::new(&model, &p);
+        let n_ub = p.num_microbatches(batch);
+        let small = mem.footprint(1.0, n_ub);
+        let large = mem.footprint(4.0, n_ub);
+        prop_assert!(large.activations >= small.activations);
+        prop_assert!(large.total() >= small.total());
+        prop_assert!(small.weights == large.weights);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_workers(
+        (model, accel, system, p, batch) in scenario()
+    ) {
+        use amped::energy::{EnergyEstimate, PowerModel};
+        let e = estimate_of(&model, &accel, &system, &p, batch);
+        let power = PowerModel::default();
+        let one = EnergyEstimate::from_breakdown(&e.breakdown, 1, &power);
+        let many = EnergyEstimate::from_breakdown(&e.breakdown, 10, &power);
+        prop_assert!((many.total_joules() - 10.0 * one.total_joules()).abs()
+            <= 1e-9 * many.total_joules().max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn search_candidates_are_valid_factorizations(
+        nodes in 1usize..=4,
+        per_node in 1usize..=4,
+    ) {
+        use amped::search::{enumerate_mappings, EnumerationOptions};
+        let model = TransformerModel::builder("m")
+            .layers(16).hidden_size(512).heads(16).seq_len(128).vocab_size(1000)
+            .build().expect("valid");
+        let system = SystemSpec::new(
+            nodes, per_node, Link::new(1e-6, 1e12), Link::new(1e-5, 1e11), per_node,
+        ).expect("valid");
+        let mappings = enumerate_mappings(&system, &model, &EnumerationOptions::default());
+        prop_assert!(!mappings.is_empty());
+        for p in &mappings {
+            prop_assert_eq!(p.intra_workers(), per_node);
+            prop_assert_eq!(p.inter_workers(), nodes);
+            prop_assert!(p.validate_against(&system, &model).is_ok());
+        }
+        // No duplicates.
+        for (i, a) in mappings.iter().enumerate() {
+            for b in &mappings[i + 1..] {
+                prop_assert!(a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn collective_schedules_move_expected_volume(
+        n in 2usize..=16,
+        kib in 1u64..=64,
+    ) {
+        use amped::topo::Schedule;
+        let bytes = kib * 1024;
+        let s = Schedule::ring_all_reduce(n, bytes);
+        let per_rank = s.max_bytes_per_rank() as f64;
+        let expect = 2.0 * (n as f64 - 1.0) / n as f64 * bytes as f64;
+        // Shard rounding can only add up to 2(n-1) bytes.
+        prop_assert!(per_rank >= expect - 1.0);
+        prop_assert!(per_rank <= expect + 2.0 * n as f64);
+        prop_assert!(amped::topo::verify::check_schedule(&s).is_empty());
+    }
+}
