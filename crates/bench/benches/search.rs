@@ -1,5 +1,11 @@
 //! Criterion benches of the design-space exploration engine: enumeration
 //! and full ranked searches at two system sizes.
+//!
+//! `search/rank_all_16x8` exercises the default engine (memoized
+//! estimation, worker pool sized to the host); `search/rank_all_16x8_serial`
+//! pins the original single-thread, uncached path so the speedup of the
+//! optimised path stays measurable — `cargo bin bench_search` records the
+//! same comparison into `BENCH_search.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -28,10 +34,21 @@ fn bench_full_search(c: &mut Criterion) {
     let a100 = accelerators::a100();
     let system = systems::a100_hdr_cluster(16, 8);
     let training = TrainingConfig::new(2048, 1).expect("valid");
-    let engine = SearchEngine::new(&model, &a100, &system)
-        .with_efficiency(efficiency::case_study());
+    let engine =
+        SearchEngine::new(&model, &a100, &system).with_efficiency(efficiency::case_study());
     c.bench_function("search/rank_all_16x8", |b| {
         b.iter(|| black_box(engine.search(black_box(&training)).expect("searches")).len())
+    });
+    let serial = engine
+        .clone()
+        .with_memoization(false)
+        .with_parallelism(1);
+    c.bench_function("search/rank_all_16x8_serial", |b| {
+        b.iter(|| black_box(serial.search(black_box(&training)).expect("searches")).len())
+    });
+    let pruned = engine.clone().with_pruning(true);
+    c.bench_function("search/rank_all_16x8_pruned", |b| {
+        b.iter(|| black_box(pruned.search(black_box(&training)).expect("searches")).len())
     });
 }
 

@@ -1,0 +1,73 @@
+//! Records the search-path speedup into `BENCH_search.json` at the repo
+//! root: the default engine (memoized estimation, pruning left off so the
+//! full ranking is produced) against the original serial, uncached path on
+//! the `search/rank_all_16x8` fixture. Run with
+//! `cargo run --release -p amped-bench --bin bench_search`.
+
+use std::time::Instant;
+
+use amped_configs::{accelerators, efficiency, models, systems};
+use amped_core::TrainingConfig;
+use amped_search::SearchEngine;
+
+/// Minimum wall time per measurement; repeats the search until reached and
+/// reports the best per-run time so background noise only ever hurts, never
+/// flatters, a configuration.
+const MIN_MEASURE_SECS: f64 = 0.5;
+
+fn measure(engine: &SearchEngine<'_>, training: &TrainingConfig) -> (f64, usize) {
+    let candidates = engine.search(training).expect("fixture searches").len();
+    let mut best = f64::INFINITY;
+    let mut elapsed = 0.0;
+    let mut runs = 0u32;
+    while elapsed < MIN_MEASURE_SECS || runs < 3 {
+        let start = Instant::now();
+        std::hint::black_box(engine.search(std::hint::black_box(training)).expect("searches"));
+        let t = start.elapsed().as_secs_f64();
+        best = best.min(t);
+        elapsed += t;
+        runs += 1;
+    }
+    (best, candidates)
+}
+
+fn main() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let base =
+        SearchEngine::new(&model, &a100, &system).with_efficiency(efficiency::case_study());
+
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serial = base.clone().with_memoization(false).with_parallelism(1);
+    let fast = base.clone(); // memoized, worker pool sized to the host
+    let pruned = base.clone().with_pruning(true);
+
+    let (serial_secs, candidates) = measure(&serial, &training);
+    let (fast_secs, fast_candidates) = measure(&fast, &training);
+    let (pruned_secs, pruned_candidates) = measure(&pruned, &training);
+    assert_eq!(candidates, fast_candidates, "paths must rank the same set");
+
+    let speedup = serial_secs / fast_secs;
+    let report = serde_json::json!({
+        "benchmark": "search/rank_all_16x8",
+        "fixture": "megatron_145b on a100_hdr_cluster(16, 8), batch 2048",
+        "candidates": candidates,
+        "jobs": jobs,
+        "serial_seconds": serial_secs,
+        "fast_seconds": fast_secs,
+        "pruned_seconds": pruned_secs,
+        "pruned_candidates": pruned_candidates,
+        "candidates_per_sec": candidates as f64 / fast_secs,
+        "speedup": speedup,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+    std::fs::write(path, format!("{text}\n")).expect("writes BENCH_search.json");
+    println!("{text}");
+    println!(
+        "serial {serial_secs:.3} s -> fast {fast_secs:.3} s ({speedup:.1}x), \
+         pruned {pruned_secs:.3} s ({pruned_candidates}/{candidates} candidates kept)"
+    );
+}

@@ -48,6 +48,10 @@ common flags:
   --bits B                    uniform precision in bits        [default 16]
   --json                      machine-readable output (estimate/search)
   --top K                     rows to print for search         [default 10]
+  --jobs N                    worker threads for search/recommend/sweep
+                              (0 = one per CPU)                [default 0]
+  --prune                     skip search candidates that cannot beat the
+                              best time seen (same winner, fewer rows)
   --config FILE               load a JSON scenario file instead of flags
 ";
 
@@ -214,7 +218,9 @@ fn search(args: &Args) -> Result<String, String> {
     let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
-        .with_enumeration(EnumerationOptions::default());
+        .with_enumeration(EnumerationOptions::default())
+        .with_parallelism(args.parse_or("jobs", 0)?)
+        .with_pruning(args.switch("prune"));
     let results = engine.search(&s.training).map_err(|e| e.to_string())?;
     let top: usize = args.parse_or("top", 10)?;
     if args.switch("json") {
@@ -306,7 +312,8 @@ fn recommend(args: &Args) -> Result<String, String> {
     let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
-        .with_memory_filter(true);
+        .with_memory_filter(true)
+        .with_parallelism(args.parse_or("jobs", 0)?);
     match engine.recommend(&s.training).map_err(|e| e.to_string())? {
         Some(rec) => Ok(rec.to_string()),
         None => Err("no memory-feasible mapping; shard more (TP/PP), enable                      recomputation, or use bigger devices"
@@ -351,7 +358,8 @@ fn sweep(args: &Args) -> Result<String, String> {
     let batches: Vec<usize> = [1usize, 2, 4].iter().map(|m| base * m).collect();
     let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency);
+        .with_efficiency(s.efficiency)
+        .with_parallelism(args.parse_or("jobs", 0)?);
     let sweep = amped_search::Sweep::run(&engine, &mappings, &batches, s.training.num_batches())
         .map_err(|e| e.to_string())?;
     let mut out = sweep.to_csv();
@@ -506,6 +514,19 @@ mod tests {
             run("search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 5")
                 .unwrap();
         assert!(out.contains("candidate mappings"));
+    }
+
+    #[test]
+    fn search_jobs_and_prune_keep_the_winner() {
+        let serial =
+            run("search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 1 --jobs 1")
+                .unwrap();
+        let tuned =
+            run("search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 1 --jobs 2 --prune")
+                .unwrap();
+        // Same top row (the candidate count in the header may shrink).
+        let row = |s: &str| s.lines().last().unwrap().to_string();
+        assert_eq!(row(&serial), row(&tuned), "{serial}\nvs\n{tuned}");
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! The memoized estimation path and the branch-and-bound lower bound.
+//!
+//! [`Estimator::estimate_cached`] is semantically
+//! [`Estimator::estimate`] with its per-layer loops collapsed to one
+//! iteration per *distinct layer kind* (weighted by multiplicity) and all
+//! scenario-invariant sub-results served from an [`EstimateCache`]. The two
+//! paths agree to float associativity: `estimate` sums 80 identical layer
+//! terms one by one, the cached path multiplies one term by 80, so results
+//! can differ by a few ulps (covered by a differential test below). The
+//! uncached `estimate` stays byte-stable for golden pins.
+//!
+//! [`Estimator::compute_lower_bound`] evaluates only the compute terms
+//! (forward, backward, weight update) with communication, pipeline bubble
+//! and stage-imbalance zeroed. It reuses the *same* grouped summation
+//! association as `estimate_cached`, and every term it drops or shrinks is
+//! non-negative under a monotone float operation — so the bound never
+//! exceeds `estimate_cached`'s total time *exactly in f64*, not merely up
+//! to an epsilon. That exactness is what lets `amped-search` prune
+//! candidates against an incumbent best time without ever discarding the
+//! true optimum.
+
+use amped_topo::Collective;
+
+use crate::engine::{Breakdown, Estimate, EstimateCache, Estimator};
+use crate::error::Result;
+use crate::metrics;
+use crate::parallelism::ZeroStage;
+use crate::training::TrainingConfig;
+use crate::units::Seconds;
+
+impl<'a> Estimator<'a> {
+    /// Like [`Estimator::estimate`], but memoizes scenario-invariant
+    /// sub-results in `cache` and does O(distinct layer kinds) work per
+    /// call instead of O(layers).
+    ///
+    /// Results agree with `estimate` up to float associativity (a few ulps
+    /// on a deep stack); within one cache the path is fully deterministic.
+    /// The cache must respect the context-binding contract described on
+    /// [`EstimateCache`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::estimate`].
+    pub fn estimate_cached(
+        &self,
+        cache: &mut EstimateCache,
+        training: &TrainingConfig,
+    ) -> Result<Estimate> {
+        self.precision().validate()?;
+        self.efficiency().validate()?;
+        self.options().validate()?;
+        let (model, accel, system, p) = (self.model(), self.accel(), self.system(), self.parallelism());
+        p.validate_against(system, model)?;
+
+        let global_batch = training.global_batch();
+        let workers = p.total_workers() as f64;
+        let n_ub = p.num_microbatches(global_batch);
+        let ub = p.microbatch_size(global_batch);
+        let eff = self.efficiency().eval(ub);
+        let replica_batch = p.replica_batch(global_batch);
+
+        let c_mac = accel.c_mac(eff);
+        let c_nonlin = accel.c_nonlin();
+        let mac_scale = accel.mac_precision_scale(self.precision().mac_operand_bits());
+        let param_scale = accel.mac_precision_scale(self.precision().param_bits);
+        let nonlin_scale = accel.nonlin_precision_scale(self.precision().nonlin_bits);
+
+        let opts = self.options();
+        let bwd_c = opts.backward_compute_factor + if opts.activation_recompute { 1.0 } else { 0.0 };
+
+        let groups = cache.groups(model);
+
+        // Stage-imbalance correction (see `estimate`): the ratio r = t*/t̄
+        // depends only on (pp, eff) for a fixed scenario, so it is memoized;
+        // the n_ub-dependent scaling is recomputed per call. Clamped to ≥ 1
+        // so the compute-only lower bound (which uses imbalance = 1) stays
+        // exact under float rounding.
+        let imbalance = if opts.stage_imbalance_correction && p.pp() > 1 {
+            let r = match cache.imbalance_ratio(p.pp(), eff.to_bits()) {
+                Some(r) => r,
+                None => {
+                    let stack = model.layer_stack();
+                    let weights: Vec<f64> = stack
+                        .iter()
+                        .map(|&kind| {
+                            let c = cache.layer_counts(model, kind, 1.0);
+                            c.macs_fwd * c_mac * mac_scale + c.nonlin_fwd * c_nonlin * nonlin_scale
+                        })
+                        .collect();
+                    let pp = p.pp();
+                    let base = stack.len() / pp;
+                    let extra = stack.len() % pp;
+                    let mut cursor = 0;
+                    let mut max_stage = 0.0f64;
+                    let total: f64 = weights.iter().sum();
+                    for s in 0..pp {
+                        let take = base + usize::from(s < extra);
+                        let stage: f64 = weights[cursor..cursor + take].iter().sum();
+                        max_stage = max_stage.max(stage);
+                        cursor += take;
+                    }
+                    let r = if total > 0.0 {
+                        (max_stage * pp as f64 / total).max(1.0)
+                    } else {
+                        1.0
+                    };
+                    cache.set_imbalance_ratio(p.pp(), eff.to_bits(), r);
+                    r
+                }
+            };
+            let (m, pf) = (n_ub as f64, p.pp() as f64);
+            ((pf + (m - 1.0) * r) / (m + pf - 1.0)).max(1.0)
+        } else {
+            1.0
+        };
+
+        let mut b = Breakdown::default();
+        let mut sum_uf = 0.0; // Σ U_f(l), undivided
+        let mut sum_ub_ = 0.0; // Σ U_b(l), undivided
+
+        // Grouped Eq. 2 / Eq. 12: one term per layer kind, weighted by its
+        // multiplicity. The lower bound mirrors this loop term for term.
+        for &(kind, count) in &groups {
+            let cg = cache.layer_counts(model, kind, global_batch as f64);
+            let u_f = cg.macs_fwd * c_mac * mac_scale + cg.nonlin_fwd * c_nonlin * nonlin_scale;
+            let u_b = bwd_c * cg.macs_fwd * c_mac * mac_scale
+                + opts.backward_nonlin_factor * cg.nonlin_fwd * c_nonlin * nonlin_scale;
+            let u_w = opts.weight_update_factor * cg.weights * c_mac * param_scale;
+            let n = count as f64;
+
+            sum_uf += imbalance * u_f * n;
+            sum_ub_ += imbalance * u_b * n;
+            b.compute_forward += imbalance * u_f / workers * n;
+            b.compute_backward += imbalance * u_b / workers * n;
+            b.weight_update += u_w / workers * n;
+        }
+
+        // ---- Communication (grouped per layer kind; see `estimate`). ----
+        let zero_factor = 1.0 + p.zero().comm_overhead;
+        let comm_passes = zero_factor * (1.0 + opts.backward_comm_factor);
+        let intra = system.intra();
+        let inter = system.inter();
+        let inter_bw = system.inter_bandwidth_per_accel();
+        let nic_aggregate = system.inter().bandwidth_bits_per_sec * system.nics_per_node() as f64;
+        let inter_bw_tp_stream = (inter_bw * p.tp_intra() as f64).min(nic_aggregate);
+        let act_bits = self.precision().act_bits as f64;
+
+        let mut fwd_comm_for_bubble = 0.0;
+        let stage_share = 1.0 / p.pp() as f64;
+
+        for &(kind, count) in &groups {
+            let cr = cache.layer_counts(model, kind, replica_batch);
+            let n = count as f64;
+
+            if p.tp_intra() > 1 {
+                let cost = cache.collective(intra.topology, Collective::AllReduce, p.tp_intra());
+                let t = cost.time(
+                    cr.act_elems_tp * act_bits,
+                    intra.latency_s,
+                    intra.bandwidth_bits_per_sec,
+                );
+                b.tp_comm_intra += comm_passes * stage_share * t * n;
+                fwd_comm_for_bubble +=
+                    zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t * n;
+            }
+            if p.tp_inter() > 1 {
+                let cost = cache.collective(inter.topology, Collective::AllReduce, p.tp_inter());
+                let t = cost.time(cr.act_elems_tp * act_bits, inter.latency_s, inter_bw_tp_stream);
+                b.tp_comm_inter += comm_passes * stage_share * t * n;
+                fwd_comm_for_bubble +=
+                    zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t * n;
+            }
+            if cr.act_elems_moe > 0.0 && system.num_nodes() >= 1 {
+                let nodes = system.num_nodes() as f64;
+                let cost =
+                    cache.collective(inter.topology, Collective::AllToAll, system.num_nodes());
+                let latency_term = 2.0 * inter.latency_s * cost.steps as f64;
+                let volume_bits = cr.act_elems_moe * act_bits / p.tp() as f64;
+                let bw_term = if nodes > 1.0 {
+                    2.0 * volume_bits
+                        * cost.factor
+                        * (1.0 / (nodes * intra.bandwidth_bits_per_sec)
+                            + (nodes - 1.0) / (nodes * inter_bw))
+                } else {
+                    2.0 * volume_bits / intra.bandwidth_bits_per_sec
+                };
+                let t = latency_term + bw_term;
+                b.moe_comm += comm_passes * stage_share * t * n;
+                fwd_comm_for_bubble +=
+                    zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t * n;
+            }
+        }
+
+        // Eq. 7: pipeline stage-boundary transfer (whole-batch quantity).
+        if p.pp() > 1 {
+            let vol_bits =
+                replica_batch * model.seq_len() as f64 * model.hidden_size() as f64 * act_bits;
+            let t_intra = if p.pp_intra() > 1 {
+                intra.latency_s + vol_bits / intra.bandwidth_bits_per_sec
+            } else {
+                0.0
+            };
+            let t_inter = if p.pp_inter() > 1 {
+                inter.latency_s + vol_bits / inter_bw_tp_stream
+            } else {
+                0.0
+            };
+            let t = t_intra.max(t_inter);
+            b.pp_comm = comm_passes * t;
+            fwd_comm_for_bubble += zero_factor * (1.0 + opts.backward_comm_factor) * t;
+        }
+
+        // Eq. 10-11: fused gradient sync; the per-accelerator volume depends
+        // only on (tp, pp) for a fixed scenario and is memoized.
+        let grad_collective = if p.zero().stage >= ZeroStage::Gradients {
+            Collective::ReduceScatter
+        } else {
+            Collective::AllReduce
+        };
+        let grad_bits = self.precision().grad_bits as f64;
+        let n_g_total = match cache.grad_volume(p.tp(), p.pp()) {
+            Some(v) => v,
+            None => {
+                let expert_parallel = model
+                    .moe()
+                    .map(|cfg| cfg.num_experts.min(system.num_nodes()).max(1))
+                    .unwrap_or(1) as f64;
+                let v: f64 = groups
+                    .iter()
+                    .map(|&(kind, count)| {
+                        let cg = cache.layer_counts(model, kind, 1.0);
+                        let dense_weights = cg.weights - cg.weights_expert;
+                        (dense_weights + cg.weights_expert / expert_parallel)
+                            / (p.tp() as f64 * p.pp() as f64)
+                            * count as f64
+                    })
+                    .sum();
+                cache.set_grad_volume(p.tp(), p.pp(), v);
+                v
+            }
+        };
+        if p.dp_intra() > 1 {
+            let cost = cache.collective(intra.topology, grad_collective, p.dp_intra());
+            b.dp_comm_intra = cost.time(
+                n_g_total * grad_bits,
+                intra.latency_s,
+                intra.bandwidth_bits_per_sec,
+            );
+        }
+        if p.dp_inter() > 1 {
+            let cost = cache.collective(inter.topology, grad_collective, p.dp_inter());
+            b.dp_comm_inter = cost.time(
+                n_g_total / p.dp_intra() as f64 * grad_bits,
+                inter.latency_s,
+                inter_bw,
+            );
+        }
+
+        // Eq. 8: pipeline bubble.
+        if p.pp() > 1 {
+            let stack_len: usize = groups.iter().map(|(_, n)| n).sum();
+            let compute_scale = match opts.bubble_accounting {
+                crate::engine::BubbleAccounting::GPipe => 1.0,
+                crate::engine::BubbleAccounting::PaperEq8 => 1.0 / stack_len as f64,
+            };
+            b.bubble = p.bubble_ratio() * (p.pp() as f64 - 1.0) / n_ub as f64
+                * (compute_scale * (sum_uf + sum_ub_) / workers + fwd_comm_for_bubble);
+        }
+
+        let time_per_iteration = b.total();
+        let total_time = time_per_iteration * training.num_batches() as f64;
+        let model_flops = match cache.model_flops(global_batch, opts.activation_recompute) {
+            Some(v) => v,
+            None => {
+                let v = metrics::model_flops_per_iteration(
+                    model,
+                    global_batch,
+                    opts.activation_recompute,
+                );
+                cache.set_model_flops(global_batch, opts.activation_recompute, v);
+                v
+            }
+        };
+        let tflops_per_gpu = metrics::tflops_per_gpu(model_flops, time_per_iteration, workers);
+        let tokens_per_sec = if time_per_iteration > 0.0 {
+            (global_batch * model.seq_len()) as f64 / time_per_iteration
+        } else {
+            0.0
+        };
+
+        Ok(Estimate {
+            breakdown: b,
+            time_per_iteration: Seconds::new(time_per_iteration),
+            total_time: Seconds::new(total_time),
+            microbatch_size: ub,
+            num_microbatches: n_ub,
+            efficiency: eff,
+            model_flops_per_iteration: model_flops,
+            tflops_per_gpu,
+            total_workers: p.total_workers(),
+            tokens_per_sec,
+        })
+    }
+
+    /// A compute-only lower bound on the total training time of this exact
+    /// configuration: forward + backward + weight-update time at the
+    /// configuration's own microbatch efficiency, with communication,
+    /// pipeline bubble and stage imbalance all zeroed.
+    ///
+    /// Guaranteed `compute_lower_bound(..) <= estimate_cached(..).total_time`
+    /// **exactly in f64** for the same cache/scenario: the bound reuses the
+    /// cached path's grouped summation association, and every dropped or
+    /// shrunk term is non-negative under monotone float operations. This is
+    /// what makes branch-and-bound pruning in `amped-search` lossless.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::estimate`].
+    pub fn compute_lower_bound(
+        &self,
+        cache: &mut EstimateCache,
+        training: &TrainingConfig,
+    ) -> Result<Seconds> {
+        self.precision().validate()?;
+        self.efficiency().validate()?;
+        self.options().validate()?;
+        let (model, accel, system, p) = (self.model(), self.accel(), self.system(), self.parallelism());
+        p.validate_against(system, model)?;
+
+        let global_batch = training.global_batch();
+        let workers = p.total_workers() as f64;
+        let ub = p.microbatch_size(global_batch);
+        let eff = self.efficiency().eval(ub);
+
+        let c_mac = accel.c_mac(eff);
+        let c_nonlin = accel.c_nonlin();
+        let mac_scale = accel.mac_precision_scale(self.precision().mac_operand_bits());
+        let param_scale = accel.mac_precision_scale(self.precision().param_bits);
+        let nonlin_scale = accel.nonlin_precision_scale(self.precision().nonlin_bits);
+        let opts = self.options();
+        let bwd_c = opts.backward_compute_factor + if opts.activation_recompute { 1.0 } else { 0.0 };
+
+        // Mirrors the estimate_cached compute loop with imbalance = 1
+        // (imbalance there is clamped to ≥ 1) and the same term order.
+        let mut compute_forward = 0.0;
+        let mut compute_backward = 0.0;
+        let mut weight_update = 0.0;
+        for &(kind, count) in &cache.groups(model) {
+            let cg = cache.layer_counts(model, kind, global_batch as f64);
+            let u_f = cg.macs_fwd * c_mac * mac_scale + cg.nonlin_fwd * c_nonlin * nonlin_scale;
+            let u_b = bwd_c * cg.macs_fwd * c_mac * mac_scale
+                + opts.backward_nonlin_factor * cg.nonlin_fwd * c_nonlin * nonlin_scale;
+            let u_w = opts.weight_update_factor * cg.weights * c_mac * param_scale;
+            let n = count as f64;
+
+            compute_forward += u_f / workers * n;
+            compute_backward += u_b / workers * n;
+            weight_update += u_w / workers * n;
+        }
+
+        // Same association as Breakdown::compute_total() and Eq. 1's batch
+        // multiplication, so the bound survives rounding exactly.
+        let per_iteration = compute_forward + compute_backward + weight_update;
+        Ok(Seconds::new(per_iteration * training.num_batches() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::AcceleratorSpec;
+    use crate::efficiency::EfficiencyModel;
+    use crate::engine::EngineOptions;
+    use crate::model::{MoeConfig, TransformerModel};
+    use crate::network::{Link, SystemSpec};
+    use crate::parallelism::{MicrobatchPolicy, Parallelism, ZeroConfig};
+
+    fn accel() -> AcceleratorSpec {
+        AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .offchip_bandwidth_bits_per_sec(2.4e12)
+            .build()
+            .unwrap()
+    }
+
+    fn system(nodes: usize, per_node: usize) -> SystemSpec {
+        SystemSpec::new(
+            nodes,
+            per_node,
+            Link::new(5e-6, 2.4e12),
+            Link::new(1e-5, 2e11),
+            per_node,
+        )
+        .unwrap()
+    }
+
+    fn dense_model() -> TransformerModel {
+        TransformerModel::builder("cached-m")
+            .layers(24)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(1024)
+            .vocab_size(32000)
+            .build()
+            .unwrap()
+    }
+
+    fn moe_model() -> TransformerModel {
+        TransformerModel::builder("cached-moe")
+            .layers(12)
+            .hidden_size(1024)
+            .heads(16)
+            .seq_len(512)
+            .vocab_size(16000)
+            .moe(MoeConfig::glam(8))
+            .build()
+            .unwrap()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-300)
+    }
+
+    fn assert_agrees(estimator: &Estimator<'_>, training: &TrainingConfig) {
+        let mut cache = EstimateCache::new();
+        let plain = estimator.estimate(training).unwrap();
+        let cached = estimator.estimate_cached(&mut cache, training).unwrap();
+        assert!(
+            close(plain.total_time.get(), cached.total_time.get()),
+            "total: {} vs {}",
+            plain.total_time.get(),
+            cached.total_time.get()
+        );
+        for ((name, a), (_, b)) in plain
+            .breakdown
+            .components()
+            .iter()
+            .zip(cached.breakdown.components())
+        {
+            assert!(close(*a, b), "{name}: {a} vs {b}");
+        }
+        assert_eq!(plain.num_microbatches, cached.num_microbatches);
+        assert!(close(plain.tflops_per_gpu, cached.tflops_per_gpu));
+        // A second cached call is fully served from the cache and identical.
+        let misses = cache.misses();
+        let again = estimator.estimate_cached(&mut cache, training).unwrap();
+        assert_eq!(again.total_time.get().to_bits(), cached.total_time.get().to_bits());
+        assert_eq!(cache.misses(), misses);
+    }
+
+    #[test]
+    fn cached_matches_plain_dense_tp() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(2, 8);
+        let p = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap();
+        let est = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        assert_agrees(&est, &TrainingConfig::new(256, 10).unwrap());
+    }
+
+    #[test]
+    fn cached_matches_plain_pipelined_with_imbalance() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(2, 8);
+        let p = Parallelism::builder()
+            .tp(2, 1)
+            .pp(4, 2)
+            .dp(1, 1)
+            .microbatches(MicrobatchPolicy::Explicit(16))
+            .build()
+            .unwrap();
+        let est = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9))
+            .with_options(EngineOptions {
+                stage_imbalance_correction: true,
+                ..Default::default()
+            });
+        assert_agrees(&est, &TrainingConfig::new(512, 3).unwrap());
+    }
+
+    #[test]
+    fn cached_matches_plain_moe_with_zero() {
+        let m = moe_model();
+        let a = accel();
+        let sys = system(4, 8);
+        let p = Parallelism::builder()
+            .tp(8, 1)
+            .dp(1, 4)
+            .zero(ZeroConfig::stage(ZeroStage::Gradients, 0.5))
+            .build()
+            .unwrap();
+        let est = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.6));
+        assert_agrees(&est, &TrainingConfig::new(128, 5).unwrap());
+    }
+
+    #[test]
+    fn cache_survives_parallelism_and_batch_changes() {
+        // The same cache serves different mappings and batch sizes; keyed
+        // sub-results keep the outputs equal to fresh-cache runs.
+        let m = dense_model();
+        let a = accel();
+        let sys = system(2, 8);
+        let training = TrainingConfig::new(256, 2).unwrap();
+        let mut shared = EstimateCache::new();
+        for (tp, pp, dp_intra, dp_inter) in [(8, 1, 1, 2), (4, 2, 1, 2), (1, 8, 1, 2), (2, 1, 4, 2)]
+        {
+            let p = Parallelism::builder()
+                .tp(tp, 1)
+                .pp(pp, 1)
+                .dp(dp_intra, dp_inter)
+                .build()
+                .unwrap();
+            let est = Estimator::new(&m, &a, &sys, &p)
+                .with_efficiency(EfficiencyModel::Constant(0.5));
+            let mut fresh = EstimateCache::new();
+            let from_shared = est.estimate_cached(&mut shared, &training).unwrap();
+            let from_fresh = est.estimate_cached(&mut fresh, &training).unwrap();
+            assert_eq!(
+                from_shared.total_time.get().to_bits(),
+                from_fresh.total_time.get().to_bits()
+            );
+        }
+        assert!(shared.hits() > 0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_cached_estimate() {
+        let m = moe_model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(256, 7).unwrap();
+        for p in [
+            Parallelism::builder().tp(8, 1).dp(1, 4).build().unwrap(),
+            Parallelism::builder().tp(2, 1).pp(4, 2).dp(1, 2).build().unwrap(),
+            Parallelism::builder().pp(8, 1).dp(1, 4).build().unwrap(),
+        ] {
+            let est = Estimator::new(&m, &a, &sys, &p)
+                .with_efficiency(EfficiencyModel::saturating(0.95, 4.0, 0.25, 0.95))
+                .with_options(EngineOptions {
+                    stage_imbalance_correction: true,
+                    ..Default::default()
+                });
+            let mut cache = EstimateCache::new();
+            let lb = est.compute_lower_bound(&mut cache, &training).unwrap();
+            let full = est.estimate_cached(&mut cache, &training).unwrap();
+            assert!(
+                lb.get() <= full.total_time.get(),
+                "lb {} > total {} for {p:?}",
+                lb.get(),
+                full.total_time.get()
+            );
+            assert!(lb.get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lower_bound_equals_compute_when_no_communication() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(1, 1);
+        let p = Parallelism::single();
+        let training = TrainingConfig::new(32, 4).unwrap();
+        let est = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let mut cache = EstimateCache::new();
+        let lb = est.compute_lower_bound(&mut cache, &training).unwrap();
+        let full = est.estimate_cached(&mut cache, &training).unwrap();
+        // Single worker: no comms, no bubble, imbalance off — the bound is
+        // the whole answer.
+        assert_eq!(lb.get().to_bits(), full.total_time.get().to_bits());
+    }
+
+    #[test]
+    fn lower_bound_rejects_invalid_mappings() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(1, 8);
+        let p = Parallelism::builder().tp(4, 1).build().unwrap(); // 4 != 8
+        let mut cache = EstimateCache::new();
+        assert!(Estimator::new(&m, &a, &sys, &p)
+            .compute_lower_bound(&mut cache, &TrainingConfig::new(8, 1).unwrap())
+            .is_err());
+    }
+}

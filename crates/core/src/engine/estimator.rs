@@ -95,6 +95,26 @@ impl<'a> Estimator<'a> {
         self
     }
 
+    /// The model under estimation.
+    pub fn model(&self) -> &'a TransformerModel {
+        self.model
+    }
+
+    /// The accelerator specification.
+    pub fn accel(&self) -> &'a AcceleratorSpec {
+        self.accel
+    }
+
+    /// The system (cluster) specification.
+    pub fn system(&self) -> &'a SystemSpec {
+        self.system
+    }
+
+    /// The parallelism mapping.
+    pub fn parallelism(&self) -> &'a Parallelism {
+        self.parallelism
+    }
+
     /// The precision currently configured.
     pub fn precision(&self) -> Precision {
         self.precision

@@ -9,11 +9,14 @@
 //! bubbles.
 
 mod breakdown;
+mod cache;
+mod cached;
 mod detail;
 mod estimator;
 mod options;
 
 pub use breakdown::{Breakdown, Estimate};
+pub use cache::EstimateCache;
 pub use detail::{DetailedEstimate, LayerEstimate};
 pub use estimator::Estimator;
 pub use options::{BubbleAccounting, EngineOptions};

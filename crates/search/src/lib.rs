@@ -12,6 +12,25 @@
 //! * [`pareto_front`] extracts the non-dominated candidates under
 //!   (time, energy, memory).
 //!
+//! # Search performance
+//!
+//! Three cooperating optimisations keep large sweeps fast, all with
+//! deterministic output (see DESIGN.md, "Search architecture"):
+//!
+//! * **Parallel evaluation** — candidates fan out over a scoped worker
+//!   pool ([`SearchEngine::with_parallelism`]); rankings are sorted by a
+//!   total key (time, then parallelism degrees) so the result is identical
+//!   for any worker count.
+//! * **Memoization** — each worker carries an
+//!   [`EstimateCache`](amped_core::EstimateCache) so per-layer operation
+//!   counts, collective cost factors and other scenario-invariant
+//!   sub-results are computed once instead of per candidate
+//!   ([`SearchEngine::with_memoization`], on by default).
+//! * **Branch-and-bound pruning** — a compute-only lower bound lets
+//!   workers skip full evaluation of candidates that cannot beat the best
+//!   time seen so far ([`SearchEngine::with_pruning`]); the bound is exact
+//!   in f64, so pruning never drops a candidate that would have ranked.
+//!
 //! # Example
 //!
 //! ```
@@ -41,9 +60,12 @@ pub mod sweep;
 pub use recommend::Recommendation;
 pub use sweep::{Sweep, SweepPoint};
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 use amped_core::{
-    AcceleratorSpec, EfficiencyModel, EngineOptions, Estimate, Estimator, MicrobatchPolicy,
-    Parallelism, Precision, Result, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
+    AcceleratorSpec, EfficiencyModel, EngineOptions, Estimate, EstimateCache, Estimator,
+    MicrobatchPolicy, Parallelism, Precision, Result, SystemSpec, TrainingConfig,
+    TransformerModel, ZeroConfig,
 };
 use amped_energy::{EnergyEstimate, PowerModel};
 use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
@@ -151,6 +173,46 @@ pub struct Candidate {
     pub fits_memory: bool,
 }
 
+/// The six parallelism degrees as a lexicographic sort key. Together with
+/// the estimated time this is a *total* order over candidates (no two
+/// enumerated mappings share all six degrees), which is what makes rankings
+/// independent of evaluation order and worker count.
+fn parallelism_key(p: &Parallelism) -> [usize; 6] {
+    [
+        p.tp_intra(),
+        p.tp_inter(),
+        p.pp_intra(),
+        p.pp_inter(),
+        p.dp_intra(),
+        p.dp_inter(),
+    ]
+}
+
+/// Ranking order: fastest first, ties broken by the parallelism degrees.
+fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    a.estimate
+        .total_time
+        .get()
+        .total_cmp(&b.estimate.total_time.get())
+        .then_with(|| parallelism_key(&a.parallelism).cmp(&parallelism_key(&b.parallelism)))
+}
+
+/// What happened to one candidate during a (possibly pruned) search pass.
+enum Outcome {
+    /// Skipped: its lower bound already exceeded the incumbent best time.
+    Pruned,
+    /// Evaluated, but every microbatch variant failed the memory filter.
+    Filtered,
+    /// Evaluated and retained.
+    Kept {
+        /// The candidate's compute-only lower bound (`-inf` when pruning is
+        /// off), used by the deterministic post-filter.
+        lower_bound: f64,
+        /// The winning microbatch variant.
+        candidate: Box<Candidate>,
+    },
+}
+
 /// Evaluates and ranks every mapping of a model onto a system.
 #[derive(Debug, Clone)]
 pub struct SearchEngine<'a> {
@@ -166,6 +228,9 @@ pub struct SearchEngine<'a> {
     schedule: PipelineSchedule,
     require_memory_fit: bool,
     tune_microbatches: bool,
+    jobs: usize,
+    prune: bool,
+    memoize: bool,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -188,6 +253,9 @@ impl<'a> SearchEngine<'a> {
             schedule: PipelineSchedule::default(),
             require_memory_fit: false,
             tune_microbatches: true,
+            jobs: 0,
+            prune: false,
+            memoize: true,
         }
     }
 
@@ -233,6 +301,39 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
+    /// Number of worker threads evaluating candidates (0 = one per
+    /// available CPU, the default). `1` forces the in-thread serial path —
+    /// the reference for differential tests. Rankings are identical for
+    /// every worker count.
+    pub fn with_parallelism(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enable branch-and-bound pruning (default off): candidates whose
+    /// compute-only lower bound exceeds the best total time seen so far
+    /// skip full estimation, memory and energy accounting. The bound is
+    /// exact in f64 against the memoized estimation path (which pruning
+    /// therefore implies), so the pruned ranking is the truncation of the
+    /// full ranking to candidates with `lower_bound <= best_time` —
+    /// deterministic and always containing the optimum.
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Use the memoized estimation path (default on): each worker carries
+    /// an [`EstimateCache`](amped_core::EstimateCache) so scenario-invariant
+    /// sub-results are computed once per search, not per candidate. Turning
+    /// it off (without pruning) evaluates through the original
+    /// [`Estimator::estimate`], the reference path for differential tests
+    /// and benchmarks; cached and uncached estimates agree to float
+    /// associativity (~1e-12 relative on deep stacks).
+    pub fn with_memoization(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
     /// The model under search.
     pub fn model(&self) -> &TransformerModel {
         self.model
@@ -272,7 +373,13 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
-    /// Evaluate every mapping for `training`, sorted fastest-first.
+    /// Evaluate every mapping for `training`, sorted fastest-first (ties
+    /// broken by the parallelism degrees, so the ranking is a total order
+    /// and identical for every worker count).
+    ///
+    /// With pruning on, the result is the full ranking truncated to
+    /// candidates whose compute-only lower bound does not exceed the best
+    /// total time — still deterministic, and always led by the optimum.
     ///
     /// # Errors
     ///
@@ -280,53 +387,199 @@ impl<'a> SearchEngine<'a> {
     /// — enumerated mappings have already been validated).
     pub fn search(&self, training: &TrainingConfig) -> Result<Vec<Candidate>> {
         let mappings = enumerate_mappings(self.system, self.model, &self.enumeration);
-        let mut out = Vec::with_capacity(mappings.len());
-        for p in mappings {
-            let Some(candidate) = self.evaluate(&p, training)? else {
-                continue;
-            };
-            out.push(candidate);
-        }
-        out.sort_by(|a, b| {
-            a.estimate
-                .total_time
-                .get()
-                .partial_cmp(&b.estimate.total_time.get())
-                .expect("times are finite")
+        let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcomes = self.run_parallel(mappings.len(), |cache, i| {
+            self.explore(cache, &mappings[i], training, &best_bits)
         });
+        let mut kept: Vec<(f64, Candidate)> = Vec::new();
+        for outcome in outcomes {
+            if let Outcome::Kept {
+                lower_bound,
+                candidate,
+            } = outcome?
+            {
+                kept.push((lower_bound, *candidate));
+            }
+        }
+        if self.prune {
+            // Which candidates get skipped at runtime depends on thread
+            // timing; retaining exactly {lower_bound <= best total} does
+            // not (every runtime-skipped candidate had a bound above the
+            // incumbent, which never drops below the final best).
+            let best_time = kept
+                .iter()
+                .map(|(_, c)| c.estimate.total_time.get())
+                .fold(f64::INFINITY, f64::min);
+            kept.retain(|(lb, _)| *lb <= best_time);
+        }
+        let mut out: Vec<Candidate> = kept.into_iter().map(|(_, c)| c).collect();
+        out.sort_by(candidate_order);
         Ok(out)
+    }
+
+    /// Lower-bound, prune, evaluate and score one mapping against the
+    /// shared incumbent best time.
+    fn explore(
+        &self,
+        cache: &mut EstimateCache,
+        p: &Parallelism,
+        training: &TrainingConfig,
+        best_bits: &AtomicU64,
+    ) -> Result<Outcome> {
+        let lower_bound = if self.prune {
+            let lb = self.candidate_lower_bound(cache, p, training)?;
+            // Total times are non-negative finite, for which the f64 bit
+            // pattern orders like the value — so the incumbent can live in
+            // an AtomicU64 and be tightened with fetch_min.
+            if lb > f64::from_bits(best_bits.load(Ordering::Relaxed)) {
+                return Ok(Outcome::Pruned);
+            }
+            lb
+        } else {
+            f64::NEG_INFINITY
+        };
+        match self.evaluate(cache, p, training)? {
+            None => Ok(Outcome::Filtered),
+            Some(candidate) => {
+                best_bits.fetch_min(
+                    candidate.estimate.total_time.get().to_bits(),
+                    Ordering::Relaxed,
+                );
+                Ok(Outcome::Kept {
+                    lower_bound,
+                    candidate: Box::new(candidate),
+                })
+            }
+        }
+    }
+
+    /// How many worker threads a run over `tasks` items should use.
+    fn effective_jobs(&self, tasks: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.min(tasks).max(1)
+    }
+
+    /// Run `f(cache, index)` for every index in `0..tasks` over a scoped
+    /// worker pool (or inline when one worker suffices) and return the
+    /// results in index order. Each worker owns one [`EstimateCache`],
+    /// upholding the cache's context-binding contract for this engine's
+    /// fixed scenario; indices are handed out through an atomic counter so
+    /// the pool load-balances regardless of per-candidate cost.
+    fn run_parallel<T, F>(&self, tasks: usize, f: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(&mut EstimateCache, usize) -> Result<T> + Sync,
+    {
+        let jobs = self.effective_jobs(tasks);
+        if jobs <= 1 {
+            let mut cache = EstimateCache::new();
+            return (0..tasks).map(|i| f(&mut cache, i)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<T>>> = (0..tasks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut cache = EstimateCache::new();
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            done.push((i, f(&mut cache, i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, result) in worker.join().expect("search worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task index is dispatched exactly once"))
+            .collect()
+    }
+
+    /// The microbatch variants `evaluate` tries for one mapping: every
+    /// power-of-two microbatch size up to the replica batch when tuning is
+    /// on, the mapping's own policy otherwise.
+    fn microbatch_variants(&self, p: &Parallelism, training: &TrainingConfig) -> Vec<Parallelism> {
+        if !self.tune_microbatches {
+            return vec![*p];
+        }
+        let replica = (training.global_batch() / p.dp()).max(1);
+        let mut variants = Vec::new();
+        let mut ub = 1usize;
+        while ub <= replica {
+            variants.push(p.with_microbatches(MicrobatchPolicy::Explicit(replica.div_ceil(ub))));
+            ub *= 2;
+        }
+        variants
+    }
+
+    /// The cheapest possible total time of any microbatch variant of `p`:
+    /// the minimum of the per-variant compute-only lower bounds (cheap —
+    /// O(layer kinds) per variant against the shared cache).
+    fn candidate_lower_bound(
+        &self,
+        cache: &mut EstimateCache,
+        p: &Parallelism,
+        training: &TrainingConfig,
+    ) -> Result<f64> {
+        let mut lb = f64::INFINITY;
+        for variant in self.microbatch_variants(p, training) {
+            let bound = Estimator::new(self.model, self.accel, self.system, &variant)
+                .with_precision(self.precision)
+                .with_efficiency(self.efficiency.clone())
+                .with_options(self.engine_options)
+                .compute_lower_bound(cache, training)?;
+            lb = lb.min(bound.get());
+        }
+        Ok(lb)
     }
 
     /// Evaluate one mapping: with tuning on, try every power-of-two
     /// microbatch size and keep the fastest memory-feasible variant
     /// (fastest overall if nothing fits and the filter is off).
-    fn evaluate(&self, p: &Parallelism, training: &TrainingConfig) -> Result<Option<Candidate>> {
-        let replica = (training.global_batch() / p.dp()).max(1);
-        let variants: Vec<Parallelism> = if self.tune_microbatches {
-            let mut v = Vec::new();
-            let mut ub = 1usize;
-            while ub <= replica {
-                v.push(p.with_microbatches(MicrobatchPolicy::Explicit(replica.div_ceil(ub))));
-                ub *= 2;
-            }
-            v
-        } else {
-            vec![*p]
-        };
+    ///
+    /// Pruning requires estimates the lower bound is exact against, so it
+    /// forces the memoized path even when memoization is off.
+    fn evaluate(
+        &self,
+        cache: &mut EstimateCache,
+        p: &Parallelism,
+        training: &TrainingConfig,
+    ) -> Result<Option<Candidate>> {
+        let use_cache = self.memoize || self.prune;
         let mut best: Option<Candidate> = None;
-        for variant in variants {
-            let estimate = Estimator::new(self.model, self.accel, self.system, &variant)
+        for variant in self.microbatch_variants(p, training) {
+            let estimator = Estimator::new(self.model, self.accel, self.system, &variant)
                 .with_precision(self.precision)
                 .with_efficiency(self.efficiency.clone())
-                .with_options(self.engine_options)
-                .estimate(training)?;
+                .with_options(self.engine_options);
+            let estimate = if use_cache {
+                estimator.estimate_cached(cache, training)?
+            } else {
+                estimator.estimate(training)?
+            };
             let mem_model = MemoryModel::new(self.model, &variant)
                 .with_precision(self.precision)
                 .with_optimizer(self.optimizer.clone())
                 .with_schedule(self.schedule)
                 .with_activation_recompute(self.engine_options.activation_recompute);
-            let memory =
-                mem_model.footprint(estimate.microbatch_size, estimate.num_microbatches);
+            let memory = mem_model.footprint(estimate.microbatch_size, estimate.num_microbatches);
             let fits_memory = memory.total() <= self.accel.memory_bytes();
             if self.require_memory_fit && !fits_memory {
                 continue;
@@ -356,11 +609,16 @@ impl<'a> SearchEngine<'a> {
 
     /// The fastest candidate, or `None` when every mapping was filtered out.
     ///
+    /// Since only the optimum is returned — and the lower bound never
+    /// prunes the optimum — pruning is forced on whenever the memoized path
+    /// (whose totals the bound is exact against) is in use anyway.
+    ///
     /// # Errors
     ///
     /// Propagates estimator errors.
     pub fn best(&self, training: &TrainingConfig) -> Result<Option<Candidate>> {
-        Ok(self.search(training)?.into_iter().next())
+        let engine = self.clone().with_pruning(self.prune || self.memoize);
+        Ok(engine.search(training)?.into_iter().next())
     }
 
     /// Co-optimize the mapping *and* the global batch size: search each
@@ -368,6 +626,12 @@ impl<'a> SearchEngine<'a> {
     /// `(batch, candidate)` end to end. Larger batches raise efficiency but
     /// may harm convergence — the caller owns that judgement (the paper
     /// assumes "minimal impact" up to 16384).
+    ///
+    /// The batch × mapping grid is evaluated by one worker pool with a
+    /// single incumbent best time shared across batches, so with pruning a
+    /// strong early batch cheapens every later one. Ties go to the earlier
+    /// batch, then the parallelism degrees (a total order — the winner is
+    /// deterministic for every worker count).
     ///
     /// # Errors
     ///
@@ -379,20 +643,47 @@ impl<'a> SearchEngine<'a> {
         seq_len: usize,
         token_budget: f64,
     ) -> Result<Option<(usize, Candidate)>> {
-        let mut best: Option<(usize, Candidate)> = None;
+        let engine = self.clone().with_pruning(self.prune || self.memoize);
+        let mut trainings = Vec::with_capacity(batches.len());
         for &batch in batches {
-            let training = TrainingConfig::from_tokens(batch, seq_len, token_budget)?;
-            if let Some(c) = self.best(&training)? {
-                let better = best
-                    .as_ref()
-                    .map(|(_, b)| c.estimate.total_time.get() < b.estimate.total_time.get())
-                    .unwrap_or(true);
-                if better {
-                    best = Some((batch, c));
+            trainings.push((batch, TrainingConfig::from_tokens(batch, seq_len, token_budget)?));
+        }
+        let mappings = enumerate_mappings(engine.system, engine.model, &engine.enumeration);
+        if trainings.is_empty() || mappings.is_empty() {
+            return Ok(None);
+        }
+        let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcomes = engine.run_parallel(trainings.len() * mappings.len(), |cache, i| {
+            let (batch_idx, map_idx) = (i / mappings.len(), i % mappings.len());
+            engine.explore(cache, &mappings[map_idx], &trainings[batch_idx].1, &best_bits)
+        });
+        let mut best: Option<(usize, Candidate)> = None; // (batch index, candidate)
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let Outcome::Kept { candidate, .. } = outcome? else {
+                continue;
+            };
+            let batch_idx = i / mappings.len();
+            let better = match &best {
+                None => true,
+                Some((best_idx, b)) => {
+                    candidate
+                        .estimate
+                        .total_time
+                        .get()
+                        .total_cmp(&b.estimate.total_time.get())
+                        .then(batch_idx.cmp(best_idx))
+                        .then_with(|| {
+                            parallelism_key(&candidate.parallelism)
+                                .cmp(&parallelism_key(&b.parallelism))
+                        })
+                        .is_lt()
                 }
+            };
+            if better {
+                best = Some((batch_idx, *candidate));
             }
         }
-        Ok(best)
+        Ok(best.map(|(batch_idx, c)| (trainings[batch_idx].0, c)))
     }
 }
 
@@ -604,5 +895,140 @@ mod tests {
                 assert!(!better_everywhere);
             }
         }
+    }
+
+    /// Rankings must be byte-identical across worker counts: same
+    /// candidates, same order, same times to the bit.
+    fn assert_identical_rankings(a: &[Candidate], b: &[Candidate]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(parallelism_key(&x.parallelism), parallelism_key(&y.parallelism));
+            assert_eq!(
+                x.estimate.total_time.get().to_bits(),
+                y.estimate.total_time.get().to_bits()
+            );
+            assert_eq!(
+                x.estimate.time_per_iteration.get().to_bits(),
+                y.estimate.time_per_iteration.get().to_bits()
+            );
+            assert_eq!(x.fits_memory, y.fits_memory);
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9));
+        let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+        for jobs in [2, 4, 7] {
+            let parallel = base
+                .clone()
+                .with_parallelism(jobs)
+                .search(&training)
+                .unwrap();
+            assert_identical_rankings(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn pruned_search_is_an_ordered_subset_of_the_full_ranking() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9));
+        let full = base.clone().search(&training).unwrap();
+        let pruned_serial = base
+            .clone()
+            .with_pruning(true)
+            .with_parallelism(1)
+            .search(&training)
+            .unwrap();
+        let pruned_parallel = base
+            .clone()
+            .with_pruning(true)
+            .with_parallelism(4)
+            .search(&training)
+            .unwrap();
+        // Pruning is deterministic regardless of worker count...
+        assert_identical_rankings(&pruned_serial, &pruned_parallel);
+        // ...keeps the same winner as the full search...
+        assert!(!pruned_serial.is_empty());
+        assert_eq!(
+            pruned_serial[0].estimate.total_time.get().to_bits(),
+            full[0].estimate.total_time.get().to_bits()
+        );
+        assert!(pruned_serial.len() <= full.len());
+        // ...and every retained candidate is in the full ranking, in order.
+        let keys: Vec<_> = full.iter().map(|c| parallelism_key(&c.parallelism)).collect();
+        let mut cursor = 0;
+        for c in &pruned_serial {
+            let k = parallelism_key(&c.parallelism);
+            let pos = keys[cursor..]
+                .iter()
+                .position(|x| *x == k)
+                .expect("pruned candidate missing from full ranking");
+            cursor += pos + 1;
+        }
+    }
+
+    #[test]
+    fn memoized_search_matches_unmemoized_reference() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let fast = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .search(&training)
+            .unwrap();
+        let reference = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_memoization(false)
+            .with_parallelism(1)
+            .search(&training)
+            .unwrap();
+        assert_eq!(fast.len(), reference.len());
+        for (x, y) in fast.iter().zip(&reference) {
+            assert_eq!(parallelism_key(&x.parallelism), parallelism_key(&y.parallelism));
+            let (tx, ty) = (x.estimate.total_time.get(), y.estimate.total_time.get());
+            assert!(
+                (tx - ty).abs() <= 1e-9 * ty.abs(),
+                "cached {tx} vs plain {ty} for {:?}",
+                x.parallelism
+            );
+        }
+    }
+
+    #[test]
+    fn best_over_batches_parallel_matches_serial() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 16.0, 0.05, 0.9));
+        let (b1, c1) = base
+            .clone()
+            .with_parallelism(1)
+            .best_over_batches(&[256, 1024, 4096], 2048, 1e9)
+            .unwrap()
+            .unwrap();
+        let (b4, c4) = base
+            .clone()
+            .with_parallelism(4)
+            .best_over_batches(&[256, 1024, 4096], 2048, 1e9)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b1, b4);
+        assert_eq!(parallelism_key(&c1.parallelism), parallelism_key(&c4.parallelism));
+        assert_eq!(
+            c1.estimate.total_time.get().to_bits(),
+            c4.estimate.total_time.get().to_bits()
+        );
     }
 }

@@ -81,6 +81,11 @@ impl<'a> SearchEngine<'a> {
     ///
     /// Returns `None` when no mapping survives the memory filter.
     ///
+    /// Uses the engine's own search configuration: with
+    /// [`SearchEngine::with_pruning`] enabled the ranking (and therefore
+    /// the alternatives list) only covers candidates whose lower bound beat
+    /// the winner — the winner itself is unaffected.
+    ///
     /// # Errors
     ///
     /// Propagates estimator errors.

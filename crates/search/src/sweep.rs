@@ -2,6 +2,8 @@
 //! packaged for reuse: evaluate a set of mappings across a set of batch
 //! sizes and emit labelled series.
 
+use std::collections::HashMap;
+
 use amped_core::{Estimate, Parallelism, Result, TrainingConfig};
 
 use crate::{Candidate, SearchEngine};
@@ -19,16 +21,26 @@ pub struct SweepPoint {
 
 /// A grid of mappings × batch sizes, evaluated through a [`SearchEngine`]'s
 /// configuration (efficiency, precision, engine options, power model).
+///
+/// Points are stored label-major, batch-minor, so every `(label, batch)`
+/// cell resolves in O(1) through the label index built at construction —
+/// [`Sweep::days_series`], [`Sweep::winners`] and [`Sweep::to_csv`] never
+/// scan the full point list.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     points: Vec<SweepPoint>,
     batches: Vec<usize>,
     labels: Vec<String>,
+    /// Label → row index (first occurrence wins for duplicate labels).
+    label_index: HashMap<String, usize>,
 }
 
 impl Sweep {
-    /// Evaluate every `(mapping, batch)` pair. Each mapping is evaluated
-    /// through [`SearchEngine::evaluate_one`] (microbatch tuning included).
+    /// Evaluate every `(mapping, batch)` pair over the engine's worker pool
+    /// (see [`SearchEngine::with_parallelism`]). Each mapping is evaluated
+    /// through [`SearchEngine::evaluate_one`] semantics (microbatch tuning
+    /// included); results are ordered label-major, batch-minor regardless
+    /// of worker count.
     ///
     /// # Errors
     ///
@@ -40,40 +52,54 @@ impl Sweep {
         batches: &[usize],
         num_batches: u64,
     ) -> Result<Sweep> {
+        let mut trainings = Vec::with_capacity(batches.len());
+        for &batch in batches {
+            trainings.push(TrainingConfig::new(batch, num_batches)?);
+        }
+        let cells = engine.evaluate_grid(mappings, &trainings)?;
         let mut points = Vec::with_capacity(mappings.len() * batches.len());
-        for (label, mapping) in mappings {
-            for &batch in batches {
-                let training = TrainingConfig::new(batch, num_batches)?;
-                let candidate = engine.evaluate_one(mapping, &training)?;
+        for (row, candidates) in cells.chunks(batches.len().max(1)).enumerate() {
+            let (label, _) = &mappings[row];
+            for (col, candidate) in candidates.iter().enumerate() {
                 points.push(SweepPoint {
                     label: label.clone(),
-                    global_batch: batch,
-                    estimate: candidate.estimate,
+                    global_batch: batches[col],
+                    estimate: candidate.estimate.clone(),
                 });
             }
+        }
+        let mut label_index = HashMap::with_capacity(mappings.len());
+        for (row, (label, _)) in mappings.iter().enumerate() {
+            label_index.entry(label.clone()).or_insert(row);
         }
         Ok(Sweep {
             points,
             batches: batches.to_vec(),
             labels: mappings.iter().map(|(l, _)| l.clone()).collect(),
+            label_index,
         })
     }
 
-    /// All evaluated points.
+    /// All evaluated points (label-major, batch-minor).
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
     }
 
+    /// The point at `(row, col)` of the label × batch grid.
+    fn cell(&self, row: usize, col: usize) -> &SweepPoint {
+        &self.points[row * self.batches.len() + col]
+    }
+
     /// The series for one mapping label: `(batch, total days)` pairs in
-    /// batch order.
+    /// batch order (empty for an unknown label).
     pub fn days_series(&self, label: &str) -> Vec<(f64, f64)> {
-        self.batches
-            .iter()
-            .filter_map(|&b| {
-                self.points
-                    .iter()
-                    .find(|p| p.label == label && p.global_batch == b)
-                    .map(|p| (b as f64, p.estimate.days()))
+        let Some(&row) = self.label_index.get(label) else {
+            return Vec::new();
+        };
+        (0..self.batches.len())
+            .map(|col| {
+                let p = self.cell(row, col);
+                (self.batches[col] as f64, p.estimate.days())
             })
             .collect()
     }
@@ -85,12 +111,10 @@ impl Sweep {
 
     /// The fastest mapping at each batch size: `(batch, label)`.
     pub fn winners(&self) -> Vec<(usize, &str)> {
-        self.batches
-            .iter()
-            .filter_map(|&b| {
-                self.points
-                    .iter()
-                    .filter(|p| p.global_batch == b)
+        (0..self.batches.len())
+            .filter_map(|col| {
+                (0..self.labels.len())
+                    .map(|row| self.cell(row, col))
                     .min_by(|x, y| {
                         x.estimate
                             .total_time
@@ -98,7 +122,7 @@ impl Sweep {
                             .partial_cmp(&y.estimate.total_time.get())
                             .expect("finite")
                     })
-                    .map(|p| (b, p.label.as_str()))
+                    .map(|p| (self.batches[col], p.label.as_str()))
             })
             .collect()
     }
@@ -110,18 +134,13 @@ impl Sweep {
             out.push(',');
             out.push_str(l);
         }
-        for &b in &self.batches {
+        for (col, &b) in self.batches.iter().enumerate() {
             out.push('\n');
             out.push_str(&b.to_string());
-            for l in &self.labels {
+            for row in 0..self.labels.len() {
                 out.push(',');
-                if let Some(p) = self
-                    .points
-                    .iter()
-                    .find(|p| &p.label == l && p.global_batch == b)
-                {
-                    out.push_str(&format!("{:.3}", p.estimate.days()));
-                }
+                let p = self.cell(row, col);
+                out.push_str(&format!("{:.3}", p.estimate.days()));
             }
         }
         out
@@ -143,11 +162,34 @@ impl<'a> SearchEngine<'a> {
         mapping: &Parallelism,
         training: &TrainingConfig,
     ) -> Result<Candidate> {
-        self.evaluate(mapping, training)?.ok_or_else(|| {
+        let mut cache = amped_core::EstimateCache::new();
+        self.evaluate(&mut cache, mapping, training)?.ok_or_else(|| {
             amped_core::Error::incompatible(
                 "mapping was filtered out (exceeds device memory under every microbatch size)",
             )
         })
+    }
+
+    /// Evaluate a mappings × trainings grid over the worker pool, returning
+    /// candidates mapping-major in deterministic order. Pruning does not
+    /// apply here — a sweep reports *every* cell.
+    pub(crate) fn evaluate_grid(
+        &self,
+        mappings: &[(String, Parallelism)],
+        trainings: &[TrainingConfig],
+    ) -> Result<Vec<Candidate>> {
+        let cols = trainings.len();
+        let results = self.run_parallel(mappings.len() * cols, |cache, i| {
+            let (row, col) = (i / cols.max(1), i % cols.max(1));
+            self.evaluate(cache, &mappings[row].1, &trainings[col])?
+                .ok_or_else(|| {
+                    amped_core::Error::incompatible(
+                        "mapping was filtered out (exceeds device memory under every microbatch \
+                         size)",
+                    )
+                })
+        });
+        results.into_iter().collect()
     }
 }
 
@@ -197,6 +239,7 @@ mod tests {
         let sweep = Sweep::run(&engine, &mappings, &batches, 10).unwrap();
         assert_eq!(sweep.points().len(), 6);
         assert_eq!(sweep.days_series("dp").len(), 3);
+        assert_eq!(sweep.days_series("unknown").len(), 0);
         assert_eq!(sweep.winners().len(), 3);
         let csv = sweep.to_csv();
         assert!(csv.starts_with("batch,dp,pp"));
@@ -233,5 +276,49 @@ mod tests {
         assert!(engine
             .evaluate_one(&wrong, &TrainingConfig::new(64, 1).unwrap())
             .is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let (model, accel, system) = fixture();
+        let mappings = vec![
+            (
+                "dp".to_string(),
+                Parallelism::builder().tp(4, 1).dp(1, 4).build().unwrap(),
+            ),
+            (
+                "pp".to_string(),
+                Parallelism::builder().tp(4, 1).pp(1, 4).build().unwrap(),
+            ),
+            (
+                "tp-inter".to_string(),
+                Parallelism::builder().tp(4, 4).build().unwrap(),
+            ),
+        ];
+        let batches = [32usize, 64, 128, 256];
+        let serial = Sweep::run(
+            &SearchEngine::new(&model, &accel, &system).with_parallelism(1),
+            &mappings,
+            &batches,
+            5,
+        )
+        .unwrap();
+        let parallel = Sweep::run(
+            &SearchEngine::new(&model, &accel, &system).with_parallelism(3),
+            &mappings,
+            &batches,
+            5,
+        )
+        .unwrap();
+        assert_eq!(serial.points().len(), parallel.points().len());
+        for (x, y) in serial.points().iter().zip(parallel.points()) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.global_batch, y.global_batch);
+            assert_eq!(
+                x.estimate.total_time.get().to_bits(),
+                y.estimate.total_time.get().to_bits()
+            );
+        }
+        assert_eq!(serial.to_csv(), parallel.to_csv());
     }
 }

@@ -1,0 +1,110 @@
+//! The acceptance fixture for the parallel/pruned/memoized search path:
+//! Megatron 145B on a 16×8 A100/HDR cluster. Whatever combination of worker
+//! count and pruning is used, the ranking must be byte-identical — same
+//! candidates, same order, same times to the bit.
+
+use amped_configs::{accelerators, efficiency, models, systems};
+use amped_core::TrainingConfig;
+use amped_search::{Candidate, SearchEngine};
+
+fn degrees(c: &Candidate) -> [usize; 6] {
+    let p = &c.parallelism;
+    [
+        p.tp_intra(),
+        p.tp_inter(),
+        p.pp_intra(),
+        p.pp_inter(),
+        p.dp_intra(),
+        p.dp_inter(),
+    ]
+}
+
+fn assert_bit_identical(a: &[Candidate], b: &[Candidate]) {
+    assert_eq!(a.len(), b.len(), "ranking lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(degrees(x), degrees(y), "candidate {i} differs");
+        assert_eq!(
+            x.estimate.total_time.get().to_bits(),
+            y.estimate.total_time.get().to_bits(),
+            "total time of candidate {i} differs"
+        );
+        assert_eq!(
+            x.estimate.time_per_iteration.get().to_bits(),
+            y.estimate.time_per_iteration.get().to_bits(),
+            "iteration time of candidate {i} differs"
+        );
+        assert_eq!(x.estimate.num_microbatches, y.estimate.num_microbatches);
+        assert_eq!(x.fits_memory, y.fits_memory);
+        assert_eq!(
+            x.energy.total_joules().to_bits(),
+            y.energy.total_joules().to_bits(),
+            "energy of candidate {i} differs"
+        );
+    }
+}
+
+#[test]
+fn megatron_145b_parallel_search_is_bit_identical_to_serial() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let base = SearchEngine::new(&model, &a100, &system).with_efficiency(efficiency::case_study());
+
+    // Without pruning: the parallel ranking equals the serial one bitwise.
+    let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+    assert!(serial.len() > 10, "fixture should rank many mappings");
+    let parallel = base.clone().with_parallelism(4).search(&training).unwrap();
+    assert_bit_identical(&serial, &parallel);
+
+    // With pruning: still deterministic across worker counts, still led by
+    // the same winner, and a subset of the full ranking.
+    let pruned_serial = base
+        .clone()
+        .with_pruning(true)
+        .with_parallelism(1)
+        .search(&training)
+        .unwrap();
+    let pruned_parallel = base
+        .clone()
+        .with_pruning(true)
+        .with_parallelism(4)
+        .search(&training)
+        .unwrap();
+    assert_bit_identical(&pruned_serial, &pruned_parallel);
+    assert!(!pruned_serial.is_empty());
+    assert!(pruned_serial.len() <= serial.len());
+    assert_eq!(degrees(&pruned_serial[0]), degrees(&serial[0]));
+    assert_eq!(
+        pruned_serial[0].estimate.total_time.get().to_bits(),
+        serial[0].estimate.total_time.get().to_bits()
+    );
+}
+
+#[test]
+fn megatron_145b_best_agrees_across_modes() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let base = SearchEngine::new(&model, &a100, &system).with_efficiency(efficiency::case_study());
+
+    let reference = base
+        .clone()
+        .with_parallelism(1)
+        .best(&training)
+        .unwrap()
+        .expect("fixture has a winner");
+    for engine in [
+        base.clone().with_parallelism(4),
+        base.clone().with_pruning(true),
+        base.clone().with_parallelism(4).with_pruning(true),
+    ] {
+        let b = engine.best(&training).unwrap().expect("winner");
+        assert_eq!(degrees(&b), degrees(&reference));
+        assert_eq!(
+            b.estimate.total_time.get().to_bits(),
+            reference.estimate.total_time.get().to_bits()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property test for the branch-and-bound invariant: the compute-only
+//! lower bound never exceeds the full estimate, for any valid mapping of a
+//! random scenario. Against the memoized path the inequality must hold
+//! EXACTLY in f64 (that is what makes pruning lossless); against the
+//! uncached reference path, which sums in a different association, it holds
+//! up to float associativity.
+
+use amped_core::{
+    AcceleratorSpec, EfficiencyModel, EngineOptions, EstimateCache, Estimator, Link, MoeConfig,
+    SystemSpec, TrainingConfig, TransformerModel,
+};
+use amped_search::{enumerate_mappings, EnumerationOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lower_bound_never_exceeds_full_estimate(
+        (layers, heads, hidden_per_head) in (2usize..24, 0usize..3, 8usize..65),
+        (seq_exp, vocab, batch_exp) in (6u32..10, 1000usize..60000, 4u32..10),
+        (nodes_exp, per_node_exp) in (0u32..3, 1u32..4),
+        (experts, recompute, imbalance) in (0usize..5, 0u8..2, 0u8..2),
+        (eff_floor, eff_span) in (0.05f64..0.5, 0.1f64..0.5),
+    ) {
+        let heads = [4usize, 8, 16][heads];
+        let mut builder = TransformerModel::builder("prop-m");
+        builder
+            .layers(layers)
+            .hidden_size(heads * hidden_per_head)
+            .heads(heads)
+            .seq_len(1 << seq_exp)
+            .vocab_size(vocab);
+        if experts > 1 {
+            builder.moe(MoeConfig::glam(experts));
+        }
+        let Ok(model) = builder.build() else { return Ok(()); };
+        let accel = AcceleratorSpec::builder("prop-a")
+            .frequency_hz(1e9)
+            .cores(64)
+            .mac_units(4, 256, 8)
+            .nonlin_units(64, 4, 32)
+            .memory(80e9, 2e12)
+            .build()
+            .expect("fixed accelerator is valid");
+        let Ok(system) = SystemSpec::new(
+            1 << nodes_exp,
+            1 << per_node_exp,
+            Link::new(1e-6, 2.4e12),
+            Link::new(1e-5, 2e11),
+            1 << per_node_exp,
+        ) else { return Ok(()); };
+        let training = TrainingConfig::new(1 << batch_exp, 3).expect("valid");
+        let efficiency = EfficiencyModel::saturating(
+            0.95,
+            4.0,
+            eff_floor,
+            (eff_floor + eff_span).min(0.99),
+        );
+        let options = EngineOptions {
+            activation_recompute: recompute == 1,
+            stage_imbalance_correction: imbalance == 1,
+            ..Default::default()
+        };
+
+        let mappings = enumerate_mappings(&system, &model, &EnumerationOptions::default());
+        prop_assert!(!mappings.is_empty());
+        let mut cache = EstimateCache::new();
+        for p in &mappings {
+            let estimator = Estimator::new(&model, &accel, &system, p)
+                .with_efficiency(efficiency.clone())
+                .with_options(options);
+            let lb = estimator.compute_lower_bound(&mut cache, &training);
+            let Ok(lb) = lb else { continue };
+            let cached = estimator
+                .estimate_cached(&mut cache, &training)
+                .expect("bound computed, so the estimate must too");
+            let plain = estimator.estimate(&training).expect("same");
+            // Exact against the memoized path the pruner compares with:
+            prop_assert!(
+                lb.get() <= cached.total_time.get(),
+                "lb {} > cached total {} for {:?}",
+                lb.get(), cached.total_time.get(), p
+            );
+            // Up to associativity against the uncached reference:
+            prop_assert!(
+                lb.get() <= plain.total_time.get() * (1.0 + 1e-9),
+                "lb {} > plain total {} for {:?}",
+                lb.get(), plain.total_time.get(), p
+            );
+            prop_assert!(lb.get() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item's `TokenStream` by hand (no `syn`/`quote` — the container
+//! cannot fetch them) and emits `impl serde::Serialize` / `serde::Deserialize`
+//! blocks against the shim's `Value`-based traits.
+//!
+//! Supported shapes: non-generic structs (named, tuple, newtype, unit) and
+//! enums (unit, newtype, tuple, struct variants). Supported attributes:
+//! `#[serde(default)]`, `#[serde(default = "path")]` on fields and
+//! `#[serde(untagged)]` on enums. Everything else the workspace does not use
+//! and is rejected loudly rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Container {
+    name: String,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+    /// Type spelled `Option<...>`: serde implicitly treats missing as `None`.
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Default)]
+struct Attrs {
+    untagged: bool,
+    default: Option<Option<String>>,
+}
+
+/// Derive `serde::Serialize` via the shim's `to_value` facade.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("serde shim: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` via the shim's `from_value` facade.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("serde shim: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut it = input.into_iter().peekable();
+    let attrs = take_attrs(&mut it);
+    skip_visibility(&mut it);
+    let kw = expect_ident(&mut it, "struct/enum keyword");
+    let name = expect_ident(&mut it, "type name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Kind::Newtype,
+                    n => Kind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde shim: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Container {
+        name,
+        untagged: attrs.untagged,
+        kind,
+    }
+}
+
+/// Consume any number of leading `#[...]` attributes, interpreting
+/// `#[serde(...)]` and skipping everything else (docs, `#[default]`,
+/// `#[non_exhaustive]`, ...).
+fn take_attrs(it: &mut TokenIter) -> Attrs {
+    let mut attrs = Attrs::default();
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim: malformed attribute: {other:?}"),
+        };
+        let mut inner = group.stream().into_iter().peekable();
+        let head = match inner.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => continue,
+        };
+        if head != "serde" {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde shim: malformed #[serde(...)]: {other:?}"),
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tok) = args.next() {
+            let item = match tok {
+                TokenTree::Ident(i) => i.to_string(),
+                TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                other => panic!("serde shim: unsupported #[serde] token: {other:?}"),
+            };
+            match item.as_str() {
+                "untagged" => attrs.untagged = true,
+                "default" => {
+                    if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        args.next();
+                        let lit = match args.next() {
+                            Some(TokenTree::Literal(l)) => l.to_string(),
+                            other => panic!("serde shim: expected string after default =: {other:?}"),
+                        };
+                        attrs.default = Some(Some(strip_quotes(&lit)));
+                    } else {
+                        attrs.default = Some(None);
+                    }
+                }
+                other => panic!("serde shim: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    attrs
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let attrs = take_attrs(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = expect_ident(&mut it, "field name");
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generic arguments don't end the field. Parenthesized types arrive
+        // as single groups, so tuple-type commas are already contained.
+        // (`fn(..) -> T` types would confuse the depth tracking; none exist
+        // in this workspace's serialized types.)
+        let mut depth = 0i32;
+        let mut first_type_ident: Option<String> = None;
+        while let Some(tok) = it.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Ident(i) if first_type_ident.is_none() => {
+                    first_type_ident = Some(i.to_string());
+                }
+                _ => {}
+            }
+            it.next();
+        }
+        let is_option = first_type_ident.as_deref() == Some("Option");
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut n = 0usize;
+    let mut segment_has_tokens = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_tokens {
+                    n += 1;
+                    segment_has_tokens = false;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                segment_has_tokens = true;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        let _attrs = take_attrs(&mut it); // skips #[default], doc comments
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it, "variant name");
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                if n == 1 {
+                    Shape::Newtype
+                } else {
+                    Shape::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        match it.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("serde shim: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::Named(fields) => object_literal_from_fields(fields, "self.", ""),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&gen_serialize_variant(name, v, c.untagged));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Build `Value::Object(vec![("f", to_value(<prefix>f<suffix>)), ...])`.
+/// `prefix`/`suffix` turn field names into access expressions: `self.` for
+/// struct fields, nothing for match-bound names.
+fn object_literal_from_fields(fields: &[Field], prefix: &str, suffix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&{prefix}{n}{suffix}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize_variant(ty: &str, v: &Variant, untagged: bool) -> String {
+    let vn = &v.name;
+    let tag_wrap = |payload: &str| {
+        if untagged {
+            payload.to_string()
+        } else {
+            format!(
+                "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {payload})])"
+            )
+        }
+    };
+    match &v.shape {
+        Shape::Unit => {
+            let val = if untagged {
+                "::serde::Value::Null".to_string()
+            } else {
+                format!("::serde::Value::Str(::std::string::String::from(\"{vn}\"))")
+            };
+            format!("{ty}::{vn} => {val},\n")
+        }
+        Shape::Newtype => {
+            let val = tag_wrap("::serde::Serialize::to_value(__f0)");
+            format!("{ty}::{vn}(__f0) => {val},\n")
+        }
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            let val = tag_wrap(&format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                elems.join(", ")
+            ));
+            format!("{ty}::{vn}({}) => {val},\n", binds.join(", "))
+        }
+        Shape::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let val = tag_wrap(&object_literal_from_fields(fields, "", ""));
+            format!("{ty}::{vn} {{ {} }} => {val},\n", binds.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => gen_deserialize_tuple(&format!("{name}"), name, *n, "__v"),
+        Kind::Named(fields) => gen_deserialize_named(name, name, fields, "__v"),
+        Kind::Enum(variants) => {
+            if c.untagged {
+                gen_deserialize_untagged(name, variants)
+            } else {
+                gen_deserialize_tagged(name, variants)
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// `ctor` is the expression head (`Foo` or `Foo::Bar`); `ctx` names the type
+/// in error messages; `src` is the expression holding `&Value`.
+fn gen_deserialize_named(ctor: &str, ctx: &str, fields: &[Field], src: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = match (&f.default, f.is_option) {
+            (Some(None), _) => "::std::default::Default::default()".to_string(),
+            (Some(Some(path)), _) => format!("{path}()"),
+            (None, true) => "::std::option::Option::None".to_string(),
+            (None, false) => format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ctx}\", \"{n}\"))"
+            ),
+        };
+        inits.push_str(&format!(
+            "{n}: match ::serde::__private::get_field(__fields, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "{{ let __fields = ::serde::__private::as_object({src}, \"{ctx}\")?;\n\
+         ::std::result::Result::Ok({ctor} {{ {inits} }}) }}"
+    )
+}
+
+fn gen_deserialize_tuple(ctor: &str, ctx: &str, n: usize, src: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __arr = ::serde::__private::as_array({src}, \"{ctx}\")?;\n\
+         ::serde::__private::check_len(__arr, {n}, \"{ctx}\")?;\n\
+         ::std::result::Result::Ok({ctor}({})) }}",
+        elems.join(", ")
+    )
+}
+
+fn gen_deserialize_tagged(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            Shape::Newtype => tagged_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__pv)?)),\n"
+            )),
+            Shape::Tuple(n) => {
+                let body = gen_deserialize_tuple(&format!("{name}::{vn}"), &format!("{name}::{vn}"), *n, "__pv");
+                tagged_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+            }
+            Shape::Named(fields) => {
+                let body = gen_deserialize_named(
+                    &format!("{name}::{vn}"),
+                    &format!("{name}::{vn}"),
+                    fields,
+                    "__pv",
+                );
+                tagged_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+         }},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __pv) = &__entries[0];\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::invalid_type(\"{name} variant\", __other)),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_untagged(name: &str, variants: &[Variant]) -> String {
+    let mut attempts = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let attempt_body = match &v.shape {
+            Shape::Unit => format!(
+                "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}::{vn}), \
+                 __o => ::std::result::Result::Err(::serde::Error::invalid_type(\"null\", __o)) }}"
+            ),
+            Shape::Newtype => format!(
+                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Shape::Tuple(n) => {
+                gen_deserialize_tuple(&format!("{name}::{vn}"), &format!("{name}::{vn}"), *n, "__v")
+            }
+            Shape::Named(fields) => gen_deserialize_named(
+                &format!("{name}::{vn}"),
+                &format!("{name}::{vn}"),
+                fields,
+                "__v",
+            ),
+        };
+        attempts.push_str(&format!(
+            "{{ let __attempt = (|| -> ::std::result::Result<{name}, ::serde::Error> {{ {attempt_body} }})();\n\
+             if let ::std::result::Result::Ok(__x) = __attempt {{ return ::std::result::Result::Ok(__x); }} }}\n"
+        ));
+    }
+    format!(
+        "{attempts}\
+         ::std::result::Result::Err(::serde::Error::msg(\
+         \"data did not match any untagged variant of {name}\"))"
+    )
+}
