@@ -11,12 +11,12 @@
 
 use amped_configs::{accelerators, efficiency, models, systems};
 use amped_core::{
-    BubbleAccounting, EfficiencyModel, EngineOptions, Estimator, MicrobatchPolicy, Parallelism,
-    Precision, TrainingConfig, ZeroConfig, ZeroStage,
+    AnalyticalBackend, BubbleAccounting, CostBackend, EfficiencyModel, EngineOptions, Estimator,
+    MicrobatchPolicy, Parallelism, Precision, Scenario, TrainingConfig, ZeroConfig, ZeroStage,
 };
 use amped_memory::MemoryModel;
 use amped_report::Table;
-use amped_sim::SimConfig;
+use amped_sim::SimBackend;
 
 fn main() {
     ablate_bubble_accounting();
@@ -237,6 +237,12 @@ fn ablate_model_vs_sim() {
     println!("== ablation 5: analytical model vs simulator (minGPT-PP on HGX-2) ==");
     let model = models::mingpt_pp();
     let v100 = accelerators::v100();
+    // Both sides price the same Scenario through the CostBackend trait —
+    // exactly the comparison tests/backend_differential.rs pins as a
+    // regression band.
+    let analytical = AnalyticalBackend;
+    let sim_backend = SimBackend::new();
+    let training = TrainingConfig::single_batch(128).expect("valid");
     let mut t = Table::new(["mapping", "model (s)", "sim (s)", "gap"]);
     let mut max_gap: f64 = 0.0;
     for (label, dp, pp) in [
@@ -245,27 +251,23 @@ fn ablate_model_vs_sim() {
         ("DP2xPP4", 2, 4),
         ("PP8", 1, 8),
     ] {
-        let system = systems::hgx2(8);
         let p = Parallelism::builder()
             .dp(dp, 1)
             .pp(pp, 1)
             .microbatches(MicrobatchPolicy::Explicit(16))
             .build()
             .expect("valid");
-        let est = Estimator::new(&model, &v100, &system, &p)
-            .with_efficiency(efficiency::v100_mingpt())
-            .estimate(&TrainingConfig::single_batch(128).expect("valid"))
-            .expect("estimates");
-        let sim = SimConfig::new(&model, &v100, &system, &p)
-            .with_efficiency(efficiency::v100_mingpt())
-            .simulate_iteration(128)
-            .expect("simulates");
-        let gap = (est.time_per_iteration.get() - sim.iteration_time).abs() / sim.iteration_time;
+        let scenario = Scenario::new(model.clone(), v100.clone(), systems::hgx2(8), p)
+            .with_efficiency(efficiency::v100_mingpt());
+        let est = analytical.evaluate(&scenario, &training).expect("estimates");
+        let sim = sim_backend.evaluate(&scenario, &training).expect("simulates");
+        let gap = (est.time_per_iteration.get() - sim.time_per_iteration.get()).abs()
+            / sim.time_per_iteration.get();
         max_gap = max_gap.max(gap);
         t.row([
             label.to_string(),
             format!("{:.4}", est.time_per_iteration.get()),
-            format!("{:.4}", sim.iteration_time),
+            format!("{:.4}", sim.time_per_iteration.get()),
             format!("{:.1}%", gap * 100.0),
         ]);
     }
@@ -280,25 +282,21 @@ fn ablate_model_vs_sim() {
     // head) through 8 stages — the simulator's slowest-stage throughput
     // leaves the balanced-stage analytical model visibly optimistic.
     let uneven = models::mingpt_85m();
-    let system = systems::hgx2(8);
     let p = Parallelism::builder()
         .pp(8, 1)
         .microbatches(MicrobatchPolicy::Explicit(16))
         .build()
         .expect("valid");
-    let est = Estimator::new(&uneven, &v100, &system, &p)
-        .with_efficiency(efficiency::v100_mingpt())
-        .estimate(&TrainingConfig::single_batch(128).expect("valid"))
-        .expect("estimates");
-    let sim = SimConfig::new(&uneven, &v100, &system, &p)
-        .with_efficiency(efficiency::v100_mingpt())
-        .simulate_iteration(128)
-        .expect("simulates");
-    let gap = (sim.iteration_time - est.time_per_iteration.get()) / sim.iteration_time;
+    let scenario = Scenario::new(uneven, v100.clone(), systems::hgx2(8), p)
+        .with_efficiency(efficiency::v100_mingpt());
+    let est = analytical.evaluate(&scenario, &training).expect("estimates");
+    let sim = sim_backend.evaluate(&scenario, &training).expect("simulates");
+    let gap = (sim.time_per_iteration.get() - est.time_per_iteration.get())
+        / sim.time_per_iteration.get();
     println!(
         "imbalanced stack (13 entries / 8 stages): model {:.4} s vs sim {:.4} s ({:+.0}% optimistic)",
         est.time_per_iteration.get(),
-        sim.iteration_time,
+        sim.time_per_iteration.get(),
         gap * 100.0
     );
     assert!(

@@ -2,13 +2,13 @@
 
 use amped_configs::{interconnects, registry};
 use amped_core::{
-    EfficiencyModel, Estimator, Link, MicrobatchPolicy, Parallelism, Precision, SystemSpec,
-    TrainingConfig, TransformerModel,
+    AnalyticalBackend, CostBackend, EfficiencyModel, Estimator, Link, MicrobatchPolicy,
+    Parallelism, Precision, Scenario, SystemSpec, TrainingConfig, TransformerModel,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_report::Table;
-use amped_search::{EnumerationOptions, SearchEngine};
-use amped_sim::SimConfig;
+use amped_search::{EnumerationOptions, SearchEngine, Sweep};
+use amped_sim::{SimBackend, SimConfig};
 
 use crate::args::Args;
 
@@ -52,8 +52,23 @@ common flags:
                               (0 = one per CPU)                [default 0]
   --prune                     skip search candidates that cannot beat the
                               best time seen (same winner, fewer rows)
+  --backend NAME              cost backend for estimate/sweep:
+                              analytical | sim      [default analytical]
+  --refine-sim K              search only: re-rank the analytical top K
+                              through the simulator             [default 0]
+  --memory-filter             search only: drop candidates whose footprint
+                              does not fit device memory
   --config FILE               load a JSON scenario file instead of flags
 ";
+
+/// The cost backend selected by `--backend` (analytical when absent).
+fn backend_for(args: &Args) -> Result<Box<dyn CostBackend>, String> {
+    match args.get_or("backend", "analytical") {
+        "analytical" => Ok(Box::new(AnalyticalBackend)),
+        "sim" => Ok(Box::new(SimBackend::new())),
+        other => Err(format!("unknown backend `{other}`; use analytical|sim")),
+    }
+}
 
 /// Route a parsed command line to its implementation.
 pub fn dispatch(args: &Args) -> Result<String, String> {
@@ -114,6 +129,21 @@ struct Setup {
     training: TrainingConfig,
     precision: Precision,
     efficiency: EfficiencyModel,
+}
+
+impl Setup {
+    /// The parsed flags as an owned [`Scenario`], ready for any
+    /// [`CostBackend`].
+    fn scenario(&self) -> Scenario {
+        Scenario::new(
+            self.model.clone(),
+            self.accel.clone(),
+            self.system.clone(),
+            self.parallelism,
+        )
+        .with_precision(self.precision)
+        .with_efficiency(self.efficiency.clone())
+    }
 }
 
 fn setup(args: &Args) -> Result<Setup, String> {
@@ -193,21 +223,21 @@ fn setup(args: &Args) -> Result<Setup, String> {
 
 fn estimate(args: &Args) -> Result<String, String> {
     let s = setup(args)?;
-    let estimate = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
-        .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
-        .estimate(&s.training)
+    let backend = backend_for(args)?;
+    let estimate = backend
+        .evaluate(&s.scenario(), &s.training)
         .map_err(|e| e.to_string())?;
     if args.switch("json") {
         serde_json::to_string_pretty(&estimate).map_err(|e| e.to_string())
     } else {
         Ok(format!(
-            "{} on {} x {} ({} nodes x {}/node)\n{}",
+            "{} on {} x {} ({} nodes x {}/node) via {} backend\n{}",
             s.model.name(),
             s.system.total_accelerators(),
             s.accel.name(),
             s.system.num_nodes(),
             s.system.accels_per_node(),
+            backend.name(),
             estimate
         ))
     }
@@ -220,9 +250,18 @@ fn search(args: &Args) -> Result<String, String> {
         .with_efficiency(s.efficiency)
         .with_enumeration(EnumerationOptions::default())
         .with_parallelism(args.parse_or("jobs", 0)?)
-        .with_pruning(args.switch("prune"));
+        .with_pruning(args.switch("prune"))
+        .with_memory_filter(args.switch("memory-filter"))
+        .with_refine_sim(args.parse_or("refine-sim", 0)?);
     let results = engine.search(&s.training).map_err(|e| e.to_string())?;
     let top: usize = args.parse_or("top", 10)?;
+    let backend_of = |c: &amped_search::Candidate| {
+        if c.refined.is_some() {
+            "sim"
+        } else {
+            "analytical"
+        }
+    };
     if args.switch("json") {
         let rows: Vec<serde_json::Value> = results
             .iter()
@@ -232,24 +271,26 @@ fn search(args: &Args) -> Result<String, String> {
                     "tp": [c.parallelism.tp_intra(), c.parallelism.tp_inter()],
                     "pp": [c.parallelism.pp_intra(), c.parallelism.pp_inter()],
                     "dp": [c.parallelism.dp_intra(), c.parallelism.dp_inter()],
-                    "days": c.estimate.days(),
-                    "tflops_per_gpu": c.estimate.tflops_per_gpu,
+                    "days": c.ranking_estimate().days(),
+                    "tflops_per_gpu": c.ranking_estimate().tflops_per_gpu,
                     "fits_memory": c.fits_memory,
+                    "backend": backend_of(c),
                 })
             })
             .collect();
         return serde_json::to_string_pretty(&rows).map_err(|e| e.to_string());
     }
-    let mut t = Table::new(["#", "tp", "pp", "dp", "time", "TFLOP/s/GPU", "fits mem"]);
+    let mut t = Table::new(["#", "tp", "pp", "dp", "time", "TFLOP/s/GPU", "fits mem", "backend"]);
     for (i, c) in results.iter().take(top).enumerate() {
         t.row([
             format!("{}", i + 1),
             format!("{}x{}", c.parallelism.tp_intra(), c.parallelism.tp_inter()),
             format!("{}x{}", c.parallelism.pp_intra(), c.parallelism.pp_inter()),
             format!("{}x{}", c.parallelism.dp_intra(), c.parallelism.dp_inter()),
-            c.estimate.total_time.to_string(),
-            format!("{:.1}", c.estimate.tflops_per_gpu),
+            c.ranking_estimate().total_time.to_string(),
+            format!("{:.1}", c.ranking_estimate().tflops_per_gpu),
             if c.fits_memory { "yes" } else { "NO" }.to_string(),
+            backend_of(c).to_string(),
         ]);
     }
     Ok(format!(
@@ -360,8 +401,22 @@ fn sweep(args: &Args) -> Result<String, String> {
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
         .with_parallelism(args.parse_or("jobs", 0)?);
-    let sweep = amped_search::Sweep::run(&engine, &mappings, &batches, s.training.num_batches())
-        .map_err(|e| e.to_string())?;
+    // The default analytical sweep tunes microbatches per cell; an explicit
+    // backend prices the mappings exactly as constructed.
+    let sweep = match args.get("backend") {
+        None => Sweep::run(&engine, &mappings, &batches, s.training.num_batches()),
+        Some(_) => {
+            let backend = backend_for(args)?;
+            Sweep::run_backend(
+                &engine,
+                backend.as_ref(),
+                &mappings,
+                &batches,
+                s.training.num_batches(),
+            )
+        }
+    }
+    .map_err(|e| e.to_string())?;
     let mut out = sweep.to_csv();
     out.push_str("
 
@@ -527,6 +582,59 @@ mod tests {
         // Same top row (the candidate count in the header may shrink).
         let row = |s: &str| s.lines().last().unwrap().to_string();
         assert_eq!(row(&serial), row(&tuned), "{serial}\nvs\n{tuned}");
+    }
+
+    #[test]
+    fn estimate_backend_flag_selects_the_cost_backend() {
+        let analytical =
+            run("estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --backend analytical")
+                .unwrap();
+        assert!(analytical.contains("via analytical backend"), "{analytical}");
+        let sim =
+            run("estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --backend sim")
+                .unwrap();
+        assert!(sim.contains("via sim backend"), "{sim}");
+        assert!(sim.contains("total"));
+        assert!(
+            run("estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --backend bogus")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn search_refine_sim_reprices_the_top_block() {
+        let out = run(
+            "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 5 --refine-sim 3 --jobs 2",
+        )
+        .unwrap();
+        assert!(out.contains("candidate mappings"), "{out}");
+        assert!(out.contains("sim"), "refined rows must be marked: {out}");
+        let json = run(
+            "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 3 --refine-sim 3 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.as_array().unwrap().iter().any(|r| r["backend"] == "sim"));
+    }
+
+    #[test]
+    fn search_memory_filter_keeps_only_feasible_mappings() {
+        let out = run(
+            "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 5 --memory-filter",
+        )
+        .unwrap();
+        assert!(out.contains("yes"), "{out}");
+        assert!(!out.contains("NO"), "filtered search must not list misfits: {out}");
+    }
+
+    #[test]
+    fn sweep_backend_flag_prices_through_the_simulator() {
+        let out = run(
+            "sweep --model mingpt-85m --accel v100 --nodes 4 --per-node 2 --batch 64 --backend sim",
+        )
+        .unwrap();
+        assert!(out.starts_with("batch,dp-inter"), "{out}");
+        assert!(out.contains("winners:"));
     }
 
     #[test]

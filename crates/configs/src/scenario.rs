@@ -152,6 +152,25 @@ pub struct ResolvedScenario {
     pub options: EngineOptions,
 }
 
+impl ResolvedScenario {
+    /// The specification half of the scenario as an owned
+    /// [`amped_core::Scenario`] — everything a
+    /// [`CostBackend`](amped_core::CostBackend) needs except the
+    /// [`TrainingConfig`], which `evaluate` takes separately so one
+    /// scenario can price many runs.
+    pub fn to_scenario(&self) -> amped_core::Scenario {
+        amped_core::Scenario::new(
+            self.model.clone(),
+            self.accelerator.clone(),
+            self.system.clone(),
+            self.parallelism,
+        )
+        .with_precision(self.precision)
+        .with_efficiency(self.efficiency.clone())
+        .with_options(self.options)
+    }
+}
+
 impl ScenarioConfig {
     /// Parse a scenario from JSON.
     ///
@@ -260,6 +279,31 @@ mod tests {
         .estimate(&s.training)
         .unwrap();
         assert!(e.total_time.get() > 0.0);
+    }
+
+    #[test]
+    fn resolved_scenario_converts_to_a_backend_scenario() {
+        use amped_core::CostBackend;
+        let s = ScenarioConfig::from_json(SAMPLE).unwrap().resolve().unwrap();
+        let scenario = s.to_scenario();
+        let via_backend = amped_core::AnalyticalBackend
+            .evaluate(&scenario, &s.training)
+            .unwrap();
+        let via_estimator = amped_core::Estimator::new(
+            &s.model,
+            &s.accelerator,
+            &s.system,
+            &s.parallelism,
+        )
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency.clone())
+        .with_options(s.options)
+        .estimate_cached(&mut amped_core::EstimateCache::new(), &s.training)
+        .unwrap();
+        assert_eq!(
+            via_backend.total_time.get().to_bits(),
+            via_estimator.total_time.get().to_bits()
+        );
     }
 
     #[test]

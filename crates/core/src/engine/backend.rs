@@ -1,0 +1,302 @@
+//! The cost-backend abstraction: one interface over every way of pricing
+//! a training scenario.
+//!
+//! The analytical estimator (Eq. 1–12) and the discrete-event simulator in
+//! `amped-sim` answer the same question — "how long does one optimizer step
+//! of this scenario take, and where does the time go?" — with different
+//! fidelity/cost trade-offs. [`CostBackend`] is the common contract:
+//! evaluate an owned [`Scenario`] bundle for a training run and return the
+//! standard [`Estimate`] with its [`Breakdown`](crate::Breakdown) taxonomy.
+//! Downstream crates (`amped-search`, `amped-cli`, `amped-report`,
+//! `amped-bench`) program against the trait and gain new backends without
+//! per-crate plumbing.
+//!
+//! [`AnalyticalBackend`] lives here; the simulator-driven `SimBackend`
+//! lives in `amped-sim` (core cannot depend on it).
+
+use crate::accelerator::AcceleratorSpec;
+use crate::efficiency::EfficiencyModel;
+use crate::engine::{EngineOptions, Estimate, EstimateCache, Estimator};
+use crate::error::Result;
+use crate::model::TransformerModel;
+use crate::network::SystemSpec;
+use crate::parallelism::Parallelism;
+use crate::precision::Precision;
+use crate::training::TrainingConfig;
+
+/// A fully specified estimation scenario, owned in one bundle.
+///
+/// The [`Estimator`] borrows its four specifications, which is right for
+/// tight per-candidate loops but forces every call site to thread six
+/// arguments (plus precision/efficiency/options overrides) through each
+/// layer. `Scenario` owns the whole configuration so it can be stored,
+/// cloned, sent across threads, and handed to any [`CostBackend`].
+///
+/// # Example
+///
+/// ```
+/// use amped_core::{
+///     AcceleratorSpec, AnalyticalBackend, CostBackend, EfficiencyModel, Link, Parallelism,
+///     Scenario, SystemSpec, TrainingConfig, TransformerModel,
+/// };
+///
+/// # fn main() -> Result<(), amped_core::Error> {
+/// let model = TransformerModel::builder("demo")
+///     .layers(24).hidden_size(2048).heads(16).seq_len(1024).vocab_size(32000)
+///     .build()?;
+/// let accel = AcceleratorSpec::builder("A100")
+///     .frequency_hz(1.41e9).cores(108).mac_units(4, 512, 8)
+///     .nonlin_units(192, 4, 32).memory(80e9, 2.0e12)
+///     .build()?;
+/// let system = SystemSpec::new(2, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8)?;
+/// let parallelism = Parallelism::builder().tp(8, 1).dp(1, 2).build()?;
+///
+/// let scenario = Scenario::new(model, accel, system, parallelism)
+///     .with_efficiency(EfficiencyModel::Constant(0.5));
+/// let estimate = AnalyticalBackend.evaluate(&scenario, &TrainingConfig::new(512, 100)?)?;
+/// assert!(estimate.total_time.get() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The transformer under training.
+    pub model: TransformerModel,
+    /// The accelerator populating the cluster.
+    pub accelerator: AcceleratorSpec,
+    /// The cluster (nodes × accelerators, links).
+    pub system: SystemSpec,
+    /// The parallelism mapping.
+    pub parallelism: Parallelism,
+    /// Operand precisions.
+    pub precision: Precision,
+    /// Microbatch-efficiency model.
+    pub efficiency: EfficiencyModel,
+    /// Engine knobs shared by every backend.
+    pub options: EngineOptions,
+}
+
+impl Scenario {
+    /// Bundle the four specifications with default precision, efficiency
+    /// and options.
+    pub fn new(
+        model: TransformerModel,
+        accelerator: AcceleratorSpec,
+        system: SystemSpec,
+        parallelism: Parallelism,
+    ) -> Self {
+        Scenario {
+            model,
+            accelerator,
+            system,
+            parallelism,
+            precision: Precision::default(),
+            efficiency: EfficiencyModel::default(),
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Override the operand precisions.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the microbatch-efficiency model.
+    pub fn with_efficiency(mut self, efficiency: EfficiencyModel) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Override the engine options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The same scenario under a different parallelism mapping — the
+    /// per-candidate operation of a design-space search.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// An [`Estimator`] borrowing this scenario, carrying its precision,
+    /// efficiency and options overrides.
+    pub fn estimator(&self) -> Estimator<'_> {
+        Estimator::new(
+            &self.model,
+            &self.accelerator,
+            &self.system,
+            &self.parallelism,
+        )
+        .with_precision(self.precision)
+        .with_efficiency(self.efficiency.clone())
+        .with_options(self.options)
+    }
+}
+
+/// How literally a backend's [`Breakdown`](crate::Breakdown) components can
+/// be read — the capability probe of the [`CostBackend`] contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownFidelity {
+    /// Every component is computed from its own closed form; component
+    /// sums and totals are exact in the backend's own terms.
+    Exact,
+    /// Totals are faithful but some components are re-attributed from
+    /// another representation (e.g. a simulator timeline where TP traffic
+    /// is folded into compute task durations).
+    Approximate,
+}
+
+/// A cost model that prices a [`Scenario`] for a training run.
+///
+/// Implementations must be deterministic: the same scenario and training
+/// config return the same [`Estimate`] bit-for-bit, which is what lets the
+/// search rank candidates reproducibly at any worker count. `Sync` is part
+/// of the contract so one backend instance can serve a worker pool.
+pub trait CostBackend: Sync {
+    /// A short stable identifier (`"analytical"`, `"sim"`, …) used in CLI
+    /// flags and report provenance.
+    fn name(&self) -> &'static str;
+
+    /// Whether breakdown components are individually exact or partially
+    /// re-attributed. Totals are always faithful.
+    fn breakdown_fidelity(&self) -> BreakdownFidelity;
+
+    /// Price `scenario` for `training`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any scenario component fails validation or
+    /// the parallelism mapping does not fit the system/model.
+    fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate>;
+}
+
+/// The AMPeD analytical model (Eq. 1–12) as a [`CostBackend`].
+///
+/// Evaluates through [`Estimator::estimate_cached`] with a private cache,
+/// which is bit-identical to evaluating with any warmed cache for the same
+/// scenario — so trait-based results match `amped-search`'s memoized
+/// per-worker path exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticalBackend;
+
+impl AnalyticalBackend {
+    /// Evaluate against a caller-owned cache (the memoized hot path: reuse
+    /// one cache across many parallelism variants of one scenario).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostBackend::evaluate`].
+    pub fn evaluate_with_cache(
+        &self,
+        cache: &mut EstimateCache,
+        scenario: &Scenario,
+        training: &TrainingConfig,
+    ) -> Result<Estimate> {
+        scenario.estimator().estimate_cached(cache, training)
+    }
+}
+
+impl CostBackend for AnalyticalBackend {
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+
+    fn breakdown_fidelity(&self) -> BreakdownFidelity {
+        BreakdownFidelity::Exact
+    }
+
+    fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate> {
+        let mut cache = EstimateCache::new();
+        self.evaluate_with_cache(&mut cache, scenario, training)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Link;
+
+    fn scenario() -> Scenario {
+        let model = TransformerModel::builder("backend-m")
+            .layers(24)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(1024)
+            .vocab_size(32000)
+            .build()
+            .unwrap();
+        let accel = AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .build()
+            .unwrap();
+        let system = SystemSpec::new(
+            2,
+            8,
+            Link::new(5e-6, 2.4e12),
+            Link::new(1e-5, 2e11),
+            8,
+        )
+        .unwrap();
+        let parallelism = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap();
+        Scenario::new(model, accel, system, parallelism)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+    }
+
+    #[test]
+    fn analytical_backend_matches_estimator_bitwise() {
+        let s = scenario();
+        let training = TrainingConfig::new(256, 10).unwrap();
+        let via_trait = AnalyticalBackend.evaluate(&s, &training).unwrap();
+        let mut cache = EstimateCache::new();
+        let direct = s.estimator().estimate_cached(&mut cache, &training).unwrap();
+        assert_eq!(
+            via_trait.total_time.get().to_bits(),
+            direct.total_time.get().to_bits()
+        );
+        assert_eq!(
+            via_trait.time_per_iteration.get().to_bits(),
+            direct.time_per_iteration.get().to_bits()
+        );
+        assert_eq!(via_trait.num_microbatches, direct.num_microbatches);
+    }
+
+    #[test]
+    fn analytical_backend_is_deterministic_through_the_trait_object() {
+        let s = scenario();
+        let training = TrainingConfig::new(256, 10).unwrap();
+        let backend: &dyn CostBackend = &AnalyticalBackend;
+        assert_eq!(backend.name(), "analytical");
+        assert_eq!(backend.breakdown_fidelity(), BreakdownFidelity::Exact);
+        let a = backend.evaluate(&s, &training).unwrap();
+        let b = backend.evaluate(&s, &training).unwrap();
+        assert_eq!(
+            a.total_time.get().to_bits(),
+            b.total_time.get().to_bits()
+        );
+    }
+
+    #[test]
+    fn scenario_with_parallelism_swaps_only_the_mapping() {
+        let s = scenario();
+        let p2 = Parallelism::builder().tp(4, 1).dp(2, 2).build().unwrap();
+        let swapped = s.clone().with_parallelism(p2);
+        assert_eq!(swapped.parallelism.tp_intra(), 4);
+        assert_eq!(swapped.model.num_layers(), s.model.num_layers());
+    }
+
+    #[test]
+    fn backend_propagates_invalid_mappings() {
+        let s = scenario().with_parallelism(
+            Parallelism::builder().tp(4, 1).build().unwrap(), // 4 != 32
+        );
+        let r = AnalyticalBackend.evaluate(&s, &TrainingConfig::new(8, 1).unwrap());
+        assert!(r.is_err());
+    }
+}

@@ -9,9 +9,10 @@
 //! can differ by a few ulps (covered by a differential test below). The
 //! uncached `estimate` stays byte-stable for golden pins.
 //!
-//! [`Estimator::compute_lower_bound`] evaluates only the compute terms
-//! (forward, backward, weight update) with communication, pipeline bubble
-//! and stage-imbalance zeroed. It reuses the *same* grouped summation
+//! [`Estimator::compute_lower_bound`] evaluates the compute terms
+//! (forward, backward, weight update) plus the tensor-parallel all-reduce
+//! floor, with all other communication, the pipeline bubble and
+//! stage-imbalance zeroed. It reuses the *same* grouped summation
 //! association as `estimate_cached`, and every term it drops or shrinks is
 //! non-negative under a monotone float operation — so the bound never
 //! exceeds `estimate_cached`'s total time *exactly in f64*, not merely up
@@ -302,14 +303,18 @@ impl<'a> Estimator<'a> {
         })
     }
 
-    /// A compute-only lower bound on the total training time of this exact
+    /// A lower bound on the total training time of this exact
     /// configuration: forward + backward + weight-update time at the
-    /// configuration's own microbatch efficiency, with communication,
-    /// pipeline bubble and stage imbalance all zeroed.
+    /// configuration's own microbatch efficiency, plus the tensor-parallel
+    /// all-reduce floor — with all other communication, the pipeline bubble
+    /// and stage imbalance zeroed. The TP terms are microbatch-variant
+    /// invariant, which is what lets `amped-search` bound a whole family of
+    /// microbatch splits at once.
     ///
     /// Guaranteed `compute_lower_bound(..) <= estimate_cached(..).total_time`
     /// **exactly in f64** for the same cache/scenario: the bound reuses the
-    /// cached path's grouped summation association, and every dropped or
+    /// cached path's grouped summation association (the TP floor repeats
+    /// the estimate's own accumulation bitwise), and every dropped or
     /// shrunk term is non-negative under monotone float operations. This is
     /// what makes branch-and-bound pruning in `amped-search` lossless.
     ///
@@ -358,9 +363,58 @@ impl<'a> Estimator<'a> {
             weight_update += u_w / workers * n;
         }
 
-        // Same association as Breakdown::compute_total() and Eq. 1's batch
+        // TP-communication floor: the Eq. 6 all-reduce terms depend on the
+        // replica batch (a function of the DP degree), never on how the
+        // replica batch is split into microbatches — so like the compute
+        // terms they are invariant across a mapping's microbatch variants
+        // and may join the bound. They are accumulated with the exact
+        // expressions, guards and term order of `estimate_cached`'s TP
+        // loop, so each floor term equals the estimate's own
+        // `tp_comm_intra`/`tp_comm_inter` bitwise; `Breakdown::comm_total`
+        // only ever adds further non-negative components under monotone
+        // float additions, keeping the bound exact in f64.
+        let zero_factor = 1.0 + p.zero().comm_overhead;
+        let comm_passes = zero_factor * (1.0 + opts.backward_comm_factor);
+        let intra = system.intra();
+        let inter = system.inter();
+        let inter_bw = system.inter_bandwidth_per_accel();
+        let nic_aggregate = system.inter().bandwidth_bits_per_sec * system.nics_per_node() as f64;
+        let inter_bw_tp_stream = (inter_bw * p.tp_intra() as f64).min(nic_aggregate);
+        let act_bits = self.precision().act_bits as f64;
+        let stage_share = 1.0 / p.pp() as f64;
+        let replica_batch = p.replica_batch(global_batch);
+
+        let mut tp_comm_intra = 0.0;
+        let mut tp_comm_inter = 0.0;
+        if p.tp_intra() > 1 || p.tp_inter() > 1 {
+            for &(kind, count) in &cache.groups(model) {
+                let cr = cache.layer_counts(model, kind, replica_batch);
+                let n = count as f64;
+                if p.tp_intra() > 1 {
+                    let cost =
+                        cache.collective(intra.topology, Collective::AllReduce, p.tp_intra());
+                    let t = cost.time(
+                        cr.act_elems_tp * act_bits,
+                        intra.latency_s,
+                        intra.bandwidth_bits_per_sec,
+                    );
+                    tp_comm_intra += comm_passes * stage_share * t * n;
+                }
+                if p.tp_inter() > 1 {
+                    let cost =
+                        cache.collective(inter.topology, Collective::AllReduce, p.tp_inter());
+                    let t =
+                        cost.time(cr.act_elems_tp * act_bits, inter.latency_s, inter_bw_tp_stream);
+                    tp_comm_inter += comm_passes * stage_share * t * n;
+                }
+            }
+        }
+
+        // Same association as Breakdown::compute_total(), the head of
+        // Breakdown::comm_total()'s left fold, and Eq. 1's batch
         // multiplication, so the bound survives rounding exactly.
-        let per_iteration = compute_forward + compute_backward + weight_update;
+        let compute = compute_forward + compute_backward + weight_update;
+        let per_iteration = compute + (tp_comm_intra + tp_comm_inter);
         Ok(Seconds::new(per_iteration * training.num_batches() as f64))
     }
 }
@@ -558,6 +612,32 @@ mod tests {
             );
             assert!(lb.get() > 0.0);
         }
+    }
+
+    #[test]
+    fn lower_bound_tp_floor_matches_estimate_terms_bitwise() {
+        // With pp = 1 the imbalance correction is off, so the bound's
+        // compute terms match the estimate's bitwise — and the TP floor
+        // repeats the estimate's own accumulation, so the whole bound is
+        // reconstructable from the breakdown, exactly.
+        let m = dense_model();
+        let a = accel();
+        let sys = system(2, 8);
+        let training = TrainingConfig::new(256, 7).unwrap();
+        let p = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap();
+        let est = Estimator::new(&m, &a, &sys, &p)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let mut cache = EstimateCache::new();
+        let lb = est.compute_lower_bound(&mut cache, &training).unwrap();
+        let full = est.estimate_cached(&mut cache, &training).unwrap();
+        let b = &full.breakdown;
+        let expect =
+            (b.compute_total() + (b.tp_comm_intra + b.tp_comm_inter)) * 7.0;
+        assert_eq!(lb.get().to_bits(), expect.to_bits());
+        // The floor genuinely tightens the old compute-only bound.
+        assert!(b.tp_comm_intra > 0.0);
+        assert!(lb.get() > b.compute_total() * 7.0);
+        assert!(lb.get() <= full.total_time.get());
     }
 
     #[test]

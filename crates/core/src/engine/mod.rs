@@ -8,6 +8,7 @@
 //! [`Breakdown`] into compute, per-parallelism communication, and pipeline
 //! bubbles.
 
+mod backend;
 mod breakdown;
 mod cache;
 mod cached;
@@ -15,6 +16,7 @@ mod detail;
 mod estimator;
 mod options;
 
+pub use backend::{AnalyticalBackend, BreakdownFidelity, CostBackend, Scenario};
 pub use breakdown::{Breakdown, Estimate};
 pub use cache::EstimateCache;
 pub use detail::{DetailedEstimate, LayerEstimate};

@@ -82,8 +82,8 @@ pub use accelerator::{AcceleratorSpec, AcceleratorSpecBuilder};
 pub use diagnostics::{check_scenario, Diagnostic, Severity};
 pub use efficiency::EfficiencyModel;
 pub use engine::{
-    Breakdown, BubbleAccounting, DetailedEstimate, EngineOptions, Estimate, EstimateCache,
-    Estimator, LayerEstimate,
+    AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CostBackend,
+    DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator, LayerEstimate, Scenario,
 };
 pub use error::{Error, Result};
 pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder};
@@ -99,8 +99,9 @@ pub mod prelude {
     pub use crate::accelerator::AcceleratorSpec;
     pub use crate::efficiency::EfficiencyModel;
     pub use crate::engine::{
-        Breakdown, BubbleAccounting, DetailedEstimate, EngineOptions, Estimate, EstimateCache,
-        Estimator, LayerEstimate,
+        AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CostBackend,
+        DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator, LayerEstimate,
+        Scenario,
     };
     pub use crate::model::{LayerKind, MoeConfig, TransformerModel};
     pub use crate::network::{Link, SystemSpec};

@@ -11,6 +11,9 @@ pub struct Comparison {
     pub paper: f64,
     /// Our measured/predicted value.
     pub measured: f64,
+    /// Which cost backend produced `measured` (`None` when the record
+    /// predates backend provenance or the value is external).
+    pub backend: Option<String>,
 }
 
 impl Comparison {
@@ -20,7 +23,15 @@ impl Comparison {
             label: label.into(),
             paper,
             measured,
+            backend: None,
         }
+    }
+
+    /// Attach the name of the cost backend that produced the measured
+    /// value (see `amped_core::CostBackend::name`).
+    pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = Some(backend.into());
+        self
     }
 
     /// Relative error |measured − paper| / |paper| (infinite when the paper
@@ -65,6 +76,21 @@ impl ExperimentRecord {
         self
     }
 
+    /// Append a comparison recording which cost backend produced the
+    /// measured value; the rendered tables grow a `backend` column as soon
+    /// as any comparison carries provenance.
+    pub fn compare_via(
+        &mut self,
+        label: impl Into<String>,
+        backend: impl Into<String>,
+        paper: f64,
+        measured: f64,
+    ) -> &mut Self {
+        self.comparisons
+            .push(Comparison::new(label, paper, measured).with_backend(backend));
+        self
+    }
+
     /// The largest relative error across comparisons (0 when empty).
     pub fn max_error(&self) -> f64 {
         self.comparisons
@@ -78,12 +104,28 @@ impl ExperimentRecord {
         self.max_error() <= tolerance
     }
 
-    /// Render as a table (label, paper, measured, error %).
+    /// Render as a table (label, paper, measured, error %). A `backend`
+    /// column appears when any comparison carries provenance, so legacy
+    /// records render exactly as before.
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new(["quantity", "paper", "measured", "error"]);
+        let with_backend = self.comparisons.iter().any(|c| c.backend.is_some());
+        if !with_backend {
+            let mut t = Table::new(["quantity", "paper", "measured", "error"]);
+            for c in &self.comparisons {
+                t.row([
+                    c.label.clone(),
+                    format!("{:.3}", c.paper),
+                    format!("{:.3}", c.measured),
+                    format!("{:.1}%", c.relative_error() * 100.0),
+                ]);
+            }
+            return t;
+        }
+        let mut t = Table::new(["quantity", "backend", "paper", "measured", "error"]);
         for c in &self.comparisons {
             t.row([
                 c.label.clone(),
+                c.backend.clone().unwrap_or_else(|| "-".into()),
                 format!("{:.3}", c.paper),
                 format!("{:.3}", c.measured),
                 format!("{:.1}%", c.relative_error() * 100.0),
@@ -142,6 +184,20 @@ mod tests {
         assert!(md.starts_with("### Fig. 2a"));
         assert!(md.contains("| 8 GPUs speedup |"));
         assert!(md.contains("max error"));
+    }
+
+    #[test]
+    fn backend_provenance_adds_a_column_only_when_present() {
+        let mut r = ExperimentRecord::new("Fig. 2b", "PP validation");
+        r.compare("4 GPUs speedup", 3.1, 3.0);
+        assert!(!r.to_table().to_csv().contains("backend"));
+        r.compare_via("8 GPUs speedup", "sim", 6.2, 6.4);
+        let csv = r.to_table().to_csv();
+        assert!(csv.starts_with("quantity,backend,paper,measured,error"));
+        assert!(csv.contains("4 GPUs speedup,-,"));
+        assert!(csv.contains("8 GPUs speedup,sim,"));
+        let md = r.to_markdown();
+        assert!(md.contains("| 8 GPUs speedup | sim |"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Report artifacts built straight from [`Sweep`]'s typed rows.
+//!
+//! Consumers used to rebuild series by re-parsing the labels embedded in
+//! [`Sweep::to_csv`] or scanning flat point lists; these helpers read the
+//! structured [`Sweep::rows`]/[`Sweep::cells`] API instead, so labels,
+//! batch sizes and backend provenance arrive typed.
+
+use amped_search::Sweep;
+
+use crate::chart::{LineChart, Series};
+use crate::table::Table;
+
+/// One [`Series`] per sweep row — named by the row's mapping label, with
+/// `(batch, training days)` points in batch order.
+pub fn sweep_series(sweep: &Sweep) -> Vec<Series> {
+    sweep
+        .rows()
+        .map(|row| Series::new(row.label(), row.days_points()))
+        .collect()
+}
+
+/// A training-days-vs-batch line chart, one series per mapping.
+pub fn sweep_chart(title: impl Into<String>, sweep: &Sweep) -> LineChart {
+    let mut chart = LineChart::new(title);
+    for series in sweep_series(sweep) {
+        chart.series(series);
+    }
+    chart
+}
+
+/// Every cell of the grid as a table, carrying the backend that priced it
+/// — the provenance column report records need when sweeps mix analytical
+/// and simulated estimates.
+pub fn sweep_table(sweep: &Sweep) -> Table {
+    let mut t = Table::new(["mapping", "batch", "backend", "days"]);
+    for cell in sweep.cells() {
+        t.row([
+            cell.label.to_string(),
+            cell.global_batch.to_string(),
+            cell.backend.to_string(),
+            format!("{:.3}", cell.estimate.days()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_search::SearchEngine;
+
+    fn sweep() -> Sweep {
+        use amped_core::{
+            AcceleratorSpec, EfficiencyModel, Link, Parallelism, SystemSpec, TransformerModel,
+        };
+        let model = TransformerModel::builder("report-sweep-m")
+            .layers(8)
+            .hidden_size(512)
+            .heads(8)
+            .seq_len(256)
+            .vocab_size(8000)
+            .build()
+            .unwrap();
+        let accel = AcceleratorSpec::builder("report-sweep-a")
+            .frequency_hz(1e9)
+            .cores(32)
+            .mac_units(4, 128, 8)
+            .nonlin_units(32, 8, 32)
+            .memory(32e9, 1e12)
+            .build()
+            .unwrap();
+        let system =
+            SystemSpec::new(2, 4, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 4).unwrap();
+        let engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let mappings = vec![
+            (
+                "dp".to_string(),
+                Parallelism::builder().tp(4, 1).dp(1, 2).build().unwrap(),
+            ),
+            (
+                "pp".to_string(),
+                Parallelism::builder().tp(4, 1).pp(1, 2).build().unwrap(),
+            ),
+        ];
+        Sweep::run(&engine, &mappings, &[32, 64], 5).unwrap()
+    }
+
+    #[test]
+    fn series_come_from_typed_rows() {
+        let sweep = sweep();
+        let series = sweep_series(&sweep);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "dp");
+        assert_eq!(series[1].name, "pp");
+        assert_eq!(series[0].points, sweep.days_series("dp"));
+        assert_eq!(series[0].points.len(), 2);
+        let chart = sweep_chart("days vs batch", &sweep).to_ascii(32, 8);
+        assert!(chart.contains("dp"));
+        assert!(chart.contains("pp"));
+    }
+
+    #[test]
+    fn table_carries_backend_provenance() {
+        let csv = sweep_table(&sweep()).to_csv();
+        assert!(csv.starts_with("mapping,batch,backend,days"));
+        assert!(csv.contains("dp,32,analytical,"));
+        assert!(csv.contains("pp,64,analytical,"));
+    }
+}

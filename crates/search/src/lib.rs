@@ -58,17 +58,18 @@ pub mod recommend;
 pub mod sweep;
 
 pub use recommend::Recommendation;
-pub use sweep::{Sweep, SweepPoint};
+pub use sweep::{Sweep, SweepCell, SweepPoint, SweepRow};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use amped_core::{
-    AcceleratorSpec, EfficiencyModel, EngineOptions, Estimate, EstimateCache, Estimator,
-    MicrobatchPolicy, Parallelism, Precision, Result, SystemSpec, TrainingConfig,
-    TransformerModel, ZeroConfig,
+    AcceleratorSpec, CostBackend, EfficiencyModel, EngineOptions, Estimate, EstimateCache,
+    Estimator, MicrobatchPolicy, Parallelism, Precision, Result, Scenario, SystemSpec,
+    TrainingConfig, TransformerModel, ZeroConfig,
 };
 use amped_energy::{EnergyEstimate, PowerModel};
 use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
+use amped_sim::SimBackend;
 use serde::{Deserialize, Serialize};
 
 /// Constraints on the enumeration of parallelism mappings.
@@ -171,6 +172,19 @@ pub struct Candidate {
     pub energy: EnergyEstimate,
     /// Whether the footprint fits the accelerator memory.
     pub fits_memory: bool,
+    /// The simulator-refined estimate: `None` until a
+    /// [`SearchEngine::with_refine_sim`] pass prices this candidate, or
+    /// when the simulator rejects it (e.g. the last-stage gather exceeds
+    /// device memory).
+    pub refined: Option<Estimate>,
+}
+
+impl Candidate {
+    /// The estimate ranking this candidate: the simulator-refined one when
+    /// present, the analytical one otherwise.
+    pub fn ranking_estimate(&self) -> &Estimate {
+        self.refined.as_ref().unwrap_or(&self.estimate)
+    }
 }
 
 /// The six parallelism degrees as a lexicographic sort key. Together with
@@ -195,6 +209,24 @@ fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
         .get()
         .total_cmp(&b.estimate.total_time.get())
         .then_with(|| parallelism_key(&a.parallelism).cmp(&parallelism_key(&b.parallelism)))
+}
+
+/// Order within a simulator-refined block: refined candidates first by
+/// their simulated time (ties by parallelism degrees — a total order, so
+/// the refined ranking is reproducible at any worker count); candidates
+/// the simulator rejected sink below every refined one, keeping their
+/// analytical order among themselves.
+fn refined_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    match (&a.refined, &b.refined) {
+        (Some(ra), Some(rb)) => ra
+            .total_time
+            .get()
+            .total_cmp(&rb.total_time.get())
+            .then_with(|| parallelism_key(&a.parallelism).cmp(&parallelism_key(&b.parallelism))),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => candidate_order(a, b),
+    }
 }
 
 /// What happened to one candidate during a (possibly pruned) search pass.
@@ -231,6 +263,7 @@ pub struct SearchEngine<'a> {
     jobs: usize,
     prune: bool,
     memoize: bool,
+    refine_sim: usize,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -256,6 +289,7 @@ impl<'a> SearchEngine<'a> {
             jobs: 0,
             prune: false,
             memoize: true,
+            refine_sim: 0,
         }
     }
 
@@ -322,6 +356,21 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
+    /// Re-rank the analytical top-`k` through the discrete-event simulator
+    /// (default 0 = off): after the analytical prune + rank, the `k`
+    /// fastest candidates are re-priced by [`SimBackend`] over the same
+    /// worker pool and re-ordered by simulated time (deterministic
+    /// tie-breaking by parallelism degrees, so refined rankings are
+    /// reproducible at any [`SearchEngine::with_parallelism`] setting).
+    /// Candidates the simulator rejects — e.g. the GPipe last-stage
+    /// microbatch gather exceeds device memory — keep `refined = None` and
+    /// sink below every refined candidate. The tail beyond `k` keeps its
+    /// analytical order.
+    pub fn with_refine_sim(mut self, k: usize) -> Self {
+        self.refine_sim = k;
+        self
+    }
+
     /// Use the memoized estimation path (default on): each worker carries
     /// an [`EstimateCache`](amped_core::EstimateCache) so scenario-invariant
     /// sub-results are computed once per search, not per candidate. Turning
@@ -362,6 +411,26 @@ impl<'a> SearchEngine<'a> {
     /// The configured engine options.
     pub fn engine_options(&self) -> EngineOptions {
         self.engine_options
+    }
+
+    /// The configured simulator-refinement depth (0 = off).
+    pub fn refine_sim(&self) -> usize {
+        self.refine_sim
+    }
+
+    /// An owned [`Scenario`] of this engine's configuration under
+    /// `parallelism` — the bridge from the engine's borrowed specifications
+    /// to any [`CostBackend`].
+    pub fn scenario_for(&self, parallelism: Parallelism) -> Scenario {
+        Scenario::new(
+            self.model.clone(),
+            self.accel.clone(),
+            self.system.clone(),
+            parallelism,
+        )
+        .with_precision(self.precision)
+        .with_efficiency(self.efficiency.clone())
+        .with_options(self.engine_options)
     }
 
     /// Tune the microbatch count per candidate (default on): every
@@ -414,7 +483,42 @@ impl<'a> SearchEngine<'a> {
         }
         let mut out: Vec<Candidate> = kept.into_iter().map(|(_, c)| c).collect();
         out.sort_by(candidate_order);
+        if self.refine_sim > 0 {
+            self.refine(&mut out, training)?;
+        }
         Ok(out)
+    }
+
+    /// Re-price the analytical top-`refine_sim` candidates through
+    /// [`SimBackend`] and re-order that block by simulated time.
+    ///
+    /// Refinement runs over the same worker pool as the analytical pass;
+    /// results land in index-ordered slots and the simulator is
+    /// deterministic, so refined rankings are bit-identical at any worker
+    /// count. A candidate the simulator rejects (e.g. the Fig. 2b last-stage
+    /// microbatch gather exceeds device memory) keeps `refined = None` and
+    /// sinks below every refined candidate in the block.
+    fn refine(&self, ranked: &mut [Candidate], training: &TrainingConfig) -> Result<()> {
+        let k = self.refine_sim.min(ranked.len());
+        if k == 0 {
+            return Ok(());
+        }
+        // Simulate the schedule the analytical pass assumed, so the sim's
+        // memory gate judges candidates under the same in-flight activation
+        // policy as the engine's own fit check.
+        let backend = SimBackend::new().with_schedule(match self.schedule {
+            PipelineSchedule::GPipe => amped_sim::PipelineSchedule::GPipe,
+            PipelineSchedule::OneFOneB => amped_sim::PipelineSchedule::OneFOneB,
+        });
+        let refined = self.run_parallel(k, |_cache, i| {
+            let scenario = self.scenario_for(ranked[i].parallelism);
+            Ok(backend.evaluate(&scenario, training).ok())
+        });
+        for (candidate, refined) in ranked.iter_mut().zip(refined) {
+            candidate.refined = refined?;
+        }
+        ranked[..k].sort_by(refined_order);
+        Ok(())
     }
 
     /// Lower-bound, prune, evaluate and score one mapping against the
@@ -601,6 +705,7 @@ impl<'a> SearchEngine<'a> {
                     memory,
                     energy,
                     fits_memory,
+                    refined: None,
                 });
             }
         }
@@ -1030,5 +1135,85 @@ mod tests {
             c1.estimate.total_time.get().to_bits(),
             c4.estimate.total_time.get().to_bits()
         );
+    }
+
+    /// A model small enough that top-ranked mappings fit device memory, so
+    /// simulator refinement accepts them (the big fixture model needs the
+    /// memory filter to produce feasible candidates).
+    fn small_model() -> TransformerModel {
+        TransformerModel::builder("s")
+            .layers(8)
+            .hidden_size(1024)
+            .heads(16)
+            .seq_len(512)
+            .vocab_size(32000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn refine_sim_reprices_the_top_block_and_leaves_the_tail_analytical() {
+        let m = small_model();
+        let a = accel();
+        let sys = system(2, 4);
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let plain = base.clone().search(&training).unwrap();
+        let k = 4;
+        let refined = base.clone().with_refine_sim(k).search(&training).unwrap();
+        assert_eq!(plain.len(), refined.len());
+        // The refined block holds exactly the analytical top-k candidates
+        // (re-ordered by simulated time), the tail is untouched.
+        let mut plain_top: Vec<_> = plain[..k].iter().map(|c| parallelism_key(&c.parallelism)).collect();
+        let mut refined_top: Vec<_> =
+            refined[..k].iter().map(|c| parallelism_key(&c.parallelism)).collect();
+        plain_top.sort();
+        refined_top.sort();
+        assert_eq!(plain_top, refined_top);
+        for (x, y) in plain[k..].iter().zip(&refined[k..]) {
+            assert_eq!(parallelism_key(&x.parallelism), parallelism_key(&y.parallelism));
+            assert!(y.refined.is_none());
+        }
+        // The block is ordered by the refined estimate, simulator-accepted
+        // candidates first; ranking_estimate picks the refined time there.
+        assert!(refined[..k].iter().any(|c| c.refined.is_some()));
+        for w in refined[..k].windows(2) {
+            match (&w[0].refined, &w[1].refined) {
+                (Some(x), Some(y)) => {
+                    assert!(x.total_time.get() <= y.total_time.get());
+                    assert_eq!(
+                        w[0].ranking_estimate().total_time.get().to_bits(),
+                        x.total_time.get().to_bits()
+                    );
+                }
+                (None, Some(_)) => panic!("rejected candidate ranked above a refined one"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn refined_search_is_bit_identical_across_worker_counts() {
+        let m = small_model();
+        let a = accel();
+        let sys = system(2, 4);
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_refine_sim(4);
+        let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+        let parallel = base.clone().with_parallelism(4).search(&training).unwrap();
+        assert_identical_rankings(&serial, &parallel);
+        for (x, y) in serial.iter().zip(&parallel) {
+            match (&x.refined, &y.refined) {
+                (Some(rx), Some(ry)) => assert_eq!(
+                    rx.total_time.get().to_bits(),
+                    ry.total_time.get().to_bits()
+                ),
+                (None, None) => {}
+                _ => panic!("refinement outcome differs across worker counts"),
+            }
+        }
     }
 }

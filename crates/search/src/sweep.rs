@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use amped_core::{Estimate, Parallelism, Result, TrainingConfig};
+use amped_core::{AnalyticalBackend, CostBackend, Estimate, Parallelism, Result, TrainingConfig};
 
 use crate::{Candidate, SearchEngine};
 
@@ -17,6 +17,58 @@ pub struct SweepPoint {
     pub global_batch: usize,
     /// The (microbatch-tuned) estimate.
     pub estimate: Estimate,
+    /// Which [`CostBackend`] produced this cell.
+    pub backend: &'static str,
+}
+
+/// One evaluated cell of the label × batch grid, with structured
+/// coordinates — what consumers should read instead of re-parsing
+/// [`SweepPoint::label`] strings.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell<'a> {
+    /// The mapping label supplied at [`Sweep::run`].
+    pub label: &'a str,
+    /// The mapping itself.
+    pub parallelism: &'a Parallelism,
+    /// Global batch size of this cell.
+    pub global_batch: usize,
+    /// Which [`CostBackend`] produced this cell.
+    pub backend: &'static str,
+    /// The cell's estimate.
+    pub estimate: &'a Estimate,
+}
+
+/// One mapping's row across every batch size of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRow<'a> {
+    sweep: &'a Sweep,
+    row: usize,
+}
+
+impl<'a> SweepRow<'a> {
+    /// The mapping label supplied at [`Sweep::run`].
+    pub fn label(&self) -> &'a str {
+        &self.sweep.labels[self.row]
+    }
+
+    /// The mapping evaluated along this row.
+    pub fn parallelism(&self) -> &'a Parallelism {
+        &self.sweep.mappings[self.row]
+    }
+
+    /// This row's cells in batch order.
+    pub fn cells(self) -> impl Iterator<Item = SweepCell<'a>> + 'a {
+        let (sweep, row) = (self.sweep, self.row);
+        (0..sweep.batches.len()).map(move |col| sweep.cell_at(row, col))
+    }
+
+    /// `(batch, total days)` pairs in batch order — ready to become a
+    /// report series.
+    pub fn days_points(&self) -> Vec<(f64, f64)> {
+        self.cells()
+            .map(|c| (c.global_batch as f64, c.estimate.days()))
+            .collect()
+    }
 }
 
 /// A grid of mappings × batch sizes, evaluated through a [`SearchEngine`]'s
@@ -31,6 +83,8 @@ pub struct Sweep {
     points: Vec<SweepPoint>,
     batches: Vec<usize>,
     labels: Vec<String>,
+    /// The mapping of each row, aligned with `labels`.
+    mappings: Vec<Parallelism>,
     /// Label → row index (first occurrence wins for duplicate labels).
     label_index: HashMap<String, usize>,
 }
@@ -40,7 +94,7 @@ impl Sweep {
     /// (see [`SearchEngine::with_parallelism`]). Each mapping is evaluated
     /// through [`SearchEngine::evaluate_one`] semantics (microbatch tuning
     /// included); results are ordered label-major, batch-minor regardless
-    /// of worker count.
+    /// of worker count. Cells carry [`AnalyticalBackend`] provenance.
     ///
     /// # Errors
     ///
@@ -52,32 +106,79 @@ impl Sweep {
         batches: &[usize],
         num_batches: u64,
     ) -> Result<Sweep> {
-        let mut trainings = Vec::with_capacity(batches.len());
-        for &batch in batches {
-            trainings.push(TrainingConfig::new(batch, num_batches)?);
-        }
+        let trainings = trainings_for(batches, num_batches)?;
         let cells = engine.evaluate_grid(mappings, &trainings)?;
-        let mut points = Vec::with_capacity(mappings.len() * batches.len());
-        for (row, candidates) in cells.chunks(batches.len().max(1)).enumerate() {
-            let (label, _) = &mappings[row];
-            for (col, candidate) in candidates.iter().enumerate() {
-                points.push(SweepPoint {
-                    label: label.clone(),
-                    global_batch: batches[col],
-                    estimate: candidate.estimate.clone(),
-                });
-            }
+        let estimates: Vec<Estimate> = cells.into_iter().map(|c| c.estimate).collect();
+        Ok(Sweep::assemble(
+            mappings,
+            batches,
+            estimates,
+            AnalyticalBackend.name(),
+        ))
+    }
+
+    /// Evaluate every `(mapping, batch)` pair through an arbitrary
+    /// [`CostBackend`] over the engine's worker pool, recording the
+    /// backend's name as each cell's provenance.
+    ///
+    /// Unlike [`Sweep::run`], mappings are priced exactly as given — the
+    /// backend sees each mapping's own microbatch policy, with no
+    /// microbatch tuning pass (a backend is a pricing function, not a
+    /// search).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors — including [`SimBackend`]'s memory
+    /// feasibility gate, so an infeasible cell fails the sweep rather than
+    /// silently reporting a time no real run could achieve.
+    ///
+    /// [`SimBackend`]: amped_sim::SimBackend
+    pub fn run_backend(
+        engine: &SearchEngine<'_>,
+        backend: &dyn CostBackend,
+        mappings: &[(String, Parallelism)],
+        batches: &[usize],
+        num_batches: u64,
+    ) -> Result<Sweep> {
+        let trainings = trainings_for(batches, num_batches)?;
+        let cols = trainings.len();
+        let results = engine.run_parallel(mappings.len() * cols, |_cache, i| {
+            let (row, col) = (i / cols.max(1), i % cols.max(1));
+            let scenario = engine.scenario_for(mappings[row].1);
+            backend.evaluate(&scenario, &trainings[col])
+        });
+        let estimates = results.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(Sweep::assemble(mappings, batches, estimates, backend.name()))
+    }
+
+    /// Build the grid from label-major, batch-minor estimates.
+    fn assemble(
+        mappings: &[(String, Parallelism)],
+        batches: &[usize],
+        estimates: Vec<Estimate>,
+        backend: &'static str,
+    ) -> Sweep {
+        let mut points = Vec::with_capacity(estimates.len());
+        for (i, estimate) in estimates.into_iter().enumerate() {
+            let (row, col) = (i / batches.len().max(1), i % batches.len().max(1));
+            points.push(SweepPoint {
+                label: mappings[row].0.clone(),
+                global_batch: batches[col],
+                estimate,
+                backend,
+            });
         }
         let mut label_index = HashMap::with_capacity(mappings.len());
         for (row, (label, _)) in mappings.iter().enumerate() {
             label_index.entry(label.clone()).or_insert(row);
         }
-        Ok(Sweep {
+        Sweep {
             points,
             batches: batches.to_vec(),
             labels: mappings.iter().map(|(l, _)| l.clone()).collect(),
+            mappings: mappings.iter().map(|(_, p)| *p).collect(),
             label_index,
-        })
+        }
     }
 
     /// All evaluated points (label-major, batch-minor).
@@ -85,23 +186,47 @@ impl Sweep {
         &self.points
     }
 
-    /// The point at `(row, col)` of the label × batch grid.
-    fn cell(&self, row: usize, col: usize) -> &SweepPoint {
-        &self.points[row * self.batches.len() + col]
+    /// The batch sizes of the grid's columns.
+    pub fn batches(&self) -> &[usize] {
+        &self.batches
+    }
+
+    /// The typed cell at `(row, col)` of the label × batch grid.
+    fn cell_at(&self, row: usize, col: usize) -> SweepCell<'_> {
+        let point = &self.points[row * self.batches.len() + col];
+        SweepCell {
+            label: &self.labels[row],
+            parallelism: &self.mappings[row],
+            global_batch: point.global_batch,
+            backend: point.backend,
+            estimate: &point.estimate,
+        }
+    }
+
+    /// The rows of the grid — one per mapping, in insertion order. This is
+    /// the structured view consumers should prefer over parsing labels out
+    /// of [`Sweep::to_csv`] or [`Sweep::points`].
+    pub fn rows(&self) -> impl Iterator<Item = SweepRow<'_>> {
+        (0..self.labels.len()).map(move |row| SweepRow { sweep: self, row })
+    }
+
+    /// Every cell of the grid, label-major, batch-minor.
+    pub fn cells(&self) -> impl Iterator<Item = SweepCell<'_>> {
+        self.rows().flat_map(|r| r.cells())
+    }
+
+    /// The row for one mapping label (`None` for an unknown label; the
+    /// first row wins for duplicate labels).
+    pub fn row(&self, label: &str) -> Option<SweepRow<'_>> {
+        self.label_index
+            .get(label)
+            .map(|&row| SweepRow { sweep: self, row })
     }
 
     /// The series for one mapping label: `(batch, total days)` pairs in
     /// batch order (empty for an unknown label).
     pub fn days_series(&self, label: &str) -> Vec<(f64, f64)> {
-        let Some(&row) = self.label_index.get(label) else {
-            return Vec::new();
-        };
-        (0..self.batches.len())
-            .map(|col| {
-                let p = self.cell(row, col);
-                (self.batches[col] as f64, p.estimate.days())
-            })
-            .collect()
+        self.row(label).map(|r| r.days_points()).unwrap_or_default()
     }
 
     /// Labels in insertion order.
@@ -114,7 +239,7 @@ impl Sweep {
         (0..self.batches.len())
             .filter_map(|col| {
                 (0..self.labels.len())
-                    .map(|row| self.cell(row, col))
+                    .map(|row| self.cell_at(row, col))
                     .min_by(|x, y| {
                         x.estimate
                             .total_time
@@ -122,7 +247,7 @@ impl Sweep {
                             .partial_cmp(&y.estimate.total_time.get())
                             .expect("finite")
                     })
-                    .map(|p| (self.batches[col], p.label.as_str()))
+                    .map(|c| (c.global_batch, c.label))
             })
             .collect()
     }
@@ -139,12 +264,20 @@ impl Sweep {
             out.push_str(&b.to_string());
             for row in 0..self.labels.len() {
                 out.push(',');
-                let p = self.cell(row, col);
-                out.push_str(&format!("{:.3}", p.estimate.days()));
+                out.push_str(&format!("{:.3}", self.cell_at(row, col).estimate.days()));
             }
         }
         out
     }
+}
+
+/// The batch ladder as training configurations.
+fn trainings_for(batches: &[usize], num_batches: u64) -> Result<Vec<TrainingConfig>> {
+    let mut trainings = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        trainings.push(TrainingConfig::new(batch, num_batches)?);
+    }
+    Ok(trainings)
 }
 
 /// Re-export point: evaluate a single explicit mapping through the engine
@@ -320,5 +453,80 @@ mod tests {
             );
         }
         assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn typed_rows_and_cells_expose_the_grid_without_label_parsing() {
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        let mappings = vec![
+            (
+                "dp".to_string(),
+                Parallelism::builder().tp(4, 1).dp(1, 4).build().unwrap(),
+            ),
+            (
+                "pp".to_string(),
+                Parallelism::builder().tp(4, 1).pp(1, 4).build().unwrap(),
+            ),
+        ];
+        let batches = [64usize, 128];
+        let sweep = Sweep::run(&engine, &mappings, &batches, 10).unwrap();
+
+        let rows: Vec<_> = sweep.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label(), "dp");
+        assert_eq!(rows[0].parallelism().dp(), 4);
+        assert_eq!(rows[1].label(), "pp");
+        assert_eq!(rows[1].parallelism().pp(), 4);
+        for row in &rows {
+            let cells: Vec<_> = row.cells().collect();
+            assert_eq!(cells.len(), batches.len());
+            for (cell, &batch) in cells.iter().zip(&batches) {
+                assert_eq!(cell.global_batch, batch);
+                assert_eq!(cell.backend, "analytical");
+                assert!(cell.estimate.total_time.get() > 0.0);
+            }
+        }
+        assert_eq!(sweep.cells().count(), 4);
+        // The typed row reproduces the label-keyed series exactly.
+        assert_eq!(sweep.row("dp").unwrap().days_points(), sweep.days_series("dp"));
+        assert!(sweep.row("unknown").is_none());
+    }
+
+    #[test]
+    fn backend_sweeps_record_provenance_and_match_the_trait() {
+        use amped_core::CostBackend;
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_parallelism(2);
+        let mappings = vec![
+            (
+                "dp".to_string(),
+                Parallelism::builder().tp(4, 1).dp(1, 4).build().unwrap(),
+            ),
+            (
+                "pp".to_string(),
+                Parallelism::builder().tp(4, 1).pp(1, 4).build().unwrap(),
+            ),
+        ];
+        let batches = [64usize, 128];
+        let analytical = amped_core::AnalyticalBackend;
+        let sweep = Sweep::run_backend(&engine, &analytical, &mappings, &batches, 10).unwrap();
+        for cell in sweep.cells() {
+            assert_eq!(cell.backend, "analytical");
+            let scenario = engine.scenario_for(*cell.parallelism);
+            let training = TrainingConfig::new(cell.global_batch, 10).unwrap();
+            let direct = analytical.evaluate(&scenario, &training).unwrap();
+            assert_eq!(
+                cell.estimate.total_time.get().to_bits(),
+                direct.total_time.get().to_bits()
+            );
+        }
+        let sim = amped_sim::SimBackend::new();
+        let sim_sweep = Sweep::run_backend(&engine, &sim, &mappings, &batches, 10).unwrap();
+        assert!(sim_sweep.cells().all(|c| c.backend == "sim"));
+        assert_eq!(sim_sweep.points().len(), 4);
     }
 }

@@ -81,6 +81,44 @@ fn megatron_145b_parallel_search_is_bit_identical_to_serial() {
     );
 }
 
+/// Acceptance criterion for simulator-refined search: `--refine-sim 8` on
+/// the megatron-145b 16×8 fixture yields identical refined rankings at one
+/// worker and at four.
+#[test]
+fn megatron_145b_refined_search_is_bit_identical_to_serial() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(512, 1).expect("valid");
+    let base = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_memory_filter(true)
+        .with_refine_sim(8);
+
+    let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+    let parallel = base.clone().with_parallelism(4).search(&training).unwrap();
+    assert_bit_identical(&serial, &parallel);
+    assert!(serial.len() >= 8, "fixture should rank at least the refined block");
+    for (i, (x, y)) in serial.iter().zip(&parallel).enumerate() {
+        match (&x.refined, &y.refined) {
+            (Some(rx), Some(ry)) => assert_eq!(
+                rx.total_time.get().to_bits(),
+                ry.total_time.get().to_bits(),
+                "refined time of candidate {i} differs"
+            ),
+            (None, None) => {}
+            _ => panic!("refinement outcome of candidate {i} differs across worker counts"),
+        }
+    }
+    // The refined block actually carries simulator estimates, and they rank it.
+    assert!(serial[..8].iter().any(|c| c.refined.is_some()));
+    for w in serial[..8].windows(2) {
+        if let (Some(x), Some(y)) = (&w[0].refined, &w[1].refined) {
+            assert!(x.total_time.get() <= y.total_time.get());
+        }
+    }
+}
+
 #[test]
 fn megatron_145b_best_agrees_across_modes() {
     let model = models::megatron_145b();

@@ -1,9 +1,10 @@
-//! Property test for the branch-and-bound invariant: the compute-only
-//! lower bound never exceeds the full estimate, for any valid mapping of a
-//! random scenario. Against the memoized path the inequality must hold
-//! EXACTLY in f64 (that is what makes pruning lossless); against the
-//! uncached reference path, which sums in a different association, it holds
-//! up to float associativity.
+//! Property test for the branch-and-bound invariant: the lower bound
+//! (compute plus the variant-invariant TP-communication floor) never
+//! exceeds the full estimate, for any valid mapping of a random scenario.
+//! Against the memoized path the inequality must hold EXACTLY in f64 (that
+//! is what makes pruning lossless); against the uncached reference path,
+//! which sums in a different association, it holds up to float
+//! associativity.
 
 use amped_core::{
     AcceleratorSpec, EfficiencyModel, EngineOptions, EstimateCache, Estimator, Link, MoeConfig,
@@ -89,6 +90,19 @@ proptest! {
                 lb.get(), plain.total_time.get(), p
             );
             prop_assert!(lb.get() >= 0.0);
+            // The bound's TP floor is built from the very terms the
+            // estimate reports (they are microbatch-variant-invariant), so
+            // the stronger inequality also holds exactly in f64: the bound
+            // never exceeds compute + TP communication of the estimate —
+            // not just its grand total.
+            let b = &cached.breakdown;
+            let floor = (b.compute_total() + (b.tp_comm_intra + b.tp_comm_inter))
+                * training.num_batches() as f64;
+            prop_assert!(
+                lb.get() <= floor,
+                "lb {} > compute+TP floor {} for {:?}",
+                lb.get(), floor, p
+            );
         }
     }
 }

@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod des;
 pub mod graph;
 pub mod timeline;
 pub mod trace;
 pub mod training;
 
+pub use backend::SimBackend;
 pub use des::{DeviceStats, SimOutcome, Simulator};
 pub use graph::{LinkClass, Task, TaskGraph, TaskId, TaskKind};
 pub use timeline::{Activity, Timeline, TimelineEntry};

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification flow, in the order a reviewer should trust it:
+# release build, lint wall, then the whole test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "ci: all green"

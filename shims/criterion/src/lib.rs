@@ -18,15 +18,10 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Benchmark harness entry point, one per `criterion_group!`.
+#[derive(Default)]
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { test_mode: false, filter: None }
-    }
 }
 
 impl Criterion {

@@ -393,7 +393,7 @@ fn gen_deserialize(c: &Container) -> String {
         Kind::Newtype => {
             format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
         }
-        Kind::Tuple(n) => gen_deserialize_tuple(&format!("{name}"), name, *n, "__v"),
+        Kind::Tuple(n) => gen_deserialize_tuple(name, name, *n, "__v"),
         Kind::Named(fields) => gen_deserialize_named(name, name, fields, "__v"),
         Kind::Enum(variants) => {
             if c.untagged {

@@ -426,7 +426,7 @@ macro_rules! json_internal {
     };
     ({ $($tt:tt)+ }) => {{
         let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
-            ::std::vec::Vec::new();
+            ::std::vec::Vec::from([]);
         $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
         $crate::Value::Object(object)
     }};

@@ -62,7 +62,8 @@ pub mod prelude {
     pub use amped_energy::{CostModel, EnergyEstimate, PowerModel};
     pub use amped_memory::{MemoryModel, OptimizerSpec, RecomputePolicy};
     pub use amped_search::{
-        enumerate_mappings, EnumerationOptions, Recommendation, SearchEngine, Sweep,
+        enumerate_mappings, EnumerationOptions, Recommendation, SearchEngine, Sweep, SweepCell,
+        SweepRow,
     };
-    pub use amped_sim::SimConfig;
+    pub use amped_sim::{SimBackend, SimConfig};
 }
