@@ -1,6 +1,11 @@
 //! Minimal flag parsing for the `amped` binary (kept dependency-free).
+//!
+//! Malformed values surface as [`amped_core::Error::Usage`] so the binary
+//! can exit non-zero with a typed message instead of panicking.
 
 use std::collections::HashMap;
+
+use amped_core::Error;
 
 /// Parsed command line: a subcommand, `--key value` flags and bare
 /// positionals.
@@ -22,12 +27,7 @@ impl Args {
         let mut iter = tokens.into_iter().peekable();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let is_value = iter
-                    .peek()
-                    .map(|n| !n.starts_with("--"))
-                    .unwrap_or(false);
-                if is_value {
-                    let value = iter.next().expect("peeked");
+                if let Some(value) = iter.next_if(|n| !n.starts_with("--")) {
                     out.flags.insert(key.to_string(), value);
                 } else {
                     out.switches.push(key.to_string());
@@ -53,13 +53,13 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message when the value does not parse.
-    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    /// Returns [`Error::Usage`] when the value does not parse.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, Error> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("invalid value for --{key}: {v}")),
+                .map_err(|_| Error::usage(format!("invalid value for --{key}: {v}"))),
         }
     }
 
@@ -72,26 +72,48 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message for malformed pairs.
-    pub fn degree_pair(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), String> {
+    /// Returns [`Error::Usage`] for malformed pairs.
+    pub fn degree_pair(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), Error> {
+        let bad = |v: &str| Error::usage(format!("bad --{key}: {v} (expects INTRA[,INTER])"));
         match self.get(key) {
             None => Ok(default),
             Some(v) => {
                 let parts: Vec<&str> = v.split(',').collect();
                 match parts.as_slice() {
                     [a, b] => {
-                        let intra = a.parse().map_err(|_| format!("bad --{key}: {v}"))?;
-                        let inter = b.parse().map_err(|_| format!("bad --{key}: {v}"))?;
+                        let intra = a.parse().map_err(|_| bad(v))?;
+                        let inter = b.parse().map_err(|_| bad(v))?;
                         Ok((intra, inter))
                     }
                     [a] => {
-                        let intra = a.parse().map_err(|_| format!("bad --{key}: {v}"))?;
+                        let intra = a.parse().map_err(|_| bad(v))?;
                         Ok((intra, 1))
                     }
-                    _ => Err(format!("--{key} expects INTRA,INTER, got {v}")),
+                    _ => Err(bad(v)),
                 }
             }
         }
+    }
+
+    /// Parse a `--stragglers 3` or `--stragglers 3x2.5`-style count with an
+    /// optional slowdown factor (default 1.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Usage`] for malformed specs.
+    pub fn straggler_spec(&self, key: &str) -> Result<Option<(usize, f64)>, Error> {
+        let Some(v) = self.get(key) else {
+            return Ok(None);
+        };
+        let bad = || Error::usage(format!("bad --{key}: {v} (expects COUNT or COUNTxFACTOR)"));
+        let (count, factor) = match v.split_once('x') {
+            Some((n, f)) => (
+                n.parse().map_err(|_| bad())?,
+                f.parse().map_err(|_| bad())?,
+            ),
+            None => (v.parse().map_err(|_| bad())?, 1.5),
+        };
+        Ok(Some((count, factor)))
     }
 }
 
@@ -124,10 +146,26 @@ mod tests {
     }
 
     #[test]
-    fn bad_value_reports_key() {
+    fn bad_value_reports_key_as_a_usage_error() {
         let a = args("x --batch lots");
         let err = a.parse_or("batch", 0usize).unwrap_err();
-        assert!(err.contains("--batch"));
+        assert!(matches!(err, Error::Usage { .. }), "{err:?}");
+        assert!(err.to_string().contains("--batch"));
+    }
+
+    #[test]
+    fn straggler_specs() {
+        assert_eq!(args("x").straggler_spec("stragglers").unwrap(), None);
+        assert_eq!(
+            args("x --stragglers 3").straggler_spec("stragglers").unwrap(),
+            Some((3, 1.5))
+        );
+        assert_eq!(
+            args("x --stragglers 2x4.0").straggler_spec("stragglers").unwrap(),
+            Some((2, 4.0))
+        );
+        assert!(args("x --stragglers 2xfast").straggler_spec("stragglers").is_err());
+        assert!(args("x --stragglers many").straggler_spec("stragglers").is_err());
     }
 
     #[test]
@@ -153,6 +191,7 @@ mod fuzz {
             let _ = args.switch("json");
             let _ = args.parse_or::<usize>("batch", 1);
             let _ = args.degree_pair("tp", (1, 1));
+            let _ = args.straggler_spec("stragglers");
         }
 
         #[test]

@@ -1,14 +1,20 @@
 //! Subcommand implementations for the `amped` binary.
+//!
+//! Every command returns `amped_core::Result<String>`: user mistakes become
+//! [`Error::Usage`], unreadable files become [`Error::Io`], and model-layer
+//! failures propagate typed — `main` maps them all to a non-zero exit.
 
+use amped_configs::scenario::ResilienceSection;
 use amped_configs::{interconnects, registry};
 use amped_core::{
-    AnalyticalBackend, CostBackend, EfficiencyModel, Estimator, Link, MicrobatchPolicy,
-    Parallelism, Precision, Scenario, SystemSpec, TrainingConfig, TransformerModel,
+    AnalyticalBackend, CostBackend, EfficiencyModel, Error, Estimator, Link, MicrobatchPolicy,
+    Parallelism, Precision, ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig,
+    TransformerModel,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_report::Table;
-use amped_search::{EnumerationOptions, SearchEngine, Sweep};
-use amped_sim::{SimBackend, SimConfig};
+use amped_search::{EnumerationOptions, GoodputOptions, SearchEngine, Sweep};
+use amped_sim::{FaultPlan, SimBackend, SimConfig};
 
 use crate::args::Args;
 
@@ -28,6 +34,7 @@ commands:
   trace                       simulate and emit Chrome-trace JSON
   memory                      per-device memory footprint of a mapping
   energy                      energy, cost and CO2 of a run
+  resilience                  expected time under failures (checkpoint/restart)
   sensitivity                 which knob moves the training time most
   check                       lint a launch configuration for footguns
   help                        this text
@@ -59,19 +66,40 @@ common flags:
   --memory-filter             search only: drop candidates whose footprint
                               does not fit device memory
   --config FILE               load a JSON scenario file instead of flags
+
+resilience flags (resilience; --mtbf also on estimate, --goodput on search,
+--seed/--stragglers on simulate):
+  --mtbf HOURS                per-node mean time between failures
+                              (resilience default 4380 = 6 months)
+  --restart S                 restart cost after a failure    [default 300]
+  --ckpt-gbps G               checkpoint write bandwidth per device, Gbit/s
+                              [default 16 = 2 GB/s]
+  --ckpt-interval S           fixed checkpoint interval (default: Young/Daly)
+  --goodput [HOURS]           search only: rank by expected time under
+                              failures (MTBF defaults to 4380 h)
+  --seed N                    simulate only: inject seeded faults and replay
+                              the whole run (with --batches)
+  --stragglers N[xF]          simulate only: N random stragglers slowed by
+                              factor F                       [default F 1.5]
 ";
 
+/// The per-node MTBF the resilience commands assume when none is given:
+/// six months, a common fleet-level figure.
+const DEFAULT_MTBF_HOURS: f64 = 4380.0;
+
 /// The cost backend selected by `--backend` (analytical when absent).
-fn backend_for(args: &Args) -> Result<Box<dyn CostBackend>, String> {
+fn backend_for(args: &Args) -> Result<Box<dyn CostBackend>> {
     match args.get_or("backend", "analytical") {
         "analytical" => Ok(Box::new(AnalyticalBackend)),
         "sim" => Ok(Box::new(SimBackend::new())),
-        other => Err(format!("unknown backend `{other}`; use analytical|sim")),
+        other => Err(Error::usage(format!(
+            "unknown backend `{other}`; use analytical|sim"
+        ))),
     }
 }
 
 /// Route a parsed command line to its implementation.
-pub fn dispatch(args: &Args) -> Result<String, String> {
+pub fn dispatch(args: &Args) -> Result<String> {
     match args.command.as_deref() {
         None | Some("help") => Ok(HELP.to_string()),
         Some("presets") => presets(),
@@ -84,13 +112,22 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("trace") => trace(args),
         Some("memory") => memory(args),
         Some("energy") => energy(args),
+        Some("resilience") => resilience(args),
         Some("sensitivity") => sensitivity(args),
         Some("check") => check(args),
-        Some(other) => Err(format!("unknown command `{other}`; try `amped help`")),
+        Some(other) => Err(Error::usage(format!(
+            "unknown command `{other}`; try `amped help`"
+        ))),
     }
 }
 
-fn presets() -> Result<String, String> {
+/// Pretty-print a serializable value, mapping the (practically
+/// unreachable) serializer failure to a typed error.
+fn to_json<T: serde::Serialize>(value: &T) -> Result<String> {
+    serde_json::to_string_pretty(value).map_err(|e| Error::invalid("json", e.to_string()))
+}
+
+fn presets() -> Result<String> {
     let mut t = Table::new(["kind", "name", "details"]);
     for name in registry::model_names() {
         let m = registry::model(name).expect("listed names resolve");
@@ -129,6 +166,9 @@ struct Setup {
     training: TrainingConfig,
     precision: Precision,
     efficiency: EfficiencyModel,
+    /// Failure/checkpoint parameters from a scenario file's `resilience`
+    /// section (flags override individual fields).
+    resilience: Option<ResilienceSection>,
 }
 
 impl Setup {
@@ -146,14 +186,13 @@ impl Setup {
     }
 }
 
-fn setup(args: &Args) -> Result<Setup, String> {
+fn setup(args: &Args) -> Result<Setup> {
     // A scenario file overrides the individual flags wholesale.
     if let Some(path) = args.get("config") {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let json =
+            std::fs::read_to_string(path).map_err(|e| Error::io(path, e.to_string()))?;
         let resolved = amped_configs::scenario::ScenarioConfig::from_json(&json)
-            .and_then(|s| s.resolve())
-            .map_err(|e| e.to_string())?;
+            .and_then(|s| s.resolve())?;
         return Ok(Setup {
             model: resolved.model,
             accel: resolved.accelerator,
@@ -162,14 +201,15 @@ fn setup(args: &Args) -> Result<Setup, String> {
             training: resolved.training,
             precision: resolved.precision,
             efficiency: resolved.efficiency,
+            resilience: resolved.resilience,
         });
     }
     let model_name = args.get_or("model", "gpt3-175b");
-    let model =
-        registry::model(model_name).ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let model = registry::model(model_name)
+        .ok_or_else(|| Error::usage(format!("unknown model `{model_name}`")))?;
     let accel_name = args.get_or("accel", "a100");
     let accel = registry::accelerator(accel_name)
-        .ok_or_else(|| format!("unknown accelerator `{accel_name}`"))?;
+        .ok_or_else(|| Error::usage(format!("unknown accelerator `{accel_name}`")))?;
 
     let nodes: usize = args.parse_or("nodes", 1)?;
     let per_node: usize = args.parse_or("per-node", 8)?;
@@ -182,8 +222,7 @@ fn setup(args: &Args) -> Result<Setup, String> {
     )
     .with_topology(amped_topo::Topology::FullyConnected);
     let inter = Link::new(interconnects::infiniband_hdr().latency_s, inter_gbps * 1e9);
-    let system =
-        SystemSpec::new(nodes, per_node, intra, inter, nics).map_err(|e| e.to_string())?;
+    let system = SystemSpec::new(nodes, per_node, intra, inter, nics)?;
 
     let (tp_i, tp_x) = args.degree_pair("tp", (1, 1))?;
     let (pp_i, pp_x) = args.degree_pair("pp", (1, 1))?;
@@ -191,20 +230,24 @@ fn setup(args: &Args) -> Result<Setup, String> {
     let mut builder = Parallelism::builder();
     builder.tp(tp_i, tp_x).pp(pp_i, pp_x).dp(dp_i, dp_x);
     if let Some(n) = args.get("microbatches") {
-        let n: usize = n.parse().map_err(|_| "invalid --microbatches")?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| Error::usage(format!("invalid --microbatches: {n}")))?;
         builder.microbatches(MicrobatchPolicy::Explicit(n));
     }
-    let parallelism = builder.build().map_err(|e| e.to_string())?;
+    let parallelism = builder.build()?;
 
     let batch: usize = args.parse_or("batch", 512)?;
     let batches: u64 = args.parse_or("batches", 1)?;
-    let training = TrainingConfig::new(batch, batches).map_err(|e| e.to_string())?;
+    let training = TrainingConfig::new(batch, batches)?;
 
     let bits: u32 = args.parse_or("bits", 16)?;
     let precision = Precision::uniform(bits);
     let efficiency = match args.get("eff") {
         Some(v) => {
-            let e: f64 = v.parse().map_err(|_| "invalid --eff")?;
+            let e: f64 = v
+                .parse()
+                .map_err(|_| Error::usage(format!("invalid --eff: {v}")))?;
             EfficiencyModel::Constant(e)
         }
         None => amped_configs::efficiency::case_study(),
@@ -218,34 +261,158 @@ fn setup(args: &Args) -> Result<Setup, String> {
         training,
         precision,
         efficiency,
+        resilience: None,
     })
 }
 
-fn estimate(args: &Args) -> Result<String, String> {
-    let s = setup(args)?;
-    let backend = backend_for(args)?;
-    let estimate = backend
-        .evaluate(&s.scenario(), &s.training)
-        .map_err(|e| e.to_string())?;
-    if args.switch("json") {
-        serde_json::to_string_pretty(&estimate).map_err(|e| e.to_string())
-    } else {
-        Ok(format!(
-            "{} on {} x {} ({} nodes x {}/node) via {} backend\n{}",
-            s.model.name(),
-            s.system.total_accelerators(),
-            s.accel.name(),
-            s.system.num_nodes(),
-            s.system.accels_per_node(),
-            backend.name(),
-            estimate
-        ))
-    }
+/// Failure/checkpoint parameters merged from the scenario file's
+/// `resilience` section and the command-line flags (flags win). `None`
+/// when neither the flags, the config nor `fallback_mtbf_hours` name an
+/// MTBF.
+fn resilience_section(
+    args: &Args,
+    setup: &Setup,
+    fallback_mtbf_hours: Option<f64>,
+) -> Result<Option<ResilienceSection>> {
+    let from_config = setup.resilience;
+    let mtbf_flag: Option<f64> = match args.get("mtbf") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| Error::usage(format!("invalid --mtbf: {v}")))?,
+        ),
+        None => None,
+    };
+    let Some(node_mtbf_hours) = mtbf_flag
+        .or(from_config.map(|r| r.node_mtbf_hours))
+        .or(fallback_mtbf_hours)
+    else {
+        return Ok(None);
+    };
+    let base = from_config.unwrap_or(ResilienceSection {
+        node_mtbf_hours,
+        restart_s: 300.0,
+        ckpt_write_gbps: 16.0,
+        interval_s: None,
+    });
+    Ok(Some(ResilienceSection {
+        node_mtbf_hours,
+        restart_s: args.parse_or("restart", base.restart_s)?,
+        ckpt_write_gbps: args.parse_or("ckpt-gbps", base.ckpt_write_gbps)?,
+        interval_s: match args.get("ckpt-interval") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| Error::usage(format!("invalid --ckpt-interval: {v}")))?,
+            ),
+            None => base.interval_s,
+        },
+    }))
 }
 
-fn search(args: &Args) -> Result<String, String> {
+/// The bytes each device writes per checkpoint: its weight + optimizer
+/// shard under this setup's mapping.
+fn per_device_ckpt_bytes(s: &Setup) -> f64 {
+    let ub = s.parallelism.microbatch_size(s.training.global_batch());
+    let n_ub = s.parallelism.num_microbatches(s.training.global_batch());
+    MemoryModel::new(&s.model, &s.parallelism)
+        .with_precision(s.precision)
+        .with_optimizer(OptimizerSpec::adam_mixed_precision())
+        .footprint(ub, n_ub)
+        .checkpoint_bytes()
+}
+
+/// The checkpoint/restart expected-time report for a run whose fault-free
+/// duration is `fault_free_s`.
+fn expected_time_report(
+    s: &Setup,
+    section: &ResilienceSection,
+    fault_free_s: f64,
+) -> Result<ResilienceReport> {
+    section
+        .params(s.system.num_nodes(), per_device_ckpt_bytes(s))?
+        .report(fault_free_s)
+}
+
+fn estimate(args: &Args) -> Result<String> {
     let s = setup(args)?;
-    let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+    let backend = backend_for(args)?;
+    let estimate = backend.evaluate(&s.scenario(), &s.training)?;
+    // --mtbf (or a config-file resilience section) layers the analytical
+    // checkpoint/restart model on top of the fault-free estimate.
+    let report = match resilience_section(args, &s, None)? {
+        Some(section) => Some(expected_time_report(&s, &section, estimate.total_time.get())?),
+        None => None,
+    };
+    if args.switch("json") {
+        return match &report {
+            Some(r) => to_json(&serde_json::json!({ "estimate": estimate, "resilience": r })),
+            None => to_json(&estimate),
+        };
+    }
+    let mut out = format!(
+        "{} on {} x {} ({} nodes x {}/node) via {} backend\n{}",
+        s.model.name(),
+        s.system.total_accelerators(),
+        s.accel.name(),
+        s.system.num_nodes(),
+        s.system.accels_per_node(),
+        backend.name(),
+        estimate
+    );
+    if let Some(r) = &report {
+        out.push_str(&format!("\n{r}"));
+    }
+    Ok(out)
+}
+
+fn resilience(args: &Args) -> Result<String> {
+    let s = setup(args)?;
+    let backend = backend_for(args)?;
+    let estimate = backend.evaluate(&s.scenario(), &s.training)?;
+    let section = resilience_section(args, &s, Some(DEFAULT_MTBF_HOURS))?
+        .ok_or_else(|| Error::usage("resilience needs an MTBF"))?;
+    let report = expected_time_report(&s, &section, estimate.total_time.get())?;
+    if args.switch("json") {
+        return to_json(&serde_json::json!({ "estimate": estimate, "resilience": report }));
+    }
+    let mut out = format!(
+        "{} on {} accelerators ({} nodes, node MTBF {} h) via {} backend\n{report}",
+        s.model.name(),
+        s.system.total_accelerators(),
+        s.system.num_nodes(),
+        section.node_mtbf_hours,
+        backend.name(),
+    );
+    // --seed cross-checks the analytical expectation against one seeded
+    // fault-injected replay in the discrete-event simulator.
+    if let Some(seed) = args.get("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| Error::usage(format!("invalid --seed: {seed}")))?;
+        let mut plan = FaultPlan::seeded(seed)
+            // Node MTBF spread over the node's devices: same system-level
+            // failure rate, expressed per simulated device.
+            .with_device_mtbf(section.node_mtbf_s() * s.system.accels_per_node() as f64)
+            .with_restart(section.restart_s)
+            .with_ckpt_write_bw(section.ckpt_write_bytes_per_s());
+        if let Some(interval) = section.interval_s {
+            plan = plan.with_ckpt_interval(interval);
+        }
+        let run = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+            .with_precision(s.precision)
+            .with_efficiency(s.efficiency)
+            .simulate_run(s.training.global_batch(), s.training.num_batches(), &plan)?;
+        let deviation = (run.total_time_s - report.expected_s) / report.expected_s * 100.0;
+        out.push_str(&format!(
+            "\nseeded simulation (seed {seed}): {:.2} s total, {} failure(s), {} checkpoint(s)\n  vs analytical expectation {:.2} s ({:+.1}%)",
+            run.total_time_s, run.num_failures, run.num_checkpoints, report.expected_s, deviation
+        ));
+    }
+    Ok(out)
+}
+
+fn search(args: &Args) -> Result<String> {
+    let s = setup(args)?;
+    let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
         .with_enumeration(EnumerationOptions::default())
@@ -253,7 +420,24 @@ fn search(args: &Args) -> Result<String, String> {
         .with_pruning(args.switch("prune"))
         .with_memory_filter(args.switch("memory-filter"))
         .with_refine_sim(args.parse_or("refine-sim", 0)?);
-    let results = engine.search(&s.training).map_err(|e| e.to_string())?;
+    // --goodput [HOURS] ranks by expected time under failures instead of
+    // the fault-free total.
+    let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
+    if goodput_on {
+        let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_MTBF_HOURS)?;
+        let mut opts = GoodputOptions::new(mtbf_hours * 3600.0);
+        opts.restart_s = args.parse_or("restart", opts.restart_s)?;
+        let gbps: f64 = args.parse_or("ckpt-gbps", 16.0)?;
+        opts.ckpt_write_bytes_per_s = gbps * 1e9 / 8.0;
+        if let Some(v) = args.get("ckpt-interval") {
+            opts.interval_s = Some(
+                v.parse()
+                    .map_err(|_| Error::usage(format!("invalid --ckpt-interval: {v}")))?,
+            );
+        }
+        engine = engine.with_goodput(opts);
+    }
+    let results = engine.search(&s.training)?;
     let top: usize = args.parse_or("top", 10)?;
     let backend_of = |c: &amped_search::Candidate| {
         if c.refined.is_some() {
@@ -275,10 +459,11 @@ fn search(args: &Args) -> Result<String, String> {
                     "tflops_per_gpu": c.ranking_estimate().tflops_per_gpu,
                     "fits_memory": c.fits_memory,
                     "backend": backend_of(c),
+                    "expected_days": c.resilience.as_ref().map(|r| r.expected_days()),
                 })
             })
             .collect();
-        return serde_json::to_string_pretty(&rows).map_err(|e| e.to_string());
+        return to_json(&rows);
     }
     let mut t = Table::new(["#", "tp", "pp", "dp", "time", "TFLOP/s/GPU", "fits mem", "backend"]);
     for (i, c) in results.iter().take(top).enumerate() {
@@ -293,22 +478,73 @@ fn search(args: &Args) -> Result<String, String> {
             backend_of(c).to_string(),
         ]);
     }
-    Ok(format!(
+    let mut out = format!(
         "{} candidate mappings for {} on {} accelerators; top {top}:\n{}",
         results.len(),
         s.model.name(),
         s.system.total_accelerators(),
         t.to_ascii()
-    ))
+    );
+    if goodput_on {
+        let shown = top.min(results.len());
+        out.push_str(&format!(
+            "\n\nexpected time under failures (ranking objective):\n{}",
+            amped_report::resilience_table(&results[..shown]).to_ascii()
+        ));
+    }
+    Ok(out)
 }
 
-fn simulate(args: &Args) -> Result<String, String> {
+fn simulate(args: &Args) -> Result<String> {
     let s = setup(args)?;
-    let result = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let cfg = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
-        .simulate_iteration(s.training.global_batch())
-        .map_err(|e| e.to_string())?;
+        .with_efficiency(s.efficiency);
+    // --seed switches to a fault-injected whole-run replay.
+    if let Some(seed) = args.get("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| Error::usage(format!("invalid --seed: {seed}")))?;
+        let mut plan = FaultPlan::seeded(seed).with_restart(args.parse_or("restart", 300.0)?);
+        if let Some((count, factor)) = args.straggler_spec("stragglers")? {
+            plan = plan.with_random_stragglers(count, factor);
+        }
+        if let Some(v) = args.get("mtbf") {
+            let hours: f64 = v
+                .parse()
+                .map_err(|_| Error::usage(format!("invalid --mtbf: {v}")))?;
+            plan = plan.with_device_mtbf(hours * 3600.0 * s.system.accels_per_node() as f64);
+        }
+        if let Some(v) = args.get("ckpt-interval") {
+            let interval: f64 = v
+                .parse()
+                .map_err(|_| Error::usage(format!("invalid --ckpt-interval: {v}")))?;
+            plan = plan.with_ckpt_interval(interval);
+        }
+        let gbps: f64 = args.parse_or("ckpt-gbps", 16.0)?;
+        plan = plan.with_ckpt_write_bw(gbps * 1e9 / 8.0);
+        let run = cfg.simulate_run(s.training.global_batch(), s.training.num_batches(), &plan)?;
+        return Ok(format!(
+            "fault-injected run (seed {seed}): {:.4} s over {} batches\n  \
+             fault-free: {:.4} s   checkpoints: {} ({:.4} s)   rework: {:.4} s\n  \
+             failures: {}   ckpt interval: {} iteration(s)   goodput: {:.1}%",
+            run.total_time_s,
+            s.training.num_batches(),
+            run.fault_free_time_s,
+            run.num_checkpoints,
+            run.checkpoint_time_s,
+            run.rework_time_s,
+            run.num_failures,
+            run.ckpt_interval_iters,
+            run.goodput() * 100.0
+        ));
+    }
+    if args.get("stragglers").is_some() || args.get("mtbf").is_some() {
+        return Err(Error::usage(
+            "--stragglers/--mtbf on simulate need --seed N to draw the fault plan",
+        ));
+    }
+    let result = cfg.simulate_iteration(s.training.global_batch())?;
     let mut out = format!(
         "simulated iteration: {:.4} s  (mean utilization {:.1}%)\n",
         result.iteration_time,
@@ -325,13 +561,12 @@ fn simulate(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn detail(args: &Args) -> Result<String, String> {
+fn detail(args: &Args) -> Result<String> {
     let s = setup(args)?;
     let detailed = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
-        .estimate_detailed(&s.training)
-        .map_err(|e| e.to_string())?;
+        .estimate_detailed(&s.training)?;
     let mut out = format!("{detailed}
 
 hottest layers:
@@ -348,32 +583,29 @@ hottest layers:
     Ok(out)
 }
 
-fn recommend(args: &Args) -> Result<String, String> {
+fn recommend(args: &Args) -> Result<String> {
     let s = setup(args)?;
     let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
         .with_memory_filter(true)
         .with_parallelism(args.parse_or("jobs", 0)?);
-    match engine.recommend(&s.training).map_err(|e| e.to_string())? {
+    match engine.recommend(&s.training)? {
         Some(rec) => Ok(rec.to_string()),
-        None => Err("no memory-feasible mapping; shard more (TP/PP), enable                      recomputation, or use bigger devices"
-            .to_string()),
+        None => Err(Error::usage(
+            "no memory-feasible mapping; shard more (TP/PP), enable recomputation, or use bigger devices",
+        )),
     }
 }
 
-fn sweep(args: &Args) -> Result<String, String> {
+fn sweep(args: &Args) -> Result<String> {
     let s = setup(args)?;
     // Compare the canonical inter-node strategies at the given node shape,
     // TP filling the node, across a batch ladder.
     let per_node = s.system.accels_per_node();
     let nodes = s.system.num_nodes();
     let mut mappings: Vec<(String, Parallelism)> = Vec::new();
-    let dp = Parallelism::builder()
-        .tp(per_node, 1)
-        .dp(1, nodes)
-        .build()
-        .map_err(|e| e.to_string())?;
+    let dp = Parallelism::builder().tp(per_node, 1).dp(1, nodes).build()?;
     mappings.push(("dp-inter".into(), dp));
     if nodes > 1 {
         let pp_x = nodes.min(s.model.num_layers());
@@ -382,16 +614,14 @@ fn sweep(args: &Args) -> Result<String, String> {
                 .tp(per_node, 1)
                 .pp(1, pp_x)
                 .dp(1, nodes / pp_x)
-                .build()
-                .map_err(|e| e.to_string())?;
+                .build()?;
             mappings.push(("pp-inter".into(), pp));
         }
         if s.model.num_heads() >= 2 * per_node && nodes % 2 == 0 {
             let tp = Parallelism::builder()
                 .tp(per_node, 2)
                 .dp(1, nodes / 2)
-                .build()
-                .map_err(|e| e.to_string())?;
+                .build()?;
             mappings.push(("tp-inter2".into(), tp));
         }
     }
@@ -415,8 +645,7 @@ fn sweep(args: &Args) -> Result<String, String> {
                 s.training.num_batches(),
             )
         }
-    }
-    .map_err(|e| e.to_string())?;
+    }?;
     let mut out = sweep.to_csv();
     out.push_str("
 
@@ -427,24 +656,22 @@ winners: ");
     Ok(out)
 }
 
-fn trace(args: &Args) -> Result<String, String> {
+fn trace(args: &Args) -> Result<String> {
     let s = setup(args)?;
     let result = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
-        .simulate_iteration(s.training.global_batch())
-        .map_err(|e| e.to_string())?;
+        .simulate_iteration(s.training.global_batch())?;
     Ok(amped_sim::trace::to_chrome_trace(&result.timeline))
 }
 
-fn energy(args: &Args) -> Result<String, String> {
+fn energy(args: &Args) -> Result<String> {
     use amped_energy::{CostModel, EnergyEstimate, PowerModel};
     let s = setup(args)?;
     let estimate = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
-        .estimate(&s.training)
-        .map_err(|e| e.to_string())?;
+        .estimate(&s.training)?;
     let power = PowerModel::from_accelerator(&s.accel);
     let energy =
         EnergyEstimate::from_estimate(&estimate, &power, s.training.num_batches());
@@ -462,16 +689,14 @@ fn energy(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn sensitivity(args: &Args) -> Result<String, String> {
+fn sensitivity(args: &Args) -> Result<String> {
     use amped_core::SensitivityAnalysis;
     let s = setup(args)?;
     let factor: f64 = args.parse_or("factor", 2.0)?;
     let analysis = SensitivityAnalysis::new(&s.model, &s.accel, &s.system, &s.parallelism)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency);
-    let tornado = analysis
-        .tornado(factor, &s.training)
-        .map_err(|e| e.to_string())?;
+    let tornado = analysis.tornado(factor, &s.training)?;
     let mut t = Table::new(["knob", &format!("{factor}x better"), "speedup"]);
     for r in &tornado {
         t.row([
@@ -489,7 +714,7 @@ fn sensitivity(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn check(args: &Args) -> Result<String, String> {
+fn check(args: &Args) -> Result<String> {
     let s = setup(args)?;
     let diagnostics =
         amped_core::check_scenario(&s.model, &s.system, &s.parallelism, &s.training);
@@ -505,7 +730,7 @@ fn check(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn memory(args: &Args) -> Result<String, String> {
+fn memory(args: &Args) -> Result<String> {
     let s = setup(args)?;
     let mem = MemoryModel::new(&s.model, &s.parallelism)
         .with_precision(s.precision)
@@ -529,7 +754,7 @@ fn memory(args: &Args) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run(cmd: &str) -> Result<String, String> {
+    fn run(cmd: &str) -> Result<String> {
         dispatch(&Args::parse(cmd.split_whitespace().map(String::from)))
     }
 
@@ -741,5 +966,151 @@ mod tests {
         assert!(run("frobnicate").is_err());
         assert!(run("estimate --model nosuch").is_err());
         assert!(run("estimate --accel nosuch").is_err());
+    }
+
+    #[test]
+    fn malformed_flags_are_typed_usage_errors() {
+        for cmd in [
+            "frobnicate",
+            "estimate --model nosuch",
+            "estimate --batch lots",
+            "estimate --eff high",
+            "estimate --microbatches some",
+            "estimate --tp 1,2,3",
+            "estimate --backend bogus",
+            "simulate --model mingpt-85m --accel v100 --per-node 4 --dp 4 --batch 16 --seed nope",
+            "simulate --model mingpt-85m --accel v100 --per-node 4 --dp 4 --batch 16 --seed 1 --stragglers many",
+            "resilience --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --mtbf soon",
+        ] {
+            let err = run(cmd).unwrap_err();
+            assert!(matches!(err, Error::Usage { .. }), "{cmd}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn missing_config_file_is_a_typed_io_error() {
+        let err = run("estimate --config /nonexistent/amped.json").unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err:?}");
+        assert!(err.to_string().contains("/nonexistent/amped.json"));
+    }
+
+    #[test]
+    fn malformed_config_file_is_rejected() {
+        let dir = std::env::temp_dir().join("amped-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{ definitely not json").unwrap();
+        let err = run(&format!("estimate --config {}", path.display())).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn fault_flags_without_seed_are_rejected() {
+        let err = run(
+            "simulate --model mingpt-85m --accel v100 --per-node 4 --dp 4 --batch 16 --stragglers 2",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn resilience_reports_expected_time() {
+        let out = run("resilience --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --dp 4,2 --batch 64 --batches 100")
+            .unwrap();
+        assert!(out.contains("expected"), "{out}");
+        assert!(out.contains("Young/Daly"), "{out}");
+        assert!(out.contains("node MTBF 4380 h"), "{out}");
+    }
+
+    #[test]
+    fn resilience_json_bundles_estimate_and_report() {
+        let out = run("resilience --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --dp 4,2 --batch 64 --batches 100 --mtbf 1000 --json")
+            .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let est = v.get("estimate").unwrap();
+        assert!(est.get("tflops_per_gpu").is_some());
+        let res = v.get("resilience").unwrap();
+        assert!(res.get("expected_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn resilience_seed_cross_checks_the_simulator() {
+        let out = run("resilience --model mingpt-85m --accel v100 --per-node 4 --dp 4 --batch 16 --batches 20 --mtbf 2 --seed 7")
+            .unwrap();
+        assert!(out.contains("seeded simulation (seed 7)"), "{out}");
+        assert!(out.contains("vs analytical expectation"), "{out}");
+    }
+
+    #[test]
+    fn estimate_mtbf_layers_resilience_onto_the_estimate() {
+        let plain =
+            run("estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --json")
+                .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        assert!(v.get("resilience").is_none(), "no --mtbf, no wrapper: {plain}");
+        let wrapped = run(
+            "estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64 --mtbf 4380 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&wrapped).unwrap();
+        assert!(v.get("estimate").unwrap().get("tflops_per_gpu").is_some());
+        let res = v.get("resilience").unwrap();
+        assert!(res.get("expected_s").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn simulate_seeded_run_reports_failures_and_checkpoints() {
+        let out = run(
+            "simulate --model mingpt-85m --accel v100 --per-node 4 --pp 4 --dp 1 --batch 16 --batches 20 --seed 42 --mtbf 1 --stragglers 1x2.0",
+        )
+        .unwrap();
+        assert!(out.contains("fault-injected run (seed 42)"), "{out}");
+        assert!(out.contains("failures:"), "{out}");
+        assert!(out.contains("goodput:"), "{out}");
+    }
+
+    #[test]
+    fn search_goodput_ranks_by_expected_time() {
+        let out = run(
+            "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 5 --goodput 1000",
+        )
+        .unwrap();
+        assert!(out.contains("expected time under failures"), "{out}");
+        assert!(out.contains("expected days"), "{out}");
+        let json = run(
+            "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 3 --goodput 1000 --json",
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|r| r.get("expected_days").unwrap().as_f64().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn config_resilience_section_feeds_the_resilience_command() {
+        let dir = std::env::temp_dir().join("amped-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resilient-scenario.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "model": { "preset": "mingpt-85m" },
+                "accelerator": { "preset": "v100" },
+                "system": { "nodes": 2, "accels_per_node": 4,
+                            "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+                "parallelism": { "dp": [4, 2] },
+                "training": { "global_batch": 64, "num_batches": 100 },
+                "resilience": { "node_mtbf_hours": 500.0, "restart_s": 60.0 }
+            }"#,
+        )
+        .unwrap();
+        let out = run(&format!("resilience --config {}", path.display())).unwrap();
+        assert!(out.contains("node MTBF 500 h"), "{out}");
+        // A flag overrides the file.
+        let out = run(&format!("resilience --config {} --mtbf 250", path.display())).unwrap();
+        assert!(out.contains("node MTBF 250 h"), "{out}");
     }
 }

@@ -7,8 +7,12 @@
 //! * `search` — rank every parallelism mapping on a system
 //! * `simulate` — run the discrete-event simulator on one mapping
 //! * `memory` — per-device memory footprint of a mapping
+//! * `resilience` — expected time under failures (checkpoint/restart model)
 //!
 //! Run `amped help` for flags.
+//!
+//! Exit codes: 0 success, 2 for usage errors (bad flags, unknown names),
+//! 1 for everything else (unreadable files, model-layer failures).
 
 mod args;
 mod commands;
@@ -22,9 +26,12 @@ fn main() -> ExitCode {
             println!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {error}");
+            match error {
+                amped_core::Error::Usage { .. } => ExitCode::from(2),
+                _ => ExitCode::FAILURE,
+            }
         }
     }
 }

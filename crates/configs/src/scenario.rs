@@ -4,7 +4,7 @@
 
 use amped_core::{
     AcceleratorSpec, EfficiencyModel, EngineOptions, Error, Link, Parallelism, Precision,
-    Result, SystemSpec, TrainingConfig, TransformerModel,
+    ResilienceParams, Result, SystemSpec, TrainingConfig, TransformerModel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -53,10 +53,70 @@ pub struct ScenarioConfig {
     /// Enable activation recomputation (default false).
     #[serde(default)]
     pub activation_recompute: bool,
+    /// Failure/checkpoint parameters for expected-time (goodput) analysis
+    /// (optional; omitting it keeps the scenario purely fault-free).
+    #[serde(default)]
+    pub resilience: Option<ResilienceSection>,
 }
 
 fn default_bits() -> u32 {
     16
+}
+
+/// Failure and checkpoint parameters as they appear in scenario files —
+/// operator-facing units (hours, Gbit/s) that convert to the seconds and
+/// bytes/s the core [`ResilienceParams`] model expects.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ResilienceSection {
+    /// Per-node mean time between failures, hours (e.g. 4380 = 6 months).
+    pub node_mtbf_hours: f64,
+    /// Restart cost after a failure, seconds (default 300).
+    #[serde(default = "default_restart_s")]
+    pub restart_s: f64,
+    /// Checkpoint write bandwidth per device, Gbit/s (default 16 = 2 GB/s).
+    #[serde(default = "default_ckpt_gbps")]
+    pub ckpt_write_gbps: f64,
+    /// Fixed checkpoint interval, seconds (`None` = Young/Daly optimum).
+    #[serde(default)]
+    pub interval_s: Option<f64>,
+}
+
+fn default_restart_s() -> f64 {
+    300.0
+}
+
+fn default_ckpt_gbps() -> f64 {
+    16.0
+}
+
+impl ResilienceSection {
+    /// The per-node MTBF in seconds.
+    pub fn node_mtbf_s(&self) -> f64 {
+        self.node_mtbf_hours * 3600.0
+    }
+
+    /// The checkpoint write bandwidth in bytes per second.
+    pub fn ckpt_write_bytes_per_s(&self) -> f64 {
+        self.ckpt_write_gbps * 1e9 / 8.0
+    }
+
+    /// Core-model parameters for a system of `units` failure units where
+    /// each device checkpoints `ckpt_bytes` of state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the section's values are out of range
+    /// (non-positive MTBF, negative restart, non-positive interval).
+    pub fn params(&self, units: usize, ckpt_bytes: f64) -> Result<ResilienceParams> {
+        let mut params = ResilienceParams::new(self.node_mtbf_s(), units)?
+            .with_checkpoint_cost(ckpt_bytes / self.ckpt_write_bytes_per_s())
+            .with_restart(self.restart_s);
+        if let Some(interval) = self.interval_s {
+            params = params.with_interval(interval);
+        }
+        params.validate()?;
+        Ok(params)
+    }
 }
 
 /// A model either by preset name or as an inline spec.
@@ -150,6 +210,8 @@ pub struct ResolvedScenario {
     pub efficiency: EfficiencyModel,
     /// Engine options.
     pub options: EngineOptions,
+    /// Failure/checkpoint parameters, validated at resolve time.
+    pub resilience: Option<ResilienceSection>,
 }
 
 impl ResolvedScenario {
@@ -233,6 +295,12 @@ impl ScenarioConfig {
             None => crate::efficiency::case_study(),
         };
         efficiency.validate()?;
+        if let Some(resilience) = &self.resilience {
+            // Surface bad failure parameters here, with zero checkpoint
+            // state — the real per-device bytes arrive from the memory
+            // model at analysis time.
+            resilience.params(system.num_nodes(), 0.0)?;
+        }
         Ok(ResolvedScenario {
             model,
             accelerator,
@@ -245,6 +313,7 @@ impl ScenarioConfig {
                 activation_recompute: self.activation_recompute,
                 ..Default::default()
             },
+            resilience: self.resilience,
         })
     }
 }
@@ -346,5 +415,38 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(ScenarioConfig::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn resilience_section_resolves_with_defaults() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"resilience\": { \"node_mtbf_hours\": 4380.0 }",
+        );
+        let s = ScenarioConfig::from_json(&json).unwrap().resolve().unwrap();
+        let r = s.resilience.expect("section carried through");
+        assert_eq!(r.node_mtbf_s(), 4380.0 * 3600.0);
+        assert_eq!(r.restart_s, 300.0);
+        assert_eq!(r.ckpt_write_bytes_per_s(), 2e9);
+        assert!(r.interval_s.is_none());
+        // Converting to core params: 16 nodes, 10 GB of state per device.
+        let params = r.params(16, 10e9).unwrap();
+        assert!((params.system_mtbf_s() - 4380.0 * 3600.0 / 16.0).abs() < 1e-6);
+        assert!((params.ckpt_write_s - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenarios_without_resilience_resolve_to_none() {
+        let s = ScenarioConfig::from_json(SAMPLE).unwrap().resolve().unwrap();
+        assert!(s.resilience.is_none());
+    }
+
+    #[test]
+    fn bad_resilience_parameters_are_rejected_at_resolve() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"resilience\": { \"node_mtbf_hours\": -1.0 }",
+        );
+        assert!(ScenarioConfig::from_json(&json).unwrap().resolve().is_err());
     }
 }

@@ -18,6 +18,19 @@ pub enum Error {
         /// Human-readable reason, lowercase, no trailing punctuation.
         reason: String,
     },
+    /// The user invoked a tool incorrectly (unknown flag, malformed value,
+    /// missing argument) — bad input, not a bad configuration.
+    Usage {
+        /// Human-readable reason, lowercase, no trailing punctuation.
+        reason: String,
+    },
+    /// A file operation failed (config not readable, output not writable).
+    Io {
+        /// The path involved, as the user supplied it.
+        path: String,
+        /// Human-readable reason, lowercase, no trailing punctuation.
+        reason: String,
+    },
 }
 
 impl Error {
@@ -35,6 +48,21 @@ impl Error {
             reason: reason.into(),
         }
     }
+
+    /// Convenience constructor for [`Error::Usage`].
+    pub fn usage(reason: impl Into<String>) -> Self {
+        Error::Usage {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(path: impl Into<String>, reason: impl Into<String>) -> Self {
+        Error::Io {
+            path: path.into(),
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -44,6 +72,8 @@ impl std::fmt::Display for Error {
                 write!(f, "invalid {component} configuration: {reason}")
             }
             Error::Incompatible { reason } => write!(f, "incompatible configuration: {reason}"),
+            Error::Usage { reason } => write!(f, "usage: {reason}"),
+            Error::Io { path, reason } => write!(f, "io error ({path}): {reason}"),
         }
     }
 }
@@ -74,5 +104,13 @@ mod tests {
     fn incompatible_display() {
         let e = Error::incompatible("1024 workers but system has 512 accelerators");
         assert!(e.to_string().starts_with("incompatible"));
+    }
+
+    #[test]
+    fn usage_and_io_display() {
+        let e = Error::usage("unknown flag --frobnicate");
+        assert_eq!(e.to_string(), "usage: unknown flag --frobnicate");
+        let e = Error::io("cfg.json", "no such file");
+        assert!(e.to_string().contains("cfg.json") && e.to_string().contains("no such file"));
     }
 }

@@ -55,6 +55,7 @@
 //! | [`engine`] | the Eq. 1 estimator and its breakdown |
 //! | [`metrics`] | model FLOPs and TFLOP/s/GPU |
 //! | [`precision`] | operand bit-widths (`S_p`, `S_act`, …) |
+//! | [`resilience`] | checkpoint/restart expected-time and Young/Daly interval |
 //! | [`training`] | batch size and batch count of a run |
 //! | [`units`] | `Seconds` and human formatting helpers |
 
@@ -73,6 +74,7 @@ pub mod model;
 pub mod network;
 pub mod parallelism;
 pub mod precision;
+pub mod resilience;
 pub mod roofline;
 pub mod sensitivity;
 pub mod training;
@@ -90,6 +92,7 @@ pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder}
 pub use network::{Link, SystemSpec};
 pub use parallelism::{MicrobatchPolicy, Parallelism, ParallelismBuilder, ZeroConfig, ZeroStage};
 pub use precision::Precision;
+pub use resilience::{ResilienceParams, ResilienceReport};
 pub use sensitivity::{Knob, SensitivityAnalysis, SensitivityResult};
 pub use training::TrainingConfig;
 pub use units::Seconds;
@@ -107,6 +110,7 @@ pub mod prelude {
     pub use crate::network::{Link, SystemSpec};
     pub use crate::parallelism::{MicrobatchPolicy, Parallelism, ZeroConfig, ZeroStage};
     pub use crate::precision::Precision;
+    pub use crate::resilience::{ResilienceParams, ResilienceReport};
     pub use crate::training::TrainingConfig;
     pub use crate::units::Seconds;
 }

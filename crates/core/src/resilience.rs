@@ -1,0 +1,375 @@
+//! Expected time-to-train under failures: checkpoint/restart goodput.
+//!
+//! The Eq. 1 estimator (and the simulator behind the same
+//! [`CostBackend`](crate::CostBackend) contract) predicts the time of a run
+//! in which every device and link stays healthy. At the multi-week,
+//! thousand-accelerator scale the paper targets, that is not the time a
+//! run actually takes: devices fail, the job restarts from its last
+//! checkpoint, and the checkpoints themselves cost time. This module layers
+//! the standard renewal-theory model of periodic checkpointing on top of
+//! any fault-free estimate:
+//!
+//! * the run checkpoints every `τ` seconds of useful work, each write
+//!   costing `C` seconds during which no progress is made;
+//! * failures arrive as a Poisson process with system rate `units / MTBF`
+//!   (the usual independent-exponential-nodes assumption);
+//! * each failure costs a restart `R` plus the rework of the progress since
+//!   the last checkpoint — `τ/2` in expectation for failures uniform within
+//!   an interval.
+//!
+//! To first order (valid for `C ≪ τ ≪ M`, the regime any sane deployment
+//! operates in) the expected wall-clock time of a run with `T` seconds of
+//! fault-free work is
+//!
+//! ```text
+//! E[T_wall](τ) = T · (1 + C/τ)  +  T/M · (R + τ/2)
+//! ```
+//!
+//! which is minimized exactly at the Young/Daly interval
+//! `τ* = sqrt(2·C·M)` — exposed as a derived quantity so operators can
+//! compare their configured interval against the optimum. See DESIGN.md,
+//! "Resilience architecture", for the assumptions and their validity
+//! limits.
+//!
+//! # Example
+//!
+//! ```
+//! use amped_core::resilience::ResilienceParams;
+//!
+//! # fn main() -> Result<(), amped_core::Error> {
+//! // 128 nodes, each with a 6-month MTBF; 45 s checkpoint writes,
+//! // 5 minute restarts, checkpoint interval left to Young/Daly.
+//! let params = ResilienceParams::new(0.5 * 365.25 * 86400.0, 128)?
+//!     .with_checkpoint_cost(45.0)
+//!     .with_restart(300.0);
+//! let report = params.report(30.0 * 86400.0)?; // a 30-day fault-free run
+//! assert!(report.expected_s > report.fault_free_s);
+//! assert!(report.goodput() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Failure and checkpointing characteristics of a training deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceParams {
+    /// Mean time between failures of one failure unit (a node), seconds.
+    pub unit_mtbf_s: f64,
+    /// Number of independent failure units (nodes in the system).
+    pub units: usize,
+    /// Seconds one checkpoint write stalls the run (`C`).
+    pub ckpt_write_s: f64,
+    /// Seconds from failure detection to resumed training (`R`), not
+    /// counting rework.
+    pub restart_s: f64,
+    /// Checkpoint interval in seconds of useful work (`τ`); `None` resolves
+    /// to the Young/Daly optimum.
+    pub interval_s: Option<f64>,
+}
+
+impl ResilienceParams {
+    /// Parameters for `units` failure units of `unit_mtbf_s` each, with
+    /// free checkpoints, instant restarts and a Young/Daly interval until
+    /// overridden.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the MTBF is not positive and
+    /// finite or `units` is zero.
+    pub fn new(unit_mtbf_s: f64, units: usize) -> Result<Self> {
+        let params = ResilienceParams {
+            unit_mtbf_s,
+            units,
+            ckpt_write_s: 0.0,
+            restart_s: 0.0,
+            interval_s: None,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Set the checkpoint write cost `C` in seconds.
+    pub fn with_checkpoint_cost(mut self, seconds: f64) -> Self {
+        self.ckpt_write_s = seconds;
+        self
+    }
+
+    /// Set the restart cost `R` in seconds.
+    pub fn with_restart(mut self, seconds: f64) -> Self {
+        self.restart_s = seconds;
+        self
+    }
+
+    /// Fix the checkpoint interval instead of using the Young/Daly optimum.
+    pub fn with_interval(mut self, seconds: f64) -> Self {
+        self.interval_s = Some(seconds);
+        self
+    }
+
+    /// Check every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.unit_mtbf_s > 0.0 && self.unit_mtbf_s.is_finite()) {
+            return Err(Error::invalid(
+                "resilience",
+                format!("mtbf must be positive and finite, got {}", self.unit_mtbf_s),
+            ));
+        }
+        if self.units == 0 {
+            return Err(Error::invalid("resilience", "at least one failure unit"));
+        }
+        if !(self.ckpt_write_s >= 0.0 && self.ckpt_write_s.is_finite()) {
+            return Err(Error::invalid(
+                "resilience",
+                format!("checkpoint cost must be non-negative, got {}", self.ckpt_write_s),
+            ));
+        }
+        if !(self.restart_s >= 0.0 && self.restart_s.is_finite()) {
+            return Err(Error::invalid(
+                "resilience",
+                format!("restart cost must be non-negative, got {}", self.restart_s),
+            ));
+        }
+        if let Some(tau) = self.interval_s {
+            if !(tau > 0.0 && tau.is_finite()) {
+                return Err(Error::invalid(
+                    "resilience",
+                    format!("checkpoint interval must be positive, got {tau}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// System-level mean time between failures: `unit_mtbf / units`
+    /// (independent exponential units).
+    pub fn system_mtbf_s(&self) -> f64 {
+        self.unit_mtbf_s / self.units as f64
+    }
+
+    /// The Young/Daly optimal checkpoint interval `sqrt(2·C·M)` in seconds
+    /// (zero when checkpoints are free — checkpoint continuously).
+    pub fn young_daly_interval_s(&self) -> f64 {
+        (2.0 * self.ckpt_write_s * self.system_mtbf_s()).sqrt()
+    }
+
+    /// The interval the model actually uses: the configured one, or the
+    /// Young/Daly optimum.
+    pub fn resolved_interval_s(&self) -> f64 {
+        self.interval_s.unwrap_or_else(|| self.young_daly_interval_s())
+    }
+
+    /// The first-order renewal expectation `E[T_wall]` for `fault_free_s`
+    /// seconds of useful work checkpointed every `interval_s` seconds.
+    ///
+    /// Exposed separately from [`ResilienceParams::report`] so the
+    /// Young/Daly optimality of the interval is testable against the very
+    /// function the report evaluates. `interval_s == 0` is meaningful only
+    /// with free checkpoints (continuous checkpointing, no rework).
+    pub fn expected_time_s(&self, fault_free_s: f64, interval_s: f64) -> f64 {
+        let m = self.system_mtbf_s();
+        let ckpt_overhead = if self.ckpt_write_s > 0.0 {
+            fault_free_s * self.ckpt_write_s / interval_s
+        } else {
+            0.0
+        };
+        let failures = fault_free_s / m;
+        let rework = failures * (self.restart_s + interval_s / 2.0);
+        fault_free_s + ckpt_overhead + rework
+    }
+
+    /// The full resilience report for a run of `fault_free_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the parameters fail
+    /// [`ResilienceParams::validate`], when `fault_free_s` is not positive
+    /// and finite, or when a zero interval is combined with a non-zero
+    /// checkpoint cost.
+    pub fn report(&self, fault_free_s: f64) -> Result<ResilienceReport> {
+        self.validate()?;
+        if !(fault_free_s > 0.0 && fault_free_s.is_finite()) {
+            return Err(Error::invalid(
+                "resilience",
+                format!("fault-free time must be positive, got {fault_free_s}"),
+            ));
+        }
+        let interval_s = self.resolved_interval_s();
+        if interval_s <= 0.0 && self.ckpt_write_s > 0.0 {
+            return Err(Error::invalid(
+                "resilience",
+                "checkpoint interval must be positive when checkpoints cost time",
+            ));
+        }
+        let m = self.system_mtbf_s();
+        let expected_failures = fault_free_s / m;
+        let ckpt_overhead_s = if self.ckpt_write_s > 0.0 {
+            fault_free_s * self.ckpt_write_s / interval_s
+        } else {
+            0.0
+        };
+        let rework_s = expected_failures * (self.restart_s + interval_s / 2.0);
+        Ok(ResilienceReport {
+            fault_free_s,
+            expected_s: fault_free_s + ckpt_overhead_s + rework_s,
+            interval_s,
+            optimal_interval_s: self.young_daly_interval_s(),
+            ckpt_write_s: self.ckpt_write_s,
+            system_mtbf_s: m,
+            expected_failures,
+            ckpt_overhead_s,
+            rework_s,
+        })
+    }
+}
+
+/// Expected-time accounting of one run under failures — the resilience
+/// counterpart of the fault-free [`Estimate`](crate::Estimate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// The fault-free run time the expectation is layered on.
+    pub fault_free_s: f64,
+    /// Expected wall-clock time including checkpoints, failures and rework.
+    pub expected_s: f64,
+    /// The checkpoint interval used (configured or Young/Daly).
+    pub interval_s: f64,
+    /// The Young/Daly optimal interval for these parameters.
+    pub optimal_interval_s: f64,
+    /// Seconds per checkpoint write.
+    pub ckpt_write_s: f64,
+    /// System-level mean time between failures.
+    pub system_mtbf_s: f64,
+    /// Expected number of failures over the run.
+    pub expected_failures: f64,
+    /// Total expected checkpoint-write overhead.
+    pub ckpt_overhead_s: f64,
+    /// Total expected restart + lost-work time.
+    pub rework_s: f64,
+}
+
+impl ResilienceReport {
+    /// Fraction of wall-clock time spent making forward progress
+    /// (`fault_free / expected`, in `(0, 1]`).
+    pub fn goodput(&self) -> f64 {
+        self.fault_free_s / self.expected_s
+    }
+
+    /// Expected slowdown over the fault-free run (`expected / fault_free`,
+    /// `≥ 1`).
+    pub fn slowdown(&self) -> f64 {
+        self.expected_s / self.fault_free_s
+    }
+
+    /// Expected run length in days.
+    pub fn expected_days(&self) -> f64 {
+        self.expected_s / 86_400.0
+    }
+}
+
+impl std::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "expected time {:.3e} s ({:.2} days), {:.1}% goodput over {:.3e} s fault-free",
+            self.expected_s,
+            self.expected_days(),
+            self.goodput() * 100.0,
+            self.fault_free_s,
+        )?;
+        writeln!(
+            f,
+            "  checkpoints: every {:.0} s at {:.1} s/write (Young/Daly optimum {:.0} s) = {:.3e} s overhead",
+            self.interval_s, self.ckpt_write_s, self.optimal_interval_s, self.ckpt_overhead_s,
+        )?;
+        write!(
+            f,
+            "  failures: {:.1} expected (system MTBF {:.2e} s) = {:.3e} s restart + rework",
+            self.expected_failures, self.system_mtbf_s, self.rework_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ResilienceParams {
+        ResilienceParams::new(0.5 * 365.25 * 86400.0, 128)
+            .unwrap()
+            .with_checkpoint_cost(45.0)
+            .with_restart(300.0)
+    }
+
+    #[test]
+    fn young_daly_matches_the_closed_form() {
+        let p = params();
+        let m = 0.5 * 365.25 * 86400.0 / 128.0;
+        assert!((p.system_mtbf_s() - m).abs() < 1e-9);
+        assert!((p.young_daly_interval_s() - (2.0 * 45.0 * m).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_decomposes_the_expected_time() {
+        let r = params().report(30.0 * 86400.0).unwrap();
+        let sum = r.fault_free_s + r.ckpt_overhead_s + r.rework_s;
+        assert!((r.expected_s - sum).abs() < 1e-6 * r.expected_s);
+        assert!(r.expected_s > r.fault_free_s);
+        assert!(r.goodput() > 0.0 && r.goodput() < 1.0);
+        assert!((r.slowdown() * r.goodput() - 1.0).abs() < 1e-12);
+        assert_eq!(r.interval_s, r.optimal_interval_s);
+    }
+
+    #[test]
+    fn configured_interval_overrides_young_daly() {
+        let r = params().with_interval(7200.0).report(1e6).unwrap();
+        assert_eq!(r.interval_s, 7200.0);
+        assert_ne!(r.interval_s, r.optimal_interval_s);
+        // Off-optimum intervals can only cost time.
+        let opt = params().report(1e6).unwrap();
+        assert!(r.expected_s >= opt.expected_s);
+    }
+
+    #[test]
+    fn free_checkpoints_leave_only_restart_cost() {
+        let p = ResilienceParams::new(1e6, 10).unwrap().with_restart(100.0);
+        let r = p.report(1e5).unwrap();
+        assert_eq!(r.ckpt_overhead_s, 0.0);
+        assert_eq!(r.interval_s, 0.0);
+        // failures = 1e5/(1e6/10) = 1, each costing R = 100 s.
+        assert!((r.expected_failures - 1.0).abs() < 1e-12);
+        assert!((r.expected_s - (1e5 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ResilienceParams::new(0.0, 8).is_err());
+        assert!(ResilienceParams::new(f64::NAN, 8).is_err());
+        assert!(ResilienceParams::new(1e6, 0).is_err());
+        assert!(params().with_interval(-1.0).report(1e5).is_err());
+        assert!(params().with_checkpoint_cost(-1.0).report(1e5).is_err());
+        assert!(params().report(0.0).is_err());
+        assert!(params().report(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_mentions_goodput_and_failures() {
+        let s = params().report(30.0 * 86400.0).unwrap().to_string();
+        assert!(s.contains("goodput"), "{s}");
+        assert!(s.contains("Young/Daly"), "{s}");
+        assert!(s.contains("failures"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = params().report(1e6).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ResilienceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests over the checkpoint/restart expected-time model.
+//!
+//! Two laws the Young/Daly analysis promises, checked over a broad random
+//! parameter space:
+//!
+//! * the closed-form optimal interval `sqrt(2 C M)` really minimizes the
+//!   expected time — perturbing it in either direction never does better;
+//! * more reliable hardware never hurts — expected time is monotonically
+//!   nonincreasing in the unit MTBF.
+
+use amped_core::ResilienceParams;
+use proptest::prelude::*;
+
+/// A parameter space where the first-order model is meaningful:
+/// `C ≪ τ* ≪ M_sys` holds across the generated range.
+fn params_strategy() -> impl Strategy<Value = (f64, usize, f64, f64, f64)> {
+    (
+        1e5f64..1e8,   // unit MTBF, seconds (~1 day to ~3 years)
+        1usize..=512,  // units
+        1e-1f64..1e3,  // checkpoint write cost, seconds
+        0f64..3600.0,  // restart cost, seconds
+        1e3f64..1e8,   // fault-free run time, seconds
+    )
+}
+
+proptest! {
+    #[test]
+    fn young_daly_interval_is_never_beaten_by_a_perturbation(
+        (mtbf, units, ckpt, restart, fault_free) in params_strategy(),
+        raw_perturbation in -0.5f64..=0.5,
+    ) {
+        // Keep the perturbation bounded away from zero (the shimmed
+        // proptest has no prop_assume!).
+        let perturbation = if raw_perturbation.abs() < 1e-3 {
+            0.25
+        } else {
+            raw_perturbation
+        };
+        let params = ResilienceParams::new(mtbf, units)
+            .unwrap()
+            .with_checkpoint_cost(ckpt)
+            .with_restart(restart);
+        let optimal = params.young_daly_interval_s();
+        prop_assert!(optimal > 0.0);
+        let at_optimal = params.expected_time_s(fault_free, optimal);
+        let perturbed = optimal * (1.0 + perturbation);
+        let at_perturbed = params.expected_time_s(fault_free, perturbed);
+        // Strictly worse up to float round-off.
+        prop_assert!(
+            at_optimal <= at_perturbed * (1.0 + 1e-12),
+            "tau*={optimal} gives {at_optimal}, tau={perturbed} gives {at_perturbed}"
+        );
+    }
+
+    #[test]
+    fn expected_time_is_nonincreasing_in_mtbf(
+        (mtbf, units, ckpt, restart, fault_free) in params_strategy(),
+        improvement in 1.0f64..=100.0,
+    ) {
+        let worse = ResilienceParams::new(mtbf, units)
+            .unwrap()
+            .with_checkpoint_cost(ckpt)
+            .with_restart(restart);
+        let better = ResilienceParams::new(mtbf * improvement, units)
+            .unwrap()
+            .with_checkpoint_cost(ckpt)
+            .with_restart(restart);
+        // Each at its own optimal interval (the operator re-tunes)...
+        let t_worse = worse.report(fault_free).unwrap().expected_s;
+        let t_better = better.report(fault_free).unwrap().expected_s;
+        prop_assert!(t_better <= t_worse * (1.0 + 1e-12));
+        // ...and at any single shared interval too.
+        let shared = worse.young_daly_interval_s();
+        prop_assert!(
+            better.expected_time_s(fault_free, shared)
+                <= worse.expected_time_s(fault_free, shared) * (1.0 + 1e-12)
+        );
+    }
+
+    #[test]
+    fn expected_time_never_undercuts_the_fault_free_time(
+        (mtbf, units, ckpt, restart, fault_free) in params_strategy(),
+    ) {
+        let report = ResilienceParams::new(mtbf, units)
+            .unwrap()
+            .with_checkpoint_cost(ckpt)
+            .with_restart(restart)
+            .report(fault_free)
+            .unwrap();
+        prop_assert!(report.expected_s >= fault_free);
+        prop_assert!(report.goodput() <= 1.0 + 1e-12);
+        prop_assert!(report.slowdown() >= 1.0 - 1e-12);
+    }
+}

@@ -135,6 +135,13 @@ impl MemoryFootprint {
     pub fn total(&self) -> f64 {
         self.weights + self.gradients + self.optimizer + self.activations
     }
+
+    /// Bytes a checkpoint of this device's state must persist: weights plus
+    /// optimizer state. Gradients and activations are transient and are not
+    /// part of a restartable snapshot.
+    pub fn checkpoint_bytes(&self) -> f64 {
+        self.weights + self.optimizer
+    }
 }
 
 impl std::fmt::Display for MemoryFootprint {
@@ -542,6 +549,15 @@ mod tests {
             (g16 / g8 - 2.0).abs() < 1e-9,
             "gathered volume doubles with the microbatch count: {g8} -> {g16}"
         );
+    }
+
+    #[test]
+    fn checkpoint_bytes_excludes_transient_state() {
+        let m = model();
+        let p = Parallelism::single();
+        let fp = MemoryModel::new(&m, &p).footprint(4.0, 8);
+        assert_eq!(fp.checkpoint_bytes(), fp.weights + fp.optimizer);
+        assert!(fp.checkpoint_bytes() < fp.total());
     }
 
     #[test]

@@ -24,11 +24,13 @@
 pub mod builder;
 pub mod chart;
 pub mod record;
+pub mod resilience;
 pub mod sweep;
 pub mod table;
 
 pub use builder::ReportBuilder;
 pub use chart::{BarChart, LineChart, Series};
 pub use record::{Comparison, ExperimentRecord};
+pub use resilience::resilience_table;
 pub use sweep::{sweep_chart, sweep_series, sweep_table};
 pub use table::Table;

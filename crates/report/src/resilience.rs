@@ -1,0 +1,106 @@
+//! Goodput / expected-time tables from resilience-annotated candidates.
+//!
+//! A [`SearchEngine`](amped_search::SearchEngine) run with
+//! [`with_goodput`](amped_search::SearchEngine::with_goodput) attaches a
+//! checkpoint/restart expected-time report to every candidate; this module
+//! renders those reports as the fault-aware companion to the fault-free
+//! ranking tables.
+
+use amped_search::Candidate;
+
+use crate::table::Table;
+
+/// A compact `tp·pp·dp` label for a candidate's mapping.
+fn mapping_label(c: &Candidate) -> String {
+    format!(
+        "tp{}·pp{}·dp{}",
+        c.parallelism.tp(),
+        c.parallelism.pp(),
+        c.parallelism.dp()
+    )
+}
+
+/// One row per resilience-annotated candidate: fault-free vs expected
+/// days, the checkpoint interval in force, expected failure count and
+/// goodput. Candidates without a [`Candidate::resilience`] report (a
+/// search run without goodput ranking) are skipped.
+pub fn resilience_table(candidates: &[Candidate]) -> Table {
+    let mut t = Table::new([
+        "mapping",
+        "fault-free days",
+        "expected days",
+        "slowdown",
+        "ckpt interval (s)",
+        "exp. failures",
+        "goodput",
+    ]);
+    for c in candidates {
+        let Some(r) = &c.resilience else {
+            continue;
+        };
+        t.row([
+            mapping_label(c),
+            format!("{:.3}", r.fault_free_s / 86_400.0),
+            format!("{:.3}", r.expected_days()),
+            format!("{:.3}x", r.slowdown()),
+            format!("{:.0}", r.interval_s),
+            format!("{:.2}", r.expected_failures),
+            format!("{:.1}%", r.goodput() * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_core::{
+        AcceleratorSpec, EfficiencyModel, Link, SystemSpec, TrainingConfig, TransformerModel,
+    };
+    use amped_search::{GoodputOptions, SearchEngine};
+
+    fn ranked(goodput: bool) -> Vec<Candidate> {
+        let model = TransformerModel::builder("report-resilience-m")
+            .layers(8)
+            .hidden_size(512)
+            .heads(8)
+            .seq_len(256)
+            .vocab_size(8000)
+            .build()
+            .unwrap();
+        let accel = AcceleratorSpec::builder("report-resilience-a")
+            .frequency_hz(1e9)
+            .cores(32)
+            .mac_units(4, 128, 8)
+            .nonlin_units(32, 8, 32)
+            .memory(32e9, 1e12)
+            .build()
+            .unwrap();
+        let system =
+            SystemSpec::new(2, 4, Link::new(1e-6, 2.4e12), Link::new(1e-5, 1e11), 4).unwrap();
+        let mut engine = SearchEngine::new(&model, &accel, &system)
+            .with_efficiency(EfficiencyModel::Constant(0.5));
+        if goodput {
+            engine = engine.with_goodput(GoodputOptions::new(1000.0 * 3600.0));
+        }
+        engine.search(&TrainingConfig::new(32, 5).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn table_rows_mirror_the_annotated_candidates() {
+        let candidates = ranked(true);
+        let t = resilience_table(&candidates);
+        assert_eq!(t.num_rows(), candidates.len());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("mapping,fault-free days,expected days"));
+        assert!(csv.contains("tp"));
+        assert!(csv.contains('%'));
+    }
+
+    #[test]
+    fn unannotated_candidates_are_skipped() {
+        let candidates = ranked(false);
+        assert!(!candidates.is_empty());
+        assert_eq!(resilience_table(&candidates).num_rows(), 0);
+    }
+}

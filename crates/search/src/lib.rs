@@ -10,7 +10,12 @@
 //! * [`SearchEngine`] evaluates each candidate with the analytical model,
 //!   filters by memory feasibility, attaches energy, and ranks;
 //! * [`pareto_front`] extracts the non-dominated candidates under
-//!   (time, energy, memory).
+//!   (time, energy, memory);
+//! * [`GoodputOptions`] switches the objective to *expected* time under
+//!   failures (the checkpoint/restart renewal model of
+//!   [`ResilienceParams`](amped_core::ResilienceParams)), and a fault plan
+//!   can be threaded into simulator refinement
+//!   ([`SearchEngine::with_fault_plan`]).
 //!
 //! # Search performance
 //!
@@ -64,12 +69,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use amped_core::{
     AcceleratorSpec, CostBackend, EfficiencyModel, EngineOptions, Estimate, EstimateCache,
-    Estimator, MicrobatchPolicy, Parallelism, Precision, Result, Scenario, SystemSpec,
-    TrainingConfig, TransformerModel, ZeroConfig,
+    Estimator, MicrobatchPolicy, Parallelism, Precision, ResilienceParams, ResilienceReport,
+    Result, Scenario, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
 };
 use amped_energy::{EnergyEstimate, PowerModel};
 use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
-use amped_sim::SimBackend;
+use amped_sim::{FaultPlan, SimBackend};
 use serde::{Deserialize, Serialize};
 
 /// Constraints on the enumeration of parallelism mappings.
@@ -159,6 +164,52 @@ pub fn enumerate_mappings(
     out
 }
 
+/// Failure and checkpoint parameters for ranking candidates by *expected*
+/// training time under faults (goodput) instead of fault-free time.
+///
+/// Checkpoint write cost is derived per candidate from its memory
+/// footprint: each device writes its own weight + optimizer shard
+/// ([`MemoryFootprint::checkpoint_bytes`]) at `ckpt_write_bytes_per_s`, so
+/// PP-heavy mappings (small shards, cheap checkpoints) and DP-heavy
+/// mappings (replicated shards) are priced differently — which is exactly
+/// what makes the goodput ranking diverge from the fault-free one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoodputOptions {
+    /// Per-node mean time between failures, seconds.
+    pub node_mtbf_s: f64,
+    /// Restart cost after a failure (reload + requeue), seconds.
+    #[serde(default = "default_restart_s")]
+    pub restart_s: f64,
+    /// Checkpoint write bandwidth per device, bytes/s.
+    #[serde(default = "default_ckpt_write_bw")]
+    pub ckpt_write_bytes_per_s: f64,
+    /// Fixed checkpoint interval in seconds (`None` = the Young/Daly
+    /// optimum per candidate).
+    #[serde(default)]
+    pub interval_s: Option<f64>,
+}
+
+fn default_restart_s() -> f64 {
+    300.0
+}
+
+fn default_ckpt_write_bw() -> f64 {
+    2e9
+}
+
+impl GoodputOptions {
+    /// Goodput options with the given per-node MTBF and default restart
+    /// cost (300 s) and checkpoint bandwidth (2 GB/s per device).
+    pub fn new(node_mtbf_s: f64) -> Self {
+        GoodputOptions {
+            node_mtbf_s,
+            restart_s: default_restart_s(),
+            ckpt_write_bytes_per_s: default_ckpt_write_bw(),
+            interval_s: None,
+        }
+    }
+}
+
 /// A fully evaluated candidate mapping.
 #[derive(Debug, Clone)]
 pub struct Candidate {
@@ -177,6 +228,9 @@ pub struct Candidate {
     /// when the simulator rejects it (e.g. the last-stage gather exceeds
     /// device memory).
     pub refined: Option<Estimate>,
+    /// Expected-time analysis under the engine's [`GoodputOptions`]:
+    /// `None` unless the search ran with [`SearchEngine::with_goodput`].
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl Candidate {
@@ -184,6 +238,16 @@ impl Candidate {
     /// present, the analytical one otherwise.
     pub fn ranking_estimate(&self) -> &Estimate {
         self.refined.as_ref().unwrap_or(&self.estimate)
+    }
+
+    /// The time this candidate is ranked by: the expected time under
+    /// failures when a goodput analysis is attached, the fault-free
+    /// analytical total otherwise.
+    pub fn objective_time(&self) -> f64 {
+        match &self.resilience {
+            Some(r) => r.expected_s,
+            None => self.estimate.total_time.get(),
+        }
     }
 }
 
@@ -202,12 +266,12 @@ fn parallelism_key(p: &Parallelism) -> [usize; 6] {
     ]
 }
 
-/// Ranking order: fastest first, ties broken by the parallelism degrees.
+/// Ranking order: fastest objective time first (expected time under
+/// goodput, fault-free time otherwise), ties broken by the parallelism
+/// degrees.
 fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
-    a.estimate
-        .total_time
-        .get()
-        .total_cmp(&b.estimate.total_time.get())
+    a.objective_time()
+        .total_cmp(&b.objective_time())
         .then_with(|| parallelism_key(&a.parallelism).cmp(&parallelism_key(&b.parallelism)))
 }
 
@@ -264,6 +328,8 @@ pub struct SearchEngine<'a> {
     prune: bool,
     memoize: bool,
     refine_sim: usize,
+    goodput: Option<GoodputOptions>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -290,6 +356,8 @@ impl<'a> SearchEngine<'a> {
             prune: false,
             memoize: true,
             refine_sim: 0,
+            goodput: None,
+            fault_plan: None,
         }
     }
 
@@ -368,6 +436,32 @@ impl<'a> SearchEngine<'a> {
     /// analytical order.
     pub fn with_refine_sim(mut self, k: usize) -> Self {
         self.refine_sim = k;
+        self
+    }
+
+    /// Rank candidates by *expected* training time under failures — the
+    /// checkpoint/restart renewal model of
+    /// [`ResilienceParams`](amped_core::ResilienceParams) — instead of the
+    /// fault-free total. Every kept candidate carries its
+    /// [`ResilienceReport`] in [`Candidate::resilience`], with the
+    /// checkpoint cost derived from that candidate's own memory footprint.
+    ///
+    /// Branch-and-bound pruning stays sound: the compute-only lower bound
+    /// never exceeds the fault-free time, which never exceeds the expected
+    /// time, so the incumbent (now an expected time) can only be *looser*
+    /// than before — no candidate that would rank is ever skipped.
+    pub fn with_goodput(mut self, goodput: GoodputOptions) -> Self {
+        self.goodput = Some(goodput);
+        self
+    }
+
+    /// Thread a [`FaultPlan`] into the simulator-refinement pass
+    /// ([`SearchEngine::with_refine_sim`]): refined candidates are priced
+    /// by a full fault-injected run (stragglers, link faults, failures and
+    /// checkpoint writes) instead of a clean iteration. Inert plans
+    /// (`seed = None`) leave refinement bit-identical to no plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -477,7 +571,7 @@ impl<'a> SearchEngine<'a> {
             // incumbent, which never drops below the final best).
             let best_time = kept
                 .iter()
-                .map(|(_, c)| c.estimate.total_time.get())
+                .map(|(_, c)| c.objective_time())
                 .fold(f64::INFINITY, f64::min);
             kept.retain(|(lb, _)| *lb <= best_time);
         }
@@ -506,10 +600,13 @@ impl<'a> SearchEngine<'a> {
         // Simulate the schedule the analytical pass assumed, so the sim's
         // memory gate judges candidates under the same in-flight activation
         // policy as the engine's own fit check.
-        let backend = SimBackend::new().with_schedule(match self.schedule {
+        let mut backend = SimBackend::new().with_schedule(match self.schedule {
             PipelineSchedule::GPipe => amped_sim::PipelineSchedule::GPipe,
             PipelineSchedule::OneFOneB => amped_sim::PipelineSchedule::OneFOneB,
         });
+        if let Some(plan) = &self.fault_plan {
+            backend = backend.with_fault_plan(plan.clone());
+        }
         let refined = self.run_parallel(k, |_cache, i| {
             let scenario = self.scenario_for(ranked[i].parallelism);
             Ok(backend.evaluate(&scenario, training).ok())
@@ -545,10 +642,7 @@ impl<'a> SearchEngine<'a> {
         match self.evaluate(cache, p, training)? {
             None => Ok(Outcome::Filtered),
             Some(candidate) => {
-                best_bits.fetch_min(
-                    candidate.estimate.total_time.get().to_bits(),
-                    Ordering::Relaxed,
-                );
+                best_bits.fetch_min(candidate.objective_time().to_bits(), Ordering::Relaxed);
                 Ok(Outcome::Kept {
                     lower_bound,
                     candidate: Box::new(candidate),
@@ -706,10 +800,32 @@ impl<'a> SearchEngine<'a> {
                     energy,
                     fits_memory,
                     refined: None,
+                    resilience: None,
                 });
             }
         }
+        if let (Some(goodput), Some(candidate)) = (&self.goodput, best.as_mut()) {
+            candidate.resilience = Some(self.resilience_report(goodput, candidate)?);
+        }
         Ok(best)
+    }
+
+    /// The checkpoint/restart expected-time report for one candidate: its
+    /// per-device weight + optimizer shard priced at the configured write
+    /// bandwidth, against a system MTBF scaled to this engine's node count.
+    fn resilience_report(
+        &self,
+        goodput: &GoodputOptions,
+        candidate: &Candidate,
+    ) -> Result<ResilienceReport> {
+        let ckpt_write_s = candidate.memory.checkpoint_bytes() / goodput.ckpt_write_bytes_per_s;
+        let mut params = ResilienceParams::new(goodput.node_mtbf_s, self.system.num_nodes())?
+            .with_checkpoint_cost(ckpt_write_s)
+            .with_restart(goodput.restart_s);
+        if let Some(interval) = goodput.interval_s {
+            params = params.with_interval(interval);
+        }
+        params.report(candidate.estimate.total_time.get())
     }
 
     /// The fastest candidate, or `None` when every mapping was filtered out.
@@ -772,10 +888,8 @@ impl<'a> SearchEngine<'a> {
                 None => true,
                 Some((best_idx, b)) => {
                     candidate
-                        .estimate
-                        .total_time
-                        .get()
-                        .total_cmp(&b.estimate.total_time.get())
+                        .objective_time()
+                        .total_cmp(&b.objective_time())
                         .then(batch_idx.cmp(best_idx))
                         .then_with(|| {
                             parallelism_key(&candidate.parallelism)
@@ -1191,6 +1305,91 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn goodput_search_ranks_by_expected_time_and_annotates_candidates() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let results = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_goodput(GoodputOptions::new(4380.0 * 3600.0))
+            .search(&training)
+            .unwrap();
+        assert!(!results.is_empty());
+        for c in &results {
+            let r = c.resilience.as_ref().expect("goodput annotates every candidate");
+            assert_eq!(r.fault_free_s, c.estimate.total_time.get());
+            assert!(r.expected_s >= r.fault_free_s);
+            assert_eq!(c.objective_time(), r.expected_s);
+        }
+        for w in results.windows(2) {
+            assert!(w[0].objective_time() <= w[1].objective_time());
+        }
+    }
+
+    #[test]
+    fn goodput_pruned_search_keeps_the_expected_time_winner() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9))
+            .with_goodput(GoodputOptions::new(1000.0 * 3600.0));
+        let full = base.clone().search(&training).unwrap();
+        for jobs in [1, 4] {
+            let pruned = base
+                .clone()
+                .with_pruning(true)
+                .with_parallelism(jobs)
+                .search(&training)
+                .unwrap();
+            assert!(!pruned.is_empty());
+            assert_eq!(
+                pruned[0].objective_time().to_bits(),
+                full[0].objective_time().to_bits()
+            );
+            assert_eq!(
+                parallelism_key(&pruned[0].parallelism),
+                parallelism_key(&full[0].parallelism)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_slows_refined_candidates() {
+        let m = small_model();
+        let a = accel();
+        let sys = system(2, 4);
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_refine_sim(4);
+        let clean = base.clone().search(&training).unwrap();
+        let faulty = base
+            .clone()
+            .with_fault_plan(amped_sim::FaultPlan::seeded(7).with_straggler(0, 3.0))
+            .search(&training)
+            .unwrap();
+        // Compare per-mapping: the straggler can only slow a refined run.
+        let mut slower = 0;
+        for c in faulty.iter().filter(|c| c.refined.is_some()) {
+            let twin = clean
+                .iter()
+                .find(|x| parallelism_key(&x.parallelism) == parallelism_key(&c.parallelism))
+                .expect("same candidate set");
+            let (Some(rf), Some(rc)) = (&c.refined, &twin.refined) else {
+                continue;
+            };
+            assert!(rf.total_time.get() >= rc.total_time.get());
+            if rf.total_time.get() > rc.total_time.get() {
+                slower += 1;
+            }
+        }
+        assert!(slower > 0, "a 3x straggler must slow at least one refined run");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 
 use amped_configs::{accelerators, efficiency, models, systems};
 use amped_core::TrainingConfig;
-use amped_search::{Candidate, SearchEngine};
+use amped_search::{Candidate, GoodputOptions, SearchEngine};
+use amped_sim::FaultPlan;
 
 fn degrees(c: &Candidate) -> [usize; 6] {
     let p = &c.parallelism;
@@ -117,6 +118,115 @@ fn megatron_145b_refined_search_is_bit_identical_to_serial() {
             assert!(x.total_time.get() <= y.total_time.get());
         }
     }
+}
+
+/// Fault injection must not cost determinism: the same fault seed through
+/// simulator-refined search yields bit-identical timelines (and therefore
+/// refined totals) at any worker count, and two different seeds are
+/// allowed to — and here do — diverge.
+#[test]
+fn megatron_145b_fault_seeded_refinement_is_bit_identical_at_any_worker_count() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(512, 2).expect("valid");
+    let plan = FaultPlan::seeded(0xFA17)
+        .with_random_stragglers(3, 2.0)
+        .with_device_mtbf(24.0 * 3600.0)
+        .with_restart(120.0);
+    let base = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_memory_filter(true)
+        .with_refine_sim(6)
+        .with_fault_plan(plan.clone());
+
+    let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+    for jobs in [2, 4] {
+        let parallel = base.clone().with_parallelism(jobs).search(&training).unwrap();
+        assert_bit_identical(&serial, &parallel);
+        for (i, (x, y)) in serial.iter().zip(&parallel).enumerate() {
+            match (&x.refined, &y.refined) {
+                (Some(rx), Some(ry)) => assert_eq!(
+                    rx.total_time.get().to_bits(),
+                    ry.total_time.get().to_bits(),
+                    "fault-refined time of candidate {i} differs at jobs={jobs}"
+                ),
+                (None, None) => {}
+                _ => panic!("refinement outcome of candidate {i} differs at jobs={jobs}"),
+            }
+        }
+    }
+
+    // Injected faults actually moved the refined block relative to a clean
+    // refinement pass — this test must not vacuously compare no-ops.
+    let clean = base
+        .clone()
+        .with_fault_plan(FaultPlan::none())
+        .with_parallelism(1)
+        .search(&training)
+        .unwrap();
+    let slowed = serial
+        .iter()
+        .zip(&clean)
+        .filter_map(|(f, c)| Some((f.refined.as_ref()?, c.refined.as_ref()?)))
+        .filter(|(f, c)| f.total_time.get() > c.total_time.get())
+        .count();
+    assert!(slowed > 0, "seeded stragglers must slow some refined candidate");
+}
+
+/// Goodput-objective searches stay deterministic too: the expected-time
+/// ranking (a per-candidate analytical transform) is bit-identical across
+/// worker counts, with and without pruning.
+#[test]
+fn megatron_145b_goodput_ranking_is_bit_identical_at_any_worker_count() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let base = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_goodput(GoodputOptions::new(4380.0 * 3600.0));
+
+    let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+    assert!(serial.iter().all(|c| c.resilience.is_some()));
+
+    // Unpruned: the whole ranking is bit-identical across worker counts.
+    let parallel = base.clone().with_parallelism(4).search(&training).unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    for (x, y) in parallel.iter().zip(&serial) {
+        assert_eq!(degrees(x), degrees(y));
+        assert_eq!(
+            x.objective_time().to_bits(),
+            y.objective_time().to_bits(),
+            "expected-time objective differs across worker counts"
+        );
+    }
+
+    // Pruned: deterministic across worker counts and led by the same
+    // expected-time winner as the full ranking.
+    let pruned_serial = base
+        .clone()
+        .with_pruning(true)
+        .with_parallelism(1)
+        .search(&training)
+        .unwrap();
+    let pruned_parallel = base
+        .clone()
+        .with_pruning(true)
+        .with_parallelism(4)
+        .search(&training)
+        .unwrap();
+    assert_eq!(pruned_serial.len(), pruned_parallel.len());
+    for (x, y) in pruned_serial.iter().zip(&pruned_parallel) {
+        assert_eq!(degrees(x), degrees(y));
+        assert_eq!(x.objective_time().to_bits(), y.objective_time().to_bits());
+    }
+    assert!(!pruned_serial.is_empty());
+    assert_eq!(degrees(&pruned_serial[0]), degrees(&serial[0]));
+    assert_eq!(
+        pruned_serial[0].objective_time().to_bits(),
+        serial[0].objective_time().to_bits()
+    );
 }
 
 #[test]

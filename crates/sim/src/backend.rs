@@ -32,6 +32,7 @@ use amped_core::{
 };
 use amped_memory::{MemoryModel, PipelineSchedule as MemorySchedule};
 
+use crate::fault::FaultPlan;
 use crate::timeline::Activity;
 use crate::training::{PipelineSchedule, SimConfig};
 
@@ -39,12 +40,14 @@ use crate::training::{PipelineSchedule, SimConfig};
 /// contract.
 ///
 /// Deterministic: the simulator is event-ordered with stable tie-breaking,
-/// so repeated evaluations of one scenario are bit-identical — which is
-/// what lets the search's `--refine-sim` pass re-rank candidates
-/// reproducibly at any worker count.
-#[derive(Debug, Clone, Copy, Default)]
+/// and fault schedules are pure functions of their seed, so repeated
+/// evaluations of one scenario are bit-identical — which is what lets the
+/// search's `--refine-sim` pass re-rank candidates reproducibly at any
+/// worker count.
+#[derive(Debug, Clone, Default)]
 pub struct SimBackend {
     schedule: PipelineSchedule,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SimBackend {
@@ -58,6 +61,21 @@ impl SimBackend {
     pub fn with_schedule(mut self, schedule: PipelineSchedule) -> Self {
         self.schedule = schedule;
         self
+    }
+
+    /// Price scenarios under a fault plan: each evaluation becomes a full
+    /// [`SimConfig::simulate_run`] replay (stragglers, link faults,
+    /// checkpoints, seeded failures) instead of `iteration × batches`. An
+    /// inactive plan (no seed) changes nothing — outputs stay bit-identical
+    /// to a backend that never saw a plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The configured fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The configured pipeline schedule.
@@ -134,7 +152,7 @@ impl CostBackend for SimBackend {
         self.check_memory(scenario, training)?;
 
         let global_batch = training.global_batch();
-        let result = SimConfig::new(
+        let cfg = SimConfig::new(
             &scenario.model,
             &scenario.accelerator,
             &scenario.system,
@@ -143,8 +161,23 @@ impl CostBackend for SimBackend {
         .with_precision(scenario.precision)
         .with_efficiency(scenario.efficiency.clone())
         .with_options(scenario.options)
-        .with_schedule(self.schedule)
-        .simulate_iteration(global_batch)?;
+        .with_schedule(self.schedule);
+
+        // An active fault plan turns the evaluation into a full-run replay;
+        // otherwise the original iteration × batches path runs untouched.
+        let active_plan = self.fault_plan.as_ref().filter(|plan| plan.is_active());
+        let (result, total_time) = match active_plan {
+            Some(plan) => {
+                let run = cfg.simulate_run(global_batch, training.num_batches(), plan)?;
+                let total = run.total_time_s;
+                (run.iteration, total)
+            }
+            None => {
+                let r = cfg.simulate_iteration(global_batch)?;
+                let total = r.iteration_time * training.num_batches() as f64;
+                (r, total)
+            }
+        };
 
         let devices = result.timeline.num_devices().max(1) as f64;
         let mut b = amped_core::Breakdown::default();
@@ -187,7 +220,7 @@ impl CostBackend for SimBackend {
         Ok(Estimate {
             breakdown: b,
             time_per_iteration: Seconds::new(time_per_iteration),
-            total_time: Seconds::new(time_per_iteration * training.num_batches() as f64),
+            total_time: Seconds::new(total_time),
             microbatch_size: result.microbatch_size,
             num_microbatches: result.num_microbatches,
             efficiency: scenario.efficiency.eval(result.microbatch_size),
@@ -306,6 +339,75 @@ mod tests {
         assert_eq!(
             a.total_time.get().to_bits(),
             b.total_time.get().to_bits()
+        );
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical_to_no_plan() {
+        let p = Parallelism::builder()
+            .pp(2, 1)
+            .dp(4, 1)
+            .microbatches(MicrobatchPolicy::Explicit(8))
+            .build()
+            .unwrap();
+        let s = scenario(p, 1, 8);
+        let training = TrainingConfig::new(64, 4).unwrap();
+        let plain = SimBackend::new().evaluate(&s, &training).unwrap();
+        let inert = SimBackend::new()
+            .with_fault_plan(FaultPlan::none().with_random_stragglers(3, 2.0))
+            .evaluate(&s, &training)
+            .unwrap();
+        assert_eq!(
+            plain.total_time.get().to_bits(),
+            inert.total_time.get().to_bits()
+        );
+        assert_eq!(
+            plain.time_per_iteration.get().to_bits(),
+            inert.time_per_iteration.get().to_bits()
+        );
+    }
+
+    #[test]
+    fn active_fault_plan_extends_the_total_time() {
+        let p = Parallelism::builder()
+            .pp(2, 1)
+            .dp(4, 1)
+            .microbatches(MicrobatchPolicy::Explicit(8))
+            .build()
+            .unwrap();
+        let s = scenario(p, 1, 8);
+        let training = TrainingConfig::new(64, 20).unwrap();
+        let plain = SimBackend::new().evaluate(&s, &training).unwrap();
+        let iter = plain.time_per_iteration.get();
+        let faulted = SimBackend::new()
+            .with_fault_plan(
+                FaultPlan::seeded(7)
+                    .with_random_stragglers(1, 1.5)
+                    .with_device_mtbf(8.0 * 30.0 * iter)
+                    .with_restart(iter),
+            )
+            .evaluate(&s, &training)
+            .unwrap();
+        assert!(
+            faulted.total_time.get() > plain.total_time.get(),
+            "faults must cost time: {} vs {}",
+            faulted.total_time.get(),
+            plain.total_time.get()
+        );
+        assert!(faulted.time_per_iteration.get() > plain.time_per_iteration.get());
+        // Deterministic replay: same plan, same bits.
+        let again = SimBackend::new()
+            .with_fault_plan(
+                FaultPlan::seeded(7)
+                    .with_random_stragglers(1, 1.5)
+                    .with_device_mtbf(8.0 * 30.0 * iter)
+                    .with_restart(iter),
+            )
+            .evaluate(&s, &training)
+            .unwrap();
+        assert_eq!(
+            faulted.total_time.get().to_bits(),
+            again.total_time.get().to_bits()
         );
     }
 

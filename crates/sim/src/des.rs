@@ -8,6 +8,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::FaultSchedule;
 use crate::graph::{LinkClass, TaskGraph, TaskId, TaskKind};
 use crate::timeline::{Activity, Timeline};
 
@@ -76,6 +77,7 @@ pub struct SimOutcome {
 pub struct Simulator {
     network: NetworkParams,
     record_timeline: bool,
+    faults: Option<FaultSchedule>,
 }
 
 // Resource indices: device d owns compute resource 3d, intra send port
@@ -142,12 +144,23 @@ impl Simulator {
         Simulator {
             network,
             record_timeline: true,
+            faults: None,
         }
     }
 
     /// Disable timeline recording (saves memory on very large graphs).
     pub fn without_timeline(mut self) -> Self {
         self.record_timeline = false;
+        self
+    }
+
+    /// Price tasks under a resolved fault schedule: straggler devices
+    /// stretch their compute tasks, degraded links stretch transfers whose
+    /// start time falls inside a fault window. Without this call the
+    /// executor never consults fault state, keeping the no-fault path
+    /// bit-identical to a simulator built before faults existed.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
         self
     }
 
@@ -186,10 +199,14 @@ impl Simulator {
         let mut completed = 0usize;
         let mut now = 0.0f64;
 
-        let duration_of = |kind: &TaskKind| -> f64 {
-            match *kind {
+        let duration_of = |kind: &TaskKind, now: f64| -> f64 {
+            let base = match *kind {
                 TaskKind::Compute { duration_s, .. } => duration_s,
                 TaskKind::Transfer { bytes, link, .. } => self.network.transfer_time(bytes, link),
+            };
+            match &self.faults {
+                None => base,
+                Some(f) => f.adjust(kind, base, now),
             }
         };
 
@@ -215,7 +232,7 @@ impl Simulator {
                             break;
                         };
                         let t = graph.task(task);
-                        let dur = duration_of(&t.kind);
+                        let dur = duration_of(&t.kind, now);
                         busy[res] = true;
                         *seq += 1;
                         events.push(Reverse((EventTime::new(now + dur), *seq, res, task)));
@@ -422,6 +439,71 @@ mod tests {
         let out = Simulator::new(net()).run(&g);
         assert_eq!(out.makespan_s, 0.0);
         assert_eq!(out.device_stats.len(), 4);
+    }
+
+    #[test]
+    fn straggler_stretches_its_device_compute() {
+        let mut g = TaskGraph::new(2);
+        g.add(compute(0, 1.0), "a", &[]);
+        g.add(compute(1, 1.0), "b", &[]);
+        let sched = crate::fault::FaultSchedule {
+            compute_slowdown: vec![1.0, 3.0],
+            link_faults: Vec::new(),
+        };
+        let out = Simulator::new(net()).with_fault_schedule(sched).run(&g);
+        assert!((out.makespan_s - 3.0).abs() < 1e-12);
+        assert!((out.device_stats[0].compute_busy_s - 1.0).abs() < 1e-12);
+        assert!((out.device_stats[1].compute_busy_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_fault_applies_only_inside_its_window() {
+        use crate::fault::{FaultSchedule, LinkFault};
+        // Two back-to-back 1 MB intra transfers (~8 ms each): a window
+        // covering only the first stretches it 10x.
+        let mut g = TaskGraph::new(2);
+        let t1 = g.add(
+            TaskKind::Transfer { src: 0, dst: 1, bytes: 1e6, link: LinkClass::Intra },
+            "t1",
+            &[],
+        );
+        g.add(
+            TaskKind::Transfer { src: 0, dst: 1, bytes: 1e6, link: LinkClass::Intra },
+            "t2",
+            &[t1],
+        );
+        let base = 1e-6 + 8e6 / 1e9;
+        let sched = FaultSchedule {
+            compute_slowdown: vec![1.0, 1.0],
+            link_faults: vec![LinkFault {
+                device: 0,
+                link: LinkClass::Intra,
+                factor: 10.0,
+                from_s: 0.0,
+                until_s: base / 2.0, // open when t1 starts, closed before t2
+            }],
+        };
+        let out = Simulator::new(net()).with_fault_schedule(sched).run(&g);
+        assert!((out.makespan_s - 11.0 * base).abs() < 1e-9, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn noop_fault_schedule_is_bit_identical_to_no_schedule() {
+        let mut g = TaskGraph::new(2);
+        let a = g.add(compute(0, 1.37), "a", &[]);
+        let t = g.add(
+            TaskKind::Transfer { src: 0, dst: 1, bytes: 3.3e6, link: LinkClass::Inter },
+            "t",
+            &[a],
+        );
+        g.add(compute(1, 0.91), "b", &[t]);
+        let plain = Simulator::new(net()).run(&g);
+        let sched = crate::fault::FaultSchedule {
+            compute_slowdown: vec![1.0, 1.0],
+            link_faults: Vec::new(),
+        };
+        let faulted = Simulator::new(net()).with_fault_schedule(sched).run(&g);
+        assert_eq!(plain.makespan_s.to_bits(), faulted.makespan_s.to_bits());
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 pub mod backend;
 pub mod des;
+pub mod fault;
 pub mod graph;
 pub mod timeline;
 pub mod trace;
@@ -59,6 +60,7 @@ pub mod training;
 
 pub use backend::SimBackend;
 pub use des::{DeviceStats, SimOutcome, Simulator};
+pub use fault::{FaultPlan, FaultSchedule, LinkFault, SplitMix64, Straggler};
 pub use graph::{LinkClass, Task, TaskGraph, TaskId, TaskKind};
 pub use timeline::{Activity, Timeline, TimelineEntry};
-pub use training::{PipelineSchedule, SimConfig, SimResult};
+pub use training::{PipelineSchedule, RunResult, SimConfig, SimResult};

@@ -10,10 +10,12 @@ use amped_core::{
     AcceleratorSpec, EfficiencyModel, EngineOptions, Error, LayerKind, Parallelism, Precision,
     Result, SystemSpec, TransformerModel,
 };
+use amped_memory::MemoryModel;
 use amped_topo::Collective;
 use serde::{Deserialize, Serialize};
 
 use crate::des::{DeviceStats, NetworkParams, Simulator};
+use crate::fault::{FaultPlan, FaultSchedule, SplitMix64};
 use crate::graph::{LinkClass, TaskGraph, TaskId, TaskKind};
 use crate::timeline::Timeline;
 
@@ -60,6 +62,45 @@ pub struct SimResult {
     pub inter_bytes: f64,
 }
 
+/// The outcome of simulating a full training run under a [`FaultPlan`]:
+/// the fault-perturbed iteration replayed over every batch with periodic
+/// checkpoint writes, seeded transient failures, and restart-from-
+/// checkpoint rework.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total wall-clock seconds of the run, everything included.
+    pub total_time_s: f64,
+    /// Seconds the run would take with no faults injected at all.
+    pub fault_free_time_s: f64,
+    /// Seconds per iteration under stragglers/link faults (no checkpoints).
+    pub iteration_time_s: f64,
+    /// Seconds of the iteration that also carries the checkpoint write.
+    pub ckpt_iteration_time_s: f64,
+    /// Iterations between checkpoints (the resolved interval).
+    pub ckpt_interval_iters: u64,
+    /// Total seconds spent writing checkpoints.
+    pub checkpoint_time_s: f64,
+    /// Total seconds lost to failures: discarded progress plus restarts.
+    pub rework_time_s: f64,
+    /// Failures the run survived.
+    pub num_failures: u64,
+    /// Checkpoints the run committed.
+    pub num_checkpoints: u64,
+    /// Detail of the fault-perturbed iteration (timeline, device stats).
+    pub iteration: SimResult,
+}
+
+impl RunResult {
+    /// Fraction of wall-clock time spent making forward progress.
+    pub fn goodput(&self) -> f64 {
+        if self.total_time_s > 0.0 {
+            self.fault_free_time_s / self.total_time_s
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Configuration of a training-iteration simulation.
 ///
 /// See the [crate-level example](crate).
@@ -75,6 +116,8 @@ pub struct SimConfig<'a> {
     schedule: PipelineSchedule,
     grad_sync: bool,
     weight_update: bool,
+    faults: Option<FaultSchedule>,
+    ckpt_stage_s: Option<Vec<f64>>,
 }
 
 impl<'a> SimConfig<'a> {
@@ -97,6 +140,8 @@ impl<'a> SimConfig<'a> {
             schedule: PipelineSchedule::default(),
             grad_sync: true,
             weight_update: true,
+            faults: None,
+            ckpt_stage_s: None,
         }
     }
 
@@ -137,6 +182,44 @@ impl<'a> SimConfig<'a> {
         self
     }
 
+    /// Execute under a resolved fault schedule: straggler devices stretch
+    /// their compute tasks and degraded links stretch transfers inside
+    /// their windows. Without this call the executor never consults fault
+    /// state.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
+    /// Append a synchronous checkpoint write to the iteration: one `"ckpt"`
+    /// compute task per pipeline stage on its dp-rank-0 device, of the
+    /// given duration, depending on the stage's weight update. Durations
+    /// normally come from [`SimConfig::checkpoint_stage_seconds`].
+    pub fn with_checkpoint_writes(mut self, stage_seconds: Vec<f64>) -> Self {
+        self.ckpt_stage_s = Some(stage_seconds);
+        self
+    }
+
+    /// Seconds each pipeline stage needs to drain its checkpointable state
+    /// — weights plus optimizer, from the `amped-memory` footprint model —
+    /// to stable storage at `write_bytes_per_s`. One DP rank writes per
+    /// stage (the others hold replicas).
+    pub fn checkpoint_stage_seconds(
+        &self,
+        global_batch: usize,
+        write_bytes_per_s: f64,
+    ) -> Vec<f64> {
+        let p = self.parallelism;
+        let ub = p.microbatch_size(global_batch);
+        let n_ub = p.num_microbatches(global_batch);
+        MemoryModel::new(self.model, p)
+            .with_precision(self.precision)
+            .stage_footprints(ub, n_ub, false)
+            .iter()
+            .map(|fp| fp.checkpoint_bytes() / write_bytes_per_s)
+            .collect()
+    }
+
     /// Simulate one optimizer step at `global_batch` sequences.
     ///
     /// # Errors
@@ -164,7 +247,11 @@ impl<'a> SimConfig<'a> {
             inter_latency_s: self.system.inter().latency_s,
             inter_bw_bps: self.system.inter_bandwidth_per_accel(),
         };
-        let outcome = Simulator::new(network).run(&graph);
+        let mut simulator = Simulator::new(network);
+        if let Some(schedule) = &self.faults {
+            simulator = simulator.with_fault_schedule(schedule.clone());
+        }
+        let outcome = simulator.run(&graph);
         let n = outcome.device_stats.len().max(1);
         let mean_utilization = outcome
             .device_stats
@@ -182,6 +269,149 @@ impl<'a> SimConfig<'a> {
             microbatch_size: self.parallelism.microbatch_size(global_batch),
             intra_bytes: outcome.intra_bytes,
             inter_bytes: outcome.inter_bytes,
+        })
+    }
+
+    /// Simulate a full training run of `num_batches` optimizer steps under
+    /// `plan`.
+    ///
+    /// Three iteration graphs are priced through the discrete-event engine:
+    /// healthy (the fault-free reference), fault-perturbed (stragglers and
+    /// link faults applied), and fault-perturbed with per-stage checkpoint
+    /// writes appended. The run then replays the perturbed iteration over
+    /// every batch: checkpoints commit every `k` iterations (`k` from the
+    /// plan's interval, or the Young/Daly optimum for the *measured*
+    /// checkpoint cost), and transient failures — exponential arrivals
+    /// seeded from the plan — discard progress back to the last checkpoint
+    /// and charge the restart cost before replaying.
+    ///
+    /// With an inactive plan (no seed) nothing is injected and the result
+    /// is exactly `num_batches` fault-free iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the plan or scenario fails validation,
+    /// `num_batches` is zero, or the failure rate is so high the run cannot
+    /// make progress (the replay gives up after `10_000 + 100·num_batches`
+    /// failures).
+    pub fn simulate_run(
+        &self,
+        global_batch: usize,
+        num_batches: u64,
+        plan: &FaultPlan,
+    ) -> Result<RunResult> {
+        plan.validate()?;
+        if num_batches == 0 {
+            return Err(Error::invalid("simulation", "run must have at least one batch"));
+        }
+        let mut base = self.clone();
+        base.faults = None;
+        base.ckpt_stage_s = None;
+        let healthy = base.simulate_iteration(global_batch)?;
+        let fault_free_time_s = healthy.iteration_time * num_batches as f64;
+        if !plan.is_active() {
+            return Ok(RunResult {
+                total_time_s: fault_free_time_s,
+                fault_free_time_s,
+                iteration_time_s: healthy.iteration_time,
+                ckpt_iteration_time_s: healthy.iteration_time,
+                ckpt_interval_iters: num_batches,
+                checkpoint_time_s: 0.0,
+                rework_time_s: 0.0,
+                num_failures: 0,
+                num_checkpoints: 0,
+                iteration: healthy,
+            });
+        }
+
+        let n_devices = self.parallelism.dp() * self.parallelism.pp();
+        let schedule = plan.materialize(n_devices);
+        let perturbed_cfg = base.with_fault_schedule(schedule);
+        let perturbed = perturbed_cfg.simulate_iteration(global_batch)?;
+        let t_iter = perturbed.iteration_time;
+
+        // Checkpoint cost: the makespan delta of the same iteration with
+        // the per-stage "ckpt" write tasks appended — overlap with other
+        // devices' work is the simulator's to discover.
+        let ckpt_enabled = plan.device_mtbf_s.is_some() || plan.ckpt_interval_s.is_some();
+        let (t_ckpt_iter, ckpt_cost) = if ckpt_enabled {
+            let writes =
+                self.checkpoint_stage_seconds(global_batch, plan.ckpt_write_bytes_per_s);
+            let with_ckpt = perturbed_cfg
+                .clone()
+                .with_checkpoint_writes(writes)
+                .simulate_iteration(global_batch)?;
+            let t = with_ckpt.iteration_time;
+            (t, (t - t_iter).max(0.0))
+        } else {
+            (t_iter, 0.0)
+        };
+
+        let system_mtbf_s = plan.device_mtbf_s.map(|m| m / n_devices as f64);
+        let interval_s = plan.ckpt_interval_s.unwrap_or_else(|| match system_mtbf_s {
+            Some(m) => (2.0 * ckpt_cost * m).sqrt(),
+            None => f64::INFINITY,
+        });
+        let interval_iters = if ckpt_enabled && interval_s.is_finite() && t_iter > 0.0 {
+            ((interval_s / t_iter).round() as u64).clamp(1, num_batches)
+        } else {
+            num_batches
+        };
+
+        let mut rng = SplitMix64::new(plan.seed.unwrap_or(0) ^ 0x4641_494C_5354_524D);
+        let mut next_fail = system_mtbf_s.map(|m| rng.exp(m));
+        let max_failures = 10_000 + 100 * num_batches;
+        let mut wall = 0.0f64;
+        let mut done = 0u64;
+        let mut num_failures = 0u64;
+        let mut num_checkpoints = 0u64;
+        let mut checkpoint_time_s = 0.0f64;
+        let mut rework_time_s = 0.0f64;
+        while done < num_batches {
+            let seg = interval_iters.min(num_batches - done);
+            let seg_len =
+                seg as f64 * t_iter + if ckpt_enabled { ckpt_cost } else { 0.0 };
+            match next_fail {
+                Some(fail_at) if fail_at < wall + seg_len => {
+                    // The segment dies: progress since the last checkpoint
+                    // is discarded and the run restarts from it.
+                    num_failures += 1;
+                    if num_failures > max_failures {
+                        return Err(Error::invalid(
+                            "simulation",
+                            format!(
+                                "fault replay exceeded {max_failures} failures — \
+                                 mtbf too small for the run to make progress"
+                            ),
+                        ));
+                    }
+                    rework_time_s += (fail_at - wall) + plan.restart_s;
+                    wall = fail_at + plan.restart_s;
+                    next_fail =
+                        Some(wall + rng.exp(system_mtbf_s.expect("failures imply an mtbf")));
+                }
+                _ => {
+                    wall += seg_len;
+                    done += seg;
+                    if ckpt_enabled {
+                        num_checkpoints += 1;
+                        checkpoint_time_s += ckpt_cost;
+                    }
+                }
+            }
+        }
+
+        Ok(RunResult {
+            total_time_s: wall,
+            fault_free_time_s,
+            iteration_time_s: t_iter,
+            ckpt_iteration_time_s: t_ckpt_iter,
+            ckpt_interval_iters: interval_iters,
+            checkpoint_time_s,
+            rework_time_s,
+            num_failures,
+            num_checkpoints,
+            iteration: perturbed,
         })
     }
 
@@ -426,11 +656,13 @@ impl<'a> SimConfig<'a> {
             if self.grad_sync && dp > 1 {
                 final_step = self.add_grad_sync(&mut graph, s, grad_bytes, &last_bwd, grad_prio_base);
             }
+            let mut ckpt_deps: Vec<TaskId> = last_bwd[self.device(0, s)].clone();
+            ckpt_deps.extend(&final_step);
             if self.weight_update {
                 for dp_rank in 0..dp {
                     let mut deps: Vec<TaskId> = last_bwd[self.device(dp_rank, s)].clone();
                     deps.extend(&final_step);
-                    graph.add_with_priority(
+                    let id = graph.add_with_priority(
                         TaskKind::Compute {
                             device: self.device(dp_rank, s),
                             duration_s: durations[s].2,
@@ -439,11 +671,39 @@ impl<'a> SimConfig<'a> {
                         &deps,
                         grad_prio_base + 10_000,
                     );
+                    if dp_rank == 0 {
+                        ckpt_deps = vec![id];
+                    }
                 }
             }
+            self.add_checkpoint_write(&mut graph, s, &ckpt_deps, grad_prio_base);
         }
 
         Ok(graph)
+    }
+
+    /// Append the stage's checkpoint-write task (when checkpoint writes are
+    /// configured): a `"ckpt"` compute task on the stage's dp-rank-0 device
+    /// that blocks the device until the snapshot has drained to storage —
+    /// the synchronous-checkpoint model the Young/Daly analysis assumes.
+    fn add_checkpoint_write(
+        &self,
+        graph: &mut TaskGraph,
+        stage: usize,
+        deps: &[TaskId],
+        grad_prio_base: u64,
+    ) {
+        if let Some(ckpt) = &self.ckpt_stage_s {
+            graph.add_with_priority(
+                TaskKind::Compute {
+                    device: self.device(0, stage),
+                    duration_s: ckpt.get(stage).copied().unwrap_or(0.0),
+                },
+                "ckpt",
+                deps,
+                grad_prio_base + 20_000,
+            );
+        }
     }
 
     /// Build the interleaved-schedule task graph: the layer stack is cut
@@ -576,6 +836,8 @@ impl<'a> SimConfig<'a> {
             if self.grad_sync && dp > 1 {
                 final_step = self.add_grad_sync(&mut graph, s, grad_bytes, &last_bwd, grad_prio_base);
             }
+            let mut ckpt_deps: Vec<TaskId> = last_bwd[self.device(0, s)].clone();
+            ckpt_deps.extend(&final_step);
             if self.weight_update {
                 let wu: f64 = chunks
                     .iter()
@@ -586,7 +848,7 @@ impl<'a> SimConfig<'a> {
                 for dp_rank in 0..dp {
                     let mut deps: Vec<TaskId> = last_bwd[self.device(dp_rank, s)].clone();
                     deps.extend(&final_step);
-                    graph.add_with_priority(
+                    let id = graph.add_with_priority(
                         TaskKind::Compute {
                             device: self.device(dp_rank, s),
                             duration_s: wu,
@@ -595,8 +857,12 @@ impl<'a> SimConfig<'a> {
                         &deps,
                         grad_prio_base + 10_000,
                     );
+                    if dp_rank == 0 {
+                        ckpt_deps = vec![id];
+                    }
                 }
             }
+            self.add_checkpoint_write(&mut graph, s, &ckpt_deps, grad_prio_base);
         }
 
         Ok(graph)
@@ -1119,6 +1385,118 @@ mod tests {
             hier_cost < flat_cost,
             "hierarchical sync {hier_cost} must beat flat inter ring {flat_cost}"
         );
+    }
+
+    #[test]
+    fn straggler_schedule_slows_the_iteration() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::data_parallel_intra(4).unwrap();
+        let healthy = SimConfig::new(&m, &a, &sys, &p)
+            .simulate_iteration(32)
+            .unwrap();
+        let plan = crate::fault::FaultPlan::seeded(3).with_straggler(0, 2.0);
+        let slowed = SimConfig::new(&m, &a, &sys, &p)
+            .with_fault_schedule(plan.materialize(4))
+            .simulate_iteration(32)
+            .unwrap();
+        assert!(
+            slowed.iteration_time > 1.2 * healthy.iteration_time,
+            "straggler {} vs healthy {}",
+            slowed.iteration_time,
+            healthy.iteration_time
+        );
+    }
+
+    #[test]
+    fn checkpoint_writes_appear_and_extend_the_iteration() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::builder().pp(4, 1).build().unwrap();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let plain = cfg.clone().simulate_iteration(16).unwrap();
+        let ckpt = cfg
+            .with_checkpoint_writes(vec![0.5; 4])
+            .simulate_iteration(16)
+            .unwrap();
+        assert!(
+            ckpt.iteration_time >= plain.iteration_time + 0.5,
+            "ckpt {} vs plain {}",
+            ckpt.iteration_time,
+            plain.iteration_time
+        );
+        let n_ckpt = ckpt
+            .timeline
+            .entries()
+            .iter()
+            .filter(|e| e.label == "ckpt")
+            .count();
+        assert_eq!(n_ckpt, 4, "one checkpoint task per stage");
+        assert!(plain.timeline.entries().iter().all(|e| e.label != "ckpt"));
+    }
+
+    #[test]
+    fn inactive_plan_run_is_exactly_the_fault_free_product() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::data_parallel_intra(4).unwrap();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap();
+        let run = cfg.simulate_run(32, 7, &crate::fault::FaultPlan::none()).unwrap();
+        assert_eq!(
+            run.total_time_s.to_bits(),
+            (iter.iteration_time * 7.0).to_bits()
+        );
+        assert_eq!(run.num_failures, 0);
+        assert_eq!(run.num_checkpoints, 0);
+        assert!((run.goodput() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_and_checkpoints_cost_time_and_replay_deterministically() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::data_parallel_intra(4).unwrap();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap().iteration_time;
+        // MTBF tuned so a 50-batch run sees a handful of failures.
+        let plan = crate::fault::FaultPlan::seeded(17)
+            .with_device_mtbf(4.0 * 40.0 * iter)
+            .with_restart(2.0 * iter)
+            .with_ckpt_write_bw(1e9);
+        let run = cfg.simulate_run(32, 50, &plan).unwrap();
+        assert!(run.num_failures > 0, "expected at least one failure");
+        assert!(run.num_checkpoints > 0);
+        assert!(run.total_time_s > run.fault_free_time_s);
+        assert!(
+            (run.total_time_s
+                - (run.fault_free_time_s + run.checkpoint_time_s + run.rework_time_s))
+                .abs()
+                < 1e-6 * run.total_time_s,
+            "accounting must decompose the wall clock"
+        );
+        assert!(run.goodput() < 1.0);
+        let again = cfg.simulate_run(32, 50, &plan).unwrap();
+        assert_eq!(run.total_time_s.to_bits(), again.total_time_s.to_bits());
+        assert_eq!(run.num_failures, again.num_failures);
+    }
+
+    #[test]
+    fn hopeless_mtbf_errors_instead_of_hanging() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::data_parallel_intra(4).unwrap();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap().iteration_time;
+        let plan = crate::fault::FaultPlan::seeded(1)
+            .with_device_mtbf(iter * 1e-3)
+            .with_restart(iter);
+        assert!(cfg.simulate_run(32, 10, &plan).is_err());
     }
 
     #[test]

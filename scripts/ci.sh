@@ -13,4 +13,32 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> fault-injection smoke (seeded failures must not beat the fault-free time)"
+# A seeded replay with stragglers + a tiny MTBF: it must inject real
+# failures, and the wall time must never undercut the fault-free run.
+smoke=$(./target/release/amped simulate --model mingpt-85m --accel v100 \
+    --per-node 8 --pp 2 --dp 4 --batch 64 --batches 2000 \
+    --seed 7 --stragglers 2x1.8 --mtbf 0.05)
+total=$(printf '%s\n' "$smoke" | sed -n 's/^fault-injected run (seed 7): \([0-9.]*\) s.*/\1/p')
+fault_free=$(printf '%s\n' "$smoke" | sed -n 's/.*fault-free: \([0-9.]*\) s.*/\1/p')
+failures=$(printf '%s\n' "$smoke" | sed -n 's/.*failures: \([0-9]*\).*/\1/p')
+awk -v t="$total" -v f="$fault_free" -v n="$failures" 'BEGIN {
+    if (t == "" || f == "" || n + 0 < 1 || t + 0 < f + 0) {
+        printf "sim smoke failed: total=%s fault_free=%s failures=%s\n", t, f, n; exit 1
+    }
+    printf "sim smoke ok: %d failures, %.1fs >= fault-free %.1fs\n", n, t, f
+}'
+
+# The analytical expectation obeys the same law.
+report=$(./target/release/amped resilience --model mingpt-85m --accel v100 \
+    --per-node 8 --pp 2 --dp 4 --batch 64 --batches 2000 --mtbf 100 --json)
+fault_free=$(printf '%s' "$report" | tr ',{' '\n\n' | sed -n 's/.*"fault_free_s": *\([0-9.eE+-]*\).*/\1/p' | head -1)
+expected=$(printf '%s' "$report" | tr ',{' '\n\n' | sed -n 's/.*"expected_s": *\([0-9.eE+-]*\).*/\1/p' | head -1)
+awk -v e="$expected" -v f="$fault_free" 'BEGIN {
+    if (e == "" || f == "" || e + 0 < f + 0) {
+        printf "resilience smoke failed: expected_s=%s fault_free_s=%s\n", e, f; exit 1
+    }
+    printf "resilience smoke ok: expected %.1fs >= fault-free %.1fs\n", e, f
+}'
+
 echo "ci: all green"

@@ -1,0 +1,123 @@
+//! Differential test: seeded fault-injection runs converge on the
+//! analytical checkpoint/restart expectation.
+//!
+//! The simulator replays a measured iteration over a few hundred batches
+//! with exponential failures and periodic checkpoint commits; the
+//! analytical model predicts the same run's expected wall time from four
+//! numbers (MTBF, checkpoint cost, restart cost, interval). On a balanced
+//! DP×PP fixture the mean simulated time over several seeds must land
+//! within 10% of the analytical expectation — the acceptance criterion for
+//! the resilience subsystem.
+
+use amped::configs::{accelerators, models, systems};
+use amped::core::{MicrobatchPolicy, Parallelism, ResilienceParams};
+use amped::sim::{FaultPlan, SimConfig};
+
+const GLOBAL_BATCH: usize = 64;
+const NUM_BATCHES: u64 = 2000;
+const SEEDS: [u64; 6] = [11, 23, 37, 51, 68, 94];
+
+/// minGPT-85M on one 8×V100 node, PP2 × DP4: every pipeline stage and
+/// data-parallel replica carries the same slice, so the renewal model's
+/// "one failure stops the whole system" assumption matches the simulator.
+fn fixture() -> (
+    amped::core::TransformerModel,
+    amped::core::AcceleratorSpec,
+    amped::core::SystemSpec,
+    Parallelism,
+) {
+    let model = models::mingpt_85m();
+    let accel = accelerators::v100();
+    let system = systems::hgx2(8);
+    let parallelism = Parallelism::builder()
+        .pp(2, 1)
+        .dp(4, 1)
+        .microbatches(MicrobatchPolicy::Explicit(8))
+        .build()
+        .unwrap();
+    (model, accel, system, parallelism)
+}
+
+#[test]
+fn seeded_fault_runs_converge_on_the_analytical_expectation() {
+    let (model, accel, system, parallelism) = fixture();
+    let sim = SimConfig::new(&model, &accel, &system, &parallelism);
+
+    // Calibrate the failure rate off the healthy iteration time so the run
+    // sees a meaningful number of failures (~8 expected) regardless of what
+    // the fixture's absolute speed is — while keeping the system MTBF far
+    // above the checkpoint interval, where the first-order renewal model is
+    // actually valid.
+    let healthy = sim.simulate_iteration(GLOBAL_BATCH).unwrap();
+    let t_iter = healthy.iteration_time;
+    assert!(t_iter > 0.0);
+    let n_devices = 8.0;
+    let run_span = NUM_BATCHES as f64 * t_iter;
+    let device_mtbf_s = n_devices * run_span / 8.0;
+    let restart_s = 2.0 * t_iter;
+
+    let mut totals = Vec::new();
+    let mut failures = 0u64;
+    let mut reference = None;
+    for seed in SEEDS {
+        let plan = FaultPlan::seeded(seed)
+            .with_device_mtbf(device_mtbf_s)
+            .with_restart(restart_s)
+            // Fast writes keep the checkpoint cost well below the interval
+            // (the model's `C ≪ τ` validity condition) but still nonzero.
+            .with_ckpt_write_bw(1e10);
+        let run = sim.simulate_run(GLOBAL_BATCH, NUM_BATCHES, &plan).unwrap();
+        assert!(
+            run.total_time_s >= run.fault_free_time_s,
+            "faults can only add time: {} < {}",
+            run.total_time_s,
+            run.fault_free_time_s
+        );
+        failures += run.num_failures;
+        totals.push(run.total_time_s);
+        reference.get_or_insert(run);
+    }
+    assert!(
+        failures >= 24,
+        "fixture must actually exercise failures across seeds, saw {failures}"
+    );
+
+    // Feed the analytical model the quantities the simulator *measured* —
+    // the checkpoint makespan delta and the realized (integer-iteration)
+    // interval — so both sides describe the same machine.
+    let run = reference.unwrap();
+    let ckpt_cost_s = run.ckpt_iteration_time_s - run.iteration_time_s;
+    assert!(ckpt_cost_s > 0.0, "checkpoint writes must cost something");
+    let interval_s = run.ckpt_interval_iters as f64 * run.iteration_time_s;
+    let params = ResilienceParams::new(device_mtbf_s, 8)
+        .unwrap()
+        .with_checkpoint_cost(ckpt_cost_s)
+        .with_restart(restart_s);
+    let expected_s = params.expected_time_s(run.fault_free_time_s, interval_s);
+
+    let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+    let relative_error = (mean - expected_s).abs() / expected_s;
+    assert!(
+        relative_error <= 0.10,
+        "simulated mean {mean:.1}s vs analytical expectation {expected_s:.1}s \
+         ({:.1}% off, >10%); per-seed totals: {totals:?}",
+        100.0 * relative_error
+    );
+}
+
+#[test]
+fn fault_free_run_matches_the_iteration_product_exactly() {
+    let (model, accel, system, parallelism) = fixture();
+    let sim = SimConfig::new(&model, &accel, &system, &parallelism);
+    let healthy = sim.simulate_iteration(GLOBAL_BATCH).unwrap();
+    let run = sim
+        .simulate_run(GLOBAL_BATCH, NUM_BATCHES, &FaultPlan::none())
+        .unwrap();
+    assert_eq!(
+        run.total_time_s.to_bits(),
+        (healthy.iteration_time * NUM_BATCHES as f64).to_bits()
+    );
+    assert_eq!(run.num_failures, 0);
+    assert_eq!(run.checkpoint_time_s, 0.0);
+    assert_eq!(run.goodput().to_bits(), 1.0f64.to_bits());
+}

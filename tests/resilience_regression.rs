@@ -1,0 +1,111 @@
+//! No-fault outputs must stay bit-identical to the pre-resilience code.
+//!
+//! The resilience subsystem threads fault hooks through the discrete-event
+//! executor and the `SimBackend`, so these tests pin the exact f64 bit
+//! patterns both produced *before* faults existed (captured on the
+//! megatron-145b case-study fixture). Any drift — even in the last ulp —
+//! means the no-fault path is no longer the path it claims to be.
+
+use amped::configs::{efficiency, models, systems};
+use amped::core::{
+    CostBackend, EngineOptions, MicrobatchPolicy, Parallelism, Scenario, TrainingConfig,
+};
+use amped::sim::{FaultPlan, PipelineSchedule, SimBackend, SimConfig};
+
+fn parallelism(policy: MicrobatchPolicy) -> Parallelism {
+    Parallelism::builder()
+        .tp(8, 1)
+        .pp(1, 8)
+        .dp(1, 2)
+        .microbatches(policy)
+        .build()
+        .unwrap()
+}
+
+/// Raw simulator pin: `SimConfig::simulate_iteration` on megatron-145b,
+/// 16×8 A100 HDR cluster, TP8 × PP8 × DP2, 64 microbatches, GPipe.
+/// Captured before the fault hooks were added.
+const RAW_ITERATION_BITS: u64 = 0x405c_cfe8_2e61_5a3a;
+
+/// `SimBackend::evaluate` pin on the same fixture under 1F1B + activation
+/// recomputation, `TrainingConfig::new(512, 3)`. Captured before
+/// `SimBackend` learned about fault plans.
+const BACKEND_TOTAL_BITS: u64 = 0x407b_9f3e_79e4_a3b4;
+
+#[test]
+fn raw_simulator_is_bit_identical_to_pre_resilience_pin() {
+    let model = models::megatron_145b();
+    let accel = amped::configs::accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let p = parallelism(MicrobatchPolicy::Explicit(64));
+    let r = SimConfig::new(&model, &accel, &system, &p)
+        .with_efficiency(efficiency::case_study())
+        .simulate_iteration(512)
+        .unwrap();
+    assert_eq!(
+        r.iteration_time.to_bits(),
+        RAW_ITERATION_BITS,
+        "no-fault simulate_iteration drifted: {} vs pinned {}",
+        r.iteration_time,
+        f64::from_bits(RAW_ITERATION_BITS)
+    );
+}
+
+fn backend_scenario() -> Scenario {
+    Scenario::new(
+        models::megatron_145b(),
+        amped::configs::accelerators::a100(),
+        systems::a100_hdr_cluster(16, 8),
+        parallelism(MicrobatchPolicy::Explicit(64)),
+    )
+    .with_efficiency(efficiency::case_study())
+    .with_options(EngineOptions {
+        activation_recompute: true,
+        ..EngineOptions::default()
+    })
+}
+
+#[test]
+fn sim_backend_is_bit_identical_to_pre_resilience_pin() {
+    let training = TrainingConfig::new(512, 3).unwrap();
+    let est = SimBackend::new()
+        .with_schedule(PipelineSchedule::OneFOneB)
+        .evaluate(&backend_scenario(), &training)
+        .unwrap();
+    assert_eq!(
+        est.total_time.get().to_bits(),
+        BACKEND_TOTAL_BITS,
+        "no-fault SimBackend drifted: {} vs pinned {}",
+        est.total_time.get(),
+        f64::from_bits(BACKEND_TOTAL_BITS)
+    );
+}
+
+#[test]
+fn inert_fault_plan_matches_the_pin_too() {
+    // seed = None disables injection entirely: the backend must produce the
+    // exact pre-resilience bits even with a (seedless) plan attached.
+    let training = TrainingConfig::new(512, 3).unwrap();
+    let est = SimBackend::new()
+        .with_schedule(PipelineSchedule::OneFOneB)
+        .with_fault_plan(
+            FaultPlan::none()
+                .with_random_stragglers(4, 2.0)
+                .with_device_mtbf(3600.0),
+        )
+        .evaluate(&backend_scenario(), &training)
+        .unwrap();
+    assert_eq!(est.total_time.get().to_bits(), BACKEND_TOTAL_BITS);
+}
+
+#[test]
+fn analytical_backend_is_bit_identical_to_its_own_rerun() {
+    // The analytical path takes no fault input at all; its output must be a
+    // pure function of the scenario.
+    let training = TrainingConfig::new(512, 3).unwrap();
+    let backend = amped::core::AnalyticalBackend;
+    let a = backend.evaluate(&backend_scenario(), &training).unwrap();
+    let b = backend.evaluate(&backend_scenario(), &training).unwrap();
+    assert_eq!(a.total_time.get().to_bits(), b.total_time.get().to_bits());
+    assert!(a.total_time.get() > 0.0);
+}
