@@ -21,7 +21,9 @@ impl Args {
     /// Parse from an iterator of tokens (usually `std::env::args().skip(1)`).
     ///
     /// `--key value` becomes a flag; `--key` followed by another `--flag`
-    /// or nothing becomes a boolean switch.
+    /// or nothing becomes a boolean switch. A single-dash alphabetic token
+    /// (`-v`) is a short boolean switch, queryable by its bare name
+    /// (`switch("v")`).
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
         let mut out = Args::default();
         let mut iter = tokens.into_iter().peekable();
@@ -32,6 +34,11 @@ impl Args {
                 } else {
                     out.switches.push(key.to_string());
                 }
+            } else if let Some(short) = tok
+                .strip_prefix('-')
+                .filter(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_alphabetic()))
+            {
+                out.switches.push(short.to_string());
             } else if out.command.is_none() {
                 out.command = Some(tok);
             }
@@ -173,6 +180,21 @@ mod tests {
         let a = args("run --fast --model m");
         assert!(a.switch("fast"));
         assert_eq!(a.get("model"), Some("m"));
+    }
+
+    #[test]
+    fn short_switches() {
+        let a = args("estimate -v --model gpt3");
+        assert_eq!(a.command.as_deref(), Some("estimate"));
+        assert!(a.switch("v"));
+        assert_eq!(a.get("model"), Some("gpt3"));
+        // A leading short switch never swallows the subcommand.
+        let b = args("-v simulate");
+        assert!(b.switch("v"));
+        assert_eq!(b.command.as_deref(), Some("simulate"));
+        // Non-alphabetic single-dash tokens are not switches (they may be
+        // negative values consumed by --key parsing, or plain noise).
+        assert!(!args("x -5").switch("5"));
     }
 }
 

@@ -4,14 +4,17 @@
 //! [`Error::Usage`], unreadable files become [`Error::Io`], and model-layer
 //! failures propagate typed — `main` maps them all to a non-zero exit.
 
+use std::sync::Arc;
+
 use amped_configs::scenario::ResilienceSection;
 use amped_configs::{interconnects, registry};
 use amped_core::{
     AnalyticalBackend, CostBackend, EfficiencyModel, Error, Estimator, Link, MicrobatchPolicy,
-    Parallelism, Precision, ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig,
-    TransformerModel,
+    ObservedBackend, Parallelism, Precision, ResilienceReport, Result, Scenario, SystemSpec,
+    TrainingConfig, TransformerModel,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
+use amped_obs::Observer;
 use amped_report::Table;
 use amped_search::{EnumerationOptions, GoodputOptions, SearchEngine, Sweep};
 use amped_sim::{FaultPlan, SimBackend, SimConfig};
@@ -67,6 +70,18 @@ common flags:
                               does not fit device memory
   --config FILE               load a JSON scenario file instead of flags
 
+observability flags (estimate/sweep/search/simulate/resilience):
+  --metrics-out FILE          write a JSON run report: per-phase timings,
+                              search counters, cache hit rates, DES internals,
+                              per-device busy fractions
+  --trace-out FILE            write Chrome-trace JSON (load in Perfetto):
+                              search spans per worker thread; on simulate, the
+                              device timeline (pid = pipeline stage,
+                              tid = device, checkpoint/recompute categories)
+  -v                          append a human-readable metrics summary
+                              (instrumentation is off unless one of these is
+                              given, and never changes any result)
+
 resilience flags (resilience; --mtbf also on estimate, --goodput on search,
 --seed/--stragglers on simulate):
   --mtbf HOURS                per-node mean time between failures
@@ -88,13 +103,91 @@ resilience flags (resilience; --mtbf also on estimate, --goodput on search,
 const DEFAULT_MTBF_HOURS: f64 = 4380.0;
 
 /// The cost backend selected by `--backend` (analytical when absent).
-fn backend_for(args: &Args) -> Result<Box<dyn CostBackend>> {
+/// With an observer, evaluations are recorded: the simulator backend
+/// self-instruments (spans, `backend.sim.evaluations` and the `sim.des.*`
+/// series), the analytical one goes through [`ObservedBackend`].
+fn backend_for(args: &Args, observer: Option<Arc<Observer>>) -> Result<Box<dyn CostBackend>> {
     match args.get_or("backend", "analytical") {
-        "analytical" => Ok(Box::new(AnalyticalBackend)),
-        "sim" => Ok(Box::new(SimBackend::new())),
+        "analytical" => Ok(match observer {
+            Some(obs) => Box::new(ObservedBackend::new(Box::new(AnalyticalBackend), obs)),
+            None => Box::new(AnalyticalBackend),
+        }),
+        "sim" => Ok(match observer {
+            Some(obs) => Box::new(SimBackend::new().with_observer(obs)),
+            None => Box::new(SimBackend::new()),
+        }),
         other => Err(Error::usage(format!(
             "unknown backend `{other}`; use analytical|sim"
         ))),
+    }
+}
+
+/// The `--metrics-out` / `--trace-out` / `-v` observability session of one
+/// command invocation.
+///
+/// When none of the three flags is given the session is disabled:
+/// [`ObsSession::observer`] returns `None`, nothing is ever attached to the
+/// engines, and the command runs exactly the uninstrumented code path —
+/// the zero-overhead-when-disabled contract. When enabled, instrumentation
+/// is passive (clock reads and atomic bumps), so results are bit-identical
+/// either way.
+struct ObsSession {
+    observer: Arc<Observer>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    verbose: bool,
+}
+
+impl ObsSession {
+    fn from_args(args: &Args) -> Self {
+        ObsSession {
+            observer: Arc::new(Observer::new()),
+            metrics_out: args.get("metrics-out").map(String::from),
+            trace_out: args.get("trace-out").map(String::from),
+            verbose: args.switch("v") || args.switch("verbose"),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.verbose
+    }
+
+    /// The observer to attach to engines — `None` when the session is
+    /// disabled, so disabled runs never pay even the passive recording.
+    fn observer(&self) -> Option<Arc<Observer>> {
+        self.enabled().then(|| Arc::clone(&self.observer))
+    }
+
+    /// Write `--metrics-out` / `--trace-out` files and append the `-v`
+    /// summary to `out`. `trace_json` overrides the observer-span trace
+    /// (the simulator commands export their device timeline instead).
+    fn finish_with(
+        &self,
+        command: &str,
+        trace_json: Option<String>,
+        out: &mut String,
+    ) -> Result<()> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let report = self.observer.report(command);
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| Error::io(path, e.to_string()))?;
+        }
+        if let Some(path) = &self.trace_out {
+            let json = trace_json.unwrap_or_else(|| self.observer.chrome_trace());
+            std::fs::write(path, json).map_err(|e| Error::io(path, e.to_string()))?;
+        }
+        if self.verbose {
+            out.push_str("\n\n");
+            out.push_str(&report.summary());
+        }
+        Ok(())
+    }
+
+    fn finish(&self, command: &str, out: &mut String) -> Result<()> {
+        self.finish_with(command, None, out)
     }
 }
 
@@ -334,7 +427,8 @@ fn expected_time_report(
 
 fn estimate(args: &Args) -> Result<String> {
     let s = setup(args)?;
-    let backend = backend_for(args)?;
+    let obs = ObsSession::from_args(args);
+    let backend = backend_for(args, obs.observer())?;
     let estimate = backend.evaluate(&s.scenario(), &s.training)?;
     // --mtbf (or a config-file resilience section) layers the analytical
     // checkpoint/restart model on top of the fault-free estimate.
@@ -343,6 +437,9 @@ fn estimate(args: &Args) -> Result<String> {
         None => None,
     };
     if args.switch("json") {
+        // Observability files are still written; the -v summary never
+        // pollutes machine-readable output.
+        obs.finish("estimate", &mut String::new())?;
         return match &report {
             Some(r) => to_json(&serde_json::json!({ "estimate": estimate, "resilience": r })),
             None => to_json(&estimate),
@@ -361,17 +458,20 @@ fn estimate(args: &Args) -> Result<String> {
     if let Some(r) = &report {
         out.push_str(&format!("\n{r}"));
     }
+    obs.finish("estimate", &mut out)?;
     Ok(out)
 }
 
 fn resilience(args: &Args) -> Result<String> {
     let s = setup(args)?;
-    let backend = backend_for(args)?;
+    let obs = ObsSession::from_args(args);
+    let backend = backend_for(args, obs.observer())?;
     let estimate = backend.evaluate(&s.scenario(), &s.training)?;
     let section = resilience_section(args, &s, Some(DEFAULT_MTBF_HOURS))?
         .ok_or_else(|| Error::usage("resilience needs an MTBF"))?;
     let report = expected_time_report(&s, &section, estimate.total_time.get())?;
     if args.switch("json") {
+        obs.finish("resilience", &mut String::new())?;
         return to_json(&serde_json::json!({ "estimate": estimate, "resilience": report }));
     }
     let mut out = format!(
@@ -397,21 +497,35 @@ fn resilience(args: &Args) -> Result<String> {
         if let Some(interval) = section.interval_s {
             plan = plan.with_ckpt_interval(interval);
         }
-        let run = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        let mut cfg = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
             .with_precision(s.precision)
-            .with_efficiency(s.efficiency)
-            .simulate_run(s.training.global_batch(), s.training.num_batches(), &plan)?;
+            .with_efficiency(s.efficiency);
+        if let Some(o) = obs.observer() {
+            cfg = cfg.with_observer(o);
+        }
+        let run =
+            cfg.simulate_run(s.training.global_batch(), s.training.num_batches(), &plan)?;
         let deviation = (run.total_time_s - report.expected_s) / report.expected_s * 100.0;
         out.push_str(&format!(
             "\nseeded simulation (seed {seed}): {:.2} s total, {} failure(s), {} checkpoint(s)\n  vs analytical expectation {:.2} s ({:+.1}%)",
             run.total_time_s, run.num_failures, run.num_checkpoints, report.expected_s, deviation
         ));
+        // The fault replay is the interesting trace here: training, lost
+        // work, restarts and checkpoint writes per device.
+        let trace_json = obs
+            .trace_out
+            .is_some()
+            .then(|| amped_sim::trace::run_to_chrome_trace(&run, s.parallelism.pp()));
+        obs.finish_with("resilience", trace_json, &mut out)?;
+        return Ok(out);
     }
+    obs.finish("resilience", &mut out)?;
     Ok(out)
 }
 
 fn search(args: &Args) -> Result<String> {
     let s = setup(args)?;
+    let obs = ObsSession::from_args(args);
     let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
@@ -420,6 +534,9 @@ fn search(args: &Args) -> Result<String> {
         .with_pruning(args.switch("prune"))
         .with_memory_filter(args.switch("memory-filter"))
         .with_refine_sim(args.parse_or("refine-sim", 0)?);
+    if let Some(o) = obs.observer() {
+        engine = engine.with_observer(o);
+    }
     // --goodput [HOURS] ranks by expected time under failures instead of
     // the fault-free total.
     let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
@@ -447,6 +564,7 @@ fn search(args: &Args) -> Result<String> {
         }
     };
     if args.switch("json") {
+        obs.finish("search", &mut String::new())?;
         let rows: Vec<serde_json::Value> = results
             .iter()
             .take(top)
@@ -492,14 +610,19 @@ fn search(args: &Args) -> Result<String> {
             amped_report::resilience_table(&results[..shown]).to_ascii()
         ));
     }
+    obs.finish("search", &mut out)?;
     Ok(out)
 }
 
 fn simulate(args: &Args) -> Result<String> {
     let s = setup(args)?;
-    let cfg = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let obs = ObsSession::from_args(args);
+    let mut cfg = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency);
+    if let Some(o) = obs.observer() {
+        cfg = cfg.with_observer(o);
+    }
     // --seed switches to a fault-injected whole-run replay.
     if let Some(seed) = args.get("seed") {
         let seed: u64 = seed
@@ -524,7 +647,7 @@ fn simulate(args: &Args) -> Result<String> {
         let gbps: f64 = args.parse_or("ckpt-gbps", 16.0)?;
         plan = plan.with_ckpt_write_bw(gbps * 1e9 / 8.0);
         let run = cfg.simulate_run(s.training.global_batch(), s.training.num_batches(), &plan)?;
-        return Ok(format!(
+        let mut out = format!(
             "fault-injected run (seed {seed}): {:.4} s over {} batches\n  \
              fault-free: {:.4} s   checkpoints: {} ({:.4} s)   rework: {:.4} s\n  \
              failures: {}   ckpt interval: {} iteration(s)   goodput: {:.1}%",
@@ -537,7 +660,15 @@ fn simulate(args: &Args) -> Result<String> {
             run.num_failures,
             run.ckpt_interval_iters,
             run.goodput() * 100.0
-        ));
+        );
+        // Export the replay itself: train/ckpt/lost/restart slices per
+        // device, pid = pipeline stage.
+        let trace_json = obs
+            .trace_out
+            .is_some()
+            .then(|| amped_sim::trace::run_to_chrome_trace(&run, s.parallelism.pp()));
+        obs.finish_with("simulate", trace_json, &mut out)?;
+        return Ok(out);
     }
     if args.get("stragglers").is_some() || args.get("mtbf").is_some() {
         return Err(Error::usage(
@@ -558,6 +689,11 @@ fn simulate(args: &Args) -> Result<String> {
             result.device_stats[d].utilization(result.iteration_time) * 100.0
         ));
     }
+    // The device timeline, grouped by pipeline stage in Perfetto.
+    let trace_json = obs.trace_out.is_some().then(|| {
+        amped_sim::trace::to_chrome_trace_staged(&result.timeline, s.parallelism.pp())
+    });
+    obs.finish_with("simulate", trace_json, &mut out)?;
     Ok(out)
 }
 
@@ -627,16 +763,20 @@ fn sweep(args: &Args) -> Result<String> {
     }
     let base = s.training.global_batch();
     let batches: Vec<usize> = [1usize, 2, 4].iter().map(|m| base * m).collect();
-    let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+    let obs = ObsSession::from_args(args);
+    let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
         .with_parallelism(args.parse_or("jobs", 0)?);
+    if let Some(o) = obs.observer() {
+        engine = engine.with_observer(o);
+    }
     // The default analytical sweep tunes microbatches per cell; an explicit
     // backend prices the mappings exactly as constructed.
     let sweep = match args.get("backend") {
         None => Sweep::run(&engine, &mappings, &batches, s.training.num_batches()),
         Some(_) => {
-            let backend = backend_for(args)?;
+            let backend = backend_for(args, obs.observer())?;
             Sweep::run_backend(
                 &engine,
                 backend.as_ref(),
@@ -653,6 +793,7 @@ winners: ");
     for (b, w) in sweep.winners() {
         out.push_str(&format!("{b}:{w} "));
     }
+    obs.finish("sweep", &mut out)?;
     Ok(out)
 }
 
@@ -1112,5 +1253,119 @@ mod tests {
         // A flag overrides the file.
         let out = run(&format!("resilience --config {} --mtbf 250", path.display())).unwrap();
         assert!(out.contains("node MTBF 250 h"), "{out}");
+    }
+
+    fn obs_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("amped-cli-obs-test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn search_obs_flags_write_valid_json_without_changing_output() {
+        let dir = obs_dir("search");
+        let metrics = dir.join("metrics.json");
+        let trace = dir.join("trace.json");
+        let base = "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 \
+                    --batch 64 --top 3 --jobs 2";
+        let bare = run(base).unwrap();
+        let observed = run(&format!(
+            "{base} --metrics-out {} --trace-out {}",
+            metrics.display(),
+            trace.display()
+        ))
+        .unwrap();
+        // Instrumentation never perturbs results: byte-identical report.
+        assert_eq!(bare, observed);
+
+        let m: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(m["command"], "search");
+        let c = &m["counters"];
+        let n = |key: &str| {
+            c.get(key)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or_else(|| panic!("missing counter {key} in {c:?}"))
+        };
+        assert_eq!(
+            n("search.candidates.generated"),
+            n("search.candidates.pruned") + n("search.candidates.evaluated")
+        );
+        assert_eq!(
+            n("search.candidates.evaluated"),
+            n("search.candidates.kept") + n("search.candidates.memory_rejected")
+        );
+        assert_eq!(
+            n("search.cache.lookups"),
+            n("search.cache.hits") + n("search.cache.misses")
+        );
+        assert!(n("search.candidates.generated") > 0);
+        assert!(!m["phases"].as_array().unwrap().is_empty());
+
+        let t: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = t.as_array().unwrap();
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|e| e["ph"] == "X" && e.get("ts").is_some() && e.get("name").is_some()));
+    }
+
+    #[test]
+    fn verbose_switch_appends_the_run_summary() {
+        let base = "estimate --model mingpt-85m --accel v100 --per-node 8 --dp 8 --batch 64";
+        let quiet = run(base).unwrap();
+        let verbose = run(&format!("{base} -v")).unwrap();
+        assert!(verbose.starts_with(&quiet), "summary must append, not mutate");
+        assert!(verbose.contains("backend.analytical.evaluations"), "{verbose}");
+    }
+
+    #[test]
+    fn simulate_trace_out_exports_the_device_timeline() {
+        let dir = obs_dir("simulate");
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        run(&format!(
+            "simulate --model mingpt-85m --accel v100 --per-node 4 --pp 4 --dp 1 --batch 16 \
+             --trace-out {} --metrics-out {}",
+            trace.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        let t: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let cats: Vec<&str> = t
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e["cat"].as_str())
+            .collect();
+        assert!(cats.contains(&"compute"), "{cats:?}");
+        let m: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert!(m["counters"]["sim.des.events_processed"].as_u64().unwrap() > 0);
+        assert!(!m["devices"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_simulate_trace_has_checkpoint_and_recompute_slices() {
+        let dir = obs_dir("simulate-seeded");
+        let trace = dir.join("trace.json");
+        run(&format!(
+            "simulate --model mingpt-85m --accel v100 --per-node 4 --pp 4 --dp 1 --batch 16 \
+             --batches 200 --seed 7 --mtbf 0.0001 --ckpt-interval 1 --trace-out {}",
+            trace.display()
+        ))
+        .unwrap();
+        let t: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let cats: Vec<&str> = t
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e["cat"].as_str())
+            .collect();
+        assert!(cats.contains(&"ckpt"), "{cats:?}");
+        assert!(cats.contains(&"recompute"), "no failures replayed: {cats:?}");
     }
 }

@@ -14,6 +14,10 @@
 //! [`AnalyticalBackend`] lives here; the simulator-driven `SimBackend`
 //! lives in `amped-sim` (core cannot depend on it).
 
+use std::sync::Arc;
+
+use amped_obs::Observer;
+
 use crate::accelerator::AcceleratorSpec;
 use crate::efficiency::EfficiencyModel;
 use crate::engine::{EngineOptions, Estimate, EstimateCache, Estimator};
@@ -214,6 +218,76 @@ impl CostBackend for AnalyticalBackend {
     }
 }
 
+/// A [`CostBackend`] decorator that records each evaluation on an
+/// [`Observer`]: a timed span (category `"evaluate"`, named after the inner
+/// backend) and a `backend.<name>.evaluations` counter.
+///
+/// Observation is passive — the wrapper forwards the call unchanged and the
+/// observer only reads clocks and bumps atomics, so estimates are
+/// bit-identical to the bare inner backend's.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use amped_core::{AnalyticalBackend, CostBackend, ObservedBackend};
+/// use amped_obs::Observer;
+///
+/// let observer = Arc::new(Observer::new());
+/// let backend = ObservedBackend::new(Box::new(AnalyticalBackend), observer.clone());
+/// assert_eq!(backend.name(), "analytical");
+/// // ... backend.evaluate(&scenario, &training) ...
+/// assert_eq!(observer.counters().len(), 1); // registered eagerly at 0
+/// ```
+pub struct ObservedBackend {
+    inner: Box<dyn CostBackend>,
+    observer: Arc<Observer>,
+    evaluations: amped_obs::Counter,
+}
+
+impl ObservedBackend {
+    /// Wrap `inner` so every evaluation is recorded on `observer`. The
+    /// `backend.<name>.evaluations` counter is registered immediately (at
+    /// zero), so reports show the backend even before any evaluation.
+    pub fn new(inner: Box<dyn CostBackend>, observer: Arc<Observer>) -> Self {
+        let evaluations = observer.counter(&format!("backend.{}.evaluations", inner.name()));
+        ObservedBackend {
+            inner,
+            observer,
+            evaluations,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn CostBackend {
+        self.inner.as_ref()
+    }
+}
+
+impl std::fmt::Debug for ObservedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObservedBackend")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CostBackend for ObservedBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn breakdown_fidelity(&self) -> BreakdownFidelity {
+        self.inner.breakdown_fidelity()
+    }
+
+    fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate> {
+        let _span = self.observer.span_with_cat(self.inner.name(), "evaluate");
+        self.evaluations.incr();
+        self.inner.evaluate(scenario, training)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +353,30 @@ mod tests {
         assert_eq!(
             a.total_time.get().to_bits(),
             b.total_time.get().to_bits()
+        );
+    }
+
+    #[test]
+    fn observed_backend_is_transparent_and_counts() {
+        let s = scenario();
+        let training = TrainingConfig::new(256, 10).unwrap();
+        let bare = AnalyticalBackend.evaluate(&s, &training).unwrap();
+        let obs = Arc::new(Observer::new());
+        let wrapped = ObservedBackend::new(Box::new(AnalyticalBackend), obs.clone());
+        assert_eq!(wrapped.name(), "analytical");
+        assert_eq!(wrapped.breakdown_fidelity(), BreakdownFidelity::Exact);
+        assert_eq!(obs.counters()["backend.analytical.evaluations"], 0);
+        let a = wrapped.evaluate(&s, &training).unwrap();
+        let b = wrapped.evaluate(&s, &training).unwrap();
+        assert_eq!(a.total_time.get().to_bits(), bare.total_time.get().to_bits());
+        assert_eq!(b.total_time.get().to_bits(), bare.total_time.get().to_bits());
+        assert_eq!(obs.counters()["backend.analytical.evaluations"], 2);
+        // Each evaluation left a timed span on the trace.
+        let spans = obs.trace_events();
+        assert_eq!(
+            spans.iter().filter(|e| e.cat == "evaluate").count(),
+            2,
+            "spans: {spans:?}"
         );
     }
 

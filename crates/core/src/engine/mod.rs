@@ -16,7 +16,7 @@ mod detail;
 mod estimator;
 mod options;
 
-pub use backend::{AnalyticalBackend, BreakdownFidelity, CostBackend, Scenario};
+pub use backend::{AnalyticalBackend, BreakdownFidelity, CostBackend, ObservedBackend, Scenario};
 pub use breakdown::{Breakdown, Estimate};
 pub use cache::EstimateCache;
 pub use detail::{DetailedEstimate, LayerEstimate};

@@ -85,7 +85,8 @@ pub use diagnostics::{check_scenario, Diagnostic, Severity};
 pub use efficiency::EfficiencyModel;
 pub use engine::{
     AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CostBackend,
-    DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator, LayerEstimate, Scenario,
+    DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator, LayerEstimate,
+    ObservedBackend, Scenario,
 };
 pub use error::{Error, Result};
 pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder};

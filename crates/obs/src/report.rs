@@ -1,0 +1,186 @@
+//! The serializable run report behind the CLI's `--metrics-out`.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::DeviceUtil;
+use crate::trace::{escape_json, json_f64};
+
+/// A machine-readable summary of one instrumented run: per-phase wall
+/// times, every counter and gauge, and per-device utilization when a
+/// simulation ran.
+///
+/// Serialized by [`RunReport::to_json`] as plain JSON (hand-rolled so the
+/// observability crate stays dependency-free; the CI smoke test parses it
+/// back with the workspace `serde_json` shim to keep the writer honest).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The CLI subcommand (or caller-chosen label) that produced the run.
+    pub command: String,
+    /// `(phase name, wall seconds)` aggregated by name, in first-start order.
+    pub phases: Vec<(String, f64)>,
+    /// Every registered counter, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Every registered gauge, sorted by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Per-device busy fractions from the most recent simulated timeline
+    /// (empty for purely analytical runs).
+    pub devices: Vec<DeviceUtil>,
+}
+
+impl RunReport {
+    /// Serialize as pretty-printed JSON.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amped_obs::Observer;
+    /// let obs = Observer::new();
+    /// obs.add("search.candidates.generated", 10);
+    /// let json = obs.report("search").to_json();
+    /// assert!(json.contains("\"search.candidates.generated\": 10"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"command\": \"{}\",\n",
+            escape_json(&self.command)
+        ));
+
+        out.push_str("  \"phases\": [");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"seconds\": {}}}",
+                escape_json(name),
+                json_f64(*secs)
+            ));
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape_json(name), value));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {}",
+                escape_json(name),
+                json_f64(*value)
+            ));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"devices\": [");
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"device\": {}, \"stage\": {}, \"busy_fraction\": {}}}",
+                d.device,
+                d.stage,
+                json_f64(d.busy_fraction)
+            ));
+        }
+        if !self.devices.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// A short human-readable summary (the CLI's `-v` output): phase
+    /// timings and every counter, one per line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, secs) in &self.phases {
+            out.push_str(&format!("phase {name}: {:.3} ms\n", secs * 1e3));
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name}: {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{name}: {value:.3}\n"));
+        }
+        if !self.devices.is_empty() {
+            let mean = self.devices.iter().map(|d| d.busy_fraction).sum::<f64>()
+                / self.devices.len() as f64;
+            out.push_str(&format!(
+                "devices: {} (mean busy {:.1}%)\n",
+                self.devices.len(),
+                mean * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Observer;
+
+    fn sample() -> RunReport {
+        let obs = Observer::new();
+        {
+            let _p = obs.phase("explore");
+        }
+        obs.add("search.candidates.generated", 12);
+        obs.add("search.candidates.pruned", 4);
+        obs.gauge_set("sim.des.max_queue_depth", 9.0);
+        obs.set_device_utilization(vec![DeviceUtil {
+            device: 0,
+            stage: 0,
+            busy_fraction: 0.5,
+        }]);
+        obs.report("search")
+    }
+
+    #[test]
+    fn report_json_round_trips_through_serde_json() {
+        let json = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["command"], "search");
+        assert_eq!(v["counters"]["search.candidates.generated"], 12);
+        assert_eq!(v["gauges"]["sim.des.max_queue_depth"].as_f64(), Some(9.0));
+        assert_eq!(v["devices"][0]["busy_fraction"].as_f64(), Some(0.5));
+        assert_eq!(v["phases"][0]["name"], "explore");
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_json() {
+        let json = Observer::new().report("estimate \"x\"").to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["command"], "estimate \"x\"");
+        assert!(v["counters"].as_object().unwrap().is_empty());
+        assert!(v["devices"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn summary_lists_counters_and_devices() {
+        let s = sample().summary();
+        assert!(s.contains("search.candidates.generated: 12"));
+        assert!(s.contains("phase explore"));
+        assert!(s.contains("mean busy 50.0%"));
+    }
+}

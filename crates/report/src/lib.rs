@@ -27,6 +27,7 @@ pub mod record;
 pub mod resilience;
 pub mod sweep;
 pub mod table;
+pub mod utilization;
 
 pub use builder::ReportBuilder;
 pub use chart::{BarChart, LineChart, Series};
@@ -34,3 +35,4 @@ pub use record::{Comparison, ExperimentRecord};
 pub use resilience::resilience_table;
 pub use sweep::{sweep_chart, sweep_series, sweep_table};
 pub use table::Table;
+pub use utilization::utilization_table;

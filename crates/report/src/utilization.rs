@@ -1,0 +1,126 @@
+//! Device-utilization tables from the CLI's `--metrics-out` JSON.
+//!
+//! The observability layer (`amped-obs`) serializes each instrumented run
+//! as a `RunReport` JSON document; this module renders that document back
+//! into a terminal table: per-device busy
+//! fractions from the simulated timeline, the DES queue-depth peak, and a
+//! summary of every counter the run recorded.
+
+use serde_json::Value;
+
+use crate::table::Table;
+
+/// Render a `--metrics-out` document as a two-column `metric / value`
+/// table: one row per simulated device (busy fraction by pipeline stage),
+/// the mean busy fraction, the `sim.des.max_queue_depth` peak when the
+/// discrete-event simulator ran, and every recorded counter.
+///
+/// Sections that the run did not produce (e.g. no devices for a purely
+/// analytical run) are simply absent; malformed or missing fields never
+/// panic, they render as skipped rows.
+pub fn utilization_table(metrics: &Value) -> Table {
+    let mut t = Table::new(["metric", "value"]);
+
+    let devices = metrics
+        .get("devices")
+        .and_then(Value::as_array)
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    let mut busy_sum = 0.0;
+    let mut busy_count = 0usize;
+    for d in devices {
+        let (Some(device), Some(stage), Some(busy)) = (
+            d.get("device").and_then(Value::as_u64),
+            d.get("stage").and_then(Value::as_u64),
+            d.get("busy_fraction").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        busy_sum += busy;
+        busy_count += 1;
+        t.row([
+            format!("device {device} (stage {stage}) busy"),
+            format!("{:.1}%", busy * 100.0),
+        ]);
+    }
+    if busy_count > 0 {
+        t.row([
+            "mean device busy".to_string(),
+            format!("{:.1}%", busy_sum / busy_count as f64 * 100.0),
+        ]);
+    }
+
+    if let Some(depth) = metrics
+        .get("gauges")
+        .and_then(|g| g.get("sim.des.max_queue_depth"))
+        .and_then(Value::as_f64)
+    {
+        t.row(["event-queue depth peak".to_string(), format!("{depth:.0}")]);
+    }
+
+    if let Some(counters) = metrics.get("counters").and_then(Value::as_object) {
+        for (name, value) in counters {
+            if let Some(v) = value.as_u64() {
+                t.row([name.clone(), v.to_string()]);
+            }
+        }
+    }
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "command": "simulate",
+        "phases": [{"name": "search.explore", "seconds": 0.25}],
+        "counters": {
+            "sim.des.events_processed": 1234,
+            "sim.des.runs": 2
+        },
+        "gauges": {"sim.des.max_queue_depth": 17.0},
+        "devices": [
+            {"device": 0, "stage": 0, "busy_fraction": 0.8},
+            {"device": 1, "stage": 1, "busy_fraction": 0.6}
+        ]
+    }"#;
+
+    #[test]
+    fn renders_devices_gauge_peak_and_counters() {
+        let v: Value = serde_json::from_str(SAMPLE).unwrap();
+        let t = utilization_table(&v);
+        let csv = t.to_csv();
+        assert!(csv.contains("device 0 (stage 0) busy,80.0%"), "{csv}");
+        assert!(csv.contains("device 1 (stage 1) busy,60.0%"), "{csv}");
+        assert!(csv.contains("mean device busy,70.0%"), "{csv}");
+        assert!(csv.contains("event-queue depth peak,17"), "{csv}");
+        assert!(csv.contains("sim.des.events_processed,1234"), "{csv}");
+        assert_eq!(t.num_rows(), 2 + 1 + 1 + 2);
+    }
+
+    #[test]
+    fn analytical_runs_skip_device_and_queue_rows() {
+        let v: Value = serde_json::from_str(
+            r#"{"command": "estimate", "phases": [],
+                "counters": {"backend.analytical.evaluations": 3},
+                "gauges": {}, "devices": []}"#,
+        )
+        .unwrap();
+        let t = utilization_table(&v);
+        let csv = t.to_csv();
+        assert!(!csv.contains("busy"));
+        assert!(!csv.contains("depth"));
+        assert!(csv.contains("backend.analytical.evaluations,3"));
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn malformed_documents_render_empty_not_panic() {
+        for doc in ["{}", r#"{"devices": "nope"}"#, r#"{"counters": [1,2]}"#] {
+            let v: Value = serde_json::from_str(doc).unwrap();
+            assert_eq!(utilization_table(&v).num_rows(), 0, "{doc}");
+        }
+    }
+}

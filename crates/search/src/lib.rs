@@ -66,6 +66,7 @@ pub use recommend::Recommendation;
 pub use sweep::{Sweep, SweepCell, SweepPoint, SweepRow};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use amped_core::{
     AcceleratorSpec, CostBackend, EfficiencyModel, EngineOptions, Estimate, EstimateCache,
@@ -74,6 +75,7 @@ use amped_core::{
 };
 use amped_energy::{EnergyEstimate, PowerModel};
 use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
+use amped_obs::Observer;
 use amped_sim::{FaultPlan, SimBackend};
 use serde::{Deserialize, Serialize};
 
@@ -330,6 +332,7 @@ pub struct SearchEngine<'a> {
     refine_sim: usize,
     goodput: Option<GoodputOptions>,
     fault_plan: Option<FaultPlan>,
+    observer: Option<Arc<Observer>>,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -358,6 +361,7 @@ impl<'a> SearchEngine<'a> {
             refine_sim: 0,
             goodput: None,
             fault_plan: None,
+            observer: None,
         }
     }
 
@@ -465,6 +469,27 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
+    /// Attach an observer recording what the search did: phase timings
+    /// (`search.enumerate` / `search.explore` / `search.rank` /
+    /// `search.refine`), candidate counters
+    /// (`search.candidates.{generated,pruned,evaluated,memory_rejected,kept}`),
+    /// memoization cache traffic (`search.cache.{hits,misses,lookups}`),
+    /// per-candidate `prune`/`evaluate`/`refine` spans on one trace track
+    /// per worker thread, and — through the simulator-refinement backend —
+    /// the `backend.sim.*` and `sim.des.*` series.
+    ///
+    /// Observation is passive: rankings and every estimate in them are
+    /// bit-identical with or without an observer, at any worker count. The
+    /// counters satisfy exact identities (`generated = pruned + evaluated`,
+    /// `evaluated = kept + memory_rejected`,
+    /// `lookups = hits + misses`) even though the individual `pruned` /
+    /// `evaluated` split varies with thread timing when `jobs > 1` (the
+    /// incumbent bound tightens at different moments).
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// Use the memoized estimation path (default on): each worker carries
     /// an [`EstimateCache`](amped_core::EstimateCache) so scenario-invariant
     /// sub-results are computed once per search, not per candidate. Turning
@@ -549,20 +574,42 @@ impl<'a> SearchEngine<'a> {
     /// Propagates estimator errors (which indicate an internal inconsistency
     /// — enumerated mappings have already been validated).
     pub fn search(&self, training: &TrainingConfig) -> Result<Vec<Candidate>> {
-        let mappings = enumerate_mappings(self.system, self.model, &self.enumeration);
+        let mappings = {
+            let _phase = self.observer.as_ref().map(|o| o.phase("search.enumerate"));
+            enumerate_mappings(self.system, self.model, &self.enumeration)
+        };
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
-        let outcomes = self.run_parallel(mappings.len(), |cache, i| {
-            self.explore(cache, &mappings[i], training, &best_bits)
-        });
+        let outcomes = {
+            let _phase = self.observer.as_ref().map(|o| o.phase("search.explore"));
+            self.run_parallel(mappings.len(), |cache, i| {
+                self.explore(cache, &mappings[i], training, &best_bits)
+            })
+        };
+        let _rank_phase = self.observer.as_ref().map(|o| o.phase("search.rank"));
+        let mut n_pruned = 0u64;
+        let mut n_filtered = 0u64;
         let mut kept: Vec<(f64, Candidate)> = Vec::new();
         for outcome in outcomes {
-            if let Outcome::Kept {
-                lower_bound,
-                candidate,
-            } = outcome?
-            {
-                kept.push((lower_bound, *candidate));
+            match outcome? {
+                Outcome::Pruned => n_pruned += 1,
+                Outcome::Filtered => n_filtered += 1,
+                Outcome::Kept {
+                    lower_bound,
+                    candidate,
+                } => kept.push((lower_bound, *candidate)),
             }
+        }
+        if let Some(obs) = &self.observer {
+            // Counted post-hoc from the collected outcomes, so workers never
+            // touch shared counters in their hot loop. The identities
+            // generated = pruned + evaluated and
+            // evaluated = kept + memory_rejected hold exactly at any worker
+            // count (the pruned/evaluated split itself is timing-dependent).
+            obs.add("search.candidates.generated", mappings.len() as u64);
+            obs.add("search.candidates.pruned", n_pruned);
+            obs.add("search.candidates.memory_rejected", n_filtered);
+            obs.add("search.candidates.kept", kept.len() as u64);
+            obs.add("search.candidates.evaluated", n_filtered + kept.len() as u64);
         }
         if self.prune {
             // Which candidates get skipped at runtime depends on thread
@@ -577,7 +624,9 @@ impl<'a> SearchEngine<'a> {
         }
         let mut out: Vec<Candidate> = kept.into_iter().map(|(_, c)| c).collect();
         out.sort_by(candidate_order);
+        drop(_rank_phase);
         if self.refine_sim > 0 {
+            let _phase = self.observer.as_ref().map(|o| o.phase("search.refine"));
             self.refine(&mut out, training)?;
         }
         Ok(out)
@@ -607,12 +656,31 @@ impl<'a> SearchEngine<'a> {
         if let Some(plan) = &self.fault_plan {
             backend = backend.with_fault_plan(plan.clone());
         }
+        if let Some(obs) = &self.observer {
+            // Skip per-device utilization samples: refined candidates race
+            // on the worker pool and the samples are last-writer-wins, which
+            // would make the report depend on scheduling. Counters and spans
+            // are additive and stay exact.
+            backend = backend
+                .with_observer(obs.clone())
+                .without_device_samples();
+        }
         let refined = self.run_parallel(k, |_cache, i| {
+            let _span = self.observer.as_ref().map(|o| o.span("refine"));
             let scenario = self.scenario_for(ranked[i].parallelism);
             Ok(backend.evaluate(&scenario, training).ok())
         });
+        let mut n_accepted = 0u64;
         for (candidate, refined) in ranked.iter_mut().zip(refined) {
             candidate.refined = refined?;
+            if candidate.refined.is_some() {
+                n_accepted += 1;
+            }
+        }
+        if let Some(obs) = &self.observer {
+            obs.add("search.refine.attempted", k as u64);
+            obs.add("search.refine.accepted", n_accepted);
+            obs.add("search.refine.rejected", k as u64 - n_accepted);
         }
         ranked[..k].sort_by(refined_order);
         Ok(())
@@ -628,6 +696,7 @@ impl<'a> SearchEngine<'a> {
         best_bits: &AtomicU64,
     ) -> Result<Outcome> {
         let lower_bound = if self.prune {
+            let _span = self.observer.as_ref().map(|o| o.span("prune"));
             let lb = self.candidate_lower_bound(cache, p, training)?;
             // Total times are non-negative finite, for which the f64 bit
             // pattern orders like the value — so the incumbent can live in
@@ -639,6 +708,7 @@ impl<'a> SearchEngine<'a> {
         } else {
             f64::NEG_INFINITY
         };
+        let _span = self.observer.as_ref().map(|o| o.span("evaluate"));
         match self.evaluate(cache, p, training)? {
             None => Ok(Outcome::Filtered),
             Some(candidate) => {
@@ -677,7 +747,9 @@ impl<'a> SearchEngine<'a> {
         let jobs = self.effective_jobs(tasks);
         if jobs <= 1 {
             let mut cache = EstimateCache::new();
-            return (0..tasks).map(|i| f(&mut cache, i)).collect();
+            let out = (0..tasks).map(|i| f(&mut cache, i)).collect();
+            self.flush_cache_stats(&cache);
+            return out;
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<Result<T>>> = (0..tasks).map(|_| None).collect();
@@ -694,6 +766,7 @@ impl<'a> SearchEngine<'a> {
                             }
                             done.push((i, f(&mut cache, i)));
                         }
+                        self.flush_cache_stats(&cache);
                         done
                     })
                 })
@@ -708,6 +781,17 @@ impl<'a> SearchEngine<'a> {
             .into_iter()
             .map(|slot| slot.expect("every task index is dispatched exactly once"))
             .collect()
+    }
+
+    /// Fold one worker's memoization-cache traffic into the observer
+    /// (once per worker at pool teardown — never in the hot loop).
+    fn flush_cache_stats(&self, cache: &EstimateCache) {
+        if let Some(obs) = &self.observer {
+            let (hits, misses) = (cache.hits(), cache.misses());
+            obs.add("search.cache.hits", hits);
+            obs.add("search.cache.misses", misses);
+            obs.add("search.cache.lookups", hits + misses);
+        }
     }
 
     /// The microbatch variants `evaluate` tries for one mapping: every
@@ -879,9 +963,21 @@ impl<'a> SearchEngine<'a> {
             engine.explore(cache, &mappings[map_idx], &trainings[batch_idx].1, &best_bits)
         });
         let mut best: Option<(usize, Candidate)> = None; // (batch index, candidate)
+        let mut counts = [0u64; 3]; // pruned, memory-rejected, kept
         for (i, outcome) in outcomes.into_iter().enumerate() {
-            let Outcome::Kept { candidate, .. } = outcome? else {
-                continue;
+            let candidate = match outcome? {
+                Outcome::Pruned => {
+                    counts[0] += 1;
+                    continue;
+                }
+                Outcome::Filtered => {
+                    counts[1] += 1;
+                    continue;
+                }
+                Outcome::Kept { candidate, .. } => {
+                    counts[2] += 1;
+                    candidate
+                }
             };
             let batch_idx = i / mappings.len();
             let better = match &best {
@@ -901,6 +997,16 @@ impl<'a> SearchEngine<'a> {
             if better {
                 best = Some((batch_idx, *candidate));
             }
+        }
+        if let Some(obs) = &engine.observer {
+            obs.add(
+                "search.candidates.generated",
+                (trainings.len() * mappings.len()) as u64,
+            );
+            obs.add("search.candidates.pruned", counts[0]);
+            obs.add("search.candidates.memory_rejected", counts[1]);
+            obs.add("search.candidates.kept", counts[2]);
+            obs.add("search.candidates.evaluated", counts[1] + counts[2]);
         }
         Ok(best.map(|(batch_idx, c)| (trainings[batch_idx].0, c)))
     }
@@ -1390,6 +1496,101 @@ mod tests {
             }
         }
         assert!(slower > 0, "a 3x straggler must slow at least one refined run");
+    }
+
+    #[test]
+    fn observed_search_is_bit_identical_and_counters_reconcile() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9))
+            .with_pruning(true);
+        let bare = base.clone().with_parallelism(1).search(&training).unwrap();
+        for jobs in [1, 2, 4] {
+            let obs = Arc::new(Observer::new());
+            let observed = base
+                .clone()
+                .with_parallelism(jobs)
+                .with_observer(obs.clone())
+                .search(&training)
+                .unwrap();
+            // Instrumentation must never perturb the ranking.
+            assert_identical_rankings(&bare, &observed);
+            // Reconciliation identities hold exactly at any worker count,
+            // even though the pruned/evaluated split is timing-dependent.
+            let c = obs.counters();
+            assert_eq!(
+                c["search.candidates.generated"],
+                c["search.candidates.pruned"] + c["search.candidates.evaluated"],
+                "generated must equal pruned + evaluated: {c:?}"
+            );
+            assert_eq!(
+                c["search.candidates.evaluated"],
+                c["search.candidates.kept"] + c["search.candidates.memory_rejected"],
+                "evaluated must equal kept + memory-rejected: {c:?}"
+            );
+            assert_eq!(
+                c["search.cache.lookups"],
+                c["search.cache.hits"] + c["search.cache.misses"]
+            );
+            assert!(c["search.cache.hits"] > 0, "memoization must pay off");
+            assert!(c["search.candidates.generated"] > 0);
+            // The report carries the search phases in execution order.
+            let report = obs.report("search");
+            let phases: Vec<&str> = report.phases.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(phases, ["search.enumerate", "search.explore", "search.rank"]);
+        }
+    }
+
+    #[test]
+    fn observed_refine_counts_and_stays_bit_identical() {
+        let m = small_model();
+        let a = accel();
+        let sys = system(2, 4);
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_refine_sim(4);
+        let bare = base.clone().with_parallelism(1).search(&training).unwrap();
+        let obs = Arc::new(Observer::new());
+        let observed = base
+            .clone()
+            .with_parallelism(4)
+            .with_observer(obs.clone())
+            .search(&training)
+            .unwrap();
+        assert_identical_rankings(&bare, &observed);
+        for (x, y) in bare.iter().zip(&observed) {
+            match (&x.refined, &y.refined) {
+                (Some(rx), Some(ry)) => assert_eq!(
+                    rx.total_time.get().to_bits(),
+                    ry.total_time.get().to_bits()
+                ),
+                (None, None) => {}
+                _ => panic!("refinement outcome differs with observation"),
+            }
+        }
+        let c = obs.counters();
+        assert_eq!(c["search.refine.attempted"], 4);
+        assert_eq!(
+            c["search.refine.attempted"],
+            c["search.refine.accepted"] + c["search.refine.rejected"]
+        );
+        // The refinement backend reports through the same observer.
+        assert_eq!(c["backend.sim.evaluations"], c["search.refine.attempted"]);
+        assert!(c["sim.des.runs"] >= c["search.refine.accepted"]);
+        // Parallel refinement must not record nondeterministic per-device
+        // samples.
+        assert!(obs.report("search").devices.is_empty());
+        let phases: Vec<String> = obs
+            .report("search")
+            .phases
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert!(phases.contains(&"search.refine".to_string()));
     }
 
     #[test]

@@ -26,11 +26,14 @@
 //!   `Breakdown::total() == time_per_iteration` whenever attributed time
 //!   does not exceed the makespan (it is clamped at zero otherwise).
 
+use std::sync::Arc;
+
 use amped_core::{
     metrics, BreakdownFidelity, CostBackend, Error, Estimate, Result, Scenario, Seconds,
     TrainingConfig,
 };
 use amped_memory::{MemoryModel, PipelineSchedule as MemorySchedule};
+use amped_obs::Observer;
 
 use crate::fault::FaultPlan;
 use crate::timeline::Activity;
@@ -48,6 +51,8 @@ use crate::training::{PipelineSchedule, SimConfig};
 pub struct SimBackend {
     schedule: PipelineSchedule,
     fault_plan: Option<FaultPlan>,
+    observer: Option<Arc<Observer>>,
+    skip_device_samples: bool,
 }
 
 impl SimBackend {
@@ -76,6 +81,23 @@ impl SimBackend {
     /// The configured fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Attach an observer: each evaluation records a `sim.evaluate` span,
+    /// bumps `backend.sim.evaluations`, and forwards the observer into the
+    /// simulator so DES internals (`sim.des.*`) are captured too. Attaching
+    /// an observer never changes any estimate — instrumentation is passive.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Do not record per-device utilization samples. The search's parallel
+    /// refine pass uses this: device samples are last-writer-wins, which
+    /// would make the metrics report depend on worker scheduling.
+    pub fn without_device_samples(mut self) -> Self {
+        self.skip_device_samples = true;
+        self
     }
 
     /// The configured pipeline schedule.
@@ -147,12 +169,16 @@ impl CostBackend for SimBackend {
     }
 
     fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate> {
+        let _span = self.observer.as_ref().map(|o| o.span("sim.evaluate"));
+        if let Some(obs) = &self.observer {
+            obs.add("backend.sim.evaluations", 1);
+        }
         let p = &scenario.parallelism;
         p.validate_against(&scenario.system, &scenario.model)?;
         self.check_memory(scenario, training)?;
 
         let global_batch = training.global_batch();
-        let cfg = SimConfig::new(
+        let mut cfg = SimConfig::new(
             &scenario.model,
             &scenario.accelerator,
             &scenario.system,
@@ -162,6 +188,12 @@ impl CostBackend for SimBackend {
         .with_efficiency(scenario.efficiency.clone())
         .with_options(scenario.options)
         .with_schedule(self.schedule);
+        if let Some(obs) = &self.observer {
+            cfg = cfg.with_observer(obs.clone());
+            if self.skip_device_samples {
+                cfg = cfg.without_device_samples();
+            }
+        }
 
         // An active fault plan turns the evaluation into a full-run replay;
         // otherwise the original iteration × batches path runs untouched.
@@ -409,6 +441,42 @@ mod tests {
             faulted.total_time.get().to_bits(),
             again.total_time.get().to_bits()
         );
+    }
+
+    #[test]
+    fn observed_backend_is_bit_identical_and_counts_evaluations() {
+        let p = Parallelism::builder()
+            .pp(2, 1)
+            .dp(4, 1)
+            .microbatches(MicrobatchPolicy::Explicit(8))
+            .build()
+            .unwrap();
+        let s = scenario(p, 1, 8);
+        let training = TrainingConfig::new(64, 4).unwrap();
+        let plain = SimBackend::new().evaluate(&s, &training).unwrap();
+        let obs = Arc::new(Observer::new());
+        let observed = SimBackend::new()
+            .with_observer(obs.clone())
+            .evaluate(&s, &training)
+            .unwrap();
+        assert_eq!(
+            plain.total_time.get().to_bits(),
+            observed.total_time.get().to_bits()
+        );
+        let counters = obs.counters();
+        assert_eq!(counters["backend.sim.evaluations"], 1);
+        assert_eq!(counters["sim.des.runs"], 1);
+        assert!(counters["sim.des.events_processed"] > 0);
+        assert!(obs.gauges()["sim.des.max_queue_depth"] > 0.0);
+        // Device samples are on by default and skippable for parallel use.
+        assert!(!obs.report("t").devices.is_empty());
+        let quiet = Arc::new(Observer::new());
+        SimBackend::new()
+            .with_observer(quiet.clone())
+            .without_device_samples()
+            .evaluate(&s, &training)
+            .unwrap();
+        assert!(quiet.report("t").devices.is_empty());
     }
 
     #[test]

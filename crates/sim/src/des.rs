@@ -7,6 +7,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use amped_obs::Observer;
 
 use crate::fault::FaultSchedule;
 use crate::graph::{LinkClass, TaskGraph, TaskId, TaskKind};
@@ -78,6 +81,7 @@ pub struct Simulator {
     network: NetworkParams,
     record_timeline: bool,
     faults: Option<FaultSchedule>,
+    observer: Option<Arc<Observer>>,
 }
 
 // Resource indices: device d owns compute resource 3d, intra send port
@@ -145,12 +149,22 @@ impl Simulator {
             network,
             record_timeline: true,
             faults: None,
+            observer: None,
         }
     }
 
     /// Disable timeline recording (saves memory on very large graphs).
     pub fn without_timeline(mut self) -> Self {
         self.record_timeline = false;
+        self
+    }
+
+    /// Record engine internals — events processed, peak event-queue depth
+    /// — into `observer` after every run. Purely additive bookkeeping: the
+    /// simulated makespan and timeline are bit-identical with or without
+    /// an observer attached.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -240,7 +254,16 @@ impl Simulator {
                             TaskKind::Compute { device, .. } => {
                                 stats[device].compute_busy_s += dur;
                                 if self.record_timeline {
-                                    timeline.push(device, Activity::Compute, now, now + dur, t.label);
+                                    // Checkpoint drains occupy the compute
+                                    // unit but are storage writes, not
+                                    // training math — give them their own
+                                    // timeline/trace category.
+                                    let activity = if t.label == "ckpt" {
+                                        Activity::Checkpoint
+                                    } else {
+                                        Activity::Compute
+                                    };
+                                    timeline.push(device, activity, now, now + dur, t.label);
                                 }
                             }
                             TaskKind::Transfer { src, .. } => {
@@ -257,6 +280,7 @@ impl Simulator {
         dispatch(
             now, &mut queues, &mut busy, &mut events, &mut seq, &mut stats, &mut timeline,
         );
+        let mut max_queue_depth = events.len();
 
         while let Some(Reverse((time, _, res, task))) = events.pop() {
             now = time.0;
@@ -280,6 +304,7 @@ impl Simulator {
             dispatch(
                 now, &mut queues, &mut busy, &mut events, &mut seq, &mut stats, &mut timeline,
             );
+            max_queue_depth = max_queue_depth.max(events.len());
         }
 
         assert_eq!(
@@ -287,6 +312,12 @@ impl Simulator {
             "dependency cycle: {} of {} tasks completed",
             completed, n_tasks
         );
+
+        if let Some(obs) = &self.observer {
+            obs.add("sim.des.runs", 1);
+            obs.add("sim.des.events_processed", completed as u64);
+            obs.gauge_max("sim.des.max_queue_depth", max_queue_depth as f64);
+        }
 
         timeline.set_makespan(now);
         SimOutcome {
@@ -504,6 +535,41 @@ mod tests {
         };
         let faulted = Simulator::new(net()).with_fault_schedule(sched).run(&g);
         assert_eq!(plain.makespan_s.to_bits(), faulted.makespan_s.to_bits());
+    }
+
+    #[test]
+    fn observer_records_engine_internals_without_perturbing_results() {
+        let mut g = TaskGraph::new(2);
+        g.add(compute(0, 1.0), "a", &[]);
+        g.add(compute(1, 2.0), "b", &[]);
+        let plain = Simulator::new(net()).run(&g);
+        let obs = Arc::new(Observer::new());
+        let observed = Simulator::new(net())
+            .with_observer(Arc::clone(&obs))
+            .run(&g);
+        assert_eq!(plain.makespan_s.to_bits(), observed.makespan_s.to_bits());
+        let counters = obs.counters();
+        assert_eq!(counters["sim.des.runs"], 1);
+        assert_eq!(counters["sim.des.events_processed"], 2);
+        assert!(obs.gauge("sim.des.max_queue_depth").get() >= 2.0);
+    }
+
+    #[test]
+    fn ckpt_labeled_compute_gets_checkpoint_activity() {
+        let mut g = TaskGraph::new(1);
+        g.add(compute(0, 1.0), "ckpt", &[]);
+        g.add(compute(0, 1.0), "fwd", &[]);
+        let out = Simulator::new(net()).run(&g);
+        let by_label = |l: &str| {
+            out.timeline
+                .entries()
+                .iter()
+                .find(|e| e.label == l)
+                .unwrap()
+                .activity
+        };
+        assert_eq!(by_label("ckpt"), Activity::Checkpoint);
+        assert_eq!(by_label("fwd"), Activity::Compute);
     }
 
     #[test]

@@ -63,4 +63,4 @@ pub use des::{DeviceStats, SimOutcome, Simulator};
 pub use fault::{FaultPlan, FaultSchedule, LinkFault, SplitMix64, Straggler};
 pub use graph::{LinkClass, Task, TaskGraph, TaskId, TaskKind};
 pub use timeline::{Activity, Timeline, TimelineEntry};
-pub use training::{PipelineSchedule, RunResult, SimConfig, SimResult};
+pub use training::{PipelineSchedule, RunEvent, RunResult, RunSpan, SimConfig, SimResult};

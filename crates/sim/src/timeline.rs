@@ -6,10 +6,14 @@ use serde::{Deserialize, Serialize};
 /// What a device was doing during an interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Activity {
-    /// The compute unit was busy.
+    /// The compute unit was busy with training math.
     Compute,
     /// A send port was busy.
     Comm,
+    /// The device was draining a checkpoint snapshot to storage.
+    Checkpoint,
+    /// The device was redoing work discarded by a fault restart.
+    Recompute,
 }
 
 /// One recorded interval.

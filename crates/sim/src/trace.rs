@@ -1,12 +1,50 @@
-//! Chrome-tracing export: load a simulated timeline into
-//! `chrome://tracing` / Perfetto for interactive inspection.
+//! Chrome-tracing export: load simulated timelines and fault-replayed
+//! runs into `chrome://tracing` / Perfetto for interactive inspection.
+//!
+//! The JSON writing itself lives in `amped-obs` ([`amped_obs::chrome_trace`]),
+//! which escapes label strings properly — a label containing quotes or
+//! backslashes cannot corrupt the output. This module maps simulator
+//! structures onto [`TraceEvent`]s: pipeline stages become Perfetto
+//! process groups (`pid`), devices become threads (`tid`), and
+//! checkpoint/recompute activity gets its own categories so fault replay
+//! is visually distinct from ordinary compute and communication.
+
+use amped_obs::{chrome_trace, TraceEvent};
 
 use crate::timeline::{Activity, Timeline};
+use crate::training::{RunResult, RunSpan};
 
-/// Serialize a timeline as a Chrome Trace Event JSON array: one complete
-/// (`"ph": "X"`) event per recorded interval, devices as thread ids,
-/// compute vs communication as categories. Timestamps are microseconds,
-/// as the format requires.
+/// The Chrome-trace category string of an [`Activity`].
+pub fn activity_category(activity: Activity) -> &'static str {
+    match activity {
+        Activity::Compute => "compute",
+        Activity::Comm => "comm",
+        Activity::Checkpoint => "ckpt",
+        Activity::Recompute => "recompute",
+    }
+}
+
+/// Lower a timeline to trace events: one complete (`"ph": "X"`) event per
+/// recorded interval, `pid` = pipeline stage (`device % pipeline_stages`),
+/// `tid` = device, timestamps in microseconds.
+pub fn timeline_events(timeline: &Timeline, pipeline_stages: usize) -> Vec<TraceEvent> {
+    let pp = pipeline_stages.max(1);
+    timeline
+        .entries()
+        .iter()
+        .map(|e| TraceEvent {
+            name: e.label.to_string(),
+            cat: activity_category(e.activity).to_string(),
+            ts_us: e.start_s * 1e6,
+            dur_us: (e.end_s - e.start_s) * 1e6,
+            pid: (e.device % pp) as u64,
+            tid: e.device as u64,
+        })
+        .collect()
+}
+
+/// Serialize a timeline as a Chrome Trace Event JSON array under a single
+/// process group (devices as thread ids).
 ///
 /// # Example
 ///
@@ -20,26 +58,57 @@ use crate::timeline::{Activity, Timeline};
 /// assert!(json.contains("\"name\":\"fwd\""));
 /// ```
 pub fn to_chrome_trace(timeline: &Timeline) -> String {
-    let mut out = String::from("[");
-    for (i, e) in timeline.entries().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let cat = match e.activity {
-            Activity::Compute => "compute",
-            Activity::Comm => "comm",
+    chrome_trace(&timeline_events(timeline, 1))
+}
+
+/// Serialize a timeline with pipeline stages as Perfetto process groups:
+/// `pid` = stage, `tid` = device. The view fault replays want — each
+/// stage's devices cluster together, checkpoint writes (`cat: "ckpt"`)
+/// stand apart from compute.
+pub fn to_chrome_trace_staged(timeline: &Timeline, pipeline_stages: usize) -> String {
+    chrome_trace(&timeline_events(timeline, pipeline_stages))
+}
+
+/// Lower a fault-replayed run to coarse trace events: one slice per
+/// [`RunEvent`](crate::training::RunEvent) per device (`pid` = pipeline
+/// stage, `tid` = device). Training segments carry `cat: "compute"`,
+/// checkpoint commits `"ckpt"` (emitted only on each stage's dp-rank-0
+/// writer device), and failure windows — discarded progress plus restart
+/// — `"recompute"`.
+pub fn run_events(run: &RunResult, pipeline_stages: usize) -> Vec<TraceEvent> {
+    let pp = pipeline_stages.max(1);
+    let n_dev = run.iteration.device_stats.len().max(1);
+    let mut events = Vec::new();
+    for ev in &run.events {
+        let (name, cat) = match ev.span {
+            RunSpan::Train => ("train", "compute"),
+            RunSpan::Checkpoint => ("ckpt", "ckpt"),
+            RunSpan::Lost => ("lost", "recompute"),
+            RunSpan::Restart => ("restart", "recompute"),
         };
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
-            e.label,
-            cat,
-            e.start_s * 1e6,
-            (e.end_s - e.start_s) * 1e6,
-            e.device
-        ));
+        for d in 0..n_dev {
+            // Checkpoints drain through one DP rank per stage (devices
+            // 0..pp are the dp-rank-0 writers in the device layout).
+            if ev.span == RunSpan::Checkpoint && d >= pp {
+                continue;
+            }
+            events.push(TraceEvent {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                ts_us: ev.start_s * 1e6,
+                dur_us: (ev.end_s - ev.start_s) * 1e6,
+                pid: (d % pp) as u64,
+                tid: d as u64,
+            });
+        }
     }
-    out.push(']');
-    out
+    events
+}
+
+/// Serialize a fault-replayed run as Chrome Trace Event JSON
+/// (see [`run_events`]).
+pub fn run_to_chrome_trace(run: &RunResult, pipeline_stages: usize) -> String {
+    chrome_trace(&run_events(run, pipeline_stages))
 }
 
 #[cfg(test)]
@@ -72,5 +141,36 @@ mod tests {
     fn empty_timeline_is_empty_array() {
         let json = to_chrome_trace(&Timeline::new(1));
         assert_eq!(json, "[]");
+    }
+
+    #[test]
+    fn labels_with_quotes_and_backslashes_stay_valid_json() {
+        let mut t = Timeline::new(1);
+        t.push(0, Activity::Compute, 0.0, 0.5, r#"say "hi" \ bye"#);
+        t.set_makespan(0.5);
+        let json = to_chrome_trace(&t);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("must escape labels");
+        assert_eq!(v[0]["name"], r#"say "hi" \ bye"#);
+    }
+
+    #[test]
+    fn staged_export_maps_stages_to_pids() {
+        let mut t = Timeline::new(4);
+        // Devices 0..4 on a 2-stage pipeline: stages are device % 2.
+        t.push(3, Activity::Checkpoint, 0.0, 0.1, "ckpt");
+        t.set_makespan(0.1);
+        let json = to_chrome_trace_staged(&t, 2);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v[0]["pid"], 1);
+        assert_eq!(v[0]["tid"], 3);
+        assert_eq!(v[0]["cat"], "ckpt");
+    }
+
+    #[test]
+    fn checkpoint_and_recompute_have_distinct_categories() {
+        assert_eq!(activity_category(Activity::Compute), "compute");
+        assert_eq!(activity_category(Activity::Comm), "comm");
+        assert_eq!(activity_category(Activity::Checkpoint), "ckpt");
+        assert_eq!(activity_category(Activity::Recompute), "recompute");
     }
 }

@@ -11,8 +11,10 @@ use amped_core::{
     Result, SystemSpec, TransformerModel,
 };
 use amped_memory::MemoryModel;
+use amped_obs::{DeviceUtil, Observer};
 use amped_topo::Collective;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::des::{DeviceStats, NetworkParams, Simulator};
 use crate::fault::{FaultPlan, FaultSchedule, SplitMix64};
@@ -62,6 +64,31 @@ pub struct SimResult {
     pub inter_bytes: f64,
 }
 
+/// What one wall-clock slice of a replayed run was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunSpan {
+    /// Forward-progress training iterations.
+    Train,
+    /// A synchronous checkpoint commit.
+    Checkpoint,
+    /// Progress discarded by a failure (recomputed after restart).
+    Lost,
+    /// Restart overhead after a failure.
+    Restart,
+}
+
+/// One wall-clock slice of a replayed run, for run-level trace export
+/// ([`crate::trace::run_to_chrome_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunEvent {
+    /// What the slice was spent on.
+    pub span: RunSpan,
+    /// Start of the slice, seconds since run start.
+    pub start_s: f64,
+    /// End of the slice, seconds since run start.
+    pub end_s: f64,
+}
+
 /// The outcome of simulating a full training run under a [`FaultPlan`]:
 /// the fault-perturbed iteration replayed over every batch with periodic
 /// checkpoint writes, seeded transient failures, and restart-from-
@@ -88,6 +115,9 @@ pub struct RunResult {
     pub num_checkpoints: u64,
     /// Detail of the fault-perturbed iteration (timeline, device stats).
     pub iteration: SimResult,
+    /// Wall-clock slices of the replay (train / checkpoint / lost /
+    /// restart), in time order — the run-level trace.
+    pub events: Vec<RunEvent>,
 }
 
 impl RunResult {
@@ -118,6 +148,8 @@ pub struct SimConfig<'a> {
     weight_update: bool,
     faults: Option<FaultSchedule>,
     ckpt_stage_s: Option<Vec<f64>>,
+    observer: Option<Arc<Observer>>,
+    record_devices: bool,
 }
 
 impl<'a> SimConfig<'a> {
@@ -142,7 +174,26 @@ impl<'a> SimConfig<'a> {
             weight_update: true,
             faults: None,
             ckpt_stage_s: None,
+            observer: None,
+            record_devices: true,
         }
+    }
+
+    /// Record DES internals, run counters, and per-device busy fractions
+    /// into `observer`. Passive: simulated times are bit-identical with or
+    /// without it.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Keep counters/spans but skip the per-device utilization samples —
+    /// for callers (the search's sim-refine pass) that run many
+    /// simulations concurrently, where a nondeterministic last writer
+    /// would make the metrics file unstable.
+    pub fn without_device_samples(mut self) -> Self {
+        self.record_devices = false;
+        self
     }
 
     /// Override the precision.
@@ -251,7 +302,28 @@ impl<'a> SimConfig<'a> {
         if let Some(schedule) = &self.faults {
             simulator = simulator.with_fault_schedule(schedule.clone());
         }
+        if let Some(obs) = &self.observer {
+            simulator = simulator.with_observer(Arc::clone(obs));
+        }
         let outcome = simulator.run(&graph);
+        if let Some(obs) = &self.observer {
+            obs.add("sim.iterations", 1);
+            if self.record_devices {
+                let pp = self.parallelism.pp();
+                obs.set_device_utilization(
+                    outcome
+                        .device_stats
+                        .iter()
+                        .enumerate()
+                        .map(|(d, s)| DeviceUtil {
+                            device: d,
+                            stage: d % pp,
+                            busy_fraction: s.utilization(outcome.makespan_s),
+                        })
+                        .collect(),
+                );
+            }
+        }
         let n = outcome.device_stats.len().max(1);
         let mean_utilization = outcome
             .device_stats
@@ -307,7 +379,10 @@ impl<'a> SimConfig<'a> {
         let mut base = self.clone();
         base.faults = None;
         base.ckpt_stage_s = None;
-        let healthy = base.simulate_iteration(global_batch)?;
+        let healthy = {
+            let _span = self.observer.as_ref().map(|o| o.span("sim.iteration.healthy"));
+            base.simulate_iteration(global_batch)?
+        };
         let fault_free_time_s = healthy.iteration_time * num_batches as f64;
         if !plan.is_active() {
             return Ok(RunResult {
@@ -321,13 +396,24 @@ impl<'a> SimConfig<'a> {
                 num_failures: 0,
                 num_checkpoints: 0,
                 iteration: healthy,
+                events: vec![RunEvent {
+                    span: RunSpan::Train,
+                    start_s: 0.0,
+                    end_s: fault_free_time_s,
+                }],
             });
         }
 
         let n_devices = self.parallelism.dp() * self.parallelism.pp();
         let schedule = plan.materialize(n_devices);
         let perturbed_cfg = base.with_fault_schedule(schedule);
-        let perturbed = perturbed_cfg.simulate_iteration(global_batch)?;
+        let perturbed = {
+            let _span = self
+                .observer
+                .as_ref()
+                .map(|o| o.span("sim.iteration.perturbed"));
+            perturbed_cfg.simulate_iteration(global_batch)?
+        };
         let t_iter = perturbed.iteration_time;
 
         // Checkpoint cost: the makespan delta of the same iteration with
@@ -335,6 +421,10 @@ impl<'a> SimConfig<'a> {
         // devices' work is the simulator's to discover.
         let ckpt_enabled = plan.device_mtbf_s.is_some() || plan.ckpt_interval_s.is_some();
         let (t_ckpt_iter, ckpt_cost) = if ckpt_enabled {
+            let _span = self
+                .observer
+                .as_ref()
+                .map(|o| o.span("sim.iteration.checkpointed"));
             let writes =
                 self.checkpoint_stage_seconds(global_batch, plan.ckpt_write_bytes_per_s);
             let with_ckpt = perturbed_cfg
@@ -358,6 +448,7 @@ impl<'a> SimConfig<'a> {
             num_batches
         };
 
+        let _replay_span = self.observer.as_ref().map(|o| o.span("sim.replay"));
         let mut rng = SplitMix64::new(plan.seed.unwrap_or(0) ^ 0x4641_494C_5354_524D);
         let mut next_fail = system_mtbf_s.map(|m| rng.exp(m));
         let max_failures = 10_000 + 100 * num_batches;
@@ -367,6 +458,7 @@ impl<'a> SimConfig<'a> {
         let mut num_checkpoints = 0u64;
         let mut checkpoint_time_s = 0.0f64;
         let mut rework_time_s = 0.0f64;
+        let mut events = Vec::new();
         while done < num_batches {
             let seg = interval_iters.min(num_batches - done);
             let seg_len =
@@ -386,11 +478,33 @@ impl<'a> SimConfig<'a> {
                         ));
                     }
                     rework_time_s += (fail_at - wall) + plan.restart_s;
+                    events.push(RunEvent {
+                        span: RunSpan::Lost,
+                        start_s: wall,
+                        end_s: fail_at,
+                    });
+                    events.push(RunEvent {
+                        span: RunSpan::Restart,
+                        start_s: fail_at,
+                        end_s: fail_at + plan.restart_s,
+                    });
                     wall = fail_at + plan.restart_s;
                     next_fail =
                         Some(wall + rng.exp(system_mtbf_s.expect("failures imply an mtbf")));
                 }
                 _ => {
+                    events.push(RunEvent {
+                        span: RunSpan::Train,
+                        start_s: wall,
+                        end_s: wall + seg as f64 * t_iter,
+                    });
+                    if ckpt_enabled {
+                        events.push(RunEvent {
+                            span: RunSpan::Checkpoint,
+                            start_s: wall + seg as f64 * t_iter,
+                            end_s: wall + seg_len,
+                        });
+                    }
                     wall += seg_len;
                     done += seg;
                     if ckpt_enabled {
@@ -399,6 +513,17 @@ impl<'a> SimConfig<'a> {
                     }
                 }
             }
+        }
+
+        if let Some(obs) = &self.observer {
+            obs.add("sim.run.batches", done);
+            obs.add("sim.run.failures", num_failures);
+            obs.add("sim.run.checkpoints", num_checkpoints);
+            if wall > 0.0 {
+                obs.gauge_set("sim.run.goodput", fault_free_time_s / wall);
+            }
+            obs.gauge_set("sim.run.rework_s", rework_time_s);
+            obs.gauge_set("sim.run.checkpoint_s", checkpoint_time_s);
         }
 
         Ok(RunResult {
@@ -412,6 +537,7 @@ impl<'a> SimConfig<'a> {
             num_failures,
             num_checkpoints,
             iteration: perturbed,
+            events,
         })
     }
 
@@ -1483,6 +1609,85 @@ mod tests {
         let again = cfg.simulate_run(32, 50, &plan).unwrap();
         assert_eq!(run.total_time_s.to_bits(), again.total_time_s.to_bits());
         assert_eq!(run.num_failures, again.num_failures);
+    }
+
+    #[test]
+    fn run_events_tile_the_wall_clock() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::data_parallel_intra(4).unwrap();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap().iteration_time;
+        let plan = crate::fault::FaultPlan::seeded(17)
+            .with_device_mtbf(4.0 * 40.0 * iter)
+            .with_restart(2.0 * iter)
+            .with_ckpt_write_bw(1e9);
+        let run = cfg.simulate_run(32, 50, &plan).unwrap();
+        assert!(!run.events.is_empty());
+        let mut cursor = 0.0f64;
+        for ev in &run.events {
+            assert_eq!(ev.start_s.to_bits(), cursor.to_bits(), "events must abut");
+            assert!(ev.end_s >= ev.start_s);
+            cursor = ev.end_s;
+        }
+        assert_eq!(cursor.to_bits(), run.total_time_s.to_bits());
+        assert!(run.events.iter().any(|e| e.span == RunSpan::Lost));
+        assert!(run.events.iter().any(|e| e.span == RunSpan::Restart));
+        assert!(run.events.iter().any(|e| e.span == RunSpan::Checkpoint));
+        let rework: f64 = run
+            .events
+            .iter()
+            .filter(|e| matches!(e.span, RunSpan::Lost | RunSpan::Restart))
+            .map(|e| e.end_s - e.start_s)
+            .sum();
+        assert!(
+            (rework - run.rework_time_s).abs() < 1e-9 * run.total_time_s,
+            "lost + restart slices must account for the rework time"
+        );
+    }
+
+    #[test]
+    fn run_observer_reconciles_and_never_perturbs() {
+        let m = mingpt();
+        let a = v100();
+        let sys = hgx(4);
+        let p = Parallelism::data_parallel_intra(4).unwrap();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap().iteration_time;
+        let plan = crate::fault::FaultPlan::seeded(17)
+            .with_device_mtbf(4.0 * 40.0 * iter)
+            .with_restart(2.0 * iter)
+            .with_ckpt_write_bw(1e9);
+        let plain = cfg.simulate_run(32, 50, &plan).unwrap();
+
+        let obs = std::sync::Arc::new(amped_obs::Observer::new());
+        let observed = cfg
+            .clone()
+            .with_observer(obs.clone())
+            .simulate_run(32, 50, &plan)
+            .unwrap();
+        assert_eq!(
+            plain.total_time_s.to_bits(),
+            observed.total_time_s.to_bits(),
+            "instrumentation must not perturb the replay"
+        );
+
+        let counters = obs.counters();
+        assert_eq!(counters["sim.run.batches"], 50);
+        assert_eq!(counters["sim.run.failures"], observed.num_failures);
+        assert_eq!(counters["sim.run.checkpoints"], observed.num_checkpoints);
+        assert!(counters["sim.des.runs"] >= 3, "healthy + perturbed + ckpt");
+        assert!(counters["sim.des.events_processed"] > 0);
+        let gauges = obs.gauges();
+        assert!((gauges["sim.run.goodput"] - observed.goodput()).abs() < 1e-12);
+        assert!(gauges["sim.run.rework_s"] > 0.0);
+        // The iteration phases show up as spans on the trace.
+        let names: std::collections::BTreeSet<_> =
+            obs.trace_events().iter().map(|e| e.name.clone()).collect();
+        assert!(names.contains("sim.iteration.healthy"));
+        assert!(names.contains("sim.iteration.perturbed"));
+        assert!(names.contains("sim.replay"));
     }
 
     #[test]

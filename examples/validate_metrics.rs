@@ -1,0 +1,113 @@
+//! CI validator for the CLI's observability artifacts.
+//!
+//! Parses a `--metrics-out` run report and a `--trace-out` Chrome trace
+//! back through the workspace `serde_json` shim (keeping the hand-rolled
+//! writers in `amped-obs` honest), checks the required counter keys are
+//! present, and verifies the search accounting identities hold exactly.
+//!
+//! Run with:
+//! `cargo run --example validate_metrics -- metrics.json trace.json`
+
+use serde_json::Value;
+
+/// Counters every instrumented `search` run must report.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "search.candidates.generated",
+    "search.candidates.pruned",
+    "search.candidates.evaluated",
+    "search.candidates.kept",
+    "search.candidates.memory_rejected",
+    "search.cache.lookups",
+    "search.cache.hits",
+    "search.cache.misses",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_metrics: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(metrics_path), Some(trace_path)) = (args.next(), args.next()) else {
+        fail("usage: validate_metrics <metrics.json> <trace.json>");
+    };
+
+    // ---- metrics: required keys and accounting identities ----
+    let text = std::fs::read_to_string(&metrics_path)
+        .unwrap_or_else(|e| fail(&format!("read {metrics_path}: {e}")));
+    let metrics: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{metrics_path} is not valid JSON: {e:?}")));
+
+    let counters = metrics
+        .get("counters")
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| fail("metrics JSON has no \"counters\" object"));
+    let counter = |key: &str| -> u64 {
+        counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| fail(&format!("missing required counter {key}")))
+    };
+    for key in REQUIRED_COUNTERS {
+        let _ = counter(key);
+    }
+    let generated = counter("search.candidates.generated");
+    let pruned = counter("search.candidates.pruned");
+    let evaluated = counter("search.candidates.evaluated");
+    let kept = counter("search.candidates.kept");
+    let rejected = counter("search.candidates.memory_rejected");
+    let lookups = counter("search.cache.lookups");
+    let hits = counter("search.cache.hits");
+    let misses = counter("search.cache.misses");
+    if generated != pruned + evaluated {
+        fail(&format!(
+            "identity violated: generated {generated} != pruned {pruned} + evaluated {evaluated}"
+        ));
+    }
+    if evaluated != kept + rejected {
+        fail(&format!(
+            "identity violated: evaluated {evaluated} != kept {kept} + memory_rejected {rejected}"
+        ));
+    }
+    if lookups != hits + misses {
+        fail(&format!(
+            "identity violated: lookups {lookups} != hits {hits} + misses {misses}"
+        ));
+    }
+    if generated == 0 {
+        fail("search generated zero candidates; instrumentation is not wired");
+    }
+    if metrics.get("phases").and_then(Value::as_array).is_none() {
+        fail("metrics JSON has no \"phases\" array");
+    }
+
+    // ---- trace: a non-empty array of complete events ----
+    let text = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| fail(&format!("read {trace_path}: {e}")));
+    let trace: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{trace_path} is not valid JSON: {e:?}")));
+    let events = trace
+        .as_array()
+        .unwrap_or_else(|| fail("trace JSON is not an array"));
+    if events.is_empty() {
+        fail("trace JSON has no events");
+    }
+    for (i, e) in events.iter().enumerate() {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            fail(&format!("trace event {i} is not a complete (ph=X) event"));
+        }
+        for field in ["name", "cat", "ts", "dur", "pid", "tid"] {
+            if e.get(field).is_none() {
+                fail(&format!("trace event {i} is missing \"{field}\""));
+            }
+        }
+    }
+
+    println!(
+        "validate_metrics ok: {} counters ({generated} candidates, {lookups} cache lookups), {} trace events",
+        counters.len(),
+        events.len()
+    );
+}

@@ -41,4 +41,13 @@ awk -v e="$expected" -v f="$fault_free" 'BEGIN {
     printf "resilience smoke ok: expected %.1fs >= fault-free %.1fs\n", e, f
 }'
 
+echo "==> observability smoke (metrics + trace JSON must parse and reconcile)"
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+./target/release/amped search --model mingpt-85m --accel v100 \
+    --nodes 2 --per-node 4 --batch 64 --top 3 --jobs 2 \
+    --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json" > /dev/null
+cargo run -q --release --example validate_metrics -- \
+    "$obs_dir/metrics.json" "$obs_dir/trace.json"
+
 echo "ci: all green"
