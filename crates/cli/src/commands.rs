@@ -9,9 +9,9 @@ use std::sync::Arc;
 use amped_configs::scenario::ResilienceSection;
 use amped_configs::{interconnects, registry};
 use amped_core::{
-    AnalyticalBackend, CostBackend, EfficiencyModel, Error, Estimator, Link, MicrobatchPolicy,
-    ObservedBackend, Parallelism, Precision, ResilienceReport, Result, Scenario, SystemSpec,
-    TrainingConfig, TransformerModel,
+    AnalyticalBackend, CostBackend, EfficiencyModel, EngineOptions, Error, Estimator, Link,
+    MicrobatchPolicy, ObservedBackend, Parallelism, Precision, ResilienceReport, Result,
+    Scenario, SystemSpec, TrainingConfig, TransformerModel,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_obs::Observer;
@@ -40,6 +40,8 @@ commands:
   resilience                  expected time under failures (checkpoint/restart)
   sensitivity                 which knob moves the training time most
   check                       lint a launch configuration for footguns
+  serve                       long-lived HTTP service answering estimate/
+                              search/recommend/sweep/resilience queries
   help                        this text
 
 common flags:
@@ -64,7 +66,7 @@ common flags:
                               best time seen (same winner, fewer rows)
   --backend NAME              cost backend for estimate/sweep:
                               analytical | sim      [default analytical]
-  --refine-sim K              search only: re-rank the analytical top K
+  --refine-sim K              search/recommend: re-rank the analytical top K
                               through the simulator             [default 0]
   --memory-filter             search only: drop candidates whose footprint
                               does not fit device memory
@@ -96,6 +98,16 @@ resilience flags (resilience; --mtbf also on estimate, --goodput on search,
                               the whole run (with --batches)
   --stragglers N[xF]          simulate only: N random stragglers slowed by
                               factor F                       [default F 1.5]
+
+serve flags (serve only; request bodies are scenario JSON files, responses
+the same artifacts the --json flags print):
+  --port P                    TCP port on 127.0.0.1 (0 = ephemeral)
+                              [default 8750]
+  --jobs N                    worker threads (0 = one per CPU)  [default 0]
+  --queue-depth N             bounded request queue; beyond it requests get
+                              429 + Retry-After                [default 64]
+  --timeout-ms MS             per-request deadline from enqueue (504 past
+                              it)                           [default 30000]
 ";
 
 /// The per-node MTBF the resilience commands assume when none is given:
@@ -208,6 +220,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         Some("resilience") => resilience(args),
         Some("sensitivity") => sensitivity(args),
         Some("check") => check(args),
+        Some("serve") => serve(args),
         Some(other) => Err(Error::usage(format!(
             "unknown command `{other}`; try `amped help`"
         ))),
@@ -259,6 +272,9 @@ struct Setup {
     training: TrainingConfig,
     precision: Precision,
     efficiency: EfficiencyModel,
+    /// Engine options from a scenario file (`activation_recompute`);
+    /// defaults when driven by flags.
+    options: EngineOptions,
     /// Failure/checkpoint parameters from a scenario file's `resilience`
     /// section (flags override individual fields).
     resilience: Option<ResilienceSection>,
@@ -276,6 +292,7 @@ impl Setup {
         )
         .with_precision(self.precision)
         .with_efficiency(self.efficiency.clone())
+        .with_options(self.options)
     }
 }
 
@@ -294,6 +311,7 @@ fn setup(args: &Args) -> Result<Setup> {
             training: resolved.training,
             precision: resolved.precision,
             efficiency: resolved.efficiency,
+            options: resolved.options,
             resilience: resolved.resilience,
         });
     }
@@ -354,6 +372,7 @@ fn setup(args: &Args) -> Result<Setup> {
         training,
         precision,
         efficiency,
+        options: EngineOptions::default(),
         resilience: None,
     })
 }
@@ -440,10 +459,10 @@ fn estimate(args: &Args) -> Result<String> {
         // Observability files are still written; the -v summary never
         // pollutes machine-readable output.
         obs.finish("estimate", &mut String::new())?;
-        return match &report {
-            Some(r) => to_json(&serde_json::json!({ "estimate": estimate, "resilience": r })),
-            None => to_json(&estimate),
-        };
+        return to_json(&amped_report::artifacts::estimate_value(
+            &estimate,
+            report.as_ref(),
+        ));
     }
     let mut out = format!(
         "{} on {} x {} ({} nodes x {}/node) via {} backend\n{}",
@@ -472,7 +491,10 @@ fn resilience(args: &Args) -> Result<String> {
     let report = expected_time_report(&s, &section, estimate.total_time.get())?;
     if args.switch("json") {
         obs.finish("resilience", &mut String::new())?;
-        return to_json(&serde_json::json!({ "estimate": estimate, "resilience": report }));
+        return to_json(&amped_report::artifacts::estimate_value(
+            &estimate,
+            Some(&report),
+        ));
     }
     let mut out = format!(
         "{} on {} accelerators ({} nodes, node MTBF {} h) via {} backend\n{report}",
@@ -529,6 +551,7 @@ fn search(args: &Args) -> Result<String> {
     let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
+        .with_engine_options(s.options)
         .with_enumeration(EnumerationOptions::default())
         .with_parallelism(args.parse_or("jobs", 0)?)
         .with_pruning(args.switch("prune"))
@@ -565,23 +588,7 @@ fn search(args: &Args) -> Result<String> {
     };
     if args.switch("json") {
         obs.finish("search", &mut String::new())?;
-        let rows: Vec<serde_json::Value> = results
-            .iter()
-            .take(top)
-            .map(|c| {
-                serde_json::json!({
-                    "tp": [c.parallelism.tp_intra(), c.parallelism.tp_inter()],
-                    "pp": [c.parallelism.pp_intra(), c.parallelism.pp_inter()],
-                    "dp": [c.parallelism.dp_intra(), c.parallelism.dp_inter()],
-                    "days": c.ranking_estimate().days(),
-                    "tflops_per_gpu": c.ranking_estimate().tflops_per_gpu,
-                    "fits_memory": c.fits_memory,
-                    "backend": backend_of(c),
-                    "expected_days": c.resilience.as_ref().map(|r| r.expected_days()),
-                })
-            })
-            .collect();
-        return to_json(&rows);
+        return to_json(&amped_report::artifacts::search_rows(&results, top));
     }
     let mut t = Table::new(["#", "tp", "pp", "dp", "time", "TFLOP/s/GPU", "fits mem", "backend"]);
     for (i, c) in results.iter().take(top).enumerate() {
@@ -721,13 +728,29 @@ hottest layers:
 
 fn recommend(args: &Args) -> Result<String> {
     let s = setup(args)?;
-    let engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+    let obs = ObsSession::from_args(args);
+    // --refine-sim K re-ranks the analytical top K through the simulator
+    // before picking the winner, exactly as on `search`.
+    let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
+        .with_engine_options(s.options)
         .with_memory_filter(true)
-        .with_parallelism(args.parse_or("jobs", 0)?);
+        .with_parallelism(args.parse_or("jobs", 0)?)
+        .with_refine_sim(args.parse_or("refine-sim", 0)?);
+    if let Some(o) = obs.observer() {
+        engine = engine.with_observer(o);
+    }
     match engine.recommend(&s.training)? {
-        Some(rec) => Ok(rec.to_string()),
+        Some(rec) => {
+            if args.switch("json") {
+                obs.finish("recommend", &mut String::new())?;
+                return to_json(&amped_report::artifacts::recommend_value(&rec));
+            }
+            let mut out = rec.to_string();
+            obs.finish("recommend", &mut out)?;
+            Ok(out)
+        }
         None => Err(Error::usage(
             "no memory-feasible mapping; shard more (TP/PP), enable recomputation, or use bigger devices",
         )),
@@ -767,6 +790,7 @@ fn sweep(args: &Args) -> Result<String> {
     let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
         .with_precision(s.precision)
         .with_efficiency(s.efficiency)
+        .with_engine_options(s.options)
         .with_parallelism(args.parse_or("jobs", 0)?);
     if let Some(o) = obs.observer() {
         engine = engine.with_observer(o);
@@ -786,13 +810,7 @@ fn sweep(args: &Args) -> Result<String> {
             )
         }
     }?;
-    let mut out = sweep.to_csv();
-    out.push_str("
-
-winners: ");
-    for (b, w) in sweep.winners() {
-        out.push_str(&format!("{b}:{w} "));
-    }
+    let mut out = amped_report::artifacts::sweep_text(&sweep);
     obs.finish("sweep", &mut out)?;
     Ok(out)
 }
@@ -869,6 +887,25 @@ fn check(args: &Args) -> Result<String> {
 "));
     }
     Ok(out)
+}
+
+/// `amped serve` — run the HTTP query service until SIGINT (or a
+/// `POST /v1/shutdown`), then report what it served. The listening line
+/// goes straight to stdout before blocking so callers (and the CI smoke
+/// test) can discover an ephemeral port.
+fn serve(args: &Args) -> Result<String> {
+    let port: u16 = args.parse_or("port", 8750)?;
+    let config = amped_serve::ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        jobs: args.parse_or("jobs", 0)?,
+        queue_depth: args.parse_or("queue-depth", 64)?,
+        timeout_ms: args.parse_or("timeout-ms", 30_000)?,
+        handle_sigint: true,
+    };
+    let server = amped_serve::Server::bind(config)?;
+    println!("amped-serve listening on {}", server.local_addr()?);
+    let summary = server.run()?;
+    Ok(format!("amped-serve: {summary}"))
 }
 
 fn memory(args: &Args) -> Result<String> {

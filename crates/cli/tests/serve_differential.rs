@@ -1,0 +1,149 @@
+//! Differential test: server responses are byte-identical to the CLI.
+//!
+//! For every compute endpoint, the body answered by an in-process
+//! `amped-serve` server must equal — byte for byte — the stdout of the
+//! equivalent `amped` CLI invocation (minus the trailing newline
+//! `println!` appends). Both front-ends parse scenarios with
+//! `amped-configs` and render through `amped_report::artifacts`; this test
+//! is the tripwire that keeps them from drifting apart, at any worker
+//! count and any cache warmth.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+
+use amped_serve::{ServeConfig, Server};
+
+/// The small fixture: quick to price, still exercises multi-node search.
+const SMALL: &str = r#"{
+    "model": { "preset": "mingpt-85m" },
+    "accelerator": { "preset": "v100" },
+    "system": { "nodes": 2, "accels_per_node": 4,
+                "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+    "parallelism": { "dp": [4, 2] },
+    "training": { "global_batch": 64, "num_batches": 10 },
+    "resilience": { "node_mtbf_hours": 1000.0 }
+}"#;
+
+/// The paper's flagship scenario: megatron-145b on a real cluster shape,
+/// with recomputation on (exercising the engine-options plumbing).
+const MEGATRON: &str = r#"{
+    "model": { "preset": "megatron-145b" },
+    "accelerator": { "preset": "a100" },
+    "system": { "nodes": 16, "accels_per_node": 8,
+                "intra_gbps": 2400.0, "inter_gbps": 200.0, "nics_per_node": 8 },
+    "parallelism": { "tp": [8, 1], "pp": [1, 8], "dp": [1, 2], "microbatches": 16 },
+    "training": { "global_batch": 1024, "num_batches": 100 },
+    "precision_bits": 16,
+    "activation_recompute": true
+}"#;
+
+fn write_scenario(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("amped-serve-differential");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// Run the real `amped` binary and return its stdout (trailing newline
+/// stripped — `main` prints the command output with `println!`).
+fn cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_amped"))
+        .args(args)
+        .output()
+        .expect("amped binary runs");
+    assert!(
+        out.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("CLI stdout is UTF-8");
+    stdout
+        .strip_suffix('\n')
+        .map(String::from)
+        .unwrap_or(stdout)
+}
+
+/// POST a scenario at a server and return the 200 body.
+fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("response has body");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "{target} did not answer 200: {head}\n{payload}"
+    );
+    payload.to_string()
+}
+
+#[test]
+fn server_responses_are_byte_identical_to_the_cli() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 3, // deliberately not the CLI's default: identity must not depend on it
+        queue_depth: 16,
+        timeout_ms: 600_000,
+        handle_sigint: false,
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let small = write_scenario("small.json", SMALL);
+    let megatron = write_scenario("megatron.json", MEGATRON);
+    let cases: &[(&str, &str, &std::path::Path, &[&str])] = &[
+        // (endpoint+query, body, config path, extra CLI flags)
+        ("/v1/estimate", SMALL, &small, &["estimate", "--json"]),
+        ("/v1/estimate", MEGATRON, &megatron, &["estimate", "--json"]),
+        (
+            "/v1/search?top=5&jobs=2",
+            SMALL,
+            &small,
+            &["search", "--json", "--top", "5", "--jobs", "2"],
+        ),
+        (
+            "/v1/search?top=3&prune=true&refine-sim=2",
+            SMALL,
+            &small,
+            &["search", "--json", "--top", "3", "--prune", "--refine-sim", "2"],
+        ),
+        (
+            "/v1/recommend?refine-sim=2",
+            SMALL,
+            &small,
+            &["recommend", "--json", "--refine-sim", "2"],
+        ),
+        ("/v1/sweep?jobs=2", SMALL, &small, &["sweep", "--jobs", "2"]),
+        ("/v1/resilience", SMALL, &small, &["resilience", "--json"]),
+    ];
+
+    for (target, body, config, cli_args) in cases {
+        // Twice: the second pass answers from a warm cache pool and must
+        // not differ by a byte.
+        let cold = post(addr, target, body);
+        let warm = post(addr, target, body);
+        assert_eq!(cold, warm, "{target}: warm cache changed the response");
+
+        let mut args: Vec<&str> = cli_args.to_vec();
+        let config = config.to_str().unwrap();
+        args.extend_from_slice(&["--config", config]);
+        let expected = cli(&args);
+        assert_eq!(
+            cold, expected,
+            "{target} diverged from `amped {}`",
+            args.join(" ")
+        );
+    }
+
+    handle.shutdown();
+    thread.join().unwrap().expect("clean shutdown");
+}

@@ -233,15 +233,100 @@ impl ResolvedScenario {
     }
 }
 
+/// The top-level sections a scenario document may contain, in the order
+/// they are reported when an unknown key is found.
+const SECTIONS: [&str; 9] = [
+    "model",
+    "accelerator",
+    "system",
+    "parallelism",
+    "training",
+    "precision_bits",
+    "efficiency",
+    "activation_recompute",
+    "resilience",
+];
+
+/// Deserialize a required top-level section, naming it in any failure.
+fn required_section<T: serde::Deserialize>(doc: &serde_json::Value, section: &str) -> Result<T> {
+    match doc.get(section) {
+        None => Err(Error::usage(format!(
+            "scenario: missing required section `{section}`"
+        ))),
+        Some(v) => {
+            T::from_value(v).map_err(|e| Error::usage(format!("scenario.{section}: {e}")))
+        }
+    }
+}
+
+/// Deserialize an optional top-level section (`null` counts as absent),
+/// naming it in any failure.
+fn optional_section<T: serde::Deserialize>(
+    doc: &serde_json::Value,
+    section: &str,
+) -> Result<Option<T>> {
+    match doc.get(section) {
+        None | Some(serde_json::Value::Null) => Ok(None),
+        Some(v) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| Error::usage(format!("scenario.{section}: {e}"))),
+    }
+}
+
 impl ScenarioConfig {
     /// Parse a scenario from JSON.
     ///
+    /// Parsing is per-section so failures are typed [`Error::Usage`]
+    /// values naming the offending section and field — the same message
+    /// the CLI prints (exit code 2) and the HTTP API returns (status 400):
+    ///
+    /// ```
+    /// use amped_configs::scenario::ScenarioConfig;
+    ///
+    /// let err = ScenarioConfig::from_json(r#"{"model": {"preset": "gpt3-175b"}}"#).unwrap_err();
+    /// assert!(err.to_string().contains("missing required section `accelerator`"));
+    /// ```
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] for malformed JSON.
+    /// Returns [`Error::Usage`] for malformed JSON, a non-object document
+    /// root, unknown top-level sections, missing required sections, or
+    /// section bodies that fail to deserialize.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| Error::invalid("scenario", format!("malformed JSON: {e}")))
+        let doc: serde_json::Value = serde_json::from_str(json)
+            .map_err(|e| Error::usage(format!("scenario: malformed JSON: {e}")))?;
+        Self::from_document(&doc)
+    }
+
+    /// Parse a scenario from an already-parsed JSON document (see
+    /// [`ScenarioConfig::from_json`] for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Usage`] naming the offending section/field.
+    pub fn from_document(doc: &serde_json::Value) -> Result<Self> {
+        let entries = doc
+            .as_object()
+            .ok_or_else(|| Error::usage("scenario: the document root must be a JSON object"))?;
+        for (key, _) in entries {
+            if !SECTIONS.contains(&key.as_str()) {
+                return Err(Error::usage(format!(
+                    "scenario: unknown section `{key}` (expected one of: {})",
+                    SECTIONS.join(", ")
+                )));
+            }
+        }
+        Ok(ScenarioConfig {
+            model: required_section(doc, "model")?,
+            accelerator: required_section(doc, "accelerator")?,
+            system: required_section(doc, "system")?,
+            parallelism: required_section(doc, "parallelism")?,
+            training: required_section(doc, "training")?,
+            precision_bits: optional_section(doc, "precision_bits")?.unwrap_or_else(default_bits),
+            efficiency: optional_section(doc, "efficiency")?,
+            activation_recompute: optional_section(doc, "activation_recompute")?.unwrap_or(false),
+            resilience: optional_section(doc, "resilience")?,
+        })
     }
 
     /// Serialize to pretty JSON.
@@ -415,6 +500,92 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(ScenarioConfig::from_json("{not json").is_err());
+    }
+
+    /// Every malformed fixture must fail as a typed usage error whose
+    /// message names the offending section (and field where applicable) —
+    /// the contract the CLI (exit code 2) and the HTTP API (status 400)
+    /// both surface verbatim.
+    fn usage_message(json: &str) -> String {
+        let err = ScenarioConfig::from_json(json).unwrap_err();
+        assert!(matches!(err, Error::Usage { .. }), "not a usage error: {err:?}");
+        err.to_string()
+    }
+
+    #[test]
+    fn malformed_json_names_the_parse_failure() {
+        let msg = usage_message("{not json");
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+
+    #[test]
+    fn non_object_root_is_reported() {
+        let msg = usage_message("[1, 2, 3]");
+        assert!(msg.contains("document root"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_section_is_named() {
+        let bad = SAMPLE.replace("\"parallelism\"", "\"paralelism\"");
+        let msg = usage_message(&bad);
+        assert!(msg.contains("unknown section `paralelism`"), "{msg}");
+    }
+
+    #[test]
+    fn missing_section_is_named() {
+        let bad = r#"{
+            "model": { "preset": "megatron-145b" },
+            "accelerator": { "preset": "a100" },
+            "system": { "nodes": 16, "accels_per_node": 8,
+                        "intra_gbps": 2400.0, "inter_gbps": 200.0, "nics_per_node": 8 },
+            "parallelism": { "tp": [8, 1], "dp": [1, 16] }
+        }"#;
+        let msg = usage_message(bad);
+        assert!(msg.contains("missing required section `training`"), "{msg}");
+    }
+
+    #[test]
+    fn missing_field_names_section_and_field() {
+        let bad = SAMPLE.replace("\"nodes\": 16, ", "");
+        let msg = usage_message(&bad);
+        assert!(msg.contains("scenario.system"), "{msg}");
+        assert!(msg.contains("`nodes`"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_field_type_names_the_section() {
+        let bad = SAMPLE.replace("\"global_batch\": 2048", "\"global_batch\": \"large\"");
+        let msg = usage_message(&bad);
+        assert!(msg.contains("scenario.training"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_degree_arity_names_the_section() {
+        let bad = SAMPLE.replace("\"tp\": [8, 1]", "\"tp\": [8, 1, 1]");
+        let msg = usage_message(&bad);
+        assert!(msg.contains("scenario.parallelism"), "{msg}");
+        assert!(msg.contains("2 elements"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_resilience_type_names_the_section() {
+        let bad = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n  \"resilience\": { \"node_mtbf_hours\": \"six months\" }",
+        );
+        let msg = usage_message(&bad);
+        assert!(msg.contains("scenario.resilience"), "{msg}");
+    }
+
+    #[test]
+    fn null_optional_sections_are_absent() {
+        let with_nulls = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n  \"efficiency\": null,\n  \"resilience\": null",
+        );
+        let s = ScenarioConfig::from_json(&with_nulls).unwrap();
+        assert!(s.efficiency.is_none());
+        assert!(s.resilience.is_none());
     }
 
     #[test]

@@ -15,10 +15,12 @@ mod cached;
 mod detail;
 mod estimator;
 mod options;
+mod pool;
 
 pub use backend::{AnalyticalBackend, BreakdownFidelity, CostBackend, ObservedBackend, Scenario};
 pub use breakdown::{Breakdown, Estimate};
 pub use cache::EstimateCache;
+pub use pool::{context_key, CacheLease, CachePool};
 pub use detail::{DetailedEstimate, LayerEstimate};
 pub use estimator::Estimator;
 pub use options::{BubbleAccounting, EngineOptions};

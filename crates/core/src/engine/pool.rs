@@ -1,0 +1,396 @@
+//! A `Sync`-shareable pool of [`EstimateCache`]s for long-lived processes.
+//!
+//! One-shot tools build an [`EstimateCache`](super::EstimateCache) per run
+//! and throw it away; a long-lived service answering many queries wants the
+//! memoized sub-results of one request to survive into the next. The cache
+//! itself is deliberately a plain `&mut self` structure with *no* context
+//! fingerprint (see the context-binding contract in
+//! [`cache`](super::cache)), so sharing it across requests that may differ
+//! in model/accelerator/system would silently corrupt results.
+//!
+//! [`CachePool`] makes sharing safe: caches are shelved under a
+//! [`context_key`] — a fingerprint of exactly the six context components a
+//! cache may be reused across — and a checkout can only ever receive a
+//! cache warmed by a compatible scenario. Checkouts hand out owned
+//! [`CacheLease`]s, so concurrent requests never contend on a cache; each
+//! lease returns its cache to the shelf on drop and folds its hit/miss
+//! delta into the pool-wide counters.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use super::cache::EstimateCache;
+use super::{EngineOptions, Scenario};
+use crate::accelerator::AcceleratorSpec;
+use crate::efficiency::EfficiencyModel;
+use crate::model::TransformerModel;
+use crate::network::SystemSpec;
+use crate::precision::Precision;
+
+/// Fingerprint of the cache-reuse context: the six scenario components an
+/// [`EstimateCache`] may be shared across (everything *except* parallelism
+/// and training, which are part of every cache key).
+///
+/// Computed as FNV-1a over the `Debug` rendering of each component. Debug
+/// formatting covers every field of these plain-data specs, so two contexts
+/// collide only if they are observationally identical — and a collision
+/// between *different* contexts is vanishingly unlikely (and would only
+/// cost correctness if it happened, which is why the pool is keyed on the
+/// full 64-bit value rather than a truncation).
+#[must_use]
+pub fn context_key(
+    model: &TransformerModel,
+    accelerator: &AcceleratorSpec,
+    system: &SystemSpec,
+    precision: Precision,
+    efficiency: &EfficiencyModel,
+    options: EngineOptions,
+) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |text: String| {
+        for byte in text.into_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    absorb(format!("{model:?}"));
+    absorb(format!("{accelerator:?}"));
+    absorb(format!("{system:?}"));
+    absorb(format!("{precision:?}"));
+    absorb(format!("{efficiency:?}"));
+    absorb(format!("{options:?}"));
+    hash
+}
+
+impl Scenario {
+    /// The [`context_key`] of this scenario's cache-reuse context.
+    #[must_use]
+    pub fn cache_context_key(&self) -> u64 {
+        context_key(
+            &self.model,
+            &self.accelerator,
+            &self.system,
+            self.precision,
+            &self.efficiency,
+            self.options,
+        )
+    }
+}
+
+/// A thread-safe pool of [`EstimateCache`]s shelved by [`context_key`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use amped_core::{CachePool, EstimateCache};
+///
+/// let pool = Arc::new(CachePool::new());
+/// let key = 42; // normally Scenario::cache_context_key()
+/// {
+///     let mut lease = pool.checkout(key);
+///     let cache: &mut EstimateCache = &mut lease;
+///     let _ = cache; // warm it via Estimator::estimate_cached
+/// } // lease drop returns the cache to the shelf
+/// assert_eq!(pool.checkouts(), 1);
+/// let again = pool.checkout(key); // receives the warmed cache back
+/// drop(again);
+/// assert_eq!(pool.warm_checkouts(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CachePool {
+    shelves: Mutex<HashMap<u64, Vec<EstimateCache>>>,
+    max_keys: usize,
+    max_per_key: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    checkouts: AtomicU64,
+    warm_checkouts: AtomicU64,
+}
+
+impl Default for CachePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachePool {
+    /// A pool with default capacity: up to 64 contexts, 64 caches each.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(64, 64)
+    }
+
+    /// A pool bounded to `max_keys` distinct contexts with at most
+    /// `max_per_key` shelved caches each. Overflow in either dimension
+    /// drops returned caches instead of shelving them (the pool never
+    /// blocks and never errors; a checkout past capacity simply starts
+    /// cold).
+    #[must_use]
+    pub fn with_capacity(max_keys: usize, max_per_key: usize) -> Self {
+        Self {
+            shelves: Mutex::new(HashMap::new()),
+            max_keys,
+            max_per_key,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            checkouts: AtomicU64::new(0),
+            warm_checkouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Check out a cache for the given context key: a previously warmed
+    /// cache if one is shelved, otherwise a fresh one. The lease returns
+    /// the cache on drop.
+    pub fn checkout(&self, key: u64) -> CacheLease<'_> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let shelved = self
+            .shelves
+            .lock()
+            .expect("cache pool lock poisoned")
+            .get_mut(&key)
+            .and_then(Vec::pop);
+        let cache = match shelved {
+            Some(cache) => {
+                self.warm_checkouts.fetch_add(1, Ordering::Relaxed);
+                cache
+            }
+            None => EstimateCache::new(),
+        };
+        let (hits_at_checkout, misses_at_checkout) = (cache.hits(), cache.misses());
+        CacheLease {
+            pool: self,
+            key,
+            cache,
+            hits_at_checkout,
+            misses_at_checkout,
+        }
+    }
+
+    fn checkin(&self, key: u64, cache: EstimateCache, hits_delta: u64, misses_delta: u64) {
+        self.hits.fetch_add(hits_delta, Ordering::Relaxed);
+        self.misses.fetch_add(misses_delta, Ordering::Relaxed);
+        let mut shelves = self.shelves.lock().expect("cache pool lock poisoned");
+        if let Some(shelf) = shelves.get_mut(&key) {
+            if shelf.len() < self.max_per_key {
+                shelf.push(cache);
+            }
+        } else if shelves.len() < self.max_keys {
+            shelves.insert(key, vec![cache]);
+        }
+    }
+
+    /// Cumulative cache hits across all returned leases.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative cache misses across all returned leases.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative lookups (`hits + misses`) across all returned leases.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Total checkouts served.
+    #[must_use]
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts that received a previously warmed cache.
+    #[must_use]
+    pub fn warm_checkouts(&self) -> u64 {
+        self.warm_checkouts.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct contexts currently shelved.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.shelves.lock().expect("cache pool lock poisoned").len()
+    }
+
+    /// Number of caches currently shelved across all contexts.
+    #[must_use]
+    pub fn shelved(&self) -> usize {
+        self.shelves
+            .lock()
+            .expect("cache pool lock poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// An exclusive loan of one [`EstimateCache`] from a [`CachePool`].
+///
+/// Dereferences to the cache; on drop, the cache (and the hit/miss delta
+/// accumulated during the lease) returns to the pool.
+#[derive(Debug)]
+pub struct CacheLease<'pool> {
+    pool: &'pool CachePool,
+    key: u64,
+    cache: EstimateCache,
+    hits_at_checkout: u64,
+    misses_at_checkout: u64,
+}
+
+impl CacheLease<'_> {
+    /// Hits and misses accumulated so far during this lease.
+    #[must_use]
+    pub fn stats_delta(&self) -> (u64, u64) {
+        (
+            self.cache.hits() - self.hits_at_checkout,
+            self.cache.misses() - self.misses_at_checkout,
+        )
+    }
+}
+
+impl Deref for CacheLease<'_> {
+    type Target = EstimateCache;
+
+    fn deref(&self) -> &EstimateCache {
+        &self.cache
+    }
+}
+
+impl DerefMut for CacheLease<'_> {
+    fn deref_mut(&mut self) -> &mut EstimateCache {
+        &mut self.cache
+    }
+}
+
+impl Drop for CacheLease<'_> {
+    fn drop(&mut self) {
+        let (hits_delta, misses_delta) = self.stats_delta();
+        let cache = std::mem::take(&mut self.cache);
+        self.pool.checkin(self.key, cache, hits_delta, misses_delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::network::Link;
+    use crate::parallelism::Parallelism;
+    use crate::training::TrainingConfig;
+
+    fn scenario() -> Scenario {
+        let model = TransformerModel::builder("pool-test")
+            .layers(8)
+            .hidden_size(512)
+            .heads(8)
+            .seq_len(128)
+            .vocab_size(2000)
+            .build()
+            .unwrap();
+        let accel = AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .build()
+            .unwrap();
+        let system =
+            SystemSpec::new(1, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8).unwrap();
+        let parallelism = Parallelism::builder().tp(8, 1).build().unwrap();
+        Scenario::new(model, accel, system, parallelism)
+    }
+
+    #[test]
+    fn warm_checkout_is_bit_identical_and_counts_stats() {
+        let scenario = scenario();
+        let training = TrainingConfig::new(64, 10).unwrap();
+        let key = scenario.cache_context_key();
+        let pool = CachePool::new();
+
+        let cold = {
+            let mut lease = pool.checkout(key);
+            scenario.estimator().estimate_cached(&mut lease, &training).unwrap()
+        };
+        let (warm, warm_delta) = {
+            let mut lease = pool.checkout(key);
+            let est = scenario.estimator().estimate_cached(&mut lease, &training).unwrap();
+            (est, lease.stats_delta())
+        };
+
+        assert_eq!(cold.total_time.get().to_bits(), warm.total_time.get().to_bits());
+        assert_eq!(pool.checkouts(), 2);
+        assert_eq!(pool.warm_checkouts(), 1);
+        // The warm lease only hit (every sub-result was memoized already).
+        assert_eq!(warm_delta.1, 0, "warm lease should not miss");
+        assert!(warm_delta.0 > 0, "warm lease should hit");
+        assert_eq!(pool.lookups(), pool.hits() + pool.misses());
+    }
+
+    #[test]
+    fn distinct_contexts_never_share_a_shelf() {
+        let a = scenario();
+        let b = {
+            let mut s = scenario();
+            s.efficiency = EfficiencyModel::Constant(0.5);
+            s
+        };
+        assert_ne!(a.cache_context_key(), b.cache_context_key());
+
+        let pool = CachePool::new();
+        drop(pool.checkout(a.cache_context_key()));
+        let lease = pool.checkout(b.cache_context_key());
+        assert_eq!(pool.warm_checkouts(), 0);
+        drop(lease);
+        assert_eq!(pool.contexts(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_are_respected() {
+        let pool = CachePool::with_capacity(1, 1);
+        // Two concurrent leases on one key: only one cache fits the shelf.
+        let l1 = pool.checkout(7);
+        let l2 = pool.checkout(7);
+        drop(l1);
+        drop(l2);
+        assert_eq!(pool.shelved(), 1);
+        // A second key does not fit the pool.
+        drop(pool.checkout(8));
+        assert_eq!(pool.contexts(), 1);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = Arc::new(CachePool::new());
+        let scenario = Arc::new(scenario());
+        let training = TrainingConfig::new(64, 10).unwrap();
+        let baseline = scenario.estimator().estimate(&training).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let scenario = Arc::clone(&scenario);
+                std::thread::spawn(move || {
+                    let mut lease = pool.checkout(scenario.cache_context_key());
+                    scenario
+                        .estimator()
+                        .estimate_cached(&mut lease, &training)
+                        .unwrap()
+                        .total_time
+                        .get()
+                        .to_bits()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), baseline.total_time.get().to_bits());
+        }
+        assert_eq!(pool.checkouts(), 4);
+    }
+}

@@ -84,9 +84,9 @@ pub use accelerator::{AcceleratorSpec, AcceleratorSpecBuilder};
 pub use diagnostics::{check_scenario, Diagnostic, Severity};
 pub use efficiency::EfficiencyModel;
 pub use engine::{
-    AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CostBackend,
-    DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator, LayerEstimate,
-    ObservedBackend, Scenario,
+    context_key, AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CacheLease,
+    CachePool, CostBackend, DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator,
+    LayerEstimate, ObservedBackend, Scenario,
 };
 pub use error::{Error, Result};
 pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder};
@@ -103,9 +103,9 @@ pub mod prelude {
     pub use crate::accelerator::AcceleratorSpec;
     pub use crate::efficiency::EfficiencyModel;
     pub use crate::engine::{
-        AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CostBackend,
-        DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator, LayerEstimate,
-        Scenario,
+        AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CacheLease, CachePool,
+        CostBackend, DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator,
+        LayerEstimate, Scenario,
     };
     pub use crate::model::{LayerKind, MoeConfig, TransformerModel};
     pub use crate::network::{Link, SystemSpec};

@@ -53,6 +53,6 @@ mod metrics;
 mod report;
 mod trace;
 
-pub use metrics::{Counter, DeviceUtil, Gauge, Observer, Span};
+pub use metrics::{Counter, DeviceUtil, Gauge, Observer, Span, Timer};
 pub use report::RunReport;
 pub use trace::{chrome_trace, escape_json, TraceEvent};

@@ -65,6 +65,26 @@ impl Gauge {
     }
 }
 
+/// A latency timer guard from [`Observer::timer`]: on drop it bumps
+/// `{prefix}.count`, adds the elapsed microseconds to `{prefix}.us_total`,
+/// and raises the `{prefix}.us_max` gauge.
+#[derive(Debug)]
+pub struct Timer {
+    pub(crate) count: Counter,
+    pub(crate) us_total: Counter,
+    pub(crate) us_max: Gauge,
+    pub(crate) start: Instant,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros() as u64;
+        self.count.incr();
+        self.us_total.add(us);
+        self.us_max.max(us as f64);
+    }
+}
+
 /// One device's share of busy time in a simulated timeline, as sampled
 /// into the run report's `devices` section.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,6 +217,36 @@ impl Observer {
     /// Replace the recorded per-device utilization samples.
     pub fn set_device_utilization(&self, devices: Vec<DeviceUtil>) {
         *self.devices.lock().expect("device registry poisoned") = devices;
+    }
+
+    /// Open a latency timer that records under `prefix` when dropped:
+    /// `{prefix}.count` and `{prefix}.us_total` counters plus a
+    /// `{prefix}.us_max` gauge. Unlike [`Observer::span`] this keeps no
+    /// per-event record, so it is safe on hot paths of long-lived
+    /// processes where an unbounded span log would be a leak.
+    pub fn timer(&self, prefix: &str) -> Timer {
+        Timer {
+            count: self.counter(&format!("{prefix}.count")),
+            us_total: self.counter(&format!("{prefix}.us_total")),
+            us_max: self.gauge(&format!("{prefix}.us_max")),
+            start: Instant::now(),
+        }
+    }
+
+    /// Fold another observer's counters and gauges into this one:
+    /// counters add, gauges keep the maximum. Spans, thread tracks and
+    /// device samples are *not* transferred — this is the aggregation path
+    /// for short-lived per-request observers feeding a long-lived process
+    /// observer, where retaining every span would grow without bound.
+    pub fn absorb(&self, other: &Observer) {
+        for (name, value) in other.counters() {
+            if value > 0 {
+                self.add(&name, value);
+            }
+        }
+        for (name, value) in other.gauges() {
+            self.gauge_max(&name, value);
+        }
     }
 
     /// Snapshot of every counter.
@@ -382,5 +432,39 @@ mod tests {
         let report = obs.report("simulate");
         assert_eq!(report.devices.len(), 2);
         assert_eq!(report.devices[0].busy_fraction, 0.75);
+    }
+
+    #[test]
+    fn timer_records_count_total_and_max() {
+        let obs = Observer::new();
+        for _ in 0..3 {
+            drop(obs.timer("serve.http.estimate"));
+        }
+        let counters = obs.counters();
+        assert_eq!(counters["serve.http.estimate.count"], 3);
+        let total = counters["serve.http.estimate.us_total"];
+        let max = obs.gauges()["serve.http.estimate.us_max"];
+        assert!(max <= total as f64, "max {max} > total {total}");
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_maxes_gauges() {
+        let process = Observer::new();
+        process.add("requests", 2);
+        process.gauge_max("depth", 3.0);
+
+        let request = Observer::new();
+        request.add("requests", 5);
+        request.add("cache.hits", 7);
+        request.gauge_max("depth", 1.0);
+        request.gauge_max("latency", 9.0);
+
+        process.absorb(&request);
+        let counters = process.counters();
+        assert_eq!(counters["requests"], 7);
+        assert_eq!(counters["cache.hits"], 7);
+        let gauges = process.gauges();
+        assert_eq!(gauges["depth"], 3.0);
+        assert_eq!(gauges["latency"], 9.0);
     }
 }

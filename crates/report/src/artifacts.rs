@@ -1,0 +1,159 @@
+//! The canonical machine-readable artifacts for estimates, searches,
+//! sweeps and recommendations.
+//!
+//! Both front-ends — the `amped` CLI's `--json` paths and the
+//! `amped-serve` HTTP endpoints — render their responses through these
+//! builders, which is what makes a server response *byte-identical* to the
+//! equivalent CLI invocation (pinned by the CLI's differential test). Keep
+//! any schema change here, in one place, so the two front-ends cannot
+//! drift apart.
+
+use amped_core::{Estimate, ResilienceReport};
+use amped_search::{Candidate, Recommendation, Sweep};
+use serde_json::Value;
+
+/// The estimate artifact: the bare [`Estimate`] document, or an
+/// `{ "estimate": ..., "resilience": ... }` bundle when a
+/// checkpoint/restart expectation is layered on top.
+pub fn estimate_value(estimate: &Estimate, resilience: Option<&ResilienceReport>) -> Value {
+    match resilience {
+        Some(report) => {
+            serde_json::json!({ "estimate": estimate, "resilience": report })
+        }
+        None => serde_json::to_value(estimate),
+    }
+}
+
+/// One ranked search row. `backend` reports which cost model priced the
+/// row: `"sim"` after a simulator-refinement pass, `"analytical"`
+/// otherwise.
+pub fn search_row(c: &Candidate) -> Value {
+    let backend = if c.refined.is_some() { "sim" } else { "analytical" };
+    serde_json::json!({
+        "tp": [c.parallelism.tp_intra(), c.parallelism.tp_inter()],
+        "pp": [c.parallelism.pp_intra(), c.parallelism.pp_inter()],
+        "dp": [c.parallelism.dp_intra(), c.parallelism.dp_inter()],
+        "days": c.ranking_estimate().days(),
+        "tflops_per_gpu": c.ranking_estimate().tflops_per_gpu,
+        "fits_memory": c.fits_memory,
+        "backend": backend,
+        "expected_days": c.resilience.as_ref().map(|r| r.expected_days()),
+    })
+}
+
+/// The search artifact: the top `top` ranked rows.
+pub fn search_rows(results: &[Candidate], top: usize) -> Value {
+    let rows: Vec<Value> = results.iter().take(top).map(search_row).collect();
+    serde_json::to_value(&rows)
+}
+
+/// The recommend artifact: the winning mapping with its alternatives,
+/// lint findings and knob leverage.
+pub fn recommend_value(rec: &Recommendation) -> Value {
+    let alternatives: Vec<Value> = rec.alternatives.iter().map(search_row).collect();
+    let diagnostics: Vec<String> = rec.diagnostics.iter().map(|d| d.to_string()).collect();
+    let tornado: Vec<Value> = rec
+        .tornado
+        .iter()
+        .map(|r| serde_json::json!({ "knob": r.knob.name(), "speedup": r.speedup() }))
+        .collect();
+    serde_json::json!({
+        "best": search_row(&rec.best),
+        "microbatches": rec.best.estimate.num_microbatches,
+        "alternatives": alternatives,
+        "margin": rec.margin(),
+        "diagnostics": diagnostics,
+        "top_knob": rec.top_knob().map(|k| k.name()),
+        "tornado": tornado,
+    })
+}
+
+/// The sweep artifact: the CSV grid plus the per-batch winner line, as the
+/// CLI has always printed it (text, not JSON — sweeps are spreadsheets).
+pub fn sweep_text(sweep: &Sweep) -> String {
+    let mut out = sweep.to_csv();
+    out.push_str("\n\nwinners: ");
+    for (b, w) in sweep.winners() {
+        out.push_str(&format!("{b}:{w} "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amped_core::TrainingConfig;
+    use amped_search::SearchEngine;
+
+    fn fixture() -> (
+        amped_core::TransformerModel,
+        amped_core::AcceleratorSpec,
+        amped_core::SystemSpec,
+    ) {
+        let model = amped_core::TransformerModel::builder("artifact-test")
+            .layers(8)
+            .hidden_size(512)
+            .heads(8)
+            .seq_len(128)
+            .vocab_size(2000)
+            .build()
+            .unwrap();
+        let accel = amped_core::AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .build()
+            .unwrap();
+        let system = amped_core::SystemSpec::new(
+            1,
+            8,
+            amped_core::Link::new(5e-6, 2.4e12),
+            amped_core::Link::new(1e-5, 2e11),
+            8,
+        )
+        .unwrap();
+        (model, accel, system)
+    }
+
+    #[test]
+    fn estimate_value_matches_bare_serialization_without_resilience() {
+        let (model, accel, system) = fixture();
+        let p = amped_core::Parallelism::builder().tp(8, 1).build().unwrap();
+        let est = amped_core::Estimator::new(&model, &accel, &system, &p)
+            .estimate(&TrainingConfig::new(64, 10).unwrap())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string_pretty(&estimate_value(&est, None)).unwrap(),
+            serde_json::to_string_pretty(&est).unwrap()
+        );
+    }
+
+    #[test]
+    fn search_rows_take_top_and_name_the_backend() {
+        let (model, accel, system) = fixture();
+        let results = SearchEngine::new(&model, &accel, &system)
+            .search(&TrainingConfig::new(64, 10).unwrap())
+            .unwrap();
+        assert!(results.len() > 2);
+        let rows = search_rows(&results, 2);
+        let text = serde_json::to_string_pretty(&rows).unwrap();
+        assert_eq!(text.matches("\"backend\"").count(), 2);
+        assert!(text.contains("\"analytical\""));
+    }
+
+    #[test]
+    fn recommend_value_carries_the_evidence() {
+        let (model, accel, system) = fixture();
+        let rec = SearchEngine::new(&model, &accel, &system)
+            .with_memory_filter(true)
+            .recommend(&TrainingConfig::new(64, 10).unwrap())
+            .unwrap()
+            .expect("fixture has a feasible mapping");
+        let text = serde_json::to_string_pretty(&recommend_value(&rec)).unwrap();
+        for key in ["\"best\"", "\"alternatives\"", "\"diagnostics\"", "\"tornado\""] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

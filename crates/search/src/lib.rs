@@ -69,9 +69,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use amped_core::{
-    AcceleratorSpec, CostBackend, EfficiencyModel, EngineOptions, Estimate, EstimateCache,
-    Estimator, MicrobatchPolicy, Parallelism, Precision, ResilienceParams, ResilienceReport,
-    Result, Scenario, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
+    AcceleratorSpec, CacheLease, CachePool, CostBackend, EfficiencyModel, EngineOptions, Estimate,
+    EstimateCache, Estimator, MicrobatchPolicy, Parallelism, Precision, ResilienceParams,
+    ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
 };
 use amped_energy::{EnergyEstimate, PowerModel};
 use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
@@ -333,6 +333,38 @@ pub struct SearchEngine<'a> {
     goodput: Option<GoodputOptions>,
     fault_plan: Option<FaultPlan>,
     observer: Option<Arc<Observer>>,
+    cache_pool: Option<Arc<CachePool>>,
+}
+
+/// The memoization cache one search worker evaluates against: either a
+/// private fresh cache (the default) or a lease from a shared
+/// [`CachePool`], so a long-lived process can carry warmed sub-results
+/// across searches. Both are bit-identical to evaluate against (warming a
+/// cache never changes `estimate_cached` results), so attaching a pool is
+/// as invisible to rankings as attaching an observer.
+enum WorkerCache<'pool> {
+    Fresh(EstimateCache),
+    Pooled(CacheLease<'pool>),
+}
+
+impl std::ops::Deref for WorkerCache<'_> {
+    type Target = EstimateCache;
+
+    fn deref(&self) -> &EstimateCache {
+        match self {
+            WorkerCache::Fresh(cache) => cache,
+            WorkerCache::Pooled(lease) => lease,
+        }
+    }
+}
+
+impl std::ops::DerefMut for WorkerCache<'_> {
+    fn deref_mut(&mut self) -> &mut EstimateCache {
+        match self {
+            WorkerCache::Fresh(cache) => cache,
+            WorkerCache::Pooled(lease) => lease,
+        }
+    }
 }
 
 impl<'a> SearchEngine<'a> {
@@ -362,6 +394,7 @@ impl<'a> SearchEngine<'a> {
             goodput: None,
             fault_plan: None,
             observer: None,
+            cache_pool: None,
         }
     }
 
@@ -487,6 +520,20 @@ impl<'a> SearchEngine<'a> {
     /// incumbent bound tightens at different moments).
     pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Share a process-wide [`CachePool`] across searches: workers check
+    /// their [`EstimateCache`](amped_core::EstimateCache)s out of the pool
+    /// (shelved under this engine's [`context_key`](amped_core::context_key),
+    /// so the cache's context-binding contract still holds) and return
+    /// them warmed when the pass finishes. Repeated or overlapping
+    /// searches over the same scenario then start with their sub-results
+    /// memoized. Like an observer, a pool is passive: rankings and every
+    /// estimate in them are bit-identical with or without one, at any
+    /// worker count.
+    pub fn with_cache_pool(mut self, pool: Arc<CachePool>) -> Self {
+        self.cache_pool = Some(pool);
         self
     }
 
@@ -733,9 +780,21 @@ impl<'a> SearchEngine<'a> {
         requested.min(tasks).max(1)
     }
 
+    /// The cache a worker evaluates against: a lease from the shared
+    /// [`CachePool`] when one is attached, a private fresh cache
+    /// otherwise. `pool_key` is this engine's context key, computed once
+    /// per pass (see [`SearchEngine::with_cache_pool`]).
+    fn worker_cache(&self, pool_key: Option<u64>) -> WorkerCache<'_> {
+        match (&self.cache_pool, pool_key) {
+            (Some(pool), Some(key)) => WorkerCache::Pooled(pool.checkout(key)),
+            _ => WorkerCache::Fresh(EstimateCache::new()),
+        }
+    }
+
     /// Run `f(cache, index)` for every index in `0..tasks` over a scoped
     /// worker pool (or inline when one worker suffices) and return the
-    /// results in index order. Each worker owns one [`EstimateCache`],
+    /// results in index order. Each worker owns one [`EstimateCache`] —
+    /// checked out of the shared [`CachePool`] when one is attached —
     /// upholding the cache's context-binding contract for this engine's
     /// fixed scenario; indices are handed out through an atomic counter so
     /// the pool load-balances regardless of per-candidate cost.
@@ -744,11 +803,22 @@ impl<'a> SearchEngine<'a> {
         T: Send,
         F: Fn(&mut EstimateCache, usize) -> Result<T> + Sync,
     {
+        let pool_key = self.cache_pool.as_ref().map(|_| {
+            amped_core::context_key(
+                self.model,
+                self.accel,
+                self.system,
+                self.precision,
+                &self.efficiency,
+                self.engine_options,
+            )
+        });
         let jobs = self.effective_jobs(tasks);
         if jobs <= 1 {
-            let mut cache = EstimateCache::new();
+            let mut cache = self.worker_cache(pool_key);
+            let (hits0, misses0) = (cache.hits(), cache.misses());
             let out = (0..tasks).map(|i| f(&mut cache, i)).collect();
-            self.flush_cache_stats(&cache);
+            self.flush_cache_stats(cache.hits() - hits0, cache.misses() - misses0);
             return out;
         }
         let next = AtomicUsize::new(0);
@@ -757,7 +827,8 @@ impl<'a> SearchEngine<'a> {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut cache = EstimateCache::new();
+                        let mut cache = self.worker_cache(pool_key);
+                        let (hits0, misses0) = (cache.hits(), cache.misses());
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -766,7 +837,7 @@ impl<'a> SearchEngine<'a> {
                             }
                             done.push((i, f(&mut cache, i)));
                         }
-                        self.flush_cache_stats(&cache);
+                        self.flush_cache_stats(cache.hits() - hits0, cache.misses() - misses0);
                         done
                     })
                 })
@@ -784,10 +855,11 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Fold one worker's memoization-cache traffic into the observer
-    /// (once per worker at pool teardown — never in the hot loop).
-    fn flush_cache_stats(&self, cache: &EstimateCache) {
+    /// (once per worker at pool teardown — never in the hot loop). Takes
+    /// the delta accumulated during this pass, so pre-warmed pool caches
+    /// are not re-counted.
+    fn flush_cache_stats(&self, hits: u64, misses: u64) {
         if let Some(obs) = &self.observer {
-            let (hits, misses) = (cache.hits(), cache.misses());
             obs.add("search.cache.hits", hits);
             obs.add("search.cache.misses", misses);
             obs.add("search.cache.lookups", hits + misses);

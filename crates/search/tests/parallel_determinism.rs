@@ -256,3 +256,40 @@ fn megatron_145b_best_agrees_across_modes() {
         );
     }
 }
+
+#[test]
+fn shared_cache_pool_is_bit_identical_cold_and_warm() {
+    use std::sync::Arc;
+
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let base = SearchEngine::new(&model, &a100, &system).with_efficiency(efficiency::case_study());
+
+    let reference = base.clone().with_parallelism(1).search(&training).unwrap();
+
+    let pool = Arc::new(amped_core::CachePool::new());
+    // Cold pass fills the pool; the warm pass re-leases the same caches.
+    let cold = base
+        .clone()
+        .with_parallelism(4)
+        .with_cache_pool(Arc::clone(&pool))
+        .search(&training)
+        .unwrap();
+    assert_bit_identical(&reference, &cold);
+    assert!(pool.shelved() > 0, "cold pass should shelve warmed caches");
+
+    let warm = base
+        .clone()
+        .with_parallelism(4)
+        .with_cache_pool(Arc::clone(&pool))
+        .search(&training)
+        .unwrap();
+    assert_bit_identical(&reference, &warm);
+    assert!(
+        pool.warm_checkouts() > 0,
+        "warm pass should reuse shelved caches"
+    );
+    assert_eq!(pool.lookups(), pool.hits() + pool.misses());
+}

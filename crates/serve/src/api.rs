@@ -1,0 +1,355 @@
+//! The query API: pure request → response handlers.
+//!
+//! Each handler parses the scenario-file JSON body through
+//! `amped-configs`, prices it, and renders the *same* artifact the CLI's
+//! `--json` path produces for the equivalent invocation — both front-ends
+//! go through [`amped_report::artifacts`], and the CLI's differential test
+//! pins the byte-identity. Query parameters carry the CLI's flag
+//! equivalents under the same names (`top`, `jobs`, `prune`,
+//! `refine-sim`, `memory-filter`, `backend`).
+//!
+//! Handlers are deliberately free of transport and threading concerns:
+//! they take a parsed [`Request`] and return a [`Response`], so they are
+//! directly testable and the server's worker pool stays a thin shell.
+
+use std::sync::Arc;
+
+use amped_configs::scenario::{ResilienceSection, ResolvedScenario, ScenarioConfig};
+use amped_core::{
+    AnalyticalBackend, CachePool, CostBackend, Error, ResilienceReport, Result,
+};
+use amped_memory::{MemoryModel, OptimizerSpec};
+use amped_obs::Observer;
+use amped_search::{EnumerationOptions, SearchEngine, Sweep};
+use amped_sim::SimBackend;
+
+use crate::http::{Request, Response};
+
+/// The per-node MTBF the resilience endpoint assumes when the scenario
+/// has no `resilience` section: six months, matching the CLI.
+const DEFAULT_MTBF_HOURS: f64 = 4380.0;
+
+/// Shared immutable state every request handler sees.
+#[derive(Debug)]
+pub struct ServiceState {
+    /// The process-wide estimate-cache pool: repeated and overlapping
+    /// queries over the same scenario context reuse memoized sub-results.
+    pub pool: Arc<CachePool>,
+    /// The process-wide observer behind `/v1/metrics`. Per-request
+    /// observers are folded into it (counters add, gauges max) so the
+    /// process keeps no unbounded per-request records.
+    pub observer: Arc<Observer>,
+}
+
+impl ServiceState {
+    /// Fresh state with an empty pool and observer.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceState {
+            pool: Arc::new(CachePool::new()),
+            observer: Arc::new(Observer::new()),
+        }
+    }
+}
+
+impl Default for ServiceState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The queued (compute-bearing) endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/estimate`
+    Estimate,
+    /// `POST /v1/search`
+    Search,
+    /// `POST /v1/sweep`
+    Sweep,
+    /// `POST /v1/resilience`
+    Resilience,
+    /// `POST /v1/recommend`
+    Recommend,
+}
+
+impl Endpoint {
+    /// The endpoint for a request path, if it is a compute endpoint.
+    #[must_use]
+    pub fn from_path(path: &str) -> Option<Endpoint> {
+        match path {
+            "/v1/estimate" => Some(Endpoint::Estimate),
+            "/v1/search" => Some(Endpoint::Search),
+            "/v1/sweep" => Some(Endpoint::Sweep),
+            "/v1/resilience" => Some(Endpoint::Resilience),
+            "/v1/recommend" => Some(Endpoint::Recommend),
+            _ => None,
+        }
+    }
+
+    /// The short name used in metrics series (`serve.http.<name>.*`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Estimate => "estimate",
+            Endpoint::Search => "search",
+            Endpoint::Sweep => "sweep",
+            Endpoint::Resilience => "resilience",
+            Endpoint::Recommend => "recommend",
+        }
+    }
+}
+
+/// Handle one compute request: parse, price, render. Never panics on bad
+/// input — every typed error becomes the HTTP status of its kind with the
+/// exact message the CLI would print.
+pub fn handle(state: &ServiceState, endpoint: Endpoint, req: &Request) -> Response {
+    let outcome = match endpoint {
+        Endpoint::Estimate => estimate(state, req),
+        Endpoint::Search => search(state, req),
+        Endpoint::Sweep => sweep(state, req),
+        Endpoint::Resilience => resilience(state, req),
+        Endpoint::Recommend => recommend(state, req),
+    };
+    match outcome {
+        Ok(response) => response,
+        Err(e) => Response::error(status_for(&e), &e.to_string()),
+    }
+}
+
+/// The HTTP status for a typed error: bad input is the client's fault
+/// (400, mirroring the CLI's exit code 2 for usage errors), I/O is ours.
+fn status_for(e: &Error) -> u16 {
+    match e {
+        Error::Io { .. } => 500,
+        _ => 400,
+    }
+}
+
+/// Parse the request body as a scenario document and resolve it.
+fn resolved_scenario(req: &Request) -> Result<ResolvedScenario> {
+    if req.body.trim().is_empty() {
+        return Err(Error::usage(
+            "request body must be a scenario JSON document",
+        ));
+    }
+    ScenarioConfig::from_json(&req.body)?.resolve()
+}
+
+/// Parse query parameter `key` as `T`, or `default` when absent —
+/// `Args::parse_or` for the query string.
+fn param_or<T: std::str::FromStr>(req: &Request, key: &str, default: T) -> Result<T> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            Error::usage(format!("invalid value for query parameter `{key}`: {v}"))
+        }),
+    }
+}
+
+/// Whether boolean query parameter `key` is set (`?prune`, `?prune=true`).
+fn param_switch(req: &Request, key: &str) -> bool {
+    match req.query_param(key) {
+        None => false,
+        Some(v) => !matches!(v, "false" | "0"),
+    }
+}
+
+/// The cost backend selected by the `backend` query parameter
+/// (analytical when absent) — the CLI's `--backend`.
+fn backend_for(req: &Request) -> Result<Box<dyn CostBackend>> {
+    match req.query_param("backend").unwrap_or("analytical") {
+        "analytical" => Ok(Box::new(AnalyticalBackend)),
+        "sim" => Ok(Box::new(SimBackend::new())),
+        other => Err(Error::usage(format!(
+            "unknown backend `{other}`; use analytical|sim"
+        ))),
+    }
+}
+
+/// The bytes each device writes per checkpoint: its weight + optimizer
+/// shard under this scenario's mapping (the CLI's `per_device_ckpt_bytes`).
+fn per_device_ckpt_bytes(s: &ResolvedScenario) -> f64 {
+    let ub = s.parallelism.microbatch_size(s.training.global_batch());
+    let n_ub = s.parallelism.num_microbatches(s.training.global_batch());
+    MemoryModel::new(&s.model, &s.parallelism)
+        .with_precision(s.precision)
+        .with_optimizer(OptimizerSpec::adam_mixed_precision())
+        .footprint(ub, n_ub)
+        .checkpoint_bytes()
+}
+
+/// The checkpoint/restart expected-time report for a run whose fault-free
+/// duration is `fault_free_s`.
+fn expected_time_report(
+    s: &ResolvedScenario,
+    section: &ResilienceSection,
+    fault_free_s: f64,
+) -> Result<ResilienceReport> {
+    section
+        .params(s.system.num_nodes(), per_device_ckpt_bytes(s))?
+        .report(fault_free_s)
+}
+
+/// Price the scenario through the selected backend. The analytical path
+/// evaluates against a pool lease — bit-identical to a fresh cache (the
+/// memoized sub-results are exact), which is what lets the pool make
+/// repeat queries cheap without perturbing any response byte.
+fn evaluate(state: &ServiceState, req: &Request, s: &ResolvedScenario) -> Result<amped_core::Estimate> {
+    let scenario = s.to_scenario();
+    match req.query_param("backend").unwrap_or("analytical") {
+        "analytical" => {
+            let mut lease = state.pool.checkout(scenario.cache_context_key());
+            let estimate = AnalyticalBackend.evaluate_with_cache(&mut lease, &scenario, &s.training);
+            let (hits, misses) = lease.stats_delta();
+            state.observer.add("serve.cache.hits", hits);
+            state.observer.add("serve.cache.misses", misses);
+            state.observer.add("serve.cache.lookups", hits + misses);
+            estimate
+        }
+        _ => backend_for(req)?.evaluate(&scenario, &s.training),
+    }
+}
+
+fn estimate(state: &ServiceState, req: &Request) -> Result<Response> {
+    let s = resolved_scenario(req)?;
+    let estimate = evaluate(state, req, &s)?;
+    // A resilience section in the scenario layers the analytical
+    // checkpoint/restart model on top of the fault-free estimate, exactly
+    // as the CLI's `estimate --config` path does.
+    let report = match &s.resilience {
+        Some(section) => Some(expected_time_report(&s, section, estimate.total_time.get())?),
+        None => None,
+    };
+    let value = amped_report::artifacts::estimate_value(&estimate, report.as_ref());
+    Ok(Response::json(to_json(&value)?))
+}
+
+fn resilience(state: &ServiceState, req: &Request) -> Result<Response> {
+    let s = resolved_scenario(req)?;
+    let estimate = evaluate(state, req, &s)?;
+    let section = s.resilience.unwrap_or(ResilienceSection {
+        node_mtbf_hours: DEFAULT_MTBF_HOURS,
+        restart_s: 300.0,
+        ckpt_write_gbps: 16.0,
+        interval_s: None,
+    });
+    let report = expected_time_report(&s, &section, estimate.total_time.get())?;
+    let value = amped_report::artifacts::estimate_value(&estimate, Some(&report));
+    Ok(Response::json(to_json(&value)?))
+}
+
+/// The search engine for one request, configured exactly as the CLI's
+/// `search` command configures it from flags, plus the shared cache pool
+/// and a per-request observer (both passive: rankings are bit-identical
+/// with or without them, at any worker count).
+fn engine_for<'a>(
+    state: &ServiceState,
+    req: &Request,
+    s: &'a ResolvedScenario,
+    observer: &Arc<Observer>,
+) -> Result<SearchEngine<'a>> {
+    Ok(SearchEngine::new(&s.model, &s.accelerator, &s.system)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency.clone())
+        .with_engine_options(s.options)
+        .with_enumeration(EnumerationOptions::default())
+        .with_parallelism(param_or(req, "jobs", 0)?)
+        .with_pruning(param_switch(req, "prune"))
+        .with_memory_filter(param_switch(req, "memory-filter"))
+        .with_refine_sim(param_or(req, "refine-sim", 0)?)
+        .with_cache_pool(Arc::clone(&state.pool))
+        .with_observer(Arc::clone(observer)))
+}
+
+fn search(state: &ServiceState, req: &Request) -> Result<Response> {
+    let s = resolved_scenario(req)?;
+    let observer = Arc::new(Observer::new());
+    let engine = engine_for(state, req, &s, &observer)?;
+    let results = engine.search(&s.training)?;
+    state.observer.absorb(&observer);
+    let top: usize = param_or(req, "top", 10)?;
+    let value = amped_report::artifacts::search_rows(&results, top);
+    Ok(Response::json(to_json(&value)?))
+}
+
+fn recommend(state: &ServiceState, req: &Request) -> Result<Response> {
+    let s = resolved_scenario(req)?;
+    let observer = Arc::new(Observer::new());
+    // `recommend` always filters to memory-feasible mappings (the CLI
+    // does the same); `jobs` and `refine-sim` plumb through.
+    let engine = engine_for(state, req, &s, &observer)?.with_memory_filter(true);
+    let outcome = engine.recommend(&s.training)?;
+    state.observer.absorb(&observer);
+    match outcome {
+        Some(rec) => {
+            let value = amped_report::artifacts::recommend_value(&rec);
+            Ok(Response::json(to_json(&value)?))
+        }
+        None => Err(Error::usage(
+            "no memory-feasible mapping; shard more (TP/PP), enable recomputation, or use bigger devices",
+        )),
+    }
+}
+
+fn sweep(state: &ServiceState, req: &Request) -> Result<Response> {
+    let s = resolved_scenario(req)?;
+    // Compare the canonical inter-node strategies at the scenario's node
+    // shape, TP filling the node, across a batch ladder — the CLI's sweep.
+    let per_node = s.system.accels_per_node();
+    let nodes = s.system.num_nodes();
+    let mut mappings: Vec<(String, amped_core::Parallelism)> = Vec::new();
+    let dp = amped_core::Parallelism::builder()
+        .tp(per_node, 1)
+        .dp(1, nodes)
+        .build()?;
+    mappings.push(("dp-inter".into(), dp));
+    if nodes > 1 {
+        let pp_x = nodes.min(s.model.num_layers());
+        if nodes % pp_x == 0 {
+            let pp = amped_core::Parallelism::builder()
+                .tp(per_node, 1)
+                .pp(1, pp_x)
+                .dp(1, nodes / pp_x)
+                .build()?;
+            mappings.push(("pp-inter".into(), pp));
+        }
+        if s.model.num_heads() >= 2 * per_node && nodes % 2 == 0 {
+            let tp = amped_core::Parallelism::builder()
+                .tp(per_node, 2)
+                .dp(1, nodes / 2)
+                .build()?;
+            mappings.push(("tp-inter2".into(), tp));
+        }
+    }
+    let base = s.training.global_batch();
+    let batches: Vec<usize> = [1usize, 2, 4].iter().map(|m| base * m).collect();
+    let observer = Arc::new(Observer::new());
+    let engine = SearchEngine::new(&s.model, &s.accelerator, &s.system)
+        .with_precision(s.precision)
+        .with_efficiency(s.efficiency.clone())
+        .with_engine_options(s.options)
+        .with_parallelism(param_or(req, "jobs", 0)?)
+        .with_cache_pool(Arc::clone(&state.pool))
+        .with_observer(Arc::clone(&observer));
+    let sweep = match req.query_param("backend") {
+        None => Sweep::run(&engine, &mappings, &batches, s.training.num_batches()),
+        Some(_) => {
+            let backend = backend_for(req)?;
+            Sweep::run_backend(
+                &engine,
+                backend.as_ref(),
+                &mappings,
+                &batches,
+                s.training.num_batches(),
+            )
+        }
+    }?;
+    state.observer.absorb(&observer);
+    Ok(Response::text(amped_report::artifacts::sweep_text(&sweep)))
+}
+
+/// Pretty-print a serializable value (the CLI's `to_json`).
+fn to_json<T: serde::Serialize>(value: &T) -> Result<String> {
+    serde_json::to_string_pretty(value).map_err(|e| Error::invalid("json", e.to_string()))
+}

@@ -1,0 +1,273 @@
+//! A minimal HTTP/1.1 codec over `std::net::TcpStream`.
+//!
+//! The server speaks exactly the subset its API needs: one request per
+//! connection (`Connection: close` on every response), a request line with
+//! an optional query string, `Content-Length`-framed bodies, and a fixed
+//! set of status codes. Hand-rolled on `std` to match the workspace's
+//! no-external-deps policy — this is a codec, not a general web server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block (16 KiB) — far beyond anything the API's
+/// clients send; a guard against garbage, not a tunable.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Largest accepted body (8 MiB) — generous for inline-spec scenarios.
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target (query string stripped).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was given).
+    pub body: String,
+}
+
+impl Request {
+    /// The last value given for query parameter `key`, if any.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// `Retry-After` header in seconds (backpressure responses only).
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    #[must_use]
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// An error response with a `{ "error": ... }` JSON body.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: serde_json::to_string_pretty(&serde_json::json!({ "error": message }))
+                .expect("error body serializes"),
+            retry_after: None,
+        }
+    }
+}
+
+/// The reason phrase for every status the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Read and parse one request off the stream.
+///
+/// `Ok(Err(response))` is a malformed request the caller should answer
+/// with the prepared error response; `Err(_)` is a transport failure (the
+/// peer vanished) where no response can be delivered at all.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, Response>> {
+    // Accumulate until the blank line ending the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Ok(Err(Response::error(400, "request header block too large")));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the request was complete",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let header_text = match std::str::from_utf8(&buf[..header_end]) {
+        Ok(t) => t.to_string(),
+        Err(_) => return Ok(Err(Response::error(400, "request headers are not UTF-8"))),
+    };
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(Err(Response::error(400, "malformed request line")));
+    };
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Ok(Err(Response::error(400, "malformed Content-Length header")))
+                    }
+                };
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(Response::error(413, "request body too large")));
+    }
+
+    // The body: whatever followed the header block, then the remainder.
+    let mut body_bytes = buf[header_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the body was complete",
+            ));
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+    let body = match String::from_utf8(body_bytes) {
+        Ok(b) => b,
+        Err(_) => return Ok(Err(Response::error(400, "request body is not UTF-8"))),
+    };
+
+    let (path, query) = parse_target(target);
+    Ok(Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    }))
+}
+
+/// Write one response and flush it. Every response closes the connection.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// The position of the `\r\n\r\n` ending the header block.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Split a request target into its path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), pairs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_split_into_path_and_query() {
+        let (path, query) = parse_target("/v1/search?top=5&jobs=2&prune");
+        assert_eq!(path, "/v1/search");
+        assert_eq!(
+            query,
+            vec![
+                ("top".to_string(), "5".to_string()),
+                ("jobs".to_string(), "2".to_string()),
+                ("prune".to_string(), String::new()),
+            ]
+        );
+        let (path, query) = parse_target("/v1/health");
+        assert_eq!(path, "/v1/health");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn query_param_returns_the_last_value() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/search".into(),
+            query: vec![
+                ("top".into(), "5".into()),
+                ("top".into(), "7".into()),
+            ],
+            body: String::new(),
+        };
+        assert_eq!(req.query_param("top"), Some("7"));
+        assert_eq!(req.query_param("jobs"), None);
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

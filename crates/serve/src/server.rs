@@ -1,0 +1,523 @@
+//! The daemon: accept loop, bounded job queue, worker pool, shutdown.
+//!
+//! # Threading model
+//!
+//! One nonblocking accept loop polls for connections and a shutdown
+//! signal. Each accepted connection gets a short-lived connection thread
+//! that parses the request and either answers it inline (health, metrics,
+//! shutdown — these must respond even under full load) or enqueues a job
+//! on the bounded queue and waits on the job's result slot. A fixed pool
+//! of worker threads drains the queue and runs the actual pricing. This
+//! split keeps slow model evaluations from ever blocking liveness probes,
+//! and makes backpressure a queue property instead of a thread-count one.
+//!
+//! # Backpressure contract
+//!
+//! The queue holds at most `queue_depth` jobs. A request arriving at a
+//! full queue is refused immediately with `429 Too Many Requests` and a
+//! `Retry-After` header — never buffered unboundedly, never silently
+//! dropped. A job that waits longer than `timeout_ms` from enqueue is
+//! answered `504 Gateway Timeout`; if it is still queued when its deadline
+//! passes, workers skip pricing it entirely.
+//!
+//! # Shutdown
+//!
+//! SIGINT/SIGTERM (when enabled), `POST /v1/shutdown`, or
+//! [`ServerHandle::shutdown`] set one flag. The accept loop stops taking
+//! connections, the queue closes (drain semantics: queued jobs still
+//! run), workers finish and exit, and [`Server::run`] returns a
+//! [`ServeSummary`] of the session.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use amped_core::{Error, Result};
+
+use crate::api::{self, Endpoint, ServiceState};
+use crate::http::{self, Request, Response};
+
+/// How long the accept loop sleeps when no connection is pending — the
+/// upper bound on shutdown-signal latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Read/write timeouts on accepted connections, so a stalled peer can
+/// never wedge a connection thread across shutdown.
+const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration (the CLI's `serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8750` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads pricing requests (0 = one per available CPU).
+    pub jobs: usize,
+    /// Bounded queue depth; requests beyond it are refused with 429.
+    pub queue_depth: usize,
+    /// Per-request deadline measured from enqueue, milliseconds.
+    pub timeout_ms: u64,
+    /// Install a SIGINT/SIGTERM handler for graceful shutdown. The CLI
+    /// sets this; in-process tests leave it off and use
+    /// [`ServerHandle::shutdown`] instead.
+    pub handle_sigint: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8750".to_string(),
+            jobs: 0,
+            queue_depth: 64,
+            timeout_ms: 30_000,
+            handle_sigint: false,
+        }
+    }
+}
+
+/// What one server session did, reported when [`Server::run`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Compute requests received (excludes health/metrics).
+    pub received: u64,
+    /// Requests priced and answered.
+    pub completed: u64,
+    /// Requests refused by backpressure (429).
+    pub rejected: u64,
+    /// Requests that hit their deadline (504).
+    pub timeouts: u64,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {} request(s): {} completed, {} rejected, {} timed out",
+            self.received, self.completed, self.rejected, self.timeouts
+        )
+    }
+}
+
+/// A remote control for a running server (cloneable, thread-safe).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Ask the server to shut down gracefully (idempotent).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One queued compute request.
+struct Job {
+    endpoint: Endpoint,
+    request: Request,
+    slot: Arc<ResultSlot>,
+    deadline: Instant,
+}
+
+/// The rendezvous between a connection thread and the worker pricing its
+/// job.
+struct ResultSlot {
+    cell: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ResultSlot {
+    fn new() -> Self {
+        ResultSlot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, response: Response) {
+        *self.cell.lock().expect("result slot poisoned") = Some(response);
+        self.ready.notify_all();
+    }
+
+    /// Wait until the response arrives or `deadline` passes.
+    fn wait_until(&self, deadline: Instant) -> Option<Response> {
+        let mut cell = self.cell.lock().expect("result slot poisoned");
+        loop {
+            if let Some(response) = cell.take() {
+                return Some(response);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timed_out) = self
+                .ready
+                .wait_timeout(cell, deadline - now)
+                .expect("result slot poisoned");
+            cell = next;
+            if timed_out.timed_out() && cell.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// The bounded, closable job queue.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a job, returning the new depth; `None` when the queue is
+    /// full or closed (the backpressure path).
+    fn push(&self, job: Job) -> Option<usize> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            return None;
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.available.notify_one();
+        Some(depth)
+    }
+
+    /// Dequeue the next job, blocking; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .expect("job queue poisoned");
+        }
+    }
+
+    /// Refuse new jobs; queued ones still drain (graceful shutdown).
+    fn close(&self) {
+        self.inner.lock().expect("job queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// SIGINT/SIGTERM handling in pure std: a C `signal` registration that
+/// flips a process-global flag the accept loop polls. Confined here so the
+/// rest of the crate stays free of unsafe code.
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    pub fn install() {
+        extern "C" fn on_signal(_sig: i32) {
+            TRIGGERED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: registering an async-signal-safe handler (one relaxed
+        // atomic store) for SIGINT/SIGTERM; `signal` is in libc, which std
+        // already links.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+/// The HTTP daemon. Bind, then [`Server::run`] until shutdown.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    state: Arc<ServiceState>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener (without accepting yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::io(&config.addr, e.to_string()))?;
+        Ok(Server {
+            listener,
+            config,
+            state: Arc::new(ServiceState::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the socket has no local address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| Error::io(&self.config.addr, e.to_string()))
+    }
+
+    /// The shared service state (pool + observer), for tests and metrics.
+    #[must_use]
+    pub fn state(&self) -> Arc<ServiceState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A handle that can shut the server down from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serve until shutdown (signal, `POST /v1/shutdown`, or
+    /// [`ServerHandle::shutdown`]), then drain and summarize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the listener cannot be polled.
+    pub fn run(self) -> Result<ServeSummary> {
+        if self.config.handle_sigint {
+            signal::install();
+        }
+        let workers = if self.config.jobs == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+        } else {
+            self.config.jobs
+        };
+        let queue = Arc::new(JobQueue::new(self.config.queue_depth));
+        let timeout = Duration::from_millis(self.config.timeout_ms.max(1));
+
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::io(&self.config.addr, e.to_string()))?;
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&self.state);
+            worker_handles.push(std::thread::spawn(move || worker_loop(&queue, &state)));
+        }
+
+        let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || signal::triggered() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let queue = Arc::clone(&queue);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    conn_handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, &state, &queue, &shutdown, timeout);
+                    }));
+                    conn_handles.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::io(&self.config.addr, e.to_string())),
+            }
+        }
+
+        // Graceful drain: no new jobs, queued ones finish, then workers
+        // exit and every waiting connection gets its answer.
+        queue.close();
+        for handle in conn_handles {
+            let _ = handle.join();
+        }
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+
+        let counters = self.state.observer.counters();
+        let count = |name: &str| counters.get(name).copied().unwrap_or(0);
+        Ok(ServeSummary {
+            received: count("serve.requests.received"),
+            completed: count("serve.requests.completed"),
+            rejected: count("serve.requests.rejected"),
+            timeouts: count("serve.requests.timeout"),
+        })
+    }
+}
+
+/// Worker: drain the queue, price jobs, fulfill slots. A panicking
+/// handler answers 500 instead of taking the worker down.
+fn worker_loop(queue: &JobQueue, state: &ServiceState) {
+    while let Some(job) = queue.pop() {
+        if Instant::now() >= job.deadline {
+            // The connection thread has already answered 504; don't burn
+            // worker time pricing a response nobody will read.
+            state.observer.add("serve.requests.expired_in_queue", 1);
+            job.slot.fulfill(Response::error(504, "request timed out in queue"));
+            continue;
+        }
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            api::handle(state, job.endpoint, &job.request)
+        }))
+        .unwrap_or_else(|_| Response::error(500, "internal error: request handler panicked"));
+        job.slot.fulfill(response);
+    }
+}
+
+/// Connection thread: parse one request, route it, write one response.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &ServiceState,
+    queue: &JobQueue,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let request = match http::read_request(&mut stream) {
+        Ok(Ok(request)) => request,
+        Ok(Err(error_response)) => {
+            let _ = http::write_response(&mut stream, &error_response);
+            return;
+        }
+        // Transport failure: nobody left to answer.
+        Err(_) => return,
+    };
+    let response = route(state, queue, shutdown, timeout, &request);
+    let _ = http::write_response(&mut stream, &response);
+}
+
+/// Route one parsed request. Health, metrics and shutdown answer inline —
+/// they must work even when the queue is saturated; compute endpoints go
+/// through the bounded queue.
+fn route(
+    state: &ServiceState,
+    queue: &JobQueue,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+    request: &Request,
+) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/health") => {
+            let _timer = state.observer.timer("serve.http.health");
+            Response::json(
+                serde_json::to_string_pretty(&serde_json::json!({ "status": "ok" }))
+                    .expect("health body serializes"),
+            )
+        }
+        ("GET", "/v1/metrics") => {
+            let _timer = state.observer.timer("serve.http.metrics");
+            // Snapshot pool-wide cache state into gauges so the report
+            // carries it alongside the counters.
+            let pool = &state.pool;
+            let obs = &state.observer;
+            obs.gauge_set("serve.cache.pool.contexts", pool.contexts() as f64);
+            obs.gauge_set("serve.cache.pool.shelved", pool.shelved() as f64);
+            obs.gauge_set("serve.cache.pool.checkouts", pool.checkouts() as f64);
+            obs.gauge_set(
+                "serve.cache.pool.warm_checkouts",
+                pool.warm_checkouts() as f64,
+            );
+            Response::json(obs.report("serve").to_json())
+        }
+        ("POST", "/v1/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::json(
+                serde_json::to_string_pretty(&serde_json::json!({ "status": "shutting down" }))
+                    .expect("shutdown body serializes"),
+            )
+        }
+        (method, path) => match Endpoint::from_path(path) {
+            None => Response::error(404, &format!("unknown path `{path}`")),
+            Some(_) if method != "POST" => {
+                Response::error(405, &format!("{path} requires POST"))
+            }
+            Some(endpoint) => dispatch_job(state, queue, timeout, endpoint, request),
+        },
+    }
+}
+
+/// Enqueue a compute request and wait for its answer (or its deadline).
+fn dispatch_job(
+    state: &ServiceState,
+    queue: &JobQueue,
+    timeout: Duration,
+    endpoint: Endpoint,
+    request: &Request,
+) -> Response {
+    let obs = &state.observer;
+    let _timer = obs.timer(&format!("serve.http.{}", endpoint.name()));
+    obs.add("serve.requests.received", 1);
+    let slot = Arc::new(ResultSlot::new());
+    let deadline = Instant::now() + timeout;
+    let job = Job {
+        endpoint,
+        request: request.clone(),
+        slot: Arc::clone(&slot),
+        deadline,
+    };
+    match queue.push(job) {
+        None => {
+            obs.add("serve.requests.rejected", 1);
+            let mut response =
+                Response::error(429, "queue full; retry shortly or lower request rate");
+            response.retry_after = Some(1);
+            response
+        }
+        Some(depth) => {
+            obs.gauge_max("serve.queue.depth.max", depth as f64);
+            // Exactly one of completed/rejected/timeout per request, all
+            // counted here, so `received` always balances against them.
+            match slot.wait_until(deadline) {
+                Some(response) => {
+                    obs.add("serve.requests.completed", 1);
+                    response
+                }
+                None => {
+                    obs.add("serve.requests.timeout", 1);
+                    Response::error(504, "request deadline exceeded")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Concurrent stress and lifecycle tests against an in-process server.
+//!
+//! Pins the service's concurrency contract: many clients hammering mixed
+//! endpoints never deadlock, a saturated queue visibly refuses work with
+//! 429, identical queries answer byte-identically regardless of which
+//! worker (and how warm a cache) served them, and after a graceful drain
+//! the metrics counters balance exactly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use amped_serve::{ServeConfig, Server, ServerHandle};
+
+const SCENARIO: &str = r#"{
+    "model": { "preset": "mingpt-85m" },
+    "accelerator": { "preset": "v100" },
+    "system": { "nodes": 2, "accels_per_node": 4,
+                "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+    "parallelism": { "dp": [4, 2] },
+    "training": { "global_batch": 64, "num_batches": 10 }
+}"#;
+
+/// A running in-process server plus everything a test needs to talk to it
+/// and take it down.
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<amped_core::Result<amped_serve::ServeSummary>>,
+}
+
+fn start(jobs: usize, queue_depth: usize, timeout_ms: u64) -> TestServer {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs,
+        queue_depth,
+        timeout_ms,
+        handle_sigint: false,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl TestServer {
+    fn stop(self) -> amped_serve::ServeSummary {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .expect("server thread joins")
+            .expect("server run succeeds")
+    }
+}
+
+/// One raw HTTP exchange: returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn mixed_concurrent_load_is_deadlock_free_and_consistent() {
+    let server = start(2, 64, 30_000);
+    let addr = server.addr;
+
+    let threads = 4;
+    let per_thread = 4;
+    let barrier = Arc::new(Barrier::new(threads));
+    let estimate_bodies: Arc<std::sync::Mutex<Vec<String>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let bodies = Arc::clone(&estimate_bodies);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    let (target, expect_json) = if (t + i) % 2 == 0 {
+                        ("/v1/estimate", true)
+                    } else {
+                        ("/v1/search?top=3&jobs=1", true)
+                    };
+                    let (status, body) = request(addr, "POST", target, SCENARIO);
+                    assert_eq!(status, 200, "{target}: {body}");
+                    if expect_json {
+                        serde_json::from_str::<serde_json::Value>(&body)
+                            .unwrap_or_else(|e| panic!("{target} returned invalid JSON: {e}"));
+                    }
+                    if target == "/v1/estimate" {
+                        bodies.lock().unwrap().push(body);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    // Identical queries answer identically — any worker, any cache warmth.
+    let bodies = estimate_bodies.lock().unwrap();
+    assert!(bodies.len() > 1);
+    assert!(
+        bodies.iter().all(|b| b == &bodies[0]),
+        "estimate responses diverged under concurrency"
+    );
+
+    // Liveness endpoints answer inline even while computing.
+    let (status, body) = request(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+
+    let (status, metrics) = request(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let report: serde_json::Value = serde_json::from_str(&metrics).expect("metrics JSON");
+    let counters = &report["counters"];
+    let n = |key: &str| counters.get(key).and_then(serde_json::Value::as_u64).unwrap_or(0);
+    // The shared pool was exercised and its books balance.
+    assert_eq!(
+        n("serve.cache.lookups"),
+        n("serve.cache.hits") + n("serve.cache.misses"),
+        "{counters:?}"
+    );
+    assert_eq!(
+        n("search.cache.lookups"),
+        n("search.cache.hits") + n("search.cache.misses"),
+        "{counters:?}"
+    );
+    assert!(n("serve.cache.lookups") > 0, "{counters:?}");
+    assert!(n("search.cache.lookups") > 0, "{counters:?}");
+    // Repeat identical estimates hit the warm pool.
+    assert!(n("serve.cache.hits") > 0, "{counters:?}");
+
+    let summary = server.stop();
+    assert_eq!(summary.received, summary.completed + summary.rejected + summary.timeouts);
+    assert_eq!(summary.received, (threads * per_thread) as u64);
+    assert_eq!(summary.rejected, 0, "queue depth 64 never saturates here");
+}
+
+#[test]
+fn saturated_queue_engages_backpressure() {
+    // One worker, a one-slot queue: a burst must overflow.
+    let server = start(1, 1, 30_000);
+    let addr = server.addr;
+
+    let mut rejected = 0usize;
+    let mut completed = 0usize;
+    for _round in 0..20 {
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let rejections = Arc::new(AtomicUsize::new(0));
+        let successes = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let rejections = Arc::clone(&rejections);
+                let successes = Arc::clone(&successes);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (status, body) =
+                        request(addr, "POST", "/v1/search?top=3&jobs=1", SCENARIO);
+                    match status {
+                        200 => {
+                            successes.fetch_add(1, Ordering::SeqCst);
+                        }
+                        429 => {
+                            // The backpressure contract: a JSON error body
+                            // and a Retry-After hint.
+                            assert!(body.contains("queue full"), "{body}");
+                            rejections.fetch_add(1, Ordering::SeqCst);
+                        }
+                        other => panic!("unexpected status {other}: {body}"),
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client thread");
+        }
+        rejected += rejections.load(Ordering::SeqCst);
+        completed += successes.load(Ordering::SeqCst);
+        if rejected > 0 {
+            break;
+        }
+    }
+    assert!(rejected > 0, "burst of 8 on a 1-slot queue never overflowed");
+    assert!(completed > 0, "saturation must not starve everyone");
+
+    let summary = server.stop();
+    assert_eq!(summary.rejected, rejected as u64, "{summary}");
+    assert_eq!(summary.received, summary.completed + summary.rejected + summary.timeouts);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_typed_errors() {
+    let server = start(1, 8, 30_000);
+    let addr = server.addr;
+
+    // Unknown path.
+    let (status, body) = request(addr, "POST", "/v1/frobnicate", SCENARIO);
+    assert_eq!(status, 404, "{body}");
+
+    // Known path, wrong method.
+    let (status, body) = request(addr, "GET", "/v1/estimate", "");
+    assert_eq!(status, 405, "{body}");
+
+    // Empty body.
+    let (status, body) = request(addr, "POST", "/v1/estimate", "");
+    assert_eq!(status, 400);
+    assert!(body.contains("scenario JSON document"), "{body}");
+
+    // Malformed JSON: the configs-layer message names the problem.
+    let (status, body) = request(addr, "POST", "/v1/estimate", "{ not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("malformed"), "{body}");
+
+    // Unknown section.
+    let bad = SCENARIO.replacen("\"model\"", "\"modell\"", 1);
+    let (status, body) = request(addr, "POST", "/v1/estimate", &bad);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown section `modell`"), "{body}");
+
+    // Bad query parameter.
+    let (status, body) = request(addr, "POST", "/v1/search?top=lots", SCENARIO);
+    assert_eq!(status, 400);
+    assert!(body.contains("query parameter `top`"), "{body}");
+
+    // Bad backend.
+    let (status, body) = request(addr, "POST", "/v1/estimate?backend=bogus", SCENARIO);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown backend `bogus`"), "{body}");
+
+    // Errors are not compute failures: nothing counts as completed work
+    // beyond what actually priced.
+    let summary = server.stop();
+    assert_eq!(summary.received, summary.completed + summary.rejected + summary.timeouts);
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let server = start(1, 8, 30_000);
+    let addr = server.addr;
+
+    let (status, body) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting down"), "{body}");
+
+    let summary = server
+        .thread
+        .join()
+        .expect("server thread joins")
+        .expect("server run succeeds");
+    assert_eq!(summary.received, 0);
+}
+
+#[test]
+fn tiny_timeout_answers_504_without_wedging() {
+    // A deadline the pricing of a search cannot meet: the client gets 504,
+    // the server stays healthy and drains cleanly.
+    let server = start(1, 8, 1);
+    let addr = server.addr;
+    let mut saw_timeout = false;
+    for _ in 0..10 {
+        let (status, _body) = request(addr, "POST", "/v1/search?jobs=1", SCENARIO);
+        assert!(status == 200 || status == 504, "unexpected status {status}");
+        if status == 504 {
+            saw_timeout = true;
+            break;
+        }
+    }
+    assert!(saw_timeout, "a 1 ms deadline never expired");
+    let (status, _) = request(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200, "server must stay live after timeouts");
+    let summary = server.stop();
+    assert!(summary.timeouts > 0, "{summary}");
+    assert_eq!(summary.received, summary.completed + summary.rejected + summary.timeouts);
+}

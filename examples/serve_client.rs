@@ -1,0 +1,75 @@
+//! A raw-socket client for the `amped serve` daemon — plain `std`, no curl.
+//!
+//! ```text
+//! amped serve --port 8750 &
+//! cargo run --example serve_client -- 127.0.0.1:8750 GET /v1/health
+//! cargo run --example serve_client -- 127.0.0.1:8750 POST /v1/estimate examples/scenario.json
+//! cargo run --example serve_client -- 127.0.0.1:8750 POST "/v1/search?top=5" examples/scenario.json
+//! ```
+//!
+//! Prints the response body to stdout; exits nonzero on any non-200
+//! status (the status line goes to stderr). The CI smoke test drives one
+//! request per endpoint through this exact binary.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, method, target, body_file) = match args.as_slice() {
+        [addr, method, target] => (addr, method, target, None),
+        [addr, method, target, body] => (addr, method, target, Some(body)),
+        _ => {
+            eprintln!("usage: serve_client ADDR METHOD PATH[?QUERY] [BODY_FILE]");
+            return ExitCode::from(2);
+        }
+    };
+    let body = match body_file {
+        None => String::new(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if let Err(e) = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+    {
+        eprintln!("error: write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut raw = String::new();
+    if let Err(e) = stream.read_to_string(&mut raw) {
+        eprintln!("error: read failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let Some((header_block, payload)) = raw.split_once("\r\n\r\n") else {
+        eprintln!("error: malformed response: {raw}");
+        return ExitCode::FAILURE;
+    };
+    let status_line = header_block.lines().next().unwrap_or_default();
+    eprintln!("{status_line}");
+    println!("{payload}");
+    if status_line.split_whitespace().nth(1) == Some("200") {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

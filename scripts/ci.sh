@@ -50,4 +50,65 @@ trap 'rm -rf "$obs_dir"' EXIT
 cargo run -q --release --example validate_metrics -- \
     "$obs_dir/metrics.json" "$obs_dir/trace.json"
 
+echo "==> serve smoke (daemon on an ephemeral port, one request per endpoint)"
+# Start the daemon on port 0, parse the listening line for the real port,
+# drive every endpoint through the raw-socket example client (no curl),
+# re-parse each JSON response, then take it down with SIGINT and require a
+# clean exit.
+cargo build -q --release --example serve_client
+serve_dir=$(mktemp -d)
+cat > "$serve_dir/scenario.json" <<'EOF'
+{
+  "model": { "preset": "mingpt-85m" },
+  "accelerator": { "preset": "v100" },
+  "system": { "nodes": 2, "accels_per_node": 4,
+              "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+  "parallelism": { "dp": [4, 2] },
+  "training": { "global_batch": 64, "num_batches": 10 },
+  "resilience": { "node_mtbf_hours": 1000.0 }
+}
+EOF
+./target/release/amped serve --port 0 --jobs 2 > "$serve_dir/serve.log" &
+serve_pid=$!
+trap 'rm -rf "$obs_dir" "$serve_dir"; kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^amped-serve listening on \(.*\)$/\1/p' "$serve_dir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "serve smoke failed: no listening line"; exit 1; }
+
+client=./target/release/examples/serve_client
+scenario="$serve_dir/scenario.json"
+$client "$addr" GET  /v1/health                > "$serve_dir/health.json"
+$client "$addr" POST /v1/estimate  "$scenario" > "$serve_dir/estimate.json"
+$client "$addr" POST "/v1/search?top=3&jobs=2" "$scenario" > "$serve_dir/search.json"
+$client "$addr" POST /v1/recommend "$scenario" > "$serve_dir/recommend.json"
+$client "$addr" POST "/v1/sweep?jobs=2" "$scenario" > "$serve_dir/sweep.csv"
+$client "$addr" POST /v1/resilience "$scenario" > "$serve_dir/resilience.json"
+$client "$addr" GET  /v1/metrics               > "$serve_dir/metrics.json"
+
+# Every JSON response must re-parse; the sweep is CSV with a winners line.
+python3 - "$serve_dir" <<'EOF'
+import json, sys, pathlib
+d = pathlib.Path(sys.argv[1])
+for name in ["health", "estimate", "search", "recommend", "resilience", "metrics"]:
+    doc = json.loads((d / f"{name}.json").read_text())
+    assert doc, f"{name}: empty document"
+assert json.loads((d / "health.json").read_text())["status"] == "ok"
+assert "days" in json.loads((d / "search.json").read_text())[0]
+counters = json.loads((d / "metrics.json").read_text())["counters"]
+assert counters["serve.requests.received"] >= 5, counters
+sweep = (d / "sweep.csv").read_text()
+assert sweep.startswith("batch,") and "winners:" in sweep, sweep
+print("serve smoke responses ok")
+EOF
+
+kill -INT "$serve_pid"
+wait "$serve_pid" || { echo "serve smoke failed: non-zero exit on SIGINT"; exit 1; }
+grep -q 'amped-serve: served' "$serve_dir/serve.log" \
+    || { echo "serve smoke failed: no shutdown summary"; cat "$serve_dir/serve.log"; exit 1; }
+echo "serve smoke ok: $(sed -n 's/^amped-serve: //p' "$serve_dir/serve.log")"
+
 echo "ci: all green"
