@@ -5,8 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use amped_bench::{case_study_estimate, tuned_case_study_estimate};
-use amped_configs::{models, systems};
-use amped_core::{metrics, Parallelism};
+use amped_configs::{accelerators, models, systems};
+use amped_core::{metrics, AnalyticalBackend, CostBackend, Parallelism, Scenario, TrainingConfig};
+use amped_search::{enumerate_mappings, EnumerationOptions};
 
 fn bench_single_estimate(c: &mut Criterion) {
     let model = models::megatron_145b();
@@ -54,6 +55,40 @@ fn bench_tuned_estimate(c: &mut Criterion) {
     });
 }
 
+/// The batched fast path against the one-at-a-time loop over the same
+/// candidate grid: every mapping of the 16x8 cluster, priced through
+/// `CostBackend::evaluate` per candidate versus one `evaluate_many` call.
+/// The two produce bit-identical estimates (pinned by the engine's tests);
+/// this pair measures what the batching buys.
+fn bench_scalar_vs_batched(c: &mut Criterion) {
+    let model = models::megatron_145b();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let mappings = enumerate_mappings(&system, &model, &EnumerationOptions::default());
+    assert!(!mappings.is_empty());
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let scenario = Scenario::new(model, accelerators::a100(), system, mappings[0]);
+    c.bench_function("scalar_vs_batched/evaluate_loop", |b| {
+        b.iter(|| {
+            let mut priced = 0usize;
+            for p in &mappings {
+                let mut s = scenario.clone();
+                s.parallelism = *p;
+                if AnalyticalBackend.evaluate(black_box(&s), &training).is_ok() {
+                    priced += 1;
+                }
+            }
+            black_box(priced)
+        })
+    });
+    c.bench_function("scalar_vs_batched/evaluate_many", |b| {
+        b.iter(|| {
+            let results =
+                AnalyticalBackend.evaluate_many(black_box(&scenario), &mappings, &training);
+            black_box(results.iter().filter(|r| r.is_ok()).count())
+        })
+    });
+}
+
 fn bench_model_flops(c: &mut Criterion) {
     let model = models::gpt3_175b();
     c.bench_function("metrics/model_flops_gpt3", |b| {
@@ -65,6 +100,7 @@ criterion_group!(
     benches,
     bench_single_estimate,
     bench_tuned_estimate,
+    bench_scalar_vs_batched,
     bench_model_flops
 );
 criterion_main!(benches);

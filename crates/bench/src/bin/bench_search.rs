@@ -41,15 +41,23 @@ fn main() {
 
     let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let serial = base.clone().with_memoization(false).with_parallelism(1);
-    let fast = base.clone(); // memoized, worker pool sized to the host
+    // The scalar fast path: memoized, worker pool sized to the host, but
+    // candidates still priced one at a time.
+    let fast = base.clone().with_batching(false);
+    // The default engine: same pool, candidates priced through
+    // `evaluate_many` with the closed-form microbatch solve.
+    let batched = base.clone();
     let pruned = base.clone().with_pruning(true);
 
     let (serial_secs, candidates) = measure(&serial, &training);
     let (fast_secs, fast_candidates) = measure(&fast, &training);
+    let (batched_secs, batched_candidates) = measure(&batched, &training);
     let (pruned_secs, pruned_candidates) = measure(&pruned, &training);
     assert_eq!(candidates, fast_candidates, "paths must rank the same set");
+    assert_eq!(candidates, batched_candidates, "paths must rank the same set");
 
     let speedup = serial_secs / fast_secs;
+    let batch_speedup = fast_secs / batched_secs;
     let report = serde_json::json!({
         "benchmark": "search/rank_all_16x8",
         "fixture": "megatron_145b on a100_hdr_cluster(16, 8), batch 2048",
@@ -57,17 +65,21 @@ fn main() {
         "jobs": jobs,
         "serial_seconds": serial_secs,
         "fast_seconds": fast_secs,
+        "batched_seconds": batched_secs,
         "pruned_seconds": pruned_secs,
         "pruned_candidates": pruned_candidates,
         "candidates_per_sec": candidates as f64 / fast_secs,
+        "batched_candidates_per_sec": candidates as f64 / batched_secs,
         "speedup": speedup,
+        "batch_speedup": batch_speedup,
     });
     let text = serde_json::to_string_pretty(&report).expect("serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
     std::fs::write(path, format!("{text}\n")).expect("writes BENCH_search.json");
     println!("{text}");
     println!(
-        "serial {serial_secs:.3} s -> fast {fast_secs:.3} s ({speedup:.1}x), \
+        "serial {serial_secs:.3} s -> fast {fast_secs:.3} s ({speedup:.1}x) -> \
+         batched {batched_secs:.3} s ({batch_speedup:.1}x over fast), \
          pruned {pruned_secs:.3} s ({pruned_candidates}/{candidates} candidates kept)"
     );
 }

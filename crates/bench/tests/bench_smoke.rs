@@ -5,8 +5,7 @@
 use std::path::Path;
 use std::process::Command;
 
-#[test]
-fn search_bench_smoke_run_passes() {
+fn smoke_run(bench: &str, ids: &[&str]) {
     let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let output = Command::new(cargo)
@@ -17,7 +16,7 @@ fn search_bench_smoke_run_passes() {
             "-p",
             "amped-bench",
             "--bench",
-            "search",
+            bench,
             "--",
             "--test",
         ])
@@ -29,14 +28,33 @@ fn search_bench_smoke_run_passes() {
         output.status.success(),
         "cargo bench --test failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
-    for id in [
-        "search/enumerate_128x8",
-        "search/rank_all_16x8",
-        "search/rank_all_16x8_serial",
-    ] {
+    for id in ids {
         assert!(
             stdout.contains(&format!("{id}: test passed")),
             "missing smoke line for {id}\nstdout:\n{stdout}"
         );
     }
+}
+
+#[test]
+fn search_bench_smoke_run_passes() {
+    smoke_run(
+        "search",
+        &[
+            "search/enumerate_128x8",
+            "search/rank_all_16x8",
+            "search/rank_all_16x8_serial",
+        ],
+    );
+}
+
+#[test]
+fn estimator_bench_smoke_run_covers_the_batched_path() {
+    smoke_run(
+        "estimator",
+        &[
+            "scalar_vs_batched/evaluate_loop",
+            "scalar_vs_batched/evaluate_many",
+        ],
+    );
 }

@@ -70,6 +70,9 @@ common flags:
                               through the simulator             [default 0]
   --memory-filter             search only: drop candidates whose footprint
                               does not fit device memory
+  --no-batch                  search only: evaluate candidates one at a time
+                              instead of through the batched fast path
+                              (results are bit-identical either way)
   --config FILE               load a JSON scenario file instead of flags
 
 observability flags (estimate/sweep/search/simulate/resilience):
@@ -555,6 +558,7 @@ fn search(args: &Args) -> Result<String> {
         .with_enumeration(EnumerationOptions::default())
         .with_parallelism(args.parse_or("jobs", 0)?)
         .with_pruning(args.switch("prune"))
+        .with_batching(!args.switch("no-batch"))
         .with_memory_filter(args.switch("memory-filter"))
         .with_refine_sim(args.parse_or("refine-sim", 0)?);
     if let Some(o) = obs.observer() {
@@ -577,7 +581,7 @@ fn search(args: &Args) -> Result<String> {
         }
         engine = engine.with_goodput(opts);
     }
-    let results = engine.search(&s.training)?;
+    let (results, stats) = engine.search_with_stats(&s.training)?;
     let top: usize = args.parse_or("top", 10)?;
     let backend_of = |c: &amped_search::Candidate| {
         if c.refined.is_some() {
@@ -588,7 +592,7 @@ fn search(args: &Args) -> Result<String> {
     };
     if args.switch("json") {
         obs.finish("search", &mut String::new())?;
-        return to_json(&amped_report::artifacts::search_rows(&results, top));
+        return to_json(&amped_report::artifacts::search_value(&results, top, &stats));
     }
     let mut t = Table::new(["#", "tp", "pp", "dp", "time", "TFLOP/s/GPU", "fits mem", "backend"]);
     for (i, c) in results.iter().take(top).enumerate() {
@@ -610,6 +614,18 @@ fn search(args: &Args) -> Result<String> {
         s.system.total_accelerators(),
         t.to_ascii()
     );
+    if stats.memory_rejected.total() > 0 {
+        let r = &stats.memory_rejected;
+        out.push_str(&format!(
+            "\n\n{} mapping(s) dropped by the memory filter; first failing inequality: \
+             weights {}, gradients {}, optimizer {}, activations {}",
+            r.total(),
+            r.weights,
+            r.gradients,
+            r.optimizer,
+            r.activations
+        ));
+    }
     if goodput_on {
         let shown = top.min(results.len());
         out.push_str(&format!(
@@ -1017,7 +1033,12 @@ mod tests {
         )
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert!(v.as_array().unwrap().iter().any(|r| r["backend"] == "sim"));
+        assert!(v["rows"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r["backend"] == "sim"));
+        assert!(v["memory_rejected"]["total"].as_u64().is_some(), "{json}");
     }
 
     #[test]
@@ -1028,6 +1049,16 @@ mod tests {
         .unwrap();
         assert!(out.contains("yes"), "{out}");
         assert!(!out.contains("NO"), "filtered search must not list misfits: {out}");
+    }
+
+    #[test]
+    fn search_no_batch_is_byte_identical_to_the_batched_default() {
+        let base = "search --model mingpt-85m --accel v100 --nodes 2 --per-node 4 --batch 64 --top 5 --memory-filter --json";
+        let batched = run(base).unwrap();
+        let scalar = run(&format!("{base} --no-batch")).unwrap();
+        assert_eq!(batched, scalar);
+        let v: serde_json::Value = serde_json::from_str(&batched).unwrap();
+        assert!(v["memory_rejected"]["total"].as_u64().is_some(), "{batched}");
     }
 
     #[test]
@@ -1260,7 +1291,7 @@ mod tests {
         )
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert!(v
+        assert!(v["rows"]
             .as_array()
             .unwrap()
             .iter()

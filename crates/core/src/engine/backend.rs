@@ -175,6 +175,31 @@ pub trait CostBackend: Sync {
     /// Returns an error when any scenario component fails validation or
     /// the parallelism mapping does not fit the system/model.
     fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate>;
+
+    /// Price many parallelism candidates under one scenario, returning one
+    /// result per candidate in order (the scenario's own mapping is
+    /// replaced by each candidate in turn).
+    ///
+    /// The default implementation loops [`evaluate`](Self::evaluate), so
+    /// every backend batches correctly for free; backends with a real
+    /// batch path (see [`AnalyticalBackend`] and
+    /// [`BatchEvaluator`](crate::BatchEvaluator)) override it for speed.
+    /// Overrides must stay bit-identical to the default loop.
+    fn evaluate_many(
+        &self,
+        scenario: &Scenario,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+    ) -> Vec<Result<Estimate>> {
+        let mut scenario = scenario.clone();
+        mappings
+            .iter()
+            .map(|p| {
+                scenario.parallelism = *p;
+                self.evaluate(&scenario, training)
+            })
+            .collect()
+    }
 }
 
 /// The AMPeD analytical model (Eq. 1–12) as a [`CostBackend`].
@@ -201,6 +226,22 @@ impl AnalyticalBackend {
     ) -> Result<Estimate> {
         scenario.estimator().estimate_cached(cache, training)
     }
+
+    /// Batch-evaluate many candidates against a caller-owned cache through
+    /// [`BatchEvaluator`](crate::BatchEvaluator) — bit-identical to calling
+    /// [`evaluate_with_cache`](Self::evaluate_with_cache) per candidate
+    /// with the same cache, and fills the cache with the same entries.
+    pub fn evaluate_many_with_cache(
+        &self,
+        cache: &mut EstimateCache,
+        scenario: &Scenario,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+    ) -> Vec<Result<Estimate>> {
+        crate::engine::BatchEvaluator::from_scenario(scenario).estimate_many(
+            cache, mappings, training,
+        )
+    }
 }
 
 impl CostBackend for AnalyticalBackend {
@@ -215,6 +256,16 @@ impl CostBackend for AnalyticalBackend {
     fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate> {
         let mut cache = EstimateCache::new();
         self.evaluate_with_cache(&mut cache, scenario, training)
+    }
+
+    fn evaluate_many(
+        &self,
+        scenario: &Scenario,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+    ) -> Vec<Result<Estimate>> {
+        let mut cache = EstimateCache::new();
+        self.evaluate_many_with_cache(&mut cache, scenario, mappings, training)
     }
 }
 
@@ -285,6 +336,19 @@ impl CostBackend for ObservedBackend {
         let _span = self.observer.span_with_cat(self.inner.name(), "evaluate");
         self.evaluations.incr();
         self.inner.evaluate(scenario, training)
+    }
+
+    fn evaluate_many(
+        &self,
+        scenario: &Scenario,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+    ) -> Vec<Result<Estimate>> {
+        let _span = self
+            .observer
+            .span_with_cat(self.inner.name(), "evaluate_many");
+        self.evaluations.add(mappings.len() as u64);
+        self.inner.evaluate_many(scenario, mappings, training)
     }
 }
 
@@ -387,6 +451,74 @@ mod tests {
         let swapped = s.clone().with_parallelism(p2);
         assert_eq!(swapped.parallelism.tp_intra(), 4);
         assert_eq!(swapped.model.num_layers(), s.model.num_layers());
+    }
+
+    #[test]
+    fn evaluate_many_override_matches_the_default_loop_bitwise() {
+        let s = scenario();
+        let training = TrainingConfig::new(256, 10).unwrap();
+        let mappings = vec![
+            Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap(),
+            Parallelism::builder().tp(4, 1).dp(2, 2).build().unwrap(),
+            Parallelism::builder().tp(4, 1).build().unwrap(), // invalid: 4 != 32
+            Parallelism::builder().tp(2, 1).dp(4, 2).build().unwrap(),
+        ];
+
+        // A shim backend that forwards `evaluate` but keeps the trait's
+        // default `evaluate_many` loop, as the reference.
+        struct DefaultLoop;
+        impl CostBackend for DefaultLoop {
+            fn name(&self) -> &'static str {
+                "default-loop"
+            }
+            fn breakdown_fidelity(&self) -> BreakdownFidelity {
+                BreakdownFidelity::Exact
+            }
+            fn evaluate(&self, scenario: &Scenario, training: &TrainingConfig) -> Result<Estimate> {
+                AnalyticalBackend.evaluate(scenario, training)
+            }
+        }
+
+        let reference = DefaultLoop.evaluate_many(&s, &mappings, &training);
+        let batched = AnalyticalBackend.evaluate_many(&s, &mappings, &training);
+        assert_eq!(reference.len(), batched.len());
+        for (r, b) in reference.iter().zip(&batched) {
+            match (r, b) {
+                (Ok(r), Ok(b)) => {
+                    assert_eq!(
+                        r.total_time.get().to_bits(),
+                        b.total_time.get().to_bits()
+                    );
+                    assert_eq!(
+                        r.time_per_iteration.get().to_bits(),
+                        b.time_per_iteration.get().to_bits()
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (r, b) => panic!("outcome mismatch: {r:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn observed_backend_counts_batch_evaluations_per_candidate() {
+        let s = scenario();
+        let training = TrainingConfig::new(256, 10).unwrap();
+        let mappings = vec![
+            Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap(),
+            Parallelism::builder().tp(4, 1).dp(2, 2).build().unwrap(),
+        ];
+        let obs = Arc::new(Observer::new());
+        let wrapped = ObservedBackend::new(Box::new(AnalyticalBackend), obs.clone());
+        let out = wrapped.evaluate_many(&s, &mappings, &training);
+        assert_eq!(out.len(), 2);
+        assert_eq!(obs.counters()["backend.analytical.evaluations"], 2);
+        let spans = obs.trace_events();
+        assert_eq!(
+            spans.iter().filter(|e| e.cat == "evaluate_many").count(),
+            1,
+            "spans: {spans:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! Batched, vectorized cost evaluation: many parallelism candidates priced
+//! in one pass, bit-identical to [`Estimator::estimate_cached`].
+//!
+//! [`BatchEvaluator::estimate_many`] is the scalar memoized path unrolled
+//! across candidates:
+//!
+//! - **Invariant hoisting** — everything that does not depend on the
+//!   candidate (layer-kind groups, per-kind operation counts at the global
+//!   batch, precision scales, the left-associated constant products of the
+//!   per-kind compute terms, the model-FLOP count) is computed once per
+//!   batch instead of once per candidate.
+//! - **Struct-of-arrays compute loops** — the per-layer-kind compute
+//!   arithmetic runs kind-outer/candidate-inner over flat `Vec<f64>`
+//!   buffers, so the inner loop is straight-line arithmetic the compiler
+//!   can auto-vectorize.
+//! - **Communication term reuse** — every communication term depends on
+//!   the mapping's degrees and the replica batch, never on the microbatch
+//!   policy, so consecutive microbatch variants of one mapping share a
+//!   single evaluation of the communication block.
+//!
+//! **Bit-identity contract**: every float operation happens with the same
+//! values, the same association and the same order per candidate as in
+//! `estimate_cached` — hoisting only moves *where* a product is computed,
+//! never *how* — and all memoized sub-results go through the same
+//! [`EstimateCache`] helpers, so a batch call fills the cache with exactly
+//! the entries the scalar loop would. Differential tests pin
+//! `estimate_many` against the scalar loop bitwise, cold and warm.
+
+use amped_topo::Collective;
+
+use crate::accelerator::AcceleratorSpec;
+use crate::efficiency::EfficiencyModel;
+use crate::engine::cached::{grad_sync_volume, stage_imbalance_ratio};
+use crate::engine::{
+    Breakdown, EngineOptions, Estimate, EstimateCache, Scenario,
+};
+use crate::error::{Error, Result};
+use crate::metrics;
+use crate::model::TransformerModel;
+use crate::network::SystemSpec;
+use crate::parallelism::{MicrobatchPolicy, Parallelism, ZeroStage};
+use crate::precision::Precision;
+use crate::training::TrainingConfig;
+use crate::units::Seconds;
+
+/// The communication components of one candidate's breakdown, all invariant
+/// across the candidate's microbatch variants.
+#[derive(Debug, Clone, Copy, Default)]
+struct CommTerms {
+    tp_comm_intra: f64,
+    tp_comm_inter: f64,
+    moe_comm: f64,
+    pp_comm: f64,
+    dp_comm_intra: f64,
+    dp_comm_inter: f64,
+    fwd_comm_for_bubble: f64,
+}
+
+/// The candidate-invariant slice of one layer kind's compute terms: the
+/// constant left factors of `estimate_cached`'s `u_f`/`u_b`/`u_w` products,
+/// precomputed once per batch with the scalar path's own association.
+struct KindTerms {
+    macs_fwd: f64,
+    bwd_macs: f64,
+    nl_f: f64,
+    nl_b: f64,
+    ww: f64,
+    count: f64,
+}
+
+/// Batched analytical evaluation of many parallelism candidates under one
+/// shared scenario (model, accelerator, system, precision, efficiency,
+/// engine options).
+///
+/// # Example
+///
+/// ```
+/// use amped_core::{
+///     AcceleratorSpec, BatchEvaluator, EfficiencyModel, EstimateCache, Estimator, Link,
+///     Parallelism, SystemSpec, TrainingConfig, TransformerModel,
+/// };
+///
+/// # fn main() -> Result<(), amped_core::Error> {
+/// let model = TransformerModel::builder("demo")
+///     .layers(24).hidden_size(2048).heads(16).seq_len(1024).vocab_size(32000)
+///     .build()?;
+/// let accel = AcceleratorSpec::builder("A100")
+///     .frequency_hz(1.41e9).cores(108).mac_units(4, 512, 8)
+///     .nonlin_units(192, 4, 32).memory(80e9, 2.0e12)
+///     .build()?;
+/// let system = SystemSpec::new(2, 8, Link::new(5e-6, 2.4e12), Link::new(1e-5, 2e11), 8)?;
+/// let training = TrainingConfig::new(512, 100)?;
+/// let mappings = vec![
+///     Parallelism::builder().tp(8, 1).dp(1, 2).build()?,
+///     Parallelism::builder().tp(4, 1).pp(2, 1).dp(1, 2).build()?,
+/// ];
+///
+/// let mut cache = EstimateCache::new();
+/// let batch = BatchEvaluator::new(&model, &accel, &system)
+///     .with_efficiency(EfficiencyModel::Constant(0.5));
+/// let estimates = batch.estimate_many(&mut cache, &mappings, &training);
+///
+/// // Bit-identical to the scalar loop over the same cache kind.
+/// let mut scalar_cache = EstimateCache::new();
+/// for (p, batched) in mappings.iter().zip(&estimates) {
+///     let scalar = Estimator::new(&model, &accel, &system, p)
+///         .with_efficiency(EfficiencyModel::Constant(0.5))
+///         .estimate_cached(&mut scalar_cache, &training)?;
+///     assert_eq!(
+///         scalar.total_time.get().to_bits(),
+///         batched.as_ref().unwrap().total_time.get().to_bits(),
+///     );
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEvaluator<'a> {
+    model: &'a TransformerModel,
+    accel: &'a AcceleratorSpec,
+    system: &'a SystemSpec,
+    precision: Precision,
+    efficiency: EfficiencyModel,
+    options: EngineOptions,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// A batch evaluator with default precision, efficiency and options —
+    /// the same defaults as [`Estimator::new`](crate::Estimator::new).
+    pub fn new(
+        model: &'a TransformerModel,
+        accel: &'a AcceleratorSpec,
+        system: &'a SystemSpec,
+    ) -> Self {
+        BatchEvaluator {
+            model,
+            accel,
+            system,
+            precision: Precision::default(),
+            efficiency: EfficiencyModel::default(),
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// A batch evaluator sharing a [`Scenario`]'s specifications (the
+    /// scenario's own parallelism is ignored: candidates supply theirs).
+    pub fn from_scenario(scenario: &'a Scenario) -> Self {
+        BatchEvaluator {
+            model: &scenario.model,
+            accel: &scenario.accelerator,
+            system: &scenario.system,
+            precision: scenario.precision,
+            efficiency: scenario.efficiency.clone(),
+            options: scenario.options,
+        }
+    }
+
+    /// Override the operand precisions.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the microbatch-efficiency model.
+    pub fn with_efficiency(mut self, efficiency: EfficiencyModel) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Override the engine options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Price every candidate mapping for `training`, returning one result
+    /// per input in order. Equivalent to calling
+    /// [`Estimator::estimate_cached`](crate::Estimator::estimate_cached)
+    /// per candidate against the same cache — bit-identical estimates,
+    /// same cache entries — at a fraction of the per-candidate cost.
+    ///
+    /// Per-candidate errors (an invalid mapping for the system/model) land
+    /// in that candidate's slot; shared-input validation errors (bad
+    /// precision/efficiency/options) fill every slot.
+    pub fn estimate_many(
+        &self,
+        cache: &mut EstimateCache,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+    ) -> Vec<Result<Estimate>> {
+        let n = mappings.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Shared-input validation, in the scalar path's order.
+        if let Err(e) = self
+            .precision
+            .validate()
+            .and_then(|()| self.efficiency.validate())
+            .and_then(|()| self.options.validate())
+        {
+            return mappings.iter().map(|_| Err(e.clone())).collect();
+        }
+
+        let (model, accel, system) = (self.model, self.accel, self.system);
+        let opts = self.options;
+        let global_batch = training.global_batch();
+
+        // ---- Batch-invariant hoisting. ----
+        let c_nonlin = accel.c_nonlin();
+        let mac_scale = accel.mac_precision_scale(self.precision.mac_operand_bits());
+        let param_scale = accel.mac_precision_scale(self.precision.param_bits);
+        let nonlin_scale = accel.nonlin_precision_scale(self.precision.nonlin_bits);
+        let bwd_c = opts.backward_compute_factor + if opts.activation_recompute { 1.0 } else { 0.0 };
+
+        let groups = cache.groups(model);
+        // Constant left factors of the per-kind compute terms. Each product
+        // below is a prefix of the scalar expression's left-associated
+        // chain, so completing it per candidate reproduces the scalar
+        // result bit-for-bit.
+        let kind_terms: Vec<KindTerms> = groups
+            .iter()
+            .map(|&(kind, count)| {
+                let cg = cache.layer_counts(model, kind, global_batch as f64);
+                KindTerms {
+                    macs_fwd: cg.macs_fwd,
+                    bwd_macs: bwd_c * cg.macs_fwd,
+                    nl_f: cg.nonlin_fwd * c_nonlin * nonlin_scale,
+                    nl_b: opts.backward_nonlin_factor * cg.nonlin_fwd * c_nonlin * nonlin_scale,
+                    ww: opts.weight_update_factor * cg.weights,
+                    count: count as f64,
+                }
+            })
+            .collect();
+        let stack_len: usize = groups.iter().map(|(_, n)| n).sum();
+        let compute_scale = match opts.bubble_accounting {
+            crate::engine::BubbleAccounting::GPipe => 1.0,
+            crate::engine::BubbleAccounting::PaperEq8 => 1.0 / stack_len as f64,
+        };
+        let model_flops = match cache.model_flops(global_batch, opts.activation_recompute) {
+            Some(v) => v,
+            None => {
+                let v = metrics::model_flops_per_iteration(
+                    model,
+                    global_batch,
+                    opts.activation_recompute,
+                );
+                cache.set_model_flops(global_batch, opts.activation_recompute, v);
+                v
+            }
+        };
+
+        // ---- Per-candidate scalars (struct-of-arrays). ----
+        let mut errs: Vec<Option<Error>> = (0..n).map(|_| None).collect();
+        let mut workers = vec![1.0f64; n];
+        let mut n_ub = vec![1usize; n];
+        let mut ub = vec![0.0f64; n];
+        let mut eff = vec![0.0f64; n];
+        let mut replica_batch = vec![0.0f64; n];
+        let mut c_mac = vec![0.0f64; n];
+        let mut imbalance = vec![1.0f64; n];
+        for (j, p) in mappings.iter().enumerate() {
+            if let Err(e) = p.validate_against(system, model) {
+                errs[j] = Some(e);
+                continue;
+            }
+            workers[j] = p.total_workers() as f64;
+            n_ub[j] = p.num_microbatches(global_batch);
+            ub[j] = p.microbatch_size(global_batch);
+            eff[j] = self.efficiency.eval(ub[j]);
+            replica_batch[j] = p.replica_batch(global_batch);
+            c_mac[j] = accel.c_mac(eff[j]);
+            imbalance[j] = if opts.stage_imbalance_correction && p.pp() > 1 {
+                let r = stage_imbalance_ratio(
+                    cache,
+                    model,
+                    p.pp(),
+                    eff[j].to_bits(),
+                    c_mac[j],
+                    mac_scale,
+                    c_nonlin,
+                    nonlin_scale,
+                );
+                let (m, pf) = (n_ub[j] as f64, p.pp() as f64);
+                ((pf + (m - 1.0) * r) / (m + pf - 1.0)).max(1.0)
+            } else {
+                1.0
+            };
+        }
+
+        // ---- Vectorized compute loops: kind-outer, candidate-inner. ----
+        // Accumulation order per candidate matches the scalar loop (group
+        // order), and each expression completes the scalar association.
+        let mut sum_uf = vec![0.0f64; n];
+        let mut sum_ub_ = vec![0.0f64; n];
+        let mut cf = vec![0.0f64; n];
+        let mut cb = vec![0.0f64; n];
+        let mut wu = vec![0.0f64; n];
+        for kt in &kind_terms {
+            for j in 0..n {
+                let u_f = kt.macs_fwd * c_mac[j] * mac_scale + kt.nl_f;
+                let u_b = kt.bwd_macs * c_mac[j] * mac_scale + kt.nl_b;
+                let u_w = kt.ww * c_mac[j] * param_scale;
+                let iuf = imbalance[j] * u_f;
+                let iub = imbalance[j] * u_b;
+                sum_uf[j] += iuf * kt.count;
+                sum_ub_[j] += iub * kt.count;
+                cf[j] += iuf / workers[j] * kt.count;
+                cb[j] += iub / workers[j] * kt.count;
+                wu[j] += u_w / workers[j] * kt.count;
+            }
+        }
+
+        // ---- Communication, shared across a mapping's variants. ----
+        // All terms depend only on the mapping's degrees/ZeRO config and
+        // the replica batch, never on the microbatch policy, so a run of
+        // variants (adjacent by construction in the search) reuses one
+        // evaluation. Keying on the policy-normalized mapping makes the
+        // reuse exact rather than heuristic.
+        let mut comm = vec![CommTerms::default(); n];
+        let mut prev: Option<(Parallelism, CommTerms)> = None;
+        for (j, p) in mappings.iter().enumerate() {
+            if errs[j].is_some() {
+                continue;
+            }
+            let norm = p.with_microbatches(MicrobatchPolicy::Explicit(1));
+            comm[j] = match &prev {
+                Some((key, t)) if *key == norm => *t,
+                _ => {
+                    let t = self.comm_terms(cache, p, replica_batch[j], &groups);
+                    prev = Some((norm, t));
+                    t
+                }
+            };
+        }
+
+        // ---- Per-candidate epilogue. ----
+        let num_batches = training.num_batches() as f64;
+        (0..n)
+            .map(|j| {
+                if let Some(e) = errs[j].take() {
+                    return Err(e);
+                }
+                let p = &mappings[j];
+                let t = comm[j];
+                let mut b = Breakdown {
+                    compute_forward: cf[j],
+                    compute_backward: cb[j],
+                    weight_update: wu[j],
+                    tp_comm_intra: t.tp_comm_intra,
+                    tp_comm_inter: t.tp_comm_inter,
+                    pp_comm: t.pp_comm,
+                    moe_comm: t.moe_comm,
+                    dp_comm_intra: t.dp_comm_intra,
+                    dp_comm_inter: t.dp_comm_inter,
+                    bubble: 0.0,
+                };
+                if p.pp() > 1 {
+                    b.bubble = p.bubble_ratio() * (p.pp() as f64 - 1.0) / n_ub[j] as f64
+                        * (compute_scale * (sum_uf[j] + sum_ub_[j]) / workers[j]
+                            + t.fwd_comm_for_bubble);
+                }
+                let time_per_iteration = b.total();
+                let total_time = time_per_iteration * num_batches;
+                let tflops_per_gpu =
+                    metrics::tflops_per_gpu(model_flops, time_per_iteration, workers[j]);
+                let tokens_per_sec = if time_per_iteration > 0.0 {
+                    (global_batch * model.seq_len()) as f64 / time_per_iteration
+                } else {
+                    0.0
+                };
+                Ok(Estimate {
+                    breakdown: b,
+                    time_per_iteration: Seconds::new(time_per_iteration),
+                    total_time: Seconds::new(total_time),
+                    microbatch_size: ub[j],
+                    num_microbatches: n_ub[j],
+                    efficiency: eff[j],
+                    model_flops_per_iteration: model_flops,
+                    tflops_per_gpu,
+                    total_workers: p.total_workers(),
+                    tokens_per_sec,
+                })
+            })
+            .collect()
+    }
+
+    /// One candidate's communication terms — a verbatim transcription of
+    /// `estimate_cached`'s communication section (same expressions, same
+    /// guards, same group order, same cache accessors).
+    fn comm_terms(
+        &self,
+        cache: &mut EstimateCache,
+        p: &Parallelism,
+        replica_batch: f64,
+        groups: &[(crate::model::LayerKind, usize)],
+    ) -> CommTerms {
+        let (model, system) = (self.model, self.system);
+        let opts = self.options;
+        let mut out = CommTerms::default();
+
+        let zero_factor = 1.0 + p.zero().comm_overhead;
+        let comm_passes = zero_factor * (1.0 + opts.backward_comm_factor);
+        let intra = system.intra();
+        let inter = system.inter();
+        let inter_bw = system.inter_bandwidth_per_accel();
+        let nic_aggregate = system.inter().bandwidth_bits_per_sec * system.nics_per_node() as f64;
+        let inter_bw_tp_stream = (inter_bw * p.tp_intra() as f64).min(nic_aggregate);
+        let act_bits = self.precision.act_bits as f64;
+        let stage_share = 1.0 / p.pp() as f64;
+
+        for &(kind, count) in groups {
+            let cr = cache.layer_counts(model, kind, replica_batch);
+            let n = count as f64;
+
+            if p.tp_intra() > 1 {
+                let cost = cache.collective(intra.topology, Collective::AllReduce, p.tp_intra());
+                let t = cost.time(
+                    cr.act_elems_tp * act_bits,
+                    intra.latency_s,
+                    intra.bandwidth_bits_per_sec,
+                );
+                out.tp_comm_intra += comm_passes * stage_share * t * n;
+                out.fwd_comm_for_bubble +=
+                    zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t * n;
+            }
+            if p.tp_inter() > 1 {
+                let cost = cache.collective(inter.topology, Collective::AllReduce, p.tp_inter());
+                let t = cost.time(cr.act_elems_tp * act_bits, inter.latency_s, inter_bw_tp_stream);
+                out.tp_comm_inter += comm_passes * stage_share * t * n;
+                out.fwd_comm_for_bubble +=
+                    zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t * n;
+            }
+            if cr.act_elems_moe > 0.0 && system.num_nodes() >= 1 {
+                let nodes = system.num_nodes() as f64;
+                let cost =
+                    cache.collective(inter.topology, Collective::AllToAll, system.num_nodes());
+                let latency_term = 2.0 * inter.latency_s * cost.steps as f64;
+                let volume_bits = cr.act_elems_moe * act_bits / p.tp() as f64;
+                let bw_term = if nodes > 1.0 {
+                    2.0 * volume_bits
+                        * cost.factor
+                        * (1.0 / (nodes * intra.bandwidth_bits_per_sec)
+                            + (nodes - 1.0) / (nodes * inter_bw))
+                } else {
+                    2.0 * volume_bits / intra.bandwidth_bits_per_sec
+                };
+                let t = latency_term + bw_term;
+                out.moe_comm += comm_passes * stage_share * t * n;
+                out.fwd_comm_for_bubble +=
+                    zero_factor * (1.0 + opts.backward_comm_factor) * stage_share * t * n;
+            }
+        }
+
+        if p.pp() > 1 {
+            let vol_bits =
+                replica_batch * model.seq_len() as f64 * model.hidden_size() as f64 * act_bits;
+            let t_intra = if p.pp_intra() > 1 {
+                intra.latency_s + vol_bits / intra.bandwidth_bits_per_sec
+            } else {
+                0.0
+            };
+            let t_inter = if p.pp_inter() > 1 {
+                inter.latency_s + vol_bits / inter_bw_tp_stream
+            } else {
+                0.0
+            };
+            let t = t_intra.max(t_inter);
+            out.pp_comm = comm_passes * t;
+            out.fwd_comm_for_bubble += zero_factor * (1.0 + opts.backward_comm_factor) * t;
+        }
+
+        let grad_collective = if p.zero().stage >= ZeroStage::Gradients {
+            Collective::ReduceScatter
+        } else {
+            Collective::AllReduce
+        };
+        let grad_bits = self.precision.grad_bits as f64;
+        let n_g_total = grad_sync_volume(cache, model, system, groups, p.tp(), p.pp());
+        if p.dp_intra() > 1 {
+            let cost = cache.collective(intra.topology, grad_collective, p.dp_intra());
+            out.dp_comm_intra = cost.time(
+                n_g_total * grad_bits,
+                intra.latency_s,
+                intra.bandwidth_bits_per_sec,
+            );
+        }
+        if p.dp_inter() > 1 {
+            let cost = cache.collective(inter.topology, grad_collective, p.dp_inter());
+            out.dp_comm_inter = cost.time(
+                n_g_total / p.dp_intra() as f64 * grad_bits,
+                inter.latency_s,
+                inter_bw,
+            );
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::model::MoeConfig;
+    use crate::network::Link;
+    use crate::parallelism::ZeroConfig;
+    use crate::Estimator;
+
+    fn accel() -> AcceleratorSpec {
+        AcceleratorSpec::builder("A100")
+            .frequency_hz(1.41e9)
+            .cores(108)
+            .mac_units(4, 512, 8)
+            .nonlin_units(192, 4, 32)
+            .memory(80e9, 2.0e12)
+            .build()
+            .unwrap()
+    }
+
+    fn system(nodes: usize, per_node: usize) -> SystemSpec {
+        SystemSpec::new(
+            nodes,
+            per_node,
+            Link::new(5e-6, 2.4e12),
+            Link::new(1e-5, 2e11),
+            per_node,
+        )
+        .unwrap()
+    }
+
+    fn dense_model() -> TransformerModel {
+        TransformerModel::builder("batch-m")
+            .layers(24)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(1024)
+            .vocab_size(32000)
+            .build()
+            .unwrap()
+    }
+
+    fn moe_model() -> TransformerModel {
+        TransformerModel::builder("batch-moe")
+            .layers(12)
+            .hidden_size(1024)
+            .heads(16)
+            .seq_len(512)
+            .vocab_size(16000)
+            .moe(MoeConfig::glam(8))
+            .build()
+            .unwrap()
+    }
+
+    /// Every valid 6-degree factorization of a 4x8 system, with microbatch
+    /// variants interleaved the way the search tuner emits them.
+    fn mappings_with_variants(global_batch: usize) -> Vec<Parallelism> {
+        let mut out = Vec::new();
+        for tp in [1usize, 2, 4, 8] {
+            for pp in [1usize, 2, 4] {
+                let rest = 32 / (tp * pp);
+                let (dp_intra, dp_inter) = if rest >= 4 { (rest / 4, 4) } else { (rest, 1) };
+                let Ok(p) = Parallelism::builder()
+                    .tp(tp, 1)
+                    .pp(pp, 1)
+                    .dp(dp_intra, dp_inter)
+                    .build()
+                else {
+                    continue;
+                };
+                let replica = (global_batch / p.dp()).max(1);
+                let mut trial = 1usize;
+                while trial <= replica {
+                    out.push(
+                        p.with_microbatches(MicrobatchPolicy::Explicit(replica.div_ceil(trial))),
+                    );
+                    trial *= 2;
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_bit_identical(
+        batch: &BatchEvaluator<'_>,
+        scalar_of: impl Fn(&Parallelism, &mut EstimateCache) -> Result<Estimate>,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+    ) {
+        // Cold shared cache for the batch, cold shared cache for the scalar
+        // loop: both paths must produce the same estimates AND the same
+        // cache behaviour.
+        let mut batch_cache = EstimateCache::new();
+        let batched = batch.estimate_many(&mut batch_cache, mappings, training);
+        let mut scalar_cache = EstimateCache::new();
+        assert_eq!(batched.len(), mappings.len());
+        for (p, b) in mappings.iter().zip(&batched) {
+            let s = scalar_of(p, &mut scalar_cache);
+            match (s, b) {
+                (Ok(s), Ok(b)) => {
+                    assert_eq!(
+                        s.total_time.get().to_bits(),
+                        b.total_time.get().to_bits(),
+                        "total_time for {p:?}"
+                    );
+                    assert_eq!(
+                        s.time_per_iteration.get().to_bits(),
+                        b.time_per_iteration.get().to_bits()
+                    );
+                    for ((name, x), (_, y)) in
+                        s.breakdown.components().iter().zip(b.breakdown.components())
+                    {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{name} for {p:?}");
+                    }
+                    assert_eq!(s.num_microbatches, b.num_microbatches);
+                    assert_eq!(s.microbatch_size.to_bits(), b.microbatch_size.to_bits());
+                    assert_eq!(s.efficiency.to_bits(), b.efficiency.to_bits());
+                    assert_eq!(s.tflops_per_gpu.to_bits(), b.tflops_per_gpu.to_bits());
+                    assert_eq!(s.tokens_per_sec.to_bits(), b.tokens_per_sec.to_bits());
+                    assert_eq!(
+                        s.model_flops_per_iteration.to_bits(),
+                        b.model_flops_per_iteration.to_bits()
+                    );
+                    assert_eq!(s.total_workers, b.total_workers);
+                }
+                (Err(_), Err(_)) => {}
+                (s, b) => panic!("outcome mismatch for {p:?}: scalar {s:?} vs batch {b:?}"),
+            }
+        }
+        // Warm-cache rerun of the batch stays bit-identical.
+        let again = batch.estimate_many(&mut batch_cache, mappings, training);
+        for (x, y) in batched.iter().zip(&again) {
+            if let (Ok(x), Ok(y)) = (x, y) {
+                assert_eq!(x.total_time.get().to_bits(), y.total_time.get().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_bitwise_dense() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(4, 8);
+        let effm = EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9);
+        let opts = EngineOptions {
+            stage_imbalance_correction: true,
+            ..Default::default()
+        };
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let mappings = mappings_with_variants(512);
+        assert!(mappings.len() > 20);
+        let batch = BatchEvaluator::new(&m, &a, &sys)
+            .with_efficiency(effm.clone())
+            .with_options(opts);
+        assert_bit_identical(
+            &batch,
+            |p, cache| {
+                Estimator::new(&m, &a, &sys, p)
+                    .with_efficiency(effm.clone())
+                    .with_options(opts)
+                    .estimate_cached(cache, &training)
+            },
+            &mappings,
+            &training,
+        );
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_bitwise_moe_with_zero() {
+        let m = moe_model();
+        let a = accel();
+        let sys = system(4, 8);
+        let effm = EfficiencyModel::Constant(0.6);
+        let training = TrainingConfig::new(128, 5).unwrap();
+        let mut mappings = Vec::new();
+        for (tp, dp_intra, dp_inter) in [(8, 1, 4), (4, 2, 4), (2, 4, 4), (1, 8, 4)] {
+            mappings.push(
+                Parallelism::builder()
+                    .tp(tp, 1)
+                    .dp(dp_intra, dp_inter)
+                    .zero(ZeroConfig::stage(ZeroStage::Gradients, 0.5))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let batch = BatchEvaluator::new(&m, &a, &sys).with_efficiency(effm.clone());
+        assert_bit_identical(
+            &batch,
+            |p, cache| {
+                Estimator::new(&m, &a, &sys, p)
+                    .with_efficiency(effm.clone())
+                    .estimate_cached(cache, &training)
+            },
+            &mappings,
+            &training,
+        );
+    }
+
+    #[test]
+    fn batch_fills_the_cache_with_the_scalar_entries() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(4, 8);
+        let effm = EfficiencyModel::Constant(0.5);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let mappings = mappings_with_variants(512);
+
+        // A cache warmed by the batch path serves the scalar path fully:
+        // a scalar pass over a batch-warmed cache adds no new misses.
+        let mut cache = EstimateCache::new();
+        BatchEvaluator::new(&m, &a, &sys)
+            .with_efficiency(effm.clone())
+            .estimate_many(&mut cache, &mappings, &training);
+        let misses = cache.misses();
+        for p in &mappings {
+            let _ = Estimator::new(&m, &a, &sys, p)
+                .with_efficiency(effm.clone())
+                .estimate_cached(&mut cache, &training);
+        }
+        assert_eq!(cache.misses(), misses, "batch path must pre-fill every entry");
+    }
+
+    #[test]
+    fn invalid_candidates_error_in_place_without_poisoning_the_batch() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(2, 8);
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let good = Parallelism::builder().tp(8, 1).dp(1, 2).build().unwrap();
+        let bad = Parallelism::builder().tp(4, 1).build().unwrap(); // 4 != 16
+        let mut cache = EstimateCache::new();
+        let out = BatchEvaluator::new(&m, &a, &sys).estimate_many(
+            &mut cache,
+            &[good, bad, good],
+            &training,
+        );
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+        assert_eq!(
+            out[0].as_ref().unwrap().total_time.get().to_bits(),
+            out[2].as_ref().unwrap().total_time.get().to_bits()
+        );
+        // The per-candidate error matches the scalar path's.
+        let scalar = Estimator::new(&m, &a, &sys, &bad).estimate(&training);
+        assert_eq!(
+            format!("{}", out[1].as_ref().unwrap_err()),
+            format!("{}", scalar.unwrap_err())
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let m = dense_model();
+        let a = accel();
+        let sys = system(2, 8);
+        let mut cache = EstimateCache::new();
+        let out = BatchEvaluator::new(&m, &a, &sys).estimate_many(
+            &mut cache,
+            &[],
+            &TrainingConfig::new(64, 1).unwrap(),
+        );
+        assert!(out.is_empty());
+    }
+}

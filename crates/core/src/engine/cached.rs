@@ -25,9 +25,90 @@ use amped_topo::Collective;
 use crate::engine::{Breakdown, Estimate, EstimateCache, Estimator};
 use crate::error::Result;
 use crate::metrics;
+use crate::model::{LayerKind, TransformerModel};
+use crate::network::SystemSpec;
 use crate::parallelism::ZeroStage;
 use crate::training::TrainingConfig;
 use crate::units::Seconds;
+
+/// The memoized stage-imbalance ratio `r = t*/t̄` for a `pp`-stage split of
+/// the layer stack at per-layer weights priced with the given accelerator
+/// constants. Shared verbatim by [`Estimator::estimate_cached`] and the
+/// batch path so both fill and read the same cache entry and agree bitwise.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stage_imbalance_ratio(
+    cache: &mut EstimateCache,
+    model: &TransformerModel,
+    pp: usize,
+    eff_bits: u64,
+    c_mac: f64,
+    mac_scale: f64,
+    c_nonlin: f64,
+    nonlin_scale: f64,
+) -> f64 {
+    if let Some(r) = cache.imbalance_ratio(pp, eff_bits) {
+        return r;
+    }
+    let stack = model.layer_stack();
+    let weights: Vec<f64> = stack
+        .iter()
+        .map(|&kind| {
+            let c = cache.layer_counts(model, kind, 1.0);
+            c.macs_fwd * c_mac * mac_scale + c.nonlin_fwd * c_nonlin * nonlin_scale
+        })
+        .collect();
+    let base = stack.len() / pp;
+    let extra = stack.len() % pp;
+    let mut cursor = 0;
+    let mut max_stage = 0.0f64;
+    let total: f64 = weights.iter().sum();
+    for s in 0..pp {
+        let take = base + usize::from(s < extra);
+        let stage: f64 = weights[cursor..cursor + take].iter().sum();
+        max_stage = max_stage.max(stage);
+        cursor += take;
+    }
+    let r = if total > 0.0 {
+        (max_stage * pp as f64 / total).max(1.0)
+    } else {
+        1.0
+    };
+    cache.set_imbalance_ratio(pp, eff_bits, r);
+    r
+}
+
+/// The memoized Eq. 10 per-accelerator gradient-sync volume for a
+/// `(tp, pp)` shard. Shared verbatim by [`Estimator::estimate_cached`] and
+/// the batch path for the same bit-identity contract as
+/// [`stage_imbalance_ratio`].
+pub(crate) fn grad_sync_volume(
+    cache: &mut EstimateCache,
+    model: &TransformerModel,
+    system: &SystemSpec,
+    groups: &[(LayerKind, usize)],
+    tp: usize,
+    pp: usize,
+) -> f64 {
+    if let Some(v) = cache.grad_volume(tp, pp) {
+        return v;
+    }
+    let expert_parallel = model
+        .moe()
+        .map(|cfg| cfg.num_experts.min(system.num_nodes()).max(1))
+        .unwrap_or(1) as f64;
+    let v: f64 = groups
+        .iter()
+        .map(|&(kind, count)| {
+            let cg = cache.layer_counts(model, kind, 1.0);
+            let dense_weights = cg.weights - cg.weights_expert;
+            (dense_weights + cg.weights_expert / expert_parallel)
+                / (tp as f64 * pp as f64)
+                * count as f64
+        })
+        .sum();
+    cache.set_grad_volume(tp, pp, v);
+    v
+}
 
 impl<'a> Estimator<'a> {
     /// Like [`Estimator::estimate`], but memoizes scenario-invariant
@@ -77,38 +158,16 @@ impl<'a> Estimator<'a> {
         // so the compute-only lower bound (which uses imbalance = 1) stays
         // exact under float rounding.
         let imbalance = if opts.stage_imbalance_correction && p.pp() > 1 {
-            let r = match cache.imbalance_ratio(p.pp(), eff.to_bits()) {
-                Some(r) => r,
-                None => {
-                    let stack = model.layer_stack();
-                    let weights: Vec<f64> = stack
-                        .iter()
-                        .map(|&kind| {
-                            let c = cache.layer_counts(model, kind, 1.0);
-                            c.macs_fwd * c_mac * mac_scale + c.nonlin_fwd * c_nonlin * nonlin_scale
-                        })
-                        .collect();
-                    let pp = p.pp();
-                    let base = stack.len() / pp;
-                    let extra = stack.len() % pp;
-                    let mut cursor = 0;
-                    let mut max_stage = 0.0f64;
-                    let total: f64 = weights.iter().sum();
-                    for s in 0..pp {
-                        let take = base + usize::from(s < extra);
-                        let stage: f64 = weights[cursor..cursor + take].iter().sum();
-                        max_stage = max_stage.max(stage);
-                        cursor += take;
-                    }
-                    let r = if total > 0.0 {
-                        (max_stage * pp as f64 / total).max(1.0)
-                    } else {
-                        1.0
-                    };
-                    cache.set_imbalance_ratio(p.pp(), eff.to_bits(), r);
-                    r
-                }
-            };
+            let r = stage_imbalance_ratio(
+                cache,
+                model,
+                p.pp(),
+                eff.to_bits(),
+                c_mac,
+                mac_scale,
+                c_nonlin,
+                nonlin_scale,
+            );
             let (m, pf) = (n_ub as f64, p.pp() as f64);
             ((pf + (m - 1.0) * r) / (m + pf - 1.0)).max(1.0)
         } else {
@@ -219,27 +278,7 @@ impl<'a> Estimator<'a> {
             Collective::AllReduce
         };
         let grad_bits = self.precision().grad_bits as f64;
-        let n_g_total = match cache.grad_volume(p.tp(), p.pp()) {
-            Some(v) => v,
-            None => {
-                let expert_parallel = model
-                    .moe()
-                    .map(|cfg| cfg.num_experts.min(system.num_nodes()).max(1))
-                    .unwrap_or(1) as f64;
-                let v: f64 = groups
-                    .iter()
-                    .map(|&(kind, count)| {
-                        let cg = cache.layer_counts(model, kind, 1.0);
-                        let dense_weights = cg.weights - cg.weights_expert;
-                        (dense_weights + cg.weights_expert / expert_parallel)
-                            / (p.tp() as f64 * p.pp() as f64)
-                            * count as f64
-                    })
-                    .sum();
-                cache.set_grad_volume(p.tp(), p.pp(), v);
-                v
-            }
-        };
+        let n_g_total = grad_sync_volume(cache, model, system, &groups, p.tp(), p.pp());
         if p.dp_intra() > 1 {
             let cost = cache.collective(intra.topology, grad_collective, p.dp_intra());
             b.dp_comm_intra = cost.time(

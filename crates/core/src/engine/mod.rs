@@ -9,6 +9,7 @@
 //! bubbles.
 
 mod backend;
+mod batch;
 mod breakdown;
 mod cache;
 mod cached;
@@ -18,6 +19,7 @@ mod options;
 mod pool;
 
 pub use backend::{AnalyticalBackend, BreakdownFidelity, CostBackend, ObservedBackend, Scenario};
+pub use batch::BatchEvaluator;
 pub use breakdown::{Breakdown, Estimate};
 pub use cache::EstimateCache;
 pub use pool::{context_key, CacheLease, CachePool};

@@ -84,9 +84,9 @@ pub use accelerator::{AcceleratorSpec, AcceleratorSpecBuilder};
 pub use diagnostics::{check_scenario, Diagnostic, Severity};
 pub use efficiency::EfficiencyModel;
 pub use engine::{
-    context_key, AnalyticalBackend, Breakdown, BreakdownFidelity, BubbleAccounting, CacheLease,
-    CachePool, CostBackend, DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator,
-    LayerEstimate, ObservedBackend, Scenario,
+    context_key, AnalyticalBackend, BatchEvaluator, Breakdown, BreakdownFidelity, BubbleAccounting,
+    CacheLease, CachePool, CostBackend, DetailedEstimate, EngineOptions, Estimate, EstimateCache,
+    Estimator, LayerEstimate, ObservedBackend, Scenario,
 };
 pub use error::{Error, Result};
 pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder};

@@ -142,6 +142,70 @@ impl MemoryFootprint {
     pub fn checkpoint_bytes(&self) -> f64 {
         self.weights + self.optimizer
     }
+
+    /// Which term first pushes this footprint past `capacity_bytes`,
+    /// walking the same left-to-right accumulation as
+    /// [`MemoryFootprint::total`]. Only meaningful when the total exceeds
+    /// the capacity; an oversized footprint always blames exactly one term.
+    pub fn capacity_failure(&self, capacity_bytes: f64) -> CapacityFailure {
+        if self.weights > capacity_bytes {
+            CapacityFailure::Weights
+        } else if self.weights + self.gradients > capacity_bytes {
+            CapacityFailure::Gradients
+        } else if self.weights + self.gradients + self.optimizer > capacity_bytes {
+            CapacityFailure::Optimizer
+        } else {
+            CapacityFailure::Activations
+        }
+    }
+}
+
+/// Which capacity inequality failed when a mapping fits under no
+/// microbatch size, in the order the terms of
+/// [`MemoryFootprint::total`] accumulate: a device that cannot even hold
+/// the weights is reported as `Weights`, not `Activations`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CapacityFailure {
+    /// Resident weights alone exceed the device capacity.
+    Weights,
+    /// Weights fit, but weights + gradient buffers do not.
+    Gradients,
+    /// Weights + gradients fit, but adding optimizer state does not.
+    Optimizer,
+    /// Static state fits; peak activations overflow even at the smallest
+    /// microbatch.
+    Activations,
+}
+
+impl CapacityFailure {
+    /// Stable lowercase name, matching the JSON artifact field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CapacityFailure::Weights => "weights",
+            CapacityFailure::Gradients => "gradients",
+            CapacityFailure::Optimizer => "optimizer",
+            CapacityFailure::Activations => "activations",
+        }
+    }
+}
+
+impl std::fmt::Display for CapacityFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The largest feasible power-of-two microbatch point on the trial
+/// ladder, as found by [`MemoryModel::solve_max_microbatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicrobatchFit {
+    /// Index on the power-of-two ladder: the trial size is `2^ladder_index`.
+    pub ladder_index: u32,
+    /// The trial microbatch size, `2^ladder_index` samples.
+    pub trial_microbatch: usize,
+    /// Microbatches per minibatch at that size:
+    /// `ceil(replica / trial_microbatch)`.
+    pub num_microbatches: usize,
 }
 
 impl std::fmt::Display for MemoryFootprint {
@@ -164,6 +228,9 @@ impl std::fmt::Display for MemoryFootprint {
 pub struct MemoryModel<'a> {
     model: &'a TransformerModel,
     parallelism: &'a Parallelism,
+    // `TransformerModel::total_parameters` walks the layer stack; the
+    // footprint needs it on every call, so it is computed once here.
+    total_params: f64,
     precision: Precision,
     optimizer: OptimizerSpec,
     schedule: PipelineSchedule,
@@ -177,6 +244,7 @@ impl<'a> MemoryModel<'a> {
         MemoryModel {
             model,
             parallelism,
+            total_params: model.total_parameters(),
             precision: Precision::default(),
             optimizer: OptimizerSpec::default(),
             schedule: PipelineSchedule::default(),
@@ -224,7 +292,7 @@ impl<'a> MemoryModel<'a> {
     /// (ZeRO-3 additionally shards over DP).
     pub fn params_per_device(&self) -> f64 {
         let p = self.parallelism;
-        let shard = self.model.total_parameters() / (p.tp() as f64 * p.pp() as f64);
+        let shard = self.total_params / (p.tp() as f64 * p.pp() as f64);
         match p.zero().stage {
             ZeroStage::Parameters => shard / p.dp() as f64,
             _ => shard,
@@ -260,8 +328,7 @@ impl<'a> MemoryModel<'a> {
         let p = self.parallelism;
         let dp = p.dp() as f64;
         let params = self.params_per_device();
-        let params_unsharded =
-            self.model.total_parameters() / (p.tp() as f64 * p.pp() as f64);
+        let params_unsharded = self.total_params / (p.tp() as f64 * p.pp() as f64);
 
         let weights = params * self.precision.param_bits as f64 / 8.0;
 
@@ -373,6 +440,135 @@ impl<'a> MemoryModel<'a> {
             }
         }
         Some(lo)
+    }
+
+    /// The largest feasible point on the power-of-two microbatch trial
+    /// ladder, solved in closed form from the capacity inequality instead
+    /// of trial-evaluating the footprint at every rung.
+    ///
+    /// The ladder is the one the search tuner walks: trial sizes
+    /// `1, 2, 4, … ≤ replica`, each pricing `ceil(replica / trial)`
+    /// microbatches of `replica_batch / n_ub` samples. Static bytes
+    /// (weights, gradients, optimizer state) do not depend on the rung, and
+    /// peak activation bytes are `ub · (α · in_flight + β)` for
+    /// schedule-dependent constants, so the minimum feasible microbatch
+    /// count — and from it the ladder index — falls out of the inequality
+    /// directly. The closed-form index is then confirmed against the exact
+    /// [`MemoryModel::fits`] predicate (an O(1) walk when the algebra and
+    /// the float evaluation agree, which is always in practice), so the
+    /// result is *bit-identical* to the brute-force trial loop whenever the
+    /// ladder's feasibility flags form a monotone prefix — which they do,
+    /// because activation memory is monotone in the microbatch size.
+    ///
+    /// Returns `Err` with the failing capacity inequality when even the
+    /// smallest rung (`trial = 1`, the most feasible point) overflows.
+    pub fn solve_max_microbatch(
+        &self,
+        replica: usize,
+        replica_batch: f64,
+        capacity_bytes: f64,
+    ) -> std::result::Result<MicrobatchFit, CapacityFailure> {
+        let replica = replica.max(1);
+        let rungs = replica.ilog2() + 1;
+        let point = |k: u32| {
+            let n_ub = replica.div_ceil(1usize << k);
+            (replica_batch / n_ub as f64, n_ub)
+        };
+        let fits_at = |k: u32| {
+            let (ub, n_ub) = point(k);
+            self.fits(ub, n_ub, capacity_bytes)
+        };
+
+        let mut k = self
+            .closed_form_rung(replica, replica_batch, capacity_bytes)
+            .min(rungs - 1);
+        // Confirm the algebraic guess against the exact footprint: walk
+        // down while infeasible, then up while the next rung still fits.
+        while !fits_at(k) {
+            if k == 0 {
+                let (ub, n_ub) = point(0);
+                return Err(self.footprint(ub, n_ub).capacity_failure(capacity_bytes));
+            }
+            k -= 1;
+        }
+        while k + 1 < rungs && fits_at(k + 1) {
+            k += 1;
+        }
+        Ok(MicrobatchFit {
+            ladder_index: k,
+            trial_microbatch: 1usize << k,
+            num_microbatches: replica.div_ceil(1usize << k),
+        })
+    }
+
+    /// The algebraic ladder-index guess behind
+    /// [`MemoryModel::solve_max_microbatch`]: activation bytes at a rung
+    /// with `n_ub` microbatches of `ub = replica_batch / n_ub` samples are
+    /// `ub · (α · in_flight(n_ub) + β)` where `α` covers the per-layer
+    /// stored tensors and `β` the full-recompute working set, so the
+    /// minimum feasible `n_ub` solves the capacity inequality directly.
+    fn closed_form_rung(&self, replica: usize, replica_batch: f64, capacity_bytes: f64) -> u32 {
+        let static_bytes = self.footprint(0.0, 1).total();
+        let budget = capacity_bytes - static_bytes;
+        if budget <= 0.0 {
+            return 0;
+        }
+        let layers_per_stage =
+            (self.model.num_layers() as f64 / self.parallelism.pp() as f64).ceil().max(1.0);
+        let act_bytes_per_elem = self.precision.act_bits as f64 / 8.0;
+        let tp = self.parallelism.tp() as f64;
+        let (alpha, beta) = if self.recompute == RecomputePolicy::Full {
+            let boundary = self.model.seq_len() as f64 * self.model.hidden_size() as f64;
+            (
+                boundary * layers_per_stage * act_bytes_per_elem / tp,
+                self.activation_elems_per_layer(1.0) * act_bytes_per_elem / tp,
+            )
+        } else {
+            (
+                self.activation_elems_per_layer(1.0) * layers_per_stage * act_bytes_per_elem
+                    / tp,
+                0.0,
+            )
+        };
+        let rb = replica_batch;
+        // Minimum real-valued n_ub with activations ≤ budget; the in-flight
+        // count saturates at pp under 1F1B, making activations flat in the
+        // deep regime under GPipe-like accounting.
+        let shallow = || {
+            // in_flight = n_ub: activations = rb·α + rb·β / n_ub.
+            if budget > rb * alpha {
+                if beta > 0.0 {
+                    (rb * beta / (budget - rb * alpha)).max(1.0)
+                } else {
+                    1.0
+                }
+            } else {
+                f64::INFINITY
+            }
+        };
+        let n_req = match self.schedule {
+            PipelineSchedule::GPipe => shallow(),
+            PipelineSchedule::OneFOneB => {
+                let pp = self.parallelism.pp() as f64;
+                // Deep regime n_ub ≥ pp: activations = rb·(α·pp + β) / n_ub.
+                let deep = rb * (alpha * pp + beta) / budget;
+                if deep >= pp {
+                    deep
+                } else {
+                    shallow()
+                }
+            }
+        };
+        if !n_req.is_finite() || n_req <= 1.0 {
+            return if n_req.is_finite() { replica.ilog2() } else { 0 };
+        }
+        // Largest k with ceil(replica / 2^k) ≥ n_req.
+        let ratio = replica as f64 / n_req;
+        if ratio < 1.0 {
+            0
+        } else {
+            (ratio.log2().floor() as u32).min(replica.ilog2())
+        }
     }
 }
 
@@ -504,6 +700,81 @@ mod tests {
         assert!(!mem.fits((best + 1) as f64, 4, cap));
         // An impossible capacity yields None.
         assert_eq!(mem.max_microbatch(4, 1e6, 4096), None);
+    }
+
+    /// The reference the closed-form solve must reproduce: walk every rung
+    /// of the power-of-two trial ladder and keep the last one that fits.
+    fn brute_force_ladder(
+        mem: &MemoryModel,
+        replica: usize,
+        replica_batch: f64,
+        cap: f64,
+    ) -> Option<u32> {
+        let mut best = None;
+        for k in 0..=replica.max(1).ilog2() {
+            let n_ub = replica.max(1).div_ceil(1 << k);
+            if mem.fits(replica_batch / n_ub as f64, n_ub, cap) {
+                best = Some(k);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn closed_form_solve_matches_trial_ladder() {
+        let m = model();
+        let p = Parallelism::builder().tp(2, 1).pp(4, 1).dp(2, 1).build().unwrap();
+        for schedule in [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB] {
+            for recompute in
+                [RecomputePolicy::None, RecomputePolicy::Selective, RecomputePolicy::Full]
+            {
+                for cap in [16e9, 32e9, 80e9, 640e9] {
+                    let mem = MemoryModel::new(&m, &p)
+                        .with_schedule(schedule)
+                        .with_recompute(recompute)
+                        .with_optimizer(OptimizerSpec::sgd());
+                    let replica = 256usize;
+                    let rb = 256.0;
+                    let expect = brute_force_ladder(&mem, replica, rb, cap);
+                    match mem.solve_max_microbatch(replica, rb, cap) {
+                        Ok(fit) => {
+                            assert_eq!(Some(fit.ladder_index), expect);
+                            assert_eq!(fit.trial_microbatch, 1 << fit.ladder_index);
+                            assert_eq!(
+                                fit.num_microbatches,
+                                replica.div_ceil(fit.trial_microbatch)
+                            );
+                        }
+                        Err(_) => assert_eq!(expect, None, "{schedule:?}/{recompute:?}/{cap}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_solve_names_the_failing_inequality() {
+        let m = model();
+        let p = Parallelism::single();
+        let mem = MemoryModel::new(&m, &p);
+        // Static terms from the model itself, so the thresholds stay robust
+        // to parameter-count accounting changes.
+        let fp = mem.footprint(0.0, 1);
+        let cases = [
+            (fp.weights * 0.5, CapacityFailure::Weights),
+            (fp.weights + 0.5 * fp.gradients, CapacityFailure::Gradients),
+            (
+                fp.weights + fp.gradients + 0.5 * fp.optimizer,
+                CapacityFailure::Optimizer,
+            ),
+            // ~1 GB of activation headroom < the ~3.7 GB a single ub = 1
+            // microbatch stores on this model.
+            (fp.total() + 1e9, CapacityFailure::Activations),
+        ];
+        for (cap, expect) in cases {
+            assert_eq!(mem.solve_max_microbatch(64, 64.0, cap), Err(expect), "cap {cap}");
+        }
+        assert_eq!(CapacityFailure::Gradients.to_string(), "gradients");
     }
 
     #[test]

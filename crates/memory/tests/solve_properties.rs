@@ -1,0 +1,134 @@
+//! Property test for the closed-form max-microbatch solve: on randomized
+//! model/parallelism/schedule/capacity inputs it must agree exactly with
+//! the brute-force power-of-two trial loop it replaces — the same ladder
+//! the search tuner walks — including the zero-feasible-variant edge case,
+//! where the failing capacity inequality must match the footprint at the
+//! most feasible rung.
+
+use amped_core::{Parallelism, Precision, TransformerModel};
+use amped_memory::{
+    CapacityFailure, MemoryModel, OptimizerSpec, PipelineSchedule, RecomputePolicy,
+};
+use proptest::prelude::*;
+
+/// Largest fitting rung of the trial ladder, by exhaustive evaluation.
+fn brute_force_ladder(
+    mem: &MemoryModel,
+    replica: usize,
+    replica_batch: f64,
+    cap: f64,
+) -> Option<u32> {
+    let mut best = None;
+    for k in 0..=replica.ilog2() {
+        let n_ub = replica.div_ceil(1 << k);
+        if mem.fits(replica_batch / n_ub as f64, n_ub, cap) {
+            best = Some(k);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn closed_form_solve_agrees_with_trial_loop(
+        (layers, heads_ix, hidden_per_head) in (2usize..40, 0usize..3, 8usize..65),
+        (seq_exp, vocab) in (6u32..12, 1000usize..60000),
+        (tp_exp, pp_exp, dp_exp) in (0u32..4, 0u32..4, 0u32..4),
+        (replica_exp, cap_exp) in (0u32..13, 0u8..4),
+        (schedule_ix, recompute_ix, opt_ix) in (0u8..2, 0u8..3, 0u8..3),
+        cap_frac in 0.01f64..1.0,
+    ) {
+        let heads = [4usize, 8, 16][heads_ix];
+        let Ok(model) = TransformerModel::builder("prop-m")
+            .layers(layers)
+            .hidden_size(heads * hidden_per_head)
+            .heads(heads)
+            .seq_len(1 << seq_exp)
+            .vocab_size(vocab)
+            .build()
+        else {
+            return Ok(());
+        };
+        let Ok(parallelism) = Parallelism::builder()
+            .tp(1 << tp_exp, 1)
+            .pp(1 << pp_exp, 1)
+            .dp(1 << dp_exp, 1)
+            .build()
+        else {
+            return Ok(());
+        };
+        let schedule = [PipelineSchedule::GPipe, PipelineSchedule::OneFOneB][schedule_ix as usize];
+        let recompute = [
+            RecomputePolicy::None,
+            RecomputePolicy::Selective,
+            RecomputePolicy::Full,
+        ][recompute_ix as usize];
+        let optimizer = [
+            OptimizerSpec::adam_mixed_precision(),
+            OptimizerSpec::sgd_momentum(),
+            OptimizerSpec::sgd(),
+        ][opt_ix as usize]
+            .clone();
+        let mem = MemoryModel::new(&model, &parallelism)
+            .with_precision(Precision::fp16())
+            .with_schedule(schedule)
+            .with_recompute(recompute)
+            .with_optimizer(optimizer);
+
+        let replica = 1usize << replica_exp;
+        let replica_batch = replica as f64;
+        // Capacities spanning hopeless (a fraction of the static bytes)
+        // through generous (far above any rung's peak).
+        let static_bytes = mem.footprint(0.0, 1).total();
+        let peak = mem
+            .footprint(replica_batch, 1)
+            .total()
+            .max(static_bytes + 1.0);
+        let cap = match cap_exp {
+            0 => static_bytes * cap_frac,
+            1 => static_bytes + (peak - static_bytes) * cap_frac,
+            2 => peak * (1.0 + cap_frac),
+            _ => 80e9,
+        };
+
+        // The ladder's feasibility flags must form a monotone prefix —
+        // activation memory is monotone in the microbatch size — which is
+        // the contract that lets the batch path derive every rung's flag
+        // from the single solved index.
+        let flags: Vec<bool> = (0..=replica.ilog2())
+            .map(|k| {
+                let n_ub = replica.div_ceil(1 << k);
+                mem.fits(replica_batch / n_ub as f64, n_ub, cap)
+            })
+            .collect();
+        for w in flags.windows(2) {
+            prop_assert!(w[0] || !w[1], "non-monotone ladder: {flags:?}");
+        }
+
+        match (mem.solve_max_microbatch(replica, replica_batch, cap),
+               brute_force_ladder(&mem, replica, replica_batch, cap)) {
+            (Ok(fit), Some(k)) => {
+                prop_assert_eq!(fit.ladder_index, k);
+                prop_assert_eq!(fit.trial_microbatch, 1usize << k);
+                prop_assert_eq!(fit.num_microbatches, replica.div_ceil(1usize << k));
+            }
+            (Err(failure), None) => {
+                let n_ub = replica; // rung 0: the most feasible point
+                let expect = mem
+                    .footprint(replica_batch / n_ub as f64, n_ub)
+                    .capacity_failure(cap);
+                prop_assert_eq!(failure, expect);
+                // An infeasible ladder never blames a term that fits on its
+                // own: the named inequality really is violated.
+                let weights_blamed_correctly = failure != CapacityFailure::Weights
+                    || mem.footprint(0.0, 1).weights > cap;
+                prop_assert!(weights_blamed_correctly);
+            }
+            (got, expect) => {
+                prop_assert!(false, "solver {got:?} vs brute force {expect:?}");
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! drift apart.
 
 use amped_core::{Estimate, ResilienceReport};
-use amped_search::{Candidate, Recommendation, Sweep};
+use amped_search::{Candidate, Recommendation, SearchStats, Sweep};
 use serde_json::Value;
 
 /// The estimate artifact: the bare [`Estimate`] document, or an
@@ -45,6 +45,23 @@ pub fn search_row(c: &Candidate) -> Value {
 pub fn search_rows(results: &[Candidate], top: usize) -> Value {
     let rows: Vec<Value> = results.iter().take(top).map(search_row).collect();
     serde_json::to_value(&rows)
+}
+
+/// The full search artifact: the ranked rows plus the memory-rejection
+/// accounting, naming which capacity inequality each rejected mapping
+/// first failed. Both front-ends (`amped search --json` and
+/// `/v1/search`) render through this builder.
+pub fn search_value(results: &[Candidate], top: usize, stats: &SearchStats) -> Value {
+    serde_json::json!({
+        "rows": search_rows(results, top),
+        "memory_rejected": {
+            "total": stats.memory_rejected.total(),
+            "weights": stats.memory_rejected.weights,
+            "gradients": stats.memory_rejected.gradients,
+            "optimizer": stats.memory_rejected.optimizer,
+            "activations": stats.memory_rejected.activations,
+        },
+    })
 }
 
 /// The recommend artifact: the winning mapping with its alternatives,
@@ -141,6 +158,29 @@ mod tests {
         let text = serde_json::to_string_pretty(&rows).unwrap();
         assert_eq!(text.matches("\"backend\"").count(), 2);
         assert!(text.contains("\"analytical\""));
+    }
+
+    #[test]
+    fn search_value_bundles_rows_with_rejection_accounting() {
+        let (model, accel, system) = fixture();
+        let training = TrainingConfig::new(64, 10).unwrap();
+        let (results, stats) = SearchEngine::new(&model, &accel, &system)
+            .with_memory_filter(true)
+            .search_with_stats(&training)
+            .unwrap();
+        let doc = search_value(&results, 3, &stats);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        for key in [
+            "\"rows\"",
+            "\"memory_rejected\"",
+            "\"weights\"",
+            "\"gradients\"",
+            "\"optimizer\"",
+            "\"activations\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        assert_eq!(text.matches("\"backend\"").count(), 3.min(results.len()));
     }
 
     #[test]

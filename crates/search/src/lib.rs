@@ -69,12 +69,15 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use amped_core::{
-    AcceleratorSpec, CacheLease, CachePool, CostBackend, EfficiencyModel, EngineOptions, Estimate,
-    EstimateCache, Estimator, MicrobatchPolicy, Parallelism, Precision, ResilienceParams,
-    ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
+    AcceleratorSpec, BatchEvaluator, CacheLease, CachePool, CostBackend, EfficiencyModel,
+    EngineOptions, Estimate, EstimateCache, Estimator, MicrobatchPolicy, Parallelism, Precision,
+    ResilienceParams, ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig,
+    TransformerModel, ZeroConfig,
 };
 use amped_energy::{EnergyEstimate, PowerModel};
-use amped_memory::{MemoryFootprint, MemoryModel, OptimizerSpec, PipelineSchedule};
+use amped_memory::{MemoryFootprint, MemoryModel, MicrobatchFit, OptimizerSpec, PipelineSchedule};
+
+pub use amped_memory::CapacityFailure;
 use amped_obs::Observer;
 use amped_sim::{FaultPlan, SimBackend};
 use serde::{Deserialize, Serialize};
@@ -299,8 +302,10 @@ fn refined_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
 enum Outcome {
     /// Skipped: its lower bound already exceeded the incumbent best time.
     Pruned,
-    /// Evaluated, but every microbatch variant failed the memory filter.
-    Filtered,
+    /// Evaluated, but every microbatch variant failed the memory filter;
+    /// carries the first capacity inequality violated (at the smallest
+    /// microbatch, the mapping's most feasible point).
+    Filtered(CapacityFailure),
     /// Evaluated and retained.
     Kept {
         /// The candidate's compute-only lower bound (`-inf` when pruning is
@@ -309,6 +314,63 @@ enum Outcome {
         /// The winning microbatch variant.
         candidate: Box<Candidate>,
     },
+}
+
+/// One evaluated mapping: the winning microbatch variant, or the capacity
+/// inequality that rejected every variant.
+pub(crate) type Scored = std::result::Result<Box<Candidate>, CapacityFailure>;
+
+/// One closed-form max-microbatch solve: the highest fitting ladder rung,
+/// or the capacity inequality that rejects even the smallest microbatch.
+type SolveOutcome = std::result::Result<MicrobatchFit, CapacityFailure>;
+
+/// Memory-rejection counts of one search pass, split by which capacity
+/// inequality failed first (checked in footprint order: weights, then
+/// +gradients, then +optimizer, then +activations — see
+/// [`CapacityFailure`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRejections {
+    /// Weights alone exceed device memory.
+    pub weights: u64,
+    /// Weights + gradients exceed device memory.
+    pub gradients: u64,
+    /// Weights + gradients + optimizer state exceed device memory.
+    pub optimizer: u64,
+    /// The full footprint (with activations) exceeds device memory at
+    /// every microbatch size.
+    pub activations: u64,
+}
+
+impl MemoryRejections {
+    /// Total mappings rejected by the memory filter.
+    pub fn total(&self) -> u64 {
+        self.weights + self.gradients + self.optimizer + self.activations
+    }
+
+    fn record(&mut self, failure: CapacityFailure) {
+        match failure {
+            CapacityFailure::Weights => self.weights += 1,
+            CapacityFailure::Gradients => self.gradients += 1,
+            CapacityFailure::Optimizer => self.optimizer += 1,
+            CapacityFailure::Activations => self.activations += 1,
+        }
+    }
+}
+
+/// Candidate accounting of one search pass. The identities
+/// `generated = pruned + kept + memory_rejected.total()` hold exactly at
+/// any worker count (the pruned/kept split itself depends on thread timing
+/// only when pruning is on; the retained ranking never does).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Mappings enumerated.
+    pub generated: u64,
+    /// Mappings skipped by branch-and-bound pruning.
+    pub pruned: u64,
+    /// Mappings that produced a ranked candidate.
+    pub kept: u64,
+    /// Mappings rejected by the memory filter, by failing inequality.
+    pub memory_rejected: MemoryRejections,
 }
 
 /// Evaluates and ranks every mapping of a model onto a system.
@@ -329,6 +391,7 @@ pub struct SearchEngine<'a> {
     jobs: usize,
     prune: bool,
     memoize: bool,
+    batch: bool,
     refine_sim: usize,
     goodput: Option<GoodputOptions>,
     fault_plan: Option<FaultPlan>,
@@ -390,6 +453,7 @@ impl<'a> SearchEngine<'a> {
             jobs: 0,
             prune: false,
             memoize: true,
+            batch: true,
             refine_sim: 0,
             goodput: None,
             fault_plan: None,
@@ -537,6 +601,31 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
+    /// Use the batched evaluation path (default on): workers price chunks
+    /// of candidates through
+    /// [`BatchEvaluator::estimate_many`](amped_core::BatchEvaluator), which
+    /// hoists scenario-invariant work out of the per-candidate loop and
+    /// replaces the per-variant memory re-runs with the closed-form
+    /// max-microbatch solve
+    /// ([`MemoryModel::solve_max_microbatch`](amped_memory::MemoryModel::solve_max_microbatch)).
+    /// Batched estimates are bit-identical to the scalar memoized loop at
+    /// any worker count (pinned by differential tests), so turning this
+    /// off — the scalar reference for those tests — only changes speed.
+    /// Batching requires the memoized path and is inert when both
+    /// memoization and pruning are off.
+    pub fn with_batching(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Whether searches run through the batched evaluation path: batching
+    /// enabled on an engine whose estimates go through the memoized path
+    /// (which the batch evaluator is bit-identical to — the unmemoized
+    /// reference differs by float associativity).
+    fn batching_active(&self) -> bool {
+        self.batch && (self.memoize || self.prune)
+    }
+
     /// Use the memoized estimation path (default on): each worker carries
     /// an [`EstimateCache`](amped_core::EstimateCache) so scenario-invariant
     /// sub-results are computed once per search, not per candidate. Turning
@@ -621,6 +710,22 @@ impl<'a> SearchEngine<'a> {
     /// Propagates estimator errors (which indicate an internal inconsistency
     /// — enumerated mappings have already been validated).
     pub fn search(&self, training: &TrainingConfig) -> Result<Vec<Candidate>> {
+        Ok(self.search_with_stats(training)?.0)
+    }
+
+    /// [`SearchEngine::search`], additionally returning the pass's
+    /// candidate accounting — including *which* capacity inequality
+    /// rejected each memory-filtered mapping (weights, gradients,
+    /// optimizer state, or activations), classified at the mapping's
+    /// smallest microbatch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SearchEngine::search`].
+    pub fn search_with_stats(
+        &self,
+        training: &TrainingConfig,
+    ) -> Result<(Vec<Candidate>, SearchStats)> {
         let mappings = {
             let _phase = self.observer.as_ref().map(|o| o.phase("search.enumerate"));
             enumerate_mappings(self.system, self.model, &self.enumeration)
@@ -628,24 +733,26 @@ impl<'a> SearchEngine<'a> {
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
         let outcomes = {
             let _phase = self.observer.as_ref().map(|o| o.phase("search.explore"));
-            self.run_parallel(mappings.len(), |cache, i| {
-                self.explore(cache, &mappings[i], training, &best_bits)
-            })
+            self.explore_all(&mappings, training, &best_bits)
         };
         let _rank_phase = self.observer.as_ref().map(|o| o.phase("search.rank"));
-        let mut n_pruned = 0u64;
-        let mut n_filtered = 0u64;
+        let mut stats = SearchStats {
+            generated: mappings.len() as u64,
+            ..SearchStats::default()
+        };
         let mut kept: Vec<(f64, Candidate)> = Vec::new();
         for outcome in outcomes {
             match outcome? {
-                Outcome::Pruned => n_pruned += 1,
-                Outcome::Filtered => n_filtered += 1,
+                Outcome::Pruned => stats.pruned += 1,
+                Outcome::Filtered(failure) => stats.memory_rejected.record(failure),
                 Outcome::Kept {
                     lower_bound,
                     candidate,
                 } => kept.push((lower_bound, *candidate)),
             }
         }
+        stats.kept = kept.len() as u64;
+        let n_filtered = stats.memory_rejected.total();
         if let Some(obs) = &self.observer {
             // Counted post-hoc from the collected outcomes, so workers never
             // touch shared counters in their hot loop. The identities
@@ -653,7 +760,7 @@ impl<'a> SearchEngine<'a> {
             // evaluated = kept + memory_rejected hold exactly at any worker
             // count (the pruned/evaluated split itself is timing-dependent).
             obs.add("search.candidates.generated", mappings.len() as u64);
-            obs.add("search.candidates.pruned", n_pruned);
+            obs.add("search.candidates.pruned", stats.pruned);
             obs.add("search.candidates.memory_rejected", n_filtered);
             obs.add("search.candidates.kept", kept.len() as u64);
             obs.add("search.candidates.evaluated", n_filtered + kept.len() as u64);
@@ -676,7 +783,7 @@ impl<'a> SearchEngine<'a> {
             let _phase = self.observer.as_ref().map(|o| o.phase("search.refine"));
             self.refine(&mut out, training)?;
         }
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Re-price the analytical top-`refine_sim` candidates through
@@ -733,8 +840,42 @@ impl<'a> SearchEngine<'a> {
         Ok(())
     }
 
+    /// Explore every mapping over the worker pool, returning outcomes in
+    /// mapping order: chunked through the batch evaluator when batching is
+    /// active, the scalar per-candidate path otherwise. Both paths produce
+    /// bit-identical outcomes (pinned by differential tests); the chunk
+    /// size only shapes wall-clock.
+    fn explore_all(
+        &self,
+        mappings: &[Parallelism],
+        training: &TrainingConfig,
+        best_bits: &AtomicU64,
+    ) -> Vec<Result<Outcome>> {
+        if !self.batching_active() {
+            return self.run_parallel(mappings.len(), |cache, i| {
+                self.explore(cache, &mappings[i], training, best_bits)
+            });
+        }
+        // Small enough chunks keep the pool load-balanced (several chunks
+        // per worker), large enough ones amortize the batch setup. The
+        // boundary cannot change results — only the incumbent's tightening
+        // cadence, which the deterministic post-filter normalizes.
+        let jobs = self.effective_jobs(mappings.len());
+        let chunk = (mappings.len() / (4 * jobs)).clamp(1, 64);
+        let n_chunks = mappings.len().div_ceil(chunk);
+        let chunks = self.run_parallel(n_chunks, |cache, ci| {
+            let start = ci * chunk;
+            let end = (start + chunk).min(mappings.len());
+            Ok(self.explore_chunk(cache, &mappings[start..end], training, best_bits))
+        });
+        chunks
+            .into_iter()
+            .flat_map(|c| c.expect("chunk exploration itself is infallible"))
+            .collect()
+    }
+
     /// Lower-bound, prune, evaluate and score one mapping against the
-    /// shared incumbent best time.
+    /// shared incumbent best time — the scalar exploration path.
     fn explore(
         &self,
         cache: &mut EstimateCache,
@@ -757,15 +898,96 @@ impl<'a> SearchEngine<'a> {
         };
         let _span = self.observer.as_ref().map(|o| o.span("evaluate"));
         match self.evaluate(cache, p, training)? {
-            None => Ok(Outcome::Filtered),
-            Some(candidate) => {
+            Err(failure) => Ok(Outcome::Filtered(failure)),
+            Ok(candidate) => {
                 best_bits.fetch_min(candidate.objective_time().to_bits(), Ordering::Relaxed);
                 Ok(Outcome::Kept {
                     lower_bound,
-                    candidate: Box::new(candidate),
+                    candidate,
                 })
             }
         }
+    }
+
+    /// Explore a contiguous run of mappings through one
+    /// [`BatchEvaluator::estimate_many`] call: prune per mapping against
+    /// the incumbent, then price every surviving mapping's microbatch
+    /// variants in a single batch and fold each mapping's variants exactly
+    /// as the scalar path does.
+    fn explore_chunk(
+        &self,
+        cache: &mut EstimateCache,
+        chunk: &[Parallelism],
+        training: &TrainingConfig,
+        best_bits: &AtomicU64,
+    ) -> Vec<Result<Outcome>> {
+        let mut out: Vec<Option<Result<Outcome>>> = (0..chunk.len()).map(|_| None).collect();
+        let mut lower_bounds = vec![f64::NEG_INFINITY; chunk.len()];
+        let mut spans = vec![(0usize, 0usize); chunk.len()];
+        let mut plans: Vec<Option<(MemoryModel<'_>, Option<SolveOutcome>)>> =
+            (0..chunk.len()).map(|_| None).collect();
+        let mut batched: Vec<Parallelism> = Vec::new();
+        for (i, p) in chunk.iter().enumerate() {
+            if self.prune {
+                let _span = self.observer.as_ref().map(|o| o.span("prune"));
+                match self.candidate_lower_bound(cache, p, training) {
+                    Err(e) => {
+                        out[i] = Some(Err(e));
+                        continue;
+                    }
+                    Ok(lb) if lb > f64::from_bits(best_bits.load(Ordering::Relaxed)) => {
+                        out[i] = Some(Ok(Outcome::Pruned));
+                        continue;
+                    }
+                    Ok(lb) => lower_bounds[i] = lb,
+                }
+            }
+            let mem_model = self.memory_model(p);
+            let start = batched.len();
+            let (len, solved) = self.plan_variants(&mem_model, p, training, &mut batched);
+            spans[i] = (start, len);
+            plans[i] = Some((mem_model, solved));
+        }
+        let estimates = self.batch_evaluator().estimate_many(cache, &batched, training);
+        for (i, plan) in plans.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            let (mem_model, solved) = plan.as_ref().expect("unresolved slots carry a plan");
+            let (start, len) = spans[i];
+            let _span = self.observer.as_ref().map(|o| o.span("evaluate"));
+            let outcome = self
+                .score_mapping(
+                    mem_model,
+                    solved,
+                    &batched[start..start + len],
+                    &estimates[start..start + len],
+                    training,
+                )
+                .map(|scored| match scored {
+                    Err(failure) => Outcome::Filtered(failure),
+                    Ok(candidate) => {
+                        best_bits
+                            .fetch_min(candidate.objective_time().to_bits(), Ordering::Relaxed);
+                        Outcome::Kept {
+                            lower_bound: lower_bounds[i],
+                            candidate,
+                        }
+                    }
+                });
+            out[i] = Some(outcome);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every chunk slot is scored"))
+            .collect()
+    }
+
+    /// This engine's configuration as a [`BatchEvaluator`].
+    fn batch_evaluator(&self) -> BatchEvaluator<'a> {
+        BatchEvaluator::new(self.model, self.accel, self.system)
+            .with_precision(self.precision)
+            .with_efficiency(self.efficiency.clone())
+            .with_options(self.engine_options)
     }
 
     /// How many worker threads a run over `tasks` items should use.
@@ -906,7 +1128,10 @@ impl<'a> SearchEngine<'a> {
 
     /// Evaluate one mapping: with tuning on, try every power-of-two
     /// microbatch size and keep the fastest memory-feasible variant
-    /// (fastest overall if nothing fits and the filter is off).
+    /// (fastest overall if nothing fits and the filter is off). When the
+    /// filter rejects every variant, report which capacity inequality
+    /// failed first (classified at the smallest microbatch, the mapping's
+    /// most feasible point — matching the closed-form solve's verdict).
     ///
     /// Pruning requires estimates the lower bound is exact against, so it
     /// forces the memoized path even when memoization is off.
@@ -915,9 +1140,10 @@ impl<'a> SearchEngine<'a> {
         cache: &mut EstimateCache,
         p: &Parallelism,
         training: &TrainingConfig,
-    ) -> Result<Option<Candidate>> {
+    ) -> Result<Scored> {
         let use_cache = self.memoize || self.prune;
         let mut best: Option<Candidate> = None;
+        let mut first_failure: Option<CapacityFailure> = None;
         for variant in self.microbatch_variants(p, training) {
             let estimator = Estimator::new(self.model, self.accel, self.system, &variant)
                 .with_precision(self.precision)
@@ -936,6 +1162,9 @@ impl<'a> SearchEngine<'a> {
             let memory = mem_model.footprint(estimate.microbatch_size, estimate.num_microbatches);
             let fits_memory = memory.total() <= self.accel.memory_bytes();
             if self.require_memory_fit && !fits_memory {
+                if first_failure.is_none() {
+                    first_failure = Some(memory.capacity_failure(self.accel.memory_bytes()));
+                }
                 continue;
             }
             let better = match &best {
@@ -960,10 +1189,195 @@ impl<'a> SearchEngine<'a> {
                 });
             }
         }
-        if let (Some(goodput), Some(candidate)) = (&self.goodput, best.as_mut()) {
-            candidate.resilience = Some(self.resilience_report(goodput, candidate)?);
+        let Some(mut candidate) = best else {
+            return Ok(Err(first_failure
+                .expect("a mapping with no retained variant had a rejected one")));
+        };
+        if let Some(goodput) = &self.goodput {
+            candidate.resilience = Some(self.resilience_report(goodput, &candidate)?);
         }
-        Ok(best)
+        Ok(Ok(Box::new(candidate)))
+    }
+
+    /// Evaluate one mapping through the configured path: batched when
+    /// batching is active, the scalar per-variant loop otherwise. The
+    /// sweep grid evaluates through this dispatcher.
+    pub(crate) fn evaluate_cell(
+        &self,
+        cache: &mut EstimateCache,
+        p: &Parallelism,
+        training: &TrainingConfig,
+    ) -> Result<Scored> {
+        if self.batching_active() {
+            self.evaluate_mapping_batched(cache, p, training)
+        } else {
+            self.evaluate(cache, p, training)
+        }
+    }
+
+    /// Evaluate one mapping's microbatch variants through the batch
+    /// evaluator — [`SearchEngine::evaluate`] semantics, bit-identical
+    /// results, one `estimate_many` call instead of a per-variant loop.
+    fn evaluate_mapping_batched(
+        &self,
+        cache: &mut EstimateCache,
+        p: &Parallelism,
+        training: &TrainingConfig,
+    ) -> Result<Scored> {
+        let mem_model = self.memory_model(p);
+        let mut variants = Vec::new();
+        let (_, solved) = self.plan_variants(&mem_model, p, training, &mut variants);
+        let estimates = self.batch_evaluator().estimate_many(cache, &variants, training);
+        self.score_mapping(&mem_model, &solved, &variants, &estimates, training)
+    }
+
+    /// This mapping's per-device memory model under the engine's
+    /// precision, optimizer, schedule and recompute policy.
+    fn memory_model<'m>(&'m self, p: &'m Parallelism) -> MemoryModel<'m> {
+        MemoryModel::new(self.model, p)
+            .with_precision(self.precision)
+            .with_optimizer(self.optimizer.clone())
+            .with_schedule(self.schedule)
+            .with_activation_recompute(self.engine_options.activation_recompute)
+    }
+
+    /// The microbatch variants worth pricing for `p`, with the closed-form
+    /// memory solve that justifies any truncation. The tuning ladder is
+    /// exactly the solver's (trial microbatch `2^k`), and feasibility is a
+    /// prefix of the ladder, so:
+    ///
+    /// * when some rung fits, rungs past `ladder_index` can never win the
+    ///   `(fits, time)` fold — a fitting variant always beats a non-fitting
+    ///   one — and are not worth pricing;
+    /// * when nothing fits and the memory filter is on, the mapping will be
+    ///   rejected whatever the estimates say — one variant is still priced
+    ///   so engine-level validation errors propagate exactly as the scalar
+    ///   path propagates them (estimate errors depend only on the mapping
+    ///   and engine configuration, never on the microbatch count).
+    ///
+    /// Without tuning the single variant carries its own policy, which
+    /// need not be a ladder point — no solve, direct footprints instead.
+    ///
+    /// Variants are appended to `out` (the caller's shared batch buffer —
+    /// one allocation per chunk instead of one per mapping); the returned
+    /// count is the appended span's length.
+    fn plan_variants(
+        &self,
+        mem_model: &MemoryModel<'_>,
+        p: &Parallelism,
+        training: &TrainingConfig,
+        out: &mut Vec<Parallelism>,
+    ) -> (usize, Option<SolveOutcome>) {
+        if !self.tune_microbatches {
+            out.push(*p);
+            return (1, None);
+        }
+        let replica = (training.global_batch() / p.dp()).max(1);
+        let solved = mem_model.solve_max_microbatch(
+            replica,
+            p.replica_batch(training.global_batch()),
+            self.accel.memory_bytes(),
+        );
+        let limit = match &solved {
+            Ok(fit) => Some(fit.ladder_index as usize),
+            Err(_) if self.require_memory_fit => Some(0),
+            Err(_) => None,
+        };
+        let mut len = 0usize;
+        let mut ub = 1usize;
+        while ub <= replica && limit.is_none_or(|l| len <= l) {
+            out.push(p.with_microbatches(MicrobatchPolicy::Explicit(replica.div_ceil(ub))));
+            len += 1;
+            ub *= 2;
+        }
+        (len, Some(solved))
+    }
+
+    /// Fold one mapping's already-priced microbatch variants into its
+    /// winning candidate, replicating the scalar [`SearchEngine::evaluate`]
+    /// fold exactly. Memory feasibility comes from the closed-form
+    /// max-microbatch solve done by [`SearchEngine::plan_variants`] — one
+    /// solve per mapping instead of one footprint per variant (variant `k`
+    /// of the tuning ladder fits iff `k <= MicrobatchFit::ladder_index`,
+    /// since feasibility is a prefix of the ladder; the winner's stored
+    /// footprint is computed once at the end).
+    fn score_mapping(
+        &self,
+        mem_model: &MemoryModel<'_>,
+        solved: &Option<SolveOutcome>,
+        variants: &[Parallelism],
+        estimates: &[Result<Estimate>],
+        training: &TrainingConfig,
+    ) -> Result<Scored> {
+        let capacity = self.accel.memory_bytes();
+        // (index, fits, total_time) of the incumbent — estimates stay
+        // borrowed, only the winner is cloned at the end.
+        let mut best: Option<(usize, bool, f64)> = None;
+        let mut first_failure: Option<CapacityFailure> = None;
+        debug_assert_eq!(variants.len(), estimates.len());
+        for (k, priced) in estimates.iter().enumerate() {
+            let estimate = match priced {
+                Ok(e) => e,
+                Err(e) => return Err(e.clone()),
+            };
+            let fits_memory = match &solved {
+                Some(Ok(fit)) => k as u32 <= fit.ladder_index,
+                Some(Err(failure)) => {
+                    if first_failure.is_none() {
+                        first_failure = Some(*failure);
+                    }
+                    false
+                }
+                None => {
+                    let memory =
+                        mem_model.footprint(estimate.microbatch_size, estimate.num_microbatches);
+                    let fits = memory.total() <= capacity;
+                    if !fits && first_failure.is_none() {
+                        first_failure = Some(memory.capacity_failure(capacity));
+                    }
+                    fits
+                }
+            };
+            if self.require_memory_fit && !fits_memory {
+                continue;
+            }
+            let time = estimate.total_time.get();
+            let better = match &best {
+                None => true,
+                // Prefer fitting candidates, then faster ones.
+                Some((_, b_fits, b_time)) => {
+                    (fits_memory, std::cmp::Reverse(time))
+                        > (*b_fits, std::cmp::Reverse(*b_time))
+                }
+            };
+            if better {
+                best = Some((k, fits_memory, time));
+            }
+        }
+        let Some((k, fits_memory, _)) = best else {
+            return Ok(Err(first_failure
+                .expect("a mapping with no retained variant had a rejected one")));
+        };
+        let estimate = estimates[k]
+            .as_ref()
+            .expect("the retained winner priced cleanly")
+            .clone();
+        let variant = variants[k];
+        let memory = mem_model.footprint(estimate.microbatch_size, estimate.num_microbatches);
+        let energy = EnergyEstimate::from_estimate(&estimate, &self.power, training.num_batches());
+        let mut candidate = Candidate {
+            parallelism: variant,
+            estimate,
+            memory,
+            energy,
+            fits_memory,
+            refined: None,
+            resilience: None,
+        };
+        if let Some(goodput) = &self.goodput {
+            candidate.resilience = Some(self.resilience_report(goodput, &candidate)?);
+        }
+        Ok(Ok(Box::new(candidate)))
     }
 
     /// The checkpoint/restart expected-time report for one candidate: its
@@ -1042,7 +1456,7 @@ impl<'a> SearchEngine<'a> {
                     counts[0] += 1;
                     continue;
                 }
-                Outcome::Filtered => {
+                Outcome::Filtered(_) => {
                     counts[1] += 1;
                     continue;
                 }
@@ -1687,5 +2101,176 @@ mod tests {
                 _ => panic!("refinement outcome differs across worker counts"),
             }
         }
+    }
+
+    /// Every candidate field the batched path assembles, compared bitwise
+    /// against the scalar reference — stricter than
+    /// `assert_identical_rankings`.
+    fn assert_identical_candidates(a: &[Candidate], b: &[Candidate]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(parallelism_key(&x.parallelism), parallelism_key(&y.parallelism));
+            assert_eq!(
+                x.estimate.total_time.get().to_bits(),
+                y.estimate.total_time.get().to_bits()
+            );
+            assert_eq!(
+                x.estimate.time_per_iteration.get().to_bits(),
+                y.estimate.time_per_iteration.get().to_bits()
+            );
+            assert_eq!(x.estimate.num_microbatches, y.estimate.num_microbatches);
+            assert_eq!(
+                x.estimate.microbatch_size.to_bits(),
+                y.estimate.microbatch_size.to_bits()
+            );
+            assert_eq!(x.fits_memory, y.fits_memory);
+            assert_eq!(x.memory.total().to_bits(), y.memory.total().to_bits());
+            assert_eq!(
+                x.energy.total_joules().to_bits(),
+                y.energy.total_joules().to_bits()
+            );
+            match (&x.resilience, &y.resilience) {
+                (Some(rx), Some(ry)) => {
+                    assert_eq!(rx.expected_s.to_bits(), ry.expected_s.to_bits());
+                }
+                (None, None) => {}
+                _ => panic!("resilience attachment differs between paths"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_search_is_bit_identical_to_scalar_at_any_worker_count() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::saturating(0.9, 4.0, 0.1, 0.9));
+        let scalar = base
+            .clone()
+            .with_batching(false)
+            .with_parallelism(1)
+            .search(&training)
+            .unwrap();
+        for jobs in [1, 4] {
+            let batched = base
+                .clone()
+                .with_parallelism(jobs)
+                .search(&training)
+                .unwrap();
+            assert_identical_candidates(&scalar, &batched);
+        }
+    }
+
+    #[test]
+    fn batched_search_matches_scalar_under_memory_filter_and_goodput() {
+        let m = model();
+        let a = accel();
+        let sys = system(1, 2); // tight memory: the filter really rejects
+        let training = TrainingConfig::new(64, 100).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_memory_filter(true)
+            .with_goodput(GoodputOptions::new(1e6));
+        let scalar = base
+            .clone()
+            .with_batching(false)
+            .with_parallelism(1)
+            .search(&training)
+            .unwrap();
+        for jobs in [1, 4] {
+            let batched = base
+                .clone()
+                .with_parallelism(jobs)
+                .search(&training)
+                .unwrap();
+            assert_identical_candidates(&scalar, &batched);
+        }
+        assert!(scalar.iter().all(|c| c.resilience.is_some()));
+    }
+
+    #[test]
+    fn batched_pruned_search_matches_scalar_pruned() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_pruning(true);
+        let scalar = base
+            .clone()
+            .with_batching(false)
+            .with_parallelism(1)
+            .search(&training)
+            .unwrap();
+        for jobs in [1, 4] {
+            let batched = base
+                .clone()
+                .with_parallelism(jobs)
+                .search(&training)
+                .unwrap();
+            assert_identical_candidates(&scalar, &batched);
+        }
+    }
+
+    #[test]
+    fn batched_search_through_a_cache_pool_stays_bit_identical() {
+        let m = model();
+        let a = accel();
+        let sys = system(4, 8);
+        let training = TrainingConfig::new(512, 10).unwrap();
+        let scalar = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_batching(false)
+            .with_parallelism(1)
+            .search(&training)
+            .unwrap();
+        let pool = Arc::new(CachePool::new());
+        let pooled = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_cache_pool(pool.clone())
+            .with_parallelism(4);
+        // Cold pool, then warm pool: both bit-identical to the scalar
+        // reference — batch fills caches with the same entries scalar would.
+        let cold = pooled.search(&training).unwrap();
+        assert_identical_candidates(&scalar, &cold);
+        let warm = pooled.search(&training).unwrap();
+        assert_identical_candidates(&scalar, &warm);
+    }
+
+    #[test]
+    fn search_stats_reconcile_and_classify_memory_rejections() {
+        let m = model();
+        let a = accel();
+        let sys = system(1, 2); // tight memory: rejections occur
+        let training = TrainingConfig::new(64, 1).unwrap();
+        let base = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .with_memory_filter(true);
+        let (results, stats) = base.clone().search_with_stats(&training).unwrap();
+        assert_eq!(stats.kept, results.len() as u64);
+        assert_eq!(
+            stats.generated,
+            stats.pruned + stats.kept + stats.memory_rejected.total()
+        );
+        assert!(
+            stats.memory_rejected.total() > 0,
+            "a 2-device cluster cannot fit every mapping of a 4096-hidden model"
+        );
+        // The scalar path classifies rejections identically.
+        let (_, scalar_stats) = base
+            .with_batching(false)
+            .search_with_stats(&training)
+            .unwrap();
+        assert_eq!(stats, scalar_stats);
+        // Without the filter nothing is memory-rejected.
+        let (_, open) = SearchEngine::new(&m, &a, &sys)
+            .with_efficiency(EfficiencyModel::Constant(0.5))
+            .search_with_stats(&training)
+            .unwrap();
+        assert_eq!(open.memory_rejected.total(), 0);
+        assert_eq!(open.generated, open.kept);
     }
 }

@@ -142,12 +142,36 @@ impl Sweep {
     ) -> Result<Sweep> {
         let trainings = trainings_for(batches, num_batches)?;
         let cols = trainings.len();
-        let results = engine.run_parallel(mappings.len() * cols, |_cache, i| {
-            let (row, col) = (i / cols.max(1), i % cols.max(1));
-            let scenario = engine.scenario_for(mappings[row].1);
-            backend.evaluate(&scenario, &trainings[col])
+        if mappings.is_empty() || cols == 0 {
+            return Ok(Sweep::assemble(mappings, batches, Vec::new(), backend.name()));
+        }
+        // One batched backend call per training column (each column shares
+        // a scenario and differs only in the candidate mapping), fanned out
+        // over the worker pool. Backends with a real batch path hoist the
+        // per-column invariants once; the default implementation loops
+        // `evaluate`, so cells stay bit-identical either way.
+        let plist: Vec<Parallelism> = mappings.iter().map(|(_, p)| *p).collect();
+        let scenario = engine.scenario_for(plist[0]);
+        let columns = engine.run_parallel(cols, |_cache, col| {
+            Ok(backend.evaluate_many(&scenario, &plist, &trainings[col]))
         });
-        let estimates = results.into_iter().collect::<Result<Vec<_>>>()?;
+        let mut columns: Vec<Vec<Option<Result<Estimate>>>> = columns
+            .into_iter()
+            .map(|c| {
+                c.expect("column dispatch is infallible")
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            })
+            .collect();
+        // Reassemble label-major, batch-minor; the first error in that
+        // (row, col) order wins, matching the per-cell path.
+        let mut estimates = Vec::with_capacity(mappings.len() * cols);
+        for row in 0..mappings.len() {
+            for column in columns.iter_mut() {
+                estimates.push(column[row].take().expect("each cell is taken once")?);
+            }
+        }
         Ok(Sweep::assemble(mappings, batches, estimates, backend.name()))
     }
 
@@ -296,11 +320,13 @@ impl<'a> SearchEngine<'a> {
         training: &TrainingConfig,
     ) -> Result<Candidate> {
         let mut cache = amped_core::EstimateCache::new();
-        self.evaluate(&mut cache, mapping, training)?.ok_or_else(|| {
-            amped_core::Error::incompatible(
-                "mapping was filtered out (exceeds device memory under every microbatch size)",
-            )
-        })
+        match self.evaluate_cell(&mut cache, mapping, training)? {
+            Ok(candidate) => Ok(*candidate),
+            Err(failure) => Err(amped_core::Error::incompatible(format!(
+                "mapping was filtered out (exceeds device memory under every microbatch size; \
+                 first failing inequality: {failure})",
+            ))),
+        }
     }
 
     /// Evaluate a mappings × trainings grid over the worker pool, returning
@@ -314,13 +340,13 @@ impl<'a> SearchEngine<'a> {
         let cols = trainings.len();
         let results = self.run_parallel(mappings.len() * cols, |cache, i| {
             let (row, col) = (i / cols.max(1), i % cols.max(1));
-            self.evaluate(cache, &mappings[row].1, &trainings[col])?
-                .ok_or_else(|| {
-                    amped_core::Error::incompatible(
-                        "mapping was filtered out (exceeds device memory under every microbatch \
-                         size)",
-                    )
-                })
+            match self.evaluate_cell(cache, &mappings[row].1, &trainings[col])? {
+                Ok(candidate) => Ok(*candidate),
+                Err(failure) => Err(amped_core::Error::incompatible(format!(
+                    "mapping was filtered out (exceeds device memory under every microbatch \
+                     size; first failing inequality: {failure})",
+                ))),
+            }
         });
         results.into_iter().collect()
     }

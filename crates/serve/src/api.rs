@@ -256,6 +256,7 @@ fn engine_for<'a>(
         .with_enumeration(EnumerationOptions::default())
         .with_parallelism(param_or(req, "jobs", 0)?)
         .with_pruning(param_switch(req, "prune"))
+        .with_batching(!param_switch(req, "no-batch"))
         .with_memory_filter(param_switch(req, "memory-filter"))
         .with_refine_sim(param_or(req, "refine-sim", 0)?)
         .with_cache_pool(Arc::clone(&state.pool))
@@ -266,10 +267,10 @@ fn search(state: &ServiceState, req: &Request) -> Result<Response> {
     let s = resolved_scenario(req)?;
     let observer = Arc::new(Observer::new());
     let engine = engine_for(state, req, &s, &observer)?;
-    let results = engine.search(&s.training)?;
+    let (results, stats) = engine.search_with_stats(&s.training)?;
     state.observer.absorb(&observer);
     let top: usize = param_or(req, "top", 10)?;
-    let value = amped_report::artifacts::search_rows(&results, top);
+    let value = amped_report::artifacts::search_value(&results, top, &stats);
     Ok(Response::json(to_json(&value)?))
 }
 

@@ -281,12 +281,16 @@ fn shutdown_endpoint_stops_the_server() {
 #[test]
 fn tiny_timeout_answers_504_without_wedging() {
     // A deadline the pricing of a search cannot meet: the client gets 504,
-    // the server stays healthy and drains cleanly.
+    // the server stays healthy and drains cleanly. The scalar path
+    // (`no-batch`) and a deep microbatch ladder keep the pricing safely
+    // over the 1 ms deadline regardless of how fast the batched fast
+    // path gets.
     let server = start(1, 8, 1);
     let addr = server.addr;
+    let heavy = SCENARIO.replace("\"global_batch\": 64", "\"global_batch\": 65536");
     let mut saw_timeout = false;
     for _ in 0..10 {
-        let (status, _body) = request(addr, "POST", "/v1/search?jobs=1", SCENARIO);
+        let (status, _body) = request(addr, "POST", "/v1/search?jobs=1&no-batch=1", &heavy);
         assert!(status == 200 || status == 504, "unexpected status {status}");
         if status == 504 {
             saw_timeout = true;

@@ -359,6 +359,36 @@ mod tests {
     }
 
     #[test]
+    fn default_evaluate_many_is_a_bitwise_passthrough() {
+        // SimBackend keeps the trait's default `evaluate_many` (a loop
+        // over `evaluate`): batched results must match per-candidate calls
+        // bit-for-bit, including per-slot errors for invalid mappings.
+        let base = Parallelism::builder().pp(2, 1).dp(4, 1).build().unwrap();
+        let s = scenario(base, 1, 8);
+        let training = TrainingConfig::new(32, 3).unwrap();
+        let mappings = vec![
+            base,
+            Parallelism::builder().pp(4, 1).dp(2, 1).build().unwrap(),
+            Parallelism::builder().pp(2, 1).build().unwrap(), // invalid: 2 != 8
+            Parallelism::builder().dp(8, 1).build().unwrap(),
+        ];
+        let backend = SimBackend::new();
+        let batched = backend.evaluate_many(&s, &mappings, &training);
+        assert_eq!(batched.len(), mappings.len());
+        for (p, b) in mappings.iter().zip(&batched) {
+            let scalar = backend.evaluate(&s.clone().with_parallelism(*p), &training);
+            match (scalar, b) {
+                (Ok(scalar), Ok(b)) => assert_eq!(
+                    scalar.total_time.get().to_bits(),
+                    b.total_time.get().to_bits()
+                ),
+                (Err(_), Err(_)) => {}
+                (scalar, b) => panic!("outcome mismatch: {scalar:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn evaluations_are_deterministic() {
         let p = Parallelism::builder().pp(2, 1).dp(4, 1).build().unwrap();
         let s = scenario(p, 1, 8);

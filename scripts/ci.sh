@@ -50,6 +50,19 @@ trap 'rm -rf "$obs_dir"' EXIT
 cargo run -q --release --example validate_metrics -- \
     "$obs_dir/metrics.json" "$obs_dir/trace.json"
 
+echo "==> batched-vs-scalar smoke (--no-batch --json must be byte-identical)"
+# The batched evaluate_many fast path and the one-candidate-at-a-time
+# scalar path must render the exact same bytes, at any worker count.
+./target/release/amped search --model mingpt-85m --accel v100 \
+    --nodes 2 --per-node 4 --batch 64 --top 5 --jobs 4 --memory-filter \
+    --json > "$obs_dir/search_batched.json"
+./target/release/amped search --model mingpt-85m --accel v100 \
+    --nodes 2 --per-node 4 --batch 64 --top 5 --jobs 4 --memory-filter \
+    --json --no-batch > "$obs_dir/search_scalar.json"
+cmp "$obs_dir/search_batched.json" "$obs_dir/search_scalar.json" \
+    || { echo "batched smoke failed: --no-batch output differs"; exit 1; }
+echo "batched smoke ok: outputs byte-identical"
+
 echo "==> serve smoke (daemon on an ephemeral port, one request per endpoint)"
 # Start the daemon on port 0, parse the listening line for the real port,
 # drive every endpoint through the raw-socket example client (no curl),
@@ -97,7 +110,11 @@ for name in ["health", "estimate", "search", "recommend", "resilience", "metrics
     doc = json.loads((d / f"{name}.json").read_text())
     assert doc, f"{name}: empty document"
 assert json.loads((d / "health.json").read_text())["status"] == "ok"
-assert "days" in json.loads((d / "search.json").read_text())[0]
+search = json.loads((d / "search.json").read_text())
+assert "days" in search["rows"][0]
+assert set(search["memory_rejected"]) == {
+    "total", "weights", "gradients", "optimizer", "activations"
+}, search["memory_rejected"]
 counters = json.loads((d / "metrics.json").read_text())["counters"]
 assert counters["serve.requests.received"] >= 5, counters
 sweep = (d / "sweep.csv").read_text()
