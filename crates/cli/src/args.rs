@@ -75,33 +75,6 @@ impl Args {
         self.switches.iter().any(|s| s == key)
     }
 
-    /// Parse a `--tp 8,2`-style pair of intra,inter degrees.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Usage`] for malformed pairs.
-    pub fn degree_pair(&self, key: &str, default: (usize, usize)) -> Result<(usize, usize), Error> {
-        let bad = |v: &str| Error::usage(format!("bad --{key}: {v} (expects INTRA[,INTER])"));
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => {
-                let parts: Vec<&str> = v.split(',').collect();
-                match parts.as_slice() {
-                    [a, b] => {
-                        let intra = a.parse().map_err(|_| bad(v))?;
-                        let inter = b.parse().map_err(|_| bad(v))?;
-                        Ok((intra, inter))
-                    }
-                    [a] => {
-                        let intra = a.parse().map_err(|_| bad(v))?;
-                        Ok((intra, 1))
-                    }
-                    _ => Err(bad(v)),
-                }
-            }
-        }
-    }
-
     /// Parse a `--stragglers 3` or `--stragglers 3x2.5`-style count with an
     /// optional slowdown factor (default 1.5).
     ///
@@ -140,16 +113,6 @@ mod tests {
         assert_eq!(a.parse_or("batch", 0usize).unwrap(), 1536);
         assert!(a.switch("json"));
         assert!(!a.switch("quiet"));
-    }
-
-    #[test]
-    fn degree_pairs() {
-        let a = args("x --tp 8,2 --pp 4");
-        assert_eq!(a.degree_pair("tp", (1, 1)).unwrap(), (8, 2));
-        assert_eq!(a.degree_pair("pp", (1, 1)).unwrap(), (4, 1));
-        assert_eq!(a.degree_pair("dp", (3, 3)).unwrap(), (3, 3));
-        assert!(args("x --tp a,b").degree_pair("tp", (1, 1)).is_err());
-        assert!(args("x --tp 1,2,3").degree_pair("tp", (1, 1)).is_err());
     }
 
     #[test]
@@ -212,7 +175,6 @@ mod fuzz {
             let _ = args.get_or("accel", "a100");
             let _ = args.switch("json");
             let _ = args.parse_or::<usize>("batch", 1);
-            let _ = args.degree_pair("tp", (1, 1));
             let _ = args.straggler_spec("stragglers");
         }
 

@@ -6,12 +6,12 @@
 
 use std::sync::Arc;
 
-use amped_configs::scenario::ResilienceSection;
-use amped_configs::{interconnects, registry};
+use amped_configs::pipeline::{FlagReader, FlagSet, Resolution, ScenarioDraft, Source};
+use amped_configs::registry;
+use amped_configs::scenario::{ResilienceSection, ResolvedScenario};
 use amped_core::{
-    AnalyticalBackend, CostBackend, EfficiencyModel, EngineOptions, Error, Estimator, Link,
-    MicrobatchPolicy, ObservedBackend, Parallelism, Precision, ResilienceReport, Result,
-    Scenario, SystemSpec, TrainingConfig, TransformerModel,
+    AnalyticalBackend, CostBackend, Error, Estimator, ObservedBackend, Parallelism,
+    ResilienceReport, Result,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_obs::Observer;
@@ -27,7 +27,9 @@ amped — analytical model for performance in distributed training of transforme
 usage: amped <command> [flags]
 
 commands:
-  presets                     list model and accelerator presets
+  presets                     list model, accelerator and scenario presets
+  schema                      print the versioned scenario schema (JSON):
+                              every section, field, type and flag mapping
   estimate                    predict training time for one mapping
   detail                      per-layer attribution of an estimate
   search                      rank all parallelism mappings on a system
@@ -44,7 +46,16 @@ commands:
                               search/recommend/sweep/resilience queries
   help                        this text
 
-common flags:
+scenario flags (every command below resolves its scenario through one
+layered pipeline — built-in defaults < --preset < --config < flags — the
+same precedence the HTTP API applies to ?preset=, request body, and query
+parameters):
+  --preset NAME               start from a named scenario preset
+                              (see `amped presets`, kind `scenario`)
+  --config FILE               scenario file overlay (JSON; fields not set
+                              in the file keep their lower-layer values)
+  --dump-resolved             print the resolved scenario with per-field
+                              provenance instead of running the command
   --model NAME                model preset (see `amped presets`)
   --accel NAME                accelerator preset (v100|p100|a100|h100)
   --nodes N                   number of nodes                  [default 1]
@@ -58,6 +69,7 @@ common flags:
   --microbatches N            explicit microbatch count
   --eff E                     constant efficiency in (0,1]
   --bits B                    uniform precision in bits        [default 16]
+  --recompute                 enable activation recomputation
   --json                      machine-readable output (estimate/search)
   --top K                     rows to print for search         [default 10]
   --jobs N                    worker threads for search/recommend/sweep
@@ -73,7 +85,6 @@ common flags:
   --no-batch                  search only: evaluate candidates one at a time
                               instead of through the batched fast path
                               (results are bit-identical either way)
-  --config FILE               load a JSON scenario file instead of flags
 
 observability flags (estimate/sweep/search/simulate/resilience):
   --metrics-out FILE          write a JSON run report: per-phase timings,
@@ -211,6 +222,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
     match args.command.as_deref() {
         None | Some("help") => Ok(HELP.to_string()),
         Some("presets") => presets(),
+        Some("schema") => to_json(&amped_configs::schema::schema_value()),
         Some("estimate") => estimate(args),
         Some("detail") => detail(args),
         Some("search") => search(args),
@@ -264,168 +276,65 @@ fn presets() -> Result<String> {
             ),
         ]);
     }
+    for name in registry::scenario_names() {
+        t.row([
+            "scenario".to_string(),
+            name.to_string(),
+            "complete scenario overlay for --preset / ?preset=".to_string(),
+        ]);
+    }
     Ok(t.to_ascii())
 }
 
-struct Setup {
-    model: TransformerModel,
-    accel: amped_core::AcceleratorSpec,
-    system: SystemSpec,
-    parallelism: Parallelism,
-    training: TrainingConfig,
-    precision: Precision,
-    efficiency: EfficiencyModel,
-    /// Engine options from a scenario file (`activation_recompute`);
-    /// defaults when driven by flags.
-    options: EngineOptions,
-    /// Failure/checkpoint parameters from a scenario file's `resilience`
-    /// section (flags override individual fields).
-    resilience: Option<ResilienceSection>,
-}
+/// [`Args`] as a [`FlagReader`], so the configs pipeline can collect the
+/// scenario flags without the CLI touching raw JSON sections.
+struct ArgsReader<'a>(&'a Args);
 
-impl Setup {
-    /// The parsed flags as an owned [`Scenario`], ready for any
-    /// [`CostBackend`].
-    fn scenario(&self) -> Scenario {
-        Scenario::new(
-            self.model.clone(),
-            self.accel.clone(),
-            self.system.clone(),
-            self.parallelism,
-        )
-        .with_precision(self.precision)
-        .with_efficiency(self.efficiency.clone())
-        .with_options(self.options)
+impl FlagReader for ArgsReader<'_> {
+    fn value(&self, key: &str) -> Option<String> {
+        self.0.get(key).map(String::from)
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.0.switch(key)
     }
 }
 
-fn setup(args: &Args) -> Result<Setup> {
-    // A scenario file overrides the individual flags wholesale.
-    if let Some(path) = args.get("config") {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| Error::io(path, e.to_string()))?;
-        let resolved = amped_configs::scenario::ScenarioConfig::from_json(&json)
-            .and_then(|s| s.resolve())?;
-        return Ok(Setup {
-            model: resolved.model,
-            accel: resolved.accelerator,
-            system: resolved.system,
-            parallelism: resolved.parallelism,
-            training: resolved.training,
-            precision: resolved.precision,
-            efficiency: resolved.efficiency,
-            options: resolved.options,
-            resilience: resolved.resilience,
-        });
-    }
-    let model_name = args.get_or("model", "gpt3-175b");
-    let model = registry::model(model_name)
-        .ok_or_else(|| Error::usage(format!("unknown model `{model_name}`")))?;
-    let accel_name = args.get_or("accel", "a100");
-    let accel = registry::accelerator(accel_name)
-        .ok_or_else(|| Error::usage(format!("unknown accelerator `{accel_name}`")))?;
-
-    let nodes: usize = args.parse_or("nodes", 1)?;
-    let per_node: usize = args.parse_or("per-node", 8)?;
-    let nics: usize = args.parse_or("nics", per_node)?;
-    let intra_gbps: f64 = args.parse_or("intra-gbps", 2400.0)?;
-    let inter_gbps: f64 = args.parse_or("inter-gbps", 200.0)?;
-    let intra = Link::new(
-        interconnects::nvlink3().latency_s,
-        intra_gbps * 1e9,
-    )
-    .with_topology(amped_topo::Topology::FullyConnected);
-    let inter = Link::new(interconnects::infiniband_hdr().latency_s, inter_gbps * 1e9);
-    let system = SystemSpec::new(nodes, per_node, intra, inter, nics)?;
-
-    let (tp_i, tp_x) = args.degree_pair("tp", (1, 1))?;
-    let (pp_i, pp_x) = args.degree_pair("pp", (1, 1))?;
-    let (dp_i, dp_x) = args.degree_pair("dp", (per_node / tp_i.max(1) / pp_i.max(1), nodes / tp_x.max(1) / pp_x.max(1)))?;
-    let mut builder = Parallelism::builder();
-    builder.tp(tp_i, tp_x).pp(pp_i, pp_x).dp(dp_i, dp_x);
-    if let Some(n) = args.get("microbatches") {
-        let n: usize = n
-            .parse()
-            .map_err(|_| Error::usage(format!("invalid --microbatches: {n}")))?;
-        builder.microbatches(MicrobatchPolicy::Explicit(n));
-    }
-    let parallelism = builder.build()?;
-
-    let batch: usize = args.parse_or("batch", 512)?;
-    let batches: u64 = args.parse_or("batches", 1)?;
-    let training = TrainingConfig::new(batch, batches)?;
-
-    let bits: u32 = args.parse_or("bits", 16)?;
-    let precision = Precision::uniform(bits);
-    let efficiency = match args.get("eff") {
-        Some(v) => {
-            let e: f64 = v
-                .parse()
-                .map_err(|_| Error::usage(format!("invalid --eff: {v}")))?;
-            EfficiencyModel::Constant(e)
-        }
-        None => amped_configs::efficiency::case_study(),
-    };
-
-    Ok(Setup {
-        model,
-        accel,
-        system,
-        parallelism,
-        training,
-        precision,
-        efficiency,
-        options: EngineOptions::default(),
-        resilience: None,
-    })
-}
-
-/// Failure/checkpoint parameters merged from the scenario file's
-/// `resilience` section and the command-line flags (flags win). `None`
-/// when neither the flags, the config nor `fallback_mtbf_hours` name an
-/// MTBF.
-fn resilience_section(
+/// Resolve a command's scenario through the layered pipeline:
+/// built-in defaults < `base` (command-specific defaults) < `--preset`
+/// < `--config` < flags. The identical stacking runs in `amped-serve`
+/// for `?preset=`, the request body and query parameters, which is what
+/// keeps the two front-ends byte-identical.
+fn resolution(
     args: &Args,
-    setup: &Setup,
-    fallback_mtbf_hours: Option<f64>,
-) -> Result<Option<ResilienceSection>> {
-    let from_config = setup.resilience;
-    let mtbf_flag: Option<f64> = match args.get("mtbf") {
-        Some(v) => Some(
-            v.parse()
-                .map_err(|_| Error::usage(format!("invalid --mtbf: {v}")))?,
-        ),
-        None => None,
-    };
-    let Some(node_mtbf_hours) = mtbf_flag
-        .or(from_config.map(|r| r.node_mtbf_hours))
-        .or(fallback_mtbf_hours)
-    else {
-        return Ok(None);
-    };
-    let base = from_config.unwrap_or(ResilienceSection {
-        node_mtbf_hours,
-        restart_s: 300.0,
-        ckpt_write_gbps: 16.0,
-        interval_s: None,
-    });
-    Ok(Some(ResilienceSection {
-        node_mtbf_hours,
-        restart_s: args.parse_or("restart", base.restart_s)?,
-        ckpt_write_gbps: args.parse_or("ckpt-gbps", base.ckpt_write_gbps)?,
-        interval_s: match args.get("ckpt-interval") {
-            Some(v) => Some(
-                v.parse()
-                    .map_err(|_| Error::usage(format!("invalid --ckpt-interval: {v}")))?,
-            ),
-            None => base.interval_s,
-        },
-    }))
+    set: FlagSet,
+    base: Option<serde_json::Value>,
+) -> Result<Resolution> {
+    let mut draft = ScenarioDraft::new();
+    if let Some(doc) = base {
+        draft.push(Source::Defaults, doc)?;
+    }
+    if let Some(name) = args.get("preset") {
+        draft.preset(name)?;
+    }
+    if let Some(path) = args.get("config") {
+        let json = std::fs::read_to_string(path).map_err(|e| Error::io(path, e.to_string()))?;
+        draft.push_json(Source::File, &json)?;
+    }
+    draft.flags(&ArgsReader(args), set)?;
+    draft.resolve()
+}
+
+/// The `--dump-resolved` artifact when the switch is given: the merged
+/// scenario document plus per-field provenance, instead of running the
+/// command.
+fn dump_resolved(args: &Args, r: &Resolution) -> Option<Result<String>> {
+    args.switch("dump-resolved").then(|| to_json(&r.dump_value()))
 }
 
 /// The bytes each device writes per checkpoint: its weight + optimizer
-/// shard under this setup's mapping.
-fn per_device_ckpt_bytes(s: &Setup) -> f64 {
+/// shard under this scenario's mapping.
+fn per_device_ckpt_bytes(s: &ResolvedScenario) -> f64 {
     let ub = s.parallelism.microbatch_size(s.training.global_batch());
     let n_ub = s.parallelism.num_microbatches(s.training.global_batch());
     MemoryModel::new(&s.model, &s.parallelism)
@@ -438,7 +347,7 @@ fn per_device_ckpt_bytes(s: &Setup) -> f64 {
 /// The checkpoint/restart expected-time report for a run whose fault-free
 /// duration is `fault_free_s`.
 fn expected_time_report(
-    s: &Setup,
+    s: &ResolvedScenario,
     section: &ResilienceSection,
     fault_free_s: f64,
 ) -> Result<ResilienceReport> {
@@ -448,14 +357,19 @@ fn expected_time_report(
 }
 
 fn estimate(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::with_resilience(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let obs = ObsSession::from_args(args);
     let backend = backend_for(args, obs.observer())?;
-    let estimate = backend.evaluate(&s.scenario(), &s.training)?;
-    // --mtbf (or a config-file resilience section) layers the analytical
-    // checkpoint/restart model on top of the fault-free estimate.
-    let report = match resilience_section(args, &s, None)? {
-        Some(section) => Some(expected_time_report(&s, &section, estimate.total_time.get())?),
+    let estimate = backend.evaluate(&s.to_scenario(), &s.training)?;
+    // A resilience section (--mtbf, a preset, or a scenario file) layers
+    // the analytical checkpoint/restart model on top of the fault-free
+    // estimate.
+    let report = match &s.resilience {
+        Some(section) => Some(expected_time_report(s, section, estimate.total_time.get())?),
         None => None,
     };
     if args.switch("json") {
@@ -471,7 +385,7 @@ fn estimate(args: &Args) -> Result<String> {
         "{} on {} x {} ({} nodes x {}/node) via {} backend\n{}",
         s.model.name(),
         s.system.total_accelerators(),
-        s.accel.name(),
+        s.accelerator.name(),
         s.system.num_nodes(),
         s.system.accels_per_node(),
         backend.name(),
@@ -485,13 +399,24 @@ fn estimate(args: &Args) -> Result<String> {
 }
 
 fn resilience(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    // The resilience command always has a section to work with: a default
+    // MTBF overlay sits just above the built-in defaults, so presets,
+    // files and flags all override it through the normal layering.
+    let base = serde_json::json!({
+        "resilience": { "node_mtbf_hours": DEFAULT_MTBF_HOURS }
+    });
+    let r = resolution(args, FlagSet::with_resilience(), Some(base))?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let obs = ObsSession::from_args(args);
     let backend = backend_for(args, obs.observer())?;
-    let estimate = backend.evaluate(&s.scenario(), &s.training)?;
-    let section = resilience_section(args, &s, Some(DEFAULT_MTBF_HOURS))?
+    let estimate = backend.evaluate(&s.to_scenario(), &s.training)?;
+    let section = s
+        .resilience
         .ok_or_else(|| Error::usage("resilience needs an MTBF"))?;
-    let report = expected_time_report(&s, &section, estimate.total_time.get())?;
+    let report = expected_time_report(s, &section, estimate.total_time.get())?;
     if args.switch("json") {
         obs.finish("resilience", &mut String::new())?;
         return to_json(&amped_report::artifacts::estimate_value(
@@ -522,9 +447,9 @@ fn resilience(args: &Args) -> Result<String> {
         if let Some(interval) = section.interval_s {
             plan = plan.with_ckpt_interval(interval);
         }
-        let mut cfg = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+        let mut cfg = SimConfig::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
             .with_precision(s.precision)
-            .with_efficiency(s.efficiency);
+            .with_efficiency(s.efficiency.clone());
         if let Some(o) = obs.observer() {
             cfg = cfg.with_observer(o);
         }
@@ -549,11 +474,15 @@ fn resilience(args: &Args) -> Result<String> {
 }
 
 fn search(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let obs = ObsSession::from_args(args);
-    let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+    let mut engine = SearchEngine::new(&s.model, &s.accelerator, &s.system)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
+        .with_efficiency(s.efficiency.clone())
         .with_engine_options(s.options)
         .with_enumeration(EnumerationOptions::default())
         .with_parallelism(args.parse_or("jobs", 0)?)
@@ -638,11 +567,15 @@ fn search(args: &Args) -> Result<String> {
 }
 
 fn simulate(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let obs = ObsSession::from_args(args);
-    let mut cfg = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let mut cfg = SimConfig::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency);
+        .with_efficiency(s.efficiency.clone());
     if let Some(o) = obs.observer() {
         cfg = cfg.with_observer(o);
     }
@@ -721,10 +654,14 @@ fn simulate(args: &Args) -> Result<String> {
 }
 
 fn detail(args: &Args) -> Result<String> {
-    let s = setup(args)?;
-    let detailed = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let detailed = Estimator::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
+        .with_efficiency(s.efficiency.clone())
         .estimate_detailed(&s.training)?;
     let mut out = format!("{detailed}
 
@@ -743,13 +680,17 @@ hottest layers:
 }
 
 fn recommend(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let obs = ObsSession::from_args(args);
     // --refine-sim K re-ranks the analytical top K through the simulator
     // before picking the winner, exactly as on `search`.
-    let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+    let mut engine = SearchEngine::new(&s.model, &s.accelerator, &s.system)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
+        .with_efficiency(s.efficiency.clone())
         .with_engine_options(s.options)
         .with_memory_filter(true)
         .with_parallelism(args.parse_or("jobs", 0)?)
@@ -774,7 +715,11 @@ fn recommend(args: &Args) -> Result<String> {
 }
 
 fn sweep(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     // Compare the canonical inter-node strategies at the given node shape,
     // TP filling the node, across a batch ladder.
     let per_node = s.system.accels_per_node();
@@ -803,9 +748,9 @@ fn sweep(args: &Args) -> Result<String> {
     let base = s.training.global_batch();
     let batches: Vec<usize> = [1usize, 2, 4].iter().map(|m| base * m).collect();
     let obs = ObsSession::from_args(args);
-    let mut engine = SearchEngine::new(&s.model, &s.accel, &s.system)
+    let mut engine = SearchEngine::new(&s.model, &s.accelerator, &s.system)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
+        .with_efficiency(s.efficiency.clone())
         .with_engine_options(s.options)
         .with_parallelism(args.parse_or("jobs", 0)?);
     if let Some(o) = obs.observer() {
@@ -832,22 +777,30 @@ fn sweep(args: &Args) -> Result<String> {
 }
 
 fn trace(args: &Args) -> Result<String> {
-    let s = setup(args)?;
-    let result = SimConfig::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let result = SimConfig::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
+        .with_efficiency(s.efficiency.clone())
         .simulate_iteration(s.training.global_batch())?;
     Ok(amped_sim::trace::to_chrome_trace(&result.timeline))
 }
 
 fn energy(args: &Args) -> Result<String> {
     use amped_energy::{CostModel, EnergyEstimate, PowerModel};
-    let s = setup(args)?;
-    let estimate = Estimator::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let estimate = Estimator::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency)
+        .with_efficiency(s.efficiency.clone())
         .estimate(&s.training)?;
-    let power = PowerModel::from_accelerator(&s.accel);
+    let power = PowerModel::from_accelerator(&s.accelerator);
     let energy =
         EnergyEstimate::from_estimate(&estimate, &power, s.training.num_batches());
     let cost = CostModel::cloud_a100();
@@ -866,11 +819,15 @@ fn energy(args: &Args) -> Result<String> {
 
 fn sensitivity(args: &Args) -> Result<String> {
     use amped_core::SensitivityAnalysis;
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let factor: f64 = args.parse_or("factor", 2.0)?;
-    let analysis = SensitivityAnalysis::new(&s.model, &s.accel, &s.system, &s.parallelism)
+    let analysis = SensitivityAnalysis::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
         .with_precision(s.precision)
-        .with_efficiency(s.efficiency);
+        .with_efficiency(s.efficiency.clone());
     let tornado = analysis.tornado(factor, &s.training)?;
     let mut t = Table::new(["knob", &format!("{factor}x better"), "speedup"]);
     for r in &tornado {
@@ -890,7 +847,11 @@ fn sensitivity(args: &Args) -> Result<String> {
 }
 
 fn check(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let diagnostics =
         amped_core::check_scenario(&s.model, &s.system, &s.parallelism, &s.training);
     if diagnostics.is_empty() {
@@ -925,7 +886,11 @@ fn serve(args: &Args) -> Result<String> {
 }
 
 fn memory(args: &Args) -> Result<String> {
-    let s = setup(args)?;
+    let r = resolution(args, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let mem = MemoryModel::new(&s.model, &s.parallelism)
         .with_precision(s.precision)
         .with_optimizer(OptimizerSpec::adam_mixed_precision());
@@ -935,8 +900,8 @@ fn memory(args: &Args) -> Result<String> {
     Ok(format!(
         "per-device footprint at ub={ub:.1} x{n_ub}: {}\ncapacity {}: {}",
         fp,
-        amped_core::units::format_bytes(s.accel.memory_bytes()),
-        if fp.total() <= s.accel.memory_bytes() {
+        amped_core::units::format_bytes(s.accelerator.memory_bytes()),
+        if fp.total() <= s.accelerator.memory_bytes() {
             "fits"
         } else {
             "DOES NOT FIT"
@@ -1435,5 +1400,112 @@ mod tests {
             .collect();
         assert!(cats.contains(&"ckpt"), "{cats:?}");
         assert!(cats.contains(&"recompute"), "no failures replayed: {cats:?}");
+    }
+
+    #[test]
+    fn schema_is_versioned_and_self_describing() {
+        let out = run("schema").unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(serde_json::Value::as_str),
+            Some(amped_configs::schema::SCHEMA_VERSION)
+        );
+        for key in ["layers", "scenario", "scenario_presets"] {
+            assert!(doc.get(key).is_some(), "schema missing `{key}`:\n{out}");
+        }
+    }
+
+    #[test]
+    fn scenario_presets_drive_commands() {
+        let out = run("estimate --preset dev-small").unwrap();
+        assert!(out.contains("minGPT-85M"), "{out}");
+        let err = run("estimate --preset nope").unwrap_err();
+        assert!(matches!(err, Error::Usage { .. }), "{err:?}");
+        assert!(err.to_string().contains("unknown scenario preset"), "{err}");
+        // The presets listing advertises scenario presets alongside
+        // models and accelerators.
+        let listing = run("presets").unwrap();
+        assert!(listing.contains("dev-small"), "{listing}");
+    }
+
+    #[test]
+    fn dump_resolved_names_the_layer_behind_every_field() {
+        let out = run("estimate --preset dev-small --batch 128 --dump-resolved").unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(doc.get("schema_version").is_some());
+        let batch = doc
+            .get("scenario")
+            .and_then(|s| s.get("training"))
+            .and_then(|t| t.get("global_batch"))
+            .and_then(serde_json::Value::as_i64);
+        assert_eq!(batch, Some(128), "{out}");
+        let provenance = doc.get("provenance").expect("dump has provenance");
+        assert_eq!(
+            provenance
+                .get("training.global_batch")
+                .and_then(serde_json::Value::as_str),
+            Some("flags (--batch)"),
+            "{out}"
+        );
+        assert_eq!(
+            provenance.get("model").and_then(serde_json::Value::as_str),
+            Some("preset `dev-small`"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn flags_override_config_file_fields() {
+        let dir = std::env::temp_dir().join("amped-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layered-scenario.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "model": { "preset": "mingpt-85m" },
+                "accelerator": { "preset": "v100" },
+                "system": { "nodes": 1, "accels_per_node": 8,
+                            "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+                "parallelism": { "dp": [8, 1] },
+                "training": { "global_batch": 64, "num_batches": 2 }
+            }"#,
+        )
+        .unwrap();
+        let out = run(&format!(
+            "estimate --config {} --batch 128 --dump-resolved",
+            path.display()
+        ))
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let scenario = doc.get("scenario").unwrap();
+        // The flag wins the field it names; the file keeps the rest.
+        assert_eq!(
+            scenario
+                .get("training")
+                .and_then(|t| t.get("global_batch"))
+                .and_then(serde_json::Value::as_i64),
+            Some(128)
+        );
+        assert_eq!(
+            scenario
+                .get("training")
+                .and_then(|t| t.get("num_batches"))
+                .and_then(serde_json::Value::as_i64),
+            Some(2)
+        );
+        let provenance = doc.get("provenance").unwrap();
+        assert_eq!(
+            provenance
+                .get("training.num_batches")
+                .and_then(serde_json::Value::as_str),
+            Some("scenario file")
+        );
+    }
+
+    #[test]
+    fn resilience_flags_without_an_mtbf_are_rejected() {
+        let err = run("estimate --restart 60").unwrap_err();
+        assert!(matches!(err, Error::Usage { .. }), "{err:?}");
+        assert!(err.to_string().contains("resilience"), "{err}");
     }
 }

@@ -65,11 +65,33 @@ fn cli(args: &[&str]) -> String {
         .unwrap_or(stdout)
 }
 
-/// POST a scenario at a server and return the 200 body.
-fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+/// Run the real `amped` binary expecting failure; return the typed error
+/// message (stderr minus the `error: ` prefix `main` prints) and assert
+/// the usage exit code.
+fn cli_failure(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_amped"))
+        .args(args)
+        .output()
+        .expect("amped binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "amped {} should exit 2 (usage)",
+        args.join(" ")
+    );
+    let stderr = String::from_utf8(out.stderr).expect("CLI stderr is UTF-8");
+    stderr
+        .strip_prefix("error: ")
+        .expect("CLI errors start with `error: `")
+        .trim_end_matches('\n')
+        .to_string()
+}
+
+/// Send one request and return `(status, payload)`.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();
@@ -77,11 +99,48 @@ fn post(addr: SocketAddr, target: &str, body: &str) -> String {
     let mut raw = String::new();
     stream.read_to_string(&mut raw).unwrap();
     let (head, payload) = raw.split_once("\r\n\r\n").expect("response has body");
-    assert!(
-        head.starts_with("HTTP/1.1 200"),
-        "{target} did not answer 200: {head}\n{payload}"
-    );
-    payload.to_string()
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("response has a status line");
+    (status, payload.to_string())
+}
+
+/// POST a scenario at a server and return the 200 body.
+fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+    let (status, payload) = request(addr, "POST", target, body);
+    assert_eq!(status, 200, "{target} did not answer 200:\n{payload}");
+    payload
+}
+
+/// The `error` field of a JSON error response.
+fn error_message(payload: &str) -> String {
+    let doc: serde_json::Value = serde_json::from_str(payload).expect("error body is JSON");
+    doc.get("error")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or_else(|| panic!("no `error` field in {payload}"))
+        .to_string()
+}
+
+/// Bind an in-process server on an ephemeral port.
+fn start_server() -> (
+    SocketAddr,
+    amped_serve::ServerHandle,
+    std::thread::JoinHandle<amped_core::Result<amped_serve::ServeSummary>>,
+) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        queue_depth: 16,
+        timeout_ms: 600_000,
+        handle_sigint: false,
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, handle, thread)
 }
 
 #[test]
@@ -141,6 +200,103 @@ fn server_responses_are_byte_identical_to_the_cli() {
             cold, expected,
             "{target} diverged from `amped {}`",
             args.join(" ")
+        );
+    }
+
+    handle.shutdown();
+    thread.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
+fn resolved_scenarios_and_schema_are_byte_identical_across_front_ends() {
+    let (addr, handle, thread) = start_server();
+
+    // Pure flags vs pure query parameters: one resolution pipeline, so
+    // the provenance-annotated dumps must match byte for byte.
+    let flags_dump = cli(&[
+        "estimate",
+        "--model",
+        "gpt2-xl",
+        "--accel",
+        "h100",
+        "--nodes",
+        "4",
+        "--per-node",
+        "4",
+        "--tp",
+        "2,1",
+        "--batch",
+        "128",
+        "--dump-resolved",
+    ]);
+    let params_dump = post(
+        addr,
+        "/v1/estimate?model=gpt2-xl&accel=h100&nodes=4&per-node=4&tp=2,1&batch=128&resolved=true",
+        "{}",
+    );
+    assert_eq!(flags_dump, params_dump, "flags and query parameters resolved differently");
+
+    // All four layers at once: defaults < preset < file/body < flags.
+    let small = write_scenario("small-dump.json", SMALL);
+    let layered_cli = cli(&[
+        "resilience",
+        "--preset",
+        "dev-small",
+        "--config",
+        small.to_str().unwrap(),
+        "--mtbf",
+        "100",
+        "--dump-resolved",
+    ]);
+    let layered_serve = post(addr, "/v1/resilience?preset=dev-small&mtbf=100&resolved=true", SMALL);
+    assert_eq!(layered_cli, layered_serve, "layered resolution diverged");
+    assert!(layered_cli.contains("\"schema_version\""));
+    assert!(layered_cli.contains("\"provenance\""));
+
+    // Every scenario endpoint honors the dump switch, even the
+    // text-rendering sweep.
+    let sweep_dump = post(addr, "/v1/sweep?resolved=true", SMALL);
+    assert_eq!(
+        sweep_dump,
+        cli(&["sweep", "--config", small.to_str().unwrap(), "--dump-resolved"])
+    );
+
+    // The self-describing schema is one document served twice, not two
+    // documents.
+    let (status, serve_schema) = request(addr, "GET", "/v1/schema", "");
+    assert_eq!(status, 200);
+    assert_eq!(cli(&["schema"]), serve_schema);
+
+    handle.shutdown();
+    thread.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
+fn validation_errors_are_byte_identical_across_front_ends() {
+    let (addr, handle, thread) = start_server();
+    let bad_field = r#"{ "system": { "nodez": 4 } }"#;
+    let bad_file = write_scenario("bad-field.json", bad_field);
+    let bad_file = bad_file.to_str().unwrap();
+
+    let cases: &[(&[&str], &str, &str)] = &[
+        // Unknown field in the file/body layer, attributed to its source.
+        (&["estimate", "--config", bad_file], "/v1/estimate", bad_field),
+        // Malformed value in the flag/parameter layer, naming the flag.
+        (&["estimate", "--nodes", "lots"], "/v1/estimate?nodes=lots", "{}"),
+        // Unknown scenario preset.
+        (&["search", "--preset", "nope"], "/v1/search?preset=nope", "{}"),
+        // Unknown model preset, caught at resolve time with provenance.
+        (&["estimate", "--model", "nosuch"], "/v1/estimate?model=nosuch", "{}"),
+    ];
+    for (cli_args, target, body) in cases {
+        let expected = cli_failure(cli_args);
+        let (status, payload) = request(addr, "POST", target, body);
+        assert_eq!(status, 400, "{target}: expected 400, got {status}:\n{payload}");
+        assert_eq!(
+            error_message(&payload),
+            expected,
+            "{target} error diverged from `amped {}`",
+            cli_args.join(" ")
         );
     }
 

@@ -30,14 +30,17 @@ pub mod efficiency;
 pub mod interconnects;
 pub mod models;
 pub mod optical;
+pub mod pipeline;
 pub mod published;
 pub mod scenario;
+pub mod schema;
 pub mod systems;
 
 /// Named lookup across all preset families, for CLI `--model`/`--accel`
 /// style flags. Returns `None` for unknown names.
 pub mod registry {
     use amped_core::{AcceleratorSpec, TransformerModel};
+    use serde_json::Value;
 
     /// Accelerator preset by name (case-insensitive).
     pub fn accelerator(name: &str) -> Option<AcceleratorSpec> {
@@ -90,6 +93,73 @@ pub mod registry {
             "llama-65b",
             "bert-large",
         ]
+    }
+
+    /// All scenario preset names.
+    pub fn scenario_names() -> &'static [&'static str] {
+        &["dev-small", "flagship-a100", "llama-65b-32x8"]
+    }
+
+    /// Scenario preset by name (case-insensitive): a complete scenario
+    /// document overlay, resolved through the same pipeline as a scenario
+    /// file. Returns `None` for unknown names.
+    pub fn scenario(name: &str) -> Option<Value> {
+        let doc = match name.to_ascii_lowercase().as_str() {
+            // A tiny configuration for fast iteration and tests.
+            "dev-small" => serde_json::json!({
+                "model": { "preset": "mingpt-85m" },
+                "accelerator": { "preset": "v100" },
+                "system": {
+                    "nodes": 2,
+                    "accels_per_node": 4,
+                    "intra_gbps": 1200.0,
+                    "inter_gbps": 100.0
+                },
+                "parallelism": { "dp": [4, 2] },
+                "training": { "global_batch": 64, "num_batches": 10 }
+            }),
+            // The Megatron 145B case study on a 16-node A100 HDR cluster.
+            "flagship-a100" => serde_json::json!({
+                "model": { "preset": "megatron-145b" },
+                "accelerator": { "preset": "a100" },
+                "system": {
+                    "nodes": 16,
+                    "accels_per_node": 8,
+                    "intra_gbps": 2400.0,
+                    "inter_gbps": 200.0
+                },
+                "parallelism": {
+                    "tp": [8, 1],
+                    "pp": [1, 8],
+                    "dp": [1, 2],
+                    "microbatches": 16
+                },
+                "training": { "global_batch": 1024, "num_batches": 100 },
+                "activation_recompute": true
+            }),
+            // The shipped examples/scenario.json configuration.
+            "llama-65b-32x8" => serde_json::json!({
+                "model": { "preset": "llama-65b" },
+                "accelerator": { "preset": "a100" },
+                "system": {
+                    "nodes": 32,
+                    "accels_per_node": 8,
+                    "intra_gbps": 2400.0,
+                    "inter_gbps": 200.0
+                },
+                "parallelism": {
+                    "tp": [8, 1],
+                    "pp": [1, 4],
+                    "dp": [1, 8],
+                    "microbatches": 16
+                },
+                "training": { "global_batch": 1024, "num_batches": 100000 },
+                "precision_bits": 16,
+                "activation_recompute": true
+            }),
+            _ => return None,
+        };
+        Some(doc)
     }
 }
 

@@ -233,20 +233,6 @@ impl ResolvedScenario {
     }
 }
 
-/// The top-level sections a scenario document may contain, in the order
-/// they are reported when an unknown key is found.
-const SECTIONS: [&str; 9] = [
-    "model",
-    "accelerator",
-    "system",
-    "parallelism",
-    "training",
-    "precision_bits",
-    "efficiency",
-    "activation_recompute",
-    "resilience",
-];
-
 /// Deserialize a required top-level section, naming it in any failure.
 fn required_section<T: serde::Deserialize>(doc: &serde_json::Value, section: &str) -> Result<T> {
     match doc.get(section) {
@@ -305,17 +291,10 @@ impl ScenarioConfig {
     ///
     /// Returns [`Error::Usage`] naming the offending section/field.
     pub fn from_document(doc: &serde_json::Value) -> Result<Self> {
-        let entries = doc
-            .as_object()
-            .ok_or_else(|| Error::usage("scenario: the document root must be a JSON object"))?;
-        for (key, _) in entries {
-            if !SECTIONS.contains(&key.as_str()) {
-                return Err(Error::usage(format!(
-                    "scenario: unknown section `{key}` (expected one of: {})",
-                    SECTIONS.join(", ")
-                )));
-            }
-        }
+        // One shared schema pass for both front-ends: root shape, known
+        // sections, known fields, field types — typed Usage errors naming
+        // the `scenario.<section>.<field>` path.
+        crate::schema::validate_fragment(doc)?;
         Ok(ScenarioConfig {
             model: required_section(doc, "model")?,
             accelerator: required_section(doc, "accelerator")?,
@@ -342,21 +321,30 @@ impl ScenarioConfig {
     /// own validation.
     pub fn resolve(&self) -> Result<ResolvedScenario> {
         let model = match &self.model {
-            ModelRef::Preset { preset } => crate::registry::model(preset)
-                .ok_or_else(|| Error::invalid("scenario", format!("unknown model preset `{preset}`")))?,
+            ModelRef::Preset { preset } => crate::registry::model(preset).ok_or_else(|| {
+                Error::usage(format!("scenario.model: unknown model preset `{preset}`"))
+            })?,
             ModelRef::Inline(m) => m.clone(),
         };
         let accelerator = match &self.accelerator {
-            AcceleratorRef::Preset { preset } => crate::registry::accelerator(preset)
-                .ok_or_else(|| {
-                    Error::invalid("scenario", format!("unknown accelerator preset `{preset}`"))
-                })?,
+            AcceleratorRef::Preset { preset } => {
+                crate::registry::accelerator(preset).ok_or_else(|| {
+                    Error::usage(format!(
+                        "scenario.accelerator: unknown accelerator preset `{preset}`"
+                    ))
+                })?
+            }
             AcceleratorRef::Inline(a) => a.clone(),
         };
+        // Same link construction as every NVLink-class intra preset:
+        // custom bandwidth, but the fully-connected intra topology (the
+        // interconnect presets and the CLI's flag path always used it;
+        // dropping it here was a silent front-end divergence).
         let system = SystemSpec::new(
             self.system.nodes,
             self.system.accels_per_node,
-            Link::new(crate::interconnects::nvlink3().latency_s, self.system.intra_gbps * 1e9),
+            Link::new(crate::interconnects::nvlink3().latency_s, self.system.intra_gbps * 1e9)
+                .with_topology(crate::interconnects::nvlink3().topology),
             Link::new(
                 crate::interconnects::infiniband_hdr().latency_s,
                 self.system.inter_gbps * 1e9,

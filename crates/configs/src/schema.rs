@@ -1,0 +1,705 @@
+//! The scenario schema: one static description of every section and field
+//! a scenario document may carry, used by *both* front-ends for
+//! validation, flag mapping, and the self-describing `amped schema` /
+//! `GET /v1/schema` documents.
+//!
+//! This is the single source of truth the resolution pipeline
+//! ([`crate::pipeline`]) merges and validates against. Adding a new
+//! scenario section means adding one [`SectionSpec`] row here (plus its
+//! struct in [`crate::scenario`]); the unknown-key rejection, the flag
+//! collector, the schema endpoint and the provenance labels all follow.
+
+use amped_core::{Error, Result};
+use serde_json::Value;
+
+/// The version stamped into every JSON artifact (`schema_version`) and
+/// into the schema document itself. Bump on any breaking change to the
+/// scenario document or artifact shapes.
+pub const SCHEMA_VERSION: &str = "1";
+
+/// The JSON shape of one field (or scalar section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// A non-negative integer.
+    Integer,
+    /// A number (integer or float).
+    Number,
+    /// An `[intra, inter]` pair of non-negative integers.
+    Pair,
+    /// A boolean.
+    Boolean,
+    /// A string.
+    Text,
+    /// A nested object (checked structurally, not by type).
+    Object,
+}
+
+impl FieldType {
+    /// The name used in the schema document.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FieldType::Integer => "integer",
+            FieldType::Number => "number",
+            FieldType::Pair => "pair",
+            FieldType::Boolean => "boolean",
+            FieldType::Text => "string",
+            FieldType::Object => "object",
+        }
+    }
+}
+
+/// One field inside an object-valued section.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// The JSON key.
+    pub name: &'static str,
+    /// The value shape.
+    pub ty: FieldType,
+    /// Whether a complete scenario must carry it.
+    pub required: bool,
+    /// Whether `null` is an accepted value (optional fields).
+    pub nullable: bool,
+    /// The CLI flag (and serve query parameter) that sets this field.
+    pub flag: Option<&'static str>,
+    /// The default, rendered as documentation (informative only).
+    pub default: Option<&'static str>,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+/// How one section's value behaves.
+#[derive(Debug, Clone, Copy)]
+pub enum SectionKind {
+    /// Preset reference (`{ "preset": NAME }`) or inline spec.
+    Spec {
+        /// The fields of the inline form.
+        inline: &'static [FieldSpec],
+    },
+    /// A plain object of fields, merged field-by-field across overlays.
+    Object(&'static [FieldSpec]),
+    /// A scalar JSON value, replaced wholesale.
+    Scalar(FieldType),
+}
+
+/// One top-level scenario section.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionSpec {
+    /// The JSON key.
+    pub name: &'static str,
+    /// Whether a complete scenario must carry it.
+    pub required: bool,
+    /// The section shape and merge behavior.
+    pub kind: SectionKind,
+    /// The CLI flag that sets the whole section (preset/scalar sections).
+    pub flag: Option<&'static str>,
+    /// Informative default.
+    pub default: Option<&'static str>,
+    /// One-line description.
+    pub doc: &'static str,
+}
+
+impl SectionSpec {
+    /// Whether overlays merge this section field-by-field (object
+    /// sections) instead of replacing it wholesale.
+    #[must_use]
+    pub fn merges_fields(&self) -> bool {
+        matches!(self.kind, SectionKind::Object(_))
+    }
+
+    /// The field list, when the section is object-valued.
+    #[must_use]
+    pub fn fields(&self) -> &'static [FieldSpec] {
+        match self.kind {
+            SectionKind::Spec { inline } => inline,
+            SectionKind::Object(fields) => fields,
+            SectionKind::Scalar(_) => &[],
+        }
+    }
+}
+
+const MODEL_FIELDS: &[FieldSpec] = &[
+    field("name", FieldType::Text, true, "model name"),
+    field("num_layers", FieldType::Integer, true, "transformer layers (L)"),
+    field("hidden_size", FieldType::Integer, true, "hidden dimensionality (h)"),
+    field("num_heads", FieldType::Integer, true, "attention heads (a)"),
+    field("seq_len", FieldType::Integer, true, "sequence length (s)"),
+    field("vocab_size", FieldType::Integer, true, "vocabulary size (V)"),
+    field("ffn_mult", FieldType::Number, true, "feed-forward expansion factor"),
+    nullable_field("moe", FieldType::Object, "mixture-of-experts config, or null"),
+    field("include_head", FieldType::Boolean, true, "model the output head"),
+];
+
+/// The nested `model.moe` object.
+pub const MOE_FIELDS: &[FieldSpec] = &[
+    field("num_experts", FieldType::Integer, true, "experts per MoE layer (E)"),
+    field("top_k", FieldType::Integer, true, "experts activated per token"),
+    field("layer_interval", FieldType::Integer, true, "every k-th layer is MoE"),
+    field("capacity_factor", FieldType::Number, true, "per-expert capacity headroom"),
+];
+
+const ACCELERATOR_FIELDS: &[FieldSpec] = &[
+    field("name", FieldType::Text, true, "accelerator name"),
+    field("frequency_hz", FieldType::Number, true, "clock frequency (f)"),
+    field("num_cores", FieldType::Integer, true, "cores / SMs (N_cores)"),
+    field("mac_units_per_core", FieldType::Integer, true, "MAC units per core (N_FU)"),
+    field("mac_unit_width", FieldType::Integer, true, "lanes per MAC unit (W_FU)"),
+    field("mac_unit_bits", FieldType::Integer, true, "native MAC precision, bits"),
+    field("nonlin_units", FieldType::Integer, true, "non-linear units"),
+    field("nonlin_unit_width", FieldType::Integer, true, "lanes per non-linear unit"),
+    field("nonlin_unit_bits", FieldType::Integer, true, "native non-linear precision, bits"),
+    field("memory_bytes", FieldType::Number, true, "device memory capacity, bytes"),
+    field("memory_bandwidth_bytes_per_sec", FieldType::Number, true, "memory bandwidth, B/s"),
+    field("offchip_bandwidth_bits_per_sec", FieldType::Number, true, "off-chip I/O, bit/s"),
+    field("tdp_watts", FieldType::Number, true, "TDP, watts"),
+    field("idle_power_fraction", FieldType::Number, true, "idle power as a TDP fraction"),
+];
+
+const SYSTEM_FIELDS: &[FieldSpec] = &[
+    flagged("nodes", FieldType::Integer, "nodes", Some("1"), "number of nodes"),
+    flagged("accels_per_node", FieldType::Integer, "per-node", Some("8"), "accelerators per node"),
+    flagged("intra_gbps", FieldType::Number, "intra-gbps", Some("2400"), "intra-node bandwidth per accelerator, Gbit/s"),
+    flagged("inter_gbps", FieldType::Number, "inter-gbps", Some("200"), "per-NIC inter-node bandwidth, Gbit/s"),
+    flagged("nics_per_node", FieldType::Integer, "nics", Some("accels_per_node"), "NICs per node"),
+];
+
+const PARALLELISM_FIELDS: &[FieldSpec] = &[
+    pair_flagged("tp", "tp", "tensor-parallel [intra, inter] degrees"),
+    pair_flagged("pp", "pp", "pipeline-parallel [intra, inter] degrees"),
+    pair_flagged("dp", "dp", "data-parallel [intra, inter] degrees (default: fill the cluster)"),
+    FieldSpec {
+        name: "microbatches",
+        ty: FieldType::Integer,
+        required: false,
+        nullable: true,
+        flag: Some("microbatches"),
+        default: None,
+        doc: "explicit microbatch count (default: solved)",
+    },
+];
+
+const TRAINING_FIELDS: &[FieldSpec] = &[
+    flagged("global_batch", FieldType::Integer, "batch", Some("512"), "global batch size in sequences"),
+    flagged("num_batches", FieldType::Integer, "batches", Some("1"), "number of optimizer steps"),
+];
+
+const RESILIENCE_FIELDS: &[FieldSpec] = &[
+    flagged("node_mtbf_hours", FieldType::Number, "mtbf", None, "per-node mean time between failures, hours"),
+    flagged("restart_s", FieldType::Number, "restart", Some("300"), "restart cost after a failure, seconds"),
+    flagged("ckpt_write_gbps", FieldType::Number, "ckpt-gbps", Some("16"), "checkpoint write bandwidth per device, Gbit/s"),
+    FieldSpec {
+        name: "interval_s",
+        ty: FieldType::Number,
+        required: false,
+        nullable: true,
+        flag: Some("ckpt-interval"),
+        default: Some("Young/Daly optimum"),
+        doc: "fixed checkpoint interval, seconds",
+    },
+];
+
+const fn field(name: &'static str, ty: FieldType, required: bool, doc: &'static str) -> FieldSpec {
+    FieldSpec { name, ty, required, nullable: false, flag: None, default: None, doc }
+}
+
+const fn nullable_field(name: &'static str, ty: FieldType, doc: &'static str) -> FieldSpec {
+    FieldSpec { name, ty, required: false, nullable: true, flag: None, default: None, doc }
+}
+
+const fn flagged(
+    name: &'static str,
+    ty: FieldType,
+    flag: &'static str,
+    default: Option<&'static str>,
+    doc: &'static str,
+) -> FieldSpec {
+    FieldSpec { name, ty, required: false, nullable: false, flag: Some(flag), default, doc }
+}
+
+const fn pair_flagged(name: &'static str, flag: &'static str, doc: &'static str) -> FieldSpec {
+    FieldSpec {
+        name,
+        ty: FieldType::Pair,
+        required: false,
+        nullable: false,
+        flag: Some(flag),
+        default: Some("[1, 1]"),
+        doc,
+    }
+}
+
+/// Every top-level section, in canonical document order.
+pub const SECTIONS: &[SectionSpec] = &[
+    SectionSpec {
+        name: "model",
+        required: true,
+        kind: SectionKind::Spec { inline: MODEL_FIELDS },
+        flag: Some("model"),
+        default: Some("gpt3-175b"),
+        doc: "the transformer: { \"preset\": NAME } or an inline spec",
+    },
+    SectionSpec {
+        name: "accelerator",
+        required: true,
+        kind: SectionKind::Spec { inline: ACCELERATOR_FIELDS },
+        flag: Some("accel"),
+        default: Some("a100"),
+        doc: "the accelerator: { \"preset\": NAME } or an inline spec",
+    },
+    SectionSpec {
+        name: "system",
+        required: true,
+        kind: SectionKind::Object(SYSTEM_FIELDS),
+        flag: None,
+        default: None,
+        doc: "cluster shape and link speeds",
+    },
+    SectionSpec {
+        name: "parallelism",
+        required: true,
+        kind: SectionKind::Object(PARALLELISM_FIELDS),
+        flag: None,
+        default: None,
+        doc: "parallel degrees as [intra, inter] pairs",
+    },
+    SectionSpec {
+        name: "training",
+        required: true,
+        kind: SectionKind::Object(TRAINING_FIELDS),
+        flag: None,
+        default: None,
+        doc: "batch size and count",
+    },
+    SectionSpec {
+        name: "precision_bits",
+        required: false,
+        kind: SectionKind::Scalar(FieldType::Integer),
+        flag: Some("bits"),
+        default: Some("16"),
+        doc: "uniform operand precision in bits",
+    },
+    SectionSpec {
+        name: "efficiency",
+        required: false,
+        kind: SectionKind::Scalar(FieldType::Number),
+        flag: Some("eff"),
+        default: Some("calibrated case-study curve"),
+        doc: "constant efficiency override in (0, 1]",
+    },
+    SectionSpec {
+        name: "activation_recompute",
+        required: false,
+        kind: SectionKind::Scalar(FieldType::Boolean),
+        flag: Some("recompute"),
+        default: Some("false"),
+        doc: "enable activation recomputation",
+    },
+    SectionSpec {
+        name: "resilience",
+        required: false,
+        kind: SectionKind::Object(RESILIENCE_FIELDS),
+        flag: None,
+        default: None,
+        doc: "failure/checkpoint parameters for expected-time analysis",
+    },
+];
+
+/// Look up a section spec by its JSON key.
+#[must_use]
+pub fn section(name: &str) -> Option<&'static SectionSpec> {
+    SECTIONS.iter().find(|s| s.name == name)
+}
+
+/// The section names in canonical order, comma-joined for error messages.
+fn section_names() -> String {
+    SECTIONS
+        .iter()
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn field_names(fields: &[FieldSpec]) -> String {
+    fields.iter().map(|f| f.name).collect::<Vec<_>>().join(", ")
+}
+
+/// The CLI flag (serve query parameter) that sets `path`
+/// (`"system.nodes"` → `"nodes"`, `"model"` → `"model"`), if any.
+#[must_use]
+pub fn flag_for_path(path: &str) -> Option<&'static str> {
+    match path.split_once('.') {
+        None => section(path)?.flag,
+        Some((sec, fld)) => section(sec)?
+            .fields()
+            .iter()
+            .find(|f| f.name == fld)
+            .and_then(|f| f.flag),
+    }
+}
+
+/// Whether a JSON value matches a field type (not checking nested
+/// objects, which have their own specs).
+fn type_matches(ty: FieldType, v: &Value) -> bool {
+    match ty {
+        FieldType::Integer => matches!(v, Value::Int(i) if *i >= 0),
+        FieldType::Number => matches!(v, Value::Int(_) | Value::Float(_)),
+        FieldType::Pair => match v.as_array() {
+            Some(items) => {
+                items.len() == 2 && items.iter().all(|i| matches!(i, Value::Int(n) if *n >= 0))
+            }
+            None => false,
+        },
+        FieldType::Boolean => matches!(v, Value::Bool(_)),
+        FieldType::Text => matches!(v, Value::Str(_)),
+        FieldType::Object => v.as_object().is_some(),
+    }
+}
+
+fn describe(ty: FieldType) -> &'static str {
+    match ty {
+        FieldType::Integer => "a non-negative integer",
+        FieldType::Number => "a number",
+        FieldType::Pair => "an array of 2 elements ([intra, inter] degrees)",
+        FieldType::Boolean => "a boolean",
+        FieldType::Text => "a string",
+        FieldType::Object => "an object",
+    }
+}
+
+fn shown(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "<value>".to_string())
+}
+
+/// Check one field value against its spec, naming `path` in any failure.
+fn check_field(path: &str, spec: &FieldSpec, v: &Value) -> Result<()> {
+    if v.is_null() {
+        if spec.nullable {
+            return Ok(());
+        }
+        return Err(Error::usage(format!(
+            "scenario.{path}: expected {}, got null",
+            describe(spec.ty)
+        )));
+    }
+    if !type_matches(spec.ty, v) {
+        return Err(Error::usage(format!(
+            "scenario.{path}: expected {}, got {}",
+            describe(spec.ty),
+            shown(v)
+        )));
+    }
+    Ok(())
+}
+
+/// Check the keys and value shapes of one object section against a field
+/// list: every key must be known, every value must match its type.
+/// Missing keys are fine — overlays are partial by design.
+fn check_object(section_path: &str, fields: &'static [FieldSpec], entries: &[(String, Value)]) -> Result<()> {
+    for (key, value) in entries {
+        let Some(spec) = fields.iter().find(|f| f.name == key) else {
+            return Err(Error::usage(format!(
+                "scenario.{section_path}: unknown field `{key}` (expected one of: {})",
+                field_names(fields)
+            )));
+        };
+        let path = format!("{section_path}.{key}");
+        if spec.ty == FieldType::Object {
+            // The only nested object today is `model.moe`.
+            if let Some(nested) = value.as_object() {
+                check_object(&path, MOE_FIELDS, nested)?;
+            } else if !value.is_null() {
+                return Err(Error::usage(format!(
+                    "scenario.{path}: expected an object or null, got {}",
+                    shown(value)
+                )));
+            }
+        } else {
+            check_field(&path, spec, value)?;
+        }
+    }
+    Ok(())
+}
+
+/// Check a preset-or-inline section: a `preset` reference may carry no
+/// other keys; an inline spec may only carry the inline fields.
+fn check_spec_section(name: &str, inline: &'static [FieldSpec], entries: &[(String, Value)]) -> Result<()> {
+    if entries.iter().any(|(k, _)| k == "preset") {
+        if let Some((extra, _)) = entries.iter().find(|(k, _)| k != "preset") {
+            return Err(Error::usage(format!(
+                "scenario.{name}: unknown field `{extra}` alongside `preset` \
+                 (a preset reference carries no other fields)"
+            )));
+        }
+        let v = &entries.iter().find(|(k, _)| k == "preset").expect("checked").1;
+        if v.as_str().is_none() {
+            return Err(Error::usage(format!(
+                "scenario.{name}.preset: expected a string, got {}",
+                shown(v)
+            )));
+        }
+        return Ok(());
+    }
+    check_object(name, inline, entries)
+}
+
+/// Validate a scenario document — or a *partial* overlay of one — against
+/// the schema: the root must be an object, every section must be known,
+/// every field inside a known section must be known and carry a value of
+/// the right shape. Missing sections/fields are NOT errors here (overlays
+/// are partial; completeness is checked after merging, by
+/// [`crate::scenario::ScenarioConfig::from_document`]).
+///
+/// # Errors
+///
+/// Returns [`Error::Usage`] naming the offending `scenario.<section>` (and
+/// field) path.
+pub fn validate_fragment(doc: &Value) -> Result<()> {
+    let entries = doc
+        .as_object()
+        .ok_or_else(|| Error::usage("scenario: the document root must be a JSON object"))?;
+    for (key, value) in entries {
+        let Some(spec) = section(key) else {
+            return Err(Error::usage(format!(
+                "scenario: unknown section `{key}` (expected one of: {})",
+                section_names()
+            )));
+        };
+        // `null` means "unset / remove" for any section in an overlay;
+        // required-section enforcement happens on the merged document.
+        if value.is_null() {
+            continue;
+        }
+        match spec.kind {
+            SectionKind::Spec { inline } => {
+                if let Some(entries) = value.as_object() {
+                    check_spec_section(spec.name, inline, entries)?;
+                }
+                // Non-object values fall through to the deserializer's
+                // typed per-section error.
+            }
+            SectionKind::Object(fields) => {
+                if let Some(entries) = value.as_object() {
+                    check_object(spec.name, fields, entries)?;
+                }
+            }
+            SectionKind::Scalar(ty) => {
+                if !type_matches(ty, value) {
+                    return Err(Error::usage(format!(
+                        "scenario.{key}: expected {}, got {}",
+                        describe(ty),
+                        shown(value)
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn field_value(f: &FieldSpec) -> Value {
+    let mut entries = vec![
+        ("name".to_string(), Value::Str(f.name.to_string())),
+        ("type".to_string(), Value::Str(f.ty.name().to_string())),
+        ("required".to_string(), Value::Bool(f.required)),
+        ("nullable".to_string(), Value::Bool(f.nullable)),
+        ("doc".to_string(), Value::Str(f.doc.to_string())),
+    ];
+    if let Some(flag) = f.flag {
+        entries.push(("flag".to_string(), Value::Str(format!("--{flag}"))));
+    }
+    if let Some(default) = f.default {
+        entries.push(("default".to_string(), Value::Str(default.to_string())));
+    }
+    if f.name == "moe" {
+        entries.push((
+            "fields".to_string(),
+            Value::Array(MOE_FIELDS.iter().map(field_value).collect()),
+        ));
+    }
+    Value::Object(entries)
+}
+
+/// The versioned, self-describing schema document served by
+/// `amped schema` and `GET /v1/schema`: every section, field, type, flag
+/// mapping and preset name, generated from the same tables the validator
+/// and the flag collector run on.
+#[must_use]
+pub fn schema_value() -> Value {
+    let mut sections: Vec<(String, Value)> = Vec::with_capacity(SECTIONS.len());
+    for s in SECTIONS {
+        let mut entries = vec![
+            ("required".to_string(), Value::Bool(s.required)),
+            (
+                "merge".to_string(),
+                Value::Str(if s.merges_fields() { "fields" } else { "replace" }.to_string()),
+            ),
+            ("doc".to_string(), Value::Str(s.doc.to_string())),
+        ];
+        if let Some(flag) = s.flag {
+            entries.push(("flag".to_string(), Value::Str(format!("--{flag}"))));
+        }
+        if let Some(default) = s.default {
+            entries.push(("default".to_string(), Value::Str(default.to_string())));
+        }
+        match s.kind {
+            SectionKind::Spec { inline } => {
+                let presets: Vec<Value> = match s.name {
+                    "model" => crate::registry::model_names(),
+                    _ => crate::registry::accelerator_names(),
+                }
+                .iter()
+                .map(|n| Value::Str((*n).to_string()))
+                .collect();
+                entries.push(("presets".to_string(), Value::Array(presets)));
+                entries.push((
+                    "fields".to_string(),
+                    Value::Array(inline.iter().map(field_value).collect()),
+                ));
+            }
+            SectionKind::Object(fields) => {
+                entries.push((
+                    "fields".to_string(),
+                    Value::Array(fields.iter().map(field_value).collect()),
+                ));
+            }
+            SectionKind::Scalar(ty) => {
+                entries.push(("type".to_string(), Value::Str(ty.name().to_string())));
+            }
+        }
+        sections.push((s.name.to_string(), Value::Object(entries)));
+    }
+    serde_json::json!({
+        "schema_version": SCHEMA_VERSION,
+        "layers": [
+            "built-in defaults",
+            "scenario preset (--preset / ?preset=)",
+            "scenario file (--config / request body)",
+            "flags (--<flag> / ?<flag>=)"
+        ],
+        "scenario": Value::Object(sections),
+        "scenario_presets": Value::Array(
+            crate::registry::scenario_names()
+                .iter()
+                .map(|n| Value::Str((*n).to_string()))
+                .collect()
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(json: &str) -> String {
+        let doc: Value = serde_json::from_str(json).unwrap();
+        let e = validate_fragment(&doc).unwrap_err();
+        assert!(matches!(e, Error::Usage { .. }), "not a usage error: {e:?}");
+        e.to_string()
+    }
+
+    #[test]
+    fn partial_overlays_validate() {
+        for json in [
+            "{}",
+            r#"{ "model": { "preset": "gpt3-175b" } }"#,
+            r#"{ "system": { "nodes": 4 } }"#,
+            r#"{ "parallelism": { "tp": [8, 1] } }"#,
+            r#"{ "resilience": null, "efficiency": 0.5 }"#,
+        ] {
+            let doc: Value = serde_json::from_str(json).unwrap();
+            validate_fragment(&doc).unwrap_or_else(|e| panic!("{json}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_sections_and_fields_are_named() {
+        assert!(err(r#"{ "paralelism": {} }"#).contains("unknown section `paralelism`"));
+        let msg = err(r#"{ "system": { "nodez": 4 } }"#);
+        assert!(msg.contains("scenario.system: unknown field `nodez`"), "{msg}");
+        assert!(msg.contains("nics_per_node"), "lists the valid fields: {msg}");
+    }
+
+    #[test]
+    fn field_types_are_checked_with_paths() {
+        let msg = err(r#"{ "system": { "nodes": "many" } }"#);
+        assert!(msg.contains("scenario.system.nodes"), "{msg}");
+        assert!(msg.contains("non-negative integer"), "{msg}");
+        let msg = err(r#"{ "parallelism": { "tp": [1, 2, 3] } }"#);
+        assert!(msg.contains("scenario.parallelism.tp"), "{msg}");
+        assert!(msg.contains("2 elements"), "{msg}");
+        let msg = err(r#"{ "training": { "global_batch": true } }"#);
+        assert!(msg.contains("scenario.training.global_batch"), "{msg}");
+        let msg = err(r#"{ "precision_bits": "high" }"#);
+        assert!(msg.contains("scenario.precision_bits"), "{msg}");
+        let msg = err(r#"{ "activation_recompute": 3 }"#);
+        assert!(msg.contains("boolean"), "{msg}");
+    }
+
+    #[test]
+    fn preset_references_reject_stray_fields() {
+        let msg = err(r#"{ "model": { "preset": "gpt3-175b", "num_layers": 4 } }"#);
+        assert!(msg.contains("scenario.model: unknown field `num_layers`"), "{msg}");
+        assert!(msg.contains("alongside `preset`"), "{msg}");
+        let msg = err(r#"{ "accelerator": { "preset": 42 } }"#);
+        assert!(msg.contains("scenario.accelerator.preset"), "{msg}");
+    }
+
+    #[test]
+    fn inline_specs_reject_unknown_fields_including_moe() {
+        let msg = err(r#"{ "model": { "layers": 4 } }"#);
+        assert!(msg.contains("scenario.model: unknown field `layers`"), "{msg}");
+        let msg = err(r#"{ "model": { "moe": { "experts": 8 } } }"#);
+        assert!(msg.contains("scenario.model.moe: unknown field `experts`"), "{msg}");
+        let msg = err(r#"{ "accelerator": { "cores": 108 } }"#);
+        assert!(msg.contains("scenario.accelerator: unknown field `cores`"), "{msg}");
+    }
+
+    #[test]
+    fn flags_map_to_field_paths() {
+        assert_eq!(flag_for_path("system.nodes"), Some("nodes"));
+        assert_eq!(flag_for_path("system.accels_per_node"), Some("per-node"));
+        assert_eq!(flag_for_path("model"), Some("model"));
+        assert_eq!(flag_for_path("precision_bits"), Some("bits"));
+        assert_eq!(flag_for_path("resilience.interval_s"), Some("ckpt-interval"));
+        assert_eq!(flag_for_path("model.num_layers"), None);
+        assert_eq!(flag_for_path("nonsense"), None);
+    }
+
+    #[test]
+    fn schema_document_is_self_describing() {
+        let schema = schema_value();
+        assert_eq!(
+            schema.get("schema_version").and_then(Value::as_str),
+            Some(SCHEMA_VERSION)
+        );
+        let scenario = schema.get("scenario").unwrap().as_object().unwrap();
+        assert_eq!(scenario.len(), SECTIONS.len());
+        let model = schema.get("scenario").unwrap().get("model").unwrap();
+        assert!(model
+            .get("presets")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|p| p.as_str() == Some("gpt3-175b")));
+        let system = schema.get("scenario").unwrap().get("system").unwrap();
+        let fields = system.get("fields").unwrap().as_array().unwrap();
+        assert!(fields
+            .iter()
+            .any(|f| f.get("flag").and_then(Value::as_str) == Some("--per-node")));
+        // Every shipped section spec round-trips: each field in the tables
+        // appears in the rendered schema.
+        for s in SECTIONS {
+            let rendered = schema.get("scenario").unwrap().get(s.name).unwrap();
+            match s.kind {
+                SectionKind::Scalar(_) => assert!(rendered.get("type").is_some(), "{}", s.name),
+                _ => assert_eq!(
+                    rendered.get("fields").unwrap().as_array().unwrap().len(),
+                    s.fields().len(),
+                    "{}",
+                    s.name
+                ),
+            }
+        }
+    }
+}

@@ -12,16 +12,38 @@ use amped_core::{Estimate, ResilienceReport};
 use amped_search::{Candidate, Recommendation, SearchStats, Sweep};
 use serde_json::Value;
 
-/// The estimate artifact: the bare [`Estimate`] document, or an
+/// Stamp the scenario-schema version onto a top-level JSON artifact, as
+/// its first key. Every versioned document a front-end emits — estimate,
+/// search, recommend — carries the same `schema_version` the `schema`
+/// command and `/v1/schema` endpoint report, so a consumer can tell which
+/// scenario contract produced it.
+fn with_schema_version(value: Value) -> Value {
+    match value {
+        Value::Object(mut entries) => {
+            entries.insert(
+                0,
+                (
+                    "schema_version".to_string(),
+                    Value::Str(amped_configs::schema::SCHEMA_VERSION.to_string()),
+                ),
+            );
+            Value::Object(entries)
+        }
+        other => other,
+    }
+}
+
+/// The estimate artifact: the [`Estimate`] document, or an
 /// `{ "estimate": ..., "resilience": ... }` bundle when a
-/// checkpoint/restart expectation is layered on top.
+/// checkpoint/restart expectation is layered on top. Either shape leads
+/// with `schema_version`.
 pub fn estimate_value(estimate: &Estimate, resilience: Option<&ResilienceReport>) -> Value {
-    match resilience {
+    with_schema_version(match resilience {
         Some(report) => {
             serde_json::json!({ "estimate": estimate, "resilience": report })
         }
         None => serde_json::to_value(estimate),
-    }
+    })
 }
 
 /// One ranked search row. `backend` reports which cost model priced the
@@ -52,7 +74,7 @@ pub fn search_rows(results: &[Candidate], top: usize) -> Value {
 /// first failed. Both front-ends (`amped search --json` and
 /// `/v1/search`) render through this builder.
 pub fn search_value(results: &[Candidate], top: usize, stats: &SearchStats) -> Value {
-    serde_json::json!({
+    with_schema_version(serde_json::json!({
         "rows": search_rows(results, top),
         "memory_rejected": {
             "total": stats.memory_rejected.total(),
@@ -61,7 +83,7 @@ pub fn search_value(results: &[Candidate], top: usize, stats: &SearchStats) -> V
             "optimizer": stats.memory_rejected.optimizer,
             "activations": stats.memory_rejected.activations,
         },
-    })
+    }))
 }
 
 /// The recommend artifact: the winning mapping with its alternatives,
@@ -74,7 +96,7 @@ pub fn recommend_value(rec: &Recommendation) -> Value {
         .iter()
         .map(|r| serde_json::json!({ "knob": r.knob.name(), "speedup": r.speedup() }))
         .collect();
-    serde_json::json!({
+    with_schema_version(serde_json::json!({
         "best": search_row(&rec.best),
         "microbatches": rec.best.estimate.num_microbatches,
         "alternatives": alternatives,
@@ -82,7 +104,7 @@ pub fn recommend_value(rec: &Recommendation) -> Value {
         "diagnostics": diagnostics,
         "top_knob": rec.top_knob().map(|k| k.name()),
         "tornado": tornado,
-    })
+    }))
 }
 
 /// The sweep artifact: the CSV grid plus the per-batch winner line, as the
@@ -135,16 +157,51 @@ mod tests {
     }
 
     #[test]
-    fn estimate_value_matches_bare_serialization_without_resilience() {
+    fn estimate_value_is_bare_serialization_plus_leading_schema_version() {
         let (model, accel, system) = fixture();
         let p = amped_core::Parallelism::builder().tp(8, 1).build().unwrap();
         let est = amped_core::Estimator::new(&model, &accel, &system, &p)
             .estimate(&TrainingConfig::new(64, 10).unwrap())
             .unwrap();
+        let value = estimate_value(&est, None);
+        // The document is the bare Estimate with one extra leading key.
+        let Value::Object(entries) = &value else {
+            panic!("estimate artifact must be an object");
+        };
+        assert_eq!(entries[0].0, "schema_version");
         assert_eq!(
-            serde_json::to_string_pretty(&estimate_value(&est, None)).unwrap(),
-            serde_json::to_string_pretty(&est).unwrap()
+            entries[0].1.as_str(),
+            Some(amped_configs::schema::SCHEMA_VERSION)
         );
+        let bare = serde_json::to_value(&est);
+        let Value::Object(bare_entries) = &bare else {
+            panic!("estimate serializes to an object");
+        };
+        assert_eq!(&entries[1..], bare_entries.as_slice());
+    }
+
+    #[test]
+    fn every_json_artifact_leads_with_the_schema_version() {
+        let (model, accel, system) = fixture();
+        let training = TrainingConfig::new(64, 10).unwrap();
+        let (results, stats) = SearchEngine::new(&model, &accel, &system)
+            .with_memory_filter(true)
+            .search_with_stats(&training)
+            .unwrap();
+        let rec = SearchEngine::new(&model, &accel, &system)
+            .with_memory_filter(true)
+            .recommend(&training)
+            .unwrap()
+            .expect("fixture has a feasible mapping");
+        for value in [
+            search_value(&results, 3, &stats),
+            recommend_value(&rec),
+        ] {
+            let Value::Object(entries) = value else {
+                panic!("artifact must be an object");
+            };
+            assert_eq!(entries[0].0, "schema_version");
+        }
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! The query API: pure request → response handlers.
 //!
-//! Each handler parses the scenario-file JSON body through
-//! `amped-configs`, prices it, and renders the *same* artifact the CLI's
-//! `--json` path produces for the equivalent invocation — both front-ends
-//! go through [`amped_report::artifacts`], and the CLI's differential test
-//! pins the byte-identity. Query parameters carry the CLI's flag
-//! equivalents under the same names (`top`, `jobs`, `prune`,
-//! `refine-sim`, `memory-filter`, `backend`).
+//! Each handler resolves its scenario through the same layered pipeline
+//! as the CLI ([`amped_configs::pipeline`]): built-in defaults, then a
+//! `?preset=` scenario preset, then the JSON body (the scenario-file
+//! layer), then scenario query parameters under the CLI's flag names
+//! (`?model=`, `?nodes=`, `?tp=`, ...). The resolved scenario is priced
+//! and rendered as the *same* artifact the CLI's `--json` path produces
+//! for the equivalent invocation — both front-ends go through
+//! [`amped_report::artifacts`], and the CLI's differential test pins the
+//! byte-identity (of resolved scenarios, artifacts, and error messages).
+//! Execution query parameters keep the CLI's flag names too (`top`,
+//! `jobs`, `prune`, `refine-sim`, `memory-filter`, `backend`), and
+//! `?resolved=true` returns the provenance-annotated resolved scenario
+//! instead of pricing it — the CLI's `--dump-resolved`.
 //!
 //! Handlers are deliberately free of transport and threading concerns:
 //! they take a parsed [`Request`] and return a [`Response`], so they are
@@ -14,7 +20,8 @@
 
 use std::sync::Arc;
 
-use amped_configs::scenario::{ResilienceSection, ResolvedScenario, ScenarioConfig};
+use amped_configs::pipeline::{FlagReader, FlagSet, Resolution, ScenarioDraft, Source};
+use amped_configs::scenario::{ResilienceSection, ResolvedScenario};
 use amped_core::{
     AnalyticalBackend, CachePool, CostBackend, Error, ResilienceReport, Result,
 };
@@ -126,14 +133,51 @@ fn status_for(e: &Error) -> u16 {
     }
 }
 
-/// Parse the request body as a scenario document and resolve it.
-fn resolved_scenario(req: &Request) -> Result<ResolvedScenario> {
+/// Scenario query parameters read through the same [`FlagReader`] seam
+/// as the CLI's flags, so `?nodes=4` and `--nodes 4` take one code path.
+struct QueryReader<'a>(&'a Request);
+
+impl FlagReader for QueryReader<'_> {
+    fn value(&self, key: &str) -> Option<String> {
+        self.0.query_param(key).map(String::from)
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        param_switch(self.0, key)
+    }
+}
+
+/// Resolve this request's scenario through the layered pipeline:
+/// built-in defaults < `base` overlay < `?preset=` < JSON body < scenario
+/// query parameters. The body is required (it may be `{}` when the
+/// scenario comes entirely from presets and parameters) so that an empty
+/// POST stays an explicit, early error.
+fn resolution(
+    req: &Request,
+    set: FlagSet,
+    base: Option<serde_json::Value>,
+) -> Result<Resolution> {
     if req.body.trim().is_empty() {
         return Err(Error::usage(
             "request body must be a scenario JSON document",
         ));
     }
-    ScenarioConfig::from_json(&req.body)?.resolve()
+    let mut draft = ScenarioDraft::new();
+    if let Some(doc) = base {
+        draft.push(Source::Defaults, doc)?;
+    }
+    if let Some(name) = req.query_param("preset") {
+        draft.preset(name)?;
+    }
+    draft.push_json(Source::File, &req.body)?;
+    draft.flags(&QueryReader(req), set)?;
+    draft.resolve()
+}
+
+/// The `?resolved=true` response: the provenance-annotated resolved
+/// scenario instead of a priced artifact (the CLI's `--dump-resolved`).
+fn dump_resolved(req: &Request, r: &Resolution) -> Option<Result<Response>> {
+    param_switch(req, "resolved").then(|| Ok(Response::json(to_json(&r.dump_value())?)))
 }
 
 /// Parse query parameter `key` as `T`, or `default` when absent —
@@ -212,13 +256,17 @@ fn evaluate(state: &ServiceState, req: &Request, s: &ResolvedScenario) -> Result
 }
 
 fn estimate(state: &ServiceState, req: &Request) -> Result<Response> {
-    let s = resolved_scenario(req)?;
-    let estimate = evaluate(state, req, &s)?;
+    let r = resolution(req, FlagSet::with_resilience(), None)?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let estimate = evaluate(state, req, s)?;
     // A resilience section in the scenario layers the analytical
     // checkpoint/restart model on top of the fault-free estimate, exactly
-    // as the CLI's `estimate --config` path does.
+    // as the CLI's `estimate` path does.
     let report = match &s.resilience {
-        Some(section) => Some(expected_time_report(&s, section, estimate.total_time.get())?),
+        Some(section) => Some(expected_time_report(s, section, estimate.total_time.get())?),
         None => None,
     };
     let value = amped_report::artifacts::estimate_value(&estimate, report.as_ref());
@@ -226,15 +274,22 @@ fn estimate(state: &ServiceState, req: &Request) -> Result<Response> {
 }
 
 fn resilience(state: &ServiceState, req: &Request) -> Result<Response> {
-    let s = resolved_scenario(req)?;
-    let estimate = evaluate(state, req, &s)?;
-    let section = s.resilience.unwrap_or(ResilienceSection {
-        node_mtbf_hours: DEFAULT_MTBF_HOURS,
-        restart_s: 300.0,
-        ckpt_write_gbps: 16.0,
-        interval_s: None,
+    // Same default-MTBF overlay as the CLI's resilience command: it sits
+    // just above the built-in defaults, so presets, the body, and query
+    // parameters all override it through the normal layering.
+    let base = serde_json::json!({
+        "resilience": { "node_mtbf_hours": DEFAULT_MTBF_HOURS }
     });
-    let report = expected_time_report(&s, &section, estimate.total_time.get())?;
+    let r = resolution(req, FlagSet::with_resilience(), Some(base))?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let estimate = evaluate(state, req, s)?;
+    let section = s
+        .resilience
+        .ok_or_else(|| Error::usage("resilience needs an MTBF"))?;
+    let report = expected_time_report(s, &section, estimate.total_time.get())?;
     let value = amped_report::artifacts::estimate_value(&estimate, Some(&report));
     Ok(Response::json(to_json(&value)?))
 }
@@ -264,9 +319,13 @@ fn engine_for<'a>(
 }
 
 fn search(state: &ServiceState, req: &Request) -> Result<Response> {
-    let s = resolved_scenario(req)?;
+    let r = resolution(req, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let observer = Arc::new(Observer::new());
-    let engine = engine_for(state, req, &s, &observer)?;
+    let engine = engine_for(state, req, s, &observer)?;
     let (results, stats) = engine.search_with_stats(&s.training)?;
     state.observer.absorb(&observer);
     let top: usize = param_or(req, "top", 10)?;
@@ -275,11 +334,15 @@ fn search(state: &ServiceState, req: &Request) -> Result<Response> {
 }
 
 fn recommend(state: &ServiceState, req: &Request) -> Result<Response> {
-    let s = resolved_scenario(req)?;
+    let r = resolution(req, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     let observer = Arc::new(Observer::new());
     // `recommend` always filters to memory-feasible mappings (the CLI
     // does the same); `jobs` and `refine-sim` plumb through.
-    let engine = engine_for(state, req, &s, &observer)?.with_memory_filter(true);
+    let engine = engine_for(state, req, s, &observer)?.with_memory_filter(true);
     let outcome = engine.recommend(&s.training)?;
     state.observer.absorb(&observer);
     match outcome {
@@ -294,7 +357,11 @@ fn recommend(state: &ServiceState, req: &Request) -> Result<Response> {
 }
 
 fn sweep(state: &ServiceState, req: &Request) -> Result<Response> {
-    let s = resolved_scenario(req)?;
+    let r = resolution(req, FlagSet::default(), None)?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
     // Compare the canonical inter-node strategies at the scenario's node
     // shape, TP filling the node, across a batch ladder — the CLI's sweep.
     let per_node = s.system.accels_per_node();

@@ -445,6 +445,15 @@ fn route(
                     .expect("health body serializes"),
             )
         }
+        ("GET", "/v1/schema") => {
+            let _timer = state.observer.timer("serve.http.schema");
+            // The self-describing scenario schema, from the same single
+            // source of truth the CLI's `schema` command prints.
+            Response::json(
+                serde_json::to_string_pretty(&amped_configs::schema::schema_value())
+                    .expect("schema body serializes"),
+            )
+        }
         ("GET", "/v1/metrics") => {
             let _timer = state.observer.timer("serve.http.metrics");
             // Snapshot pool-wide cache state into gauges so the report

@@ -101,6 +101,7 @@ $client "$addr" POST /v1/recommend "$scenario" > "$serve_dir/recommend.json"
 $client "$addr" POST "/v1/sweep?jobs=2" "$scenario" > "$serve_dir/sweep.csv"
 $client "$addr" POST /v1/resilience "$scenario" > "$serve_dir/resilience.json"
 $client "$addr" GET  /v1/metrics               > "$serve_dir/metrics.json"
+$client "$addr" GET  /v1/schema                > "$serve_dir/schema.json"
 
 # Every JSON response must re-parse; the sweep is CSV with a winners line.
 python3 - "$serve_dir" <<'EOF'
@@ -120,6 +121,61 @@ assert counters["serve.requests.received"] >= 5, counters
 sweep = (d / "sweep.csv").read_text()
 assert sweep.startswith("batch,") and "winners:" in sweep, sweep
 print("serve smoke responses ok")
+EOF
+
+echo "==> schema smoke (every shipped scenario file validates against /v1/schema)"
+# The live daemon's schema document must accept every scenario JSON the
+# repo ships: the example scenario and every test fixture. The validator
+# below is deliberately independent of the Rust one — same tables, second
+# implementation — so a schema/validator drift fails CI from either side.
+python3 - "$serve_dir/schema.json" examples/scenario.json tests/fixtures/*.json <<'EOF'
+import json, sys
+
+schema = json.load(open(sys.argv[1]))
+assert schema["schema_version"], "schema has no version"
+sections = schema["scenario"]
+
+CHECKS = {
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "string": lambda v: isinstance(v, str),
+    "pair": lambda v: isinstance(v, list) and len(v) == 2,
+    "object": lambda v: isinstance(v, dict),
+}
+
+def check_fields(path, body, fields):
+    specs = {f["name"]: f for f in fields}
+    for key, value in body.items():
+        spec = specs.get(key)
+        assert spec is not None, f"{path}.{key}: unknown field"
+        if value is None:
+            assert spec["nullable"], f"{path}.{key}: not nullable"
+            continue
+        if spec["type"] == "object" and "fields" in spec:
+            assert isinstance(value, dict), f"{path}.{key}: expected object"
+            check_fields(f"{path}.{key}", value, spec["fields"])
+        else:
+            assert CHECKS[spec["type"]](value), f"{path}.{key}: bad {spec['type']}: {value!r}"
+
+for path in sys.argv[2:]:
+    doc = json.load(open(path))
+    assert isinstance(doc, dict), f"{path}: root must be an object"
+    for name, body in doc.items():
+        spec = sections.get(name)
+        assert spec is not None, f"{path}: unknown section `{name}`"
+        if body is None:
+            assert not spec["required"], f"{path}.{name}: required section is null"
+            continue
+        if "type" in spec:  # scalar section
+            assert CHECKS[spec["type"]](body), f"{path}.{name}: bad {spec['type']}: {body!r}"
+        elif isinstance(body, dict) and set(body) == {"preset"}:
+            assert body["preset"] in spec.get("presets", []), \
+                f"{path}.{name}: unknown preset {body['preset']!r}"
+        else:
+            assert isinstance(body, dict), f"{path}.{name}: expected object"
+            check_fields(f"{path}.{name}", body, spec["fields"])
+print(f"schema smoke ok: {len(sys.argv) - 2} scenario file(s) validate")
 EOF
 
 kill -INT "$serve_pid"
