@@ -8,15 +8,18 @@ use std::sync::Arc;
 
 use amped_configs::pipeline::{FlagReader, FlagSet, Resolution, ScenarioDraft, Source};
 use amped_configs::registry;
-use amped_configs::scenario::{ResilienceSection, ResolvedScenario};
+use amped_configs::scenario::{FailureDomainsSection, ResilienceSection, ResolvedScenario};
 use amped_core::{
-    AnalyticalBackend, CostBackend, Error, Estimator, ObservedBackend, Parallelism,
-    ResilienceReport, Result,
+    AnalyticalBackend, CorrelatedReport, CorrelatedResilience, CostBackend, Error, Estimator,
+    ObservedBackend, Parallelism, ResilienceReport, Result, DEFAULT_NODE_MTBF_HOURS,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_obs::Observer;
 use amped_report::Table;
-use amped_search::{EnumerationOptions, GoodputOptions, SearchEngine, Sweep};
+use amped_search::{
+    placement_for, DomainGoodput, EnumerationOptions, GoodputOptions, PlacementChoice,
+    SearchEngine, Sweep,
+};
 use amped_sim::{FaultPlan, SimBackend, SimConfig};
 
 use crate::args::Args;
@@ -70,7 +73,8 @@ parameters):
   --eff E                     constant efficiency in (0,1]
   --bits B                    uniform precision in bits        [default 16]
   --recompute                 enable activation recomputation
-  --json                      machine-readable output (estimate/search)
+  --json                      machine-readable output
+                              (estimate/search/recommend/sweep/resilience)
   --top K                     rows to print for search         [default 10]
   --jobs N                    worker threads for search/recommend/sweep
                               (0 = one per CPU)                [default 0]
@@ -98,20 +102,34 @@ observability flags (estimate/sweep/search/simulate/resilience):
                               (instrumentation is off unless one of these is
                               given, and never changes any result)
 
-resilience flags (resilience; --mtbf also on estimate, --goodput on search,
---seed/--stragglers on simulate):
+resilience flags (resilience; --mtbf also on estimate, --goodput on
+search/recommend, --seed on resilience/simulate, --stragglers on simulate):
   --mtbf HOURS                per-node mean time between failures
                               (resilience default 4380 = 6 months)
   --restart S                 restart cost after a failure    [default 300]
   --ckpt-gbps G               checkpoint write bandwidth per device, Gbit/s
                               [default 16 = 2 GB/s]
   --ckpt-interval S           fixed checkpoint interval (default: Young/Daly)
-  --goodput [HOURS]           search only: rank by expected time under
+  --goodput [HOURS]           search/recommend: rank by expected time under
                               failures (MTBF defaults to 4380 h)
-  --seed N                    simulate only: inject seeded faults and replay
-                              the whole run (with --batches)
+  --seed N                    simulate/resilience: inject seeded faults and
+                              replay the whole run (with --batches)
   --stragglers N[xF]          simulate only: N random stragglers slowed by
                               factor F                       [default F 1.5]
+
+failure-domain flags (resilience; search/recommend when --goodput is on —
+they extend the node-failure model with correlated rack/pod outages, spot
+preemption and elastic shrink/regrow recovery):
+  --domains N[,R]             domain tree shape: nodes per rack, racks per
+                              pod                            [default 8,4]
+  --rack-mtbf HOURS           per-rack mean time between outages
+  --pod-mtbf HOURS            per-pod mean time between outages
+  --preemption-mtbf HOURS     per-node spot preemption MTBF (survivable
+                              under elastic recovery)
+  --regrow-delay S            capacity-regrow delay after a survivable
+                              outage                         [default 600]
+  --placement NAME            device layout onto the tree: auto |
+                              replica-major | stage-major    [default auto]
 
 serve flags (serve only; request bodies are scenario JSON files, responses
 the same artifacts the --json flags print):
@@ -123,10 +141,6 @@ the same artifacts the --json flags print):
   --timeout-ms MS             per-request deadline from enqueue (504 past
                               it)                           [default 30000]
 ";
-
-/// The per-node MTBF the resilience commands assume when none is given:
-/// six months, a common fleet-level figure.
-const DEFAULT_MTBF_HOURS: f64 = 4380.0;
 
 /// The cost backend selected by `--backend` (analytical when absent).
 /// With an observer, evaluations are recorded: the simulator backend
@@ -356,6 +370,63 @@ fn expected_time_report(
         .report(fault_free_s)
 }
 
+/// The parsed `placement` spelling of a `failure_domains` section (the
+/// resolver already vetted it; this converts to the enumerator's type).
+fn placement_choice(fd: &FailureDomainsSection) -> Result<PlacementChoice> {
+    PlacementChoice::parse(&fd.placement).ok_or_else(|| {
+        Error::usage(format!(
+            "unknown layout `{}`; use auto, replica-major or stage-major",
+            fd.placement
+        ))
+    })
+}
+
+/// The correlated expected-time report when the scenario carries a
+/// `failure_domains` section: the rack/pod tree, this mapping's
+/// deterministic placement onto it, and elastic recovery, priced over the
+/// independent node-failure base. `None` when no section is present —
+/// the historical flat model stands alone.
+fn correlated_report(
+    s: &ResolvedScenario,
+    section: &ResilienceSection,
+    fault_free_s: f64,
+) -> Result<Option<CorrelatedReport>> {
+    let Some(fd) = &s.failure_domains else {
+        return Ok(None);
+    };
+    let tree = fd.tree(s.system.num_nodes())?;
+    let placement = placement_for(&s.parallelism, &s.system, &tree, placement_choice(fd)?);
+    let base = section.params(s.system.num_nodes(), per_device_ckpt_bytes(s))?;
+    let params = CorrelatedResilience::new(base, tree, placement)?.with_elastic(fd.elastic()?);
+    Ok(Some(params.report(fault_free_s)?))
+}
+
+/// The `--goodput` expected-time options for search/recommend: the MTBF,
+/// restart and checkpoint knobs from the flags, plus the scenario's
+/// `failure_domains` section when one resolved (domain flags are live on
+/// these commands whenever `--goodput` is).
+fn goodput_options(args: &Args, s: &ResolvedScenario) -> Result<GoodputOptions> {
+    let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_NODE_MTBF_HOURS)?;
+    let mut opts = GoodputOptions::new(mtbf_hours * 3600.0);
+    opts.restart_s = args.parse_or("restart", opts.restart_s)?;
+    let gbps: f64 = args.parse_or("ckpt-gbps", 16.0)?;
+    opts.ckpt_write_bytes_per_s = gbps * 1e9 / 8.0;
+    if let Some(v) = args.get("ckpt-interval") {
+        opts.interval_s = Some(
+            v.parse()
+                .map_err(|_| Error::usage(format!("invalid --ckpt-interval: {v}")))?,
+        );
+    }
+    if let Some(fd) = &s.failure_domains {
+        opts = opts.with_failure_domains(DomainGoodput {
+            tree: fd.tree(s.system.num_nodes())?,
+            elastic: Some(fd.elastic()?),
+            placement: placement_choice(fd)?,
+        });
+    }
+    Ok(opts)
+}
+
 fn estimate(args: &Args) -> Result<String> {
     let r = resolution(args, FlagSet::with_resilience(), None)?;
     if let Some(dump) = dump_resolved(args, &r) {
@@ -403,9 +474,9 @@ fn resilience(args: &Args) -> Result<String> {
     // MTBF overlay sits just above the built-in defaults, so presets,
     // files and flags all override it through the normal layering.
     let base = serde_json::json!({
-        "resilience": { "node_mtbf_hours": DEFAULT_MTBF_HOURS }
+        "resilience": { "node_mtbf_hours": DEFAULT_NODE_MTBF_HOURS }
     });
-    let r = resolution(args, FlagSet::with_resilience(), Some(base))?;
+    let r = resolution(args, FlagSet::with_failure_domains(), Some(base))?;
     if let Some(dump) = dump_resolved(args, &r) {
         return dump;
     }
@@ -416,12 +487,20 @@ fn resilience(args: &Args) -> Result<String> {
     let section = s
         .resilience
         .ok_or_else(|| Error::usage("resilience needs an MTBF"))?;
-    let report = expected_time_report(s, &section, estimate.total_time.get())?;
+    // A `failure_domains` section layers correlated rack/pod outages and
+    // elastic recovery on the flat model; without one the report below is
+    // the historical independent-exponential one, bit for bit.
+    let correlated = correlated_report(s, &section, estimate.total_time.get())?;
+    let report = match &correlated {
+        Some(c) => c.flat_report(),
+        None => expected_time_report(s, &section, estimate.total_time.get())?,
+    };
     if args.switch("json") {
         obs.finish("resilience", &mut String::new())?;
-        return to_json(&amped_report::artifacts::estimate_value(
+        return to_json(&amped_report::artifacts::resilience_value(
             &estimate,
-            Some(&report),
+            &report,
+            correlated.as_ref(),
         ));
     }
     let mut out = format!(
@@ -432,6 +511,9 @@ fn resilience(args: &Args) -> Result<String> {
         section.node_mtbf_hours,
         backend.name(),
     );
+    if let Some(c) = &correlated {
+        out.push_str(&format!("\n{c}"));
+    }
     // --seed cross-checks the analytical expectation against one seeded
     // fault-injected replay in the discrete-event simulator.
     if let Some(seed) = args.get("seed") {
@@ -446,6 +528,14 @@ fn resilience(args: &Args) -> Result<String> {
             .with_ckpt_write_bw(section.ckpt_write_bytes_per_s());
         if let Some(interval) = section.interval_s {
             plan = plan.with_ckpt_interval(interval);
+        }
+        if let Some(fd) = &s.failure_domains {
+            plan = plan
+                .with_domain_tree(fd.tree(s.system.num_nodes())?)
+                .with_regrow(fd.regrow_delay_s);
+            if let Some(hours) = fd.preemption_mtbf_hours {
+                plan = plan.with_preemption(hours * 3600.0);
+            }
         }
         let mut cfg = SimConfig::new(&s.model, &s.accelerator, &s.system, &s.parallelism)
             .with_precision(s.precision)
@@ -474,7 +564,22 @@ fn resilience(args: &Args) -> Result<String> {
 }
 
 fn search(args: &Args) -> Result<String> {
-    let r = resolution(args, FlagSet::default(), None)?;
+    // --goodput [HOURS] ranks by expected time under failures instead of
+    // the fault-free total. With it on, the failure-domain flags are live
+    // too, and a default-MTBF resilience base satisfies the domain
+    // section's prerequisite through the normal layering.
+    let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
+    let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_NODE_MTBF_HOURS)?;
+    let set = FlagSet {
+        resilience: false,
+        failure_domains: goodput_on,
+    };
+    let base = goodput_on.then(|| {
+        serde_json::json!({
+            "resilience": { "node_mtbf_hours": mtbf_hours }
+        })
+    });
+    let r = resolution(args, set, base)?;
     if let Some(dump) = dump_resolved(args, &r) {
         return dump;
     }
@@ -493,22 +598,8 @@ fn search(args: &Args) -> Result<String> {
     if let Some(o) = obs.observer() {
         engine = engine.with_observer(o);
     }
-    // --goodput [HOURS] ranks by expected time under failures instead of
-    // the fault-free total.
-    let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
     if goodput_on {
-        let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_MTBF_HOURS)?;
-        let mut opts = GoodputOptions::new(mtbf_hours * 3600.0);
-        opts.restart_s = args.parse_or("restart", opts.restart_s)?;
-        let gbps: f64 = args.parse_or("ckpt-gbps", 16.0)?;
-        opts.ckpt_write_bytes_per_s = gbps * 1e9 / 8.0;
-        if let Some(v) = args.get("ckpt-interval") {
-            opts.interval_s = Some(
-                v.parse()
-                    .map_err(|_| Error::usage(format!("invalid --ckpt-interval: {v}")))?,
-            );
-        }
-        engine = engine.with_goodput(opts);
+        engine = engine.with_goodput(goodput_options(args, s)?);
     }
     let (results, stats) = engine.search_with_stats(&s.training)?;
     let top: usize = args.parse_or("top", 10)?;
@@ -680,7 +771,21 @@ hottest layers:
 }
 
 fn recommend(args: &Args) -> Result<String> {
-    let r = resolution(args, FlagSet::default(), None)?;
+    // --goodput wires in exactly as on `search`: the recommendation rides
+    // on the same ranking, so the winner is the expected-time-best
+    // mapping under the (possibly domain-correlated) failure model.
+    let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
+    let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_NODE_MTBF_HOURS)?;
+    let set = FlagSet {
+        resilience: false,
+        failure_domains: goodput_on,
+    };
+    let base = goodput_on.then(|| {
+        serde_json::json!({
+            "resilience": { "node_mtbf_hours": mtbf_hours }
+        })
+    });
+    let r = resolution(args, set, base)?;
     if let Some(dump) = dump_resolved(args, &r) {
         return dump;
     }
@@ -697,6 +802,9 @@ fn recommend(args: &Args) -> Result<String> {
         .with_refine_sim(args.parse_or("refine-sim", 0)?);
     if let Some(o) = obs.observer() {
         engine = engine.with_observer(o);
+    }
+    if goodput_on {
+        engine = engine.with_goodput(goodput_options(args, s)?);
     }
     match engine.recommend(&s.training)? {
         Some(rec) => {
@@ -771,6 +879,10 @@ fn sweep(args: &Args) -> Result<String> {
             )
         }
     }?;
+    if args.switch("json") {
+        obs.finish("sweep", &mut String::new())?;
+        return to_json(&amped_report::artifacts::sweep_value(&sweep));
+    }
     let mut out = amped_report::artifacts::sweep_text(&sweep);
     obs.finish("sweep", &mut out)?;
     Ok(out)
@@ -1500,6 +1612,102 @@ mod tests {
                 .and_then(serde_json::Value::as_str),
             Some("scenario file")
         );
+    }
+
+    #[test]
+    fn resilience_domains_flags_add_the_correlated_report() {
+        let base = "resilience --model mingpt-85m --accel v100 --nodes 16 --per-node 1 \
+                    --dp 1,4 --pp 1,4 --batch 64 --batches 100 --mtbf 1000";
+        let flat = run(base).unwrap();
+        assert!(!flat.contains("correlated"), "no domain flags, no correlated block: {flat}");
+        let out = run(&format!("{base} --domains 4,2 --rack-mtbf 720")).unwrap();
+        assert!(out.contains("under correlated outages"), "{out}");
+        assert!(out.contains("placement replica-major"), "{out}");
+        // An explicit layout overrides the enumerator's pick.
+        let forced = run(&format!(
+            "{base} --domains 4,2 --rack-mtbf 720 --placement stage-major"
+        ))
+        .unwrap();
+        assert!(forced.contains("placement stage-major"), "{forced}");
+        let err = run(&format!("{base} --placement diagonal")).unwrap_err();
+        assert!(matches!(err, Error::Usage { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn resilience_json_with_domains_leads_with_the_version() {
+        let base = "resilience --model mingpt-85m --accel v100 --nodes 16 --per-node 1 \
+                    --dp 1,4 --pp 1,4 --batch 64 --batches 100 --mtbf 1000 --json";
+        let flat = run(base).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&flat).unwrap();
+        assert_eq!(v["schema_version"], amped_configs::schema::SCHEMA_VERSION);
+        assert!(v.get("correlated").is_none(), "{flat}");
+        let out = run(&format!("{base} --domains 4,2 --rack-mtbf 720 --preemption-mtbf 168"))
+            .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(out.trim_start().starts_with("{\n  \"schema_version\""), "{out}");
+        let c = v.get("correlated").unwrap();
+        assert!(c["expected_s"].as_f64().unwrap() > 0.0);
+        assert!(c["placement"]["strategy"].as_str().is_some(), "{out}");
+        assert!(c["elastic_rate_per_s"].as_f64().unwrap() > 0.0, "{out}");
+    }
+
+    #[test]
+    fn resilience_seed_replays_domain_outages() {
+        let out = run(
+            "resilience --model mingpt-85m --accel v100 --nodes 4 --per-node 1 --dp 1,2 \
+             --pp 1,2 --batch 16 --batches 20 --mtbf 2 --domains 2,2 --rack-mtbf 4 --seed 7",
+        )
+        .unwrap();
+        assert!(out.contains("under correlated outages"), "{out}");
+        assert!(out.contains("seeded simulation (seed 7)"), "{out}");
+        assert!(out.contains("vs analytical expectation"), "{out}");
+    }
+
+    #[test]
+    fn search_goodput_domains_stay_deterministic_across_jobs() {
+        let base = "search --model mingpt-85m --accel v100 --nodes 4 --per-node 2 --batch 64 \
+                    --top 5 --goodput 1000 --domains 2,2 --rack-mtbf 500 --json";
+        let serial = run(&format!("{base} --jobs 1")).unwrap();
+        let threaded = run(&format!("{base} --jobs 4")).unwrap();
+        assert_eq!(serial, threaded, "goodput-with-domains ranking must not depend on --jobs");
+        let v: serde_json::Value = serde_json::from_str(&serial).unwrap();
+        assert!(v["rows"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|r| r["expected_days"].as_f64().unwrap() > 0.0));
+        // Domain flags without --goodput are not live on search.
+        let err = run(
+            "search --model mingpt-85m --accel v100 --nodes 4 --per-node 2 --batch 64 \
+             --rack-mtbf 500 --domains 2,2",
+        );
+        assert!(err.is_ok(), "gated flags are simply ignored: {err:?}");
+    }
+
+    #[test]
+    fn recommend_goodput_ranks_by_expected_time() {
+        let out = run(
+            "recommend --model mingpt-85m --accel v100 --nodes 4 --per-node 2 --batch 128 \
+             --goodput 1000 --domains 2,2 --rack-mtbf 500",
+        )
+        .unwrap();
+        assert!(out.contains("recommended mapping"), "{out}");
+    }
+
+    #[test]
+    fn sweep_json_leads_with_the_version_and_names_winners() {
+        let out = run(
+            "sweep --model mingpt-85m --accel v100 --nodes 4 --per-node 2 --batch 64 --json",
+        )
+        .unwrap();
+        assert!(out.trim_start().starts_with("{\n  \"schema_version\""), "{out}");
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["csv"].as_str().unwrap().starts_with("batch,dp-inter"), "{out}");
+        let winners = v["winners"].as_array().unwrap();
+        assert!(!winners.is_empty());
+        assert!(winners.iter().all(|w| {
+            w["batch"].as_u64().is_some() && w["winner"].as_str().is_some()
+        }));
     }
 
     #[test]

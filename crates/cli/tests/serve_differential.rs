@@ -38,6 +38,22 @@ const MEGATRON: &str = r#"{
     "activation_recompute": true
 }"#;
 
+/// The correlated-failure fixture: a rack/pod tree plus spot preemption
+/// over the SMALL-style base, exercising the `failure_domains` section
+/// end to end (placement enumerator, elastic recovery, versioned
+/// artifact) through both front-ends.
+const DOMAINS: &str = r#"{
+    "model": { "preset": "mingpt-85m" },
+    "accelerator": { "preset": "v100" },
+    "system": { "nodes": 8, "accels_per_node": 1,
+                "intra_gbps": 2400.0, "inter_gbps": 100.0, "nics_per_node": 1 },
+    "parallelism": { "dp": [1, 4], "pp": [1, 2] },
+    "training": { "global_batch": 64, "num_batches": 10 },
+    "resilience": { "node_mtbf_hours": 1000.0 },
+    "failure_domains": { "shape": [2, 2], "rack_mtbf_hours": 720.0,
+                         "preemption_mtbf_hours": 168.0, "regrow_delay_s": 300.0 }
+}"#;
+
 fn write_scenario(name: &str, body: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("amped-serve-differential");
     std::fs::create_dir_all(&dir).unwrap();
@@ -159,6 +175,7 @@ fn server_responses_are_byte_identical_to_the_cli() {
 
     let small = write_scenario("small.json", SMALL);
     let megatron = write_scenario("megatron.json", MEGATRON);
+    let domains = write_scenario("domains.json", DOMAINS);
     let cases: &[(&str, &str, &std::path::Path, &[&str])] = &[
         // (endpoint+query, body, config path, extra CLI flags)
         ("/v1/estimate", SMALL, &small, &["estimate", "--json"]),
@@ -182,7 +199,37 @@ fn server_responses_are_byte_identical_to_the_cli() {
             &["recommend", "--json", "--refine-sim", "2"],
         ),
         ("/v1/sweep?jobs=2", SMALL, &small, &["sweep", "--jobs", "2"]),
+        (
+            "/v1/sweep?jobs=2&json=true",
+            SMALL,
+            &small,
+            &["sweep", "--jobs", "2", "--json"],
+        ),
         ("/v1/resilience", SMALL, &small, &["resilience", "--json"]),
+        // The correlated model: one scenario file, one `correlated`
+        // artifact section, byte-identical across front-ends.
+        ("/v1/resilience", DOMAINS, &domains, &["resilience", "--json"]),
+        // Goodput ranking under failure domains, with the domain shape
+        // arriving through the flag/parameter layer on both sides.
+        (
+            "/v1/search?top=4&jobs=2&goodput=1000&domains=2,2&rack-mtbf=500",
+            SMALL,
+            &small,
+            &[
+                "search",
+                "--json",
+                "--top",
+                "4",
+                "--jobs",
+                "2",
+                "--goodput",
+                "1000",
+                "--domains",
+                "2,2",
+                "--rack-mtbf",
+                "500",
+            ],
+        ),
     ];
 
     for (target, body, config, cli_args) in cases {

@@ -76,13 +76,25 @@ pub struct FlagSet {
     /// Collect `--mtbf`/`--restart`/`--ckpt-gbps`/`--ckpt-interval` into
     /// the scenario's resilience section.
     pub resilience: bool,
+    /// Collect `--domains`/`--rack-mtbf`/`--pod-mtbf`/`--preemption-mtbf`/
+    /// `--regrow-delay`/`--placement` into the scenario's failure_domains
+    /// section.
+    pub failure_domains: bool,
 }
 
 impl FlagSet {
     /// The flag set for commands with a goodput/resilience analysis.
     #[must_use]
     pub fn with_resilience() -> Self {
-        FlagSet { resilience: true }
+        FlagSet { resilience: true, failure_domains: false }
+    }
+
+    /// The flag set for commands that also price correlated failure
+    /// domains (implies the resilience family — the domain tiers extend
+    /// the base node-failure model).
+    #[must_use]
+    pub fn with_failure_domains() -> Self {
+        FlagSet { resilience: true, failure_domains: true }
     }
 }
 
@@ -206,6 +218,9 @@ impl ScenarioDraft {
         let mut doc: Vec<(String, Value)> = Vec::new();
         for section in schema::SECTIONS {
             if section.name == "resilience" && !set.resilience {
+                continue;
+            }
+            if section.name == "failure_domains" && !set.failure_domains {
                 continue;
             }
             match section.kind {
@@ -772,6 +787,62 @@ mod tests {
             .unwrap();
         let r = draft.resolve().unwrap();
         assert!(r.scenario.resilience.is_none());
+    }
+
+    #[test]
+    fn failure_domain_flags_are_gated_and_layer_like_any_section() {
+        // Without the gate, domain flags are ignored (so `--placement` in
+        // an unrelated command cannot half-build the section).
+        let mut draft = ScenarioDraft::new();
+        draft
+            .flags(
+                &flags(vec![("rack-mtbf", "720")]),
+                FlagSet::with_resilience(),
+            )
+            .unwrap();
+        assert!(draft.resolve().unwrap().scenario.failure_domains.is_none());
+
+        // With the gate, flags build the section over a file layer, and
+        // provenance names each flag.
+        let mut draft = ScenarioDraft::new();
+        draft
+            .push_json(
+                Source::File,
+                r#"{ "resilience": { "node_mtbf_hours": 4380.0 },
+                     "failure_domains": { "shape": [4, 2], "rack_mtbf_hours": 2000.0 } }"#,
+            )
+            .unwrap();
+        draft
+            .flags(
+                &flags(vec![("rack-mtbf", "720"), ("placement", "stage-major")]),
+                FlagSet::with_failure_domains(),
+            )
+            .unwrap();
+        let r = draft.resolve().unwrap();
+        let fd = r.scenario.failure_domains.expect("section resolved");
+        assert_eq!(fd.shape, [4, 2]); // file survives
+        assert_eq!(fd.rack_mtbf_hours, Some(720.0)); // flag wins
+        assert_eq!(fd.placement, "stage-major");
+        assert_eq!(fd.regrow_delay_s, 600.0); // serde default
+        let rack = r
+            .provenance
+            .iter()
+            .find(|(k, _)| k == "failure_domains.rack_mtbf_hours")
+            .unwrap();
+        assert_eq!(rack.1, "flags (--rack-mtbf)");
+    }
+
+    #[test]
+    fn failure_domains_require_a_resilience_base() {
+        let mut draft = ScenarioDraft::new();
+        draft
+            .push_json(
+                Source::File,
+                r#"{ "failure_domains": { "rack_mtbf_hours": 2000.0 } }"#,
+            )
+            .unwrap();
+        let msg = draft.resolve().unwrap_err().to_string();
+        assert!(msg.contains("requires a `resilience` section"), "{msg}");
     }
 
     #[test]

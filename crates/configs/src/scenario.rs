@@ -3,8 +3,9 @@
 //! versioned and shared as JSON instead of code.
 
 use amped_core::{
-    AcceleratorSpec, EfficiencyModel, EngineOptions, Error, Link, Parallelism, Precision,
-    ResilienceParams, Result, SystemSpec, TrainingConfig, TransformerModel,
+    AcceleratorSpec, EfficiencyModel, ElasticParams, EngineOptions, Error, FailureDomainTree,
+    Link, Parallelism, Precision, ResilienceParams, Result, SystemSpec, TrainingConfig,
+    TransformerModel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +58,10 @@ pub struct ScenarioConfig {
     /// (optional; omitting it keeps the scenario purely fault-free).
     #[serde(default)]
     pub resilience: Option<ResilienceSection>,
+    /// Correlated failure domains — rack/pod outage tiers, spot
+    /// preemption, and elastic recovery (optional; requires `resilience`).
+    #[serde(default)]
+    pub failure_domains: Option<FailureDomainsSection>,
 }
 
 fn default_bits() -> u32 {
@@ -116,6 +121,95 @@ impl ResilienceSection {
         }
         params.validate()?;
         Ok(params)
+    }
+}
+
+/// Correlated failure-domain parameters as they appear in scenario files —
+/// operator-facing units (hours) that convert to the seconds-based core
+/// [`FailureDomainTree`] and [`ElasticParams`] at resolve time. The tree's
+/// node count always comes from the scenario's `system` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureDomainsSection {
+    /// `[nodes_per_rack, racks_per_pod]` (default `[8, 4]`).
+    #[serde(default = "default_shape")]
+    pub shape: [usize; 2],
+    /// Per-rack outage MTBF, hours (`None` = no rack outage tier).
+    #[serde(default)]
+    pub rack_mtbf_hours: Option<f64>,
+    /// Per-pod outage MTBF, hours (`None` = no pod outage tier).
+    #[serde(default)]
+    pub pod_mtbf_hours: Option<f64>,
+    /// Per-node spot-preemption MTBF, hours (`None` = not preemptible).
+    #[serde(default)]
+    pub preemption_mtbf_hours: Option<f64>,
+    /// Capacity-regrow delay for elastic recovery, seconds (default 600).
+    #[serde(default = "default_regrow_s")]
+    pub regrow_delay_s: f64,
+    /// Device layout: `auto` (default), `replica-major`, `stage-major`.
+    #[serde(default = "default_placement")]
+    pub placement: String,
+}
+
+fn default_shape() -> [usize; 2] {
+    [8, 4]
+}
+
+fn default_regrow_s() -> f64 {
+    600.0
+}
+
+fn default_placement() -> String {
+    "auto".to_string()
+}
+
+impl FailureDomainsSection {
+    /// The core failure-domain tree for a cluster of `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shape or a tier MTBF is out of range.
+    pub fn tree(&self, num_nodes: usize) -> Result<FailureDomainTree> {
+        let mut tree = FailureDomainTree::new(num_nodes, self.shape[0], self.shape[1])?;
+        if let Some(hours) = self.rack_mtbf_hours {
+            tree = tree.with_rack_mtbf(hours * 3600.0);
+        }
+        if let Some(hours) = self.pod_mtbf_hours {
+            tree = tree.with_pod_mtbf(hours * 3600.0);
+        }
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// The elastic-capacity parameters (regrow delay plus any preemption
+    /// tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the regrow delay or preemption MTBF is out of
+    /// range.
+    pub fn elastic(&self) -> Result<ElasticParams> {
+        let mut elastic = ElasticParams::new(self.regrow_delay_s);
+        if let Some(hours) = self.preemption_mtbf_hours {
+            elastic = elastic.with_preemption_mtbf(hours * 3600.0);
+        }
+        elastic.validate()?;
+        Ok(elastic)
+    }
+
+    /// Validate the placement spelling (`auto`, `replica-major`/`replica`,
+    /// `stage-major`/`stage`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Usage`] for any other spelling.
+    pub fn check_placement(&self) -> Result<()> {
+        match self.placement.as_str() {
+            "auto" | "replica-major" | "replica" | "stage-major" | "stage" => Ok(()),
+            other => Err(Error::usage(format!(
+                "scenario.failure_domains.placement: unknown layout `{other}` \
+                 (expected auto, replica-major, or stage-major)"
+            ))),
+        }
     }
 }
 
@@ -212,6 +306,8 @@ pub struct ResolvedScenario {
     pub options: EngineOptions,
     /// Failure/checkpoint parameters, validated at resolve time.
     pub resilience: Option<ResilienceSection>,
+    /// Correlated failure domains, validated at resolve time.
+    pub failure_domains: Option<FailureDomainsSection>,
 }
 
 impl ResolvedScenario {
@@ -305,6 +401,7 @@ impl ScenarioConfig {
             efficiency: optional_section(doc, "efficiency")?,
             activation_recompute: optional_section(doc, "activation_recompute")?.unwrap_or(false),
             resilience: optional_section(doc, "resilience")?,
+            failure_domains: optional_section(doc, "failure_domains")?,
         })
     }
 
@@ -374,6 +471,17 @@ impl ScenarioConfig {
             // model at analysis time.
             resilience.params(system.num_nodes(), 0.0)?;
         }
+        if let Some(domains) = &self.failure_domains {
+            if self.resilience.is_none() {
+                return Err(Error::usage(
+                    "scenario.failure_domains: requires a `resilience` section \
+                     (the base node-failure model the domain tiers extend)",
+                ));
+            }
+            domains.tree(system.num_nodes())?;
+            domains.elastic()?;
+            domains.check_placement()?;
+        }
         Ok(ResolvedScenario {
             model,
             accelerator,
@@ -387,6 +495,7 @@ impl ScenarioConfig {
                 ..Default::default()
             },
             resilience: self.resilience,
+            failure_domains: self.failure_domains.clone(),
         })
     }
 }
@@ -598,6 +707,55 @@ mod tests {
     fn scenarios_without_resilience_resolve_to_none() {
         let s = ScenarioConfig::from_json(SAMPLE).unwrap().resolve().unwrap();
         assert!(s.resilience.is_none());
+    }
+
+    #[test]
+    fn failure_domains_resolve_with_defaults_and_convert_to_core_types() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"resilience\": { \"node_mtbf_hours\": 4380.0 },\n         \"failure_domains\": { \"rack_mtbf_hours\": 720.0, \"preemption_mtbf_hours\": 168.0 }",
+        );
+        let s = ScenarioConfig::from_json(&json).unwrap().resolve().unwrap();
+        let fd = s.failure_domains.expect("section carried through");
+        assert_eq!(fd.shape, [8, 4]);
+        assert_eq!(fd.regrow_delay_s, 600.0);
+        assert_eq!(fd.placement, "auto");
+        let tree = fd.tree(s.system.num_nodes()).unwrap();
+        assert_eq!(tree.num_nodes, 16);
+        assert_eq!(tree.num_racks(), 2);
+        assert_eq!(tree.rack_mtbf_s, Some(720.0 * 3600.0));
+        assert!(tree.pod_mtbf_s.is_none());
+        let elastic = fd.elastic().unwrap();
+        assert_eq!(elastic.preemption_mtbf_s, Some(168.0 * 3600.0));
+        assert_eq!(elastic.regrow_delay_s, 600.0);
+    }
+
+    #[test]
+    fn failure_domains_without_resilience_are_rejected() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"failure_domains\": { \"rack_mtbf_hours\": 720.0 }",
+        );
+        let msg = ScenarioConfig::from_json(&json)
+            .unwrap()
+            .resolve()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("requires a `resilience` section"), "{msg}");
+    }
+
+    #[test]
+    fn bad_placement_spelling_is_rejected_at_resolve() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"resilience\": { \"node_mtbf_hours\": 4380.0 },\n         \"failure_domains\": { \"placement\": \"diagonal\" }",
+        );
+        let msg = ScenarioConfig::from_json(&json)
+            .unwrap()
+            .resolve()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("unknown layout `diagonal`"), "{msg}");
     }
 
     #[test]

@@ -198,6 +198,47 @@ const RESILIENCE_FIELDS: &[FieldSpec] = &[
     },
 ];
 
+const FAILURE_DOMAIN_FIELDS: &[FieldSpec] = &[
+    FieldSpec {
+        name: "shape",
+        ty: FieldType::Pair,
+        required: false,
+        nullable: false,
+        flag: Some("domains"),
+        default: Some("[8, 4]"),
+        doc: "[nodes per rack, racks per pod]",
+    },
+    FieldSpec {
+        name: "rack_mtbf_hours",
+        ty: FieldType::Number,
+        required: false,
+        nullable: true,
+        flag: Some("rack-mtbf"),
+        default: None,
+        doc: "per-rack mean time between outages, hours (null = no rack tier)",
+    },
+    FieldSpec {
+        name: "pod_mtbf_hours",
+        ty: FieldType::Number,
+        required: false,
+        nullable: true,
+        flag: Some("pod-mtbf"),
+        default: None,
+        doc: "per-pod mean time between outages, hours (null = no pod tier)",
+    },
+    FieldSpec {
+        name: "preemption_mtbf_hours",
+        ty: FieldType::Number,
+        required: false,
+        nullable: true,
+        flag: Some("preemption-mtbf"),
+        default: None,
+        doc: "per-node mean time between spot preemptions, hours (null = no preemption)",
+    },
+    flagged("regrow_delay_s", FieldType::Number, "regrow-delay", Some("600"), "capacity-regrow delay for elastic (shrink/regrow) recovery, seconds"),
+    flagged("placement", FieldType::Text, "placement", Some("auto"), "device layout: auto, replica-major, or stage-major"),
+];
+
 const fn field(name: &'static str, ty: FieldType, required: bool, doc: &'static str) -> FieldSpec {
     FieldSpec { name, ty, required, nullable: false, flag: None, default: None, doc }
 }
@@ -302,6 +343,14 @@ pub const SECTIONS: &[SectionSpec] = &[
         default: None,
         doc: "failure/checkpoint parameters for expected-time analysis",
     },
+    SectionSpec {
+        name: "failure_domains",
+        required: false,
+        kind: SectionKind::Object(FAILURE_DOMAIN_FIELDS),
+        flag: None,
+        default: None,
+        doc: "correlated failure domains (rack/pod outage tiers, spot preemption, elastic recovery)",
+    },
 ];
 
 /// Look up a section spec by its JSON key.
@@ -359,7 +408,7 @@ fn describe(ty: FieldType) -> &'static str {
     match ty {
         FieldType::Integer => "a non-negative integer",
         FieldType::Number => "a number",
-        FieldType::Pair => "an array of 2 elements ([intra, inter] degrees)",
+        FieldType::Pair => "an array of 2 elements (non-negative integers)",
         FieldType::Boolean => "a boolean",
         FieldType::Text => "a string",
         FieldType::Object => "an object",

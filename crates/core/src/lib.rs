@@ -93,7 +93,10 @@ pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder}
 pub use network::{Link, SystemSpec};
 pub use parallelism::{MicrobatchPolicy, Parallelism, ParallelismBuilder, ZeroConfig, ZeroStage};
 pub use precision::Precision;
-pub use resilience::{ResilienceParams, ResilienceReport};
+pub use resilience::{
+    CorrelatedReport, CorrelatedResilience, DomainPlacement, ElasticParams, FailureDomainTree,
+    ResilienceParams, ResilienceReport, DEFAULT_NODE_MTBF_HOURS,
+};
 pub use sensitivity::{Knob, SensitivityAnalysis, SensitivityResult};
 pub use training::TrainingConfig;
 pub use units::Seconds;
@@ -111,7 +114,10 @@ pub mod prelude {
     pub use crate::network::{Link, SystemSpec};
     pub use crate::parallelism::{MicrobatchPolicy, Parallelism, ZeroConfig, ZeroStage};
     pub use crate::precision::Precision;
-    pub use crate::resilience::{ResilienceParams, ResilienceReport};
+    pub use crate::resilience::{
+        CorrelatedReport, CorrelatedResilience, DomainPlacement, ElasticParams, FailureDomainTree,
+        ResilienceParams, ResilienceReport,
+    };
     pub use crate::training::TrainingConfig;
     pub use crate::units::Seconds;
 }

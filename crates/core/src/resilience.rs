@@ -53,6 +53,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 
+/// The default per-node mean time between failures both front-ends assume
+/// when a scenario does not configure one: six months, in hours.
+pub const DEFAULT_NODE_MTBF_HOURS: f64 = 4380.0;
+
 /// Failure and checkpointing characteristics of a training deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResilienceParams {
@@ -295,6 +299,628 @@ impl std::fmt::Display for ResilienceReport {
     }
 }
 
+/// The failure-domain hierarchy of a cluster: nodes grouped into racks,
+/// racks grouped into pods, with optional per-tier outage rates.
+///
+/// The node tier's failure rate lives in [`ResilienceParams::unit_mtbf_s`]
+/// (one unit per node, as before); this tree adds the *correlated* tiers on
+/// top. A rack outage (PDU, ToR switch) takes out every node in the rack at
+/// once; a pod outage every rack in the pod. A tier without an MTBF injects
+/// no outages, so the default tree — no rack or pod rate — degenerates to
+/// the independent-exponential model exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDomainTree {
+    /// Total nodes in the cluster.
+    pub num_nodes: usize,
+    /// Nodes behind one rack-level failure domain.
+    pub nodes_per_rack: usize,
+    /// Racks behind one pod-level failure domain.
+    pub racks_per_pod: usize,
+    /// Mean time between outages of one rack, seconds (`None` = never).
+    #[serde(default)]
+    pub rack_mtbf_s: Option<f64>,
+    /// Mean time between outages of one pod, seconds (`None` = never).
+    #[serde(default)]
+    pub pod_mtbf_s: Option<f64>,
+}
+
+impl FailureDomainTree {
+    /// A tree of `num_nodes` nodes in racks of `nodes_per_rack`, pods of
+    /// `racks_per_pod` racks, with no tier outage rates yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when any count is zero.
+    pub fn new(num_nodes: usize, nodes_per_rack: usize, racks_per_pod: usize) -> Result<Self> {
+        let tree = FailureDomainTree {
+            num_nodes,
+            nodes_per_rack,
+            racks_per_pod,
+            rack_mtbf_s: None,
+            pod_mtbf_s: None,
+        };
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// The trivial tree: every node in one rack of one pod, no tier
+    /// outages — the exact shape of the independent-exponential model.
+    pub fn single_domain(num_nodes: usize) -> Self {
+        FailureDomainTree {
+            num_nodes: num_nodes.max(1),
+            nodes_per_rack: num_nodes.max(1),
+            racks_per_pod: 1,
+            rack_mtbf_s: None,
+            pod_mtbf_s: None,
+        }
+    }
+
+    /// Set the per-rack outage MTBF in seconds.
+    pub fn with_rack_mtbf(mut self, seconds: f64) -> Self {
+        self.rack_mtbf_s = Some(seconds);
+        self
+    }
+
+    /// Set the per-pod outage MTBF in seconds.
+    pub fn with_pod_mtbf(mut self, seconds: f64) -> Self {
+        self.pod_mtbf_s = Some(seconds);
+        self
+    }
+
+    /// Check every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_nodes == 0 {
+            return Err(Error::invalid("failure_domains", "at least one node"));
+        }
+        if self.nodes_per_rack == 0 {
+            return Err(Error::invalid("failure_domains", "nodes_per_rack must be positive"));
+        }
+        if self.racks_per_pod == 0 {
+            return Err(Error::invalid("failure_domains", "racks_per_pod must be positive"));
+        }
+        for (name, mtbf) in [("rack", self.rack_mtbf_s), ("pod", self.pod_mtbf_s)] {
+            if let Some(m) = mtbf {
+                if !(m > 0.0 && m.is_finite()) {
+                    return Err(Error::invalid(
+                        "failure_domains",
+                        format!("{name} mtbf must be positive and finite, got {m}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of racks (the last one may be partial).
+    pub fn num_racks(&self) -> usize {
+        self.num_nodes.div_ceil(self.nodes_per_rack)
+    }
+
+    /// Number of pods (the last one may be partial).
+    pub fn num_pods(&self) -> usize {
+        self.num_racks().div_ceil(self.racks_per_pod)
+    }
+
+    /// Nodes behind one pod-level domain.
+    pub fn nodes_per_pod(&self) -> usize {
+        self.nodes_per_rack * self.racks_per_pod
+    }
+
+    /// Cluster-wide rack-outage rate, outages per second (0 when the rack
+    /// tier has no MTBF).
+    pub fn rack_outage_rate_per_s(&self) -> f64 {
+        match self.rack_mtbf_s {
+            Some(m) => self.num_racks() as f64 / m,
+            None => 0.0,
+        }
+    }
+
+    /// Cluster-wide pod-outage rate, outages per second (0 when the pod
+    /// tier has no MTBF).
+    pub fn pod_outage_rate_per_s(&self) -> f64 {
+        match self.pod_mtbf_s {
+            Some(m) => self.num_pods() as f64 / m,
+            None => 0.0,
+        }
+    }
+}
+
+/// Elastic-capacity behaviour: spot preemption as a fault class, and
+/// shrink/regrow instead of a full restart for survivable outages.
+///
+/// When attached to a [`CorrelatedResilience`], an outage whose blast
+/// radius breaks fewer than all DP replicas no longer restarts the run:
+/// the broken replicas are dropped, the survivors carry the full batch at
+/// a rescaled step time (`dp / (dp - k)`) until capacity regrows after
+/// `regrow_delay_s`, then the rejoining replicas re-replicate state at the
+/// checkpoint-write cost. Node *crashes* stay fatal — in-flight state on
+/// the crashed node is gone mid-step — only planned preemptions and clean
+/// domain outages shrink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticParams {
+    /// Per-node mean time between spot preemptions, seconds (`None` = the
+    /// capacity is not preemptible).
+    #[serde(default)]
+    pub preemption_mtbf_s: Option<f64>,
+    /// Seconds until preempted or failed capacity is regrown.
+    pub regrow_delay_s: f64,
+}
+
+impl ElasticParams {
+    /// Elastic mode with the given capacity-regrow delay and no
+    /// preemption pressure yet.
+    pub fn new(regrow_delay_s: f64) -> Self {
+        ElasticParams {
+            preemption_mtbf_s: None,
+            regrow_delay_s,
+        }
+    }
+
+    /// Set the per-node mean time between spot preemptions in seconds.
+    pub fn with_preemption_mtbf(mut self, seconds: f64) -> Self {
+        self.preemption_mtbf_s = Some(seconds);
+        self
+    }
+
+    /// Check every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.regrow_delay_s >= 0.0 && self.regrow_delay_s.is_finite()) {
+            return Err(Error::invalid(
+                "failure_domains",
+                format!("regrow delay must be non-negative, got {}", self.regrow_delay_s),
+            ));
+        }
+        if let Some(m) = self.preemption_mtbf_s {
+            if !(m > 0.0 && m.is_finite()) {
+                return Err(Error::invalid(
+                    "failure_domains",
+                    format!("preemption mtbf must be positive and finite, got {m}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cluster-wide preemption rate for `num_nodes` nodes, events/second.
+    pub fn preemption_rate_per_s(&self, num_nodes: usize) -> f64 {
+        match self.preemption_mtbf_s {
+            Some(m) => num_nodes as f64 / m,
+            None => 0.0,
+        }
+    }
+}
+
+/// The blast-radius summary of one placement of a DP × PP mapping onto a
+/// [`FailureDomainTree`]: for the worst-case domain at each tier, how many
+/// DP replicas have at least one device inside it.
+///
+/// A replica with any device inside a failed domain is broken; the outage
+/// is elastically survivable only when broken replicas are fewer than
+/// `dp`. Blast-radius-minimizing placements (replica-major: each replica
+/// on as few domains as possible) keep these counts low; stage-major
+/// placements (each domain holds one stage of *every* replica) maximize
+/// them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainPlacement {
+    /// Which layout produced these counts (`"replica-major"` or
+    /// `"stage-major"`).
+    pub strategy: String,
+    /// Data-parallel replica count of the mapping.
+    pub dp: usize,
+    /// Worst-case replicas broken by losing one node.
+    pub replicas_per_node: usize,
+    /// Worst-case replicas broken by one rack outage.
+    pub replicas_per_rack: usize,
+    /// Worst-case replicas broken by one pod outage.
+    pub replicas_per_pod: usize,
+}
+
+/// Worst-case number of DP replicas broken by losing one domain of
+/// `domain_nodes` consecutive nodes, for the given device layout.
+/// `stage_major` selects device index `s·dp + r` instead of `r·pp + s`.
+fn worst_broken_replicas(
+    dp: usize,
+    pp: usize,
+    tp: usize,
+    accels_per_node: usize,
+    num_nodes: usize,
+    domain_nodes: usize,
+    stage_major: bool,
+) -> usize {
+    let num_domains = num_nodes.div_ceil(domain_nodes);
+    let mut worst = 0;
+    for dom in 0..num_domains {
+        let n0 = dom * domain_nodes;
+        let n1 = (((dom + 1) * domain_nodes).min(num_nodes)).saturating_sub(1);
+        let mut broken = 0;
+        for r in 0..dp {
+            let hit = (0..pp).any(|s| {
+                let d = if stage_major { s * dp + r } else { r * pp + s };
+                let lo = d * tp / accels_per_node;
+                let hi = ((d + 1) * tp - 1) / accels_per_node;
+                lo <= n1 && hi >= n0
+            });
+            if hit {
+                broken += 1;
+            }
+        }
+        worst = worst.max(broken);
+    }
+    worst
+}
+
+impl DomainPlacement {
+    fn layout(
+        strategy: &str,
+        dp: usize,
+        pp: usize,
+        tp: usize,
+        accels_per_node: usize,
+        tree: &FailureDomainTree,
+        stage_major: bool,
+    ) -> Self {
+        let blast = |domain_nodes: usize| {
+            worst_broken_replicas(
+                dp,
+                pp,
+                tp,
+                accels_per_node,
+                tree.num_nodes,
+                domain_nodes,
+                stage_major,
+            )
+        };
+        DomainPlacement {
+            strategy: strategy.to_string(),
+            dp,
+            replicas_per_node: blast(1),
+            replicas_per_rack: blast(tree.nodes_per_rack),
+            replicas_per_pod: blast(tree.nodes_per_pod()),
+        }
+    }
+
+    /// The replica-major placement: each DP replica occupies a contiguous
+    /// run of devices (device `r·pp + s`), so replicas span as few domains
+    /// as possible — the blast-radius-minimizing layout, and the layout
+    /// the simulator's device grid natively uses.
+    pub fn replica_major(
+        dp: usize,
+        pp: usize,
+        tp: usize,
+        accels_per_node: usize,
+        tree: &FailureDomainTree,
+    ) -> Self {
+        Self::layout("replica-major", dp, pp, tp, accels_per_node, tree, false)
+    }
+
+    /// The stage-major placement: each pipeline stage's replicas sit
+    /// together (device `s·dp + r`), so one domain holds a stage of
+    /// *every* replica — the blast-radius-maximizing layout, kept as the
+    /// adversarial reference.
+    pub fn stage_major(
+        dp: usize,
+        pp: usize,
+        tp: usize,
+        accels_per_node: usize,
+        tree: &FailureDomainTree,
+    ) -> Self {
+        Self::layout("stage-major", dp, pp, tp, accels_per_node, tree, true)
+    }
+
+    /// Check every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when counts are inconsistent.
+    pub fn validate(&self) -> Result<()> {
+        if self.dp == 0 {
+            return Err(Error::invalid("failure_domains", "placement needs dp >= 1"));
+        }
+        for (name, k) in [
+            ("node", self.replicas_per_node),
+            ("rack", self.replicas_per_rack),
+            ("pod", self.replicas_per_pod),
+        ] {
+            if k > self.dp {
+                return Err(Error::invalid(
+                    "failure_domains",
+                    format!("{name} blast radius {k} exceeds dp {}", self.dp),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The correlated-outage extension of [`ResilienceParams`]: expected time
+/// under a [`FailureDomainTree`] and a [`DomainPlacement`], optionally
+/// with elastic shrink/regrow ([`ElasticParams`]).
+///
+/// Fault classes and their costs:
+///
+/// * **node crashes** — the base independent-exponential tier
+///   (`units / unit_mtbf`). Always fatal: restart + Young/Daly rework.
+/// * **rack / pod outages** — correlated tiers from the tree. Fatal unless
+///   elastic mode is on *and* the placement leaves at least one replica
+///   intact (`broken < dp`); then the run shrinks: the survivors carry the
+///   batch at `dp/(dp-k)` step time for the regrow window, costing
+///   `regrow_delay · k/(dp-k)` extra seconds plus one checkpoint-write of
+///   state re-replication per event.
+/// * **spot preemptions** — a per-node elastic fault class with the same
+///   shrink cost (`k` = the node blast radius), fatal when a single node
+///   already breaks every replica.
+///
+/// With a trivial tree (no rack/pod rates) and no preemption the model
+/// *is* [`ResilienceParams::report`] — same arithmetic, bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedResilience {
+    /// The node-tier parameters (MTBF, checkpoint cost, restart, interval).
+    pub base: ResilienceParams,
+    /// The failure-domain hierarchy.
+    pub tree: FailureDomainTree,
+    /// Blast-radius summary of the chosen placement.
+    pub placement: DomainPlacement,
+    /// Elastic shrink/regrow behaviour (`None` = every outage is fatal).
+    #[serde(default)]
+    pub elastic: Option<ElasticParams>,
+}
+
+impl CorrelatedResilience {
+    /// Correlated parameters over `base`, `tree` and `placement`, with
+    /// every outage fatal until [`CorrelatedResilience::with_elastic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when any component fails its own
+    /// validation or the tree does not cover `base.units` nodes.
+    pub fn new(
+        base: ResilienceParams,
+        tree: FailureDomainTree,
+        placement: DomainPlacement,
+    ) -> Result<Self> {
+        let params = CorrelatedResilience {
+            base,
+            tree,
+            placement,
+            elastic: None,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Enable elastic shrink/regrow.
+    pub fn with_elastic(mut self, elastic: ElasticParams) -> Self {
+        self.elastic = Some(elastic);
+        self
+    }
+
+    /// Check every component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        self.base.validate()?;
+        self.tree.validate()?;
+        self.placement.validate()?;
+        if let Some(elastic) = &self.elastic {
+            elastic.validate()?;
+        }
+        if self.tree.num_nodes != self.base.units {
+            return Err(Error::invalid(
+                "failure_domains",
+                format!(
+                    "domain tree covers {} nodes but the system has {}",
+                    self.tree.num_nodes, self.base.units
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the model degenerates to the independent-exponential base:
+    /// no correlated tier rates and no preemption pressure.
+    pub fn is_degenerate(&self) -> bool {
+        self.tree.rack_mtbf_s.is_none()
+            && self.tree.pod_mtbf_s.is_none()
+            && self
+                .elastic
+                .as_ref()
+                .is_none_or(|e| e.preemption_mtbf_s.is_none())
+    }
+
+    /// Per-tier (rate, blast radius, elastic?) rows beyond the node tier.
+    fn correlated_tiers(&self) -> [(f64, usize); 3] {
+        let preempt = self
+            .elastic
+            .as_ref()
+            .map_or(0.0, |e| e.preemption_rate_per_s(self.tree.num_nodes));
+        [
+            (self.tree.rack_outage_rate_per_s(), self.placement.replicas_per_rack),
+            (self.tree.pod_outage_rate_per_s(), self.placement.replicas_per_pod),
+            (preempt, self.placement.replicas_per_node),
+        ]
+    }
+
+    /// Whether an outage breaking `k` replicas shrinks instead of
+    /// restarting.
+    fn is_elastic(&self, k: usize) -> bool {
+        self.elastic.is_some() && k < self.placement.dp
+    }
+
+    /// Total rate of *fatal* events (full restart + rework), per second:
+    /// node crashes plus every correlated tier elastic mode cannot absorb.
+    pub fn fatal_rate_per_s(&self) -> f64 {
+        let mut rate = 1.0 / self.base.system_mtbf_s();
+        for (r, k) in self.correlated_tiers() {
+            if r > 0.0 && !self.is_elastic(k) {
+                rate += r;
+            }
+        }
+        rate
+    }
+
+    /// Total rate of *elastic* events (shrink/regrow), per second.
+    pub fn elastic_rate_per_s(&self) -> f64 {
+        let mut rate = 0.0;
+        for (r, k) in self.correlated_tiers() {
+            if r > 0.0 && self.is_elastic(k) {
+                rate += r;
+            }
+        }
+        rate
+    }
+
+    /// The node-tier parameters with the MTBF collapsed to the fatal-class
+    /// system MTBF — the [`ResilienceParams`] whose Young/Daly analysis
+    /// prices the fatal events. In the degenerate case this is `base`
+    /// itself, so the arithmetic (and its bits) are untouched.
+    pub fn fatal_params(&self) -> ResilienceParams {
+        if self.is_degenerate() {
+            self.base.clone()
+        } else {
+            let mut params = self.base.clone();
+            params.unit_mtbf_s = 1.0 / self.fatal_rate_per_s();
+            params.units = 1;
+            params
+        }
+    }
+
+    /// Expected extra seconds per second of useful work spent running
+    /// shrunk: `Σ rate · (regrow_delay · k/(dp-k) + ckpt_write)`.
+    fn elastic_overhead_per_s(&self) -> f64 {
+        let Some(elastic) = &self.elastic else {
+            return 0.0;
+        };
+        let dp = self.placement.dp as f64;
+        let mut overhead = 0.0;
+        for (r, k) in self.correlated_tiers() {
+            if r > 0.0 && self.is_elastic(k) {
+                let k = k as f64;
+                overhead +=
+                    r * (elastic.regrow_delay_s * k / (dp - k) + self.base.ckpt_write_s);
+            }
+        }
+        overhead
+    }
+
+    /// The first-order expectation for `fault_free_s` seconds of useful
+    /// work at a fixed checkpoint interval — the correlated counterpart of
+    /// [`ResilienceParams::expected_time_s`], exposed so simulations can
+    /// be checked against the exact expression the report evaluates.
+    pub fn expected_time_s(&self, fault_free_s: f64, interval_s: f64) -> f64 {
+        self.fatal_params().expected_time_s(fault_free_s, interval_s)
+            + fault_free_s * self.elastic_overhead_per_s()
+    }
+
+    /// The full correlated report for a run of `fault_free_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] under the same conditions as
+    /// [`ResilienceParams::report`], plus any component validation error.
+    pub fn report(&self, fault_free_s: f64) -> Result<CorrelatedReport> {
+        self.validate()?;
+        let report = self.fatal_params().report(fault_free_s)?;
+        let elastic_overhead_s = fault_free_s * self.elastic_overhead_per_s();
+        let expected_s = report.expected_s + elastic_overhead_s;
+        Ok(CorrelatedReport {
+            expected_s,
+            fatal_rate_per_s: self.fatal_rate_per_s(),
+            elastic_rate_per_s: self.elastic_rate_per_s(),
+            elastic_events: fault_free_s * self.elastic_rate_per_s(),
+            elastic_overhead_s,
+            placement: self.placement.clone(),
+            report,
+        })
+    }
+}
+
+/// Expected-time accounting under correlated outages — the fatal-class
+/// Young/Daly [`ResilienceReport`] plus the elastic shrink overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedReport {
+    /// Expected wall-clock time: `report.expected_s` plus the elastic
+    /// shrink overhead.
+    pub expected_s: f64,
+    /// Rate of fatal events (node crashes + unsurvivable outages), per
+    /// second.
+    pub fatal_rate_per_s: f64,
+    /// Rate of elastically absorbed events, per second.
+    pub elastic_rate_per_s: f64,
+    /// Expected number of elastic events over the run.
+    pub elastic_events: f64,
+    /// Total expected seconds of shrink/regrow overhead.
+    pub elastic_overhead_s: f64,
+    /// The placement whose blast radii produced these rates.
+    pub placement: DomainPlacement,
+    /// The fatal-class checkpoint/restart accounting. In the degenerate
+    /// case (trivial tree, no preemption) this is bit-for-bit the
+    /// independent-exponential [`ResilienceParams::report`].
+    pub report: ResilienceReport,
+}
+
+impl CorrelatedReport {
+    /// Fraction of wall-clock time spent making forward progress.
+    pub fn goodput(&self) -> f64 {
+        self.report.fault_free_s / self.expected_s
+    }
+
+    /// Expected slowdown over the fault-free run (`>= 1`).
+    pub fn slowdown(&self) -> f64 {
+        self.expected_s / self.report.fault_free_s
+    }
+
+    /// Expected run length in days.
+    pub fn expected_days(&self) -> f64 {
+        self.expected_s / 86_400.0
+    }
+
+    /// The fatal-class report with the total (fatal + elastic) expectation
+    /// in `expected_s` — what ranking and tables consume when they want
+    /// one flat [`ResilienceReport`] per mapping. In the degenerate case
+    /// the overhead is exactly zero and the flattening is the identity.
+    pub fn flat_report(&self) -> ResilienceReport {
+        let mut flat = self.report.clone();
+        flat.expected_s = self.expected_s;
+        flat
+    }
+}
+
+impl std::fmt::Display for CorrelatedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "expected time {:.3e} s ({:.2} days), {:.1}% goodput under correlated outages",
+            self.expected_s,
+            self.expected_days(),
+            self.goodput() * 100.0,
+        )?;
+        writeln!(
+            f,
+            "  placement {}: blast radius {}/{}/{} replicas (node/rack/pod) of dp {}",
+            self.placement.strategy,
+            self.placement.replicas_per_node,
+            self.placement.replicas_per_rack,
+            self.placement.replicas_per_pod,
+            self.placement.dp,
+        )?;
+        write!(
+            f,
+            "  fatal rate {:.3e}/s, elastic rate {:.3e}/s ({:.1} shrink events, {:.3e} s overhead)",
+            self.fatal_rate_per_s, self.elastic_rate_per_s, self.elastic_events, self.elastic_overhead_s,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +996,189 @@ mod tests {
         let r = params().report(1e6).unwrap();
         let json = serde_json::to_string(&r).unwrap();
         let back: ResilienceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    fn tree_16() -> FailureDomainTree {
+        FailureDomainTree::new(16, 4, 2).unwrap()
+    }
+
+    #[test]
+    fn tree_counts_domains_with_partial_tails() {
+        let t = tree_16();
+        assert_eq!(t.num_racks(), 4);
+        assert_eq!(t.num_pods(), 2);
+        assert_eq!(t.nodes_per_pod(), 8);
+        let uneven = FailureDomainTree::new(10, 4, 2).unwrap();
+        assert_eq!(uneven.num_racks(), 3);
+        assert_eq!(uneven.num_pods(), 2);
+        assert!(FailureDomainTree::new(0, 4, 2).is_err());
+        assert!(FailureDomainTree::new(4, 0, 2).is_err());
+        assert!(tree_16().with_rack_mtbf(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn placement_blast_radius_replica_vs_stage_major() {
+        // dp 4 × pp 4, tp 1, 1 accel/node, 16 nodes in racks of 4: a
+        // replica-major replica fits exactly one rack (rack kills 1
+        // replica), stage-major spreads every replica over every rack.
+        let t = tree_16();
+        let rm = DomainPlacement::replica_major(4, 4, 1, 1, &t);
+        let sm = DomainPlacement::stage_major(4, 4, 1, 1, &t);
+        assert_eq!(rm.replicas_per_rack, 1);
+        assert_eq!(sm.replicas_per_rack, 4);
+        assert_eq!(rm.replicas_per_node, 1);
+        assert_eq!(sm.replicas_per_node, 1);
+        assert_eq!(rm.replicas_per_pod, 2);
+        assert_eq!(sm.replicas_per_pod, 4);
+        rm.validate().unwrap();
+        sm.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_correlated_model_is_bitwise_the_base_report() {
+        // The acceptance pin: all devices in one domain, no tier rates,
+        // zero preemption — the correlated model must reproduce the
+        // independent-exponential report bit for bit.
+        let base = params();
+        let tree = FailureDomainTree::single_domain(base.units);
+        let placement = DomainPlacement::replica_major(4, 2, 1, 8, &tree);
+        let correlated =
+            CorrelatedResilience::new(base.clone(), tree, placement).unwrap();
+        assert!(correlated.is_degenerate());
+        let fault_free = 30.0 * 86400.0;
+        let plain = base.report(fault_free).unwrap();
+        let corr = correlated.report(fault_free).unwrap();
+        assert_eq!(corr.report, plain, "embedded report must be identical");
+        assert_eq!(corr.expected_s.to_bits(), plain.expected_s.to_bits());
+        assert_eq!(
+            corr.report.optimal_interval_s.to_bits(),
+            plain.optimal_interval_s.to_bits()
+        );
+        assert_eq!(corr.elastic_overhead_s, 0.0);
+        assert_eq!(corr.flat_report(), plain);
+        // Elastic mode alone (no preemption pressure) changes nothing.
+        let still = correlated
+            .with_elastic(ElasticParams::new(600.0))
+            .report(fault_free)
+            .unwrap();
+        assert_eq!(still.expected_s.to_bits(), plain.expected_s.to_bits());
+    }
+
+    #[test]
+    fn correlated_tiers_raise_the_fatal_rate_and_expected_time() {
+        let base = params();
+        let tree = FailureDomainTree::new(128, 8, 4)
+            .unwrap()
+            .with_rack_mtbf(0.25 * 365.25 * 86400.0);
+        let placement = DomainPlacement::replica_major(16, 8, 1, 1, &tree);
+        let correlated = CorrelatedResilience::new(base.clone(), tree, placement).unwrap();
+        assert!(!correlated.is_degenerate());
+        let fault_free = 30.0 * 86400.0;
+        let plain = base.report(fault_free).unwrap();
+        let corr = correlated.report(fault_free).unwrap();
+        assert!(corr.fatal_rate_per_s > 1.0 / plain.system_mtbf_s);
+        assert!(corr.expected_s > plain.expected_s);
+        assert_eq!(corr.elastic_rate_per_s, 0.0);
+        // The closed-form expectation matches the report at its interval.
+        let via_formula =
+            correlated.expected_time_s(fault_free, corr.report.interval_s);
+        assert!((via_formula - corr.expected_s).abs() < 1e-9 * corr.expected_s);
+    }
+
+    #[test]
+    fn elastic_mode_absorbs_survivable_outages() {
+        let base = params();
+        let tree = FailureDomainTree::new(128, 8, 4)
+            .unwrap()
+            .with_rack_mtbf(0.25 * 365.25 * 86400.0);
+        // Blast radius 1 replica per rack out of 8: survivable.
+        let placement = DomainPlacement::replica_major(8, 16, 1, 1, &tree);
+        let fatal = CorrelatedResilience::new(base.clone(), tree.clone(), placement.clone())
+            .unwrap();
+        let elastic = fatal.clone().with_elastic(ElasticParams::new(600.0));
+        let fault_free = 30.0 * 86400.0;
+        let r_fatal = fatal.report(fault_free).unwrap();
+        let r_elastic = elastic.report(fault_free).unwrap();
+        // Rack outages moved from the fatal to the elastic class...
+        assert!(r_elastic.fatal_rate_per_s < r_fatal.fatal_rate_per_s);
+        assert!(r_elastic.elastic_rate_per_s > 0.0);
+        assert!(r_elastic.elastic_overhead_s > 0.0);
+        // ...and shrinking beats restarting for these parameters.
+        assert!(r_elastic.expected_s < r_fatal.expected_s);
+        // A stage-major placement breaks every replica, so elastic mode
+        // cannot help it: the outage stays fatal.
+        let sm = DomainPlacement::stage_major(8, 16, 1, 1, &tree);
+        assert_eq!(sm.replicas_per_rack, 8);
+        let stuck = CorrelatedResilience::new(base, tree, sm)
+            .unwrap()
+            .with_elastic(ElasticParams::new(600.0));
+        let r_stuck = stuck.report(fault_free).unwrap();
+        assert_eq!(r_stuck.fatal_rate_per_s, r_fatal.fatal_rate_per_s);
+    }
+
+    #[test]
+    fn preemption_is_an_elastic_fault_class() {
+        let base = params();
+        let tree = FailureDomainTree::new(128, 8, 4).unwrap();
+        let placement = DomainPlacement::replica_major(16, 8, 1, 1, &tree);
+        let spot = CorrelatedResilience::new(base.clone(), tree, placement)
+            .unwrap()
+            .with_elastic(
+                ElasticParams::new(600.0).with_preemption_mtbf(30.0 * 86400.0),
+            );
+        assert!(!spot.is_degenerate());
+        let r = spot.report(30.0 * 86400.0).unwrap();
+        assert!(r.elastic_rate_per_s > 0.0);
+        assert!(r.elastic_events > 0.0);
+        assert!(r.expected_s > r.report.expected_s);
+        let s = r.to_string();
+        assert!(s.contains("blast radius"), "{s}");
+        assert!(s.contains("elastic rate"), "{s}");
+    }
+
+    #[test]
+    fn correlated_validation_rejects_inconsistent_components() {
+        let base = params(); // 128 units
+        let tree = FailureDomainTree::new(64, 8, 4).unwrap();
+        let placement = DomainPlacement::replica_major(16, 8, 1, 1, &tree);
+        assert!(CorrelatedResilience::new(base.clone(), tree.clone(), placement.clone())
+            .is_err());
+        let good_tree = FailureDomainTree::new(128, 8, 4).unwrap();
+        let bad_placement = DomainPlacement {
+            strategy: "replica-major".to_string(),
+            dp: 4,
+            replicas_per_node: 5,
+            replicas_per_rack: 4,
+            replicas_per_pod: 4,
+        };
+        assert!(CorrelatedResilience::new(base.clone(), good_tree.clone(), bad_placement)
+            .is_err());
+        let ok = CorrelatedResilience::new(
+            base,
+            good_tree,
+            DomainPlacement::replica_major(16, 8, 1, 1, &tree),
+        )
+        .unwrap();
+        assert!(ok
+            .with_elastic(ElasticParams::new(f64::NAN))
+            .report(1e6)
+            .is_err());
+    }
+
+    #[test]
+    fn correlated_serde_round_trip() {
+        let base = params();
+        let tree = FailureDomainTree::new(128, 8, 4)
+            .unwrap()
+            .with_rack_mtbf(1e7);
+        let placement = DomainPlacement::replica_major(16, 8, 1, 1, &tree);
+        let spot = CorrelatedResilience::new(base, tree, placement)
+            .unwrap()
+            .with_elastic(ElasticParams::new(600.0).with_preemption_mtbf(1e6));
+        let r = spot.report(1e6).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CorrelatedReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 }

@@ -8,7 +8,7 @@
 //! any schema change here, in one place, so the two front-ends cannot
 //! drift apart.
 
-use amped_core::{Estimate, ResilienceReport};
+use amped_core::{CorrelatedReport, Estimate, ResilienceReport};
 use amped_search::{Candidate, Recommendation, SearchStats, Sweep};
 use serde_json::Value;
 
@@ -107,6 +107,43 @@ pub fn recommend_value(rec: &Recommendation) -> Value {
     }))
 }
 
+/// The resilience artifact: the estimate bundled with the
+/// checkpoint/restart expectation and — when a failure-domain tree priced
+/// the scenario — the correlated accounting (placement blast radii, fatal
+/// and elastic rates, shrink overhead). Without a correlated report the
+/// shape is byte-identical to [`estimate_value`] with a resilience
+/// report, so scenarios that never mention failure domains keep their
+/// exact historical artifact. Leads with `schema_version` either way.
+pub fn resilience_value(
+    estimate: &Estimate,
+    report: &ResilienceReport,
+    correlated: Option<&CorrelatedReport>,
+) -> Value {
+    with_schema_version(match correlated {
+        None => serde_json::json!({ "estimate": estimate, "resilience": report }),
+        Some(c) => serde_json::json!({
+            "estimate": estimate,
+            "resilience": report,
+            "correlated": c,
+        }),
+    })
+}
+
+/// The sweep JSON artifact: the CSV grid and the per-batch winners as
+/// structured rows, led by `schema_version` — what `sweep --json` and
+/// `/v1/sweep?json=true` return.
+pub fn sweep_value(sweep: &Sweep) -> Value {
+    let winners: Vec<Value> = sweep
+        .winners()
+        .into_iter()
+        .map(|(batch, winner)| serde_json::json!({ "batch": batch, "winner": winner }))
+        .collect();
+    with_schema_version(serde_json::json!({
+        "csv": sweep.to_csv(),
+        "winners": winners,
+    }))
+}
+
 /// The sweep artifact: the CSV grid plus the per-batch winner line, as the
 /// CLI has always printed it (text, not JSON — sweeps are spreadsheets).
 pub fn sweep_text(sweep: &Sweep) -> String {
@@ -202,6 +239,70 @@ mod tests {
             };
             assert_eq!(entries[0].0, "schema_version");
         }
+    }
+
+    #[test]
+    fn resilience_value_without_domains_is_the_historical_estimate_bundle() {
+        let (model, accel, system) = fixture();
+        let p = amped_core::Parallelism::builder().tp(8, 1).build().unwrap();
+        let est = amped_core::Estimator::new(&model, &accel, &system, &p)
+            .estimate(&TrainingConfig::new(64, 10).unwrap())
+            .unwrap();
+        let report = amped_core::ResilienceParams::new(4380.0 * 3600.0, 8)
+            .unwrap()
+            .with_restart(300.0)
+            .report(est.total_time.get())
+            .unwrap();
+        let plain = serde_json::to_string(&resilience_value(&est, &report, None)).unwrap();
+        let historical = serde_json::to_string(&estimate_value(&est, Some(&report))).unwrap();
+        assert_eq!(plain, historical);
+
+        // With a domain tree, the artifact gains a `correlated` section and
+        // still leads with the schema version.
+        let tree = amped_core::FailureDomainTree::new(8, 4, 2)
+            .unwrap()
+            .with_rack_mtbf(720.0 * 3600.0);
+        let placement = amped_core::DomainPlacement::replica_major(8, 1, 1, 1, &tree);
+        let params = amped_core::ResilienceParams::new(4380.0 * 3600.0, 8)
+            .unwrap()
+            .with_restart(300.0);
+        let corr = amped_core::CorrelatedResilience::new(params, tree, placement)
+            .unwrap()
+            .report(est.total_time.get())
+            .unwrap();
+        let value = resilience_value(&est, &corr.flat_report(), Some(&corr));
+        let Value::Object(entries) = &value else {
+            panic!("resilience artifact must be an object");
+        };
+        assert_eq!(entries[0].0, "schema_version");
+        let text = serde_json::to_string_pretty(&value).unwrap();
+        for key in ["\"correlated\"", "\"placement\"", "\"fatal_rate_per_s\""] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn sweep_value_leads_with_the_version_and_structures_the_winners() {
+        let (model, accel, system) = fixture();
+        let engine = SearchEngine::new(&model, &accel, &system);
+        let p = amped_core::Parallelism::builder().tp(8, 1).build().unwrap();
+        let sweep = amped_search::Sweep::run(
+            &engine,
+            &[("tp8".to_string(), p)],
+            &[64, 128],
+            10,
+        )
+        .unwrap();
+        let value = sweep_value(&sweep);
+        let Value::Object(entries) = &value else {
+            panic!("sweep artifact must be an object");
+        };
+        assert_eq!(entries[0].0, "schema_version");
+        let csv = value.get("csv").and_then(Value::as_str).unwrap();
+        assert!(csv.starts_with("batch,tp8"), "{csv}");
+        let winners = value.get("winners").and_then(Value::as_array).unwrap();
+        assert_eq!(winners.len(), 2);
+        assert_eq!(winners[0].get("winner").and_then(Value::as_str), Some("tp8"));
     }
 
     #[test]

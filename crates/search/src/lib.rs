@@ -59,9 +59,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod placement;
 pub mod recommend;
 pub mod sweep;
 
+pub use placement::{placement_for, PlacementChoice};
 pub use recommend::Recommendation;
 pub use sweep::{Sweep, SweepCell, SweepPoint, SweepRow};
 
@@ -69,10 +71,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use amped_core::{
-    AcceleratorSpec, BatchEvaluator, CacheLease, CachePool, CostBackend, EfficiencyModel,
-    EngineOptions, Estimate, EstimateCache, Estimator, MicrobatchPolicy, Parallelism, Precision,
-    ResilienceParams, ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig,
-    TransformerModel, ZeroConfig,
+    AcceleratorSpec, BatchEvaluator, CacheLease, CachePool, CorrelatedResilience, CostBackend,
+    EfficiencyModel, ElasticParams, EngineOptions, Estimate, EstimateCache, Estimator,
+    FailureDomainTree, MicrobatchPolicy, Parallelism, Precision, ResilienceParams,
+    ResilienceReport, Result, Scenario, SystemSpec, TrainingConfig, TransformerModel, ZeroConfig,
 };
 use amped_energy::{EnergyEstimate, PowerModel};
 use amped_memory::{MemoryFootprint, MemoryModel, MicrobatchFit, OptimizerSpec, PipelineSchedule};
@@ -192,6 +194,28 @@ pub struct GoodputOptions {
     /// optimum per candidate).
     #[serde(default)]
     pub interval_s: Option<f64>,
+    /// Correlated failure domains: when set, candidates are ranked by
+    /// their expected time *under a placement* on this tree — the
+    /// [`placement_for`] enumerator assigns each mapping's stages and
+    /// replicas to domains and the correlated model prices rack/pod
+    /// outages (and optionally elastic preemptions) on top of the
+    /// independent node failures.
+    #[serde(default)]
+    pub failure_domains: Option<DomainGoodput>,
+}
+
+/// The failure-domain half of [`GoodputOptions`]: the tree, the optional
+/// elastic (shrink/regrow) mode, and how mappings are placed on it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainGoodput {
+    /// The node < rack < pod hierarchy with per-tier outage rates.
+    pub tree: FailureDomainTree,
+    /// Elastic capacity parameters; `None` = every outage is fatal.
+    #[serde(default)]
+    pub elastic: Option<ElasticParams>,
+    /// Placement layout (defaults to the blast-radius-minimizing pick).
+    #[serde(default)]
+    pub placement: PlacementChoice,
 }
 
 fn default_restart_s() -> f64 {
@@ -211,7 +235,15 @@ impl GoodputOptions {
             restart_s: default_restart_s(),
             ckpt_write_bytes_per_s: default_ckpt_write_bw(),
             interval_s: None,
+            failure_domains: None,
         }
+    }
+
+    /// Rank by expected time under correlated outages on `tree` (see
+    /// [`DomainGoodput`]).
+    pub fn with_failure_domains(mut self, domains: DomainGoodput) -> Self {
+        self.failure_domains = Some(domains);
+        self
     }
 }
 
@@ -1383,6 +1415,11 @@ impl<'a> SearchEngine<'a> {
     /// The checkpoint/restart expected-time report for one candidate: its
     /// per-device weight + optimizer shard priced at the configured write
     /// bandwidth, against a system MTBF scaled to this engine's node count.
+    /// With failure domains configured, the candidate is first placed on
+    /// the tree (see [`placement_for`]) and the correlated model prices
+    /// the outage tiers its placement is exposed to; the degenerate tree
+    /// (one domain, no tier rates) reproduces the independent-exponential
+    /// report bit for bit.
     fn resilience_report(
         &self,
         goodput: &GoodputOptions,
@@ -1395,7 +1432,23 @@ impl<'a> SearchEngine<'a> {
         if let Some(interval) = goodput.interval_s {
             params = params.with_interval(interval);
         }
-        params.report(candidate.estimate.total_time.get())
+        let total = candidate.estimate.total_time.get();
+        match &goodput.failure_domains {
+            None => params.report(total),
+            Some(fd) => {
+                let placed = placement_for(
+                    &candidate.parallelism,
+                    self.system,
+                    &fd.tree,
+                    fd.placement,
+                );
+                let mut corr = CorrelatedResilience::new(params, fd.tree.clone(), placed)?;
+                if let Some(elastic) = &fd.elastic {
+                    corr = corr.with_elastic(elastic.clone());
+                }
+                Ok(corr.report(total)?.flat_report())
+            }
+        }
     }
 
     /// The fastest candidate, or `None` when every mapping was filtered out.

@@ -4,8 +4,8 @@
 //! candidates, same order, same times to the bit.
 
 use amped_configs::{accelerators, efficiency, models, systems};
-use amped_core::TrainingConfig;
-use amped_search::{Candidate, GoodputOptions, SearchEngine};
+use amped_core::{ElasticParams, FailureDomainTree, TrainingConfig};
+use amped_search::{Candidate, DomainGoodput, GoodputOptions, PlacementChoice, SearchEngine};
 use amped_sim::FaultPlan;
 
 fn degrees(c: &Candidate) -> [usize; 6] {
@@ -227,6 +227,88 @@ fn megatron_145b_goodput_ranking_is_bit_identical_at_any_worker_count() {
         pruned_serial[0].objective_time().to_bits(),
         serial[0].objective_time().to_bits()
     );
+}
+
+/// Acceptance criterion for the failure-domain layer: `search --goodput`
+/// with a domain tree — placement enumeration, correlated tiers, elastic
+/// preemptions and all — is bit-identical at any worker count, and the
+/// degenerate all-in-one-domain tree reproduces the plain goodput ranking
+/// bit for bit.
+#[test]
+fn megatron_145b_domain_goodput_ranking_is_bit_identical_at_any_worker_count() {
+    let model = models::megatron_145b();
+    let a100 = accelerators::a100();
+    let system = systems::a100_hdr_cluster(16, 8);
+    let training = TrainingConfig::new(2048, 1).expect("valid");
+    let tree = FailureDomainTree::new(16, 4, 2)
+        .unwrap()
+        .with_rack_mtbf(0.5 * 365.25 * 86400.0)
+        .with_pod_mtbf(2.0 * 365.25 * 86400.0);
+    let domains = DomainGoodput {
+        tree,
+        elastic: Some(ElasticParams::new(600.0).with_preemption_mtbf(60.0 * 86400.0)),
+        placement: PlacementChoice::Auto,
+    };
+    let base = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_goodput(GoodputOptions::new(4380.0 * 3600.0).with_failure_domains(domains));
+
+    let serial = base.clone().with_parallelism(1).search(&training).unwrap();
+    assert!(serial.iter().all(|c| c.resilience.is_some()));
+    for jobs in [2, 4] {
+        let parallel = base.clone().with_parallelism(jobs).search(&training).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (x, y) in parallel.iter().zip(&serial) {
+            assert_eq!(degrees(x), degrees(y));
+            assert_eq!(
+                x.objective_time().to_bits(),
+                y.objective_time().to_bits(),
+                "domain-placed expected time differs at jobs={jobs}"
+            );
+        }
+    }
+
+    // Correlated tiers must actually move the objective off the plain
+    // goodput ranking's values.
+    let plain_engine = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_goodput(GoodputOptions::new(4380.0 * 3600.0));
+    let plain = plain_engine.clone().with_parallelism(1).search(&training).unwrap();
+    assert!(
+        serial
+            .iter()
+            .zip(plain.iter())
+            .any(|(d, p)| d.objective_time() != p.objective_time()),
+        "domain tiers should perturb expected times"
+    );
+
+    // Degenerate tree (every device in one domain, no tier rates, no
+    // preemption): the correlated path must reproduce the independent-
+    // exponential goodput ranking bit for bit.
+    let degenerate = SearchEngine::new(&model, &a100, &system)
+        .with_efficiency(efficiency::case_study())
+        .with_goodput(GoodputOptions::new(4380.0 * 3600.0).with_failure_domains(
+            DomainGoodput {
+                tree: FailureDomainTree::single_domain(16),
+                elastic: None,
+                placement: PlacementChoice::Auto,
+            },
+        ))
+        .with_parallelism(1)
+        .search(&training)
+        .unwrap();
+    assert_eq!(degenerate.len(), plain.len());
+    for (x, y) in degenerate.iter().zip(&plain) {
+        assert_eq!(degrees(x), degrees(y));
+        assert_eq!(
+            x.objective_time().to_bits(),
+            y.objective_time().to_bits(),
+            "degenerate domain tree must not perturb the goodput objective"
+        );
+        let (rx, ry) = (x.resilience.as_ref().unwrap(), y.resilience.as_ref().unwrap());
+        assert_eq!(rx.expected_s.to_bits(), ry.expected_s.to_bits());
+        assert_eq!(rx.interval_s.to_bits(), ry.interval_s.to_bits());
+    }
 }
 
 #[test]

@@ -21,20 +21,20 @@
 use std::sync::Arc;
 
 use amped_configs::pipeline::{FlagReader, FlagSet, Resolution, ScenarioDraft, Source};
-use amped_configs::scenario::{ResilienceSection, ResolvedScenario};
+use amped_configs::scenario::{FailureDomainsSection, ResilienceSection, ResolvedScenario};
 use amped_core::{
-    AnalyticalBackend, CachePool, CostBackend, Error, ResilienceReport, Result,
+    AnalyticalBackend, CachePool, CorrelatedReport, CorrelatedResilience, CostBackend, Error,
+    ResilienceReport, Result, DEFAULT_NODE_MTBF_HOURS,
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_obs::Observer;
-use amped_search::{EnumerationOptions, SearchEngine, Sweep};
+use amped_search::{
+    placement_for, DomainGoodput, EnumerationOptions, GoodputOptions, PlacementChoice,
+    SearchEngine, Sweep,
+};
 use amped_sim::SimBackend;
 
 use crate::http::{Request, Response};
-
-/// The per-node MTBF the resilience endpoint assumes when the scenario
-/// has no `resilience` section: six months, matching the CLI.
-const DEFAULT_MTBF_HOURS: f64 = 4380.0;
 
 /// Shared immutable state every request handler sees.
 #[derive(Debug)]
@@ -235,6 +235,70 @@ fn expected_time_report(
         .report(fault_free_s)
 }
 
+/// The parsed `placement` spelling of a `failure_domains` section (the
+/// CLI's `placement_choice`, byte-identical error included).
+fn placement_choice(fd: &FailureDomainsSection) -> Result<PlacementChoice> {
+    PlacementChoice::parse(&fd.placement).ok_or_else(|| {
+        Error::usage(format!(
+            "unknown layout `{}`; use auto, replica-major or stage-major",
+            fd.placement
+        ))
+    })
+}
+
+/// The correlated expected-time report when the scenario carries a
+/// `failure_domains` section — the CLI's `correlated_report`, so both
+/// front-ends price the same tree, placement and elastic recovery.
+fn correlated_report(
+    s: &ResolvedScenario,
+    section: &ResilienceSection,
+    fault_free_s: f64,
+) -> Result<Option<CorrelatedReport>> {
+    let Some(fd) = &s.failure_domains else {
+        return Ok(None);
+    };
+    let tree = fd.tree(s.system.num_nodes())?;
+    let placement = placement_for(&s.parallelism, &s.system, &tree, placement_choice(fd)?);
+    let base = section.params(s.system.num_nodes(), per_device_ckpt_bytes(s))?;
+    let params = CorrelatedResilience::new(base, tree, placement)?.with_elastic(fd.elastic()?);
+    Ok(Some(params.report(fault_free_s)?))
+}
+
+/// The `?goodput=` MTBF in hours: the parameter's value when it carries
+/// one, the six-month default when it is bare (`?goodput` / `?goodput=true`,
+/// the CLI's valueless `--goodput`).
+fn goodput_mtbf_hours(req: &Request) -> Result<f64> {
+    match req.query_param("goodput") {
+        None | Some("") | Some("true") => Ok(DEFAULT_NODE_MTBF_HOURS),
+        Some(v) => v.parse().map_err(|_| {
+            Error::usage(format!("invalid value for query parameter `goodput`: {v}"))
+        }),
+    }
+}
+
+/// The `?goodput=` expected-time options for search/recommend — the CLI's
+/// `goodput_options` over query parameters, including the scenario's
+/// `failure_domains` section when one resolved.
+fn goodput_options(req: &Request, s: &ResolvedScenario) -> Result<GoodputOptions> {
+    let mut opts = GoodputOptions::new(goodput_mtbf_hours(req)? * 3600.0);
+    opts.restart_s = param_or(req, "restart", opts.restart_s)?;
+    let gbps: f64 = param_or(req, "ckpt-gbps", 16.0)?;
+    opts.ckpt_write_bytes_per_s = gbps * 1e9 / 8.0;
+    if let Some(v) = req.query_param("ckpt-interval") {
+        opts.interval_s = Some(v.parse().map_err(|_| {
+            Error::usage(format!("invalid value for query parameter `ckpt-interval`: {v}"))
+        })?);
+    }
+    if let Some(fd) = &s.failure_domains {
+        opts = opts.with_failure_domains(DomainGoodput {
+            tree: fd.tree(s.system.num_nodes())?,
+            elastic: Some(fd.elastic()?),
+            placement: placement_choice(fd)?,
+        });
+    }
+    Ok(opts)
+}
+
 /// Price the scenario through the selected backend. The analytical path
 /// evaluates against a pool lease — bit-identical to a fresh cache (the
 /// memoized sub-results are exact), which is what lets the pool make
@@ -278,9 +342,9 @@ fn resilience(state: &ServiceState, req: &Request) -> Result<Response> {
     // just above the built-in defaults, so presets, the body, and query
     // parameters all override it through the normal layering.
     let base = serde_json::json!({
-        "resilience": { "node_mtbf_hours": DEFAULT_MTBF_HOURS }
+        "resilience": { "node_mtbf_hours": DEFAULT_NODE_MTBF_HOURS }
     });
-    let r = resolution(req, FlagSet::with_resilience(), Some(base))?;
+    let r = resolution(req, FlagSet::with_failure_domains(), Some(base))?;
     if let Some(dump) = dump_resolved(req, &r) {
         return dump;
     }
@@ -289,8 +353,15 @@ fn resilience(state: &ServiceState, req: &Request) -> Result<Response> {
     let section = s
         .resilience
         .ok_or_else(|| Error::usage("resilience needs an MTBF"))?;
-    let report = expected_time_report(s, &section, estimate.total_time.get())?;
-    let value = amped_report::artifacts::estimate_value(&estimate, Some(&report));
+    // A `failure_domains` section layers correlated rack/pod outages and
+    // elastic recovery on the flat model, exactly as the CLI does.
+    let correlated = correlated_report(s, &section, estimate.total_time.get())?;
+    let report = match &correlated {
+        Some(c) => c.flat_report(),
+        None => expected_time_report(s, &section, estimate.total_time.get())?,
+    };
+    let value =
+        amped_report::artifacts::resilience_value(&estimate, &report, correlated.as_ref());
     Ok(Response::json(to_json(&value)?))
 }
 
@@ -319,13 +390,31 @@ fn engine_for<'a>(
 }
 
 fn search(state: &ServiceState, req: &Request) -> Result<Response> {
-    let r = resolution(req, FlagSet::default(), None)?;
+    // `?goodput[=HOURS]` ranks by expected time under failures — the
+    // CLI's `--goodput`. With it on, the failure-domain query parameters
+    // are live and a default-MTBF resilience base satisfies the domain
+    // section's prerequisite through the normal layering.
+    let goodput_on = req.query_param("goodput").is_some();
+    let mtbf_hours = goodput_mtbf_hours(req)?;
+    let set = FlagSet {
+        resilience: false,
+        failure_domains: goodput_on,
+    };
+    let base = goodput_on.then(|| {
+        serde_json::json!({
+            "resilience": { "node_mtbf_hours": mtbf_hours }
+        })
+    });
+    let r = resolution(req, set, base)?;
     if let Some(dump) = dump_resolved(req, &r) {
         return dump;
     }
     let s = &r.scenario;
     let observer = Arc::new(Observer::new());
-    let engine = engine_for(state, req, s, &observer)?;
+    let mut engine = engine_for(state, req, s, &observer)?;
+    if goodput_on {
+        engine = engine.with_goodput(goodput_options(req, s)?);
+    }
     let (results, stats) = engine.search_with_stats(&s.training)?;
     state.observer.absorb(&observer);
     let top: usize = param_or(req, "top", 10)?;
@@ -334,7 +423,20 @@ fn search(state: &ServiceState, req: &Request) -> Result<Response> {
 }
 
 fn recommend(state: &ServiceState, req: &Request) -> Result<Response> {
-    let r = resolution(req, FlagSet::default(), None)?;
+    // `?goodput[=HOURS]` wires in exactly as on search: the
+    // recommendation rides on the same ranking.
+    let goodput_on = req.query_param("goodput").is_some();
+    let mtbf_hours = goodput_mtbf_hours(req)?;
+    let set = FlagSet {
+        resilience: false,
+        failure_domains: goodput_on,
+    };
+    let base = goodput_on.then(|| {
+        serde_json::json!({
+            "resilience": { "node_mtbf_hours": mtbf_hours }
+        })
+    });
+    let r = resolution(req, set, base)?;
     if let Some(dump) = dump_resolved(req, &r) {
         return dump;
     }
@@ -342,7 +444,10 @@ fn recommend(state: &ServiceState, req: &Request) -> Result<Response> {
     let observer = Arc::new(Observer::new());
     // `recommend` always filters to memory-feasible mappings (the CLI
     // does the same); `jobs` and `refine-sim` plumb through.
-    let engine = engine_for(state, req, s, &observer)?.with_memory_filter(true);
+    let mut engine = engine_for(state, req, s, &observer)?.with_memory_filter(true);
+    if goodput_on {
+        engine = engine.with_goodput(goodput_options(req, s)?);
+    }
     let outcome = engine.recommend(&s.training)?;
     state.observer.absorb(&observer);
     match outcome {
@@ -414,6 +519,12 @@ fn sweep(state: &ServiceState, req: &Request) -> Result<Response> {
         }
     }?;
     state.observer.absorb(&observer);
+    // `?json=true` returns the versioned sweep artifact — the CLI's
+    // `sweep --json`; the default stays the historical CSV text.
+    if param_switch(req, "json") {
+        let value = amped_report::artifacts::sweep_value(&sweep);
+        return Ok(Response::json(to_json(&value)?));
+    }
     Ok(Response::text(amped_report::artifacts::sweep_text(&sweep)))
 }
 

@@ -12,6 +12,7 @@
 //! Randomness comes from [`SplitMix64`] — a tiny std-only generator with
 //! pinned outputs, so fault schedules never depend on a platform RNG.
 
+use amped_core::FailureDomainTree;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{LinkClass, TaskKind};
@@ -109,6 +110,20 @@ pub struct FaultPlan {
     /// bytes/s (per device).
     #[serde(default = "default_ckpt_write_bw")]
     pub ckpt_write_bytes_per_s: f64,
+    /// Failure-domain hierarchy for correlated outages (rack/pod tiers).
+    /// `None` = no correlated events at all.
+    #[serde(default)]
+    pub domain_tree: Option<FailureDomainTree>,
+    /// Mean time between spot preemptions of one node, seconds. Requires
+    /// a domain tree (for the node count); `None` = no preemptions.
+    #[serde(default)]
+    pub preemption_mtbf_s: Option<f64>,
+    /// Seconds for lost capacity to regrow after a survivable outage.
+    /// `Some` enables elastic shrink/regrow: outages whose blast radius
+    /// leaves at least one DP replica intact shrink the run instead of
+    /// killing it. `None` = every outage restarts from the checkpoint.
+    #[serde(default)]
+    pub regrow_delay_s: Option<f64>,
 }
 
 fn default_straggler_slowdown() -> f64 {
@@ -131,6 +146,9 @@ impl Default for FaultPlan {
             restart_s: 0.0,
             ckpt_interval_s: None,
             ckpt_write_bytes_per_s: 2e9,
+            domain_tree: None,
+            preemption_mtbf_s: None,
+            regrow_delay_s: None,
         }
     }
 }
@@ -198,6 +216,26 @@ impl FaultPlan {
         self
     }
 
+    /// Attach a failure-domain tree: rack/pod tiers with an outage rate
+    /// start injecting correlated [`DomainEvent`]s.
+    pub fn with_domain_tree(mut self, tree: FailureDomainTree) -> Self {
+        self.domain_tree = Some(tree);
+        self
+    }
+
+    /// Enable spot preemptions at the given per-node MTBF (needs a domain
+    /// tree for the node count).
+    pub fn with_preemption(mut self, mtbf_s: f64) -> Self {
+        self.preemption_mtbf_s = Some(mtbf_s);
+        self
+    }
+
+    /// Enable elastic shrink/regrow with the given capacity-regrow delay.
+    pub fn with_regrow(mut self, delay_s: f64) -> Self {
+        self.regrow_delay_s = Some(delay_s);
+        self
+    }
+
     /// Check every field.
     ///
     /// # Errors
@@ -249,6 +287,24 @@ impl FaultPlan {
                 self.ckpt_write_bytes_per_s
             ));
         }
+        if let Some(tree) = &self.domain_tree {
+            tree.validate()?;
+        }
+        if let Some(m) = self.preemption_mtbf_s {
+            if !(m > 0.0 && m.is_finite()) {
+                return bad(format!("preemption mtbf must be positive, got {m}"));
+            }
+            if self.domain_tree.is_none() {
+                return bad(
+                    "preemption mtbf needs a domain tree for the node count".to_string(),
+                );
+            }
+        }
+        if let Some(d) = self.regrow_delay_s {
+            if !(d >= 0.0 && d.is_finite()) {
+                return bad(format!("regrow delay must be non-negative, got {d}"));
+            }
+        }
         Ok(())
     }
 
@@ -286,6 +342,131 @@ impl FaultPlan {
             compute_slowdown,
             link_faults: self.link_faults.clone(),
         }
+    }
+
+    /// The seeded stream of correlated events this plan injects: rack and
+    /// pod outages from the domain tree's per-tier rates, and spot
+    /// preemptions of single nodes. A pure function of the seed and the
+    /// tree — enumeration order never touches the per-tier generators, so
+    /// the schedule is bit-identical at any worker-pool size. Inactive
+    /// plans (no seed) and plans without a tree yield an empty stream.
+    pub fn domain_events(&self) -> DomainEventStream {
+        let mut tiers = Vec::new();
+        if let (Some(seed), Some(tree)) = (self.seed, &self.domain_tree) {
+            if let Some(mtbf) = tree.rack_mtbf_s {
+                tiers.push(TierStream::new(
+                    seed ^ 0x444F_4D4E_4F54_4745,
+                    mtbf / tree.num_racks() as f64,
+                    tree.num_racks(),
+                    DomainTier::Rack,
+                ));
+            }
+            if let Some(mtbf) = tree.pod_mtbf_s {
+                tiers.push(TierStream::new(
+                    seed ^ 0x444F_4D4E_4F54_4746,
+                    mtbf / tree.num_pods() as f64,
+                    tree.num_pods(),
+                    DomainTier::Pod,
+                ));
+            }
+            if let Some(mtbf) = self.preemption_mtbf_s {
+                tiers.push(TierStream::new(
+                    seed ^ 0x5052_4545_4D50_544E,
+                    mtbf / tree.num_nodes as f64,
+                    tree.num_nodes,
+                    DomainTier::Node,
+                ));
+            }
+        }
+        DomainEventStream { tiers }
+    }
+}
+
+/// Which level of the domain hierarchy an event strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DomainTier {
+    /// A whole rack (PDU / ToR switch failure).
+    Rack,
+    /// A whole pod (aggregation-switch / cooling-loop failure).
+    Pod,
+    /// One node, preempted (spot capacity reclaimed).
+    Node,
+}
+
+/// One correlated fault arrival materialized from a [`FailureDomainTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainEvent {
+    /// Arrival time, seconds of wall clock since run start.
+    pub at_s: f64,
+    /// Which tier failed.
+    pub tier: DomainTier,
+    /// Index of the failed domain within its tier (rack index, pod index,
+    /// or node index for preemptions).
+    pub domain: usize,
+}
+
+impl DomainEvent {
+    /// The half-open node range `[first, last)` this event takes down.
+    pub fn node_span(&self, tree: &FailureDomainTree) -> (usize, usize) {
+        let per = match self.tier {
+            DomainTier::Rack => tree.nodes_per_rack,
+            DomainTier::Pod => tree.nodes_per_pod(),
+            DomainTier::Node => 1,
+        };
+        let first = self.domain * per;
+        (first.min(tree.num_nodes), ((self.domain + 1) * per).min(tree.num_nodes))
+    }
+
+    /// Whether this is a spot preemption rather than a hardware outage.
+    pub fn is_preemption(&self) -> bool {
+        self.tier == DomainTier::Node
+    }
+}
+
+/// One tier's independent Poisson stream: its own [`SplitMix64`] draws
+/// inter-arrival gaps at the tier's aggregate rate, then picks the failed
+/// domain uniformly. Keeping the generators per-tier means adding or
+/// removing one tier never perturbs another's schedule.
+#[derive(Debug, Clone)]
+struct TierStream {
+    rng: SplitMix64,
+    mean_s: f64,
+    num_domains: usize,
+    next_at: f64,
+    tier: DomainTier,
+}
+
+impl TierStream {
+    fn new(seed: u64, mean_s: f64, num_domains: usize, tier: DomainTier) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let next_at = rng.exp(mean_s);
+        TierStream { rng, mean_s, num_domains, next_at, tier }
+    }
+}
+
+/// The merged, time-ordered stream of correlated events a [`FaultPlan`]
+/// injects. Infinite while any tier is configured; ties between tiers
+/// break in declaration order (rack, then pod, then preemption).
+#[derive(Debug, Clone)]
+pub struct DomainEventStream {
+    tiers: Vec<TierStream>,
+}
+
+impl Iterator for DomainEventStream {
+    type Item = DomainEvent;
+
+    fn next(&mut self) -> Option<DomainEvent> {
+        let mut pick = 0usize;
+        for (i, t) in self.tiers.iter().enumerate().skip(1) {
+            if t.next_at < self.tiers[pick].next_at {
+                pick = i;
+            }
+        }
+        let t = self.tiers.get_mut(pick)?;
+        let at_s = t.next_at;
+        let domain = (t.rng.next_u64() % t.num_domains.max(1) as u64) as usize;
+        t.next_at = at_s + t.rng.exp(t.mean_s);
+        Some(DomainEvent { at_s, tier: t.tier, domain })
     }
 }
 
@@ -461,6 +642,74 @@ mod tests {
             until_s: 1.0,
         });
         assert!(bad_window.validate().is_err());
+    }
+
+    #[test]
+    fn domain_event_stream_is_seeded_ordered_and_tier_independent() {
+        let tree = FailureDomainTree::new(16, 4, 2)
+            .unwrap()
+            .with_rack_mtbf(3.0e5)
+            .with_pod_mtbf(4.0e5);
+        let plan = FaultPlan::seeded(11)
+            .with_domain_tree(tree.clone())
+            .with_preemption(1.0e5);
+        let a: Vec<DomainEvent> = plan.domain_events().take(256).collect();
+        let b: Vec<DomainEvent> = plan.domain_events().take(256).collect();
+        assert_eq!(a, b, "same seed + tree must reproduce the schedule");
+        for w in a.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s, "stream must be time-ordered");
+        }
+        assert!(a.iter().any(|e| e.tier == DomainTier::Rack));
+        assert!(a.iter().any(|e| e.tier == DomainTier::Pod));
+        assert!(a.iter().any(|e| e.is_preemption()));
+        for e in &a {
+            let (n0, n1) = e.node_span(&tree);
+            assert!(n0 < n1 && n1 <= 16, "{e:?} spans [{n0}, {n1})");
+        }
+        // Dropping one tier must not perturb the others' arrivals.
+        let a_outages: Vec<DomainEvent> =
+            a.iter().copied().filter(|e| !e.is_preemption()).collect();
+        assert!(!a_outages.is_empty());
+        let mut no_preempt = plan.clone();
+        no_preempt.preemption_mtbf_s = None;
+        let c: Vec<DomainEvent> =
+            no_preempt.domain_events().take(a_outages.len()).collect();
+        assert_eq!(c, a_outages);
+        // A different seed draws a different schedule.
+        let mut other = plan.clone();
+        other.seed = Some(12);
+        let d: Vec<DomainEvent> = other.domain_events().take(256).collect();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn inactive_or_treeless_plans_inject_no_domain_events() {
+        let tree = FailureDomainTree::new(8, 4, 1).unwrap().with_rack_mtbf(1e5);
+        let inert = FaultPlan::none().with_domain_tree(tree);
+        assert_eq!(inert.domain_events().next(), None, "no seed, no events");
+        assert_eq!(FaultPlan::seeded(3).domain_events().next(), None, "no tree, no events");
+        // A tree with no tier rates and no preemption also yields nothing.
+        let silent = FaultPlan::seeded(3)
+            .with_domain_tree(FailureDomainTree::new(8, 4, 1).unwrap());
+        assert_eq!(silent.domain_events().next(), None);
+    }
+
+    #[test]
+    fn domain_validation_rejects_bad_fields() {
+        let tree = FailureDomainTree::new(8, 4, 1).unwrap();
+        assert!(FaultPlan::seeded(0)
+            .with_domain_tree(tree.clone())
+            .with_preemption(0.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0).with_preemption(1e5).validate().is_err());
+        assert!(FaultPlan::seeded(0).with_regrow(-1.0).validate().is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_domain_tree(tree)
+            .with_preemption(1e5)
+            .with_regrow(600.0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

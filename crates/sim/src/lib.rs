@@ -60,7 +60,10 @@ pub mod training;
 
 pub use backend::SimBackend;
 pub use des::{DeviceStats, SimOutcome, Simulator};
-pub use fault::{FaultPlan, FaultSchedule, LinkFault, SplitMix64, Straggler};
+pub use fault::{
+    DomainEvent, DomainEventStream, DomainTier, FaultPlan, FaultSchedule, LinkFault, SplitMix64,
+    Straggler,
+};
 pub use graph::{LinkClass, Task, TaskGraph, TaskId, TaskKind};
 pub use timeline::{Activity, Timeline, TimelineEntry};
 pub use training::{PipelineSchedule, RunEvent, RunResult, RunSpan, SimConfig, SimResult};

@@ -85,6 +85,8 @@ pub fn run_events(run: &RunResult, pipeline_stages: usize) -> Vec<TraceEvent> {
             RunSpan::Checkpoint => ("ckpt", "ckpt"),
             RunSpan::Lost => ("lost", "recompute"),
             RunSpan::Restart => ("restart", "recompute"),
+            RunSpan::Shrunk => ("shrunk", "compute"),
+            RunSpan::Regrow => ("regrow", "recompute"),
         };
         for d in 0..n_dev {
             // Checkpoints drain through one DP rank per stage (devices

@@ -75,6 +75,11 @@ pub enum RunSpan {
     Lost,
     /// Restart overhead after a failure.
     Restart,
+    /// Training at reduced DP width while an outage regrows: iterations
+    /// still complete, but each takes `dp/(dp - k)` times longer.
+    Shrunk,
+    /// Re-replicating state onto regrown capacity after a shrink window.
+    Regrow,
 }
 
 /// One wall-clock slice of a replayed run, for run-level trace export
@@ -113,10 +118,17 @@ pub struct RunResult {
     pub num_failures: u64,
     /// Checkpoints the run committed.
     pub num_checkpoints: u64,
+    /// Correlated rack/pod outages that struck the run.
+    pub num_domain_outages: u64,
+    /// Spot preemptions that struck the run.
+    pub num_preemptions: u64,
+    /// Extra seconds spent in elastic shrink/regrow windows (slowdown
+    /// relative to full-width iterations, plus re-replication costs).
+    pub elastic_overhead_s: f64,
     /// Detail of the fault-perturbed iteration (timeline, device stats).
     pub iteration: SimResult,
     /// Wall-clock slices of the replay (train / checkpoint / lost /
-    /// restart), in time order — the run-level trace.
+    /// restart / shrunk / regrow), in time order — the run-level trace.
     pub events: Vec<RunEvent>,
 }
 
@@ -395,6 +407,9 @@ impl<'a> SimConfig<'a> {
                 rework_time_s: 0.0,
                 num_failures: 0,
                 num_checkpoints: 0,
+                num_domain_outages: 0,
+                num_preemptions: 0,
+                elastic_overhead_s: 0.0,
                 iteration: healthy,
                 events: vec![RunEvent {
                     span: RunSpan::Train,
@@ -451,24 +466,123 @@ impl<'a> SimConfig<'a> {
         let _replay_span = self.observer.as_ref().map(|o| o.span("sim.replay"));
         let mut rng = SplitMix64::new(plan.seed.unwrap_or(0) ^ 0x4641_494C_5354_524D);
         let mut next_fail = system_mtbf_s.map(|m| rng.exp(m));
+        let mut domain_stream = plan.domain_events();
+        let mut next_domain = domain_stream.next();
+        let dp = self.parallelism.dp();
         let max_failures = 10_000 + 100 * num_batches;
         let mut wall = 0.0f64;
         let mut done = 0u64;
         let mut num_failures = 0u64;
         let mut num_checkpoints = 0u64;
+        let mut num_domain_outages = 0u64;
+        let mut num_preemptions = 0u64;
         let mut checkpoint_time_s = 0.0f64;
         let mut rework_time_s = 0.0f64;
+        let mut elastic_overhead_s = 0.0f64;
         let mut events = Vec::new();
         while done < num_batches {
+            // Domain events that struck during downtime (restart, shrink)
+            // are dropped: the renewal approximation restarts the clock.
+            while next_domain.is_some_and(|e| e.at_s < wall) {
+                next_domain = domain_stream.next();
+            }
             let seg = interval_iters.min(num_batches - done);
             let seg_len =
                 seg as f64 * t_iter + if ckpt_enabled { ckpt_cost } else { 0.0 };
-            match next_fail {
-                Some(fail_at) if fail_at < wall + seg_len => {
+            let fail_at = next_fail.filter(|&t| t < wall + seg_len);
+            let dom_ev = next_domain.filter(|e| e.at_s < wall + seg_len);
+            // A device failure and a domain event in the same segment:
+            // the earlier one fires; an exact tie goes to the device.
+            let domain_fires =
+                dom_ev.is_some() && fail_at.is_none_or(|f| dom_ev.unwrap().at_s < f);
+            if domain_fires {
+                let ev = dom_ev.expect("domain_fires implies an event");
+                next_domain = domain_stream.next();
+                if ev.is_preemption() {
+                    num_preemptions += 1;
+                } else {
+                    num_domain_outages += 1;
+                }
+                if num_failures + num_domain_outages + num_preemptions > max_failures {
+                    return Err(Error::invalid(
+                        "simulation",
+                        format!(
+                            "fault replay exceeded {max_failures} events — \
+                             outage rates too high for the run to make progress"
+                        ),
+                    ));
+                }
+                let tree = plan.domain_tree.as_ref().expect("domain events imply a tree");
+                let (n0, n1) = ev.node_span(tree);
+                let k = self.broken_replicas(n0, n1);
+                if k == 0 {
+                    // The outage hit nodes the training grid does not
+                    // occupy: nothing to do.
+                    continue;
+                }
+                if plan.regrow_delay_s.is_some() && k < dp {
+                    // Survivable: finish the iteration in flight, then run
+                    // shrunk at dp-k replicas until capacity regrows, then
+                    // pay one checkpoint-sized re-replication to rejoin.
+                    let completed = (((ev.at_s - wall) / t_iter).floor() as u64).min(seg);
+                    if completed > 0 {
+                        events.push(RunEvent {
+                            span: RunSpan::Train,
+                            start_s: wall,
+                            end_s: wall + completed as f64 * t_iter,
+                        });
+                        wall += completed as f64 * t_iter;
+                        done += completed;
+                    }
+                    let remaining = num_batches - done;
+                    if remaining == 0 {
+                        continue;
+                    }
+                    let t_shrunk = t_iter * dp as f64 / (dp - k) as f64;
+                    let regrow = plan.regrow_delay_s.unwrap_or(0.0);
+                    let shrunk_iters =
+                        ((regrow / t_shrunk).ceil() as u64).max(1).min(remaining);
+                    events.push(RunEvent {
+                        span: RunSpan::Shrunk,
+                        start_s: wall,
+                        end_s: wall + shrunk_iters as f64 * t_shrunk,
+                    });
+                    elastic_overhead_s += shrunk_iters as f64 * (t_shrunk - t_iter);
+                    wall += shrunk_iters as f64 * t_shrunk;
+                    done += shrunk_iters;
+                    if ckpt_enabled && ckpt_cost > 0.0 && done < num_batches {
+                        events.push(RunEvent {
+                            span: RunSpan::Regrow,
+                            start_s: wall,
+                            end_s: wall + ckpt_cost,
+                        });
+                        elastic_overhead_s += ckpt_cost;
+                        wall += ckpt_cost;
+                    }
+                } else {
+                    // Blast radius covers every replica (or elastic mode is
+                    // off): the outage is fatal, back to the checkpoint.
+                    rework_time_s += (ev.at_s - wall) + plan.restart_s;
+                    events.push(RunEvent {
+                        span: RunSpan::Lost,
+                        start_s: wall,
+                        end_s: ev.at_s,
+                    });
+                    events.push(RunEvent {
+                        span: RunSpan::Restart,
+                        start_s: ev.at_s,
+                        end_s: ev.at_s + plan.restart_s,
+                    });
+                    wall = ev.at_s + plan.restart_s;
+                }
+                continue;
+            }
+            match fail_at {
+                Some(fail_at) => {
                     // The segment dies: progress since the last checkpoint
                     // is discarded and the run restarts from it.
                     num_failures += 1;
-                    if num_failures > max_failures {
+                    if num_failures + num_domain_outages + num_preemptions > max_failures {
                         return Err(Error::invalid(
                             "simulation",
                             format!(
@@ -492,7 +606,7 @@ impl<'a> SimConfig<'a> {
                     next_fail =
                         Some(wall + rng.exp(system_mtbf_s.expect("failures imply an mtbf")));
                 }
-                _ => {
+                None => {
                     events.push(RunEvent {
                         span: RunSpan::Train,
                         start_s: wall,
@@ -519,11 +633,14 @@ impl<'a> SimConfig<'a> {
             obs.add("sim.run.batches", done);
             obs.add("sim.run.failures", num_failures);
             obs.add("sim.run.checkpoints", num_checkpoints);
+            obs.add("sim.run.domain_outages", num_domain_outages);
+            obs.add("sim.run.preemptions", num_preemptions);
             if wall > 0.0 {
                 obs.gauge_set("sim.run.goodput", fault_free_time_s / wall);
             }
             obs.gauge_set("sim.run.rework_s", rework_time_s);
             obs.gauge_set("sim.run.checkpoint_s", checkpoint_time_s);
+            obs.gauge_set("sim.run.elastic_s", elastic_overhead_s);
         }
 
         Ok(RunResult {
@@ -536,9 +653,32 @@ impl<'a> SimConfig<'a> {
             rework_time_s,
             num_failures,
             num_checkpoints,
+            num_domain_outages,
+            num_preemptions,
+            elastic_overhead_s,
             iteration: perturbed,
             events,
         })
+    }
+
+    /// How many DP replicas lose at least one device when nodes
+    /// `[n0, n1)` go down. The simulator's logical device `(r, s)` spans
+    /// tensor-parallel accelerators `[d·tp, (d+1)·tp)` laid out
+    /// replica-major, so a replica breaks when any of its stages maps onto
+    /// the dead node range.
+    fn broken_replicas(&self, n0: usize, n1: usize) -> usize {
+        let tp = self.parallelism.tp().max(1);
+        let apn = self.system.accels_per_node().max(1);
+        (0..self.parallelism.dp())
+            .filter(|&r| {
+                (0..self.parallelism.pp()).any(|s| {
+                    let d = self.device(r, s);
+                    let first = d * tp / apn;
+                    let last = (d * tp + tp - 1) / apn;
+                    first < n1 && last >= n0
+                })
+            })
+            .count()
     }
 
     /// Device id of (data-parallel rank, pipeline stage). The simulator
@@ -1645,6 +1785,90 @@ mod tests {
             (rework - run.rework_time_s).abs() < 1e-9 * run.total_time_s,
             "lost + restart slices must account for the rework time"
         );
+    }
+
+    /// Eight single-accel nodes: dp 4 × pp 2 lands one replica on each
+    /// two-node rack, so a rack outage breaks exactly one replica.
+    fn rack_cluster() -> (SystemSpec, Parallelism, amped_core::FailureDomainTree) {
+        let sys = SystemSpec::new(8, 1, Link::new(5e-6, 2.4e12), Link::new(1e-5, 1e11), 1)
+            .unwrap();
+        let p = Parallelism::builder().dp(1, 4).pp(1, 2).build().unwrap();
+        let tree = amped_core::FailureDomainTree::new(8, 2, 4).unwrap();
+        (sys, p, tree)
+    }
+
+    #[test]
+    fn elastic_outages_shrink_and_regrow_instead_of_restarting() {
+        let m = mingpt();
+        let a = v100();
+        let (sys, p, tree) = rack_cluster();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap().iteration_time;
+        let tree = tree.with_rack_mtbf(4.0 * 30.0 * iter);
+        let base = crate::fault::FaultPlan::seeded(23)
+            .with_domain_tree(tree)
+            .with_restart(2.0 * iter)
+            .with_ckpt_interval(10.0 * iter);
+        let fatal = cfg.simulate_run(32, 60, &base).unwrap();
+        assert!(fatal.num_domain_outages > 0, "expected rack outages");
+        assert_eq!(fatal.elastic_overhead_s, 0.0);
+        assert!(fatal.rework_time_s > 0.0, "without regrow, outages are fatal");
+        assert!(fatal.events.iter().any(|e| e.span == RunSpan::Lost));
+
+        let elastic = cfg
+            .simulate_run(32, 60, &base.clone().with_regrow(5.0 * iter))
+            .unwrap();
+        assert!(elastic.num_domain_outages > 0);
+        assert!(elastic.elastic_overhead_s > 0.0);
+        assert!(elastic.events.iter().any(|e| e.span == RunSpan::Shrunk));
+        assert!(elastic.events.iter().any(|e| e.span == RunSpan::Regrow));
+        // Blast radius 1 of 4 replicas: nothing is ever fatal here, so the
+        // only rework would come from device failures — there are none.
+        assert_eq!(elastic.rework_time_s, 0.0);
+        // The accounting identity extends to the elastic overhead.
+        assert!(
+            (elastic.total_time_s
+                - (elastic.fault_free_time_s
+                    + elastic.checkpoint_time_s
+                    + elastic.rework_time_s
+                    + elastic.elastic_overhead_s))
+                .abs()
+                < 1e-6 * elastic.total_time_s,
+            "accounting must decompose the wall clock"
+        );
+        // Bit-identical replay on a second run.
+        let again = cfg
+            .simulate_run(32, 60, &base.with_regrow(5.0 * iter))
+            .unwrap();
+        assert_eq!(elastic.total_time_s.to_bits(), again.total_time_s.to_bits());
+        assert_eq!(elastic.num_domain_outages, again.num_domain_outages);
+        // Events still tile the wall clock bit-exactly.
+        let mut cursor = 0.0f64;
+        for ev in &elastic.events {
+            assert_eq!(ev.start_s.to_bits(), cursor.to_bits(), "events must abut");
+            cursor = ev.end_s;
+        }
+        assert_eq!(cursor.to_bits(), elastic.total_time_s.to_bits());
+    }
+
+    #[test]
+    fn preemptions_are_elastic_when_regrow_is_configured() {
+        let m = mingpt();
+        let a = v100();
+        let (sys, p, tree) = rack_cluster();
+        let cfg = SimConfig::new(&m, &a, &sys, &p);
+        let iter = cfg.simulate_iteration(32).unwrap().iteration_time;
+        let plan = crate::fault::FaultPlan::seeded(5)
+            .with_domain_tree(tree)
+            .with_preemption(8.0 * 25.0 * iter)
+            .with_restart(2.0 * iter)
+            .with_regrow(4.0 * iter);
+        let run = cfg.simulate_run(32, 60, &plan).unwrap();
+        assert!(run.num_preemptions > 0, "expected spot preemptions");
+        assert_eq!(run.num_domain_outages, 0);
+        assert!(run.events.iter().any(|e| e.span == RunSpan::Shrunk));
+        assert!(run.elastic_overhead_s > 0.0);
+        assert_eq!(run.rework_time_s, 0.0, "single-node blast radius never kills dp 4");
     }
 
     #[test]

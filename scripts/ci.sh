@@ -103,6 +103,24 @@ $client "$addr" POST /v1/resilience "$scenario" > "$serve_dir/resilience.json"
 $client "$addr" GET  /v1/metrics               > "$serve_dir/metrics.json"
 $client "$addr" GET  /v1/schema                > "$serve_dir/schema.json"
 
+echo "==> chaos smoke (correlated-outage scenario: CLI and daemon answer identical bytes)"
+# The spot-elastic fixture carries a failure_domains section (rack tree,
+# preemption, elastic regrow); the versioned resilience artifact must come
+# out of `amped resilience --json` and POST /v1/resilience byte-identical.
+chaos=tests/fixtures/spot-elastic.json
+chaos_cli=$(./target/release/amped resilience --json --config "$chaos")
+chaos_serve=$($client "$addr" POST /v1/resilience "$chaos")
+[ "$chaos_cli" = "$chaos_serve" ] \
+    || { echo "chaos smoke failed: CLI and serve artifacts differ"; \
+         printf '%s\n' "$chaos_cli" > "$serve_dir/chaos_cli.json"; \
+         printf '%s\n' "$chaos_serve" > "$serve_dir/chaos_serve.json"; \
+         diff "$serve_dir/chaos_cli.json" "$serve_dir/chaos_serve.json" | head -20; exit 1; }
+printf '%s' "$chaos_serve" | grep -q '"correlated"' \
+    || { echo "chaos smoke failed: no correlated section in the artifact"; exit 1; }
+printf '%s\n' "$chaos_serve" | head -2 | grep -q '"schema_version"' \
+    || { echo "chaos smoke failed: artifact does not lead with schema_version"; exit 1; }
+echo "chaos smoke ok: correlated artifact byte-identical across front-ends"
+
 # Every JSON response must re-parse; the sweep is CSV with a winners line.
 python3 - "$serve_dir" <<'EOF'
 import json, sys, pathlib

@@ -1,0 +1,206 @@
+//! Differential test: seeded domain-outage replays converge on the
+//! correlated analytical expectation.
+//!
+//! The simulator replays a balanced DP × PP run with exponential rack
+//! outages (and, in the elastic case, spot preemptions absorbed by
+//! shrink/regrow) on top of independent device failures; the correlated
+//! analytical model prices the same run from the tier rates, the
+//! placement's blast radii and the measured checkpoint economics. The
+//! mean simulated wall time over several seeds must land within 10% of
+//! `CorrelatedResilience::expected_time_s` — the acceptance criterion for
+//! the failure-domain subsystem.
+
+use amped::core::{
+    CorrelatedResilience, DomainPlacement, ElasticParams, FailureDomainTree, Link,
+    MicrobatchPolicy, Parallelism, ResilienceParams, SystemSpec,
+};
+use amped::sim::{FaultPlan, SimConfig};
+
+const GLOBAL_BATCH: usize = 64;
+const NUM_BATCHES: u64 = 2000;
+const SEEDS: [u64; 6] = [3, 17, 29, 41, 59, 71];
+
+/// minGPT-85M spread over single-accelerator nodes, so devices and nodes
+/// coincide: the sim's per-device fault clocks and the analytical model's
+/// per-node tiers describe exactly the same hardware.
+fn fixture(
+    num_nodes: usize,
+    dp: usize,
+    pp: usize,
+) -> (
+    amped::core::TransformerModel,
+    amped::core::AcceleratorSpec,
+    SystemSpec,
+    Parallelism,
+) {
+    let model = amped::configs::models::mingpt_85m();
+    let accel = amped::configs::accelerators::v100();
+    let system = SystemSpec::new(
+        num_nodes,
+        1,
+        Link::new(5e-6, 2.4e12),
+        Link::new(1e-5, 1e11),
+        1,
+    )
+    .unwrap();
+    let parallelism = Parallelism::builder()
+        .pp(1, pp)
+        .dp(1, dp)
+        .microbatches(MicrobatchPolicy::Explicit(8))
+        .build()
+        .unwrap();
+    (model, accel, system, parallelism)
+}
+
+/// Fatal rack outages: dp 4 × pp 2 on 8 nodes in racks of 2, replica-major,
+/// no elastic recovery — every rack outage restarts from the checkpoint,
+/// exactly like a device failure, and both fault classes must add up.
+#[test]
+fn seeded_rack_outages_converge_on_the_correlated_expectation() {
+    let (model, accel, system, parallelism) = fixture(8, 4, 2);
+    let sim = SimConfig::new(&model, &accel, &system, &parallelism);
+    let healthy = sim.simulate_iteration(GLOBAL_BATCH).unwrap();
+    let t_iter = healthy.iteration_time;
+    assert!(t_iter > 0.0);
+
+    // Calibrate both fault classes off the healthy run span: ~6 expected
+    // device failures and ~6 expected rack outages per run, with MTBFs far
+    // above the checkpoint interval (the renewal model's validity regime).
+    let run_span = NUM_BATCHES as f64 * t_iter;
+    let device_mtbf_s = 8.0 * run_span / 6.0;
+    let num_racks = 4.0;
+    let rack_mtbf_s = num_racks * run_span / 6.0;
+    let restart_s = 2.0 * t_iter;
+
+    let tree = FailureDomainTree::new(8, 2, 2)
+        .unwrap()
+        .with_rack_mtbf(rack_mtbf_s);
+
+    let mut totals = Vec::new();
+    let mut outages = 0u64;
+    let mut reference = None;
+    for seed in SEEDS {
+        let plan = FaultPlan::seeded(seed)
+            .with_device_mtbf(device_mtbf_s)
+            .with_restart(restart_s)
+            .with_ckpt_write_bw(1e10)
+            .with_domain_tree(tree.clone());
+        let run = sim.simulate_run(GLOBAL_BATCH, NUM_BATCHES, &plan).unwrap();
+        assert!(run.total_time_s >= run.fault_free_time_s);
+        assert_eq!(run.elastic_overhead_s, 0.0, "no regrow means no shrink");
+        outages += run.num_domain_outages;
+        totals.push(run.total_time_s);
+        reference.get_or_insert(run);
+    }
+    assert!(
+        outages >= 18,
+        "fixture must actually exercise rack outages across seeds, saw {outages}"
+    );
+
+    // Feed the analytical model the measured checkpoint cost and the
+    // realized (integer-iteration) interval, so both sides price the same
+    // machine; the tree and placement supply the correlated tier.
+    let run = reference.unwrap();
+    let ckpt_cost_s = run.ckpt_iteration_time_s - run.iteration_time_s;
+    assert!(ckpt_cost_s > 0.0);
+    let interval_s = run.ckpt_interval_iters as f64 * run.iteration_time_s;
+    let base = ResilienceParams::new(device_mtbf_s, 8)
+        .unwrap()
+        .with_checkpoint_cost(ckpt_cost_s)
+        .with_restart(restart_s);
+    let placement = DomainPlacement::replica_major(4, 2, 1, 1, &tree);
+    // Each replica fills exactly one rack of the tree.
+    assert_eq!(placement.replicas_per_rack, 1);
+    let corr = CorrelatedResilience::new(base, tree, placement).unwrap();
+    let expected_s = corr.expected_time_s(run.fault_free_time_s, interval_s);
+
+    let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+    let relative_error = (mean - expected_s).abs() / expected_s;
+    assert!(
+        relative_error <= 0.10,
+        "simulated mean {mean:.1}s vs correlated expectation {expected_s:.1}s \
+         ({:.1}% off, >10%); per-seed totals: {totals:?}",
+        100.0 * relative_error
+    );
+}
+
+/// Elastic recovery: pure dp 8 on 8 single-node racks with spot
+/// preemptions and rack outages, all survivable (blast radius 1 of 8
+/// replicas) — the run shrinks and regrows instead of restarting, and the
+/// shrink overhead must match the correlated model's elastic term.
+#[test]
+fn seeded_elastic_preemptions_converge_on_the_correlated_expectation() {
+    let (model, accel, system, parallelism) = fixture(8, 8, 1);
+    let sim = SimConfig::new(&model, &accel, &system, &parallelism);
+    let healthy = sim.simulate_iteration(GLOBAL_BATCH).unwrap();
+    let t_iter = healthy.iteration_time;
+    assert!(t_iter > 0.0);
+
+    let run_span = NUM_BATCHES as f64 * t_iter;
+    let device_mtbf_s = 8.0 * run_span / 5.0;
+    let num_racks = 8.0;
+    let rack_mtbf_s = num_racks * run_span / 5.0;
+    let preemption_mtbf_s = 8.0 * run_span / 5.0;
+    let restart_s = 2.0 * t_iter;
+    let regrow_delay_s = 12.0 * t_iter;
+
+    let tree = FailureDomainTree::new(8, 1, 4)
+        .unwrap()
+        .with_rack_mtbf(rack_mtbf_s);
+
+    let mut totals = Vec::new();
+    let mut elastic_events = 0u64;
+    let mut reference = None;
+    for seed in SEEDS {
+        let plan = FaultPlan::seeded(seed)
+            .with_device_mtbf(device_mtbf_s)
+            .with_restart(restart_s)
+            .with_ckpt_write_bw(1e10)
+            .with_domain_tree(tree.clone())
+            .with_preemption(preemption_mtbf_s)
+            .with_regrow(regrow_delay_s);
+        let run = sim.simulate_run(GLOBAL_BATCH, NUM_BATCHES, &plan).unwrap();
+        assert!(run.total_time_s >= run.fault_free_time_s);
+        elastic_events += run.num_domain_outages + run.num_preemptions;
+        if run.num_domain_outages + run.num_preemptions > 0 {
+            assert!(
+                run.elastic_overhead_s > 0.0,
+                "survivable outages must shrink, not restart (seed {seed})"
+            );
+        }
+        totals.push(run.total_time_s);
+        reference.get_or_insert(run);
+    }
+    assert!(
+        elastic_events >= 30,
+        "fixture must actually exercise elastic events across seeds, saw {elastic_events}"
+    );
+
+    let run = reference.unwrap();
+    let ckpt_cost_s = run.ckpt_iteration_time_s - run.iteration_time_s;
+    assert!(ckpt_cost_s > 0.0);
+    let interval_s = run.ckpt_interval_iters as f64 * run.iteration_time_s;
+    let base = ResilienceParams::new(device_mtbf_s, 8)
+        .unwrap()
+        .with_checkpoint_cost(ckpt_cost_s)
+        .with_restart(restart_s);
+    let placement = DomainPlacement::replica_major(8, 1, 1, 1, &tree);
+    assert_eq!(placement.replicas_per_rack, 1);
+    assert_eq!(placement.replicas_per_node, 1);
+    let corr = CorrelatedResilience::new(base, tree, placement)
+        .unwrap()
+        .with_elastic(
+            ElasticParams::new(regrow_delay_s).with_preemption_mtbf(preemption_mtbf_s),
+        );
+    assert!(corr.elastic_rate_per_s() > 0.0);
+    let expected_s = corr.expected_time_s(run.fault_free_time_s, interval_s);
+
+    let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+    let relative_error = (mean - expected_s).abs() / expected_s;
+    assert!(
+        relative_error <= 0.10,
+        "simulated mean {mean:.1}s vs correlated expectation {expected_s:.1}s \
+         ({:.1}% off, >10%); per-seed totals: {totals:?}",
+        100.0 * relative_error
+    );
+}

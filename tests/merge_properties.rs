@@ -156,7 +156,7 @@ fn every_flagged_field_changes_the_resolution_or_errors() {
     for (flag, ty) in probes {
         let mut draft = ScenarioDraft::new();
         let outcome = draft
-            .flags(&probe(flag, ty), FlagSet::with_resilience())
+            .flags(&probe(flag, ty), FlagSet::with_failure_domains())
             .map(|d| d.resolve());
         match outcome {
             // A typed rejection is a live field too (e.g. `--restart`
