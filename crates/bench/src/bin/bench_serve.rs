@@ -1,0 +1,49 @@
+//! Records service-level telemetry into `BENCH_serve.json` at the repo
+//! root: boots an in-process `amped-serve` server on an ephemeral port,
+//! replays concurrent mixed traffic (estimate/search/sweep/resilience)
+//! through the load-test driver, and writes the versioned report —
+//! per-endpoint latency quantiles, request rate, error/backpressure
+//! rates, and the measured cache hit rate. Run with
+//! `cargo run --release -p amped-bench --bin bench_serve`.
+
+use amped_serve::{LoadTestConfig, ServeConfig, Server};
+
+fn main() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        handle_sigint: false,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let config = LoadTestConfig {
+        addr: addr.to_string(),
+        clients: 4,
+        requests_per_client: 8,
+        ..LoadTestConfig::default()
+    };
+    let report = amped_serve::loadtest::run(&config).expect("loadtest runs");
+
+    handle.shutdown();
+    let summary = thread
+        .join()
+        .expect("server thread joins")
+        .expect("clean shutdown");
+
+    let text = serde_json::to_string_pretty(&report.to_value()).expect("serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, format!("{text}\n")).expect("writes BENCH_serve.json");
+    println!("{text}");
+    println!(
+        "{} requests at {:.1} req/s, error rate {:.1}%, cache hit rate {:.1}%; server: {summary}",
+        report.requests,
+        report.req_per_sec,
+        report.error_rate * 100.0,
+        report.cache_hit_rate * 100.0
+    );
+    assert_eq!(report.error_rate, 0.0, "benchmark traffic must all succeed");
+}

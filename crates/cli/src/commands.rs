@@ -47,6 +47,8 @@ commands:
   check                       lint a launch configuration for footguns
   serve                       long-lived HTTP service answering estimate/
                               search/recommend/sweep/resilience queries
+  loadtest                    replay concurrent mixed traffic against a
+                              running server; write BENCH_serve.json
   help                        this text
 
 scenario flags (every command below resolves its scenario through one
@@ -140,6 +142,20 @@ the same artifacts the --json flags print):
                               429 + Retry-After                [default 64]
   --timeout-ms MS             per-request deadline from enqueue (504 past
                               it)                           [default 30000]
+  --access-log FILE           append one JSON line per request: endpoint,
+                              status, bytes, queue/handler microseconds
+  -v                          serve: mirror the access log to stderr
+                              (per-endpoint latency histograms are always
+                              on — GET /v1/metrics?format=prometheus)
+
+loadtest flags (loadtest only; drives a live `amped serve` instance):
+  --addr HOST:PORT            target server             [default 127.0.0.1:8750]
+  --clients N                 concurrent client threads          [default 4]
+  --requests N                requests per client                [default 8]
+  --preset NAME               scenario preset each request carries
+                              [default dev-small]
+  --out FILE                  report path           [default BENCH_serve.json]
+  --json                      print the report JSON instead of the table
 ";
 
 /// The cost backend selected by `--backend` (analytical when absent).
@@ -250,6 +266,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         Some("sensitivity") => sensitivity(args),
         Some("check") => check(args),
         Some("serve") => serve(args),
+        Some("loadtest") => loadtest(args),
         Some(other) => Err(Error::usage(format!(
             "unknown command `{other}`; try `amped help`"
         ))),
@@ -990,11 +1007,57 @@ fn serve(args: &Args) -> Result<String> {
         queue_depth: args.parse_or("queue-depth", 64)?,
         timeout_ms: args.parse_or("timeout-ms", 30_000)?,
         handle_sigint: true,
+        access_log: args.get("access-log").map(String::from),
+        verbose: args.switch("v"),
     };
     let server = amped_serve::Server::bind(config)?;
     println!("amped-serve listening on {}", server.local_addr()?);
     let summary = server.run()?;
     Ok(format!("amped-serve: {summary}"))
+}
+
+/// `amped loadtest` — replay concurrent mixed traffic against a running
+/// server and record what it delivered. Writes the versioned
+/// `BENCH_serve.json` report (`--out`) and prints either the raw JSON
+/// (`--json`) or a per-endpoint quantile table rendered by the same
+/// `amped_report::histogram_table` the metrics views use.
+fn loadtest(args: &Args) -> Result<String> {
+    let config = amped_serve::LoadTestConfig {
+        addr: args.get_or("addr", "127.0.0.1:8750").to_string(),
+        clients: args.parse_or("clients", 4)?,
+        requests_per_client: args.parse_or("requests", 8)?,
+        preset: args.get_or("preset", "dev-small").to_string(),
+        ..amped_serve::LoadTestConfig::default()
+    };
+    let report = amped_serve::loadtest::run(&config)?;
+    let value = report.to_value();
+    let json = to_json(&value)?;
+    let out = args.get_or("out", "BENCH_serve.json");
+    std::fs::write(out, format!("{json}\n")).map_err(|e| Error::io(out, e.to_string()))?;
+    if args.switch("json") {
+        return Ok(json);
+    }
+    let mut text = format!(
+        "loadtest {}: {} requests ({} clients x {}), {:.2} req/s over {:.2}s\n\
+         errors {:.1}%  429 rejections {:.1}%  cache hit rate {:.1}% ({}/{})\n\n\
+         client-observed latency, microseconds:\n{}\nreport written to {out}",
+        config.addr,
+        report.requests,
+        report.clients,
+        report.requests_per_client,
+        report.req_per_sec,
+        report.duration_s,
+        report.error_rate * 100.0,
+        report.rejected_429_rate * 100.0,
+        report.cache_hit_rate * 100.0,
+        report.cache_hits,
+        report.cache_lookups,
+        amped_report::histogram_table(value.get("endpoints").unwrap_or(&value)).to_ascii(),
+    );
+    if report.requests > 0 && report.error_rate == 0.0 {
+        text.push_str("\nall requests succeeded");
+    }
+    Ok(text)
 }
 
 fn memory(args: &Args) -> Result<String> {

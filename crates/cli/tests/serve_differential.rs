@@ -151,6 +151,7 @@ fn start_server() -> (
         queue_depth: 16,
         timeout_ms: 600_000,
         handle_sigint: false,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().unwrap();
@@ -167,6 +168,7 @@ fn server_responses_are_byte_identical_to_the_cli() {
         queue_depth: 16,
         timeout_ms: 600_000,
         handle_sigint: false,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().unwrap();
@@ -313,6 +315,70 @@ fn resolved_scenarios_and_schema_are_byte_identical_across_front_ends() {
     let (status, serve_schema) = request(addr, "GET", "/v1/schema", "");
     assert_eq!(status, 200);
     assert_eq!(cli(&["schema"]), serve_schema);
+
+    handle.shutdown();
+    thread.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
+fn histogram_tables_render_identically_across_front_ends() {
+    let (addr, handle, thread) = start_server();
+
+    // Warm the server with compute traffic so latency histograms exist,
+    // then snapshot its run report.
+    post(addr, "/v1/search?top=3&jobs=1", SMALL);
+    let (status, metrics) = request(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let serve_doc: serde_json::Value = serde_json::from_str(&metrics).expect("metrics JSON");
+
+    // CLI side: the same run-report shape through `--metrics-out`.
+    let small = write_scenario("hist-small.json", SMALL);
+    let out = std::env::temp_dir()
+        .join("amped-serve-differential")
+        .join("hist-metrics.json");
+    cli(&[
+        "search",
+        "--json",
+        "--top",
+        "3",
+        "--jobs",
+        "1",
+        "--config",
+        small.to_str().unwrap(),
+        "--metrics-out",
+        out.to_str().unwrap(),
+    ]);
+    let cli_doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).expect("run report JSON");
+
+    // One shared renderer, one contract, both front-ends: rendering the
+    // whole run report equals rendering its bare `histograms` section,
+    // byte for byte.
+    for doc in [&serve_doc, &cli_doc] {
+        let whole = amped_report::histogram_table(doc).to_ascii();
+        let section = amped_report::histogram_table(&doc["histograms"]).to_ascii();
+        assert_eq!(whole, section, "wrapper changed the rendered bytes");
+    }
+
+    // The serve report carries real per-endpoint latency rows.
+    let serve_table = amped_report::histogram_table(&serve_doc);
+    assert!(
+        serve_table.to_csv().contains("serve.http.search.us"),
+        "{}",
+        serve_table.to_csv()
+    );
+
+    // Identical summary content renders identical bytes no matter which
+    // front end produced the surrounding document: graft the serve
+    // section into a CLI-shaped wrapper and compare.
+    let grafted = serde_json::json!({
+        "command": "search",
+        "histograms": serve_doc["histograms"].clone(),
+    });
+    assert_eq!(
+        amped_report::histogram_table(&grafted).to_ascii(),
+        serve_table.to_ascii()
+    );
 
     handle.shutdown();
     thread.join().unwrap().expect("clean shutdown");

@@ -1,0 +1,338 @@
+//! A lock-free, fixed-log-bucket latency [`Histogram`].
+//!
+//! # Bucket layout
+//!
+//! Values (non-negative integers, by convention microseconds) land in one
+//! of [`NUM_BUCKETS`] fixed buckets: the first [`SUBBUCKETS`] buckets hold
+//! exact small values, and every power-of-two octave above that is split
+//! into [`SUBBUCKETS`] linear sub-buckets (the HdrHistogram log-linear
+//! scheme, reduced to its atomic core). Reporting a bucket's midpoint
+//! bounds the relative quantile error by `1 / (2 * SUBBUCKETS)` — 3.125%
+//! with 16 sub-buckets, comfortably inside the ~4% budget — while keeping
+//! the whole structure a flat array of `AtomicU64` counters: `record` is
+//! two shifts, a mask, and four relaxed atomic ops, with no locks anywhere.
+//!
+//! Merging is bucket-wise addition, so per-request histograms can be
+//! folded into a long-lived process histogram (`Observer::absorb`) without
+//! losing any distributional information beyond the bucketing itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave (a power of two).
+pub const SUBBUCKETS: usize = 16;
+const LOG2_SUB: u32 = SUBBUCKETS.trailing_zeros();
+
+/// Total bucket count; the layout covers the full `u64` range.
+pub const NUM_BUCKETS: usize = (64 - LOG2_SUB as usize + 1) * SUBBUCKETS;
+
+/// Bucket index for a recorded value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= LOG2_SUB
+    let sub = ((v >> (octave - LOG2_SUB)) & (SUBBUCKETS as u64 - 1)) as usize;
+    (octave - LOG2_SUB + 1) as usize * SUBBUCKETS + sub
+}
+
+/// Smallest value that lands in bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUBBUCKETS {
+        return i as u64;
+    }
+    let octave = (i / SUBBUCKETS) as u32 + LOG2_SUB - 1;
+    let sub = (i % SUBBUCKETS) as u64;
+    (1u64 << octave) + (sub << (octave - LOG2_SUB))
+}
+
+/// Width of bucket `i` in value units (1 for the exact region).
+pub fn bucket_width(i: usize) -> u64 {
+    if i < 2 * SUBBUCKETS {
+        return 1;
+    }
+    let octave = (i / SUBBUCKETS) as u32 + LOG2_SUB - 1;
+    1u64 << (octave - LOG2_SUB)
+}
+
+/// Largest value that lands in bucket `i` (inclusive).
+fn bucket_upper(i: usize) -> u64 {
+    bucket_lower(i).saturating_add(bucket_width(i) - 1)
+}
+
+/// Point estimate reported for values in bucket `i`: the midpoint.
+fn bucket_mid(i: usize) -> f64 {
+    bucket_lower(i) as f64 + (bucket_width(i) - 1) as f64 / 2.0
+}
+
+/// A lock-free histogram over fixed logarithmic buckets.
+///
+/// Every mutation is a relaxed atomic op on a flat `AtomicU64` array, so
+/// handles can be shared across worker threads (`Arc<Histogram>`) and
+/// recorded into from hot paths without contention. Quantile estimates are
+/// within one bucket width of the exact order statistic and never outside
+/// the observed `[min, max]`.
+///
+/// # Example
+///
+/// ```
+/// use amped_obs::Histogram;
+/// let h = Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.sum(), 106);
+/// assert_eq!(h.max(), Some(100));
+/// assert!(h.quantile(0.0).unwrap() >= 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (v != u64::MAX || self.count() > 0).then_some(v)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped into `[0, 1]`) using the
+    /// lower nearest-rank definition: the estimate targets the value at
+    /// sorted index `floor(q * (count - 1))`. Returns the midpoint of the
+    /// bucket holding that rank, clamped to the observed `[min, max]`, so
+    /// the result is monotone in `q`, never outside the observed range,
+    /// and within one bucket width of the exact order statistic. `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (count - 1) as f64).floor() as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative > rank {
+                let mid = bucket_mid(i);
+                let lo = self.min().unwrap_or(0) as f64;
+                let hi = self.max().unwrap_or(u64::MAX) as f64;
+                return Some(mid.clamp(lo, hi));
+            }
+        }
+        // A concurrent `record` between the count load and the bucket walk
+        // can leave the walk one short; fall back to the observed maximum.
+        self.max().map(|m| m as f64)
+    }
+
+    /// Fold `other` into `self` bucket-wise: counts add, `min`/`max`
+    /// extend. `other` is unchanged.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs in
+    /// ascending bound order — the raw material for Prometheus exposition
+    /// (where `le` is an inclusive bound, matching ours exactly for
+    /// integer samples).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper(i), n))
+            })
+            .collect()
+    }
+
+    /// The frozen summary carried by run reports (`None` when empty).
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            p999: self.quantile(0.999).unwrap_or(0.0),
+        })
+    }
+}
+
+/// A frozen snapshot of one histogram: totals plus the standard latency
+/// quantiles, as serialized into [`crate::RunReport`] JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Estimated 99.9th percentile.
+    pub p999: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_continuous_and_self_inverse() {
+        let mut prev_upper = None;
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower(i);
+            if let Some(p) = prev_upper {
+                assert_eq!(lo, p + 1, "gap before bucket {i}");
+            }
+            assert_eq!(bucket_index(lo), i, "lower bound maps back");
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_index(hi), i, "upper bound maps back");
+            if hi == u64::MAX {
+                break;
+            }
+            prev_upper = Some(hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for i in SUBBUCKETS..NUM_BUCKETS {
+            let lo = bucket_lower(i);
+            if lo == 0 || bucket_upper(i) == u64::MAX {
+                continue;
+            }
+            let err = (bucket_width(i) as f64 / 2.0) / lo as f64;
+            assert!(err <= 1.0 / (2.0 * SUBBUCKETS as f64) + 1e-12, "bucket {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn exact_region_reports_exact_quantiles() {
+        let h = Histogram::new();
+        for v in 0..10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(9.0));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(9));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_extends_extremes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        a.record(1000);
+        b.record(7);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 1012);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(1000));
+        let total: u64 = a.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sorted_and_balance() {
+        let h = Histogram::new();
+        for v in [1u64, 1, 17, 300, 1 << 40] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|(_, n)| n).sum::<u64>(), h.count());
+    }
+}

@@ -28,6 +28,12 @@
 //!   Event JSON array (one track per worker thread), the search half of
 //!   the CLI's unified `--trace-out`. Simulator timelines use the same
 //!   [`chrome_trace`] writer via `amped-sim`.
+//! * [`prometheus_exposition`]: every counter, gauge, and [`Histogram`]
+//!   in Prometheus text format, behind `GET /v1/metrics?format=prometheus`
+//!   in `amped-serve`. Latency distributions come from the lock-free
+//!   fixed-log-bucket [`Histogram`] (`Observer::histogram`), which every
+//!   [`Observer::timer`] feeds alongside its legacy count/total/max
+//!   series.
 //!
 //! # Example
 //!
@@ -49,10 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod histogram;
 mod metrics;
+mod prom;
 mod report;
 mod trace;
 
+pub use histogram::{Histogram, HistogramSummary, NUM_BUCKETS, SUBBUCKETS};
 pub use metrics::{Counter, DeviceUtil, Gauge, Observer, Span, Timer};
+pub use prom::prometheus_exposition;
 pub use report::RunReport;
 pub use trace::{chrome_trace, escape_json, TraceEvent};

@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
 
+use crate::histogram::{Histogram, HistogramSummary};
 use crate::report::RunReport;
 use crate::trace::{chrome_trace, TraceEvent};
 
@@ -67,12 +68,16 @@ impl Gauge {
 
 /// A latency timer guard from [`Observer::timer`]: on drop it bumps
 /// `{prefix}.count`, adds the elapsed microseconds to `{prefix}.us_total`,
-/// and raises the `{prefix}.us_max` gauge.
+/// raises the `{prefix}.us_max` gauge, and records the sample into the
+/// `{prefix}.us` histogram so latency is a full distribution, not just a
+/// count/total/max triple. The legacy series keep their names; the
+/// histogram's `count`/`sum` agree with them exactly (tested).
 #[derive(Debug)]
 pub struct Timer {
     pub(crate) count: Counter,
     pub(crate) us_total: Counter,
     pub(crate) us_max: Gauge,
+    pub(crate) latency: Arc<Histogram>,
     pub(crate) start: Instant,
 }
 
@@ -82,6 +87,7 @@ impl Drop for Timer {
         self.count.incr();
         self.us_total.add(us);
         self.us_max.max(us as f64);
+        self.latency.record(us);
     }
 }
 
@@ -136,6 +142,7 @@ pub struct Observer {
     epoch: Instant,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     spans: Mutex<Vec<SpanRecord>>,
     tracks: Mutex<HashMap<ThreadId, u64>>,
     devices: Mutex<Vec<DeviceUtil>>,
@@ -154,6 +161,7 @@ impl Observer {
             epoch: Instant::now(),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(Vec::new()),
             tracks: Mutex::new(HashMap::new()),
             devices: Mutex::new(Vec::new()),
@@ -193,6 +201,43 @@ impl Observer {
         self.gauge(name).max(v);
     }
 
+    /// The histogram registered under `name` (created empty on first use).
+    /// Like counters, registration takes the registry lock once; every
+    /// `record` through the returned handle is lock-free.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()));
+        Arc::clone(cell)
+    }
+
+    /// Record one value into the histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Summaries of every non-empty histogram, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSummary> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .filter_map(|(k, h)| h.summary().map(|s| (k.clone(), s)))
+            .collect()
+    }
+
+    /// Handles to every registered histogram, sorted by name (the raw
+    /// bucket view behind Prometheus exposition).
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), Arc::clone(h)))
+            .collect()
+    }
+
     /// Open a work span (category `"task"`); it records on drop.
     pub fn span(&self, name: &'static str) -> Span<'_> {
         self.span_with_cat(name, "task")
@@ -229,15 +274,17 @@ impl Observer {
             count: self.counter(&format!("{prefix}.count")),
             us_total: self.counter(&format!("{prefix}.us_total")),
             us_max: self.gauge(&format!("{prefix}.us_max")),
+            latency: self.histogram(&format!("{prefix}.us")),
             start: Instant::now(),
         }
     }
 
-    /// Fold another observer's counters and gauges into this one:
-    /// counters add, gauges keep the maximum. Spans, thread tracks and
-    /// device samples are *not* transferred — this is the aggregation path
-    /// for short-lived per-request observers feeding a long-lived process
-    /// observer, where retaining every span would grow without bound.
+    /// Fold another observer's counters, gauges, and histograms into this
+    /// one: counters add, gauges keep the maximum, histogram buckets add.
+    /// Spans, thread tracks and device samples are *not* transferred —
+    /// this is the aggregation path for short-lived per-request observers
+    /// feeding a long-lived process observer, where retaining every span
+    /// would grow without bound.
     pub fn absorb(&self, other: &Observer) {
         for (name, value) in other.counters() {
             if value > 0 {
@@ -246,6 +293,11 @@ impl Observer {
         }
         for (name, value) in other.gauges() {
             self.gauge_max(&name, value);
+        }
+        for (name, theirs) in other.histogram_handles() {
+            if !theirs.is_empty() {
+                self.histogram(&name).merge(&theirs);
+            }
         }
     }
 
@@ -291,6 +343,7 @@ impl Observer {
             phases: agg.into_iter().map(|(n, s, _)| (n, s)).collect(),
             counters: self.counters(),
             gauges: self.gauges(),
+            histograms: self.histograms(),
             devices: self.devices.lock().expect("device registry poisoned").clone(),
         }
     }
@@ -445,6 +498,51 @@ mod tests {
         let total = counters["serve.http.estimate.us_total"];
         let max = obs.gauges()["serve.http.estimate.us_max"];
         assert!(max <= total as f64, "max {max} > total {total}");
+    }
+
+    #[test]
+    fn timer_histogram_agrees_with_legacy_series() {
+        // Regression for the Timer distribution fix: the new `{p}.us`
+        // histogram must agree exactly with the legacy `{p}.count` and
+        // `{p}.us_total` series — same drops, same microseconds.
+        let obs = Observer::new();
+        for _ in 0..5 {
+            let t = obs.timer("serve.http.estimate");
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            drop(t);
+        }
+        let counters = obs.counters();
+        let h = obs.histogram("serve.http.estimate.us");
+        assert_eq!(h.count(), counters["serve.http.estimate.count"]);
+        assert_eq!(h.sum(), counters["serve.http.estimate.us_total"]);
+        assert_eq!(
+            h.max().unwrap() as f64,
+            obs.gauges()["serve.http.estimate.us_max"]
+        );
+        let summary = &obs.histograms()["serve.http.estimate.us"];
+        assert_eq!(summary.count, 5);
+        assert!(summary.p50 <= summary.p99 && summary.p99 <= summary.max as f64);
+    }
+
+    #[test]
+    fn absorb_merges_histogram_buckets() {
+        let process = Observer::new();
+        process.observe("latency.us", 10);
+
+        let request = Observer::new();
+        request.observe("latency.us", 20);
+        request.observe("latency.us", 30);
+        request.observe("other.us", 7);
+
+        process.absorb(&request);
+        let merged = process.histogram("latency.us");
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 60);
+        assert_eq!(merged.min(), Some(10));
+        assert_eq!(merged.max(), Some(30));
+        assert_eq!(process.histogram("other.us").count(), 1);
+        // The donor observer is untouched.
+        assert_eq!(request.histogram("latency.us").count(), 2);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Prometheus text exposition (format version 0.0.4) for an [`Observer`].
+//!
+//! Behind `GET /v1/metrics?format=prometheus` in `amped-serve`. The writer
+//! is hand-rolled like the JSON one so the crate stays dependency-free;
+//! CI parses the output back with an independent python checker to keep it
+//! honest. Mapping:
+//!
+//! * counter `a.b.c` → `# TYPE a_b_c counter` + one sample;
+//! * gauge `a.b` → `# TYPE a_b gauge` + one sample;
+//! * histogram `a.us` → `# TYPE a_us histogram` with sparse cumulative
+//!   `a_us_bucket{le="..."}` lines (inclusive integer bounds — exactly the
+//!   `le` contract for integer samples), a `+Inf` bucket, `a_us_sum`, and
+//!   `a_us_count`.
+
+use crate::metrics::Observer;
+
+/// Map a dotted metric name onto the Prometheus identifier charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a sample value the way the text format expects (`+Inf`/`-Inf`/
+/// `NaN` spellings instead of Rust's defaults).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// The full exposition document for `obs`: every counter, gauge, and
+/// histogram, each preceded by its `# TYPE` line.
+///
+/// # Example
+///
+/// ```
+/// use amped_obs::{prometheus_exposition, Observer};
+/// let obs = Observer::new();
+/// obs.add("serve.requests.received", 3);
+/// let text = prometheus_exposition(&obs);
+/// assert!(text.contains("# TYPE serve_requests_received counter"));
+/// assert!(text.contains("serve_requests_received 3"));
+/// ```
+pub fn prometheus_exposition(obs: &Observer) -> String {
+    let mut out = String::new();
+    for (name, value) in obs.counters() {
+        let n = prom_name(&name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in obs.gauges() {
+        let n = prom_name(&name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", prom_f64(value)));
+    }
+    for (name, h) in obs.histogram_handles() {
+        if h.is_empty() {
+            continue;
+        }
+        let n = prom_name(&name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (upper, count) in h.nonzero_buckets() {
+            cumulative += count;
+            if upper == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{n}_sum {}\n", h.sum()));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(prom_name("serve.http.429"), "serve_http_429");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn exposition_has_cumulative_buckets_ending_at_inf() {
+        let obs = Observer::new();
+        obs.add("reqs", 2);
+        obs.gauge_set("depth", 1.5);
+        obs.observe("lat.us", 3);
+        obs.observe("lat.us", 3);
+        obs.observe("lat.us", 100);
+        let text = prometheus_exposition(&obs);
+        assert!(text.contains("# TYPE reqs counter\nreqs 2\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth 1.5\n"));
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+        assert!(text.contains("lat_us_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_us_sum 106\n"));
+        assert!(text.contains("lat_us_count 3\n"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last || line.contains("le=\"+Inf\""));
+            last = if line.contains("+Inf") { 0 } else { v };
+        }
+    }
+
+    #[test]
+    fn empty_observer_renders_empty_document() {
+        assert_eq!(prometheus_exposition(&Observer::new()), "");
+    }
+
+    #[test]
+    fn special_gauge_values_use_prom_spellings() {
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(0.25), "0.25");
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::histogram::HistogramSummary;
 use crate::metrics::DeviceUtil;
 use crate::trace::{escape_json, json_f64};
 
@@ -22,6 +23,8 @@ pub struct RunReport {
     pub counters: BTreeMap<String, u64>,
     /// Every registered gauge, sorted by name.
     pub gauges: BTreeMap<String, f64>,
+    /// Summary of every non-empty latency histogram, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
     /// Per-device busy fractions from the most recent simulated timeline
     /// (empty for purely analytical runs).
     pub devices: Vec<DeviceUtil>,
@@ -90,6 +93,30 @@ impl RunReport {
         }
         out.push_str("},\n");
 
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                escape_json(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99),
+                json_f64(h.p999)
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
         out.push_str("  \"devices\": [");
         for (i, d) in self.devices.iter().enumerate() {
             if i > 0 {
@@ -122,6 +149,12 @@ impl RunReport {
         for (name, value) in &self.gauges {
             out.push_str(&format!("{name}: {value:.3}\n"));
         }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name}: p50={:.0} p90={:.0} p99={:.0} p999={:.0} max={} (n={})\n",
+                h.p50, h.p90, h.p99, h.p999, h.max, h.count
+            ));
+        }
         if !self.devices.is_empty() {
             let mean = self.devices.iter().map(|d| d.busy_fraction).sum::<f64>()
                 / self.devices.len() as f64;
@@ -148,6 +181,8 @@ mod tests {
         obs.add("search.candidates.generated", 12);
         obs.add("search.candidates.pruned", 4);
         obs.gauge_set("sim.des.max_queue_depth", 9.0);
+        obs.observe("search.evaluate.us", 10);
+        obs.observe("search.evaluate.us", 30);
         obs.set_device_utilization(vec![DeviceUtil {
             device: 0,
             stage: 0,
@@ -165,6 +200,12 @@ mod tests {
         assert_eq!(v["gauges"]["sim.des.max_queue_depth"].as_f64(), Some(9.0));
         assert_eq!(v["devices"][0]["busy_fraction"].as_f64(), Some(0.5));
         assert_eq!(v["phases"][0]["name"], "explore");
+        let h = &v["histograms"]["search.evaluate.us"];
+        assert_eq!(h["count"], 2);
+        assert_eq!(h["sum"], 40);
+        assert_eq!(h["min"], 10);
+        assert_eq!(h["max"], 30);
+        assert_eq!(h["p50"].as_f64(), Some(10.0));
     }
 
     #[test]
@@ -173,6 +214,7 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert_eq!(v["command"], "estimate \"x\"");
         assert!(v["counters"].as_object().unwrap().is_empty());
+        assert!(v["histograms"].as_object().unwrap().is_empty());
         assert!(v["devices"].as_array().unwrap().is_empty());
     }
 
@@ -182,5 +224,6 @@ mod tests {
         assert!(s.contains("search.candidates.generated: 12"));
         assert!(s.contains("phase explore"));
         assert!(s.contains("mean busy 50.0%"));
+        assert!(s.contains("search.evaluate.us: p50=10"));
     }
 }

@@ -1,0 +1,133 @@
+//! Property tests for the fixed-log-bucket histogram: quantile accuracy
+//! against a brute-force sorted reference, and merge algebra (the
+//! `Observer::absorb` aggregation path must be order-insensitive).
+
+use amped_obs::{Histogram, Observer, SUBBUCKETS};
+use proptest::prelude::*;
+
+/// The histogram's error bound at value `x`: one bucket width. Buckets are
+/// exact below `SUBBUCKETS` and at most `x / SUBBUCKETS` wide above it
+/// (log-linear layout), so this bound is independent of the
+/// implementation's private bucket tables.
+fn one_bucket_width(x: u64) -> f64 {
+    (x as f64 / SUBBUCKETS as f64).max(1.0)
+}
+
+/// The lower nearest-rank quantile on sorted data — the definition the
+/// histogram documents.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_bounded_and_near_exact(
+        values in prop::collection::vec(0u64..2_000_000, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let (min, max) = (sorted[0], *sorted.last().unwrap());
+
+        // Monotone in q.
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let estimates: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        for w in estimates.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile not monotone: {} > {}", w[0], w[1]);
+        }
+
+        for (&q, &est) in qs.iter().zip(&estimates) {
+            // Bounded by the observed extremes.
+            prop_assert!(est >= min as f64 && est <= max as f64,
+                "q={q}: {est} outside [{min}, {max}]");
+            // Within one bucket width of the exact order statistic.
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!((est - exact as f64).abs() <= one_bucket_width(exact),
+                "q={q}: estimate {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn count_sum_extremes_match_brute_force(
+        values in prop::collection::vec(0u64..2_000_000, 1..200),
+    ) {
+        let h = build(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), values.iter().min().copied());
+        prop_assert_eq!(h.max(), values.iter().max().copied());
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..2_000_000, 0..100),
+        b in prop::collection::vec(0u64..2_000_000, 0..100),
+    ) {
+        let ab = build(&a);
+        ab.merge(&build(&b));
+        let ba = build(&b);
+        ba.merge(&build(&a));
+        prop_assert_eq!(ab.nonzero_buckets(), ba.nonzero_buckets());
+        prop_assert_eq!(ab.summary(), ba.summary());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..2_000_000, 0..60),
+        b in prop::collection::vec(0u64..2_000_000, 0..60),
+        c in prop::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        // (a ∪ b) ∪ c
+        let left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ∪ (b ∪ c)
+        let bc = build(&b);
+        bc.merge(&build(&c));
+        let right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+        prop_assert_eq!(left.summary(), right.summary());
+    }
+
+    #[test]
+    fn absorb_order_does_not_change_aggregated_histograms(
+        a in prop::collection::vec(0u64..2_000_000, 0..60),
+        b in prop::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        // Per-request observers folded into a process observer in either
+        // order must agree — the serve aggregation path.
+        let make = |values: &[u64], name: &str| {
+            let o = Observer::new();
+            for &v in values {
+                o.observe(name, v);
+            }
+            o
+        };
+        let first = Observer::new();
+        first.absorb(&make(&a, "serve.http.estimate.us"));
+        first.absorb(&make(&b, "serve.http.estimate.us"));
+        let second = Observer::new();
+        second.absorb(&make(&b, "serve.http.estimate.us"));
+        second.absorb(&make(&a, "serve.http.estimate.us"));
+        prop_assert_eq!(first.histograms(), second.histograms());
+        let total: u64 = first
+            .histogram("serve.http.estimate.us")
+            .nonzero_buckets()
+            .iter()
+            .map(|(_, n)| n)
+            .sum();
+        prop_assert_eq!(total, (a.len() + b.len()) as u64);
+    }
+}

@@ -1,0 +1,103 @@
+//! Latency-quantile tables from histogram-summary JSON.
+//!
+//! The observability layer serializes every latency histogram as a
+//! summary object (`count`/`sum`/`min`/`max`/`p50`/`p90`/`p99`/`p999`);
+//! that shape appears both as the `histograms` section of a run report
+//! (`--metrics-out`, `GET /v1/metrics`) and as the `endpoints` section of
+//! a `BENCH_serve.json` load-test report. This renderer turns any map of
+//! those summaries into one table, so the CLI's metrics rendering and the
+//! loadtest summary print byte-identical rows for identical documents.
+
+use serde_json::Value;
+
+use crate::table::Table;
+
+/// Render a map of histogram summaries (`name` → summary object) as a
+/// quantile table: one row per series with count, p50/p90/p99/p999 and
+/// max, all in the recorded unit (microseconds by convention).
+///
+/// Accepts either the summary map itself or a whole run-report document
+/// (in which case its `histograms` section is rendered). Malformed or
+/// missing fields never panic; non-summary entries render as skipped rows.
+pub fn histogram_table(doc: &Value) -> Table {
+    let mut t = Table::new(["series", "count", "p50", "p90", "p99", "p999", "max"]);
+    let map = match doc.get("histograms") {
+        Some(section) => section,
+        None => doc,
+    };
+    let Some(entries) = map.as_object() else {
+        return t;
+    };
+    for (name, summary) in entries {
+        let field = |key: &str| summary.get(key).and_then(Value::as_f64);
+        let (Some(count), Some(p50), Some(p90), Some(p99), Some(p999), Some(max)) = (
+            field("count"),
+            field("p50"),
+            field("p90"),
+            field("p99"),
+            field("p999"),
+            field("max"),
+        ) else {
+            continue;
+        };
+        t.row([
+            name.clone(),
+            format!("{count:.0}"),
+            format!("{p50:.0}"),
+            format!("{p90:.0}"),
+            format!("{p99:.0}"),
+            format!("{p999:.0}"),
+            format!("{max:.0}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "estimate": {"count": 8, "sum": 800, "min": 50, "max": 200,
+                     "p50": 90.0, "p90": 150.0, "p99": 199.0, "p999": 200.0},
+        "search": {"count": 4, "sum": 4000, "min": 500, "max": 1500,
+                   "p50": 900.0, "p90": 1400.0, "p99": 1500.0, "p999": 1500.0}
+    }"#;
+
+    #[test]
+    fn renders_one_row_per_series_with_quantile_columns() {
+        let v: Value = serde_json::from_str(SAMPLE).unwrap();
+        let t = histogram_table(&v);
+        let csv = t.to_csv();
+        assert!(csv.contains("series,count,p50,p90,p99,p999,max"), "{csv}");
+        assert!(csv.contains("estimate,8,90,150,199,200,200"), "{csv}");
+        assert!(csv.contains("search,4,900,1400,1500,1500,1500"), "{csv}");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn unwraps_the_histograms_section_of_a_run_report() {
+        let doc = format!(r#"{{"command": "serve", "histograms": {SAMPLE}}}"#);
+        let v: Value = serde_json::from_str(&doc).unwrap();
+        assert_eq!(histogram_table(&v).num_rows(), 2);
+    }
+
+    #[test]
+    fn identical_documents_render_identical_bytes_regardless_of_wrapper() {
+        let bare: Value = serde_json::from_str(SAMPLE).unwrap();
+        let wrapped: Value =
+            serde_json::from_str(&format!(r#"{{"histograms": {SAMPLE}}}"#)).unwrap();
+        assert_eq!(
+            histogram_table(&bare).to_ascii(),
+            histogram_table(&wrapped).to_ascii()
+        );
+    }
+
+    #[test]
+    fn malformed_documents_render_empty_not_panic() {
+        for doc in ["{}", "[1,2]", r#"{"estimate": 3}"#, r#"{"x": {"count": 1}}"#] {
+            let v: Value = serde_json::from_str(doc).unwrap();
+            assert_eq!(histogram_table(&v).num_rows(), 0, "{doc}");
+        }
+    }
+}

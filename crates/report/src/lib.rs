@@ -24,6 +24,7 @@
 pub mod artifacts;
 pub mod builder;
 pub mod chart;
+pub mod histogram;
 pub mod record;
 pub mod resilience;
 pub mod sweep;
@@ -32,6 +33,7 @@ pub mod utilization;
 
 pub use builder::ReportBuilder;
 pub use chart::{BarChart, LineChart, Series};
+pub use histogram::histogram_table;
 pub use record::{Comparison, ExperimentRecord};
 pub use resilience::resilience_table;
 pub use sweep::{sweep_chart, sweep_series, sweep_table};

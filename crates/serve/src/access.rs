@@ -1,0 +1,157 @@
+//! The structured JSON access log: one line per answered request.
+//!
+//! Behind the CLI's `serve --access-log <path>` (append to a file) and/or
+//! `-v` (mirror to stderr). Each line is a self-contained JSON object —
+//! endpoint, method, status, response bytes, queue-wait µs, handler µs —
+//! so the log tails cleanly into `jq` and line-oriented collectors.
+//! Logging is strictly passive: it happens after the response bytes are
+//! already on the wire and never changes what any endpoint computes.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::Mutex;
+
+use amped_core::{Error, Result};
+use amped_obs::escape_json;
+
+/// One answered request, as the access log records it.
+#[derive(Debug, Clone)]
+pub struct AccessEntry<'a> {
+    /// HTTP method as received.
+    pub method: &'a str,
+    /// Request path (the endpoint; query string already stripped).
+    pub endpoint: &'a str,
+    /// Response status code.
+    pub status: u16,
+    /// Response body length in bytes.
+    pub bytes: usize,
+    /// Microseconds the request waited in the bounded queue (0 for
+    /// inline endpoints and refused requests).
+    pub queue_us: u64,
+    /// Microseconds the handler spent pricing the request (0 when no
+    /// handler ran).
+    pub handler_us: u64,
+}
+
+impl AccessEntry<'_> {
+    /// The JSON line for this entry (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"endpoint\":\"{}\",\"method\":\"{}\",\"status\":{},\"bytes\":{},\
+             \"queue_us\":{},\"handler_us\":{}}}",
+            escape_json(self.endpoint),
+            escape_json(self.method),
+            self.status,
+            self.bytes,
+            self.queue_us,
+            self.handler_us
+        )
+    }
+}
+
+/// Where access lines go: an append-only file, stderr, or both. Writes
+/// take a mutex so concurrent connection threads never interleave lines.
+#[derive(Debug)]
+pub struct AccessLog {
+    file: Option<Mutex<std::fs::File>>,
+    stderr: bool,
+}
+
+impl AccessLog {
+    /// Build the log for a server's configuration: `path` appends to a
+    /// file (created if missing), `stderr` mirrors every line to stderr.
+    /// `None` when neither destination is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the log file cannot be opened.
+    pub fn from_config(path: Option<&str>, stderr: bool) -> Result<Option<AccessLog>> {
+        let file = match path {
+            None => None,
+            Some(p) => Some(Mutex::new(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .map_err(|e| Error::io(p, e.to_string()))?,
+            )),
+        };
+        if file.is_none() && !stderr {
+            return Ok(None);
+        }
+        Ok(Some(AccessLog { file, stderr }))
+    }
+
+    /// Append one entry to every enabled destination. Write failures are
+    /// swallowed: the access log must never take a response down with it.
+    pub fn log(&self, entry: &AccessEntry<'_>) {
+        let line = entry.to_json_line();
+        if let Some(file) = &self.file {
+            let mut f = file.lock().expect("access log poisoned");
+            let _ = writeln!(f, "{line}");
+        }
+        if self.stderr {
+            eprintln!("{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_render_as_parseable_json_lines() {
+        let entry = AccessEntry {
+            method: "POST",
+            endpoint: "/v1/estimate",
+            status: 200,
+            bytes: 1234,
+            queue_us: 15,
+            handler_us: 4200,
+        };
+        let line = entry.to_json_line();
+        let v: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+        assert_eq!(v["endpoint"], "/v1/estimate");
+        assert_eq!(v["method"], "POST");
+        assert_eq!(v["status"], 200);
+        assert_eq!(v["bytes"], 1234);
+        assert_eq!(v["queue_us"], 15);
+        assert_eq!(v["handler_us"], 4200);
+    }
+
+    #[test]
+    fn disabled_config_builds_no_log() {
+        assert!(AccessLog::from_config(None, false).unwrap().is_none());
+    }
+
+    #[test]
+    fn file_log_appends_one_line_per_entry() {
+        let dir = std::env::temp_dir().join(format!("amped-access-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let path_str = path.to_str().unwrap();
+        let log = AccessLog::from_config(Some(path_str), false)
+            .unwrap()
+            .unwrap();
+        for status in [200, 429] {
+            log.log(&AccessEntry {
+                method: "POST",
+                endpoint: "/v1/search",
+                status,
+                bytes: 10,
+                queue_us: 1,
+                handler_us: 2,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert_eq!(v["endpoint"], "/v1/search");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

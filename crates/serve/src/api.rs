@@ -18,6 +18,7 @@
 //! they take a parsed [`Request`] and return a [`Response`], so they are
 //! directly testable and the server's worker pool stays a thin shell.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use amped_configs::pipeline::{FlagReader, FlagSet, Resolution, ScenarioDraft, Source};
@@ -43,9 +44,12 @@ pub struct ServiceState {
     /// queries over the same scenario context reuse memoized sub-results.
     pub pool: Arc<CachePool>,
     /// The process-wide observer behind `/v1/metrics`. Per-request
-    /// observers are folded into it (counters add, gauges max) so the
-    /// process keeps no unbounded per-request records.
+    /// observers are folded into it (counters add, gauges max, histogram
+    /// buckets add) so the process keeps no unbounded per-request records.
     pub observer: Arc<Observer>,
+    /// Requests currently inside the server (parsed and not yet
+    /// answered), behind the `serve.http.in_flight` gauge.
+    pub in_flight: AtomicU64,
 }
 
 impl ServiceState {
@@ -55,6 +59,7 @@ impl ServiceState {
         ServiceState {
             pool: Arc::new(CachePool::new()),
             observer: Arc::new(Observer::new()),
+            in_flight: AtomicU64::new(0),
         }
     }
 }

@@ -47,10 +47,14 @@
 #![deny(unsafe_code)] // one audited `signal(2)` registration in `server::signal`
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod api;
 pub mod http;
+pub mod loadtest;
 pub mod server;
 
+pub use access::{AccessEntry, AccessLog};
 pub use api::{Endpoint, ServiceState};
 pub use http::{Request, Response};
+pub use loadtest::{LoadTestConfig, LoadTestReport};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

@@ -30,12 +30,14 @@
 
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use amped_core::{Error, Result};
+use amped_obs::Observer;
 
+use crate::access::{AccessEntry, AccessLog};
 use crate::api::{self, Endpoint, ServiceState};
 use crate::http::{self, Request, Response};
 
@@ -62,6 +64,11 @@ pub struct ServeConfig {
     /// sets this; in-process tests leave it off and use
     /// [`ServerHandle::shutdown`] instead.
     pub handle_sigint: bool,
+    /// Append a structured JSON access log line per answered request to
+    /// this file (the CLI's `--access-log <path>`).
+    pub access_log: Option<String>,
+    /// Mirror access log lines to stderr (the CLI's `serve -v`).
+    pub verbose: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +79,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             timeout_ms: 30_000,
             handle_sigint: false,
+            access_log: None,
+            verbose: false,
         }
     }
 }
@@ -117,7 +126,17 @@ struct Job {
     endpoint: Endpoint,
     request: Request,
     slot: Arc<ResultSlot>,
+    enqueued: Instant,
     deadline: Instant,
+    timing: Arc<JobTiming>,
+}
+
+/// Per-job telemetry the worker writes and the connection thread reads
+/// back for the access log: queue-wait and handler microseconds.
+#[derive(Debug, Default)]
+struct JobTiming {
+    queue_us: AtomicU64,
+    handler_us: AtomicU64,
 }
 
 /// The rendezvous between a connection thread and the worker pricing its
@@ -329,6 +348,10 @@ impl Server {
         };
         let queue = Arc::new(JobQueue::new(self.config.queue_depth));
         let timeout = Duration::from_millis(self.config.timeout_ms.max(1));
+        let access = Arc::new(AccessLog::from_config(
+            self.config.access_log.as_deref(),
+            self.config.verbose,
+        )?);
 
         self.listener
             .set_nonblocking(true)
@@ -351,8 +374,16 @@ impl Server {
                     let state = Arc::clone(&self.state);
                     let queue = Arc::clone(&queue);
                     let shutdown = Arc::clone(&self.shutdown);
+                    let access = Arc::clone(&access);
                     conn_handles.push(std::thread::spawn(move || {
-                        handle_connection(stream, &state, &queue, &shutdown, timeout);
+                        handle_connection(
+                            stream,
+                            &state,
+                            &queue,
+                            &shutdown,
+                            timeout,
+                            access.as_ref().as_ref(),
+                        );
                     }));
                     conn_handles.retain(|h| !h.is_finished());
                 }
@@ -386,7 +417,10 @@ impl Server {
 }
 
 /// Worker: drain the queue, price jobs, fulfill slots. A panicking
-/// handler answers 500 instead of taking the worker down.
+/// handler answers 500 instead of taking the worker down. Queue-wait and
+/// handler time are recorded per endpoint into the split latency
+/// histograms (`serve.http.{name}.queue_us` / `.handler_us`) and stored
+/// on the job for the access log.
 fn worker_loop(queue: &JobQueue, state: &ServiceState) {
     while let Some(job) = queue.pop() {
         if Instant::now() >= job.deadline {
@@ -396,35 +430,122 @@ fn worker_loop(queue: &JobQueue, state: &ServiceState) {
             job.slot.fulfill(Response::error(504, "request timed out in queue"));
             continue;
         }
+        let obs = &state.observer;
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        job.timing.queue_us.store(queue_us, Ordering::Relaxed);
+        obs.observe(
+            &format!("serve.http.{}.queue_us", job.endpoint.name()),
+            queue_us,
+        );
+        let handler_start = Instant::now();
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             api::handle(state, job.endpoint, &job.request)
         }))
         .unwrap_or_else(|_| Response::error(500, "internal error: request handler panicked"));
+        let handler_us = handler_start.elapsed().as_micros() as u64;
+        job.timing.handler_us.store(handler_us, Ordering::Relaxed);
+        obs.observe(
+            &format!("serve.http.{}.handler_us", job.endpoint.name()),
+            handler_us,
+        );
         job.slot.fulfill(response);
     }
 }
 
-/// Connection thread: parse one request, route it, write one response.
+/// Decrements the in-flight count when a connection thread finishes,
+/// whatever exit path it takes.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Bump the status-class counters (`serve.http.status.{2xx,3xx,4xx,5xx}`)
+/// plus the individually-tracked backpressure (429) and deadline (504)
+/// statuses for one written response.
+fn count_status(obs: &Observer, status: u16) {
+    let class = match status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    obs.add(&format!("serve.http.status.{class}"), 1);
+    if status == 429 {
+        obs.add("serve.http.status.429", 1);
+    }
+    if status == 504 {
+        obs.add("serve.http.status.504", 1);
+    }
+}
+
+/// Connection thread: parse one request, route it, write one response,
+/// then account for it (status class counters, in-flight gauge, access
+/// log). All accounting is passive — response bytes never depend on it.
 fn handle_connection(
     mut stream: TcpStream,
     state: &ServiceState,
     queue: &JobQueue,
     shutdown: &AtomicBool,
     timeout: Duration,
+    access: Option<&AccessLog>,
 ) {
     let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
     let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let in_flight = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+    let _guard = InFlightGuard(&state.in_flight);
+    state
+        .observer
+        .gauge_max("serve.http.in_flight.max", in_flight as f64);
     let request = match http::read_request(&mut stream) {
         Ok(Ok(request)) => request,
         Ok(Err(error_response)) => {
+            // Malformed request: no endpoint to attribute, but the status
+            // classes still count it.
+            count_status(&state.observer, error_response.status);
             let _ = http::write_response(&mut stream, &error_response);
             return;
         }
         // Transport failure: nobody left to answer.
         Err(_) => return,
     };
-    let response = route(state, queue, shutdown, timeout, &request);
-    let _ = http::write_response(&mut stream, &response);
+    let routed = route(state, queue, shutdown, timeout, &request);
+    count_status(&state.observer, routed.response.status);
+    let _ = http::write_response(&mut stream, &routed.response);
+    if let Some(log) = access {
+        log.log(&AccessEntry {
+            method: &request.method,
+            endpoint: &request.path,
+            status: routed.response.status,
+            bytes: routed.response.body.len(),
+            queue_us: routed.queue_us,
+            handler_us: routed.handler_us,
+        });
+    }
+}
+
+/// A routed response plus the telemetry the access log reports for it.
+struct Routed {
+    response: Response,
+    /// Microseconds waited in the bounded queue (0 for inline endpoints
+    /// and refused requests).
+    queue_us: u64,
+    /// Microseconds the handler ran (inline handlers measured directly,
+    /// queued ones reported back by the worker).
+    handler_us: u64,
+}
+
+impl Routed {
+    /// An inline answer: no queue wait, handler time measured from `start`.
+    fn inline(response: Response, start: Instant) -> Routed {
+        Routed {
+            response,
+            queue_us: 0,
+            handler_us: start.elapsed().as_micros() as u64,
+        }
+    }
 }
 
 /// Route one parsed request. Health, metrics and shutdown answer inline —
@@ -436,28 +557,35 @@ fn route(
     shutdown: &AtomicBool,
     timeout: Duration,
     request: &Request,
-) -> Response {
+) -> Routed {
+    let start = Instant::now();
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/health") => {
             let _timer = state.observer.timer("serve.http.health");
-            Response::json(
-                serde_json::to_string_pretty(&serde_json::json!({ "status": "ok" }))
-                    .expect("health body serializes"),
+            Routed::inline(
+                Response::json(
+                    serde_json::to_string_pretty(&serde_json::json!({ "status": "ok" }))
+                        .expect("health body serializes"),
+                ),
+                start,
             )
         }
         ("GET", "/v1/schema") => {
             let _timer = state.observer.timer("serve.http.schema");
             // The self-describing scenario schema, from the same single
             // source of truth the CLI's `schema` command prints.
-            Response::json(
-                serde_json::to_string_pretty(&amped_configs::schema::schema_value())
-                    .expect("schema body serializes"),
+            Routed::inline(
+                Response::json(
+                    serde_json::to_string_pretty(&amped_configs::schema::schema_value())
+                        .expect("schema body serializes"),
+                ),
+                start,
             )
         }
         ("GET", "/v1/metrics") => {
             let _timer = state.observer.timer("serve.http.metrics");
-            // Snapshot pool-wide cache state into gauges so the report
-            // carries it alongside the counters.
+            // Snapshot pool-wide cache state and the in-flight count into
+            // gauges so the report carries them alongside the counters.
             let pool = &state.pool;
             let obs = &state.observer;
             obs.gauge_set("serve.cache.pool.contexts", pool.contexts() as f64);
@@ -467,20 +595,40 @@ fn route(
                 "serve.cache.pool.warm_checkouts",
                 pool.warm_checkouts() as f64,
             );
-            Response::json(obs.report("serve").to_json())
+            obs.gauge_set(
+                "serve.http.in_flight",
+                state.in_flight.load(Ordering::Relaxed) as f64,
+            );
+            // `?format=prometheus` renders the same registries as text
+            // exposition format; the JSON run report stays the default.
+            let response = if request.query_param("format") == Some("prometheus") {
+                Response::text(amped_obs::prometheus_exposition(obs))
+            } else {
+                Response::json(obs.report("serve").to_json())
+            };
+            Routed::inline(response, start)
         }
         ("POST", "/v1/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
-            Response::json(
-                serde_json::to_string_pretty(&serde_json::json!({ "status": "shutting down" }))
+            Routed::inline(
+                Response::json(
+                    serde_json::to_string_pretty(
+                        &serde_json::json!({ "status": "shutting down" }),
+                    )
                     .expect("shutdown body serializes"),
+                ),
+                start,
             )
         }
         (method, path) => match Endpoint::from_path(path) {
-            None => Response::error(404, &format!("unknown path `{path}`")),
-            Some(_) if method != "POST" => {
-                Response::error(405, &format!("{path} requires POST"))
-            }
+            None => Routed::inline(
+                Response::error(404, &format!("unknown path `{path}`")),
+                start,
+            ),
+            Some(_) if method != "POST" => Routed::inline(
+                Response::error(405, &format!("{path} requires POST")),
+                start,
+            ),
             Some(endpoint) => dispatch_job(state, queue, timeout, endpoint, request),
         },
     }
@@ -493,17 +641,21 @@ fn dispatch_job(
     timeout: Duration,
     endpoint: Endpoint,
     request: &Request,
-) -> Response {
+) -> Routed {
     let obs = &state.observer;
     let _timer = obs.timer(&format!("serve.http.{}", endpoint.name()));
     obs.add("serve.requests.received", 1);
     let slot = Arc::new(ResultSlot::new());
-    let deadline = Instant::now() + timeout;
+    let enqueued = Instant::now();
+    let deadline = enqueued + timeout;
+    let timing = Arc::new(JobTiming::default());
     let job = Job {
         endpoint,
         request: request.clone(),
         slot: Arc::clone(&slot),
+        enqueued,
         deadline,
+        timing: Arc::clone(&timing),
     };
     match queue.push(job) {
         None => {
@@ -511,13 +663,17 @@ fn dispatch_job(
             let mut response =
                 Response::error(429, "queue full; retry shortly or lower request rate");
             response.retry_after = Some(1);
-            response
+            Routed {
+                response,
+                queue_us: 0,
+                handler_us: 0,
+            }
         }
         Some(depth) => {
             obs.gauge_max("serve.queue.depth.max", depth as f64);
             // Exactly one of completed/rejected/timeout per request, all
             // counted here, so `received` always balances against them.
-            match slot.wait_until(deadline) {
+            let response = match slot.wait_until(deadline) {
                 Some(response) => {
                     obs.add("serve.requests.completed", 1);
                     response
@@ -526,6 +682,11 @@ fn dispatch_job(
                     obs.add("serve.requests.timeout", 1);
                     Response::error(504, "request deadline exceeded")
                 }
+            };
+            Routed {
+                response,
+                queue_us: timing.queue_us.load(Ordering::Relaxed),
+                handler_us: timing.handler_us.load(Ordering::Relaxed),
             }
         }
     }

@@ -37,6 +37,7 @@ fn start(jobs: usize, queue_depth: usize, timeout_ms: u64) -> TestServer {
         queue_depth,
         timeout_ms,
         handle_sigint: false,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
@@ -155,6 +156,34 @@ fn mixed_concurrent_load_is_deadlock_free_and_consistent() {
     assert!(n("search.cache.lookups") > 0, "{counters:?}");
     // Repeat identical estimates hit the warm pool.
     assert!(n("serve.cache.hits") > 0, "{counters:?}");
+
+    // The per-endpoint latency telemetry balances exactly: for each
+    // compute endpoint the whole-request timer histogram, the queue-wait
+    // histogram and the handler histogram all saw every request the
+    // legacy `.count` counter did — no request gained or lost a sample
+    // anywhere in the split, at any worker count.
+    let histograms = &report["histograms"];
+    let hcount = |name: &str| {
+        histograms
+            .get(name)
+            .and_then(|h| h.get("count"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or_else(|| panic!("histogram `{name}` missing: {histograms:?}"))
+    };
+    let mut handled = 0;
+    for endpoint in ["estimate", "search"] {
+        let requests = n(&format!("serve.http.{endpoint}.count"));
+        assert!(requests > 0, "{counters:?}");
+        assert_eq!(hcount(&format!("serve.http.{endpoint}.us")), requests);
+        assert_eq!(hcount(&format!("serve.http.{endpoint}.queue_us")), requests);
+        assert_eq!(hcount(&format!("serve.http.{endpoint}.handler_us")), requests);
+        handled += requests;
+    }
+    assert_eq!(handled, (threads * per_thread) as u64);
+    // Every handled request also landed in exactly one status class
+    // (+1 for the health probe answered above; the metrics response
+    // itself is counted only after this report rendered).
+    assert_eq!(n("serve.http.status.2xx"), handled + 1, "{counters:?}");
 
     let summary = server.stop();
     assert_eq!(summary.received, summary.completed + summary.rejected + summary.timeouts);

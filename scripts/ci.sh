@@ -81,7 +81,8 @@ cat > "$serve_dir/scenario.json" <<'EOF'
   "resilience": { "node_mtbf_hours": 1000.0 }
 }
 EOF
-./target/release/amped serve --port 0 --jobs 2 > "$serve_dir/serve.log" &
+./target/release/amped serve --port 0 --jobs 2 \
+    --access-log "$serve_dir/access.log" > "$serve_dir/serve.log" &
 serve_pid=$!
 trap 'rm -rf "$obs_dir" "$serve_dir"; kill "$serve_pid" 2>/dev/null || true' EXIT
 addr=""
@@ -194,6 +195,113 @@ for path in sys.argv[2:]:
             assert isinstance(body, dict), f"{path}.{name}: expected object"
             check_fields(f"{path}.{name}", body, spec["fields"])
 print(f"schema smoke ok: {len(sys.argv) - 2} scenario file(s) validate")
+EOF
+
+echo "==> telemetry smoke (loadtest report, Prometheus exposition, access log)"
+# A small load test against the live daemon must produce a valid
+# BENCH_serve.json (schema_version stamped first, per-endpoint p50/p99,
+# request rate, cache hit rate from real counter deltas).
+./target/release/amped loadtest --addr "$addr" --clients 3 --requests 4 \
+    --out "$serve_dir/BENCH_serve.json" > "$serve_dir/loadtest.log"
+grep -q 'serve.loadtest' "$serve_dir/BENCH_serve.json" \
+    || { echo "telemetry smoke failed: no loadtest report"; exit 1; }
+python3 - "$serve_dir/BENCH_serve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert list(doc)[0] == "schema_version", "schema_version must be the first key"
+assert doc["benchmark"] == "serve.loadtest", doc["benchmark"]
+assert doc["requests"] == doc["clients"] * doc["requests_per_client"] == 12, doc
+assert doc["req_per_sec"] > 0 and doc["duration_s"] > 0, doc
+assert doc["error_rate"] == 0.0, f"loadtest saw errors: {doc['status']}"
+assert 0.0 <= doc["cache"]["hit_rate"] <= 1.0, doc["cache"]
+endpoints = doc["endpoints"]
+assert set(endpoints) == {"estimate", "search", "sweep", "resilience"}, set(endpoints)
+for name, h in endpoints.items():
+    assert h["count"] == 3, f"{name}: {h}"
+    assert h["min"] <= h["p50"] <= h["p99"] <= h["max"], f"{name}: {h}"
+    assert h["sum"] >= h["count"] * h["min"], f"{name}: {h}"
+print("telemetry smoke: BENCH_serve.json ok "
+      f"({doc['req_per_sec']:.1f} req/s, cache hit rate {doc['cache']['hit_rate']:.2f})")
+EOF
+
+# The Prometheus exposition must satisfy the text-format contract. The
+# checker below is deliberately independent of the Rust renderer: names,
+# TYPE lines, and for every histogram le-monotonicity, cumulative
+# non-decreasing counts, and +Inf == _count.
+$client "$addr" GET "/v1/metrics?format=prometheus" > "$serve_dir/metrics.prom"
+python3 - "$serve_dir/metrics.prom" <<'EOF'
+import re, sys
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LINE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? (\S+)$')
+types, samples, buckets = {}, [], {}
+for line in open(sys.argv[1]).read().splitlines():
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        assert NAME.match(name), f"bad metric name: {name}"
+        assert kind in {"counter", "gauge", "histogram"}, line
+        assert name not in types, f"duplicate TYPE for {name}"
+        types[name] = kind
+        continue
+    assert not line.startswith("#"), f"unexpected comment: {line}"
+    m = LINE.match(line)
+    assert m, f"unparseable sample line: {line!r}"
+    name, _, le, value = m.groups()
+    value = float(value)
+    samples.append(name)
+    if le is not None:
+        assert name.endswith("_bucket"), line
+        buckets.setdefault(name[: -len("_bucket")], []).append((le, value))
+for base, rows in buckets.items():
+    assert types.get(base) == "histogram", f"{base}: buckets without histogram TYPE"
+    les = [le for le, _ in rows]
+    assert les[-1] == "+Inf", f"{base}: last bucket must be +Inf"
+    bounds = [float(le) for le in les[:-1]]
+    assert bounds == sorted(bounds), f"{base}: le bounds not sorted"
+    counts = [v for _, v in rows]
+    assert counts == sorted(counts), f"{base}: cumulative counts decrease"
+for base, kind in types.items():
+    if kind != "histogram":
+        continue
+    assert base in buckets, f"{base}: histogram with no buckets"
+    assert f"{base}_sum" in samples and f"{base}_count" in samples, base
+hist = [b for b, k in types.items() if k == "histogram"]
+assert any(b.startswith("serve_http_") for b in hist), hist
+print(f"telemetry smoke: prometheus ok ({len(types)} series, {len(hist)} histograms)")
+EOF
+
+# +Inf == _count cross-check needs the actual values; do it with a second
+# pass keyed on names.
+python3 - "$serve_dir/metrics.prom" <<'EOF'
+import sys
+values = {}
+inf = {}
+for line in open(sys.argv[1]).read().splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    if 'le="+Inf"' in name:
+        inf[name.split("{")[0][: -len("_bucket")]] = float(value)
+    elif "{" not in name:
+        values[name] = float(value)
+for base, total in inf.items():
+    assert values.get(f"{base}_count") == total, \
+        f"{base}: +Inf bucket {total} != _count {values.get(base + '_count')}"
+print(f"telemetry smoke: +Inf == _count for {len(inf)} histograms")
+EOF
+
+# Every access-log line is one JSON object naming the request.
+python3 - "$serve_dir/access.log" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert len(lines) >= 12, f"expected at least the loadtest's requests, got {len(lines)}"
+for line in lines:
+    entry = json.loads(line)
+    assert set(entry) == {"method", "endpoint", "status", "bytes",
+                          "queue_us", "handler_us"}, entry
+    assert entry["status"] in range(100, 600), entry
+print(f"telemetry smoke: access log ok ({len(lines)} entries)")
 EOF
 
 kill -INT "$serve_pid"
