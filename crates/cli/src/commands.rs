@@ -13,12 +13,13 @@ use amped_core::{
     AnalyticalBackend, CorrelatedReport, CorrelatedResilience, CostBackend, Error, Estimator,
     ObservedBackend, Parallelism, ResilienceReport, Result, DEFAULT_NODE_MTBF_HOURS,
 };
+use amped_infer::{AnalyticalInferBackend, InferBackend, ObservedInferBackend};
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_obs::Observer;
 use amped_report::Table;
 use amped_search::{
     placement_for, DomainGoodput, EnumerationOptions, GoodputOptions, PlacementChoice,
-    SearchEngine, Sweep,
+    SearchEngine, ServingSearch, ServingSweepOptions, Sweep,
 };
 use amped_sim::{FaultPlan, SimBackend, SimConfig};
 
@@ -34,8 +35,11 @@ commands:
   schema                      print the versioned scenario schema (JSON):
                               every section, field, type and flag mapping
   estimate                    predict training time for one mapping
+  infer                       price a serving workload: TTFT, TPOT, request
+                              latency, tokens/s and KV-cache footprint
   detail                      per-layer attribution of an estimate
   search                      rank all parallelism mappings on a system
+                              (--workload infer ranks serving mappings)
   recommend                   best mapping + lint + knob leverage in one shot
   sweep                       batch-size sweep over named mappings (CSV)
   simulate                    discrete-event simulation of one iteration
@@ -103,6 +107,21 @@ observability flags (estimate/sweep/search/simulate/resilience):
   -v                          append a human-readable metrics summary
                               (instrumentation is off unless one of these is
                               given, and never changes any result)
+
+serving flags (infer; search with --workload infer — they resolve the
+scenario's `inference` section through the same layered pipeline as
+every other flag family):
+  --prompt N                  prompt (prefill) tokens          [default 512]
+  --decode N                  generated tokens per request     [default 128]
+  --serve-batch B             concurrent sequences per replica [default 1]
+  --kv-bits B                 KV-cache precision in bits       [default 16]
+  --workload NAME             search objective: train | infer
+                              (infer ranks by request latency and flags the
+                              TTFT/TPOT/throughput/memory Pareto frontier)
+                              [default train]
+  --max-serve-batch B         search --workload infer: top of the
+                              power-of-two batch ladder swept per mapping
+                              [default 64]
 
 resilience flags (resilience; --mtbf also on estimate, --goodput on
 search/recommend, --seed on resilience/simulate, --stragglers on simulate):
@@ -254,6 +273,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         Some("presets") => presets(),
         Some("schema") => to_json(&amped_configs::schema::schema_value()),
         Some("estimate") => estimate(args),
+        Some("infer") => infer(args),
         Some("detail") => detail(args),
         Some("search") => search(args),
         Some("recommend") => recommend(args),
@@ -486,6 +506,50 @@ fn estimate(args: &Args) -> Result<String> {
     Ok(out)
 }
 
+fn infer(args: &Args) -> Result<String> {
+    // The infer command always has an inference section to price: an
+    // empty overlay just above the built-in defaults brings in the serde
+    // defaults, so presets, --config and the serving flags all override
+    // it through the normal layering — identically to `POST /v1/infer`.
+    let base = serde_json::json!({ "inference": {} });
+    let r = resolution(args, FlagSet::with_inference(), Some(base))?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let obs = ObsSession::from_args(args);
+    let section = s
+        .inference
+        .ok_or_else(|| Error::usage("infer needs an inference section"))?;
+    let config = section.params()?;
+    let backend: Box<dyn InferBackend> = match obs.observer() {
+        Some(o) => Box::new(ObservedInferBackend::new(Box::new(AnalyticalInferBackend), o)),
+        None => Box::new(AnalyticalInferBackend),
+    };
+    let estimate = backend.evaluate(&s.to_scenario(), &config)?;
+    if args.switch("json") {
+        obs.finish("infer", &mut String::new())?;
+        return to_json(&amped_report::artifacts::infer_value(&estimate));
+    }
+    let mut out = format!(
+        "{} served on {} x {} ({} nodes x {}/node) via {} backend\n\
+         prompt {} + decode {} tokens @ batch {} ({}-bit KV cache)\n{}",
+        s.model.name(),
+        s.system.total_accelerators(),
+        s.accelerator.name(),
+        s.system.num_nodes(),
+        s.system.accels_per_node(),
+        backend.name(),
+        config.prompt_tokens(),
+        config.decode_tokens(),
+        config.batch(),
+        config.kv_bits(),
+        estimate
+    );
+    obs.finish("infer", &mut out)?;
+    Ok(out)
+}
+
 fn resilience(args: &Args) -> Result<String> {
     // The resilience command always has a section to work with: a default
     // MTBF overlay sits just above the built-in defaults, so presets,
@@ -581,6 +645,99 @@ fn resilience(args: &Args) -> Result<String> {
 }
 
 fn search(args: &Args) -> Result<String> {
+    match args.get_or("workload", "train") {
+        "train" => search_train(args),
+        "infer" => search_infer(args),
+        other => Err(Error::usage(format!(
+            "unknown workload `{other}`; use train|infer"
+        ))),
+    }
+}
+
+/// `search --workload infer`: sweep every serving mapping × batch point,
+/// rank by request latency, and flag the Pareto frontier.
+fn search_infer(args: &Args) -> Result<String> {
+    // Same empty-section base as `infer`, so the serving flags and the
+    // scenario's `inference` section shape the swept request identically
+    // on both front-ends.
+    let base = serde_json::json!({ "inference": {} });
+    let r = resolution(args, FlagSet::with_inference(), Some(base))?;
+    if let Some(dump) = dump_resolved(args, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let obs = ObsSession::from_args(args);
+    let section = s
+        .inference
+        .ok_or_else(|| Error::usage("search --workload infer needs an inference section"))?;
+    let request = section.params()?;
+    let mut engine = ServingSearch::new(&s.model, &s.accelerator, &s.system)
+        .with_precision(s.precision)
+        .with_sweep(ServingSweepOptions {
+            max_batch: args.parse_or("max-serve-batch", 64)?,
+            ..ServingSweepOptions::default()
+        })
+        .with_parallelism(args.parse_or("jobs", 0)?)
+        .with_pruning(args.switch("prune"));
+    if let Some(o) = obs.observer() {
+        engine = engine.with_observer(o);
+    }
+    let (results, stats) = engine.search_with_stats(&request)?;
+    let top: usize = args.parse_or("top", 10)?;
+    if args.switch("json") {
+        obs.finish("search", &mut String::new())?;
+        return to_json(&amped_report::artifacts::serving_search_value(
+            &results, top, &stats,
+        ));
+    }
+    let front = amped_search::serving_pareto_front(&results);
+    let on_front = |c: &amped_search::ServingCandidate| {
+        front
+            .iter()
+            .any(|f| std::ptr::eq::<amped_search::ServingCandidate>(*f, c))
+    };
+    let mut t = Table::new([
+        "#", "tp", "pp", "replicas", "batch", "ttft", "tpot", "tok/s", "memory", "pareto",
+    ]);
+    for (i, c) in results.iter().take(top).enumerate() {
+        t.row([
+            format!("{}", i + 1),
+            format!("{}x{}", c.parallelism.tp_intra(), c.parallelism.tp_inter()),
+            format!("{}x{}", c.parallelism.pp_intra(), c.parallelism.pp_inter()),
+            format!("{}", c.estimate.replicas),
+            format!("{}", c.batch),
+            format!("{:.3} ms", c.estimate.ttft.get() * 1e3),
+            format!("{:.3} ms", c.estimate.tpot.get() * 1e3),
+            format!("{:.0}", c.estimate.tokens_per_sec),
+            amped_core::units::format_bytes(c.estimate.memory_total()),
+            if on_front(c) { "*" } else { "" }.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "{} serving points for {} on {} accelerators \
+         (prompt {} + decode {}); top {top} by request latency:\n{}",
+        results.len(),
+        s.model.name(),
+        s.system.total_accelerators(),
+        request.prompt_tokens(),
+        request.decode_tokens(),
+        t.to_ascii()
+    );
+    if stats.memory_rejected.total() > 0 {
+        let rej = &stats.memory_rejected;
+        out.push_str(&format!(
+            "\n\n{} point(s) dropped by the KV-capacity filter; first failing \
+             inequality: weights {}, kv_cache {}",
+            rej.total(),
+            rej.weights,
+            rej.kv_cache
+        ));
+    }
+    obs.finish("search", &mut out)?;
+    Ok(out)
+}
+
+fn search_train(args: &Args) -> Result<String> {
     // --goodput [HOURS] ranks by expected time under failures instead of
     // the fault-free total. With it on, the failure-domain flags are live
     // too, and a default-MTBF resilience base satisfies the domain
@@ -588,8 +745,8 @@ fn search(args: &Args) -> Result<String> {
     let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
     let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_NODE_MTBF_HOURS)?;
     let set = FlagSet {
-        resilience: false,
         failure_domains: goodput_on,
+        ..FlagSet::default()
     };
     let base = goodput_on.then(|| {
         serde_json::json!({
@@ -794,8 +951,8 @@ fn recommend(args: &Args) -> Result<String> {
     let goodput_on = args.switch("goodput") || args.get("goodput").is_some();
     let mtbf_hours: f64 = args.parse_or("goodput", DEFAULT_NODE_MTBF_HOURS)?;
     let set = FlagSet {
-        resilience: false,
         failure_domains: goodput_on,
+        ..FlagSet::default()
     };
     let base = goodput_on.then(|| {
         serde_json::json!({

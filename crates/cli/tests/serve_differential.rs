@@ -54,6 +54,19 @@ const DOMAINS: &str = r#"{
                          "preemption_mtbf_hours": 168.0, "regrow_delay_s": 300.0 }
 }"#;
 
+/// The serving fixture: LLaMA-65B from one TP=8 node with a quantized KV
+/// cache, exercising the `inference` section and `/v1/infer` end to end.
+const INFER: &str = r#"{
+    "model": { "preset": "llama-65b" },
+    "accelerator": { "preset": "a100" },
+    "system": { "nodes": 1, "accels_per_node": 8,
+                "intra_gbps": 2400.0, "inter_gbps": 200.0, "nics_per_node": 8 },
+    "parallelism": { "tp": [8, 1] },
+    "training": { "global_batch": 8, "num_batches": 1 },
+    "inference": { "prompt_tokens": 1024, "decode_tokens": 256,
+                   "batch": 8, "kv_bits": 8 }
+}"#;
+
 fn write_scenario(name: &str, body: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("amped-serve-differential");
     std::fs::create_dir_all(&dir).unwrap();
@@ -178,10 +191,50 @@ fn server_responses_are_byte_identical_to_the_cli() {
     let small = write_scenario("small.json", SMALL);
     let megatron = write_scenario("megatron.json", MEGATRON);
     let domains = write_scenario("domains.json", DOMAINS);
+    let infer = write_scenario("infer.json", INFER);
     let cases: &[(&str, &str, &std::path::Path, &[&str])] = &[
         // (endpoint+query, body, config path, extra CLI flags)
         ("/v1/estimate", SMALL, &small, &["estimate", "--json"]),
         ("/v1/estimate", MEGATRON, &megatron, &["estimate", "--json"]),
+        // The serving estimate, from a scenario file and with the
+        // request shape overridden through the flag/parameter layer.
+        ("/v1/infer", INFER, &infer, &["infer", "--json"]),
+        (
+            "/v1/infer?prompt=512&serve-batch=4&kv-bits=16",
+            INFER,
+            &infer,
+            &[
+                "infer",
+                "--json",
+                "--prompt",
+                "512",
+                "--serve-batch",
+                "4",
+                "--kv-bits",
+                "16",
+            ],
+        ),
+        // A serving estimate whose defaults come entirely from the
+        // empty-section base both front-ends layer in.
+        ("/v1/infer", SMALL, &small, &["infer", "--json"]),
+        // The serving-mapping sweep, pruned and parallel — the ranking
+        // contract says neither may change a byte.
+        (
+            "/v1/search?workload=infer&top=5&jobs=2&prune=true",
+            INFER,
+            &infer,
+            &[
+                "search",
+                "--json",
+                "--workload",
+                "infer",
+                "--top",
+                "5",
+                "--jobs",
+                "2",
+                "--prune",
+            ],
+        ),
         (
             "/v1/search?top=5&jobs=2",
             SMALL,
@@ -310,6 +363,23 @@ fn resolved_scenarios_and_schema_are_byte_identical_across_front_ends() {
         cli(&["sweep", "--config", small.to_str().unwrap(), "--dump-resolved"])
     );
 
+    // The serving endpoint layers its empty-section base identically, so
+    // the dump shows the `inference` defaults and flag overrides with the
+    // same provenance either way.
+    let infer = write_scenario("infer-dump.json", INFER);
+    let infer_cli = cli(&[
+        "infer",
+        "--config",
+        infer.to_str().unwrap(),
+        "--decode",
+        "64",
+        "--dump-resolved",
+    ]);
+    let infer_serve = post(addr, "/v1/infer?decode=64&resolved=true", INFER);
+    assert_eq!(infer_cli, infer_serve, "infer resolution diverged");
+    assert!(infer_cli.contains("\"inference\""));
+    assert!(infer_cli.contains("flags (--decode)"));
+
     // The self-describing schema is one document served twice, not two
     // documents.
     let (status, serve_schema) = request(addr, "GET", "/v1/schema", "");
@@ -400,6 +470,18 @@ fn validation_errors_are_byte_identical_across_front_ends() {
         (&["search", "--preset", "nope"], "/v1/search?preset=nope", "{}"),
         // Unknown model preset, caught at resolve time with provenance.
         (&["estimate", "--model", "nosuch"], "/v1/estimate?model=nosuch", "{}"),
+        // Unknown search workload, rejected before any resolution.
+        (
+            &["search", "--workload", "batch"],
+            "/v1/search?workload=batch",
+            "{}",
+        ),
+        // A serving request shape the inference model refuses.
+        (
+            &["infer", "--prompt", "0"],
+            "/v1/infer?prompt=0",
+            "{}",
+        ),
     ];
     for (cli_args, target, body) in cases {
         let expected = cli_failure(cli_args);

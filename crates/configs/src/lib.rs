@@ -97,7 +97,13 @@ pub mod registry {
 
     /// All scenario preset names.
     pub fn scenario_names() -> &'static [&'static str] {
-        &["dev-small", "flagship-a100", "llama-65b-32x8"]
+        &[
+            "dev-small",
+            "dev-small-infer",
+            "flagship-a100",
+            "llama-65b-32x8",
+            "llama-65b-serve",
+        ]
     }
 
     /// Scenario preset by name (case-insensitive): a complete scenario
@@ -117,6 +123,25 @@ pub mod registry {
                 },
                 "parallelism": { "dp": [4, 2] },
                 "training": { "global_batch": 64, "num_batches": 10 }
+            }),
+            // The dev-small cluster pointed at a serving workload: the
+            // smallest preset that exercises `amped infer` end to end.
+            "dev-small-infer" => serde_json::json!({
+                "model": { "preset": "mingpt-85m" },
+                "accelerator": { "preset": "v100" },
+                "system": {
+                    "nodes": 2,
+                    "accels_per_node": 4,
+                    "intra_gbps": 1200.0,
+                    "inter_gbps": 100.0
+                },
+                "parallelism": { "dp": [4, 2] },
+                "training": { "global_batch": 64, "num_batches": 10 },
+                "inference": {
+                    "prompt_tokens": 256,
+                    "decode_tokens": 64,
+                    "batch": 4
+                }
             }),
             // The Megatron 145B case study on a 16-node A100 HDR cluster.
             "flagship-a100" => serde_json::json!({
@@ -156,6 +181,28 @@ pub mod registry {
                 "training": { "global_batch": 1024, "num_batches": 100000 },
                 "precision_bits": 16,
                 "activation_recompute": true
+            }),
+            // LLaMA-65B served from one TP=8 A100 node: chat-shaped
+            // requests (long prompt, shorter generation) at batch 8 with
+            // an fp16 KV cache.
+            "llama-65b-serve" => serde_json::json!({
+                "model": { "preset": "llama-65b" },
+                "accelerator": { "preset": "a100" },
+                "system": {
+                    "nodes": 1,
+                    "accels_per_node": 8,
+                    "intra_gbps": 2400.0,
+                    "inter_gbps": 200.0
+                },
+                "parallelism": { "tp": [8, 1] },
+                "training": { "global_batch": 8, "num_batches": 1 },
+                "precision_bits": 16,
+                "inference": {
+                    "prompt_tokens": 1024,
+                    "decode_tokens": 256,
+                    "batch": 8,
+                    "kv_bits": 16
+                }
             }),
             _ => return None,
         };

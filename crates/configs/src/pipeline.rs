@@ -80,13 +80,16 @@ pub struct FlagSet {
     /// `--regrow-delay`/`--placement` into the scenario's failure_domains
     /// section.
     pub failure_domains: bool,
+    /// Collect `--prompt`/`--decode`/`--serve-batch`/`--kv-bits` into the
+    /// scenario's inference section.
+    pub inference: bool,
 }
 
 impl FlagSet {
     /// The flag set for commands with a goodput/resilience analysis.
     #[must_use]
     pub fn with_resilience() -> Self {
-        FlagSet { resilience: true, failure_domains: false }
+        FlagSet { resilience: true, ..FlagSet::default() }
     }
 
     /// The flag set for commands that also price correlated failure
@@ -94,7 +97,14 @@ impl FlagSet {
     /// the base node-failure model).
     #[must_use]
     pub fn with_failure_domains() -> Self {
-        FlagSet { resilience: true, failure_domains: true }
+        FlagSet { resilience: true, failure_domains: true, ..FlagSet::default() }
+    }
+
+    /// The flag set for commands that price a serving workload (`amped
+    /// infer`, `POST /v1/infer`, and the serving-mapping search).
+    #[must_use]
+    pub fn with_inference() -> Self {
+        FlagSet { inference: true, ..FlagSet::default() }
     }
 }
 
@@ -221,6 +231,9 @@ impl ScenarioDraft {
                 continue;
             }
             if section.name == "failure_domains" && !set.failure_domains {
+                continue;
+            }
+            if section.name == "inference" && !set.inference {
                 continue;
             }
             match section.kind {
@@ -843,6 +856,45 @@ mod tests {
             .unwrap();
         let msg = draft.resolve().unwrap_err().to_string();
         assert!(msg.contains("requires a `resilience` section"), "{msg}");
+    }
+
+    #[test]
+    fn inference_flags_are_gated_and_build_the_section() {
+        // Ungated, serving flags are ignored (`--prompt` in a training
+        // command cannot half-build an inference section).
+        let mut draft = ScenarioDraft::new();
+        draft
+            .flags(&flags(vec![("prompt", "1024")]), FlagSet::default())
+            .unwrap();
+        assert!(draft.resolve().unwrap().scenario.inference.is_none());
+
+        // Gated, flags layer over a file section field-by-field and the
+        // serde defaults fill the rest.
+        let mut draft = ScenarioDraft::new();
+        draft
+            .push_json(
+                Source::File,
+                r#"{ "inference": { "prompt_tokens": 256, "kv_bits": 8 } }"#,
+            )
+            .unwrap();
+        draft
+            .flags(
+                &flags(vec![("prompt", "1024"), ("serve-batch", "8")]),
+                FlagSet::with_inference(),
+            )
+            .unwrap();
+        let r = draft.resolve().unwrap();
+        let inf = r.scenario.inference.expect("section resolved");
+        assert_eq!(inf.prompt_tokens, 1024); // flag wins
+        assert_eq!(inf.batch, 8); // flag
+        assert_eq!(inf.kv_bits, 8); // file survives
+        assert_eq!(inf.decode_tokens, 128); // serde default
+        let prompt = r
+            .provenance
+            .iter()
+            .find(|(k, _)| k == "inference.prompt_tokens")
+            .unwrap();
+        assert_eq!(prompt.1, "flags (--prompt)");
     }
 
     #[test]

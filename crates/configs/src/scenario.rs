@@ -62,6 +62,10 @@ pub struct ScenarioConfig {
     /// preemption, and elastic recovery (optional; requires `resilience`).
     #[serde(default)]
     pub failure_domains: Option<FailureDomainsSection>,
+    /// Serving workload (prefill/decode request shape) for `amped infer`
+    /// (optional; omitting it keeps the scenario training-only).
+    #[serde(default)]
+    pub inference: Option<InferenceSection>,
 }
 
 fn default_bits() -> u32 {
@@ -213,6 +217,65 @@ impl FailureDomainsSection {
     }
 }
 
+/// The serving workload as it appears in scenario files: the request
+/// shape `amped infer` and `POST /v1/infer` price. Converts to the core
+/// [`amped_core::InferenceConfig`] at analysis time.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InferenceSection {
+    /// Prompt (prefill) length in tokens (default 512).
+    #[serde(default = "default_prompt_tokens")]
+    pub prompt_tokens: usize,
+    /// Generated (decode) tokens per request (default 128).
+    #[serde(default = "default_decode_tokens")]
+    pub decode_tokens: usize,
+    /// Concurrent sequences per model replica (default 1).
+    #[serde(default = "default_serve_batch")]
+    pub batch: usize,
+    /// KV-cache element precision in bits (default 16).
+    #[serde(default = "default_kv_bits")]
+    pub kv_bits: u32,
+}
+
+fn default_prompt_tokens() -> usize {
+    512
+}
+
+fn default_decode_tokens() -> usize {
+    128
+}
+
+fn default_serve_batch() -> usize {
+    1
+}
+
+fn default_kv_bits() -> u32 {
+    16
+}
+
+impl Default for InferenceSection {
+    fn default() -> Self {
+        InferenceSection {
+            prompt_tokens: default_prompt_tokens(),
+            decode_tokens: default_decode_tokens(),
+            batch: default_serve_batch(),
+            kv_bits: default_kv_bits(),
+        }
+    }
+}
+
+impl InferenceSection {
+    /// The core request configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a token count, batch or precision is out of
+    /// range.
+    pub fn params(&self) -> Result<amped_core::InferenceConfig> {
+        amped_core::InferenceConfig::new(self.prompt_tokens, self.decode_tokens, self.batch)?
+            .with_kv_bits(self.kv_bits)
+    }
+}
+
 /// A model either by preset name or as an inline spec.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(untagged)]
@@ -308,6 +371,8 @@ pub struct ResolvedScenario {
     pub resilience: Option<ResilienceSection>,
     /// Correlated failure domains, validated at resolve time.
     pub failure_domains: Option<FailureDomainsSection>,
+    /// Serving workload, validated at resolve time.
+    pub inference: Option<InferenceSection>,
 }
 
 impl ResolvedScenario {
@@ -402,6 +467,7 @@ impl ScenarioConfig {
             activation_recompute: optional_section(doc, "activation_recompute")?.unwrap_or(false),
             resilience: optional_section(doc, "resilience")?,
             failure_domains: optional_section(doc, "failure_domains")?,
+            inference: optional_section(doc, "inference")?,
         })
     }
 
@@ -482,6 +548,13 @@ impl ScenarioConfig {
             domains.elastic()?;
             domains.check_placement()?;
         }
+        if let Some(inference) = &self.inference {
+            // Surface bad request shapes here so both front-ends reject
+            // them with the same `scenario.inference` message.
+            inference
+                .params()
+                .map_err(|e| Error::usage(format!("scenario.inference: {e}")))?;
+        }
         Ok(ResolvedScenario {
             model,
             accelerator,
@@ -496,6 +569,7 @@ impl ScenarioConfig {
             },
             resilience: self.resilience,
             failure_domains: self.failure_domains.clone(),
+            inference: self.inference,
         })
     }
 }
@@ -765,5 +839,43 @@ mod tests {
             "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"resilience\": { \"node_mtbf_hours\": -1.0 }",
         );
         assert!(ScenarioConfig::from_json(&json).unwrap().resolve().is_err());
+    }
+
+    #[test]
+    fn inference_section_resolves_with_defaults_and_converts() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"inference\": { \"prompt_tokens\": 1024, \"batch\": 8 }",
+        );
+        let s = ScenarioConfig::from_json(&json).unwrap().resolve().unwrap();
+        let section = s.inference.expect("section carried through");
+        assert_eq!(section.prompt_tokens, 1024);
+        assert_eq!(section.decode_tokens, 128); // serde default
+        assert_eq!(section.batch, 8);
+        assert_eq!(section.kv_bits, 16); // serde default
+        let cfg = section.params().unwrap();
+        assert_eq!(cfg.prompt_tokens(), 1024);
+        assert_eq!(cfg.max_context(), 1152);
+        assert_eq!(cfg.kv_bits(), 16);
+    }
+
+    #[test]
+    fn inference_without_the_section_is_absent() {
+        let s = ScenarioConfig::from_json(SAMPLE).unwrap().resolve().unwrap();
+        assert!(s.inference.is_none());
+    }
+
+    #[test]
+    fn bad_inference_shapes_are_rejected_at_resolve() {
+        let json = SAMPLE.replace(
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 }",
+            "\"training\": { \"global_batch\": 2048, \"num_batches\": 5 },\n         \"inference\": { \"prompt_tokens\": 0 }",
+        );
+        let msg = ScenarioConfig::from_json(&json)
+            .unwrap()
+            .resolve()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("scenario.inference"), "{msg}");
     }
 }

@@ -198,6 +198,13 @@ const RESILIENCE_FIELDS: &[FieldSpec] = &[
     },
 ];
 
+const INFERENCE_FIELDS: &[FieldSpec] = &[
+    flagged("prompt_tokens", FieldType::Integer, "prompt", Some("512"), "prompt (prefill) length in tokens"),
+    flagged("decode_tokens", FieldType::Integer, "decode", Some("128"), "generated (decode) tokens per request"),
+    flagged("batch", FieldType::Integer, "serve-batch", Some("1"), "concurrent sequences per model replica"),
+    flagged("kv_bits", FieldType::Integer, "kv-bits", Some("16"), "KV-cache element precision, bits"),
+];
+
 const FAILURE_DOMAIN_FIELDS: &[FieldSpec] = &[
     FieldSpec {
         name: "shape",
@@ -350,6 +357,14 @@ pub const SECTIONS: &[SectionSpec] = &[
         flag: None,
         default: None,
         doc: "correlated failure domains (rack/pod outage tiers, spot preemption, elastic recovery)",
+    },
+    SectionSpec {
+        name: "inference",
+        required: false,
+        kind: SectionKind::Object(INFERENCE_FIELDS),
+        flag: None,
+        default: None,
+        doc: "serving workload (prefill/decode request shape) for `amped infer`",
     },
 ];
 

@@ -1,0 +1,165 @@
+//! Inference-workload configuration: the serving analog of
+//! [`TrainingConfig`](crate::TrainingConfig).
+//!
+//! AMPeD prices training; the successor work in the same lineage (Kundu et
+//! al.) folds inference into the same analytical framework. An inference
+//! request is described by its prompt length (the prefill phase), the
+//! number of generated tokens (the decode phase), the serving batch size,
+//! and the precision the KV cache is stored at. The cost model itself
+//! lives in `amped-infer`; the configuration sits here so scenario
+//! resolution (`amped-configs`) and every front-end can construct it
+//! without depending on the backend crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// One inference workload: a batch of identical requests, each with
+/// `prompt_tokens` of context to prefill and `decode_tokens` to generate.
+///
+/// # Example
+///
+/// ```
+/// use amped_core::InferenceConfig;
+/// let w = InferenceConfig::new(512, 128, 8).unwrap();
+/// assert_eq!(w.max_context(), 640);
+/// assert_eq!(w.kv_bits(), 16); // fp16 KV cache by default
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    prompt_tokens: usize,
+    decode_tokens: usize,
+    batch: usize,
+    kv_bits: u32,
+}
+
+impl InferenceConfig {
+    /// A workload of `batch` concurrent requests, each prefilling
+    /// `prompt_tokens` and generating `decode_tokens`, with an fp16 KV
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any count is zero.
+    pub fn new(prompt_tokens: usize, decode_tokens: usize, batch: usize) -> Result<Self> {
+        if prompt_tokens == 0 || decode_tokens == 0 || batch == 0 {
+            return Err(Error::invalid(
+                "inference",
+                "prompt tokens, decode tokens and batch must be positive",
+            ));
+        }
+        Ok(InferenceConfig {
+            prompt_tokens,
+            decode_tokens,
+            batch,
+            kv_bits: 16,
+        })
+    }
+
+    /// Override the KV-cache element width in bits (8 for an int8/fp8
+    /// quantized cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero width.
+    pub fn with_kv_bits(mut self, kv_bits: u32) -> Result<Self> {
+        if kv_bits == 0 {
+            return Err(Error::invalid("inference", "kv_bits must be positive"));
+        }
+        self.kv_bits = kv_bits;
+        Ok(self)
+    }
+
+    /// Prompt length in tokens (the prefill phase).
+    pub fn prompt_tokens(&self) -> usize {
+        self.prompt_tokens
+    }
+
+    /// Tokens generated per request (the decode phase).
+    pub fn decode_tokens(&self) -> usize {
+        self.decode_tokens
+    }
+
+    /// Concurrent requests per model replica.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// KV-cache element width in bits.
+    pub fn kv_bits(&self) -> u32 {
+        self.kv_bits
+    }
+
+    /// The longest context a request reaches: prompt plus every generated
+    /// token. This is what the KV cache must hold at its peak.
+    pub fn max_context(&self) -> usize {
+        self.prompt_tokens + self.decode_tokens
+    }
+
+    /// The same workload at a different batch size — the per-candidate
+    /// operation of the serving-mapping sweep.
+    pub fn with_batch(mut self, batch: usize) -> Result<Self> {
+        if batch == 0 {
+            return Err(Error::invalid("inference", "batch must be positive"));
+        }
+        self.batch = batch;
+        Ok(self)
+    }
+
+    /// Mean context length over the decode phase: token `i` of the decode
+    /// attends to `prompt + i` cached positions, so per-token costs that
+    /// scale with context use this average in closed form.
+    pub fn mean_decode_context(&self) -> f64 {
+        self.prompt_tokens as f64 + (self.decode_tokens as f64 - 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let w = InferenceConfig::new(1024, 256, 4).unwrap();
+        assert_eq!(w.prompt_tokens(), 1024);
+        assert_eq!(w.decode_tokens(), 256);
+        assert_eq!(w.batch(), 4);
+        assert_eq!(w.max_context(), 1280);
+        let q = w.with_kv_bits(8).unwrap();
+        assert_eq!(q.kv_bits(), 8);
+    }
+
+    #[test]
+    fn rejects_zero_counts() {
+        assert!(InferenceConfig::new(0, 1, 1).is_err());
+        assert!(InferenceConfig::new(1, 0, 1).is_err());
+        assert!(InferenceConfig::new(1, 1, 0).is_err());
+        assert!(InferenceConfig::new(1, 1, 1).unwrap().with_kv_bits(0).is_err());
+        assert!(InferenceConfig::new(1, 1, 1).unwrap().with_batch(0).is_err());
+    }
+
+    #[test]
+    fn mean_decode_context_averages_the_growing_cache() {
+        let w = InferenceConfig::new(100, 11, 1).unwrap();
+        // Contexts 100..110 inclusive of the first token: mean = 105.
+        assert_eq!(w.mean_decode_context(), 105.0);
+        let single = InferenceConfig::new(100, 1, 1).unwrap();
+        assert_eq!(single.mean_decode_context(), 100.0);
+    }
+
+    #[test]
+    fn with_batch_swaps_only_the_batch() {
+        let w = InferenceConfig::new(512, 128, 1).unwrap();
+        let b8 = w.with_batch(8).unwrap();
+        assert_eq!(b8.batch(), 8);
+        assert_eq!(b8.prompt_tokens(), w.prompt_tokens());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = InferenceConfig::new(512, 128, 8).unwrap().with_kv_bits(8).unwrap();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: InferenceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

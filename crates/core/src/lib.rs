@@ -53,6 +53,7 @@
 //! | [`parallelism`] | TP/PP/DP/MoE mapping, microbatching, ZeRO |
 //! | [`efficiency`] | the `eff(ub)` microbatch-efficiency models |
 //! | [`engine`] | the Eq. 1 estimator and its breakdown |
+//! | [`inference`] | serving-workload configuration (prefill/decode/batch) |
 //! | [`metrics`] | model FLOPs and TFLOP/s/GPU |
 //! | [`precision`] | operand bit-widths (`S_p`, `S_act`, …) |
 //! | [`resilience`] | checkpoint/restart expected-time and Young/Daly interval |
@@ -69,6 +70,7 @@ pub mod efficiency;
 pub mod engine;
 pub mod error;
 pub mod hetero;
+pub mod inference;
 pub mod metrics;
 pub mod model;
 pub mod network;
@@ -89,6 +91,7 @@ pub use engine::{
     Estimator, LayerEstimate, ObservedBackend, Scenario,
 };
 pub use error::{Error, Result};
+pub use inference::InferenceConfig;
 pub use model::{LayerKind, MoeConfig, TransformerModel, TransformerModelBuilder};
 pub use network::{Link, SystemSpec};
 pub use parallelism::{MicrobatchPolicy, Parallelism, ParallelismBuilder, ZeroConfig, ZeroStage};
@@ -110,6 +113,7 @@ pub mod prelude {
         CostBackend, DetailedEstimate, EngineOptions, Estimate, EstimateCache, Estimator,
         LayerEstimate, Scenario,
     };
+    pub use crate::inference::InferenceConfig;
     pub use crate::model::{LayerKind, MoeConfig, TransformerModel};
     pub use crate::network::{Link, SystemSpec};
     pub use crate::parallelism::{MicrobatchPolicy, Parallelism, ZeroConfig, ZeroStage};

@@ -45,12 +45,13 @@ pub fn gemm_efficiency(m: f64, k: f64, n: f64, bytes_per_operand: f64, balance: 
     (intensity / balance).min(1.0)
 }
 
-/// The GEMM shapes of one transformer layer at microbatch `ub` (tokens
-/// `t = ub·s`): QKV, attention scores, attention-times-values, output
-/// projection and the two MLP matrices, with their FLOP weights.
-fn layer_gemms(model: &TransformerModel, ub: f64) -> Vec<(f64, f64, f64)> {
+/// The GEMM shapes of one transformer layer at microbatch `ub` and
+/// sequence length `s` (tokens `t = ub·s`): QKV, attention scores,
+/// attention-times-values, output projection and the two MLP matrices,
+/// with their FLOP weights. Training evaluates at the model's context;
+/// inference prefill runs the same GEMMs over the prompt.
+fn layer_gemms_with_seq(model: &TransformerModel, ub: f64, s: f64) -> Vec<(f64, f64, f64)> {
     let h = model.hidden_size() as f64;
-    let s = model.seq_len() as f64;
     let a = model.num_heads() as f64;
     let f = model.ffn_mult();
     let t = ub * s;
@@ -73,17 +74,44 @@ pub fn layer_efficiency(
     precision: Precision,
     ub: f64,
 ) -> f64 {
+    composite_efficiency(model, accel, precision, ub, model.seq_len() as f64)
+}
+
+/// FLOP-weighted harmonic composition of per-GEMM rooflines for one layer
+/// at microbatch `ub` and sequence length `s`.
+fn composite_efficiency(
+    model: &TransformerModel,
+    accel: &AcceleratorSpec,
+    precision: Precision,
+    ub: f64,
+    s: f64,
+) -> f64 {
     let balance = machine_balance(accel, precision.mac_operand_bits());
     let bytes = precision.act_bits as f64 / 8.0;
     let mut total_flops = 0.0;
     let mut total_time_units = 0.0; // flops / eff
-    for (m, k, n) in layer_gemms(model, ub.max(1.0 / model.seq_len() as f64)) {
+    for (m, k, n) in layer_gemms_with_seq(model, ub.max(1.0 / s), s) {
         let flops = 2.0 * m * k * n;
         let eff = gemm_efficiency(m, k, n, bytes, balance);
         total_flops += flops;
         total_time_units += flops / eff;
     }
     (total_flops / total_time_units).clamp(1e-6, 1.0)
+}
+
+/// Attainable efficiency of an inference *prefill* pass: the roofline of
+/// [`layer_efficiency`] evaluated over `batch` prompts of `prompt_tokens`
+/// each, instead of the model's training context. Prefill is the
+/// compute-bound phase of serving — long prompts at any batch run fat
+/// GEMMs — and this is its ceiling.
+pub fn prefill_efficiency(
+    model: &TransformerModel,
+    accel: &AcceleratorSpec,
+    precision: Precision,
+    batch: f64,
+    prompt_tokens: f64,
+) -> f64 {
+    composite_efficiency(model, accel, precision, batch, prompt_tokens.max(1.0))
 }
 
 /// Build a table-form [`EfficiencyModel`] by sampling the roofline at
@@ -260,6 +288,30 @@ mod tests {
         // Heavier per-sample work (bigger model slice) saturates sooner.
         let heavy = derive_saturating(0.9, 5e-6, 12.0, 3e-4);
         assert!(heavy.eval(2.0) > m.eval(2.0));
+    }
+
+    #[test]
+    fn prefill_efficiency_matches_training_roofline_at_the_training_context() {
+        // With the prompt equal to the model's training context, the
+        // prefill roofline is the training layer roofline, bit for bit.
+        let m = gpt(2048, 16, 512);
+        let a = a100();
+        for b in [1.0, 4.0, 16.0] {
+            let train = layer_efficiency(&m, &a, Precision::fp16(), b);
+            let serve = prefill_efficiency(&m, &a, Precision::fp16(), b, 512.0);
+            assert_eq!(train.to_bits(), serve.to_bits());
+        }
+    }
+
+    #[test]
+    fn longer_prompts_prefill_more_efficiently() {
+        // Fatter prefill GEMMs climb the roofline, like larger microbatches
+        // do in training.
+        let m = gpt(2048, 16, 2048);
+        let a = a100();
+        let short = prefill_efficiency(&m, &a, Precision::fp16(), 1.0, 64.0);
+        let long = prefill_efficiency(&m, &a, Precision::fp16(), 1.0, 2048.0);
+        assert!(long > short, "long {long} vs short {short}");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! The serving cost-backend contract, mirroring
+//! [`CostBackend`](amped_core::CostBackend) for training.
+
+use std::sync::Arc;
+
+use amped_core::{Parallelism, Result, Scenario};
+use amped_obs::Observer;
+
+use crate::estimate::InferEstimate;
+use crate::estimator::InferEstimator;
+use crate::InferenceConfig;
+
+/// Anything that can price an inference request on a scenario.
+///
+/// The serving analogue of [`CostBackend`](amped_core::CostBackend):
+/// the `amped infer` CLI, the `/v1/infer` endpoint and the serving
+/// search all speak this interface, so instrumented
+/// ([`ObservedInferBackend`]) and future simulator-refined backends
+/// slot in without the callers changing.
+pub trait InferBackend: Send + Sync {
+    /// Stable identifier used in reports and observability series.
+    fn name(&self) -> &'static str;
+
+    /// Price one request.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; the analytical backend fails only on scenarios
+    /// whose parallelism does not tile the system or model.
+    fn evaluate(&self, scenario: &Scenario, config: &InferenceConfig) -> Result<InferEstimate>;
+
+    /// Price one request under many candidate mappings. The default
+    /// loops [`InferBackend::evaluate`]; batch-capable backends can hoist
+    /// mapping-invariant work.
+    fn evaluate_many(
+        &self,
+        scenario: &Scenario,
+        mappings: &[Parallelism],
+        config: &InferenceConfig,
+    ) -> Vec<Result<InferEstimate>> {
+        mappings
+            .iter()
+            .map(|&parallelism| {
+                let candidate = Scenario {
+                    parallelism,
+                    ..scenario.clone()
+                };
+                self.evaluate(&candidate, config)
+            })
+            .collect()
+    }
+}
+
+/// The closed-form prefill/decode roofline of [`InferEstimator`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticalInferBackend;
+
+impl InferBackend for AnalyticalInferBackend {
+    fn name(&self) -> &'static str {
+        "infer-analytical"
+    }
+
+    fn evaluate(&self, scenario: &Scenario, config: &InferenceConfig) -> Result<InferEstimate> {
+        InferEstimator::new(scenario).estimate(config)
+    }
+}
+
+/// Decorator recording every evaluation on an [`Observer`]: an
+/// `evaluate` span per call and a `backend.<name>.evaluations` counter,
+/// registered eagerly at zero so reports show the backend before any
+/// traffic. Observation is passive — estimates are bit-identical with
+/// or without it.
+pub struct ObservedInferBackend {
+    inner: Box<dyn InferBackend>,
+    observer: Arc<Observer>,
+    evaluations: amped_obs::Counter,
+}
+
+impl ObservedInferBackend {
+    /// Wrap `inner` so every evaluation is recorded on `observer`.
+    pub fn new(inner: Box<dyn InferBackend>, observer: Arc<Observer>) -> Self {
+        let evaluations = observer.counter(&format!("backend.{}.evaluations", inner.name()));
+        ObservedInferBackend {
+            inner,
+            observer,
+            evaluations,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn InferBackend {
+        self.inner.as_ref()
+    }
+}
+
+impl std::fmt::Debug for ObservedInferBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObservedInferBackend")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl InferBackend for ObservedInferBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn evaluate(&self, scenario: &Scenario, config: &InferenceConfig) -> Result<InferEstimate> {
+        let _span = self.observer.span_with_cat(self.inner.name(), "evaluate");
+        self.evaluations.incr();
+        self.inner.evaluate(scenario, config)
+    }
+
+    fn evaluate_many(
+        &self,
+        scenario: &Scenario,
+        mappings: &[Parallelism],
+        config: &InferenceConfig,
+    ) -> Vec<Result<InferEstimate>> {
+        let _span = self
+            .observer
+            .span_with_cat(self.inner.name(), "evaluate_many");
+        self.evaluations.add(mappings.len() as u64);
+        self.inner.evaluate_many(scenario, mappings, config)
+    }
+}

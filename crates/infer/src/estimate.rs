@@ -1,0 +1,96 @@
+//! The serving estimate: phase breakdowns and request-level metrics.
+
+use amped_core::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One inference phase priced by the roofline: a compute floor, a
+/// memory-bandwidth floor, and communication on top of whichever binds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Time to execute the phase's FLOPs at the attainable fraction of
+    /// peak throughput.
+    pub compute: Seconds,
+    /// Time to stream the phase's bytes (weight shards, KV-cache reads
+    /// and writes) at full memory bandwidth.
+    pub memory: Seconds,
+    /// Tensor-parallel all-reduces plus pipeline-boundary transfers. A
+    /// serving request crosses every pipeline stage sequentially, so —
+    /// unlike the training model's steady-state `1/N_PP` share — the
+    /// full per-layer sum lands on the request's critical path.
+    pub comm: Seconds,
+    /// Phase time: `max(compute, memory) + comm`.
+    pub total: Seconds,
+}
+
+impl PhaseBreakdown {
+    /// Assemble a phase from its floors: compute and memory overlap (the
+    /// slower one binds), communication is serialized on top.
+    pub(crate) fn from_floors(compute: f64, memory: f64, comm: f64) -> Self {
+        PhaseBreakdown {
+            compute: Seconds::new(compute),
+            memory: Seconds::new(memory),
+            comm: Seconds::new(comm),
+            total: Seconds::new(compute.max(memory) + comm),
+        }
+    }
+}
+
+/// The analytical serving estimate for one [`InferenceConfig`]
+/// (see [`crate::InferenceConfig`]) on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferEstimate {
+    /// Time to first token: the prefill pass plus the first decode step
+    /// (which samples the first generated token).
+    pub ttft: Seconds,
+    /// Time per output token: one decode step at the mean decode context.
+    pub tpot: Seconds,
+    /// End-to-end request latency: prefill plus every decode step.
+    pub request_latency: Seconds,
+    /// Steady-state generated tokens per second across the whole system
+    /// (`replicas × batch / tpot`).
+    pub tokens_per_sec: f64,
+    /// The prefill phase (whole prompt, one forward pass).
+    pub prefill: PhaseBreakdown,
+    /// One decode step at the mean decode context (batch tokens).
+    pub decode: PhaseBreakdown,
+    /// Per-device KV-cache bytes at the request's maximum context.
+    pub kv_cache_bytes: f64,
+    /// Per-device weight-shard bytes.
+    pub weight_bytes: f64,
+    /// Whether weights + KV cache fit the accelerator memory.
+    pub fits_memory: bool,
+    /// Concurrent sequences per model replica.
+    pub batch: usize,
+    /// Independent model replicas (the data-parallel degree).
+    pub replicas: usize,
+    /// Total accelerators across all replicas.
+    pub workers: usize,
+}
+
+impl InferEstimate {
+    /// Per-device memory footprint (weights + KV cache) at the request's
+    /// maximum context.
+    pub fn memory_total(&self) -> f64 {
+        self.weight_bytes + self.kv_cache_bytes
+    }
+}
+
+impl std::fmt::Display for InferEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ttft {:.3} ms | tpot {:.3} ms | request {:.3} s | {:.0} tok/s",
+            self.ttft.get() * 1e3,
+            self.tpot.get() * 1e3,
+            self.request_latency.get(),
+            self.tokens_per_sec,
+        )?;
+        write!(
+            f,
+            "memory {} weights + {} kv ({})",
+            amped_core::units::format_bytes(self.weight_bytes),
+            amped_core::units::format_bytes(self.kv_cache_bytes),
+            if self.fits_memory { "fits" } else { "OVER" },
+        )
+    }
+}

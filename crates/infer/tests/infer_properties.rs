@@ -1,0 +1,216 @@
+//! Property and invariant tests for the serving cost model.
+
+use std::sync::Arc;
+
+use amped_core::{
+    AcceleratorSpec, Link, Parallelism, Scenario, SystemSpec, TransformerModel,
+};
+use amped_infer::{
+    latency_lower_bound, AnalyticalInferBackend, InferBackend, InferEstimator, InferenceConfig,
+    ObservedInferBackend,
+};
+use amped_obs::Observer;
+use proptest::prelude::*;
+
+fn a100() -> AcceleratorSpec {
+    AcceleratorSpec::builder("A100")
+        .frequency_hz(1.41e9)
+        .cores(108)
+        .mac_units(4, 512, 8)
+        .nonlin_units(192, 4, 32)
+        .memory(80e9, 2.0e12)
+        .build()
+        .unwrap()
+}
+
+fn scenario(
+    layers: usize,
+    heads: usize,
+    hidden: usize,
+    nodes: usize,
+    parallelism: Parallelism,
+) -> Option<Scenario> {
+    let model = TransformerModel::builder("serve-prop")
+        .layers(layers)
+        .hidden_size(hidden)
+        .heads(heads)
+        .seq_len(2048)
+        .vocab_size(32000)
+        .build()
+        .ok()?;
+    let system = SystemSpec::new(
+        nodes,
+        8,
+        Link::new(5e-6, 2.4e12),
+        Link::new(1e-5, 2e11),
+        8,
+    )
+    .ok()?;
+    parallelism.validate_against(&system, &model).ok()?;
+    Some(Scenario::new(model, a100(), system, parallelism))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The load-bearing serving invariant: a decode step can never be
+    /// priced faster than the time to stream the weight shard and KV
+    /// cache at full memory bandwidth.
+    #[test]
+    fn decode_step_never_beats_pure_bandwidth(
+        (layers, heads_ix, hidden_per_head) in (2usize..48, 0usize..3, 8usize..65),
+        (tp_exp, pp_exp) in (0u32..4, 0u32..2),
+        (prompt, decode, batch_exp) in (1usize..4096, 1usize..512, 0u32..7),
+        kv_bits_ix in 0usize..3,
+    ) {
+        let heads = [4usize, 8, 16][heads_ix];
+        let (tp, pp) = (1usize << tp_exp, 1usize << pp_exp);
+        if tp * pp > 8 {
+            return Ok(());
+        }
+        let Ok(parallelism) = Parallelism::builder()
+            .tp(tp, 1)
+            .pp(pp, 1)
+            .dp(8 / (tp * pp), 1)
+            .build()
+        else {
+            return Ok(());
+        };
+        // Only grids that tile the 8-accel node survive.
+        let Some(s) = scenario(layers, heads, heads * hidden_per_head, 1, parallelism) else {
+            return Ok(());
+        };
+        let config = InferenceConfig::new(prompt, decode, 1usize << batch_exp)
+            .unwrap()
+            .with_kv_bits([8u32, 16, 32][kv_bits_ix])
+            .unwrap();
+        let Ok(est) = InferEstimator::new(&s).estimate(&config) else {
+            return Ok(());
+        };
+
+        let est_kv = InferEstimator::new(&s);
+        let kv = est_kv.kv_model(&config);
+        let bw = s.accelerator.memory_bandwidth_bytes_per_sec();
+        let pp = s.parallelism.pp() as f64;
+        let pure_bandwidth = pp * kv.weights_per_device() / bw;
+        prop_assert!(
+            est.tpot.get() >= pure_bandwidth,
+            "tpot {} beat the weight-stream bound {}",
+            est.tpot.get(),
+            pure_bandwidth,
+        );
+        prop_assert!(est.tpot.get() >= est.decode.memory.get());
+        prop_assert!(est.decode.memory.get() >= pure_bandwidth);
+
+        // Structural invariants of the estimate.
+        prop_assert!(est.ttft.get() > est.prefill.total.get());
+        prop_assert!(
+            est.request_latency.get()
+                >= est.prefill.total.get() + decode as f64 * est.tpot.get() - 1e-12
+        );
+        prop_assert!(est.tokens_per_sec > 0.0);
+
+        // The pruning bound is a true lower bound on the full estimate.
+        let lb = latency_lower_bound(&s, &config).unwrap();
+        prop_assert!(
+            lb <= est.request_latency.get() * (1.0 + 1e-12),
+            "lower bound {} above latency {}",
+            lb,
+            est.request_latency.get(),
+        );
+    }
+
+    /// Longer prompts and bigger batches can only raise prefill time and
+    /// KV pressure; more decode tokens can only raise request latency.
+    #[test]
+    fn serving_costs_are_monotone(
+        (prompt, decode, batch) in (1usize..2048, 1usize..256, 1usize..32),
+    ) {
+        let parallelism = Parallelism::builder().tp(8, 1).build().unwrap();
+        let s = scenario(24, 16, 2048, 1, parallelism).unwrap();
+        let est = |p: usize, d: usize, b: usize| {
+            InferEstimator::new(&s)
+                .estimate(&InferenceConfig::new(p, d, b).unwrap())
+                .unwrap()
+        };
+        let base = est(prompt, decode, batch);
+        prop_assert!(est(prompt + 64, decode, batch).prefill.total >= base.prefill.total);
+        prop_assert!(est(prompt, decode + 16, batch).request_latency >= base.request_latency);
+        prop_assert!(est(prompt, decode, batch + 1).kv_cache_bytes > base.kv_cache_bytes);
+        prop_assert!(est(prompt + 64, decode, batch).kv_cache_bytes > base.kv_cache_bytes);
+    }
+}
+
+#[test]
+fn observation_is_bit_identical_and_counts() {
+    let parallelism = Parallelism::builder().tp(4, 1).pp(2, 1).build().unwrap();
+    let s = scenario(24, 16, 2048, 1, parallelism).unwrap();
+    let config = InferenceConfig::new(512, 128, 8).unwrap();
+
+    let bare = AnalyticalInferBackend.evaluate(&s, &config).unwrap();
+    let obs = Arc::new(Observer::new());
+    let wrapped = ObservedInferBackend::new(Box::new(AnalyticalInferBackend), obs.clone());
+    assert_eq!(wrapped.name(), "infer-analytical");
+    assert_eq!(obs.counters()["backend.infer-analytical.evaluations"], 0);
+
+    let observed = wrapped.evaluate(&s, &config).unwrap();
+    assert_eq!(obs.counters()["backend.infer-analytical.evaluations"], 1);
+
+    for (a, b) in [
+        (bare.ttft.get(), observed.ttft.get()),
+        (bare.tpot.get(), observed.tpot.get()),
+        (bare.request_latency.get(), observed.request_latency.get()),
+        (bare.tokens_per_sec, observed.tokens_per_sec),
+        (bare.kv_cache_bytes, observed.kv_cache_bytes),
+        (bare.weight_bytes, observed.weight_bytes),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn evaluate_many_matches_scalar_loop() {
+    let parallelism = Parallelism::builder().tp(8, 1).build().unwrap();
+    let s = scenario(24, 16, 2048, 1, parallelism).unwrap();
+    let config = InferenceConfig::new(256, 64, 4).unwrap();
+    let mappings: Vec<Parallelism> = [
+        Parallelism::builder().tp(8, 1).build().unwrap(),
+        Parallelism::builder().tp(4, 1).pp(2, 1).build().unwrap(),
+        Parallelism::builder().tp(2, 1).pp(2, 1).dp(2, 1).build().unwrap(),
+    ]
+    .into();
+    let many = AnalyticalInferBackend.evaluate_many(&s, &mappings, &config);
+    assert_eq!(many.len(), 3);
+    for (p, priced) in mappings.iter().zip(&many) {
+        let candidate = Scenario {
+            parallelism: *p,
+            ..s.clone()
+        };
+        let scalar = AnalyticalInferBackend.evaluate(&candidate, &config).unwrap();
+        let batched = priced.as_ref().unwrap();
+        assert_eq!(
+            scalar.request_latency.get().to_bits(),
+            batched.request_latency.get().to_bits()
+        );
+        assert_eq!(scalar.workers, batched.workers);
+    }
+}
+
+#[test]
+fn tensor_parallelism_cuts_decode_weight_traffic() {
+    // A 65B-class model: decode at batch 1 is dominated by streaming the
+    // weight bytes, which is where TP sharding pays.
+    let config = InferenceConfig::new(512, 128, 1).unwrap();
+    let tp1 = scenario(80, 64, 8192, 1, Parallelism::builder().dp(8, 1).build().unwrap()).unwrap();
+    let tp8 = scenario(80, 64, 8192, 1, Parallelism::builder().tp(8, 1).build().unwrap()).unwrap();
+    let e1 = InferEstimator::new(&tp1).estimate(&config).unwrap();
+    let e8 = InferEstimator::new(&tp8).estimate(&config).unwrap();
+    // At batch 1 decode is weight-bandwidth-bound; an 8-way shard reads
+    // an eighth of the bytes, and even with the all-reduce tax it must
+    // decode faster.
+    assert!(e8.decode.memory.get() < e1.decode.memory.get() / 7.0);
+    assert!(e8.tpot.get() < e1.tpot.get());
+    // Replicas multiply throughput but never touch latency.
+    assert_eq!(e1.replicas, 8);
+    assert_eq!(e8.replicas, 1);
+}

@@ -1,0 +1,382 @@
+//! KV-cache memory model for inference serving.
+//!
+//! Decoding attends to every previously processed token, so each layer
+//! keeps its key and value tensors resident: `2 · h` elements per token
+//! per layer, sharded across tensor-parallel ranks (heads split over TP)
+//! and pipeline stages (layers split over PP). Unlike training, a serving
+//! replica holds no gradients or optimizer state — device memory is
+//! weights plus the KV cache, and the cache grows linearly with both the
+//! context length and the batch of concurrent requests.
+//!
+//! [`KvCacheModel`] prices that footprint and solves the two capacity
+//! questions a serving planner asks — the largest batch at a given
+//! context, and the longest context at a given batch — in closed form,
+//! confirmed against the exact footprint predicate exactly as
+//! [`MemoryModel::solve_max_microbatch`](crate::MemoryModel::solve_max_microbatch)
+//! does for training microbatches.
+//!
+//! # Example
+//!
+//! ```
+//! use amped_core::{Parallelism, TransformerModel};
+//! use amped_memory::KvCacheModel;
+//!
+//! # fn main() -> Result<(), amped_core::Error> {
+//! let model = TransformerModel::builder("gpt-1.3b")
+//!     .layers(24).hidden_size(2048).heads(16).seq_len(1024).vocab_size(50257)
+//!     .build()?;
+//! let mapping = Parallelism::builder().tp(2, 1).build()?;
+//! let kv = KvCacheModel::new(&model, &mapping);
+//! let fit = kv.solve_max_batch(256, 2048, 80e9).unwrap();
+//! assert!(fit.max_batch >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use amped_core::{Parallelism, Precision, TransformerModel};
+use serde::{Deserialize, Serialize};
+
+/// Per-device serving memory footprint in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KvFootprint {
+    /// Model weights resident on the device (sharded over TP × PP).
+    pub weights: f64,
+    /// Peak KV-cache bytes: batch × context × per-token share.
+    pub kv_cache: f64,
+}
+
+impl KvFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.weights + self.kv_cache
+    }
+
+    /// Which term first pushes this footprint past `capacity_bytes`,
+    /// walking the same left-to-right accumulation as
+    /// [`KvFootprint::total`]. Only meaningful when the total exceeds the
+    /// capacity.
+    pub fn capacity_failure(&self, capacity_bytes: f64) -> KvCapacityFailure {
+        if self.weights > capacity_bytes {
+            KvCapacityFailure::Weights
+        } else {
+            KvCapacityFailure::KvCache
+        }
+    }
+}
+
+impl std::fmt::Display for KvFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use amped_core::units::format_bytes;
+        write!(
+            f,
+            "weights {} + kv cache {} = {}",
+            format_bytes(self.weights),
+            format_bytes(self.kv_cache),
+            format_bytes(self.total())
+        )
+    }
+}
+
+/// Which capacity inequality failed when a serving configuration fits
+/// under no batch (or context), in accumulation order: a device that
+/// cannot even hold its weight shard is reported as `Weights`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvCapacityFailure {
+    /// Resident weights alone exceed the device capacity.
+    Weights,
+    /// Weights fit, but the KV cache overflows even at the smallest
+    /// batch/context.
+    KvCache,
+}
+
+impl KvCapacityFailure {
+    /// Stable lowercase name, matching the JSON artifact field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KvCapacityFailure::Weights => "weights",
+            KvCapacityFailure::KvCache => "kv_cache",
+        }
+    }
+}
+
+impl std::fmt::Display for KvCapacityFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The largest feasible power-of-two batch on the serving trial ladder,
+/// as found by [`KvCacheModel::solve_max_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeBatchFit {
+    /// Index on the power-of-two ladder: the batch is `2^ladder_index`.
+    pub ladder_index: u32,
+    /// The batch size, `2^ladder_index` concurrent requests.
+    pub max_batch: usize,
+}
+
+/// The per-device serving memory model.
+#[derive(Debug, Clone)]
+pub struct KvCacheModel<'a> {
+    model: &'a TransformerModel,
+    parallelism: &'a Parallelism,
+    total_params: f64,
+    weight_bits: u32,
+    kv_bits: u32,
+}
+
+impl<'a> KvCacheModel<'a> {
+    /// A KV-cache model for `model` served under `parallelism`, with fp16
+    /// weights and an fp16 cache.
+    pub fn new(model: &'a TransformerModel, parallelism: &'a Parallelism) -> Self {
+        KvCacheModel {
+            model,
+            parallelism,
+            total_params: model.total_parameters(),
+            weight_bits: Precision::default().param_bits,
+            kv_bits: 16,
+        }
+    }
+
+    /// Take the weight width from a training [`Precision`] (its
+    /// `param_bits`).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.weight_bits = precision.param_bits;
+        self
+    }
+
+    /// Override the KV-cache element width in bits.
+    pub fn with_kv_bits(mut self, kv_bits: u32) -> Self {
+        self.kv_bits = kv_bits.max(1);
+        self
+    }
+
+    /// Layers resident per pipeline stage: `ceil(L / N_PP)`.
+    pub fn layers_per_stage(&self) -> f64 {
+        let pp = self.parallelism.pp() as f64;
+        (self.model.num_layers() as f64 / pp).ceil().max(1.0)
+    }
+
+    /// Weight bytes resident per device: the model sharded over TP × PP.
+    /// Serving replicas (the DP dimension) each hold a full shard — there
+    /// is no ZeRO in inference.
+    pub fn weights_per_device(&self) -> f64 {
+        let p = self.parallelism;
+        self.total_params / (p.tp() as f64 * p.pp() as f64) * self.weight_bits as f64 / 8.0
+    }
+
+    /// KV-cache bytes one token of context costs this device: keys and
+    /// values (`2 · h` elements) for each resident layer, with the head
+    /// dimension sharded over TP.
+    pub fn kv_bytes_per_token(&self) -> f64 {
+        let h = self.model.hidden_size() as f64;
+        let tp = self.parallelism.tp() as f64;
+        2.0 * self.layers_per_stage() * h * (self.kv_bits as f64 / 8.0) / tp
+    }
+
+    /// Full per-device footprint for `batch` concurrent requests at
+    /// `context_tokens` of cached context each.
+    pub fn footprint(&self, batch: usize, context_tokens: usize) -> KvFootprint {
+        KvFootprint {
+            weights: self.weights_per_device(),
+            kv_cache: batch as f64 * context_tokens as f64 * self.kv_bytes_per_token(),
+        }
+    }
+
+    /// Whether the footprint at (`batch`, `context_tokens`) fits a device
+    /// with `capacity_bytes` of memory.
+    pub fn fits(&self, batch: usize, context_tokens: usize, capacity_bytes: f64) -> bool {
+        self.footprint(batch, context_tokens).total() <= capacity_bytes
+    }
+
+    /// The largest feasible point on the power-of-two serving batch ladder
+    /// (`1, 2, 4, … ≤ batch_bound`) at `context_tokens` of context, solved
+    /// in closed form from the capacity inequality and confirmed against
+    /// the exact [`KvCacheModel::fits`] predicate — the serving mirror of
+    /// [`MemoryModel::solve_max_microbatch`](crate::MemoryModel::solve_max_microbatch).
+    ///
+    /// The cache is linear in the batch, so the feasibility flags along
+    /// the ladder form a monotone prefix and the confirmed closed-form
+    /// index is bit-identical to the brute-force trial loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing capacity inequality when even a single request
+    /// does not fit.
+    pub fn solve_max_batch(
+        &self,
+        batch_bound: usize,
+        context_tokens: usize,
+        capacity_bytes: f64,
+    ) -> std::result::Result<ServeBatchFit, KvCapacityFailure> {
+        let bound = batch_bound.max(1);
+        let rungs = bound.ilog2() + 1;
+        let fits_at = |k: u32| self.fits(1usize << k, context_tokens, capacity_bytes);
+
+        // Closed form: batch · context · per_token ≤ capacity − weights.
+        let budget = capacity_bytes - self.weights_per_device();
+        let per_request = context_tokens as f64 * self.kv_bytes_per_token();
+        let mut k = if budget >= per_request && per_request > 0.0 {
+            ((budget / per_request).log2().floor() as u32).min(rungs - 1)
+        } else {
+            0
+        };
+        // Confirm the algebraic guess against the exact footprint: walk
+        // down while infeasible, then up while the next rung still fits.
+        while !fits_at(k) {
+            if k == 0 {
+                return Err(self
+                    .footprint(1, context_tokens)
+                    .capacity_failure(capacity_bytes));
+            }
+            k -= 1;
+        }
+        while k + 1 < rungs && fits_at(k + 1) {
+            k += 1;
+        }
+        Ok(ServeBatchFit {
+            ladder_index: k,
+            max_batch: 1usize << k,
+        })
+    }
+
+    /// The longest context (in tokens) `batch` concurrent requests can
+    /// reach before the cache overflows `capacity_bytes`, in closed form:
+    /// `floor((capacity − weights) / (batch · per_token))`, confirmed
+    /// against the exact footprint at the returned context and its
+    /// successor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing capacity inequality when even one token of
+    /// context does not fit.
+    pub fn solve_max_context(
+        &self,
+        batch: usize,
+        capacity_bytes: f64,
+    ) -> std::result::Result<usize, KvCapacityFailure> {
+        let batch = batch.max(1);
+        let budget = capacity_bytes - self.weights_per_device();
+        let per_token = batch as f64 * self.kv_bytes_per_token();
+        if budget < per_token || per_token <= 0.0 {
+            return Err(self.footprint(batch, 1).capacity_failure(capacity_bytes));
+        }
+        let mut c = (budget / per_token).floor() as usize;
+        // Float division can land one token off the exact predicate on
+        // either side; settle against `fits` directly.
+        while c > 1 && !self.fits(batch, c, capacity_bytes) {
+            c -= 1;
+        }
+        while self.fits(batch, c + 1, capacity_bytes) {
+            c += 1;
+        }
+        if !self.fits(batch, c, capacity_bytes) {
+            return Err(self.footprint(batch, 1).capacity_failure(capacity_bytes));
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransformerModel {
+        TransformerModel::builder("gpt-1.3b")
+            .layers(24)
+            .hidden_size(2048)
+            .heads(16)
+            .seq_len(1024)
+            .vocab_size(50257)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kv_bytes_match_hand_arithmetic() {
+        let m = model();
+        let p = Parallelism::single();
+        let kv = KvCacheModel::new(&m, &p);
+        // 2 (K+V) · 24 layers · 2048 hidden · 2 bytes = 196608 bytes/token.
+        assert_eq!(kv.kv_bytes_per_token(), 196_608.0);
+        let quant = KvCacheModel::new(&m, &p).with_kv_bits(8);
+        assert_eq!(quant.kv_bytes_per_token(), 98_304.0);
+    }
+
+    #[test]
+    fn tp_and_pp_shard_the_cache() {
+        let m = model();
+        let p1 = Parallelism::single();
+        let p8 = Parallelism::builder().tp(2, 1).pp(4, 1).build().unwrap();
+        let kv1 = KvCacheModel::new(&m, &p1);
+        let kv8 = KvCacheModel::new(&m, &p8);
+        // TP divides by 2, PP keeps 6 of 24 layers: 8× less per device.
+        assert!((kv1.kv_bytes_per_token() / kv8.kv_bytes_per_token() - 8.0).abs() < 1e-12);
+        assert!((kv1.weights_per_device() / kv8.weights_per_device() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_is_linear_in_batch_and_context() {
+        let m = model();
+        let p = Parallelism::single();
+        let kv = KvCacheModel::new(&m, &p);
+        let base = kv.footprint(1, 1024).kv_cache;
+        assert_eq!(kv.footprint(4, 1024).kv_cache, 4.0 * base);
+        assert_eq!(kv.footprint(1, 4096).kv_cache, 4.0 * base);
+        assert_eq!(kv.footprint(2, 2048).kv_cache, 4.0 * base);
+    }
+
+    #[test]
+    fn max_batch_solver_matches_exact_predicate() {
+        let m = model();
+        let p = Parallelism::single();
+        let kv = KvCacheModel::new(&m, &p);
+        let cap = 16e9;
+        let fit = kv.solve_max_batch(4096, 2048, cap).unwrap();
+        assert!(kv.fits(fit.max_batch, 2048, cap));
+        assert!(!kv.fits(fit.max_batch * 2, 2048, cap));
+        assert_eq!(fit.max_batch, 1usize << fit.ladder_index);
+    }
+
+    #[test]
+    fn infeasible_solves_blame_the_right_term() {
+        let m = model();
+        let p = Parallelism::single();
+        let kv = KvCacheModel::new(&m, &p);
+        let weights = kv.weights_per_device();
+        assert_eq!(
+            kv.solve_max_batch(64, 1024, weights * 0.5),
+            Err(KvCapacityFailure::Weights)
+        );
+        // Weights fit with one token of headroom, the cache does not.
+        assert_eq!(
+            kv.solve_max_batch(64, 1024, weights + kv.kv_bytes_per_token()),
+            Err(KvCapacityFailure::KvCache)
+        );
+        assert_eq!(
+            kv.solve_max_context(1, weights * 0.5),
+            Err(KvCapacityFailure::Weights)
+        );
+        assert_eq!(KvCapacityFailure::KvCache.to_string(), "kv_cache");
+    }
+
+    #[test]
+    fn max_context_is_exact() {
+        let m = model();
+        let p = Parallelism::builder().tp(4, 1).build().unwrap();
+        let kv = KvCacheModel::new(&m, &p);
+        let cap = 32e9;
+        let c = kv.solve_max_context(8, cap).unwrap();
+        assert!(kv.fits(8, c, cap));
+        assert!(!kv.fits(8, c + 1, cap));
+    }
+
+    #[test]
+    fn display_footprint() {
+        let m = model();
+        let p = Parallelism::single();
+        let fp = KvCacheModel::new(&m, &p).footprint(8, 4096);
+        let s = fp.to_string();
+        assert!(s.contains("weights") && s.contains("kv cache"));
+    }
+}

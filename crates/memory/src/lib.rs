@@ -34,6 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kv;
+
+pub use kv::{KvCacheModel, KvCapacityFailure, KvFootprint, ServeBatchFit};
+
 use amped_core::{Parallelism, Precision, TransformerModel, ZeroStage};
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,183 @@
+//! Property tests for the serving KV-cache model: the footprint must be
+//! monotone (indeed linear) in context length and batch, and the
+//! closed-form max-batch solve must agree exactly with a brute-force walk
+//! of the power-of-two batch ladder — the same discipline
+//! `solve_max_microbatch` is held to for training.
+
+use amped_core::{Parallelism, Precision, TransformerModel};
+use amped_memory::{KvCacheModel, KvCapacityFailure};
+use proptest::prelude::*;
+
+/// Largest fitting rung of the serving batch ladder, by exhaustive
+/// evaluation.
+fn brute_force_batch_ladder(
+    kv: &KvCacheModel,
+    batch_bound: usize,
+    context: usize,
+    cap: f64,
+) -> Option<u32> {
+    let mut best = None;
+    for k in 0..=batch_bound.ilog2() {
+        if kv.fits(1usize << k, context, cap) {
+            best = Some(k);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kv_footprint_is_monotone_in_context_and_batch(
+        (layers, heads_ix, hidden_per_head) in (2usize..40, 0usize..3, 8usize..65),
+        (tp_exp, pp_exp) in (0u32..4, 0u32..4),
+        (batch, context) in (1usize..128, 1usize..16384),
+        kv_bits_ix in 0usize..3,
+    ) {
+        let heads = [4usize, 8, 16][heads_ix];
+        let kv_bits = [8u32, 16, 32][kv_bits_ix];
+        let Ok(model) = TransformerModel::builder("prop-kv")
+            .layers(layers)
+            .hidden_size(heads * hidden_per_head)
+            .heads(heads)
+            .seq_len(2048)
+            .vocab_size(32000)
+            .build()
+        else {
+            return Ok(());
+        };
+        let Ok(parallelism) = Parallelism::builder()
+            .tp(1 << tp_exp, 1)
+            .pp(1 << pp_exp, 1)
+            .build()
+        else {
+            return Ok(());
+        };
+        let kv = KvCacheModel::new(&model, &parallelism)
+            .with_precision(Precision::fp16())
+            .with_kv_bits(kv_bits);
+
+        let base = kv.footprint(batch, context);
+        let more_context = kv.footprint(batch, context + 1);
+        let more_batch = kv.footprint(batch + 1, context);
+        prop_assert!(more_context.kv_cache > base.kv_cache);
+        prop_assert!(more_batch.kv_cache > base.kv_cache);
+        prop_assert_eq!(more_context.weights, base.weights);
+        prop_assert_eq!(more_batch.weights, base.weights);
+        // Linearity: doubling either axis doubles the cache bytes.
+        let double_b = kv.footprint(2 * batch, context);
+        let double_c = kv.footprint(batch, 2 * context);
+        prop_assert!((double_b.kv_cache - 2.0 * base.kv_cache).abs() <= 1e-6 * base.kv_cache);
+        prop_assert!((double_c.kv_cache - 2.0 * base.kv_cache).abs() <= 1e-6 * base.kv_cache);
+    }
+
+    #[test]
+    fn closed_form_max_batch_agrees_with_trial_loop(
+        (layers, heads_ix, hidden_per_head) in (2usize..40, 0usize..3, 8usize..65),
+        (tp_exp, pp_exp) in (0u32..4, 0u32..4),
+        (bound_exp, context_exp) in (0u32..13, 4u32..15),
+        kv_bits_ix in 0usize..3,
+        (cap_mode, cap_frac) in (0u8..4, 0.01f64..1.0),
+    ) {
+        let heads = [4usize, 8, 16][heads_ix];
+        let kv_bits = [8u32, 16, 32][kv_bits_ix];
+        let Ok(model) = TransformerModel::builder("prop-kv-solve")
+            .layers(layers)
+            .hidden_size(heads * hidden_per_head)
+            .heads(heads)
+            .seq_len(2048)
+            .vocab_size(32000)
+            .build()
+        else {
+            return Ok(());
+        };
+        let Ok(parallelism) = Parallelism::builder()
+            .tp(1 << tp_exp, 1)
+            .pp(1 << pp_exp, 1)
+            .build()
+        else {
+            return Ok(());
+        };
+        let kv = KvCacheModel::new(&model, &parallelism)
+            .with_precision(Precision::fp16())
+            .with_kv_bits(kv_bits);
+
+        let bound = 1usize << bound_exp;
+        let context = 1usize << context_exp;
+        // Capacities spanning hopeless (below the weight shard) through
+        // generous (above the full-ladder peak).
+        let weights = kv.weights_per_device();
+        let peak = kv.footprint(bound, context).total();
+        let cap = match cap_mode {
+            0 => weights * cap_frac,
+            1 => weights + (peak - weights) * cap_frac,
+            2 => peak * (1.0 + cap_frac),
+            _ => 80e9,
+        };
+
+        // The ladder's feasibility flags form a monotone prefix: the cache
+        // is linear in the batch.
+        let flags: Vec<bool> = (0..=bound.ilog2())
+            .map(|k| kv.fits(1usize << k, context, cap))
+            .collect();
+        for w in flags.windows(2) {
+            prop_assert!(w[0] || !w[1], "non-monotone ladder: {flags:?}");
+        }
+
+        match (
+            kv.solve_max_batch(bound, context, cap),
+            brute_force_batch_ladder(&kv, bound, context, cap),
+        ) {
+            (Ok(fit), Some(k)) => {
+                prop_assert_eq!(fit.ladder_index, k);
+                prop_assert_eq!(fit.max_batch, 1usize << k);
+            }
+            (Err(failure), None) => {
+                let expect = kv.footprint(1, context).capacity_failure(cap);
+                prop_assert_eq!(failure, expect);
+                let weights_blamed_correctly =
+                    failure != KvCapacityFailure::Weights || weights > cap;
+                prop_assert!(weights_blamed_correctly);
+            }
+            (got, expect) => {
+                prop_assert!(false, "solver {got:?} vs brute force {expect:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_context_solve_is_exact(
+        (layers, heads_ix, hidden_per_head) in (2usize..40, 0usize..3, 8usize..65),
+        tp_exp in 0u32..4,
+        batch_exp in 0u32..8,
+        cap_gb in 1.0f64..200.0,
+    ) {
+        let heads = [4usize, 8, 16][heads_ix];
+        let Ok(model) = TransformerModel::builder("prop-kv-ctx")
+            .layers(layers)
+            .hidden_size(heads * hidden_per_head)
+            .heads(heads)
+            .seq_len(2048)
+            .vocab_size(32000)
+            .build()
+        else {
+            return Ok(());
+        };
+        let Ok(parallelism) = Parallelism::builder().tp(1 << tp_exp, 1).build() else {
+            return Ok(());
+        };
+        let kv = KvCacheModel::new(&model, &parallelism);
+        let batch = 1usize << batch_exp;
+        let cap = cap_gb * 1e9;
+        match kv.solve_max_context(batch, cap) {
+            Ok(c) => {
+                prop_assert!(kv.fits(batch, c, cap));
+                prop_assert!(!kv.fits(batch, c + 1, cap));
+            }
+            Err(_) => {
+                prop_assert!(!kv.fits(batch, 1, cap));
+            }
+        }
+    }
+}

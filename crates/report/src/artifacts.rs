@@ -9,7 +9,11 @@
 //! drift apart.
 
 use amped_core::{CorrelatedReport, Estimate, ResilienceReport};
-use amped_search::{Candidate, Recommendation, SearchStats, Sweep};
+use amped_infer::InferEstimate;
+use amped_search::{
+    serving_pareto_front, Candidate, Recommendation, SearchStats, ServingCandidate,
+    ServingSearchStats, Sweep,
+};
 use serde_json::Value;
 
 /// Stamp the scenario-schema version onto a top-level JSON artifact, as
@@ -104,6 +108,59 @@ pub fn recommend_value(rec: &Recommendation) -> Value {
         "diagnostics": diagnostics,
         "top_knob": rec.top_knob().map(|k| k.name()),
         "tornado": tornado,
+    }))
+}
+
+/// The infer artifact: the [`InferEstimate`] document with a leading
+/// `schema_version` — what `amped infer --json` and `POST /v1/infer`
+/// return, byte-identically.
+pub fn infer_value(estimate: &InferEstimate) -> Value {
+    with_schema_version(serde_json::to_value(estimate))
+}
+
+/// One ranked serving-search row.
+pub fn serving_row(c: &ServingCandidate, pareto: bool) -> Value {
+    serde_json::json!({
+        "tp": [c.parallelism.tp_intra(), c.parallelism.tp_inter()],
+        "pp": [c.parallelism.pp_intra(), c.parallelism.pp_inter()],
+        "dp": [c.parallelism.dp_intra(), c.parallelism.dp_inter()],
+        "batch": c.batch,
+        "ttft_s": c.estimate.ttft,
+        "tpot_s": c.estimate.tpot,
+        "request_latency_s": c.estimate.request_latency,
+        "tokens_per_sec": c.estimate.tokens_per_sec,
+        "memory_bytes": c.estimate.memory_total(),
+        "fits_memory": c.fits_memory,
+        "pareto": pareto,
+    })
+}
+
+/// The serving-search artifact: the top `top` latency-ranked rows (each
+/// flagged with its latency/throughput/memory Pareto-front membership,
+/// computed over the full kept set) plus the KV-capacity rejection
+/// accounting. Both front-ends (`amped search --workload infer --json`
+/// and `/v1/search?workload=infer`) render through this builder.
+pub fn serving_search_value(
+    results: &[ServingCandidate],
+    top: usize,
+    stats: &ServingSearchStats,
+) -> Value {
+    let front = serving_pareto_front(results);
+    let on_front =
+        |c: &ServingCandidate| front.iter().any(|f| std::ptr::eq::<ServingCandidate>(*f, c));
+    let rows: Vec<Value> = results
+        .iter()
+        .take(top)
+        .map(|c| serving_row(c, on_front(c)))
+        .collect();
+    with_schema_version(serde_json::json!({
+        "workload": "infer",
+        "rows": rows,
+        "memory_rejected": {
+            "total": stats.memory_rejected.total(),
+            "weights": stats.memory_rejected.weights,
+            "kv_cache": stats.memory_rejected.kv_cache,
+        },
     }))
 }
 
@@ -339,6 +396,61 @@ mod tests {
             assert!(text.contains(key), "missing {key} in {text}");
         }
         assert_eq!(text.matches("\"backend\"").count(), 3.min(results.len()));
+    }
+
+    #[test]
+    fn infer_value_is_bare_serialization_plus_leading_schema_version() {
+        let (model, accel, system) = fixture();
+        let p = amped_core::Parallelism::builder().tp(8, 1).build().unwrap();
+        let scenario = amped_core::Scenario::new(model, accel, system, p);
+        let est = amped_infer::InferEstimator::new(&scenario)
+            .estimate(&amped_infer::InferenceConfig::new(128, 32, 2).unwrap())
+            .unwrap();
+        let value = infer_value(&est);
+        let Value::Object(entries) = &value else {
+            panic!("infer artifact must be an object");
+        };
+        assert_eq!(entries[0].0, "schema_version");
+        assert_eq!(
+            entries[0].1.as_str(),
+            Some(amped_configs::schema::SCHEMA_VERSION)
+        );
+        let bare = serde_json::to_value(&est);
+        let Value::Object(bare_entries) = &bare else {
+            panic!("infer estimate serializes to an object");
+        };
+        assert_eq!(&entries[1..], bare_entries.as_slice());
+    }
+
+    #[test]
+    fn serving_search_value_bundles_rows_with_kv_accounting() {
+        let (model, accel, system) = fixture();
+        let request = amped_infer::InferenceConfig::new(128, 32, 1).unwrap();
+        let (results, stats) = amped_search::ServingSearch::new(&model, &accel, &system)
+            .search_with_stats(&request)
+            .unwrap();
+        assert!(!results.is_empty());
+        let doc = serving_search_value(&results, 3, &stats);
+        let Value::Object(entries) = &doc else {
+            panic!("serving artifact must be an object");
+        };
+        assert_eq!(entries[0].0, "schema_version");
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        for key in [
+            "\"workload\"",
+            "\"rows\"",
+            "\"ttft_s\"",
+            "\"tpot_s\"",
+            "\"tokens_per_sec\"",
+            "\"memory_rejected\"",
+            "\"kv_cache\"",
+            "\"pareto\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        // The latency winner leads and sits on the Pareto front.
+        let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[0].get("pareto"), Some(&Value::Bool(true)));
     }
 
     #[test]

@@ -61,10 +61,15 @@
 
 pub mod placement;
 pub mod recommend;
+pub mod serving;
 pub mod sweep;
 
 pub use placement::{placement_for, PlacementChoice};
 pub use recommend::Recommendation;
+pub use serving::{
+    serving_pareto_front, ServingCandidate, ServingRejections, ServingSearch, ServingSearchStats,
+    ServingSweepOptions,
+};
 pub use sweep::{Sweep, SweepCell, SweepPoint, SweepRow};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -1,0 +1,468 @@
+//! Serving-mapping search: sweep `TP × PP × DP × batch`, rank by request
+//! latency, and expose the latency/throughput/memory Pareto frontier.
+//!
+//! Serving inverts the training search's economics. Training wants one
+//! number (iteration time) minimized; serving trades **time to first
+//! token** and **time per output token** against **aggregate tokens/s**
+//! and **KV-cache headroom** — bigger batches amortize the decode
+//! weight-stream over more sequences (throughput up) while lengthening
+//! every step (latency up) and growing the cache (headroom down). So the
+//! sweep keeps every `(mapping, batch)` point as its own candidate and
+//! ranks by latency, and [`serving_pareto_front`] extracts the
+//! non-dominated frontier over `(ttft, tpot, tokens/s, memory)`.
+//!
+//! Determinism follows the training search's discipline, tightened one
+//! notch: the branch-and-bound lower bound
+//! ([`latency_lower_bound`](amped_infer::latency_lower_bound)) is exact
+//! in f64 against the estimator's own floors and is computed for *every*
+//! candidate, and the kept set is always post-filtered to
+//! `lower_bound <= best_latency` — so rankings are bit-identical at any
+//! worker count **and** with pruning on or off (pruning only skips work
+//! the filter would discard anyway).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use amped_core::{
+    AcceleratorSpec, Parallelism, Precision, Result, Scenario, SystemSpec, TransformerModel,
+};
+use amped_infer::{latency_lower_bound, AnalyticalInferBackend, InferBackend, InferEstimate};
+use amped_memory::KvCapacityFailure;
+use amped_obs::Observer;
+use serde::{Deserialize, Serialize};
+
+use crate::{factor_triples, parallelism_key};
+
+/// Constraints on the serving sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingSweepOptions {
+    /// Permit tensor parallelism across nodes (usually dominated by the
+    /// inter-node all-reduce latency on every decode step).
+    pub allow_tp_inter: bool,
+    /// Cap on the total tensor-parallel degree (None = head count).
+    pub max_tp: Option<usize>,
+    /// Cap on the total pipeline-parallel degree (None = layer count).
+    pub max_pp: Option<usize>,
+    /// Upper bound of the power-of-two batch ladder swept per mapping.
+    pub max_batch: usize,
+}
+
+impl Default for ServingSweepOptions {
+    fn default() -> Self {
+        ServingSweepOptions {
+            allow_tp_inter: false,
+            max_tp: None,
+            max_pp: None,
+            max_batch: 64,
+        }
+    }
+}
+
+/// One evaluated `(mapping, batch)` serving point.
+#[derive(Debug, Clone)]
+pub struct ServingCandidate {
+    /// The mapping (its DP degree is the replica count).
+    pub parallelism: Parallelism,
+    /// Concurrent sequences per replica at this point.
+    pub batch: usize,
+    /// The priced request.
+    pub estimate: InferEstimate,
+    /// Whether weights + KV cache fit device memory at the request's
+    /// maximum context.
+    pub fits_memory: bool,
+}
+
+impl ServingCandidate {
+    /// The latency this candidate is ranked by.
+    pub fn objective_time(&self) -> f64 {
+        self.estimate.request_latency.get()
+    }
+}
+
+/// Ranking order: fastest request first, ties broken by the parallelism
+/// degrees and then the batch — a total order (no two sweep points share
+/// all seven values), so rankings are identical at any worker count.
+fn serving_order(a: &ServingCandidate, b: &ServingCandidate) -> std::cmp::Ordering {
+    a.objective_time()
+        .total_cmp(&b.objective_time())
+        .then_with(|| parallelism_key(&a.parallelism).cmp(&parallelism_key(&b.parallelism)))
+        .then_with(|| a.batch.cmp(&b.batch))
+}
+
+/// Memory rejections of one serving pass, by failing capacity term.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingRejections {
+    /// The weight shard alone exceeds device memory.
+    pub weights: u64,
+    /// Weights fit but the KV cache at the maximum context does not.
+    pub kv_cache: u64,
+}
+
+impl ServingRejections {
+    /// Total points rejected by the memory filter.
+    pub fn total(&self) -> u64 {
+        self.weights + self.kv_cache
+    }
+
+    fn record(&mut self, failure: KvCapacityFailure) {
+        match failure {
+            KvCapacityFailure::Weights => self.weights += 1,
+            KvCapacityFailure::KvCache => self.kv_cache += 1,
+        }
+    }
+}
+
+/// Accounting of one serving pass. `generated = pruned + kept +
+/// memory_rejected.total()` holds exactly, and every field is
+/// deterministic: the memory filter runs before the runtime prune (a
+/// point's feasibility never depends on the incumbent) and the
+/// `lower_bound <= best` post-filter normalizes the kept set, so the
+/// whole struct is bit-identical at any worker count with pruning on or
+/// off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingSearchStats {
+    /// `(mapping, batch)` points enumerated.
+    pub generated: u64,
+    /// Points skipped by branch-and-bound pruning at runtime, plus points
+    /// discarded by the deterministic `lower_bound <= best` post-filter.
+    pub pruned: u64,
+    /// Points in the returned ranking.
+    pub kept: u64,
+    /// Points rejected by the memory filter, by failing capacity term.
+    pub memory_rejected: ServingRejections,
+}
+
+/// What happened to one sweep point.
+enum Outcome {
+    Pruned,
+    Filtered(KvCapacityFailure),
+    Kept {
+        lower_bound: f64,
+        candidate: Box<ServingCandidate>,
+    },
+}
+
+/// Evaluates and ranks every way of serving a model on a system.
+#[derive(Debug, Clone)]
+pub struct ServingSearch<'a> {
+    model: &'a TransformerModel,
+    accel: &'a AcceleratorSpec,
+    system: &'a SystemSpec,
+    precision: Precision,
+    sweep: ServingSweepOptions,
+    require_memory_fit: bool,
+    jobs: usize,
+    prune: bool,
+    observer: Option<Arc<Observer>>,
+}
+
+impl<'a> ServingSearch<'a> {
+    /// A serving search over `model` × `system` with `accel` devices.
+    pub fn new(
+        model: &'a TransformerModel,
+        accel: &'a AcceleratorSpec,
+        system: &'a SystemSpec,
+    ) -> Self {
+        ServingSearch {
+            model,
+            accel,
+            system,
+            precision: Precision::default(),
+            sweep: ServingSweepOptions::default(),
+            require_memory_fit: true,
+            jobs: 0,
+            prune: false,
+            observer: None,
+        }
+    }
+
+    /// Override the weight/activation precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Override the sweep constraints.
+    pub fn with_sweep(mut self, sweep: ServingSweepOptions) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Keep points whose KV footprint overflows device memory (default:
+    /// drop them — an overflowing cache is not a servable point).
+    pub fn with_memory_filter(mut self, require_fit: bool) -> Self {
+        self.require_memory_fit = require_fit;
+        self
+    }
+
+    /// Worker threads (0 = one per CPU). Rankings are identical for
+    /// every worker count.
+    pub fn with_parallelism(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enable branch-and-bound pruning: points whose latency lower bound
+    /// exceeds the incumbent best skip full evaluation. Because every
+    /// point's bound is computed anyway and the kept set is always
+    /// post-filtered to `lower_bound <= best`, pruning changes *runtime
+    /// only* — the ranking is bit-identical with it on or off.
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Attach an observer recording phases
+    /// (`infer.search.{enumerate,explore,rank}`) and candidate counters
+    /// (`infer.search.candidates.{generated,pruned,kept,memory_rejected}`).
+    /// Passive: rankings are bit-identical with or without it.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Every `(mapping, batch)` point of the sweep, in enumeration order.
+    pub fn sweep_points(&self) -> Vec<(Parallelism, usize)> {
+        let max_tp = self.sweep.max_tp.unwrap_or(self.model.num_heads());
+        let max_pp = self.sweep.max_pp.unwrap_or(self.model.num_layers());
+        let mut batches = Vec::new();
+        let mut b = 1usize;
+        while b <= self.sweep.max_batch.max(1) {
+            batches.push(b);
+            b *= 2;
+        }
+        let mut out = Vec::new();
+        for (tp_i, pp_i, dp_i) in factor_triples(self.system.accels_per_node()) {
+            for (tp_x, pp_x, dp_x) in factor_triples(self.system.num_nodes()) {
+                if !self.sweep.allow_tp_inter && tp_x > 1 {
+                    continue;
+                }
+                if tp_i * tp_x > max_tp || pp_i * pp_x > max_pp {
+                    continue;
+                }
+                let built = Parallelism::builder()
+                    .tp(tp_i, tp_x)
+                    .pp(pp_i, pp_x)
+                    .dp(dp_i, dp_x)
+                    .build();
+                let Ok(p) = built else { continue };
+                if p.validate_against(self.system, self.model).is_err() {
+                    continue;
+                }
+                for &batch in &batches {
+                    out.push((p, batch));
+                }
+            }
+        }
+        out
+    }
+
+    /// Rank every sweep point for `request`, fastest request first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (an internal inconsistency — sweep
+    /// points have already been validated).
+    pub fn search(
+        &self,
+        request: &amped_infer::InferenceConfig,
+    ) -> Result<Vec<ServingCandidate>> {
+        Ok(self.search_with_stats(request)?.0)
+    }
+
+    /// [`ServingSearch::search`], additionally returning the pass's
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServingSearch::search`].
+    pub fn search_with_stats(
+        &self,
+        request: &amped_infer::InferenceConfig,
+    ) -> Result<(Vec<ServingCandidate>, ServingSearchStats)> {
+        let points = {
+            let _phase = self
+                .observer
+                .as_ref()
+                .map(|o| o.phase("infer.search.enumerate"));
+            self.sweep_points()
+        };
+        let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcomes = {
+            let _phase = self
+                .observer
+                .as_ref()
+                .map(|o| o.phase("infer.search.explore"));
+            self.explore_all(&points, request, &best_bits)
+        };
+        let _rank = self.observer.as_ref().map(|o| o.phase("infer.search.rank"));
+        let mut stats = ServingSearchStats {
+            generated: points.len() as u64,
+            ..ServingSearchStats::default()
+        };
+        let mut kept: Vec<(f64, ServingCandidate)> = Vec::new();
+        for outcome in outcomes {
+            match outcome? {
+                Outcome::Pruned => stats.pruned += 1,
+                Outcome::Filtered(failure) => stats.memory_rejected.record(failure),
+                Outcome::Kept {
+                    lower_bound,
+                    candidate,
+                } => kept.push((lower_bound, *candidate)),
+            }
+        }
+        // The deterministic post-filter: retain exactly the points whose
+        // bound does not exceed the best latency. Runtime pruning can only
+        // have skipped points this filter discards (the incumbent never
+        // drops below the final best), so the retained set — and therefore
+        // the ranking — is identical with pruning on or off.
+        let best_time = kept
+            .iter()
+            .map(|(_, c)| c.objective_time())
+            .fold(f64::INFINITY, f64::min);
+        kept.retain(|(lb, _)| *lb <= best_time);
+        stats.kept = kept.len() as u64;
+        stats.pruned = stats.generated - stats.kept - stats.memory_rejected.total();
+        if let Some(obs) = &self.observer {
+            obs.add("infer.search.candidates.generated", stats.generated);
+            obs.add("infer.search.candidates.pruned", stats.pruned);
+            obs.add(
+                "infer.search.candidates.memory_rejected",
+                stats.memory_rejected.total(),
+            );
+            obs.add("infer.search.candidates.kept", stats.kept);
+        }
+        let mut out: Vec<ServingCandidate> = kept.into_iter().map(|(_, c)| c).collect();
+        out.sort_by(serving_order);
+        Ok((out, stats))
+    }
+
+    /// Explore every point over a scoped worker pool, results in point
+    /// order.
+    fn explore_all(
+        &self,
+        points: &[(Parallelism, usize)],
+        request: &amped_infer::InferenceConfig,
+        best_bits: &AtomicU64,
+    ) -> Vec<Result<Outcome>> {
+        let jobs = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+        .min(points.len().max(1));
+        if jobs <= 1 {
+            return points
+                .iter()
+                .map(|(p, b)| self.explore(p, *b, request, best_bits))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<Outcome>>> = (0..points.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= points.len() {
+                                break;
+                            }
+                            let (p, b) = &points[i];
+                            done.push((i, self.explore(p, *b, request, best_bits)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, result) in worker.join().expect("serving search worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep point is dispatched exactly once"))
+            .collect()
+    }
+
+    /// Bound, optionally prune, evaluate and score one sweep point.
+    fn explore(
+        &self,
+        p: &Parallelism,
+        batch: usize,
+        request: &amped_infer::InferenceConfig,
+        best_bits: &AtomicU64,
+    ) -> Result<Outcome> {
+        let config = request.with_batch(batch)?;
+        let scenario = Scenario::new(
+            self.model.clone(),
+            self.accel.clone(),
+            self.system.clone(),
+            *p,
+        )
+        .with_precision(self.precision);
+        // Memory feasibility is a per-point fact, independent of the
+        // incumbent, so it is decided *before* the runtime prune: the
+        // `memory_rejected` accounting in the artifact must be identical
+        // with pruning on or off and at any worker count. The footprint is
+        // closed-form, so this costs no roofline evaluation.
+        if self.require_memory_fit {
+            let est = amped_infer::InferEstimator::new(&scenario);
+            let footprint = est
+                .kv_model(&config)
+                .footprint(config.batch(), config.max_context());
+            let capacity = self.accel.memory_bytes();
+            if footprint.total() > capacity {
+                return Ok(Outcome::Filtered(footprint.capacity_failure(capacity)));
+            }
+        }
+        // The bound feeds the deterministic post-filter, so it is computed
+        // for every point whether or not runtime pruning is on.
+        let lower_bound = latency_lower_bound(&scenario, &config)?;
+        if self.prune && lower_bound > f64::from_bits(best_bits.load(Ordering::Relaxed)) {
+            return Ok(Outcome::Pruned);
+        }
+        let estimate = AnalyticalInferBackend.evaluate(&scenario, &config)?;
+        best_bits.fetch_min(estimate.request_latency.get().to_bits(), Ordering::Relaxed);
+        let fits_memory = estimate.fits_memory;
+        Ok(Outcome::Kept {
+            lower_bound,
+            candidate: Box::new(ServingCandidate {
+                parallelism: *p,
+                batch,
+                estimate,
+                fits_memory,
+            }),
+        })
+    }
+}
+
+/// The non-dominated serving candidates under
+/// `(ttft, tpot, −tokens/s, memory)`: a point survives unless another
+/// point is at least as good on all four axes and strictly better on
+/// one. Input order (the latency ranking) is preserved.
+pub fn serving_pareto_front(candidates: &[ServingCandidate]) -> Vec<&ServingCandidate> {
+    let key = |c: &ServingCandidate| {
+        [
+            c.estimate.ttft.get(),
+            c.estimate.tpot.get(),
+            -c.estimate.tokens_per_sec,
+            c.estimate.memory_total(),
+        ]
+    };
+    let dominates = |a: &[f64; 4], b: &[f64; 4]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    let keys: Vec<[f64; 4]> = candidates.iter().map(key).collect();
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !keys.iter().enumerate().any(|(j, k)| j != *i && dominates(k, &keys[*i])))
+        .map(|(_, c)| c)
+        .collect()
+}

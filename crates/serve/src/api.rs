@@ -29,9 +29,10 @@ use amped_core::{
 };
 use amped_memory::{MemoryModel, OptimizerSpec};
 use amped_obs::Observer;
+use amped_infer::{AnalyticalInferBackend, InferBackend};
 use amped_search::{
     placement_for, DomainGoodput, EnumerationOptions, GoodputOptions, PlacementChoice,
-    SearchEngine, Sweep,
+    SearchEngine, ServingSearch, ServingSweepOptions, Sweep,
 };
 use amped_sim::SimBackend;
 
@@ -75,6 +76,8 @@ impl Default for ServiceState {
 pub enum Endpoint {
     /// `POST /v1/estimate`
     Estimate,
+    /// `POST /v1/infer`
+    Infer,
     /// `POST /v1/search`
     Search,
     /// `POST /v1/sweep`
@@ -91,6 +94,7 @@ impl Endpoint {
     pub fn from_path(path: &str) -> Option<Endpoint> {
         match path {
             "/v1/estimate" => Some(Endpoint::Estimate),
+            "/v1/infer" => Some(Endpoint::Infer),
             "/v1/search" => Some(Endpoint::Search),
             "/v1/sweep" => Some(Endpoint::Sweep),
             "/v1/resilience" => Some(Endpoint::Resilience),
@@ -104,6 +108,7 @@ impl Endpoint {
     pub fn name(self) -> &'static str {
         match self {
             Endpoint::Estimate => "estimate",
+            Endpoint::Infer => "infer",
             Endpoint::Search => "search",
             Endpoint::Sweep => "sweep",
             Endpoint::Resilience => "resilience",
@@ -118,6 +123,7 @@ impl Endpoint {
 pub fn handle(state: &ServiceState, endpoint: Endpoint, req: &Request) -> Response {
     let outcome = match endpoint {
         Endpoint::Estimate => estimate(state, req),
+        Endpoint::Infer => infer(state, req),
         Endpoint::Search => search(state, req),
         Endpoint::Sweep => sweep(state, req),
         Endpoint::Resilience => resilience(state, req),
@@ -342,6 +348,55 @@ fn estimate(state: &ServiceState, req: &Request) -> Result<Response> {
     Ok(Response::json(to_json(&value)?))
 }
 
+fn infer(_state: &ServiceState, req: &Request) -> Result<Response> {
+    // Same empty-section base as the CLI's `infer` command: the serde
+    // defaults apply identically, so the two front-ends price the same
+    // request byte for byte.
+    let base = serde_json::json!({ "inference": {} });
+    let r = resolution(req, FlagSet::with_inference(), Some(base))?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let section = s
+        .inference
+        .ok_or_else(|| Error::usage("infer needs an inference section"))?;
+    let config = section.params()?;
+    let estimate = AnalyticalInferBackend.evaluate(&s.to_scenario(), &config)?;
+    let value = amped_report::artifacts::infer_value(&estimate);
+    Ok(Response::json(to_json(&value)?))
+}
+
+/// `?workload=infer` on `/v1/search`: the serving-mapping sweep, the
+/// CLI's `search --workload infer`.
+fn search_infer(state: &ServiceState, req: &Request) -> Result<Response> {
+    let base = serde_json::json!({ "inference": {} });
+    let r = resolution(req, FlagSet::with_inference(), Some(base))?;
+    if let Some(dump) = dump_resolved(req, &r) {
+        return dump;
+    }
+    let s = &r.scenario;
+    let section = s
+        .inference
+        .ok_or_else(|| Error::usage("search --workload infer needs an inference section"))?;
+    let request = section.params()?;
+    let observer = Arc::new(Observer::new());
+    let engine = ServingSearch::new(&s.model, &s.accelerator, &s.system)
+        .with_precision(s.precision)
+        .with_sweep(ServingSweepOptions {
+            max_batch: param_or(req, "max-serve-batch", 64)?,
+            ..ServingSweepOptions::default()
+        })
+        .with_parallelism(param_or(req, "jobs", 0)?)
+        .with_pruning(param_switch(req, "prune"))
+        .with_observer(Arc::clone(&observer));
+    let (results, stats) = engine.search_with_stats(&request)?;
+    state.observer.absorb(&observer);
+    let top: usize = param_or(req, "top", 10)?;
+    let value = amped_report::artifacts::serving_search_value(&results, top, &stats);
+    Ok(Response::json(to_json(&value)?))
+}
+
 fn resilience(state: &ServiceState, req: &Request) -> Result<Response> {
     // Same default-MTBF overlay as the CLI's resilience command: it sits
     // just above the built-in defaults, so presets, the body, and query
@@ -395,6 +450,17 @@ fn engine_for<'a>(
 }
 
 fn search(state: &ServiceState, req: &Request) -> Result<Response> {
+    // `?workload=infer` switches to the serving-mapping sweep — the
+    // CLI's `--workload infer`, byte-identical error message included.
+    match req.query_param("workload").unwrap_or("train") {
+        "train" => {}
+        "infer" => return search_infer(state, req),
+        other => {
+            return Err(Error::usage(format!(
+                "unknown workload `{other}`; use train|infer"
+            )))
+        }
+    }
     // `?goodput[=HOURS]` ranks by expected time under failures — the
     // CLI's `--goodput`. With it on, the failure-domain query parameters
     // are live and a default-MTBF resilience base satisfies the domain
@@ -402,8 +468,8 @@ fn search(state: &ServiceState, req: &Request) -> Result<Response> {
     let goodput_on = req.query_param("goodput").is_some();
     let mtbf_hours = goodput_mtbf_hours(req)?;
     let set = FlagSet {
-        resilience: false,
         failure_domains: goodput_on,
+        ..FlagSet::default()
     };
     let base = goodput_on.then(|| {
         serde_json::json!({
@@ -433,8 +499,8 @@ fn recommend(state: &ServiceState, req: &Request) -> Result<Response> {
     let goodput_on = req.query_param("goodput").is_some();
     let mtbf_hours = goodput_mtbf_hours(req)?;
     let set = FlagSet {
-        resilience: false,
         failure_domains: goodput_on,
+        ..FlagSet::default()
     };
     let base = goodput_on.then(|| {
         serde_json::json!({

@@ -8,7 +8,8 @@
 //! | Endpoint            | Method | Body              | Answer |
 //! |---------------------|--------|-------------------|--------|
 //! | `/v1/estimate`      | POST   | scenario JSON     | the CLI's `estimate --json` artifact |
-//! | `/v1/search`        | POST   | scenario JSON     | the CLI's `search --json` rows |
+//! | `/v1/infer`         | POST   | scenario JSON     | the CLI's `infer --json` serving estimate |
+//! | `/v1/search`        | POST   | scenario JSON     | the CLI's `search --json` rows (`?workload=infer` for serving) |
 //! | `/v1/recommend`     | POST   | scenario JSON     | the CLI's `recommend --json` artifact |
 //! | `/v1/sweep`         | POST   | scenario JSON     | the CLI's `sweep` CSV + winners |
 //! | `/v1/resilience`    | POST   | scenario JSON     | the CLI's `resilience --json` report |

@@ -122,6 +122,36 @@ printf '%s\n' "$chaos_serve" | head -2 | grep -q '"schema_version"' \
     || { echo "chaos smoke failed: artifact does not lead with schema_version"; exit 1; }
 echo "chaos smoke ok: correlated artifact byte-identical across front-ends"
 
+echo "==> infer smoke (serving fixture: CLI and daemon answer identical bytes)"
+# Both shipped inference fixtures must price through `amped infer --json`
+# and POST /v1/infer byte-identically, lead with schema_version, and keep
+# the serving-mapping search bit-identical across worker counts and with
+# pruning on or off.
+for fixture in tests/fixtures/infer-dev-small.json tests/fixtures/infer-llama-serve.json; do
+    infer_cli=$(./target/release/amped infer --json --config "$fixture")
+    infer_serve=$($client "$addr" POST /v1/infer "$fixture")
+    [ "$infer_cli" = "$infer_serve" ] \
+        || { echo "infer smoke failed: CLI and serve artifacts differ for $fixture"; \
+             printf '%s\n' "$infer_cli" > "$serve_dir/infer_cli.json"; \
+             printf '%s\n' "$infer_serve" > "$serve_dir/infer_serve.json"; \
+             diff "$serve_dir/infer_cli.json" "$serve_dir/infer_serve.json" | head -20; exit 1; }
+    printf '%s\n' "$infer_serve" | head -2 | grep -q '"schema_version"' \
+        || { echo "infer smoke failed: artifact does not lead with schema_version"; exit 1; }
+    printf '%s' "$infer_serve" | grep -q '"kv_cache_bytes"' \
+        || { echo "infer smoke failed: no KV-cache accounting in the artifact"; exit 1; }
+done
+serve_fixture=tests/fixtures/infer-llama-serve.json
+./target/release/amped search --workload infer --json --top 5 --jobs 1 \
+    --config "$serve_fixture" > "$serve_dir/serving_j1.json"
+./target/release/amped search --workload infer --json --top 5 --jobs 4 --prune \
+    --config "$serve_fixture" > "$serve_dir/serving_j4.json"
+cmp "$serve_dir/serving_j1.json" "$serve_dir/serving_j4.json" \
+    || { echo "infer smoke failed: serving search depends on jobs/pruning"; exit 1; }
+serving_serve=$($client "$addr" POST "/v1/search?workload=infer&top=5&jobs=4&prune=true" "$serve_fixture")
+[ "$serving_serve" = "$(cat "$serve_dir/serving_j4.json")" ] \
+    || { echo "infer smoke failed: serving search differs across front-ends"; exit 1; }
+echo "infer smoke ok: serving artifacts byte-identical across front-ends, jobs, and pruning"
+
 # Every JSON response must re-parse; the sweep is CSV with a winners line.
 python3 - "$serve_dir" <<'EOF'
 import json, sys, pathlib

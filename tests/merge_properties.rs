@@ -153,10 +153,16 @@ fn every_flagged_field_changes_the_resolution_or_errors() {
     }
     assert!(probes.len() >= 15, "schema lost its flags: {probes:?}");
 
+    // Every gated flag family on, so each probe reaches its section.
+    let all_families = FlagSet {
+        resilience: true,
+        failure_domains: true,
+        inference: true,
+    };
     for (flag, ty) in probes {
         let mut draft = ScenarioDraft::new();
         let outcome = draft
-            .flags(&probe(flag, ty), FlagSet::with_failure_domains())
+            .flags(&probe(flag, ty), all_families)
             .map(|d| d.resolve());
         match outcome {
             // A typed rejection is a live field too (e.g. `--restart`
